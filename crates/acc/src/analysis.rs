@@ -1,0 +1,270 @@
+//! The design-time interference analysis (§3.1–3.2).
+//!
+//! Inputs: the assertion templates (read footprints), the step footprints
+//! (write sets), and the designer's *semantic declarations*:
+//!
+//! * `declare_safe(step, template, why)` — the footprints overlap, but the
+//!   designer has proved (in the paper: from the maximally reduced proof)
+//!   that the step cannot actually falsify the template. Example: stock
+//!   decrements commute with the new-order loop invariant.
+//! * `declare_interferes(step, template, why)` — force a conservative entry
+//!   that footprints alone would miss.
+//!
+//! [`DIRTY`](crate::assertion::DIRTY) is special: footprints cannot decide
+//! whether overwriting *uncommitted* data is safe, so every analyzed step
+//! conservatively interferes with `DIRTY` unless declared safe.
+//!
+//! The output is [`InterferenceTables`]; the analysis also produces a human-
+//! readable report of every decision, which is how the per-benchmark
+//! decomposition is documented.
+
+use crate::assertion::AssertionRegistry;
+use crate::footprint::StepFootprint;
+use crate::tables::InterferenceTables;
+use acc_common::{AssertionTemplateId, StepTypeId};
+use std::collections::{HashMap, HashSet};
+
+/// One recorded analysis decision.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Step type.
+    pub step: StepTypeId,
+    /// Assertion template.
+    pub template: AssertionTemplateId,
+    /// Final verdict.
+    pub interferes: bool,
+    /// How the verdict was reached.
+    pub why: String,
+}
+
+/// The analysis builder.
+pub struct Analysis<'a> {
+    registry: &'a AssertionRegistry,
+    steps: Vec<StepFootprint>,
+    safe: HashMap<(StepTypeId, AssertionTemplateId), String>,
+    forced: HashMap<(StepTypeId, AssertionTemplateId), String>,
+    committed_readers: Vec<StepTypeId>,
+}
+
+impl<'a> Analysis<'a> {
+    /// Start an analysis over the given templates.
+    pub fn new(registry: &'a AssertionRegistry) -> Self {
+        Analysis {
+            registry,
+            steps: Vec::new(),
+            safe: HashMap::new(),
+            forced: HashMap::new(),
+            committed_readers: Vec::new(),
+        }
+    }
+
+    /// Declare that an (analyzed) step type must only read committed data —
+    /// its reads block on guard templates like an unanalyzed transaction's
+    /// would (§3.3; e.g. TPC-C order-status reports to the customer and must
+    /// not show a half-entered order).
+    pub fn require_committed_reads(mut self, step: StepTypeId) -> Self {
+        self.committed_readers.push(step);
+        self
+    }
+
+    /// Register a step type's write footprint.
+    pub fn step(mut self, fp: StepFootprint) -> Self {
+        assert!(
+            self.steps.iter().all(|s| s.step_type != fp.step_type),
+            "duplicate footprint for {:?}",
+            fp.step_type
+        );
+        self.steps.push(fp);
+        self
+    }
+
+    /// Record that `step` provably does not invalidate `template` despite a
+    /// footprint overlap (or despite the conservative `DIRTY` default).
+    pub fn declare_safe(
+        mut self,
+        step: StepTypeId,
+        template: AssertionTemplateId,
+        why: impl Into<String>,
+    ) -> Self {
+        self.safe.insert((step, template), why.into());
+        self
+    }
+
+    /// Force an interference entry footprints alone would miss.
+    pub fn declare_interferes(
+        mut self,
+        step: StepTypeId,
+        template: AssertionTemplateId,
+        why: impl Into<String>,
+    ) -> Self {
+        self.forced.insert((step, template), why.into());
+        self
+    }
+
+    /// Run the analysis.
+    pub fn build(self) -> (InterferenceTables, Vec<Decision>) {
+        let n = self.registry.len();
+        let mut write: HashMap<StepTypeId, Vec<bool>> = HashMap::new();
+        let mut decisions = Vec::new();
+        for step in &self.steps {
+            let mut row = vec![false; n];
+            for template in self.registry.iter() {
+                let key = (step.step_type, template.id);
+                let (interferes, why) = if let Some(why) = self.forced.get(&key) {
+                    (true, format!("declared: {why}"))
+                } else if let Some(why) = self.safe.get(&key) {
+                    (false, format!("declared safe: {why}"))
+                } else if template.read_guard {
+                    // DIRTY and type-specific guards: footprints cannot
+                    // decide whether overwriting *uncommitted* data is safe.
+                    (
+                        true,
+                        "conservative default: may overwrite uncommitted data".to_owned(),
+                    )
+                } else if step.interferes_with(&template.reads) {
+                    (true, "write footprint overlaps read footprint".to_owned())
+                } else {
+                    (false, "disjoint footprints".to_owned())
+                };
+                row[template.id.raw() as usize] = interferes;
+                decisions.push(Decision {
+                    step: step.step_type,
+                    template: template.id,
+                    interferes,
+                    why,
+                });
+            }
+            write.insert(step.step_type, row);
+        }
+        let read_guards: HashSet<AssertionTemplateId> = self
+            .registry
+            .iter()
+            .filter(|t| t.read_guard)
+            .map(|t| t.id)
+            .collect();
+        let mut tables = InterferenceTables::from_parts(write, read_guards, n);
+        for s in &self.committed_readers {
+            tables.set_committed_reader(*s);
+        }
+        (tables, decisions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::DIRTY;
+    use crate::footprint::TableFootprint;
+    use acc_common::TableId;
+    use acc_lockmgr::InterferenceOracle;
+
+    // The paper's §4 order-processing example, reduced: new-order's loop
+    // breaks the order/orderline count invariant I1; bill requires I1.
+    #[test]
+    fn section4_example_analysis() {
+        let orders = TableId(0);
+        let orderlines = TableId(1);
+        let stock = TableId(2);
+
+        let mut reg = AssertionRegistry::new();
+        // I1(o): num_distinct_items of order o equals its orderline count.
+        let i1 = reg.define(
+            "I1-order-count",
+            vec![
+                TableFootprint::columns(orders, [2]),
+                TableFootprint::rows(orderlines, []),
+            ],
+            None,
+        );
+        // New-order's loop invariant references the same items.
+        let no_loop = reg.define(
+            "new-order-loop",
+            vec![
+                TableFootprint::columns(orders, [2]),
+                TableFootprint::rows(orderlines, []),
+            ],
+            None,
+        );
+
+        let no_s1 = StepTypeId(1); // insert into orders
+        let no_s2 = StepTypeId(2); // insert one orderline, update stock
+        let bill = StepTypeId(3); // totals prices, writes orders.price
+        let no_cs = StepTypeId(4); // compensation: delete order + lines, restock
+
+        let (tables, decisions) = Analysis::new(&reg)
+            .step(StepFootprint::new(
+                no_s1,
+                "new-order-s1",
+                vec![TableFootprint::rows(orders, [0, 1, 2, 3])],
+            ))
+            .step(StepFootprint::new(
+                no_s2,
+                "new-order-s2",
+                vec![
+                    TableFootprint::rows(orderlines, [0, 1, 2, 3]),
+                    TableFootprint::columns(stock, [1]),
+                ],
+            ))
+            .step(StepFootprint::new(
+                bill,
+                "bill",
+                vec![TableFootprint::columns(orders, [3])],
+            ))
+            .step(StepFootprint::new(
+                no_cs,
+                "new-order-comp",
+                vec![
+                    TableFootprint::rows(orders, []),
+                    TableFootprint::rows(orderlines, []),
+                    TableFootprint::columns(stock, [1]),
+                ],
+            ))
+            // §4: instances of new-order can interleave arbitrarily — each
+            // works on its own order id, and stock decrements commute with
+            // the loop invariant.
+            .declare_safe(no_s2, no_loop, "each instance touches its own order's lines; stock decrements commute")
+            .declare_safe(no_s1, no_loop, "order ids are unique; inserting another order does not affect this order's lines")
+            .declare_safe(no_s2, DIRTY, "stock decrements commute; compensation restores by increment")
+            .build();
+
+        // bill's required I1 is invalidated by both new-order steps…
+        assert!(tables.write_interferes(no_s1, i1));
+        assert!(tables.write_interferes(no_s2, i1));
+        // …and by new-order's compensation (it removes orderlines).
+        assert!(tables.write_interferes(no_cs, i1));
+        // bill itself only touches orders.price: no interference with I1.
+        assert!(!tables.write_interferes(bill, i1));
+        // Declared-safe pairs for arbitrary new-order interleaving.
+        assert!(!tables.write_interferes(no_s2, no_loop));
+        assert!(!tables.write_interferes(no_s1, no_loop));
+        assert!(!tables.write_interferes(no_s2, DIRTY));
+        // DIRTY stays conservative where not declared.
+        assert!(tables.write_interferes(no_s1, DIRTY));
+        assert!(tables.write_interferes(bill, DIRTY));
+
+        // Every (step, template) pair got a recorded decision.
+        assert_eq!(decisions.len(), 4 * reg.len());
+        assert!(decisions.iter().any(|d| d.why.contains("declared safe")));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate footprint")]
+    fn duplicate_step_panics() {
+        let reg = AssertionRegistry::new();
+        let fp = || StepFootprint::new(StepTypeId(1), "s", vec![]);
+        let _ = Analysis::new(&reg).step(fp()).step(fp());
+    }
+
+    #[test]
+    fn forced_interference_wins() {
+        let reg = AssertionRegistry::new();
+        let s = StepTypeId(1);
+        let (tables, _) = Analysis::new(&reg)
+            .step(StepFootprint::new(s, "s", vec![]))
+            .declare_interferes(s, DIRTY, "timing channel")
+            .build();
+        assert!(tables.write_interferes(s, DIRTY));
+        assert!(tables.is_analyzed(s));
+        assert!(!tables.is_analyzed(StepTypeId(9)));
+    }
+}

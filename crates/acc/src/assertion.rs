@@ -1,0 +1,241 @@
+//! Interstep assertion templates.
+//!
+//! A template is the design-time form of an interstep assertion: a name, the
+//! read footprint the interference analysis consumes, and (optionally) an
+//! evaluable predicate. The run-time system *never* evaluates the predicate —
+//! conflicts are interference-table lookups (§3.2) — but the test harness
+//! does, to verify semantic correctness end to end.
+
+use crate::footprint::TableFootprint;
+use acc_common::{AssertionTemplateId, Value};
+use acc_storage::Database;
+use std::fmt;
+use std::sync::Arc;
+
+/// The built-in pseudo-template pinned by every decomposed transaction on
+/// every item it writes, held until commit. It plays two roles (§3.3–3.4):
+///
+/// * *legacy isolation* — unanalyzed step types read- and write-interfere
+///   with it, so they wait for the writer to finish;
+/// * *compensation protection* — its grants carry the writer's compensating
+///   step type, letting the lock manager refuse assertional locks that the
+///   compensating step would have to invalidate.
+pub const DIRTY: AssertionTemplateId = AssertionTemplateId(0);
+
+/// Evaluable form of a template: `params` are the instance parameters (e.g.
+/// an order id).
+pub type EvalFn = Arc<dyn Fn(&Database, &[Value]) -> bool + Send + Sync>;
+
+/// A parameterized interstep assertion, analyzed at design time.
+#[derive(Clone)]
+pub struct AssertionTemplate {
+    /// Dense id; index into the interference tables.
+    pub id: AssertionTemplateId,
+    /// Human-readable name.
+    pub name: String,
+    /// Per-table read footprint: which columns the predicate references and
+    /// whether it depends on row existence. Doubles as the *attachment*
+    /// footprint: assertional locks are taken on items of these tables.
+    pub reads: Vec<TableFootprint>,
+    /// True for guard templates whose mere presence must also block
+    /// unanalyzed *readers* (only [`DIRTY`] by default).
+    pub read_guard: bool,
+    /// Optional evaluable predicate (test oracles only).
+    pub eval: Option<EvalFn>,
+}
+
+impl fmt::Debug for AssertionTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AssertionTemplate")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("reads", &self.reads)
+            .field("read_guard", &self.read_guard)
+            .field("eval", &self.eval.is_some())
+            .finish()
+    }
+}
+
+/// A template applied to concrete parameters — what the test oracle
+/// evaluates at step boundaries.
+#[derive(Debug, Clone)]
+pub struct AssertionInstance {
+    /// The template.
+    pub template: AssertionTemplateId,
+    /// Instance parameters (meaning defined by the template's `eval`).
+    pub params: Vec<Value>,
+}
+
+/// All templates of a system, densely numbered. [`DIRTY`] is always id 0.
+pub struct AssertionRegistry {
+    templates: Vec<AssertionTemplate>,
+}
+
+impl fmt::Debug for AssertionRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AssertionRegistry")
+            .field("templates", &self.templates)
+            .finish()
+    }
+}
+
+impl Default for AssertionRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AssertionRegistry {
+    /// A registry containing only the built-in [`DIRTY`] template.
+    pub fn new() -> Self {
+        AssertionRegistry {
+            templates: vec![AssertionTemplate {
+                id: DIRTY,
+                name: "DIRTY".to_owned(),
+                reads: Vec::new(),
+                read_guard: true,
+                eval: None,
+            }],
+        }
+    }
+
+    /// Define an additional *guard* template: a DIRTY-like uncommitted-data
+    /// pin for one class of transactions. Distinct guards let the analysis
+    /// distinguish "may overwrite data left uncommitted by transaction type
+    /// X" per type (e.g. deliveries safely interleave with each other's
+    /// claimed pages while still being barred from half-entered orders).
+    pub fn define_guard(&mut self, name: impl Into<String>) -> AssertionTemplateId {
+        let id = AssertionTemplateId(self.templates.len() as u32);
+        self.templates.push(AssertionTemplate {
+            id,
+            name: name.into(),
+            reads: Vec::new(),
+            read_guard: true,
+            eval: None,
+        });
+        id
+    }
+
+    /// Define a template; returns its id.
+    pub fn define(
+        &mut self,
+        name: impl Into<String>,
+        reads: Vec<TableFootprint>,
+        eval: Option<EvalFn>,
+    ) -> AssertionTemplateId {
+        let id = AssertionTemplateId(self.templates.len() as u32);
+        self.templates.push(AssertionTemplate {
+            id,
+            name: name.into(),
+            reads,
+            read_guard: false,
+            eval,
+        });
+        id
+    }
+
+    /// The template with the given id.
+    pub fn get(&self, id: AssertionTemplateId) -> &AssertionTemplate {
+        &self.templates[id.raw() as usize]
+    }
+
+    /// All templates in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &AssertionTemplate> {
+        self.templates.iter()
+    }
+
+    /// Number of templates (including `DIRTY`).
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Always false: `DIRTY` is built in.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluate an instance against a database image. `true` when the
+    /// template has no evaluable form (we cannot falsify it).
+    pub fn check(&self, db: &Database, inst: &AssertionInstance) -> bool {
+        match &self.get(inst.template).eval {
+            Some(f) => f(db, &inst.params),
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_common::TableId;
+    use acc_storage::{Catalog, ColumnType, Row, TableSchema};
+
+    #[test]
+    fn dirty_is_builtin() {
+        let reg = AssertionRegistry::new();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.get(DIRTY).name, "DIRTY");
+        assert!(reg.get(DIRTY).read_guard);
+    }
+
+    #[test]
+    fn define_assigns_dense_ids() {
+        let mut reg = AssertionRegistry::new();
+        let a = reg.define("a", vec![], None);
+        let b = reg.define("b", vec![TableFootprint::columns(TableId(0), [1])], None);
+        assert_eq!(a, AssertionTemplateId(1));
+        assert_eq!(b, AssertionTemplateId(2));
+        assert_eq!(reg.iter().count(), 3);
+        assert!(!reg.get(b).read_guard);
+    }
+
+    #[test]
+    fn evaluable_template_checks() {
+        let mut cat = Catalog::new();
+        let t = cat.add_table(
+            TableSchema::builder("x")
+                .column("id", ColumnType::Int)
+                .column("v", ColumnType::Int)
+                .key(&["id"])
+                .build(),
+        );
+        let mut db = Database::new(&cat);
+        db.table_mut(t)
+            .unwrap()
+            .insert(Row::from(vec![Value::Int(1), Value::Int(10)]))
+            .unwrap();
+
+        let mut reg = AssertionRegistry::new();
+        // "row `params[0]` has v >= 0"
+        let tpl = reg.define(
+            "non-negative",
+            vec![TableFootprint::columns(t, [1])],
+            Some(Arc::new(move |db: &Database, params: &[Value]| {
+                let key = acc_storage::Key(vec![params[0].clone()]);
+                db.table(t)
+                    .unwrap()
+                    .get(&key)
+                    .map(|(_, r)| r.int(1) >= 0)
+                    .unwrap_or(false)
+            })),
+        );
+        let inst = AssertionInstance {
+            template: tpl,
+            params: vec![Value::Int(1)],
+        };
+        assert!(reg.check(&db, &inst));
+        db.table_mut(t)
+            .unwrap()
+            .update_with(0, |r| {
+                r.set(1, Value::Int(-5));
+            })
+            .unwrap();
+        assert!(!reg.check(&db, &inst));
+        // Templates without eval always pass.
+        let inst2 = AssertionInstance {
+            template: DIRTY,
+            params: vec![],
+        };
+        assert!(reg.check(&db, &inst2));
+    }
+}

@@ -1,0 +1,128 @@
+//! Step write footprints: what a step type may change, declared at design
+//! time.
+
+use acc_common::TableId;
+use std::collections::BTreeSet;
+
+/// What one step type (or one assertion template) touches in one table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableFootprint {
+    /// The table.
+    pub table: TableId,
+    /// Column positions written (step) or referenced (assertion).
+    pub columns: BTreeSet<usize>,
+    /// For steps: rows may be inserted or deleted. For assertions: the
+    /// predicate depends on *which rows exist* (counts, existence,
+    /// aggregates) — not just on column values of fixed rows.
+    pub cardinality: bool,
+}
+
+impl TableFootprint {
+    /// Footprint over named columns only.
+    pub fn columns(table: TableId, columns: impl IntoIterator<Item = usize>) -> Self {
+        TableFootprint {
+            table,
+            columns: columns.into_iter().collect(),
+            cardinality: false,
+        }
+    }
+
+    /// Footprint that inserts/deletes rows (or, for an assertion, depends on
+    /// row existence), additionally touching the given columns.
+    pub fn rows(table: TableId, columns: impl IntoIterator<Item = usize>) -> Self {
+        TableFootprint {
+            table,
+            columns: columns.into_iter().collect(),
+            cardinality: true,
+        }
+    }
+
+    /// Does a write with footprint `self` overlap a read with footprint
+    /// `other` (same-table check included)?
+    pub fn overlaps(&self, other: &TableFootprint) -> bool {
+        self.table == other.table
+            && ((self.cardinality && other.cardinality)
+                || self.columns.intersection(&other.columns).next().is_some())
+    }
+}
+
+/// The declared write behaviour of one step type.
+#[derive(Debug, Clone)]
+pub struct StepFootprint {
+    /// The step type this footprint describes.
+    pub step_type: acc_common::StepTypeId,
+    /// Human-readable name for the analysis report.
+    pub name: String,
+    /// Per-table write sets.
+    pub writes: Vec<TableFootprint>,
+}
+
+impl StepFootprint {
+    /// A step footprint.
+    pub fn new(
+        step_type: acc_common::StepTypeId,
+        name: impl Into<String>,
+        writes: Vec<TableFootprint>,
+    ) -> Self {
+        StepFootprint {
+            step_type,
+            name: name.into(),
+            writes,
+        }
+    }
+
+    /// True if any write overlaps any of the given read footprints.
+    pub fn interferes_with(&self, reads: &[TableFootprint]) -> bool {
+        self.writes
+            .iter()
+            .any(|w| reads.iter().any(|r| w.overlaps(r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_common::StepTypeId;
+
+    const T: TableId = TableId(0);
+    const U: TableId = TableId(1);
+
+    #[test]
+    fn column_overlap() {
+        let w = TableFootprint::columns(T, [1, 2]);
+        assert!(w.overlaps(&TableFootprint::columns(T, [2, 3])));
+        assert!(!w.overlaps(&TableFootprint::columns(T, [3, 4])));
+        assert!(!w.overlaps(&TableFootprint::columns(U, [1, 2])));
+    }
+
+    #[test]
+    fn cardinality_overlap() {
+        // Inserting rows disturbs a count predicate even with disjoint
+        // columns.
+        let w = TableFootprint::rows(T, [0]);
+        let count_pred = TableFootprint::rows(T, []);
+        assert!(w.overlaps(&count_pred));
+        // …but not a fixed-row column predicate on other columns.
+        assert!(!w.overlaps(&TableFootprint::columns(T, [5])));
+        // A pure column write never disturbs a pure count predicate.
+        let w2 = TableFootprint::columns(T, [5]);
+        assert!(!w2.overlaps(&count_pred));
+    }
+
+    #[test]
+    fn step_footprint_interference() {
+        // The paper's §5.1 example: new-order increments the district
+        // counter (col 2), payment updates the district YTD (col 3). Their
+        // footprints do not overlap, so the analysis lets them interleave.
+        let district = TableId(7);
+        let new_order = StepFootprint::new(
+            StepTypeId(1),
+            "new-order-s1",
+            vec![TableFootprint::columns(district, [2])],
+        );
+        let counter_assertion = [TableFootprint::columns(district, [2])];
+        let ytd_assertion = [TableFootprint::columns(district, [3])];
+        assert!(new_order.interferes_with(&counter_assertion));
+        assert!(!new_order.interferes_with(&ytd_assertion));
+    }
+}

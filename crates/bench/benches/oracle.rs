@@ -1,0 +1,53 @@
+//! Interference-oracle micro-benchmark.
+//!
+//! The paper's key run-time claim (§3.2): deciding whether a step conflicts
+//! with a pinned assertion is a *table lookup*, unlike predicate locks which
+//! must evaluate predicate intersection. This bench measures the lookup on
+//! the real TPC-C interference tables.
+
+use acc_lockmgr::InterferenceOracle;
+use acc_tpcc::decompose::{step, TpccSystem};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_lookup(c: &mut Criterion) {
+    let sys = TpccSystem::build();
+    let steps = [
+        step::NO_S1,
+        step::NO_S2,
+        step::PAY_S1,
+        step::PAY_S2,
+        step::DLV_S1,
+        step::DLV_S2,
+    ];
+    let templates = [
+        sys.templates.no_loop,
+        sys.templates.pay_mid,
+        sys.templates.dlv_loop,
+        acc_core::DIRTY,
+    ];
+    c.bench_function("oracle/tpcc_write_interferes_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = steps[i % steps.len()];
+            let t = templates[i % templates.len()];
+            i += 1;
+            black_box(sys.tables.write_interferes(black_box(s), black_box(t)))
+        });
+    });
+    c.bench_function("oracle/tpcc_read_interferes_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = steps[i % steps.len()];
+            let t = templates[i % templates.len()];
+            i += 1;
+            black_box(sys.tables.read_interferes(black_box(s), black_box(t)))
+        });
+    });
+    c.bench_function("oracle/analysis_build", |b| {
+        b.iter(|| black_box(TpccSystem::build()).tables.n_templates());
+    });
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

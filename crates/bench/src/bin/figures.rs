@@ -1,0 +1,75 @@
+//! Regenerate the paper's figures and tables.
+//!
+//! ```text
+//! cargo run -p acc-bench --release --bin figures -- all
+//! cargo run -p acc-bench --release --bin figures -- fig2 [--quick]
+//! ```
+//!
+//! Subcommands: `fig2`, `fig3`, `fig4`, `servers`, `olcount`, `ablation`,
+//! `all`. `--quick` runs a
+//! shorter sweep for smoke-testing.
+
+use acc_bench::figures::{ablation_table, dump_tables, twolevel_table, fig2, fig3, fig4, olcount_table, servers_table, FigureParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let params = if quick {
+        FigureParams::quick()
+    } else {
+        FigureParams::baseline()
+    };
+
+    println!(
+        "assertional-acc figure harness — {} sweep, {} servers, seed {}",
+        if quick { "quick" } else { "full" },
+        params.servers,
+        params.seed
+    );
+
+    match which {
+        "fig2" => {
+            fig2(&params);
+        }
+        "fig3" => {
+            fig3(&params);
+        }
+        "fig4" => {
+            fig4(&params);
+        }
+        "servers" => {
+            servers_table(&params);
+        }
+        "olcount" => {
+            olcount_table(&params);
+        }
+        "ablation" => {
+            ablation_table(&params);
+        }
+        "tables" => {
+            dump_tables();
+        }
+        "twolevel" => {
+            twolevel_table(&params);
+        }
+        "all" => {
+            fig2(&params);
+            fig3(&params);
+            fig4(&params);
+            servers_table(&params);
+            olcount_table(&params);
+            ablation_table(&params);
+            twolevel_table(&params);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|tables|all");
+            std::process::exit(2);
+        }
+    }
+}

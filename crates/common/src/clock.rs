@@ -1,0 +1,153 @@
+//! Time, for both wall-clock execution and discrete-event simulation.
+//!
+//! The engine measures real elapsed time; the simulator advances a virtual
+//! clock. Both speak [`SimTime`], an integer count of microseconds, so metrics
+//! code is shared.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A point in time, in microseconds since an arbitrary origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Build from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1000)
+    }
+
+    /// Build from microseconds.
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// Microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds since the origin.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl std::ops::Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// A source of time.
+pub trait Clock: Send + Sync {
+    /// The current time.
+    fn now(&self) -> SimTime;
+}
+
+/// Wall-clock time relative to clock construction.
+#[derive(Debug)]
+pub struct RealClock {
+    origin: Instant,
+}
+
+impl RealClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        RealClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.origin.elapsed().as_micros() as u64)
+    }
+}
+
+/// A manually advanced clock, shared by reference between a simulator and the
+/// components it drives.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Move the clock forward to `t`. Time never goes backwards; attempts to
+    /// do so are ignored (concurrent observers may have raced past).
+    pub fn advance_to(&self, t: SimTime) {
+        self.now.fetch_max(t.0, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.now.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let a = SimTime::from_millis(3);
+        let b = SimTime::from_micros(500);
+        assert_eq!((a + b).as_micros(), 3500);
+        assert_eq!(a.since(b).as_micros(), 2500);
+        assert_eq!(b.since(a), SimTime::ZERO);
+        assert_eq!(a.as_millis_f64(), 3.0);
+    }
+
+    #[test]
+    fn virtual_clock_monotone() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance_to(SimTime::from_millis(10));
+        assert_eq!(c.now(), SimTime::from_millis(10));
+        c.advance_to(SimTime::from_millis(5)); // ignored
+        assert_eq!(c.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn real_clock_advances() {
+        let c = RealClock::new();
+        let t0 = c.now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(c.now() > t0);
+    }
+
+    #[test]
+    fn sim_time_display() {
+        assert_eq!(SimTime::from_micros(1500).to_string(), "1.500ms");
+    }
+}

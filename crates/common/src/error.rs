@@ -1,0 +1,90 @@
+//! The workspace-wide error type.
+
+use crate::ids::{ResourceId, TxnId};
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the storage, locking and transaction layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A deadlock was detected and this transaction's current step was chosen
+    /// as the victim. The step may be retried after its effects are undone.
+    Deadlock {
+        /// The victim transaction.
+        victim: TxnId,
+    },
+    /// The transaction was aborted (explicitly or as a deadlock casualty) and
+    /// cannot issue further operations.
+    TxnAborted(TxnId),
+    /// A lock could not be granted and the caller asked not to wait.
+    WouldBlock {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// The contested resource.
+        resource: ResourceId,
+    },
+    /// Primary or unique key already present.
+    DuplicateKey(String),
+    /// Row or table not found.
+    NotFound(String),
+    /// Value/row shape does not match the table schema.
+    SchemaMismatch(String),
+    /// The log is corrupt or recovery failed.
+    Recovery(String),
+    /// An internal invariant was violated; always a bug.
+    Internal(String),
+}
+
+impl Error {
+    /// True for errors that the transaction runtime resolves by undoing and
+    /// retrying the current step rather than failing the whole transaction.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Deadlock { .. } | Error::WouldBlock { .. })
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Deadlock { victim } => write!(f, "deadlock detected; victim {victim}"),
+            Error::TxnAborted(t) => write!(f, "transaction {t} is aborted"),
+            Error::WouldBlock { txn, resource } => {
+                write!(f, "{txn} would block on {resource}")
+            }
+            Error::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            Error::NotFound(w) => write!(f, "not found: {w}"),
+            Error::SchemaMismatch(w) => write!(f, "schema mismatch: {w}"),
+            Error::Recovery(w) => write!(f, "recovery failure: {w}"),
+            Error::Internal(w) => write!(f, "internal error: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(Error::Deadlock { victim: TxnId(1) }.is_transient());
+        assert!(Error::WouldBlock {
+            txn: TxnId(1),
+            resource: ResourceId::Named(0)
+        }
+        .is_transient());
+        assert!(!Error::TxnAborted(TxnId(1)).is_transient());
+        assert!(!Error::NotFound("x".into()).is_transient());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Deadlock { victim: TxnId(9) };
+        assert!(e.to_string().contains("TxnId(9)"));
+        let e = Error::DuplicateKey("orders(1,2)".into());
+        assert!(e.to_string().contains("orders(1,2)"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Strongly typed identifiers.
+//!
+//! Everything the lock manager can lock is a [`ResourceId`]; everything the
+//! interference tables talk about is a [`StepTypeId`] × [`AssertionTemplateId`]
+//! pair. Keeping these as newtypes prevents an entire class of index mix-ups.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident($inner:ty)) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw value.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A transaction instance.
+    TxnId(u64)
+);
+id_newtype!(
+    /// A transaction *type* (e.g. "TPC-C new-order"), the unit the design-time
+    /// analysis decomposes.
+    TxnTypeId(u32)
+);
+id_newtype!(
+    /// A step *type*: one of the statically analyzed step kinds a transaction
+    /// type is decomposed into (forward or compensating).
+    StepTypeId(u32)
+);
+id_newtype!(
+    /// An assertion *template*: a parameterized interstep assertion whose
+    /// interference with each step type is decided at design time.
+    AssertionTemplateId(u32)
+);
+id_newtype!(
+    /// A table in the catalog.
+    TableId(u32)
+);
+
+/// The step type assigned to unanalyzed (legacy / ad-hoc / baseline 2PL)
+/// transactions. Interference oracles treat it maximally conservatively: it
+/// read- and write-interferes with every assertion template, which is what
+/// keeps legacy transactions fully isolated from decomposed ones.
+pub const LEGACY_STEP: StepTypeId = StepTypeId(u32::MAX);
+
+/// A page number within a table.
+pub type PageNo = u32;
+
+/// A row slot within a table's heap.
+pub type Slot = u64;
+
+/// Something the lock manager can lock.
+///
+/// The engine locks *pages* by default (as Open Ingres did), with row-level
+/// resources available for hot tuples and named resources for things like
+/// sequence counters that live outside any table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceId {
+    /// An entire table (used for intention locking and scans).
+    Table(TableId),
+    /// One page of a table.
+    Page(TableId, PageNo),
+    /// One row of a table, identified by heap slot.
+    Row(TableId, Slot),
+    /// A named singleton resource, e.g. a database counter variable.
+    Named(u32),
+}
+
+impl ResourceId {
+    /// The table this resource belongs to, if any.
+    pub fn table(&self) -> Option<TableId> {
+        match self {
+            ResourceId::Table(t) | ResourceId::Page(t, _) | ResourceId::Row(t, _) => Some(*t),
+            ResourceId::Named(_) => None,
+        }
+    }
+
+    /// True if `self` is the table-level resource covering `other`.
+    pub fn covers(&self, other: &ResourceId) -> bool {
+        match (self, other) {
+            (ResourceId::Table(a), ResourceId::Page(b, _) | ResourceId::Row(b, _)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceId::Table(t) => write!(f, "table#{}", t.0),
+            ResourceId::Page(t, p) => write!(f, "table#{}/page#{p}", t.0),
+            ResourceId::Row(t, s) => write!(f, "table#{}/row#{s}", t.0),
+            ResourceId::Named(n) => write!(f, "named#{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newtype_roundtrip() {
+        assert_eq!(TxnId(7).raw(), 7);
+        assert_eq!(StepTypeId(3).to_string(), "StepTypeId(3)");
+        assert!(TxnId(1) < TxnId(2));
+    }
+
+    #[test]
+    fn resource_table() {
+        let t = TableId(4);
+        assert_eq!(ResourceId::Table(t).table(), Some(t));
+        assert_eq!(ResourceId::Page(t, 9).table(), Some(t));
+        assert_eq!(ResourceId::Row(t, 10).table(), Some(t));
+        assert_eq!(ResourceId::Named(1).table(), None);
+    }
+
+    #[test]
+    fn resource_covers() {
+        let t = TableId(1);
+        assert!(ResourceId::Table(t).covers(&ResourceId::Page(t, 0)));
+        assert!(ResourceId::Table(t).covers(&ResourceId::Row(t, 5)));
+        assert!(!ResourceId::Table(t).covers(&ResourceId::Table(t)));
+        assert!(!ResourceId::Table(TableId(2)).covers(&ResourceId::Page(t, 0)));
+        assert!(!ResourceId::Page(t, 0).covers(&ResourceId::Row(t, 0)));
+    }
+
+    #[test]
+    fn resource_display() {
+        assert_eq!(ResourceId::Page(TableId(2), 7).to_string(), "table#2/page#7");
+        assert_eq!(ResourceId::Named(3).to_string(), "named#3");
+    }
+}

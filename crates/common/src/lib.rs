@@ -1,0 +1,26 @@
+//! Shared kernel types for the assertional concurrency control (ACC) workspace.
+//!
+//! This crate has no knowledge of transactions or locking; it provides the
+//! vocabulary every other crate speaks:
+//!
+//! * [`value`] — dynamically typed column values with a fixed-point
+//!   [`value::Decimal`] suitable for money and tax rates,
+//! * [`ids`] — strongly typed identifiers for transactions, steps, tables and
+//!   lockable resources,
+//! * [`error`] — the workspace-wide [`error::Error`] type,
+//! * [`rng`] — seeded random generation, Zipf skew and the TPC-C `NURand`
+//!   non-uniform distribution,
+//! * [`clock`] — a clock abstraction shared by the real engine (wall clock)
+//!   and the discrete-event simulator (virtual clock).
+
+pub mod clock;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{
+    AssertionTemplateId, PageNo, ResourceId, Slot, StepTypeId, TableId, TxnId, TxnTypeId,
+};
+pub use value::{Decimal, Value};

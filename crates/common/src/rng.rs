@@ -1,0 +1,283 @@
+//! Seeded random generation and the skewed distributions the experiments need.
+//!
+//! Every experiment in this workspace is deterministic given a seed. The
+//! hotspot experiments (paper Fig. 2) skew the district-selection distribution
+//! with [`Zipf`]; the TPC-C input generator uses [`NuRand`], the benchmark's
+//! non-uniform distribution (TPC-C spec clause 2.1.6).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seedable RNG with the handful of helpers the workspace uses.
+///
+/// Wraps [`rand::rngs::StdRng`] so the `rand` API surface is confined to this
+/// module. Not `Clone` (deliberately, matching `StdRng`): derive independent
+/// streams with [`SeededRng::fork`] instead.
+#[derive(Debug)]
+pub struct SeededRng {
+    inner: StdRng,
+}
+
+impl SeededRng {
+    /// Deterministic RNG from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn int_range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        self.inner.random_range(lo..=hi)
+    }
+
+    /// Uniform `usize` in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0);
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random_range(0.0..1.0)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (inverse-CDF
+    /// sampling); used for think times in the closed-loop simulator.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Random alphanumeric string with length uniform in `[lo, hi]`.
+    pub fn alnum_string(&mut self, lo: usize, hi: usize) -> String {
+        const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+        let len = self.inner.random_range(lo..=hi);
+        (0..len)
+            .map(|_| CHARS[self.inner.random_range(0..CHARS.len())] as char)
+            .collect()
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.random_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Derive an independent RNG (e.g. one per simulated terminal).
+    pub fn fork(&mut self) -> SeededRng {
+        SeededRng::new(self.inner.random())
+    }
+}
+
+/// Zipf-distributed sampler over `{0, 1, …, n-1}` with exponent `theta`.
+///
+/// `theta = 0` is uniform; larger `theta` concentrates probability on the low
+/// indices, which is how the hotspot experiments skew district selection.
+/// Sampling is O(log n) by binary search on the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` items with skew `theta ≥ 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over an empty domain");
+        assert!(theta >= 0.0, "negative Zipf exponent");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw an index in `[0, n)`.
+    pub fn sample(&self, rng: &mut SeededRng) -> usize {
+        let u = rng.f64();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the domain is a single item.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// The TPC-C `NURand(A, x, y)` non-uniform distribution (clause 2.1.6):
+/// `(((rand(0,A) | rand(x,y)) + C) % (y − x + 1)) + x`.
+#[derive(Debug, Clone, Copy)]
+pub struct NuRand {
+    /// The `A` constant: 255 for customer last names, 1023 for customer ids,
+    /// 8191 for item ids.
+    pub a: i64,
+    /// The per-field run-time constant `C`.
+    pub c: i64,
+}
+
+impl NuRand {
+    /// Build with an explicit `C` constant (tests use fixed values; the data
+    /// generator draws `C` once per field at population time).
+    pub fn new(a: i64, c: i64) -> Self {
+        NuRand { a, c }
+    }
+
+    /// Draw a value in `[x, y]`.
+    pub fn sample(&self, rng: &mut SeededRng, x: i64, y: i64) -> i64 {
+        let lhs = rng.int_range(0, self.a);
+        let rhs = rng.int_range(x, y);
+        (((lhs | rhs) + self.c) % (y - x + 1)) + x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = SeededRng::new(42);
+        let mut b = SeededRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.int_range(0, 1000), b.int_range(0, 1000));
+        }
+    }
+
+    #[test]
+    fn int_range_inclusive_bounds() {
+        let mut rng = SeededRng::new(1);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            let v = rng.int_range(3, 5);
+            assert!((3..=5).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 5;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn exponential_mean_roughly_right() {
+        let mut rng = SeededRng::new(7);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exponential(10.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean was {mean}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SeededRng::new(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1500..2500).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_low_indices() {
+        let z = Zipf::new(10, 1.5);
+        let mut rng = SeededRng::new(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 5, "counts {counts:?}");
+        assert!(counts[0] > 6000, "counts {counts:?}");
+    }
+
+    #[test]
+    fn zipf_samples_in_domain() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SeededRng::new(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn nurand_in_range() {
+        let nr = NuRand::new(1023, 77);
+        let mut rng = SeededRng::new(5);
+        for _ in 0..5000 {
+            let v = nr.sample(&mut rng, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_nonuniform() {
+        // The OR in NURand biases each of the low 8 bits toward one
+        // (P(bit)=0.75), so values whose low byte is 0xFF occur with
+        // probability ≈ 0.75^8 ≈ 0.1; a uniform draw over [0,999] would give
+        // 3/1000 = 0.003.
+        let nr = NuRand::new(255, 0);
+        let mut rng = SeededRng::new(11);
+        let n = 30_000;
+        let all_ones = (0..n)
+            .filter(|_| nr.sample(&mut rng, 0, 999) % 256 == 255)
+            .count();
+        let frac = all_ones as f64 / n as f64;
+        assert!(frac > 0.05, "0xFF-low-byte fraction {frac}");
+    }
+
+    #[test]
+    fn alnum_string_length() {
+        let mut rng = SeededRng::new(2);
+        for _ in 0..100 {
+            let s = rng.alnum_string(8, 16);
+            assert!((8..=16).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SeededRng::new(4);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut root = SeededRng::new(6);
+        let mut a = root.fork();
+        let mut b = root.fork();
+        let va: Vec<i64> = (0..10).map(|_| a.int_range(0, 1_000_000)).collect();
+        let vb: Vec<i64> = (0..10).map(|_| b.int_range(0, 1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,325 @@
+//! Dynamically typed column values.
+//!
+//! The storage layer is schema-checked but rows are held as vectors of
+//! [`Value`]. Money and rates use [`Decimal`], a scale-4 fixed-point integer
+//! (1 unit = 10⁻⁴), which is exact for every amount TPC-C manipulates.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Fixed-point decimal with four fractional digits.
+///
+/// `Decimal::from_units(12345)` is `1.2345`; `Decimal::from_int(3)` is `3.0000`.
+/// Arithmetic is plain integer arithmetic on the underlying units and panics
+/// on overflow in debug builds, exactly like Rust integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Decimal(i64);
+
+impl Decimal {
+    /// Number of fractional digits.
+    pub const SCALE: u32 = 4;
+    /// Multiplier between whole numbers and internal units.
+    pub const UNIT: i64 = 10_000;
+    /// Zero.
+    pub const ZERO: Decimal = Decimal(0);
+
+    /// Build from raw scale-4 units.
+    #[inline]
+    pub const fn from_units(units: i64) -> Self {
+        Decimal(units)
+    }
+
+    /// Build from a whole number.
+    #[inline]
+    pub const fn from_int(n: i64) -> Self {
+        Decimal(n * Self::UNIT)
+    }
+
+    /// Build from cents (two fractional digits), the granularity of most
+    /// TPC-C money fields.
+    #[inline]
+    pub const fn from_cents(cents: i64) -> Self {
+        Decimal(cents * 100)
+    }
+
+    /// Raw scale-4 units.
+    #[inline]
+    pub const fn units(self) -> i64 {
+        self.0
+    }
+
+    /// Truncating conversion to a whole number.
+    #[inline]
+    pub const fn trunc(self) -> i64 {
+        self.0 / Self::UNIT
+    }
+
+    /// Multiply by an integer quantity.
+    #[inline]
+    pub fn mul_int(self, n: i64) -> Decimal {
+        Decimal(self.0 * n)
+    }
+}
+
+impl std::ops::Mul for Decimal {
+    type Output = Decimal;
+    /// Multiply two decimals, truncating to scale 4. Intermediate math is
+    /// done in `i128` so products of realistic money amounts never overflow.
+    #[inline]
+    fn mul(self, rhs: Decimal) -> Decimal {
+        Decimal(((self.0 as i128 * rhs.0 as i128) / Self::UNIT as i128) as i64)
+    }
+}
+
+impl std::ops::Add for Decimal {
+    type Output = Decimal;
+    #[inline]
+    fn add(self, rhs: Decimal) -> Decimal {
+        Decimal(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::Sub for Decimal {
+    type Output = Decimal;
+    #[inline]
+    fn sub(self, rhs: Decimal) -> Decimal {
+        Decimal(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Decimal {
+    #[inline]
+    fn add_assign(&mut self, rhs: Decimal) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::SubAssign for Decimal {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Decimal) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl std::iter::Sum for Decimal {
+    fn sum<I: Iterator<Item = Decimal>>(iter: I) -> Decimal {
+        iter.fold(Decimal::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        write!(
+            f,
+            "{sign}{}.{:04}",
+            abs / Decimal::UNIT as u64,
+            abs % Decimal::UNIT as u64
+        )
+    }
+}
+
+/// A single column value.
+///
+/// `Null` compares less than every non-null value so keys containing nulls
+/// still have a total order; the storage layer forbids nulls in key columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// Variable-length string.
+    Str(String),
+    /// Scale-4 fixed-point decimal.
+    Decimal(Decimal),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Mnemonic constructor for strings.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// The integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The decimal inside, if this is a `Decimal`.
+    pub fn as_decimal(&self) -> Option<Decimal> {
+        match self {
+            Value::Decimal(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Rank used to order values of different runtime types.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Decimal(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Decimal(a), Decimal(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            // Mixed types: order by type rank. Schema checking makes this
+            // unreachable in practice but a total order keeps BTree keys sane.
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Decimal(d) => write!(f, "{d}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Int(n)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<Decimal> for Value {
+    fn from(d: Decimal) -> Value {
+        Value::Decimal(d)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_display() {
+        assert_eq!(Decimal::from_units(12345).to_string(), "1.2345");
+        assert_eq!(Decimal::from_units(-12345).to_string(), "-1.2345");
+        assert_eq!(Decimal::from_int(7).to_string(), "7.0000");
+        assert_eq!(Decimal::from_cents(1999).to_string(), "19.9900");
+        assert_eq!(Decimal::ZERO.to_string(), "0.0000");
+    }
+
+    #[test]
+    fn decimal_arithmetic() {
+        let a = Decimal::from_cents(150); // 1.50
+        let b = Decimal::from_cents(250); // 2.50
+        assert_eq!(a + b, Decimal::from_cents(400));
+        assert_eq!(b - a, Decimal::from_cents(100));
+        assert_eq!(a.mul_int(3), Decimal::from_cents(450));
+        // 1.5 * 2.5 = 3.75
+        assert_eq!(a * b, Decimal::from_units(37_500));
+        assert_eq!(Decimal::from_cents(450).trunc(), 4);
+    }
+
+    #[test]
+    fn decimal_sum() {
+        let total: Decimal = (1..=4).map(Decimal::from_int).sum();
+        assert_eq!(total, Decimal::from_int(10));
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(
+            Value::from(Decimal::from_int(2)).as_decimal(),
+            Some(Decimal::from_int(2))
+        );
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::Int(5).as_str(), None);
+    }
+
+    #[test]
+    fn value_ordering_same_type() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("a") < Value::str("b"));
+        assert!(Value::from(Decimal::from_int(1)) < Value::from(Decimal::from_int(2)));
+    }
+
+    #[test]
+    fn value_ordering_null_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::str(""));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("hi").to_string(), "'hi'");
+    }
+}

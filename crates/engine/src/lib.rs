@@ -1,0 +1,20 @@
+//! Execution frontends over the transaction runtime.
+//!
+//! * [`stepper`] — a deterministic, single-threaded scheduler that explores
+//!   step-level interleavings reproducibly (seeded). Because ACC steps are
+//!   atomic and isolated, *every* concurrent schedule is equivalent to some
+//!   serial schedule of steps (§3.1), so exploring serial step schedules
+//!   covers the full behaviour space. This is the semantic-correctness test
+//!   oracle.
+//! * [`threaded`] — a real multi-threaded closed-loop engine: N terminal
+//!   threads submitting transactions against the shared system, measuring
+//!   wall-clock response times.
+//! * [`stats`] — latency/throughput accounting shared by both.
+
+pub mod stats;
+pub mod stepper;
+pub mod threaded;
+
+pub use stats::{LatencyStats, StatsCollector};
+pub use stepper::{Stepper, StepperConfig, StepperReport};
+pub use threaded::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport, Workload};

@@ -1,0 +1,125 @@
+//! Latency and throughput accounting.
+
+use acc_common::clock::SimTime;
+use parking_lot::Mutex;
+
+/// Summary statistics over a set of latencies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// Maximum.
+    pub max_ms: f64,
+}
+
+impl LatencyStats {
+    /// Compute from raw samples (microseconds). Empty input produces zeros.
+    pub fn from_micros(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return LatencyStats {
+                count: 0,
+                mean_ms: 0.0,
+                p50_ms: 0.0,
+                p95_ms: 0.0,
+                max_ms: 0.0,
+            };
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let sum: u64 = samples.iter().sum();
+        let pct = |p: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * p).round() as usize;
+            samples[idx] as f64 / 1000.0
+        };
+        LatencyStats {
+            count,
+            mean_ms: sum as f64 / count as f64 / 1000.0,
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            max_ms: *samples.last().expect("non-empty") as f64 / 1000.0,
+        }
+    }
+}
+
+/// Thread-safe sample sink used by the closed-loop engine.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    samples: Mutex<Vec<u64>>,
+    committed: Mutex<u64>,
+    aborted: Mutex<u64>,
+}
+
+impl StatsCollector {
+    /// Fresh collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one committed transaction's response time.
+    pub fn record_commit(&self, start: SimTime, end: SimTime) {
+        self.samples.lock().push(end.since(start).as_micros());
+        *self.committed.lock() += 1;
+    }
+
+    /// Record a rollback (counts toward aborts, not latency).
+    pub fn record_abort(&self) {
+        *self.aborted.lock() += 1;
+    }
+
+    /// Commits recorded so far.
+    pub fn committed(&self) -> u64 {
+        *self.committed.lock()
+    }
+
+    /// Aborts recorded so far.
+    pub fn aborted(&self) -> u64 {
+        *self.aborted.lock()
+    }
+
+    /// Snapshot the latency distribution.
+    pub fn latency(&self) -> LatencyStats {
+        LatencyStats::from_micros(self.samples.lock().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = LatencyStats::from_micros(vec![]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let samples: Vec<u64> = (1..=100).map(|i| i * 1000).collect(); // 1..100 ms
+        let s = LatencyStats::from_micros(samples);
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ms - 50.5).abs() < 0.01);
+        assert!((s.p50_ms - 50.0).abs() <= 1.0);
+        assert!((s.p95_ms - 95.0).abs() <= 1.0);
+        assert_eq!(s.max_ms, 100.0);
+    }
+
+    #[test]
+    fn collector_accumulates() {
+        let c = StatsCollector::new();
+        c.record_commit(SimTime::from_millis(0), SimTime::from_millis(10));
+        c.record_commit(SimTime::from_millis(5), SimTime::from_millis(25));
+        c.record_abort();
+        assert_eq!(c.committed(), 2);
+        assert_eq!(c.aborted(), 1);
+        let l = c.latency();
+        assert_eq!(l.count, 2);
+        assert!((l.mean_ms - 15.0).abs() < 0.01);
+    }
+}

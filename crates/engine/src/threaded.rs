@@ -1,0 +1,108 @@
+//! The multi-threaded closed-loop engine: one thread per terminal, each
+//! cycling think-time → submit → measure, against the shared system.
+//!
+//! This is the wall-clock counterpart of the paper's testbed (terminals
+//! connected to a warehouse). The deterministic figures come from `acc-sim`;
+//! this engine exists to demonstrate the same effects with real threads and
+//! to power the runnable examples.
+
+use crate::stats::{LatencyStats, StatsCollector};
+use acc_common::clock::{Clock, RealClock};
+use acc_common::rng::SeededRng;
+use acc_txn::{run, ConcurrencyControl, RunOutcome, SharedDb, TxnProgram, WaitMode};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Produces the stream of transaction programs a terminal submits.
+pub trait Workload: Send + Sync {
+    /// Generate the next transaction for a terminal.
+    fn next_program(&self, rng: &mut SeededRng) -> Box<dyn TxnProgram + Send>;
+}
+
+/// Closed-loop run parameters.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopConfig {
+    /// Number of terminal threads.
+    pub terminals: usize,
+    /// Wall-clock measurement duration.
+    pub duration: Duration,
+    /// Mean think time between transactions (exponentially distributed).
+    pub think_time: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Results of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopReport {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Rolled-back transactions (deadlock victims, user aborts, dooms).
+    pub aborted: u64,
+    /// Response-time distribution over committed transactions.
+    pub latency: LatencyStats,
+    /// Committed transactions per second.
+    pub throughput_tps: f64,
+}
+
+/// Drive `workload` from `config.terminals` threads for the configured
+/// duration. Rolled-back transactions are not resubmitted (the abort rate is
+/// part of the measurement).
+pub fn run_closed_loop(
+    shared: &Arc<SharedDb>,
+    cc: &Arc<dyn ConcurrencyControl>,
+    workload: &Arc<dyn Workload>,
+    config: &ClosedLoopConfig,
+) -> ClosedLoopReport {
+    let stats = Arc::new(StatsCollector::new());
+    let stop = Arc::new(AtomicBool::new(false));
+    let clock = Arc::new(RealClock::new());
+    let mut root_rng = SeededRng::new(config.seed);
+
+    let mut handles = Vec::with_capacity(config.terminals);
+    for _ in 0..config.terminals {
+        let shared = Arc::clone(shared);
+        let cc = Arc::clone(cc);
+        let workload = Arc::clone(workload);
+        let stats = Arc::clone(&stats);
+        let stop = Arc::clone(&stop);
+        let clock = Arc::clone(&clock);
+        let mut rng = root_rng.fork();
+        let think_us = config.think_time.as_micros() as f64;
+        handles.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if think_us > 0.0 {
+                    let t = rng.exponential(think_us);
+                    std::thread::sleep(Duration::from_micros(t as u64));
+                }
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let mut program = workload.next_program(&mut rng);
+                let start = clock.now();
+                match run(&shared, &*cc, program.as_mut(), WaitMode::Block) {
+                    Ok(RunOutcome::Committed { .. }) => {
+                        stats.record_commit(start, clock.now());
+                    }
+                    Ok(RunOutcome::RolledBack(_)) => stats.record_abort(),
+                    Err(e) => panic!("transaction failed hard: {e}"),
+                }
+            }
+        }));
+    }
+
+    std::thread::sleep(config.duration);
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().expect("terminal thread panicked");
+    }
+
+    let committed = stats.committed();
+    ClosedLoopReport {
+        committed,
+        aborted: stats.aborted(),
+        latency: stats.latency(),
+        throughput_tps: committed as f64 / config.duration.as_secs_f64(),
+    }
+}

@@ -1,0 +1,138 @@
+//! Conventional lock modes and their compatibility matrix.
+
+/// The five conventional (granular two-phase locking) modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Intention shared: will take `S` locks below this resource.
+    IS,
+    /// Intention exclusive: will take `X` locks below this resource.
+    IX,
+    /// Shared.
+    S,
+    /// Shared + intention exclusive.
+    SIX,
+    /// Exclusive.
+    X,
+}
+
+impl LockMode {
+    /// The classic compatibility matrix (Gray & Reuter); see
+    /// [`conv_compatible`].
+    pub fn compatible(self, other: LockMode) -> bool {
+        conv_compatible(self, other)
+    }
+
+    /// True if holding `self` implies holding `other` (mode dominance).
+    pub fn covers(self, other: LockMode) -> bool {
+        use LockMode::*;
+        self == other
+            || matches!(
+                (self, other),
+                (X, _) | (SIX, S | IX | IS) | (S, IS) | (IX, IS)
+            )
+    }
+
+    /// True for modes that announce an intent or ability to write.
+    pub fn is_write(self) -> bool {
+        matches!(self, LockMode::IX | LockMode::SIX | LockMode::X)
+    }
+
+    /// The weakest mode that covers both (used for upgrades: `S + IX = SIX`).
+    pub fn supremum(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self.covers(other) {
+            return self;
+        }
+        if other.covers(self) {
+            return other;
+        }
+        match (self, other) {
+            (S, IX) | (IX, S) | (S, SIX) | (SIX, S) | (IX, SIX) | (SIX, IX) => SIX,
+            _ => X,
+        }
+    }
+}
+
+/// Symmetric compatibility check, written as the full matrix for clarity.
+pub fn conv_compatible(a: LockMode, b: LockMode) -> bool {
+    use LockMode::*;
+    matches!(
+        (a, b),
+        (IS, IS | IX | S | SIX) | (IX, IS | IX) | (S, IS | S) | (SIX, IS)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LockMode::*;
+
+    const ALL: [LockMode; 5] = [IS, IX, S, SIX, X];
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(
+                    conv_compatible(a, b),
+                    conv_compatible(b, a),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn x_conflicts_with_everything() {
+        for m in ALL {
+            assert!(!conv_compatible(X, m));
+        }
+    }
+
+    #[test]
+    fn is_compatible_with_all_but_x() {
+        for m in [IS, IX, S, SIX] {
+            assert!(conv_compatible(IS, m));
+        }
+    }
+
+    #[test]
+    fn classic_entries() {
+        assert!(conv_compatible(S, S));
+        assert!(!conv_compatible(S, IX));
+        assert!(conv_compatible(IX, IX));
+        assert!(!conv_compatible(SIX, S));
+        assert!(!conv_compatible(SIX, SIX));
+        assert!(conv_compatible(SIX, IS));
+    }
+
+    #[test]
+    fn covers_is_reflexive_and_x_tops() {
+        for m in ALL {
+            assert!(m.covers(m));
+            assert!(X.covers(m));
+        }
+        assert!(SIX.covers(S));
+        assert!(SIX.covers(IX));
+        assert!(!S.covers(X));
+        assert!(!IX.covers(S));
+    }
+
+    #[test]
+    fn supremum_entries() {
+        assert_eq!(S.supremum(IX), SIX);
+        assert_eq!(S.supremum(X), X);
+        assert_eq!(IS.supremum(S), S);
+        assert_eq!(IX.supremum(IX), IX);
+        assert_eq!(SIX.supremum(X), X);
+    }
+
+    #[test]
+    fn write_modes() {
+        assert!(X.is_write());
+        assert!(IX.is_write());
+        assert!(SIX.is_write());
+        assert!(!S.is_write());
+        assert!(!IS.is_write());
+    }
+}

@@ -1,0 +1,111 @@
+//! The interference oracle: the lock manager's window onto the design-time
+//! interference tables.
+//!
+//! The paper's central implementation claim is that run-time conflict
+//! decisions for assertional locks are *table lookups*, never predicate
+//! evaluation (§3.2, contrast with predicate locks). The oracle trait is that
+//! lookup; `acc-core` implements it on top of the tables produced by the
+//! design-time analysis.
+
+use acc_common::{AssertionTemplateId, StepTypeId};
+
+/// Answers interference questions between step types and assertion templates.
+///
+/// Implementations must be cheap and pure: the lock manager calls these in
+/// its innermost compatibility loop.
+pub trait InterferenceOracle {
+    /// Would executing a step of type `step` possibly falsify assertion
+    /// template `assertion` by *writing* an item it references?
+    fn write_interferes(&self, step: StepTypeId, assertion: AssertionTemplateId) -> bool;
+
+    /// Would a *read* by a step of type `step` be unsound while `assertion`
+    /// is pinned on the item?
+    ///
+    /// Ordinary assertions return `false` here (reads never invalidate a
+    /// predicate). The `DIRTY` pseudo-template returns `true` for legacy /
+    /// unanalyzed step types, which is how multi-step transactions stay
+    /// invisible to transactions that were never analyzed (paper §3.3,
+    /// "legacy and ad hoc transactions").
+    fn read_interferes(&self, step: StepTypeId, assertion: AssertionTemplateId) -> bool;
+}
+
+/// An oracle that reports no interference anywhere: plain two-phase locking
+/// behaviour (assertional locks never conflict). Useful as the baseline and
+/// in lock-manager unit tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoInterference;
+
+impl InterferenceOracle for NoInterference {
+    fn write_interferes(&self, _: StepTypeId, _: AssertionTemplateId) -> bool {
+        false
+    }
+    fn read_interferes(&self, _: StepTypeId, _: AssertionTemplateId) -> bool {
+        false
+    }
+}
+
+/// An oracle that reports interference everywhere: maximally conservative,
+/// equivalent to treating every assertional lock as an exclusive lock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TotalInterference;
+
+impl InterferenceOracle for TotalInterference {
+    fn write_interferes(&self, _: StepTypeId, _: AssertionTemplateId) -> bool {
+        true
+    }
+    fn read_interferes(&self, _: StepTypeId, _: AssertionTemplateId) -> bool {
+        true
+    }
+}
+
+/// A closure-backed oracle for tests.
+pub struct FnOracle<W, R>
+where
+    W: Fn(StepTypeId, AssertionTemplateId) -> bool,
+    R: Fn(StepTypeId, AssertionTemplateId) -> bool,
+{
+    /// Write-interference decision.
+    pub write: W,
+    /// Read-interference decision.
+    pub read: R,
+}
+
+impl<W, R> InterferenceOracle for FnOracle<W, R>
+where
+    W: Fn(StepTypeId, AssertionTemplateId) -> bool,
+    R: Fn(StepTypeId, AssertionTemplateId) -> bool,
+{
+    fn write_interferes(&self, step: StepTypeId, assertion: AssertionTemplateId) -> bool {
+        (self.write)(step, assertion)
+    }
+    fn read_interferes(&self, step: StepTypeId, assertion: AssertionTemplateId) -> bool {
+        (self.read)(step, assertion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_oracles() {
+        let s = StepTypeId(1);
+        let a = AssertionTemplateId(2);
+        assert!(!NoInterference.write_interferes(s, a));
+        assert!(!NoInterference.read_interferes(s, a));
+        assert!(TotalInterference.write_interferes(s, a));
+        assert!(TotalInterference.read_interferes(s, a));
+    }
+
+    #[test]
+    fn fn_oracle_delegates() {
+        let o = FnOracle {
+            write: |s, _| s == StepTypeId(1),
+            read: |_, a| a == AssertionTemplateId(0),
+        };
+        assert!(o.write_interferes(StepTypeId(1), AssertionTemplateId(5)));
+        assert!(!o.write_interferes(StepTypeId(2), AssertionTemplateId(5)));
+        assert!(o.read_interferes(StepTypeId(9), AssertionTemplateId(0)));
+        assert!(!o.read_interferes(StepTypeId(9), AssertionTemplateId(1)));
+    }
+}

@@ -1,0 +1,121 @@
+//! Lock requests and the context that travels with them.
+
+use crate::mode::LockMode;
+use acc_common::{AssertionTemplateId, ResourceId, StepTypeId, TxnId};
+
+/// What kind of lock is being requested or held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    /// A conventional two-phase lock.
+    Conventional(LockMode),
+    /// An assertional lock pinning the named assertion template on the item.
+    Assertional(AssertionTemplateId),
+}
+
+impl LockKind {
+    /// Shorthand for `Conventional(S)`.
+    pub const S: LockKind = LockKind::Conventional(LockMode::S);
+    /// Shorthand for `Conventional(X)`.
+    pub const X: LockKind = LockKind::Conventional(LockMode::X);
+
+    /// The conventional mode inside, if any.
+    pub fn mode(&self) -> Option<LockMode> {
+        match self {
+            LockKind::Conventional(m) => Some(*m),
+            LockKind::Assertional(_) => None,
+        }
+    }
+
+    /// The assertion template inside, if any.
+    pub fn template(&self) -> Option<AssertionTemplateId> {
+        match self {
+            LockKind::Assertional(t) => Some(*t),
+            LockKind::Conventional(_) => None,
+        }
+    }
+
+    /// True for conventional locks (released at step end under the ACC).
+    pub fn is_conventional(&self) -> bool {
+        matches!(self, LockKind::Conventional(_))
+    }
+}
+
+/// Context carried by every request and remembered on every grant.
+///
+/// The oracle's decisions are functions of this context: the step type that
+/// made the request, the compensating step type the owning transaction would
+/// run if rolled back (compensation protection, §3.4), and whether the
+/// requester is currently *executing* a compensating step (deadlock victim
+/// inversion, §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestCtx {
+    /// Step type issuing the request.
+    pub step_type: StepTypeId,
+    /// Compensating step type of the owning transaction, if it is a
+    /// decomposed transaction with registered compensation. Carried on
+    /// write-acquired grants so future assertional requests can be screened.
+    pub comp_step: Option<StepTypeId>,
+    /// True while the owner is executing a compensating step.
+    pub compensating: bool,
+}
+
+impl RequestCtx {
+    /// Context for a plain (non-compensatable) step.
+    pub fn plain(step_type: StepTypeId) -> Self {
+        RequestCtx {
+            step_type,
+            comp_step: None,
+            compensating: false,
+        }
+    }
+}
+
+/// A lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Requesting transaction.
+    pub txn: TxnId,
+    /// Resource to lock.
+    pub resource: ResourceId,
+    /// Kind of lock.
+    pub kind: LockKind,
+    /// Request context.
+    pub ctx: RequestCtx,
+}
+
+impl Request {
+    /// Convenience constructor.
+    pub fn new(txn: TxnId, resource: ResourceId, kind: LockKind, ctx: RequestCtx) -> Self {
+        Request {
+            txn,
+            resource,
+            kind,
+            ctx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_accessors() {
+        assert_eq!(LockKind::S.mode(), Some(LockMode::S));
+        assert_eq!(LockKind::X.mode(), Some(LockMode::X));
+        assert!(LockKind::S.is_conventional());
+        let a = LockKind::Assertional(AssertionTemplateId(3));
+        assert_eq!(a.template(), Some(AssertionTemplateId(3)));
+        assert_eq!(a.mode(), None);
+        assert!(!a.is_conventional());
+        assert_eq!(LockKind::X.template(), None);
+    }
+
+    #[test]
+    fn plain_ctx() {
+        let c = RequestCtx::plain(StepTypeId(4));
+        assert_eq!(c.step_type, StepTypeId(4));
+        assert_eq!(c.comp_step, None);
+        assert!(!c.compensating);
+    }
+}

@@ -1,0 +1,126 @@
+//! Wait-for graph cycle detection.
+
+use acc_common::TxnId;
+use std::collections::{HashMap, HashSet};
+
+/// A wait-for graph: `waits[t]` is the set of transactions `t` is waiting on.
+#[derive(Debug, Default)]
+pub struct WaitForGraph {
+    edges: HashMap<TxnId, HashSet<TxnId>>,
+}
+
+impl WaitForGraph {
+    /// Build from an edge iterator.
+    pub fn from_edges(it: impl IntoIterator<Item = (TxnId, TxnId)>) -> Self {
+        let mut g = WaitForGraph::default();
+        for (a, b) in it {
+            if a != b {
+                g.edges.entry(a).or_default().insert(b);
+            }
+        }
+        g
+    }
+
+    /// Find a cycle containing `start`, if one exists. Returns the cycle's
+    /// members (starting at `start`, following wait-for edges).
+    pub fn cycle_through(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        // Iterative DFS remembering the path; the graph is small (bounded by
+        // the number of currently waiting transactions).
+        let mut path = vec![start];
+        let mut iters = vec![self.successors(start)];
+        let mut on_path: HashSet<TxnId> = [start].into();
+        let mut visited: HashSet<TxnId> = [start].into();
+
+        while let Some(iter) = iters.last_mut() {
+            match iter.next() {
+                Some(next) if next == start => {
+                    return Some(path);
+                }
+                Some(next) if !on_path.contains(&next) && !visited.contains(&next) => {
+                    visited.insert(next);
+                    on_path.insert(next);
+                    path.push(next);
+                    iters.push(self.successors(next));
+                }
+                Some(_) => {}
+                None => {
+                    iters.pop();
+                    if let Some(done) = path.pop() {
+                        on_path.remove(&done);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn successors(&self, t: TxnId) -> std::vec::IntoIter<TxnId> {
+        let mut v: Vec<TxnId> = self
+            .edges
+            .get(&t)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable(); // determinism
+        v.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+
+    #[test]
+    fn no_cycle() {
+        let g = WaitForGraph::from_edges([(t(1), t(2)), (t(2), t(3))]);
+        assert_eq!(g.cycle_through(t(1)), None);
+        assert_eq!(g.cycle_through(t(3)), None);
+    }
+
+    #[test]
+    fn two_cycle() {
+        let g = WaitForGraph::from_edges([(t(1), t(2)), (t(2), t(1))]);
+        let c = g.cycle_through(t(1)).unwrap();
+        assert_eq!(c, vec![t(1), t(2)]);
+    }
+
+    #[test]
+    fn three_cycle_from_any_member() {
+        let g = WaitForGraph::from_edges([(t(1), t(2)), (t(2), t(3)), (t(3), t(1))]);
+        for start in [1, 2, 3] {
+            let c = g.cycle_through(t(start)).unwrap();
+            assert_eq!(c.len(), 3);
+            assert_eq!(c[0], t(start));
+        }
+    }
+
+    #[test]
+    fn cycle_not_through_start_is_ignored() {
+        // 1 -> 2, and 2 <-> 3 form a cycle that does not include 1.
+        let g = WaitForGraph::from_edges([(t(1), t(2)), (t(2), t(3)), (t(3), t(2))]);
+        assert_eq!(g.cycle_through(t(1)), None);
+        assert!(g.cycle_through(t(2)).is_some());
+    }
+
+    #[test]
+    fn self_edges_dropped() {
+        let g = WaitForGraph::from_edges([(t(1), t(1))]);
+        assert_eq!(g.cycle_through(t(1)), None);
+    }
+
+    #[test]
+    fn branching_paths() {
+        // 1 -> {2, 3}; only the 3-path loops back.
+        let g = WaitForGraph::from_edges([
+            (t(1), t(2)),
+            (t(1), t(3)),
+            (t(3), t(4)),
+            (t(4), t(1)),
+        ]);
+        let c = g.cycle_through(t(1)).unwrap();
+        assert_eq!(c, vec![t(1), t(3), t(4)]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests for the lock manager.
+//!
+//! A random workload of requests/releases must never produce two conflicting
+//! grants on the same resource, and releasing everything must drain the
+//! table.
+
+use acc_common::{AssertionTemplateId, ResourceId, StepTypeId, TxnId};
+use acc_lockmgr::{
+    InterferenceOracle, LockKind, LockManager, LockMode, Request, RequestCtx, RequestOutcome,
+};
+use proptest::prelude::*;
+
+/// Deterministic "pseudo-random" interference table: step s interferes with
+/// template t iff (s + t) divisible by 3.
+struct HashOracle;
+
+impl InterferenceOracle for HashOracle {
+    fn write_interferes(&self, step: StepTypeId, assertion: AssertionTemplateId) -> bool {
+        (step.raw() + assertion.raw()).is_multiple_of(3)
+    }
+    fn read_interferes(&self, step: StepTypeId, assertion: AssertionTemplateId) -> bool {
+        (step.raw() + assertion.raw()).is_multiple_of(7)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Request {
+        txn: u64,
+        resource: u32,
+        kind_sel: u8,
+        step: u32,
+    },
+    ReleaseAll {
+        txn: u64,
+    },
+    ReleaseConventional {
+        txn: u64,
+    },
+    CancelWaiting {
+        txn: u64,
+    },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..6, 0u32..4, 0u8..8, 0u32..5).prop_map(|(txn, resource, kind_sel, step)| {
+            Op::Request {
+                txn,
+                resource,
+                kind_sel,
+                step,
+            }
+        }),
+        (0u64..6).prop_map(|txn| Op::ReleaseAll { txn }),
+        (0u64..6).prop_map(|txn| Op::ReleaseConventional { txn }),
+        (0u64..6).prop_map(|txn| Op::CancelWaiting { txn }),
+    ]
+}
+
+fn kind_of(sel: u8) -> LockKind {
+    match sel {
+        0 => LockKind::Conventional(LockMode::IS),
+        1 => LockKind::Conventional(LockMode::IX),
+        2 => LockKind::Conventional(LockMode::S),
+        3 => LockKind::Conventional(LockMode::SIX),
+        4 => LockKind::Conventional(LockMode::X),
+        n => LockKind::Assertional(AssertionTemplateId((n - 5) as u32)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_workload_preserves_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let oracle = HashOracle;
+        let mut lm = LockManager::new();
+        // Track which txns hold which (resource, kind, step) so we can check
+        // pairwise compatibility of everything granted.
+        let mut grants: Vec<(u64, u32, LockKind, u32)> = Vec::new();
+
+        let note_granted = |grants: &mut Vec<(u64, u32, LockKind, u32)>, txn: u64, r: u32, kind: LockKind, step: u32| {
+            grants.push((txn, r, kind, step));
+        };
+
+        // Remember queued requests so grant notices can be mapped back.
+        let mut queued: Vec<(u64, u64, u32, LockKind, u32)> = Vec::new(); // (ticket, txn, r, kind, step)
+
+        for op in &ops {
+            match *op {
+                Op::Request { txn, resource, kind_sel, step } => {
+                    let kind = kind_of(kind_sel);
+                    let req = Request::new(
+                        TxnId(txn),
+                        ResourceId::Named(resource),
+                        kind,
+                        RequestCtx::plain(StepTypeId(step)),
+                    );
+                    match lm.request(req, &oracle) {
+                        RequestOutcome::Granted => note_granted(&mut grants, txn, resource, kind, step),
+                        RequestOutcome::Waiting(t) => queued.push((t.0, txn, resource, kind, step)),
+                        RequestOutcome::Deadlock { victims, ticket } => {
+                            prop_assert!(ticket.is_none());
+                            prop_assert_eq!(victims, vec![TxnId(txn)]);
+                            // Resolve like the runtime would: abort the victim.
+                            lm.release_all(TxnId(txn), &oracle);
+                            grants.retain(|g| g.0 != txn);
+                            queued.retain(|q| q.1 != txn);
+                        }
+                    }
+                }
+                Op::ReleaseAll { txn } => {
+                    let notices = lm.release_all(TxnId(txn), &oracle);
+                    grants.retain(|g| g.0 != txn);
+                    queued.retain(|q| q.1 != txn);
+                    for n in notices {
+                        let i = queued.iter().position(|q| q.0 == n.ticket.0);
+                        prop_assert!(i.is_some(), "grant notice for unknown ticket");
+                        let q = queued.remove(i.unwrap());
+                        note_granted(&mut grants, q.1, q.2, q.3, q.4);
+                    }
+                }
+                Op::ReleaseConventional { txn } => {
+                    let notices = lm.release_where(TxnId(txn), &oracle, |k, _| k.is_conventional());
+                    grants.retain(|g| !(g.0 == txn && g.2.is_conventional()));
+                    for n in notices {
+                        let i = queued.iter().position(|q| q.0 == n.ticket.0);
+                        prop_assert!(i.is_some(), "grant notice for unknown ticket");
+                        let q = queued.remove(i.unwrap());
+                        note_granted(&mut grants, q.1, q.2, q.3, q.4);
+                    }
+                }
+                Op::CancelWaiting { txn } => {
+                    let notices = lm.cancel_waiting(TxnId(txn), &oracle);
+                    queued.retain(|q| q.1 != txn);
+                    for n in notices {
+                        let i = queued.iter().position(|q| q.0 == n.ticket.0);
+                        prop_assert!(i.is_some(), "grant notice for unknown ticket");
+                        let q = queued.remove(i.unwrap());
+                        note_granted(&mut grants, q.1, q.2, q.3, q.4);
+                    }
+                }
+            }
+
+            // Invariant: all co-granted conventional locks on a resource are
+            // pairwise compatible across transactions (mode dominance makes
+            // our mirror an over-approximation for same-txn upgrades, so we
+            // only check across txns and take each txn's strongest mode).
+            for i in 0..grants.len() {
+                for j in (i + 1)..grants.len() {
+                    let (ta, ra, ka, _) = grants[i];
+                    let (tb, rb, kb, _) = grants[j];
+                    if ta == tb || ra != rb {
+                        continue;
+                    }
+                    if let (LockKind::Conventional(ma), LockKind::Conventional(mb)) = (ka, kb) {
+                        // The manager may have upgraded a grant; query it for
+                        // the authoritative answer.
+                        if lm.holds(TxnId(ta), ResourceId::Named(ra), ka)
+                            && lm.holds(TxnId(tb), ResourceId::Named(rb), kb)
+                        {
+                            prop_assert!(
+                                ma.compatible(mb),
+                                "incompatible co-grants: txn{ta} {ma:?} vs txn{tb} {mb:?} on {ra}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Drain: releasing every transaction empties the table.
+        for txn in 0..6u64 {
+            lm.release_all(TxnId(txn), &oracle);
+        }
+        prop_assert_eq!(lm.total_grants(), 0);
+        for txn in 0..6u64 {
+            prop_assert!(!lm.is_waiting(TxnId(txn)));
+            prop_assert!(lm.held_resources(TxnId(txn)).is_empty());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic discrete-event simulation of the paper's testbed.
+//!
+//! The paper's experiments ran TPC-C terminals against Open Ingres with 1–3
+//! database server processes and measured mean response time and throughput
+//! as lock contention grew (§5). This crate reproduces that setup as a
+//! closed queueing network:
+//!
+//! * **terminals** — closed loop: think (exponential) → submit → wait for
+//!   completion (§5.2 "degree of concurrency");
+//! * **servers** — `k` CPU units with one FCFS queue: every SQL statement is
+//!   a service demand (§5.3 "three database servers", and the 1-server
+//!   experiment where the server is the bottleneck);
+//! * **locks** — the *real* [`acc_lockmgr::LockManager`], fed by transaction
+//!   *traces* (the per-statement resource/mode/assertion footprint that the
+//!   TPC-C generator derives from the same decomposition the live engine
+//!   uses);
+//! * **cost model** — per-statement CPU, lock-op overhead, the ACC's extra
+//!   per-lock and end-of-step costs (the overhead that makes ACC *lose*
+//!   below the ≈20-terminal crossover in Fig. 2), and injected inter-
+//!   statement compute time (Fig. 3).
+//!
+//! Everything is seeded: a (config, seed) pair always produces bit-identical
+//! results.
+
+pub mod driver;
+pub mod metrics;
+pub mod trace;
+
+pub use driver::{CcMode, CostModel, SimConfig, Simulator};
+pub use metrics::SimReport;
+pub use trace::{Op, StepTrace, TraceSource, TxnTrace};

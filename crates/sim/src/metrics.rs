@@ -1,0 +1,116 @@
+//! Simulation metrics.
+
+use acc_common::clock::SimTime;
+
+/// One finished transaction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Completion {
+    pub submit: SimTime,
+    pub finish: SimTime,
+    pub committed: bool,
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Transactions finishing after warm-up.
+    pub completed: usize,
+    /// Of those, committed (the rest self-aborted per the workload).
+    pub committed: usize,
+    /// Mean response time over all completions, milliseconds.
+    pub mean_response_ms: f64,
+    /// 95th-percentile response time, milliseconds.
+    pub p95_response_ms: f64,
+    /// Committed transactions per simulated second.
+    pub throughput_tps: f64,
+    /// Deadlock victim events (diagnostic).
+    pub deadlocks: usize,
+    /// Mean server utilisation in [0, 1].
+    pub server_utilisation: f64,
+}
+
+pub(crate) struct MetricsCollector {
+    warmup: SimTime,
+    completions: Vec<Completion>,
+    pub deadlocks: usize,
+    pub busy_time: u64,
+}
+
+impl MetricsCollector {
+    pub fn new(warmup: SimTime) -> Self {
+        MetricsCollector {
+            warmup,
+            completions: Vec::new(),
+            deadlocks: 0,
+            busy_time: 0,
+        }
+    }
+
+    pub fn record(&mut self, c: Completion) {
+        if c.finish >= self.warmup {
+            self.completions.push(c);
+        }
+    }
+
+    pub fn report(&self, end: SimTime, servers: usize) -> SimReport {
+        let completed = self.completions.len();
+        let committed = self.completions.iter().filter(|c| c.committed).count();
+        let mut rts: Vec<u64> = self
+            .completions
+            .iter()
+            .map(|c| c.finish.since(c.submit).as_micros())
+            .collect();
+        rts.sort_unstable();
+        let mean_response_ms = if rts.is_empty() {
+            0.0
+        } else {
+            rts.iter().sum::<u64>() as f64 / rts.len() as f64 / 1000.0
+        };
+        let p95_response_ms = if rts.is_empty() {
+            0.0
+        } else {
+            rts[((rts.len() - 1) as f64 * 0.95).round() as usize] as f64 / 1000.0
+        };
+        let measured = end.since(self.warmup).as_micros().max(1) as f64 / 1e6;
+        SimReport {
+            completed,
+            committed,
+            mean_response_ms,
+            p95_response_ms,
+            throughput_tps: committed as f64 / measured,
+            deadlocks: self.deadlocks,
+            server_utilisation: self.busy_time as f64
+                / (end.as_micros().max(1) as f64 * servers as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_filters_and_stats_aggregate() {
+        let mut m = MetricsCollector::new(SimTime::from_millis(100));
+        m.record(Completion {
+            submit: SimTime::ZERO,
+            finish: SimTime::from_millis(50), // during warmup: dropped
+            committed: true,
+        });
+        m.record(Completion {
+            submit: SimTime::from_millis(100),
+            finish: SimTime::from_millis(110),
+            committed: true,
+        });
+        m.record(Completion {
+            submit: SimTime::from_millis(120),
+            finish: SimTime::from_millis(150),
+            committed: false,
+        });
+        let r = m.report(SimTime::from_millis(1100), 2);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.committed, 1);
+        assert!((r.mean_response_ms - 20.0).abs() < 1e-9);
+        assert!((r.throughput_tps - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,169 @@
+//! Transaction traces: the access-pattern skeleton a simulated transaction
+//! executes.
+//!
+//! A trace is derived from the same decomposition the live engine runs: each
+//! [`Op`] is one SQL statement — the resource it locks, whether it writes,
+//! its CPU demand, any injected compute time before it (paper Fig. 3), and
+//! the assertion templates the ACC attaches on the access.
+
+use acc_common::clock::SimTime;
+use acc_common::rng::SeededRng;
+use acc_common::{AssertionTemplateId, ResourceId, StepTypeId, TxnTypeId};
+use acc_lockmgr::LockMode;
+
+/// One statement's footprint.
+#[derive(Debug, Clone)]
+pub struct Op {
+    /// The locks this statement takes, in order — typically a page lock plus
+    /// a table intention lock, or a table-level lock for a scan.
+    pub locks: Vec<(ResourceId, LockMode)>,
+    /// CPU service demand at a database server.
+    pub cpu: SimTime,
+    /// Compute time the *terminal/application* spends before issuing this
+    /// statement — elapses while all currently held locks stay held, without
+    /// occupying a server (Fig. 3's "compute time between successive SQL
+    /// statements").
+    pub compute_before: SimTime,
+    /// Assertion templates attached to every locked resource under the ACC.
+    pub templates: Vec<AssertionTemplateId>,
+}
+
+impl Op {
+    /// A plain single-resource read.
+    pub fn read(resource: ResourceId, cpu: SimTime) -> Op {
+        Op {
+            locks: vec![(resource, LockMode::S)],
+            cpu,
+            compute_before: SimTime::ZERO,
+            templates: Vec::new(),
+        }
+    }
+
+    /// A plain single-resource write.
+    pub fn write(resource: ResourceId, cpu: SimTime) -> Op {
+        Op {
+            locks: vec![(resource, LockMode::X)],
+            cpu,
+            compute_before: SimTime::ZERO,
+            templates: Vec::new(),
+        }
+    }
+
+    /// Add another lock (e.g. a table intention lock).
+    pub fn with_lock(mut self, resource: ResourceId, mode: LockMode) -> Op {
+        self.locks.push((resource, mode));
+        self
+    }
+
+    /// Add inter-statement compute time.
+    pub fn with_compute(mut self, t: SimTime) -> Op {
+        self.compute_before = t;
+        self
+    }
+
+    /// Attach assertion templates (ACC mode).
+    pub fn with_templates(mut self, ts: Vec<AssertionTemplateId>) -> Op {
+        self.templates = ts;
+        self
+    }
+
+    /// True if any lock is a write-class mode.
+    pub fn is_write(&self) -> bool {
+        self.locks.iter().any(|(_, m)| m.is_write())
+    }
+}
+
+/// One step of a decomposed transaction.
+#[derive(Debug, Clone)]
+pub struct StepTrace {
+    /// The design-time step type (drives interference lookups).
+    pub step_type: StepTypeId,
+    /// The step's statements, in order.
+    pub ops: Vec<Op>,
+}
+
+/// A whole transaction's trace.
+#[derive(Debug, Clone)]
+pub struct TxnTrace {
+    /// The transaction type (reporting only).
+    pub txn_type: TxnTypeId,
+    /// Steps in order. Under 2PL the step structure is ignored (locks are
+    /// held to commit); under the ACC conventional locks drop at each step
+    /// boundary.
+    pub steps: Vec<StepTrace>,
+    /// Compensating step type, carried on DIRTY pins (compensation
+    /// protection).
+    pub comp_step: Option<StepTypeId>,
+    /// The uncommitted-data guard template pinned on written items (held to
+    /// commit). Template 0 (`DIRTY`) unless the workload assigns a
+    /// type-specific guard.
+    pub guard: AssertionTemplateId,
+    /// If set, the transaction aborts itself after completing this many
+    /// steps (TPC-C's 1 % new-order aborts): compensation (ACC) or physical
+    /// undo (2PL) follows.
+    pub abort_after_step: Option<usize>,
+}
+
+impl TxnTrace {
+    /// Total statement count.
+    pub fn n_ops(&self) -> usize {
+        self.steps.iter().map(|s| s.ops.len()).sum()
+    }
+
+    /// The write ops of the first `n_steps` steps, reversed — the skeleton
+    /// of a compensating step (it relocks and rewrites what the forward
+    /// steps wrote).
+    pub fn compensation_ops(&self, n_steps: usize) -> Vec<Op> {
+        self.steps[..n_steps.min(self.steps.len())]
+            .iter()
+            .flat_map(|s| s.ops.iter().filter(|o| o.is_write()).cloned())
+            .rev()
+            .map(|mut o| {
+                o.compute_before = SimTime::ZERO;
+                o.templates.clear();
+                o
+            })
+            .collect()
+    }
+}
+
+/// Generates the stream of traces a terminal submits.
+pub trait TraceSource: Send {
+    /// The next transaction.
+    fn next_trace(&mut self, rng: &mut SeededRng) -> TxnTrace;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compensation_skeleton_reverses_writes() {
+        let r = |n| ResourceId::Named(n);
+        let t = TxnTrace {
+            txn_type: TxnTypeId(0),
+            steps: vec![
+                StepTrace {
+                    step_type: StepTypeId(1),
+                    ops: vec![Op::read(r(1), SimTime::ZERO), Op::write(r(2), SimTime::ZERO)],
+                },
+                StepTrace {
+                    step_type: StepTypeId(2),
+                    ops: vec![Op::write(r(3), SimTime::ZERO).with_compute(SimTime::from_millis(5))],
+                },
+            ],
+            comp_step: Some(StepTypeId(9)),
+            guard: AssertionTemplateId(0),
+            abort_after_step: None,
+        };
+        assert_eq!(t.n_ops(), 3);
+        let comp = t.compensation_ops(2);
+        assert_eq!(comp.len(), 2);
+        assert_eq!(comp[0].locks[0].0, r(3));
+        assert_eq!(comp[1].locks[0].0, r(2));
+        assert_eq!(comp[0].compute_before, SimTime::ZERO, "compute stripped");
+        let comp1 = t.compensation_ops(1);
+        assert_eq!(comp1.len(), 1);
+        assert_eq!(comp1[0].locks[0].0, r(2));
+    }
+}

@@ -1,0 +1,122 @@
+//! Exact cost-model arithmetic: with one terminal, zero think time and no
+//! contention, a transaction's simulated response time is a deterministic
+//! sum — verify it to the microsecond for both systems.
+
+use acc_common::clock::SimTime;
+use acc_common::rng::SeededRng;
+use acc_common::{AssertionTemplateId, ResourceId, StepTypeId, TxnTypeId};
+use acc_lockmgr::NoInterference;
+use acc_sim::{CcMode, CostModel, Op, SimConfig, Simulator, StepTrace, TraceSource, TxnTrace};
+
+/// Two steps: [read r1, write r2] and [write r3 with 2 ms compute and one
+/// attached template].
+struct Fixed;
+
+impl TraceSource for Fixed {
+    fn next_trace(&mut self, _rng: &mut SeededRng) -> TxnTrace {
+        let cpu = SimTime::from_millis(5);
+        TxnTrace {
+            txn_type: TxnTypeId(0),
+            steps: vec![
+                StepTrace {
+                    step_type: StepTypeId(1),
+                    ops: vec![
+                        Op::read(ResourceId::Named(1), cpu),
+                        Op::write(ResourceId::Named(2), cpu),
+                    ],
+                },
+                StepTrace {
+                    step_type: StepTypeId(2),
+                    ops: vec![Op::write(ResourceId::Named(3), cpu)
+                        .with_compute(SimTime::from_millis(2))
+                        .with_templates(vec![AssertionTemplateId(1)])],
+                },
+            ],
+            comp_step: None,
+            guard: AssertionTemplateId(0),
+            abort_after_step: None,
+        }
+    }
+}
+
+fn run(mode: CcMode, costs: CostModel) -> acc_sim::SimReport {
+    let mut source = Fixed;
+    let config = SimConfig {
+        mode,
+        servers: 1,
+        terminals: 1,
+        think_time: SimTime::ZERO,
+        duration: SimTime::from_micros(10_000_000),
+        warmup: SimTime::ZERO,
+        seed: 1,
+        costs,
+        release_at_step_end: true,
+        two_level_templates: Vec::new(),
+    };
+    Simulator::new(config, &NoInterference, &mut source).run()
+}
+
+fn costs() -> CostModel {
+    CostModel {
+        lock_op: SimTime::from_micros(100),
+        assert_op: SimTime::from_micros(200),
+        step_end: SimTime::from_micros(1000),
+        deadlock_backoff: SimTime::from_millis(4),
+        undo_op: SimTime::from_micros(500),
+    }
+}
+
+#[test]
+fn two_phase_response_is_exact() {
+    // Per op: 5000 (cpu) + 100 (one lock). Three ops + 2000 compute.
+    // No ACC costs in 2PL mode.
+    let expected_us = 3 * (5000 + 100) + 2000;
+    let r = run(CcMode::TwoPhase, costs());
+    assert!(r.completed > 100);
+    assert_eq!(
+        (r.mean_response_ms * 1000.0).round() as u64,
+        expected_us,
+        "{r:?}"
+    );
+    // Utilisation = cpu-busy / elapsed: busy excludes the 2 ms compute.
+    let busy_frac = (3.0 * 5.1) / (3.0 * 5.1 + 2.0);
+    assert!((r.server_utilisation - busy_frac).abs() < 0.01, "{r:?}");
+}
+
+#[test]
+fn acc_response_adds_overheads_exactly() {
+    // Op 1 (read): 5000 + 100.
+    // Op 2 (write): 5000 + 100 + 200 (guard pin) + 1000 (end of step 1).
+    // Op 3 (write): 2000 compute + 5000 + 100 + 200 (guard) + 200 (template)
+    //               + 1000 (end of step 2).
+    let expected_us = (5000 + 100) + (5000 + 100 + 200 + 1000) + (2000 + 5000 + 100 + 400 + 1000);
+    let r = run(CcMode::Acc, costs());
+    assert_eq!(
+        (r.mean_response_ms * 1000.0).round() as u64,
+        expected_us,
+        "{r:?}"
+    );
+}
+
+#[test]
+fn acc_exceeds_two_phase_by_the_overhead_delta() {
+    let two = run(CcMode::TwoPhase, costs());
+    let acc = run(CcMode::Acc, costs());
+    let delta_us =
+        ((acc.mean_response_ms - two.mean_response_ms) * 1000.0).round() as i64;
+    // 2 step-end records + 2 guard pins + 1 template attach = 2×1000 + 3×200.
+    assert_eq!(delta_us, 2 * 1000 + 3 * 200);
+}
+
+#[test]
+fn zero_overhead_acc_equals_two_phase_when_uncontended() {
+    let free = CostModel {
+        assert_op: SimTime::ZERO,
+        step_end: SimTime::ZERO,
+        ..costs()
+    };
+    let two = run(CcMode::TwoPhase, free.clone());
+    let acc = run(CcMode::Acc, free);
+    assert_eq!(two.mean_response_ms, acc.mean_response_ms);
+    assert_eq!(two.completed, acc.completed);
+}

@@ -1,0 +1,250 @@
+//! Simulator behaviour tests on a miniature hot-spot workload.
+//!
+//! The toy workload mimics the paper's district hot spot: every transaction
+//! first writes one of a few hot counter rows, then does several independent
+//! item writes. Under 2PL the hot-row lock is held to commit; under the ACC
+//! it is released at the first step boundary — which is the entire mechanism
+//! behind Figs. 2–4.
+
+use acc_common::clock::SimTime;
+use acc_common::rng::SeededRng;
+use acc_common::{ResourceId, StepTypeId, TxnTypeId};
+use acc_lockmgr::NoInterference;
+use acc_sim::{CcMode, CostModel, Op, SimConfig, Simulator, StepTrace, TraceSource, TxnTrace};
+
+/// Hot-spot workload: 1 write on one of `hot` counters, then `n_items`
+/// writes on a large item space, each preceded by `compute` of app time.
+struct HotSpot {
+    hot: usize,
+    n_items: usize,
+    compute: SimTime,
+    abort_rate: f64,
+    cpu: SimTime,
+}
+
+impl TraceSource for HotSpot {
+    fn next_trace(&mut self, rng: &mut SeededRng) -> TxnTrace {
+        let cpu = self.cpu;
+        let hot = rng.index(self.hot) as u32;
+        let mut steps = vec![StepTrace {
+            step_type: StepTypeId(1),
+            ops: vec![Op::write(ResourceId::Named(hot), cpu)],
+        }];
+        for _ in 0..self.n_items {
+            let item = 1000 + rng.index(5000) as u32;
+            steps.push(StepTrace {
+                step_type: StepTypeId(2),
+                ops: vec![Op::write(ResourceId::Named(item), cpu).with_compute(self.compute)],
+            });
+        }
+        let abort = rng.chance(self.abort_rate);
+        let n = steps.len();
+        TxnTrace {
+            txn_type: TxnTypeId(0),
+            steps,
+            comp_step: Some(StepTypeId(9)),
+            guard: acc_common::AssertionTemplateId(0),
+            abort_after_step: abort.then_some(n - 1),
+        }
+    }
+}
+
+fn config_no_release(mode: CcMode, terminals: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        release_at_step_end: false,
+        ..config(mode, terminals, seed)
+    }
+}
+
+fn config(mode: CcMode, terminals: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        mode,
+        servers: 3,
+        terminals,
+        think_time: SimTime::from_millis(50),
+        duration: SimTime::from_micros(120_000_000), // 120 simulated seconds
+        warmup: SimTime::from_micros(20_000_000),
+        seed,
+        costs: CostModel::default(),
+        release_at_step_end: true,
+        two_level_templates: Vec::new(),
+    }
+}
+
+fn run(mode: CcMode, terminals: usize, seed: u64, compute: SimTime) -> acc_sim::SimReport {
+    run_cpu(mode, terminals, seed, compute, SimTime::from_millis(5))
+}
+
+fn run_cpu(
+    mode: CcMode,
+    terminals: usize,
+    seed: u64,
+    compute: SimTime,
+    cpu: SimTime,
+) -> acc_sim::SimReport {
+    let mut source = HotSpot {
+        hot: 4,
+        n_items: 6,
+        compute,
+        abort_rate: 0.01,
+        cpu,
+    };
+    Simulator::new(config(mode, terminals, seed), &NoInterference, &mut source).run()
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = run(CcMode::Acc, 12, 7, SimTime::from_millis(2));
+    let b = run(CcMode::Acc, 12, 7, SimTime::from_millis(2));
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.mean_response_ms, b.mean_response_ms);
+    assert_eq!(a.deadlocks, b.deadlocks);
+}
+
+#[test]
+fn seeds_differ() {
+    let a = run(CcMode::TwoPhase, 12, 1, SimTime::ZERO);
+    let b = run(CcMode::TwoPhase, 12, 2, SimTime::ZERO);
+    assert_ne!(
+        (a.completed, a.mean_response_ms),
+        (b.completed, b.mean_response_ms)
+    );
+}
+
+#[test]
+fn reports_are_sane() {
+    let r = run(CcMode::TwoPhase, 8, 3, SimTime::from_millis(1));
+    assert!(r.completed > 50, "{r:?}");
+    assert!(r.committed <= r.completed);
+    assert!(r.mean_response_ms > 0.0);
+    assert!(r.p95_response_ms >= r.mean_response_ms * 0.5);
+    assert!(r.throughput_tps > 0.0);
+    assert!(r.server_utilisation > 0.0 && r.server_utilisation <= 1.0, "{r:?}");
+    // ~1% self-aborts.
+    let abort_frac = 1.0 - r.committed as f64 / r.completed as f64;
+    assert!(abort_frac < 0.05, "abort fraction {abort_frac}");
+}
+
+#[test]
+fn throughput_grows_with_terminals_until_saturation() {
+    let lo = run(CcMode::TwoPhase, 2, 5, SimTime::ZERO);
+    let hi = run(CcMode::TwoPhase, 12, 5, SimTime::ZERO);
+    assert!(
+        hi.throughput_tps > lo.throughput_tps * 1.5,
+        "lo={:.1} hi={:.1}",
+        lo.throughput_tps,
+        hi.throughput_tps
+    );
+}
+
+#[test]
+fn acc_overhead_loses_at_low_concurrency() {
+    // With a single terminal there is no contention to relieve: the ACC's
+    // per-lock and end-of-step overheads make it strictly slower.
+    let two = run(CcMode::TwoPhase, 1, 11, SimTime::from_millis(2));
+    let acc = run(CcMode::Acc, 1, 11, SimTime::from_millis(2));
+    assert!(
+        acc.mean_response_ms > two.mean_response_ms,
+        "acc={:.2}ms 2pl={:.2}ms",
+        acc.mean_response_ms,
+        two.mean_response_ms
+    );
+}
+
+#[test]
+fn acc_wins_under_hot_spot_contention() {
+    // Many terminals, few hot rows, long transactions (injected compute
+    // time): 2PL holds the hot lock across the whole transaction, the ACC
+    // only for one short step — the Fig. 2/3 effect.
+    // Keep the CPUs unsaturated (short statements) so locks, not servers,
+    // are the bottleneck — the paper's "sufficient system resources" regime.
+    let cpu = SimTime::from_micros(1500);
+    let compute = SimTime::from_millis(10);
+    let two = run_cpu(CcMode::TwoPhase, 40, 13, compute, cpu);
+    let acc = run_cpu(CcMode::Acc, 40, 13, compute, cpu);
+    let ratio = two.mean_response_ms / acc.mean_response_ms;
+    assert!(
+        ratio > 1.2,
+        "expected ACC win, ratio={ratio:.2} (2pl={:.1}ms acc={:.1}ms)",
+        two.mean_response_ms,
+        acc.mean_response_ms
+    );
+    assert!(
+        acc.throughput_tps >= two.throughput_tps,
+        "acc tput {:.1} vs 2pl {:.1}",
+        acc.throughput_tps,
+        two.throughput_tps
+    );
+}
+
+#[test]
+fn deadlocks_are_detected_and_resolved() {
+    // Two-resource transactions locking in opposite orders.
+    struct CrossLock;
+    impl TraceSource for CrossLock {
+        fn next_trace(&mut self, rng: &mut SeededRng) -> TxnTrace {
+            let cpu = SimTime::from_millis(3);
+            let (a, b) = if rng.chance(0.5) { (1, 2) } else { (2, 1) };
+            TxnTrace {
+                txn_type: TxnTypeId(0),
+                steps: vec![StepTrace {
+                    step_type: StepTypeId(1),
+                    ops: vec![
+                        Op::write(ResourceId::Named(a), cpu),
+                        Op::write(ResourceId::Named(b), cpu).with_compute(SimTime::from_millis(2)),
+                    ],
+                }],
+                comp_step: None,
+                guard: acc_common::AssertionTemplateId(0),
+                abort_after_step: None,
+            }
+        }
+    }
+    let mut source = CrossLock;
+    let r = Simulator::new(
+        config(CcMode::TwoPhase, 10, 17),
+        &NoInterference,
+        &mut source,
+    )
+    .run();
+    assert!(r.deadlocks > 0, "expected deadlocks: {r:?}");
+    assert!(r.completed > 100, "victims retry and finish: {r:?}");
+}
+
+#[test]
+fn no_release_ablation_behaves_like_2pl_plus_overhead() {
+    // With step-boundary release disabled, the ACC keeps its assertional
+    // machinery and CPU overheads but holds conventional locks to commit:
+    // under hot-spot contention it must be at least as slow as plain 2PL.
+    let cpu = SimTime::from_micros(1500);
+    let compute = SimTime::from_millis(10);
+    let mk = |cfg: SimConfig| {
+        let mut source = HotSpot {
+            hot: 4,
+            n_items: 6,
+            compute,
+            abort_rate: 0.0,
+            cpu,
+        };
+        Simulator::new(cfg, &NoInterference, &mut source).run()
+    };
+    let two = mk(config(CcMode::TwoPhase, 40, 21));
+    let acc_full = mk(config(CcMode::Acc, 40, 21));
+    let acc_norelease = mk(config_no_release(CcMode::Acc, 40, 21));
+    assert!(
+        acc_full.mean_response_ms < two.mean_response_ms,
+        "full ACC wins under contention: {:.1} vs {:.1}",
+        acc_full.mean_response_ms,
+        two.mean_response_ms
+    );
+    assert!(
+        acc_norelease.mean_response_ms > two.mean_response_ms * 0.95,
+        "no-release ACC must not beat 2PL: {:.1} vs {:.1}",
+        acc_norelease.mean_response_ms,
+        two.mean_response_ms
+    );
+    assert!(
+        acc_norelease.mean_response_ms > acc_full.mean_response_ms,
+        "release is the active ingredient"
+    );
+}

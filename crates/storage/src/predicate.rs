@@ -1,0 +1,212 @@
+//! Scan predicates: a small, evaluable boolean expression language over rows.
+//!
+//! The same AST is reused by the ACC's assertion layer (crate `acc-core`) to
+//! give interstep assertions an *evaluable* form, so tests can verify that a
+//! precondition really holds whenever a step starts — stronger checking than
+//! the paper's system, which only ever does interference-table lookups.
+
+use crate::row::Row;
+use acc_common::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the operator. Any comparison against NULL is false (SQL-ish
+    /// three-valued logic collapsed to two values).
+    pub fn eval(self, a: &Value, b: &Value) -> bool {
+        if a.is_null() || b.is_null() {
+            return false;
+        }
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A boolean expression over one row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// Compare column `col` with a constant.
+    Cmp {
+        /// Column position.
+        col: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Constant operand.
+        value: Value,
+    },
+    /// Column is NULL.
+    IsNull(usize),
+    /// Column is not NULL.
+    IsNotNull(usize),
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `col = value`.
+    pub fn eq(col: usize, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp {
+            col,
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `col op value`.
+    pub fn cmp(col: usize, op: CmpOp, value: impl Into<Value>) -> Predicate {
+        Predicate::Cmp {
+            col,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Conjunction of two predicates (flattens nested `And`s).
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::And(mut a), Predicate::And(b)) => {
+                a.extend(b);
+                Predicate::And(a)
+            }
+            (Predicate::And(mut a), p) => {
+                a.push(p);
+                Predicate::And(a)
+            }
+            (p, Predicate::And(mut b)) => {
+                b.insert(0, p);
+                Predicate::And(b)
+            }
+            (a, b) => Predicate::And(vec![a, b]),
+        }
+    }
+
+    /// Evaluate against a row.
+    pub fn eval(&self, row: &Row) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp { col, op, value } => op.eval(row.get(*col), value),
+            Predicate::IsNull(c) => row.is_null(*c),
+            Predicate::IsNotNull(c) => !row.is_null(*c),
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(row)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(row)),
+            Predicate::Not(p) => !p.eval(row),
+        }
+    }
+
+    /// The set of columns the predicate reads (sorted, deduplicated). The
+    /// assertion layer uses this as part of interference footprints.
+    pub fn columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Cmp { col, .. } | Predicate::IsNull(col) | Predicate::IsNotNull(col) => {
+                out.push(*col)
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row::from(vec![Value::Int(5), Value::str("x"), Value::Null])
+    }
+
+    #[test]
+    fn cmp_ops() {
+        let r = row();
+        assert!(Predicate::eq(0, 5i64).eval(&r));
+        assert!(Predicate::cmp(0, CmpOp::Lt, 6i64).eval(&r));
+        assert!(Predicate::cmp(0, CmpOp::Ge, 5i64).eval(&r));
+        assert!(Predicate::cmp(0, CmpOp::Ne, 4i64).eval(&r));
+        assert!(!Predicate::cmp(0, CmpOp::Gt, 5i64).eval(&r));
+        assert!(Predicate::eq(1, "x").eval(&r));
+    }
+
+    #[test]
+    fn null_comparisons_false() {
+        let r = row();
+        assert!(!Predicate::eq(2, 1i64).eval(&r));
+        assert!(!Predicate::cmp(2, CmpOp::Ne, 1i64).eval(&r));
+        assert!(Predicate::IsNull(2).eval(&r));
+        assert!(Predicate::IsNotNull(0).eval(&r));
+        assert!(!Predicate::IsNotNull(2).eval(&r));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let r = row();
+        let p = Predicate::eq(0, 5i64).and(Predicate::eq(1, "x"));
+        assert!(p.eval(&r));
+        let q = Predicate::Or(vec![Predicate::eq(0, 9i64), Predicate::eq(1, "x")]);
+        assert!(q.eval(&r));
+        assert!(!Predicate::Not(Box::new(Predicate::True)).eval(&r));
+        assert!(Predicate::True.eval(&r));
+    }
+
+    #[test]
+    fn and_flattens() {
+        let p = Predicate::eq(0, 1i64)
+            .and(Predicate::eq(1, 2i64))
+            .and(Predicate::eq(2, 3i64));
+        match p {
+            Predicate::And(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected flat And, got {other:?}"),
+        }
+        assert_eq!(Predicate::True.and(Predicate::eq(0, 1i64)), Predicate::eq(0, 1i64));
+    }
+
+    #[test]
+    fn column_footprint() {
+        let p = Predicate::Or(vec![
+            Predicate::eq(3, 1i64),
+            Predicate::Not(Box::new(Predicate::eq(1, 2i64))),
+            Predicate::IsNull(3),
+        ]);
+        assert_eq!(p.columns(), vec![1, 3]);
+        assert!(Predicate::True.columns().is_empty());
+    }
+}

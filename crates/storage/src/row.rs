@@ -1,0 +1,185 @@
+//! Rows and keys.
+
+use acc_common::{Decimal, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One tuple: a vector of [`Value`]s, positionally matching a table schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// The value in column `i`; panics on out-of-range (schema-checked code
+    /// never passes a bad index).
+    #[inline]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Integer in column `i`; panics if the column is not an `Int`.
+    #[inline]
+    pub fn int(&self, i: usize) -> i64 {
+        self.0[i].as_int().expect("column is not Int")
+    }
+
+    /// String in column `i`; panics if the column is not a `Str`.
+    #[inline]
+    pub fn str(&self, i: usize) -> &str {
+        self.0[i].as_str().expect("column is not Str")
+    }
+
+    /// Decimal in column `i`; panics if the column is not a `Decimal`.
+    #[inline]
+    pub fn decimal(&self, i: usize) -> Decimal {
+        self.0[i].as_decimal().expect("column is not Decimal")
+    }
+
+    /// True if column `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.0[i].is_null()
+    }
+
+    /// Replace the value in column `i`, returning the old value.
+    pub fn set(&mut self, i: usize, v: Value) -> Value {
+        std::mem::replace(&mut self.0[i], v)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Project the given columns into a [`Key`].
+    pub fn project(&self, cols: &[usize]) -> Key {
+        Key(cols.iter().map(|&c| self.0[c].clone()).collect())
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Row {
+        Row(v)
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An index key: an ordered tuple of values.
+///
+/// Keys order lexicographically, which makes prefix range scans natural: all
+/// keys beginning with prefix `p` form a contiguous B-tree range.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Key(pub Vec<Value>);
+
+impl Key {
+    /// A key from a list of values.
+    pub fn new(vals: Vec<Value>) -> Key {
+        Key(vals)
+    }
+
+    /// Convenience constructor for all-integer keys (the common case in
+    /// TPC-C).
+    pub fn ints(vals: &[i64]) -> Key {
+        Key(vals.iter().map(|&n| Value::Int(n)).collect())
+    }
+
+    /// True if `self` begins with `prefix`.
+    pub fn starts_with(&self, prefix: &Key) -> bool {
+        self.0.len() >= prefix.0.len() && self.0[..prefix.0.len()] == prefix.0[..]
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors() {
+        let r = Row::from(vec![
+            Value::Int(7),
+            Value::str("abc"),
+            Value::from(Decimal::from_int(3)),
+            Value::Null,
+        ]);
+        assert_eq!(r.int(0), 7);
+        assert_eq!(r.str(1), "abc");
+        assert_eq!(r.decimal(2), Decimal::from_int(3));
+        assert!(r.is_null(3));
+        assert_eq!(r.arity(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "column is not Int")]
+    fn wrong_type_panics() {
+        Row::from(vec![Value::str("x")]).int(0);
+    }
+
+    #[test]
+    fn set_returns_old() {
+        let mut r = Row::from(vec![Value::Int(1)]);
+        let old = r.set(0, Value::Int(2));
+        assert_eq!(old, Value::Int(1));
+        assert_eq!(r.int(0), 2);
+    }
+
+    #[test]
+    fn project_builds_key() {
+        let r = Row::from(vec![Value::Int(1), Value::str("x"), Value::Int(3)]);
+        assert_eq!(r.project(&[2, 0]), Key::new(vec![Value::Int(3), Value::Int(1)]));
+    }
+
+    #[test]
+    fn key_ordering_lexicographic() {
+        assert!(Key::ints(&[1, 2]) < Key::ints(&[1, 3]));
+        assert!(Key::ints(&[1, 2]) < Key::ints(&[2, 0]));
+        // A strict prefix orders before its extensions.
+        assert!(Key::ints(&[1]) < Key::ints(&[1, 0]));
+    }
+
+    #[test]
+    fn key_prefix() {
+        let k = Key::ints(&[4, 5, 6]);
+        assert!(k.starts_with(&Key::ints(&[4, 5])));
+        assert!(k.starts_with(&Key::ints(&[4])));
+        assert!(!k.starts_with(&Key::ints(&[5])));
+        assert!(!k.starts_with(&Key::ints(&[4, 5, 6, 7])));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Key::ints(&[1, 2]).to_string(), "[1, 2]");
+        assert_eq!(
+            Row::from(vec![Value::Int(1), Value::str("a")]).to_string(),
+            "(1, 'a')"
+        );
+    }
+}

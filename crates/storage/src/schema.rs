@@ -1,0 +1,352 @@
+//! Table schemas and the catalog.
+
+use crate::row::{Key, Row};
+use acc_common::{Error, Result, TableId, Value};
+
+/// The declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// Variable-length string.
+    Str,
+    /// Scale-4 fixed-point decimal.
+    Decimal,
+    /// Boolean.
+    Bool,
+}
+
+impl ColumnType {
+    /// True if `v` inhabits this type (NULL inhabits every type).
+    pub fn admits(self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ColumnType::Int, Value::Int(_))
+                | (ColumnType::Str, Value::Str(_))
+                | (ColumnType::Decimal, Value::Decimal(_))
+                | (ColumnType::Bool, Value::Bool(_))
+        )
+    }
+}
+
+/// One column: a name and a type.
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+}
+
+/// A table schema: columns, primary key, secondary indices and the page
+/// geometry used for page-granularity locking.
+#[derive(Debug, Clone)]
+pub struct TableSchema {
+    /// Assigned when the schema is added to a [`Catalog`].
+    pub id: TableId,
+    /// Table name.
+    pub name: String,
+    /// Columns in positional order.
+    pub columns: Vec<ColumnDef>,
+    /// Column positions forming the primary key.
+    pub key: Vec<usize>,
+    /// Column-position lists for each secondary index.
+    pub secondary: Vec<Vec<usize>>,
+    /// Heap slots per page; locking a page covers this many rows.
+    pub rows_per_page: u32,
+}
+
+impl TableSchema {
+    /// Start building a schema.
+    pub fn builder(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            key: Vec::new(),
+            secondary: Vec::new(),
+            rows_per_page: 16,
+        }
+    }
+
+    /// Position of the named column.
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no column `{name}` in table `{}`", self.name))
+    }
+
+    /// Extract the primary key of `row`.
+    pub fn key_of(&self, row: &Row) -> Key {
+        row.project(&self.key)
+    }
+
+    /// Check that `row` matches this schema: arity, column types, and
+    /// non-null key columns.
+    pub fn check(&self, row: &Row) -> Result<()> {
+        if row.arity() != self.columns.len() {
+            return Err(Error::SchemaMismatch(format!(
+                "table `{}` expects {} columns, row has {}",
+                self.name,
+                self.columns.len(),
+                row.arity()
+            )));
+        }
+        for (i, col) in self.columns.iter().enumerate() {
+            if !col.ty.admits(row.get(i)) {
+                return Err(Error::SchemaMismatch(format!(
+                    "table `{}` column `{}`: value {} has wrong type",
+                    self.name,
+                    col.name,
+                    row.get(i)
+                )));
+            }
+        }
+        for &k in &self.key {
+            if row.is_null(k) {
+                return Err(Error::SchemaMismatch(format!(
+                    "table `{}`: NULL in key column `{}`",
+                    self.name, self.columns[k].name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`TableSchema`].
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    name: String,
+    columns: Vec<ColumnDef>,
+    key: Vec<usize>,
+    secondary: Vec<Vec<usize>>,
+    rows_per_page: u32,
+}
+
+impl SchemaBuilder {
+    /// Append a column.
+    pub fn column(mut self, name: &str, ty: ColumnType) -> Self {
+        assert!(
+            self.columns.iter().all(|c| c.name != name),
+            "duplicate column `{name}`"
+        );
+        self.columns.push(ColumnDef {
+            name: name.to_owned(),
+            ty,
+        });
+        self
+    }
+
+    /// Declare the primary key by column names.
+    pub fn key(mut self, names: &[&str]) -> Self {
+        self.key = names.iter().map(|n| self.position(n)).collect();
+        self
+    }
+
+    /// Add a secondary index over the named columns.
+    pub fn index(mut self, names: &[&str]) -> Self {
+        let cols = names.iter().map(|n| self.position(n)).collect();
+        self.secondary.push(cols);
+        self
+    }
+
+    /// Set the page geometry (rows per page). `1` makes every row its own
+    /// lockable page (row-level locking for hot tables).
+    pub fn rows_per_page(mut self, n: u32) -> Self {
+        assert!(n > 0, "rows_per_page must be positive");
+        self.rows_per_page = n;
+        self
+    }
+
+    fn position(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no column `{name}` in table `{}`", self.name))
+    }
+
+    /// Finish. The table id is assigned by [`Catalog::add_table`].
+    pub fn build(self) -> TableSchema {
+        assert!(!self.key.is_empty(), "table `{}` needs a key", self.name);
+        TableSchema {
+            id: TableId(u32::MAX),
+            name: self.name,
+            columns: self.columns,
+            key: self.key,
+            secondary: self.secondary,
+            rows_per_page: self.rows_per_page,
+        }
+    }
+}
+
+/// The set of table schemas in a database.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<TableSchema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a schema; assigns and returns its [`TableId`].
+    pub fn add_table(&mut self, mut schema: TableSchema) -> TableId {
+        assert!(
+            self.tables.iter().all(|t| t.name != schema.name),
+            "duplicate table `{}`",
+            schema.name
+        );
+        let id = TableId(self.tables.len() as u32);
+        schema.id = id;
+        self.tables.push(schema);
+        id
+    }
+
+    /// Schema by id.
+    pub fn schema(&self, id: TableId) -> &TableSchema {
+        &self.tables[id.raw() as usize]
+    }
+
+    /// Schema by name.
+    pub fn by_name(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.iter().find(|t| t.name == name)
+    }
+
+    /// All schemas in id order.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.iter()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders_schema() -> TableSchema {
+        TableSchema::builder("orders")
+            .column("order_id", ColumnType::Int)
+            .column("customer_id", ColumnType::Int)
+            .column("num_items", ColumnType::Int)
+            .column("price", ColumnType::Decimal)
+            .key(&["order_id"])
+            .index(&["customer_id"])
+            .rows_per_page(8)
+            .build()
+    }
+
+    #[test]
+    fn builder_resolves_names() {
+        let s = orders_schema();
+        assert_eq!(s.key, vec![0]);
+        assert_eq!(s.secondary, vec![vec![1]]);
+        assert_eq!(s.rows_per_page, 8);
+        assert_eq!(s.col("price"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column `nope`")]
+    fn unknown_column_panics() {
+        TableSchema::builder("t")
+            .column("a", ColumnType::Int)
+            .key(&["nope"])
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_column_panics() {
+        TableSchema::builder("t")
+            .column("a", ColumnType::Int)
+            .column("a", ColumnType::Int)
+            .key(&["a"])
+            .build();
+    }
+
+    #[test]
+    fn check_accepts_valid_row() {
+        let s = orders_schema();
+        let row = Row::from(vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(3),
+            Value::from(acc_common::Decimal::from_int(9)),
+        ]);
+        assert!(s.check(&row).is_ok());
+        assert_eq!(s.key_of(&row), Key::ints(&[1]));
+    }
+
+    #[test]
+    fn check_rejects_bad_rows() {
+        let s = orders_schema();
+        // Wrong arity.
+        assert!(s.check(&Row::from(vec![Value::Int(1)])).is_err());
+        // Wrong type in column 2.
+        assert!(s
+            .check(&Row::from(vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::str("three"),
+                Value::Null,
+            ]))
+            .is_err());
+        // NULL key.
+        assert!(s
+            .check(&Row::from(vec![
+                Value::Null,
+                Value::Int(2),
+                Value::Int(3),
+                Value::Null,
+            ]))
+            .is_err());
+        // NULL in a non-key column is fine.
+        assert!(s
+            .check(&Row::from(vec![
+                Value::Int(1),
+                Value::Null,
+                Value::Int(3),
+                Value::Null,
+            ]))
+            .is_ok());
+    }
+
+    #[test]
+    fn catalog_assigns_ids() {
+        let mut c = Catalog::new();
+        let a = c.add_table(orders_schema());
+        let b = c.add_table(
+            TableSchema::builder("stock")
+                .column("item_id", ColumnType::Int)
+                .column("s_level", ColumnType::Int)
+                .key(&["item_id"])
+                .build(),
+        );
+        assert_eq!(a, TableId(0));
+        assert_eq!(b, TableId(1));
+        assert_eq!(c.schema(b).name, "stock");
+        assert_eq!(c.by_name("orders").unwrap().id, a);
+        assert!(c.by_name("nope").is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table")]
+    fn duplicate_table_panics() {
+        let mut c = Catalog::new();
+        c.add_table(orders_schema());
+        c.add_table(orders_schema());
+    }
+}

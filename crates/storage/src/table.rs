@@ -1,0 +1,541 @@
+//! Heap tables with a primary B-tree and optional secondary indices.
+//!
+//! Rows live in *slots*; a freed slot is reused by the next insert, so slot
+//! numbers (and therefore page assignments and lock resources) stay dense and
+//! stable. `slot / rows_per_page` is the page number the lock manager locks.
+
+use crate::predicate::Predicate;
+use crate::row::{Key, Row};
+use crate::schema::TableSchema;
+use crate::undo::UndoRecord;
+use acc_common::{Error, PageNo, ResourceId, Result, Slot};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One heap table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    slots: Vec<Option<Row>>,
+    free: Vec<Slot>,
+    primary: BTreeMap<Key, Slot>,
+    secondary: Vec<BTreeMap<Key, BTreeSet<Slot>>>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        let secondary = schema.secondary.iter().map(|_| BTreeMap::new()).collect();
+        Table {
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            primary: BTreeMap::new(),
+            secondary,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Live row count.
+    pub fn len(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.primary.is_empty()
+    }
+
+    /// The page a slot lives on.
+    pub fn page_of(&self, slot: Slot) -> PageNo {
+        (slot / self.schema.rows_per_page as Slot) as PageNo
+    }
+
+    /// The page-granularity lock resource covering `slot`.
+    pub fn page_resource(&self, slot: Slot) -> ResourceId {
+        ResourceId::Page(self.schema.id, self.page_of(slot))
+    }
+
+    /// The slot the next [`Table::insert`] will use (assuming no intervening
+    /// mutation). Callers that must lock the target page *before* inserting
+    /// peek, lock, then re-peek to confirm.
+    pub fn peek_next_slot(&self) -> Slot {
+        self.free
+            .last()
+            .copied()
+            .unwrap_or(self.slots.len() as Slot)
+    }
+
+    /// Insert a row. Returns the slot it went into and the undo record.
+    pub fn insert(&mut self, row: Row) -> Result<(Slot, UndoRecord)> {
+        self.schema.check(&row)?;
+        let key = self.schema.key_of(&row);
+        if self.primary.contains_key(&key) {
+            return Err(Error::DuplicateKey(format!("{}{key}", self.schema.name)));
+        }
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(row);
+                s
+            }
+            None => {
+                self.slots.push(Some(row));
+                (self.slots.len() - 1) as Slot
+            }
+        };
+        self.index_insert(slot, key);
+        Ok((
+            slot,
+            UndoRecord::Insert {
+                table: self.schema.id,
+                slot,
+            },
+        ))
+    }
+
+    /// The slot holding `key`, if present.
+    pub fn slot_of(&self, key: &Key) -> Option<Slot> {
+        self.primary.get(key).copied()
+    }
+
+    /// The row in `slot`, if live.
+    pub fn row(&self, slot: Slot) -> Option<&Row> {
+        self.slots.get(slot as usize).and_then(|r| r.as_ref())
+    }
+
+    /// The row with the given primary key.
+    pub fn get(&self, key: &Key) -> Option<(Slot, &Row)> {
+        let slot = self.slot_of(key)?;
+        Some((slot, self.row(slot).expect("primary index points at live row")))
+    }
+
+    /// Replace the row in `slot` wholesale. The new row may change the
+    /// primary key (rejected if the new key already exists elsewhere).
+    pub fn update(&mut self, slot: Slot, new: Row) -> Result<UndoRecord> {
+        self.schema.check(&new)?;
+        let old = self
+            .row(slot)
+            .ok_or_else(|| Error::NotFound(format!("{} slot {slot}", self.schema.name)))?
+            .clone();
+        let old_key = self.schema.key_of(&old);
+        let new_key = self.schema.key_of(&new);
+        if new_key != old_key {
+            if self.primary.contains_key(&new_key) {
+                return Err(Error::DuplicateKey(format!(
+                    "{}{new_key}",
+                    self.schema.name
+                )));
+            }
+            self.index_remove(slot, &old);
+            self.slots[slot as usize] = Some(new);
+            self.index_insert(slot, new_key);
+        } else {
+            // Secondary keys may still change.
+            self.index_remove_secondary(slot, &old);
+            self.slots[slot as usize] = Some(new);
+            self.index_insert_secondary(slot);
+        }
+        Ok(UndoRecord::Update {
+            table: self.schema.id,
+            slot,
+            before: old,
+        })
+    }
+
+    /// Update the row in `slot` in place via a closure.
+    pub fn update_with(&mut self, slot: Slot, f: impl FnOnce(&mut Row)) -> Result<UndoRecord> {
+        let mut new = self
+            .row(slot)
+            .ok_or_else(|| Error::NotFound(format!("{} slot {slot}", self.schema.name)))?
+            .clone();
+        f(&mut new);
+        self.update(slot, new)
+    }
+
+    /// Delete the row in `slot`.
+    pub fn delete(&mut self, slot: Slot) -> Result<UndoRecord> {
+        let old = self
+            .row(slot)
+            .ok_or_else(|| Error::NotFound(format!("{} slot {slot}", self.schema.name)))?
+            .clone();
+        self.index_remove(slot, &old);
+        self.slots[slot as usize] = None;
+        self.free.push(slot);
+        Ok(UndoRecord::Delete {
+            table: self.schema.id,
+            slot,
+            before: old,
+        })
+    }
+
+    /// Delete by primary key.
+    pub fn delete_by_key(&mut self, key: &Key) -> Result<(Slot, UndoRecord)> {
+        let slot = self
+            .slot_of(key)
+            .ok_or_else(|| Error::NotFound(format!("{}{key}", self.schema.name)))?;
+        Ok((slot, self.delete(slot)?))
+    }
+
+    /// All live rows in primary-key order.
+    pub fn iter(&self) -> impl Iterator<Item = (Slot, &Row)> {
+        self.primary.values().map(move |&slot| {
+            (
+                slot,
+                self.row(slot).expect("primary index points at live row"),
+            )
+        })
+    }
+
+    /// Live rows satisfying `pred`, in primary-key order.
+    pub fn scan<'a>(&'a self, pred: &'a Predicate) -> impl Iterator<Item = (Slot, &'a Row)> {
+        self.iter().filter(move |(_, r)| pred.eval(r))
+    }
+
+    /// Rows whose primary key begins with `prefix`, in key order.
+    ///
+    /// Lexicographic key ordering makes the matching keys a contiguous B-tree
+    /// range starting at `prefix` itself.
+    pub fn scan_prefix<'a>(&'a self, prefix: &'a Key) -> impl Iterator<Item = (Slot, &'a Row)> {
+        self.primary
+            .range(prefix.clone()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(move |(_, &slot)| {
+                (
+                    slot,
+                    self.row(slot).expect("primary index points at live row"),
+                )
+            })
+    }
+
+    /// Slots whose secondary index `idx` key begins with `prefix`, in key
+    /// order.
+    pub fn lookup_secondary(&self, idx: usize, prefix: &Key) -> Vec<Slot> {
+        self.secondary[idx]
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .flat_map(|(_, slots)| slots.iter().copied())
+            .collect()
+    }
+
+    /// Apply an undo record produced by this table.
+    pub fn apply_undo(&mut self, undo: &UndoRecord) -> Result<()> {
+        debug_assert_eq!(undo.table(), self.schema.id);
+        match undo {
+            UndoRecord::Insert { slot, .. } => {
+                self.delete(*slot)?;
+            }
+            UndoRecord::Update { slot, before, .. } => {
+                self.update(*slot, before.clone())?;
+            }
+            UndoRecord::Delete { slot, before, .. } => {
+                self.insert_at(*slot, before.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-insert a row at a specific slot (undo of delete, and WAL redo).
+    pub fn insert_at(&mut self, slot: Slot, row: Row) -> Result<()> {
+        self.schema.check(&row)?;
+        let key = self.schema.key_of(&row);
+        if self.primary.contains_key(&key) {
+            return Err(Error::DuplicateKey(format!("{}{key}", self.schema.name)));
+        }
+        let idx = slot as usize;
+        if idx >= self.slots.len() {
+            // Newly materialized empty slots (the gap below `slot`) become
+            // reusable.
+            for s in self.slots.len()..idx {
+                self.free.push(s as Slot);
+            }
+            self.slots.resize(idx + 1, None);
+        }
+        if self.slots[idx].is_some() {
+            return Err(Error::Internal(format!(
+                "{} slot {slot} already occupied",
+                self.schema.name
+            )));
+        }
+        self.free.retain(|&s| s != slot);
+        self.slots[idx] = Some(row);
+        self.index_insert(slot, key);
+        Ok(())
+    }
+
+    fn index_insert(&mut self, slot: Slot, key: Key) {
+        self.primary.insert(key, slot);
+        self.index_insert_secondary(slot);
+    }
+
+    fn index_insert_secondary(&mut self, slot: Slot) {
+        let row = self.slots[slot as usize]
+            .as_ref()
+            .expect("inserting index entries for a live row");
+        for (i, cols) in self.schema.secondary.iter().enumerate() {
+            let k = row.project(cols);
+            self.secondary[i].entry(k).or_default().insert(slot);
+        }
+    }
+
+    fn index_remove(&mut self, slot: Slot, row: &Row) {
+        let key = self.schema.key_of(row);
+        self.primary.remove(&key);
+        self.index_remove_secondary(slot, row);
+    }
+
+    fn index_remove_secondary(&mut self, slot: Slot, row: &Row) {
+        for (i, cols) in self.schema.secondary.iter().enumerate() {
+            let k = row.project(cols);
+            if let Some(set) = self.secondary[i].get_mut(&k) {
+                set.remove(&slot);
+                if set.is_empty() {
+                    self.secondary[i].remove(&k);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnType, TableSchema};
+    use acc_common::{TableId, Value};
+
+    fn table() -> Table {
+        let mut schema = TableSchema::builder("orderlines")
+            .column("order_id", ColumnType::Int)
+            .column("item_id", ColumnType::Int)
+            .column("qty", ColumnType::Int)
+            .key(&["order_id", "item_id"])
+            .index(&["item_id"])
+            .rows_per_page(4)
+            .build();
+        schema.id = TableId(0);
+        Table::new(schema)
+    }
+
+    fn row(o: i64, i: i64, q: i64) -> Row {
+        Row::from(vec![Value::Int(o), Value::Int(i), Value::Int(q)])
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut t = table();
+        let (slot, _) = t.insert(row(1, 10, 5)).unwrap();
+        assert_eq!(t.len(), 1);
+        let (s2, r) = t.get(&Key::ints(&[1, 10])).unwrap();
+        assert_eq!(s2, slot);
+        assert_eq!(r.int(2), 5);
+        t.delete(slot).unwrap();
+        assert!(t.get(&Key::ints(&[1, 10])).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = table();
+        t.insert(row(1, 10, 5)).unwrap();
+        let err = t.insert(row(1, 10, 9)).unwrap_err();
+        assert!(matches!(err, Error::DuplicateKey(_)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn peek_next_slot_predicts_insert() {
+        let mut t = table();
+        assert_eq!(t.peek_next_slot(), 0);
+        let (s0, _) = t.insert(row(1, 1, 1)).unwrap();
+        assert_eq!(s0, 0);
+        assert_eq!(t.peek_next_slot(), 1);
+        t.delete(s0).unwrap();
+        assert_eq!(t.peek_next_slot(), s0);
+        let (s1, _) = t.insert(row(1, 2, 1)).unwrap();
+        assert_eq!(s1, s0);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut t = table();
+        let (s0, _) = t.insert(row(1, 1, 1)).unwrap();
+        t.insert(row(1, 2, 1)).unwrap();
+        t.delete(s0).unwrap();
+        let (s2, _) = t.insert(row(1, 3, 1)).unwrap();
+        assert_eq!(s2, s0, "freed slot should be reused");
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut t = table();
+        let (slot, _) = t.insert(row(1, 10, 5)).unwrap();
+        let undo = t.update_with(slot, |r| {
+            r.set(2, Value::Int(7));
+        })
+        .unwrap();
+        assert_eq!(t.row(slot).unwrap().int(2), 7);
+        t.apply_undo(&undo).unwrap();
+        assert_eq!(t.row(slot).unwrap().int(2), 5);
+    }
+
+    #[test]
+    fn update_changing_key_moves_index_entry() {
+        let mut t = table();
+        let (slot, _) = t.insert(row(1, 10, 5)).unwrap();
+        t.update(slot, row(2, 20, 5)).unwrap();
+        assert!(t.get(&Key::ints(&[1, 10])).is_none());
+        assert_eq!(t.get(&Key::ints(&[2, 20])).unwrap().0, slot);
+    }
+
+    #[test]
+    fn update_to_existing_key_rejected() {
+        let mut t = table();
+        let (s0, _) = t.insert(row(1, 10, 5)).unwrap();
+        t.insert(row(2, 20, 5)).unwrap();
+        assert!(matches!(
+            t.update(s0, row(2, 20, 9)),
+            Err(Error::DuplicateKey(_))
+        ));
+        // Original row untouched.
+        assert_eq!(t.get(&Key::ints(&[1, 10])).unwrap().0, s0);
+    }
+
+    #[test]
+    fn update_missing_slot_errors() {
+        let mut t = table();
+        assert!(matches!(t.update(5, row(1, 1, 1)), Err(Error::NotFound(_))));
+        assert!(matches!(t.delete(5), Err(Error::NotFound(_))));
+    }
+
+    #[test]
+    fn prefix_scan_is_ordered_and_bounded() {
+        let mut t = table();
+        for (o, i) in [(1, 3), (1, 1), (2, 1), (1, 2), (3, 1)] {
+            t.insert(row(o, i, 0)).unwrap();
+        }
+        let items: Vec<i64> = t
+            .scan_prefix(&Key::ints(&[1]))
+            .map(|(_, r)| r.int(1))
+            .collect();
+        assert_eq!(items, vec![1, 2, 3]);
+        assert_eq!(t.scan_prefix(&Key::ints(&[9])).count(), 0);
+        assert_eq!(t.scan_prefix(&Key::ints(&[1, 2])).count(), 1);
+    }
+
+    #[test]
+    fn predicate_scan() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(row(1, i, i % 3)).unwrap();
+        }
+        let p = Predicate::eq(2, 0i64);
+        assert_eq!(t.scan(&p).count(), 4); // qty 0 for i = 0,3,6,9
+    }
+
+    #[test]
+    fn secondary_index_lookup() {
+        let mut t = table();
+        t.insert(row(1, 10, 5)).unwrap();
+        t.insert(row(2, 10, 6)).unwrap();
+        t.insert(row(3, 11, 7)).unwrap();
+        assert_eq!(t.lookup_secondary(0, &Key::ints(&[10])).len(), 2);
+        assert_eq!(t.lookup_secondary(0, &Key::ints(&[11])).len(), 1);
+        assert!(t.lookup_secondary(0, &Key::ints(&[12])).is_empty());
+        // Deleting maintains the secondary index.
+        let (slot, _) = t.get(&Key::ints(&[1, 10])).map(|(s, r)| (s, r.clone())).unwrap();
+        t.delete(slot).unwrap();
+        assert_eq!(t.lookup_secondary(0, &Key::ints(&[10])).len(), 1);
+    }
+
+    #[test]
+    fn secondary_index_follows_updates() {
+        let mut t = table();
+        let (slot, _) = t.insert(row(1, 10, 5)).unwrap();
+        // Changing item_id moves both the primary and the secondary entry.
+        let undo = t
+            .update_with(slot, |r| {
+                r.set(1, Value::Int(99));
+            })
+            .unwrap();
+        assert!(t.lookup_secondary(0, &Key::ints(&[10])).is_empty());
+        assert_eq!(t.lookup_secondary(0, &Key::ints(&[99])), vec![slot]);
+        t.apply_undo(&undo).unwrap();
+        assert_eq!(t.lookup_secondary(0, &Key::ints(&[10])), vec![slot]);
+        assert!(t.lookup_secondary(0, &Key::ints(&[99])).is_empty());
+    }
+
+    #[test]
+    fn page_mapping() {
+        let t = table(); // rows_per_page = 4
+        assert_eq!(t.page_of(0), 0);
+        assert_eq!(t.page_of(3), 0);
+        assert_eq!(t.page_of(4), 1);
+        assert_eq!(
+            t.page_resource(5),
+            ResourceId::Page(TableId(0), 1)
+        );
+    }
+
+    #[test]
+    fn undo_delete_restores_same_slot() {
+        let mut t = table();
+        let (slot, _) = t.insert(row(1, 10, 5)).unwrap();
+        t.insert(row(1, 11, 6)).unwrap();
+        let undo = t.delete(slot).unwrap();
+        t.apply_undo(&undo).unwrap();
+        let (s2, r) = t.get(&Key::ints(&[1, 10])).unwrap();
+        assert_eq!(s2, slot);
+        assert_eq!(r.int(2), 5);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn undo_stack_reverses_step() {
+        // Simulate a step that does insert + update + delete, then roll it
+        // back in reverse order.
+        let mut t = table();
+        t.insert(row(1, 1, 1)).unwrap();
+        let mut undos = Vec::new();
+        let (s, u) = t.insert(row(2, 2, 2)).unwrap();
+        undos.push(u);
+        undos.push(t.update_with(s, |r| {
+            r.set(2, Value::Int(9));
+        })
+        .unwrap());
+        let (s1, _) = t.get(&Key::ints(&[1, 1])).map(|(s, r)| (s, r.clone())).unwrap();
+        undos.push(t.delete(s1).unwrap());
+        for u in undos.iter().rev() {
+            t.apply_undo(u).unwrap();
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&Key::ints(&[1, 1])).unwrap().1.int(2), 1);
+        assert!(t.get(&Key::ints(&[2, 2])).is_none());
+    }
+
+    #[test]
+    fn insert_at_beyond_end_frees_gap_slots() {
+        let mut t = table();
+        t.insert_at(5, row(1, 1, 1)).unwrap();
+        // Slots 0..5 became free; subsequent inserts reuse them.
+        for i in 2..7 {
+            let (s, _) = t.insert(row(1, i, 0)).unwrap();
+            assert!(s < 5, "expected gap slot, got {s}");
+        }
+        // Gap exhausted: next insert extends the heap.
+        let (s, _) = t.insert(row(1, 99, 0)).unwrap();
+        assert_eq!(s, 6);
+        // Occupied-slot collision is an error.
+        assert!(t.insert_at(5, row(9, 9, 9)).is_err());
+    }
+
+    #[test]
+    fn schema_violation_rejected() {
+        let mut t = table();
+        assert!(t.insert(Row::from(vec![Value::Int(1)])).is_err());
+        assert!(t
+            .insert(Row::from(vec![Value::Null, Value::Int(1), Value::Int(1)]))
+            .is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Undo records: the inverse of each mutating table operation.
+//!
+//! Steps are atomic: a partially executed step (deadlock victim, mid-step
+//! block in the deterministic scheduler, explicit abort) is rolled back by
+//! applying its undo records in reverse order. The WAL stores the same
+//! before/after images for crash recovery.
+
+use crate::row::Row;
+use acc_common::{Slot, TableId};
+use serde::{Deserialize, Serialize};
+
+/// The inverse of one table mutation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UndoRecord {
+    /// An insert happened at `slot`; undo by deleting it.
+    Insert {
+        /// Table mutated.
+        table: TableId,
+        /// Slot the row went into.
+        slot: Slot,
+    },
+    /// An update happened at `slot`; undo by restoring `before`.
+    Update {
+        /// Table mutated.
+        table: TableId,
+        /// Slot updated.
+        slot: Slot,
+        /// Full before-image.
+        before: Row,
+    },
+    /// A delete happened at `slot`; undo by re-inserting `before` at the same
+    /// slot.
+    Delete {
+        /// Table mutated.
+        table: TableId,
+        /// Slot vacated.
+        slot: Slot,
+        /// Full before-image.
+        before: Row,
+    },
+}
+
+impl UndoRecord {
+    /// The table this record mutates.
+    pub fn table(&self) -> TableId {
+        match self {
+            UndoRecord::Insert { table, .. }
+            | UndoRecord::Update { table, .. }
+            | UndoRecord::Delete { table, .. } => *table,
+        }
+    }
+
+    /// The slot this record touches.
+    pub fn slot(&self) -> Slot {
+        match self {
+            UndoRecord::Insert { slot, .. }
+            | UndoRecord::Update { slot, .. }
+            | UndoRecord::Delete { slot, .. } => *slot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_common::Value;
+
+    #[test]
+    fn accessors() {
+        let u = UndoRecord::Update {
+            table: TableId(3),
+            slot: 9,
+            before: Row::from(vec![Value::Int(1)]),
+        };
+        assert_eq!(u.table(), TableId(3));
+        assert_eq!(u.slot(), 9);
+    }
+}

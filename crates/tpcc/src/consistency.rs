@@ -1,0 +1,357 @@
+//! The TPC-C consistency conditions (spec §3.3.2), as a quiescence checker.
+//!
+//! Two flavours:
+//!
+//! * **strict** — everything the spec demands of a serializable execution,
+//!   including the *contiguity* of order ids (condition 3);
+//! * **semantic** — what the ACC's semantic-correctness criterion guarantees
+//!   (§3.1): every condition except contiguity/o_id-maximality equalities,
+//!   which become inequalities because a compensated new-order consumes its
+//!   order number (the §4 result predicate explicitly allows this).
+//!
+//! Everything else — YTD sums, order/line counts, delivery flags, customer
+//! balances — must hold exactly in both modes.
+
+use crate::schema::{col, TABLES};
+use acc_common::Decimal;
+use acc_storage::{Database, Key};
+use std::collections::HashMap;
+
+/// A violated condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Condition number (spec §3.3.2.x).
+    pub condition: u32,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// Check all conditions; `strict` enables the serializable-only equalities.
+pub fn check(db: &Database, strict: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let warehouses = db.table(TABLES.warehouse).expect("warehouse table");
+    let districts = db.table(TABLES.district).expect("district table");
+    let orders = db.table(TABLES.order).expect("order table");
+    let new_orders = db.table(TABLES.new_order).expect("new_order table");
+    let lines = db.table(TABLES.order_line).expect("order_line table");
+    let history = db.table(TABLES.history).expect("history table");
+    let customers = db.table(TABLES.customer).expect("customer table");
+
+    // Condition 1: w_ytd = sum(d_ytd); condition 8: w_ytd = sum(h_amount).
+    for (_, w) in warehouses.iter() {
+        let w_id = w.int(col::w::ID);
+        let d_sum: Decimal = districts
+            .scan_prefix(&Key::ints(&[w_id]))
+            .map(|(_, d)| d.decimal(col::d::YTD))
+            .sum();
+        if w.decimal(col::w::YTD) != d_sum {
+            out.push(Violation {
+                condition: 1,
+                detail: format!(
+                    "warehouse {w_id}: w_ytd {} != sum(d_ytd) {d_sum}",
+                    w.decimal(col::w::YTD)
+                ),
+            });
+        }
+        let h_sum: Decimal = history
+            .iter()
+            .filter(|(_, h)| h.int(col::h::C_W_ID) == w_id)
+            .map(|(_, h)| h.decimal(col::h::AMOUNT))
+            .sum();
+        if w.decimal(col::w::YTD) != h_sum {
+            out.push(Violation {
+                condition: 8,
+                detail: format!(
+                    "warehouse {w_id}: w_ytd {} != sum(h_amount) {h_sum}",
+                    w.decimal(col::w::YTD)
+                ),
+            });
+        }
+    }
+
+    for (_, d) in districts.iter() {
+        let (w_id, d_id) = (d.int(col::d::W_ID), d.int(col::d::ID));
+        let prefix = Key::ints(&[w_id, d_id]);
+        let next_o = d.int(col::d::NEXT_O_ID);
+
+        // Condition 2: d_next_o_id - 1 vs max(o_id) / max(no_o_id).
+        let max_o = orders
+            .scan_prefix(&prefix)
+            .map(|(_, o)| o.int(col::o::ID))
+            .max()
+            .unwrap_or(0);
+        if strict {
+            if next_o - 1 != max_o {
+                out.push(Violation {
+                    condition: 2,
+                    detail: format!(
+                        "district ({w_id},{d_id}): d_next_o_id-1 = {} != max(o_id) = {max_o}",
+                        next_o - 1
+                    ),
+                });
+            }
+        } else if next_o - 1 < max_o {
+            out.push(Violation {
+                condition: 2,
+                detail: format!(
+                    "district ({w_id},{d_id}): d_next_o_id-1 = {} < max(o_id) = {max_o}",
+                    next_o - 1
+                ),
+            });
+        }
+
+        // Condition 3 (strict only): NEW-ORDER ids are contiguous.
+        if strict {
+            let no_ids: Vec<i64> = new_orders
+                .scan_prefix(&prefix)
+                .map(|(_, n)| n.int(col::no::O_ID))
+                .collect();
+            if let (Some(&min), Some(&max)) = (no_ids.iter().min(), no_ids.iter().max()) {
+                if max - min + 1 != no_ids.len() as i64 {
+                    out.push(Violation {
+                        condition: 3,
+                        detail: format!(
+                            "district ({w_id},{d_id}): new_order ids not contiguous ({min}..{max}, {} rows)",
+                            no_ids.len()
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Condition 4: sum(o_ol_cnt) = count(order_line rows).
+        let ol_cnt_sum: i64 = orders
+            .scan_prefix(&prefix)
+            .map(|(_, o)| o.int(col::o::OL_CNT))
+            .sum();
+        let line_count = lines.scan_prefix(&prefix).count() as i64;
+        if ol_cnt_sum != line_count {
+            out.push(Violation {
+                condition: 4,
+                detail: format!(
+                    "district ({w_id},{d_id}): sum(ol_cnt) {ol_cnt_sum} != line rows {line_count}"
+                ),
+            });
+        }
+
+        // Condition 9: d_ytd = sum of the district's history amounts.
+        let h_sum: Decimal = history
+            .iter()
+            .filter(|(_, h)| {
+                h.int(col::h::C_W_ID) == w_id && h.int(col::h::C_D_ID) == d_id
+            })
+            .map(|(_, h)| h.decimal(col::h::AMOUNT))
+            .sum();
+        if d.decimal(col::d::YTD) != h_sum {
+            out.push(Violation {
+                condition: 9,
+                detail: format!(
+                    "district ({w_id},{d_id}): d_ytd {} != sum(h_amount) {h_sum}",
+                    d.decimal(col::d::YTD)
+                ),
+            });
+        }
+    }
+
+    // Per-order conditions 5, 6, 7.
+    for (_, o) in orders.iter() {
+        let key = [
+            o.int(col::o::W_ID),
+            o.int(col::o::D_ID),
+            o.int(col::o::ID),
+        ];
+        let prefix = Key::ints(&key);
+        let has_new_order = new_orders.get(&prefix).is_some();
+        let carrier_null = o.is_null(col::o::CARRIER_ID);
+        if has_new_order != carrier_null {
+            out.push(Violation {
+                condition: 5,
+                detail: format!(
+                    "order {key:?}: carrier_null={carrier_null} but new_order row present={has_new_order}"
+                ),
+            });
+        }
+        let order_lines: Vec<_> = lines.scan_prefix(&prefix).collect();
+        if o.int(col::o::OL_CNT) != order_lines.len() as i64 {
+            out.push(Violation {
+                condition: 6,
+                detail: format!(
+                    "order {key:?}: ol_cnt {} != {} lines",
+                    o.int(col::o::OL_CNT),
+                    order_lines.len()
+                ),
+            });
+        }
+        for (_, l) in &order_lines {
+            let line_undelivered = l.is_null(col::ol::DELIVERY_D);
+            if line_undelivered != carrier_null {
+                out.push(Violation {
+                    condition: 7,
+                    detail: format!(
+                        "order {key:?} line {}: delivery flag disagrees with carrier",
+                        l.int(col::ol::NUMBER)
+                    ),
+                });
+            }
+        }
+    }
+
+    // Condition 10 (adapted to our clean-slate population): c_balance =
+    // sum(delivered line amounts) - sum(payments) per customer.
+    let mut delivered: HashMap<(i64, i64, i64), Decimal> = HashMap::new();
+    for (_, o) in orders.iter() {
+        if o.is_null(col::o::CARRIER_ID) {
+            continue;
+        }
+        let ckey = (
+            o.int(col::o::W_ID),
+            o.int(col::o::D_ID),
+            o.int(col::o::C_ID),
+        );
+        let amount: Decimal = lines
+            .scan_prefix(&Key::ints(&[
+                o.int(col::o::W_ID),
+                o.int(col::o::D_ID),
+                o.int(col::o::ID),
+            ]))
+            .map(|(_, l)| l.decimal(col::ol::AMOUNT))
+            .sum();
+        *delivered.entry(ckey).or_insert(Decimal::ZERO) += amount;
+    }
+    let mut paid: HashMap<(i64, i64, i64), Decimal> = HashMap::new();
+    for (_, h) in history.iter() {
+        let ckey = (
+            h.int(col::h::C_W_ID),
+            h.int(col::h::C_D_ID),
+            h.int(col::h::C_ID),
+        );
+        *paid.entry(ckey).or_insert(Decimal::ZERO) += h.decimal(col::h::AMOUNT);
+    }
+    for (_, c) in customers.iter() {
+        let ckey = (
+            c.int(col::c::W_ID),
+            c.int(col::c::D_ID),
+            c.int(col::c::ID),
+        );
+        let expect = delivered.get(&ckey).copied().unwrap_or(Decimal::ZERO)
+            - paid.get(&ckey).copied().unwrap_or(Decimal::ZERO);
+        if c.decimal(col::c::BALANCE) != expect {
+            out.push(Violation {
+                condition: 10,
+                detail: format!(
+                    "customer {ckey:?}: balance {} != delivered-paid {expect}",
+                    c.decimal(col::c::BALANCE)
+                ),
+            });
+        }
+        // c_ytd_payment mirrors the history sum.
+        let paid_sum = paid.get(&ckey).copied().unwrap_or(Decimal::ZERO);
+        if c.decimal(col::c::YTD_PAYMENT) != paid_sum {
+            out.push(Violation {
+                condition: 12,
+                detail: format!(
+                    "customer {ckey:?}: ytd_payment {} != sum(h_amount) {paid_sum}",
+                    c.decimal(col::c::YTD_PAYMENT)
+                ),
+            });
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::populate::populate;
+    use crate::schema::{tpcc_catalog, Scale};
+    use acc_common::Value;
+
+    #[test]
+    fn fresh_population_is_consistent() {
+        let cat = tpcc_catalog();
+        let mut db = Database::new(&cat);
+        populate(&mut db, &Scale::test(), 1);
+        let v = check(&db, true);
+        assert!(v.is_empty(), "{v:#?}");
+    }
+
+    #[test]
+    fn detects_ytd_mismatch() {
+        let cat = tpcc_catalog();
+        let mut db = Database::new(&cat);
+        populate(&mut db, &Scale::test(), 1);
+        db.table_mut(TABLES.warehouse)
+            .unwrap()
+            .update_with(0, |r| {
+                r.set(col::w::YTD, Value::Decimal(Decimal::from_int(5)));
+            })
+            .unwrap();
+        let v = check(&db, true);
+        assert!(v.iter().any(|x| x.condition == 1), "{v:?}");
+        assert!(v.iter().any(|x| x.condition == 8), "{v:?}");
+    }
+
+    #[test]
+    fn detects_missing_line() {
+        let cat = tpcc_catalog();
+        let mut db = Database::new(&cat);
+        populate(&mut db, &Scale::test(), 1);
+        // Delete one order line.
+        let slot = db
+            .table(TABLES.order_line)
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .0;
+        db.table_mut(TABLES.order_line).unwrap().delete(slot).unwrap();
+        let v = check(&db, true);
+        assert!(v.iter().any(|x| x.condition == 4), "{v:?}");
+        assert!(v.iter().any(|x| x.condition == 6), "{v:?}");
+    }
+
+    #[test]
+    fn strict_contiguity_only_in_strict_mode() {
+        let cat = tpcc_catalog();
+        let mut db = Database::new(&cat);
+        populate(&mut db, &Scale::test(), 1);
+        // Simulate a compensated order: remove order 2 of district 1 (its
+        // order, lines and new_order row) leaving a gap.
+        let prefix = Key::ints(&[1, 1, 2]);
+        db.table_mut(TABLES.new_order)
+            .unwrap()
+            .delete_by_key(&prefix)
+            .unwrap();
+        let line_keys: Vec<Key> = db
+            .table(TABLES.order_line)
+            .unwrap()
+            .scan_prefix(&prefix)
+            .map(|(_, r)| {
+                Key::ints(&[1, 1, 2, r.int(col::ol::NUMBER)])
+            })
+            .collect();
+        for k in line_keys {
+            db.table_mut(TABLES.order_line)
+                .unwrap()
+                .delete_by_key(&k)
+                .unwrap();
+        }
+        db.table_mut(TABLES.order)
+            .unwrap()
+            .delete_by_key(&prefix)
+            .unwrap();
+
+        let strict = check(&db, true);
+        assert!(strict.iter().any(|x| x.condition == 3), "{strict:?}");
+        let semantic = check(&db, false);
+        assert!(
+            semantic.iter().all(|x| x.condition != 3),
+            "semantic mode tolerates gaps: {semantic:?}"
+        );
+        assert!(
+            semantic.iter().all(|x| x.condition != 2),
+            "consumed o_id is fine: {semantic:?}"
+        );
+    }
+}

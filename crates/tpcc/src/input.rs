@@ -1,0 +1,403 @@
+//! TPC-C input generation: the transaction mix and per-transaction
+//! parameters (spec §2), plus the paper's experiment knobs.
+
+use crate::populate::last_name;
+use crate::schema::Scale;
+use acc_common::rng::{NuRand, SeededRng, Zipf};
+use acc_common::Decimal;
+
+/// The five transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// 45 % of the mix; mid-weight read-write.
+    NewOrder,
+    /// 43 %; light read-write, shares the district row with new-order.
+    Payment,
+    /// 4 %; read-only.
+    OrderStatus,
+    /// 4 %; the long-running transaction (10 districts per invocation).
+    Delivery,
+    /// 4 %; read-only, may run read-committed.
+    StockLevel,
+}
+
+/// Workload configuration: spec defaults plus the paper's experiment knobs.
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    /// Database scale.
+    pub scale: Scale,
+    /// District-selection skew: `0.0` is the spec's uniform choice
+    /// ("Standard" in Fig. 2); larger values concentrate load on few
+    /// districts ("Skewed").
+    pub district_skew: f64,
+    /// Order-line count range (spec: 5–15). Raising it lengthens new-order
+    /// and delivery — one of the paper's two lock-duration knobs (§5.2).
+    pub min_ol: i64,
+    /// Upper bound of the order-line count.
+    pub max_ol: i64,
+    /// Fraction of new-orders that must roll back on their last item
+    /// (spec: 1 %).
+    pub rollback_rate: f64,
+    /// Fraction of payment/order-status selecting the customer by last name
+    /// (spec: 60 %).
+    pub by_last_name_rate: f64,
+}
+
+impl TpccConfig {
+    /// Spec-conforming configuration at the given scale.
+    pub fn standard(scale: Scale) -> Self {
+        TpccConfig {
+            scale,
+            district_skew: 0.0,
+            min_ol: 5,
+            max_ol: 15,
+            rollback_rate: 0.01,
+            by_last_name_rate: 0.60,
+        }
+    }
+
+    /// The paper's "Skewed" district distribution (Fig. 2).
+    pub fn skewed(scale: Scale) -> Self {
+        TpccConfig {
+            district_skew: 1.2,
+            ..Self::standard(scale)
+        }
+    }
+}
+
+/// One order line request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderLineInput {
+    /// Item ordered.
+    pub i_id: i64,
+    /// Supplying warehouse (always local at 1 warehouse).
+    pub supply_w_id: i64,
+    /// Quantity (1–10).
+    pub qty: i64,
+}
+
+/// New-order parameters.
+#[derive(Debug, Clone)]
+pub struct NewOrderInput {
+    /// Warehouse.
+    pub w_id: i64,
+    /// District.
+    pub d_id: i64,
+    /// Customer.
+    pub c_id: i64,
+    /// Requested lines.
+    pub lines: Vec<OrderLineInput>,
+    /// Spec-mandated rollback on the last item (1 %).
+    pub rollback: bool,
+}
+
+/// How payment / order-status pick the customer (spec §2.5.1.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CustomerSelector {
+    /// By primary key.
+    ById(i64),
+    /// By last name (select the middle matching row).
+    ByLastName(String),
+}
+
+/// Payment parameters.
+#[derive(Debug, Clone)]
+pub struct PaymentInput {
+    /// Warehouse.
+    pub w_id: i64,
+    /// District.
+    pub d_id: i64,
+    /// Customer's district (== d_id at 1 warehouse).
+    pub c_d_id: i64,
+    /// Customer selection.
+    pub customer: CustomerSelector,
+    /// Amount (1.00–5000.00).
+    pub amount: Decimal,
+}
+
+/// Order-status parameters.
+#[derive(Debug, Clone)]
+pub struct OrderStatusInput {
+    /// Warehouse.
+    pub w_id: i64,
+    /// District.
+    pub d_id: i64,
+    /// Customer selection.
+    pub customer: CustomerSelector,
+}
+
+/// Delivery parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryInput {
+    /// Warehouse.
+    pub w_id: i64,
+    /// Carrier assigned to every delivered order.
+    pub carrier_id: i64,
+}
+
+/// Stock-level parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StockLevelInput {
+    /// Warehouse.
+    pub w_id: i64,
+    /// District.
+    pub d_id: i64,
+    /// Quantity threshold (10–20).
+    pub threshold: i64,
+}
+
+/// Generated parameters for one transaction of the mix.
+#[derive(Debug, Clone)]
+pub enum TxnInput {
+    /// New-order.
+    NewOrder(NewOrderInput),
+    /// Payment.
+    Payment(PaymentInput),
+    /// Order-status.
+    OrderStatus(OrderStatusInput),
+    /// Delivery.
+    Delivery(DeliveryInput),
+    /// Stock-level.
+    StockLevel(StockLevelInput),
+}
+
+impl TxnInput {
+    /// The kind tag.
+    pub fn kind(&self) -> TxnKind {
+        match self {
+            TxnInput::NewOrder(_) => TxnKind::NewOrder,
+            TxnInput::Payment(_) => TxnKind::Payment,
+            TxnInput::OrderStatus(_) => TxnKind::OrderStatus,
+            TxnInput::Delivery(_) => TxnKind::Delivery,
+            TxnInput::StockLevel(_) => TxnKind::StockLevel,
+        }
+    }
+}
+
+/// The input generator: owns the NURand constants (drawn once, spec
+/// §2.1.6.1) and the district skew distribution.
+#[derive(Debug)]
+pub struct InputGen {
+    config: TpccConfig,
+    zipf: Option<Zipf>,
+    nurand_customer: NuRand,
+    nurand_item: NuRand,
+    nurand_name: NuRand,
+}
+
+impl InputGen {
+    /// Build; the NURand `C` constants derive from `seed`.
+    pub fn new(config: TpccConfig, seed: u64) -> Self {
+        let mut rng = SeededRng::new(seed ^ 0xC0FFEE);
+        let zipf = (config.district_skew > 0.0)
+            .then(|| Zipf::new(config.scale.districts as usize, config.district_skew));
+        InputGen {
+            zipf,
+            nurand_customer: NuRand::new(1023, rng.int_range(0, 1023)),
+            nurand_item: NuRand::new(8191, rng.int_range(0, 8191)),
+            nurand_name: NuRand::new(255, rng.int_range(0, 255)),
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TpccConfig {
+        &self.config
+    }
+
+    /// Draw a transaction kind per the standard mix (45/43/4/4/4).
+    pub fn kind(&self, rng: &mut SeededRng) -> TxnKind {
+        let x = rng.f64();
+        if x < 0.45 {
+            TxnKind::NewOrder
+        } else if x < 0.88 {
+            TxnKind::Payment
+        } else if x < 0.92 {
+            TxnKind::OrderStatus
+        } else if x < 0.96 {
+            TxnKind::Delivery
+        } else {
+            TxnKind::StockLevel
+        }
+    }
+
+    /// Draw a district (uniform or skewed).
+    pub fn district(&self, rng: &mut SeededRng) -> i64 {
+        match &self.zipf {
+            Some(z) => z.sample(rng) as i64 + 1,
+            None => rng.int_range(1, self.config.scale.districts),
+        }
+    }
+
+    /// Draw a customer id (NURand 1023).
+    pub fn customer(&self, rng: &mut SeededRng) -> i64 {
+        self.nurand_customer
+            .sample(rng, 1, self.config.scale.customers_per_district)
+    }
+
+    /// Draw an item id (NURand 8191).
+    pub fn item(&self, rng: &mut SeededRng) -> i64 {
+        self.nurand_item.sample(rng, 1, self.config.scale.items)
+    }
+
+    /// Draw a customer selector (60 % by last name).
+    pub fn customer_selector(&self, rng: &mut SeededRng) -> CustomerSelector {
+        if rng.chance(self.config.by_last_name_rate) {
+            let num = self.nurand_name.sample(rng, 0, 999);
+            // Name numbers beyond the populated customers never match; cap
+            // to the populated range like scaled-down TPC-C kits do.
+            let cap = (self.config.scale.customers_per_district - 1).min(999);
+            CustomerSelector::ByLastName(last_name(num.min(cap)))
+        } else {
+            CustomerSelector::ById(self.customer(rng))
+        }
+    }
+
+    /// Generate the next transaction's full input.
+    pub fn next_input(&self, rng: &mut SeededRng) -> TxnInput {
+        match self.kind(rng) {
+            TxnKind::NewOrder => TxnInput::NewOrder(self.new_order(rng)),
+            TxnKind::Payment => TxnInput::Payment(self.payment(rng)),
+            TxnKind::OrderStatus => TxnInput::OrderStatus(OrderStatusInput {
+                w_id: 1,
+                d_id: self.district(rng),
+                customer: self.customer_selector(rng),
+            }),
+            TxnKind::Delivery => TxnInput::Delivery(DeliveryInput {
+                w_id: 1,
+                carrier_id: rng.int_range(1, 10),
+            }),
+            TxnKind::StockLevel => TxnInput::StockLevel(StockLevelInput {
+                w_id: 1,
+                d_id: self.district(rng),
+                threshold: rng.int_range(10, 20),
+            }),
+        }
+    }
+
+    /// Generate new-order parameters.
+    pub fn new_order(&self, rng: &mut SeededRng) -> NewOrderInput {
+        let n = rng.int_range(self.config.min_ol, self.config.max_ol);
+        let lines = (0..n)
+            .map(|_| OrderLineInput {
+                i_id: self.item(rng),
+                supply_w_id: 1,
+                qty: rng.int_range(1, 10),
+            })
+            .collect();
+        NewOrderInput {
+            w_id: 1,
+            d_id: self.district(rng),
+            c_id: self.customer(rng),
+            lines,
+            rollback: rng.chance(self.config.rollback_rate),
+        }
+    }
+
+    /// Generate payment parameters.
+    pub fn payment(&self, rng: &mut SeededRng) -> PaymentInput {
+        let d_id = self.district(rng);
+        PaymentInput {
+            w_id: 1,
+            d_id,
+            c_d_id: d_id,
+            customer: self.customer_selector(rng),
+            amount: Decimal::from_cents(rng.int_range(100, 500_000)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> (InputGen, SeededRng) {
+        (
+            InputGen::new(TpccConfig::standard(Scale::test()), 1),
+            SeededRng::new(2),
+        )
+    }
+
+    #[test]
+    fn mix_roughly_matches_spec() {
+        let (g, mut rng) = gen();
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(g.kind(&mut rng)).or_insert(0usize) += 1;
+        }
+        let frac = |k: TxnKind| counts[&k] as f64 / 20_000.0;
+        assert!((frac(TxnKind::NewOrder) - 0.45).abs() < 0.02);
+        assert!((frac(TxnKind::Payment) - 0.43).abs() < 0.02);
+        assert!((frac(TxnKind::OrderStatus) - 0.04).abs() < 0.01);
+        assert!((frac(TxnKind::Delivery) - 0.04).abs() < 0.01);
+        assert!((frac(TxnKind::StockLevel) - 0.04).abs() < 0.01);
+    }
+
+    #[test]
+    fn inputs_stay_in_domain() {
+        let (g, mut rng) = gen();
+        for _ in 0..500 {
+            let no = g.new_order(&mut rng);
+            assert!((1..=3).contains(&no.d_id));
+            assert!((1..=12).contains(&no.c_id));
+            assert!((5..=15).contains(&(no.lines.len() as i64)));
+            for l in &no.lines {
+                assert!((1..=50).contains(&l.i_id));
+                assert!((1..=10).contains(&l.qty));
+            }
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_districts() {
+        let g = InputGen::new(TpccConfig::skewed(Scale::benchmark()), 1);
+        let mut rng = SeededRng::new(3);
+        let mut counts = vec![0usize; 11];
+        for _ in 0..20_000 {
+            counts[g.district(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().expect("non-empty");
+        let min = counts[1..].iter().min().copied().expect("non-empty");
+        assert!(max > min * 4, "skewed counts: {counts:?}");
+        // Uniform case stays balanced.
+        let g = InputGen::new(TpccConfig::standard(Scale::benchmark()), 1);
+        let mut counts = vec![0usize; 11];
+        for _ in 0..20_000 {
+            counts[g.district(&mut rng) as usize] += 1;
+        }
+        let max = *counts[1..].iter().max().expect("non-empty");
+        let min = *counts[1..].iter().min().expect("non-empty");
+        assert!(max < min * 2, "uniform counts: {counts:?}");
+    }
+
+    #[test]
+    fn rollback_rate_near_one_percent() {
+        let (g, mut rng) = gen();
+        let rollbacks = (0..10_000)
+            .filter(|_| g.new_order(&mut rng).rollback)
+            .count();
+        assert!((50..200).contains(&rollbacks), "rollbacks {rollbacks}");
+    }
+
+    #[test]
+    fn selector_mixes_name_and_id() {
+        let (g, mut rng) = gen();
+        let mut by_name = 0;
+        for _ in 0..1000 {
+            if matches!(g.customer_selector(&mut rng), CustomerSelector::ByLastName(_)) {
+                by_name += 1;
+            }
+        }
+        assert!((500..700).contains(&by_name), "{by_name}");
+    }
+
+    #[test]
+    fn full_input_generation_covers_all_kinds() {
+        let (g, mut rng) = gen();
+        let mut kinds = std::collections::HashSet::new();
+        for _ in 0..500 {
+            kinds.insert(g.next_input(&mut rng).kind());
+        }
+        assert_eq!(kinds.len(), 5);
+    }
+}

@@ -1,0 +1,223 @@
+//! Deterministic TPC-C population.
+//!
+//! Deviations from spec §4.3, chosen so the consistency conditions are
+//! exactly checkable from a clean slate (documented in DESIGN.md): customer
+//! balances start at zero with no seed history rows, and the initial orders
+//! are all undelivered (they feed the first delivery transactions).
+
+use crate::schema::{Scale, TABLES};
+use acc_common::rng::SeededRng;
+use acc_common::{Decimal, Value};
+use acc_storage::{Database, Row};
+
+/// The sixteen TPC-C last-name syllables (spec §4.3.2.3).
+pub const LAST_NAME_SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
+
+/// Build a customer last name from a number in `[0, 999]`.
+pub fn last_name(num: i64) -> String {
+    let n = num.clamp(0, 999) as usize;
+    format!(
+        "{}{}{}",
+        LAST_NAME_SYLLABLES[n / 100],
+        LAST_NAME_SYLLABLES[(n / 10) % 10],
+        LAST_NAME_SYLLABLES[n % 10]
+    )
+}
+
+/// Populate `db` (built from [`crate::schema::tpcc_catalog`]) at the given
+/// scale. Returns the RNG-consumed generator for reproducibility checks.
+pub fn populate(db: &mut Database, scale: &Scale, seed: u64) {
+    let mut rng = SeededRng::new(seed);
+
+    for w in 1..=scale.warehouses {
+        db.table_mut(TABLES.warehouse)
+            .expect("warehouse table")
+            .insert(Row(vec![
+                Value::Int(w),
+                Value::str(format!("WARE{w:02}")),
+                Value::Decimal(Decimal::from_units(rng.int_range(0, 2000))), // 0–20 % tax
+                Value::Decimal(Decimal::ZERO),
+            ]))
+            .expect("fresh warehouse row");
+
+        for d in 1..=scale.districts {
+            db.table_mut(TABLES.district)
+                .expect("district table")
+                .insert(Row(vec![
+                    Value::Int(w),
+                    Value::Int(d),
+                    Value::str(format!("DIST{d:02}")),
+                    Value::Decimal(Decimal::from_units(rng.int_range(0, 2000))),
+                    Value::Decimal(Decimal::ZERO),
+                    Value::Int(scale.initial_orders_per_district + 1),
+                ]))
+                .expect("fresh district row");
+
+            for c in 1..=scale.customers_per_district {
+                // Spec: first 1000 customers cycle through the syllable
+                // names; beyond that, NURand-style spread.
+                let name_num = if c <= 1000 { c - 1 } else { rng.int_range(0, 999) };
+                let credit = if rng.chance(0.10) { "BC" } else { "GC" };
+                db.table_mut(TABLES.customer)
+                    .expect("customer table")
+                    .insert(Row(vec![
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(c),
+                        Value::str(rng.alnum_string(8, 16)),
+                        Value::str(last_name(name_num)),
+                        Value::str(credit),
+                        Value::Decimal(Decimal::from_units(rng.int_range(0, 5000))), // 0–50 %
+                        Value::Decimal(Decimal::ZERO),
+                        Value::Decimal(Decimal::ZERO),
+                        Value::Int(0),
+                        Value::Int(0),
+                        Value::str(rng.alnum_string(12, 24)),
+                    ]))
+                    .expect("fresh customer row");
+            }
+
+            // Initial undelivered orders, one per o_id starting at 1.
+            for o in 1..=scale.initial_orders_per_district {
+                let c_id = rng.int_range(1, scale.customers_per_district);
+                let ol_cnt = rng.int_range(5, 15);
+                db.table_mut(TABLES.order)
+                    .expect("order table")
+                    .insert(Row(vec![
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(o),
+                        Value::Int(c_id),
+                        Value::Int(0),
+                        Value::Null, // undelivered
+                        Value::Int(ol_cnt),
+                        Value::Bool(true),
+                    ]))
+                    .expect("fresh order row");
+                db.table_mut(TABLES.new_order)
+                    .expect("new_order table")
+                    .insert(Row(vec![Value::Int(w), Value::Int(d), Value::Int(o)]))
+                    .expect("fresh new_order row");
+                for l in 1..=ol_cnt {
+                    let i_id = rng.int_range(1, scale.items);
+                    db.table_mut(TABLES.order_line)
+                        .expect("order_line table")
+                        .insert(Row(vec![
+                            Value::Int(w),
+                            Value::Int(d),
+                            Value::Int(o),
+                            Value::Int(l),
+                            Value::Int(i_id),
+                            Value::Int(w),
+                            Value::Null, // not delivered
+                            Value::Int(5),
+                            Value::Decimal(Decimal::from_cents(rng.int_range(1, 999_999))),
+                            Value::str(rng.alnum_string(24, 24)),
+                        ]))
+                        .expect("fresh order_line row");
+                }
+            }
+        }
+    }
+
+    for i in 1..=scale.items {
+        db.table_mut(TABLES.item)
+            .expect("item table")
+            .insert(Row(vec![
+                Value::Int(i),
+                Value::str(rng.alnum_string(14, 24)),
+                Value::Decimal(Decimal::from_cents(rng.int_range(100, 10_000))),
+                Value::str(rng.alnum_string(26, 50)),
+            ]))
+            .expect("fresh item row");
+    }
+    for w in 1..=scale.warehouses {
+        for i in 1..=scale.items {
+            db.table_mut(TABLES.stock)
+                .expect("stock table")
+                .insert(Row(vec![
+                    Value::Int(w),
+                    Value::Int(i),
+                    Value::Int(rng.int_range(10, 100)),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::Int(0),
+                    Value::str(rng.alnum_string(24, 24)),
+                ]))
+                .expect("fresh stock row");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{col, tpcc_catalog};
+    use acc_storage::Key;
+
+    #[test]
+    fn last_names_follow_syllables() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn population_has_expected_cardinalities() {
+        let cat = tpcc_catalog();
+        let mut db = Database::new(&cat);
+        let scale = Scale::test();
+        populate(&mut db, &scale, 42);
+
+        assert_eq!(db.table(TABLES.warehouse).unwrap().len(), 1);
+        assert_eq!(db.table(TABLES.district).unwrap().len(), 3);
+        assert_eq!(db.table(TABLES.customer).unwrap().len(), 36);
+        assert_eq!(db.table(TABLES.item).unwrap().len(), 50);
+        assert_eq!(db.table(TABLES.stock).unwrap().len(), 50);
+        assert_eq!(db.table(TABLES.order).unwrap().len(), 12);
+        assert_eq!(db.table(TABLES.new_order).unwrap().len(), 12);
+        assert!(db.table(TABLES.order_line).unwrap().len() >= 12 * 5);
+        assert_eq!(db.table(TABLES.history).unwrap().len(), 0);
+
+        // next_o_id points one past the initial orders.
+        let d = db
+            .table(TABLES.district)
+            .unwrap()
+            .get(&Key::ints(&[1, 1]))
+            .unwrap()
+            .1
+            .clone();
+        assert_eq!(d.int(col::d::NEXT_O_ID), 5);
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let cat = tpcc_catalog();
+        let scale = Scale::test();
+        let mut a = Database::new(&cat);
+        populate(&mut a, &scale, 7);
+        let mut b = Database::new(&cat);
+        populate(&mut b, &scale, 7);
+        let rows = |db: &Database| -> Vec<String> {
+            db.tables()
+                .flat_map(|t| t.iter().map(|(_, r)| r.to_string()).collect::<Vec<_>>())
+                .collect()
+        };
+        assert_eq!(rows(&a), rows(&b));
+    }
+
+    #[test]
+    fn customer_last_name_index_works() {
+        let cat = tpcc_catalog();
+        let mut db = Database::new(&cat);
+        populate(&mut db, &Scale::test(), 42);
+        // Customer 1 in district 1 has name BARBARBAR (c=1 → name_num 0).
+        let hits = db.table(TABLES.customer).unwrap().lookup_secondary(
+            0,
+            &Key(vec![Value::Int(1), Value::Int(1), Value::str(last_name(0))]),
+        );
+        assert!(!hits.is_empty());
+    }
+}

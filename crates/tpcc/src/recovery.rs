@@ -1,0 +1,142 @@
+//! Resuming TPC-C compensation after a crash.
+//!
+//! Crash recovery (`acc-wal`) replays durable steps and reports the
+//! transactions that were in flight with at least one completed step. The
+//! paper's system "saves some of its work area in a database table for
+//! compensation" (§5); ours travels with the end-of-step log record. This
+//! module turns a recovered work area back into the right program and runs
+//! its compensating step.
+
+use crate::decompose::ty;
+use crate::txns::{Delivery, NewOrder, Payment};
+use acc_common::{Decimal, Error, Result};
+use acc_txn::runner::rollback;
+use acc_txn::{ConcurrencyControl, SharedDb, Transaction, TxnProgram, TxnState};
+use acc_wal::InFlight;
+
+fn read_i64(bytes: &[u8], at: usize) -> Option<i64> {
+    bytes
+        .get(at..at + 8)
+        .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte slice")))
+}
+
+/// Rebuild the compensable program for a recovered in-flight transaction.
+pub fn program_for_inflight(inflight: &InFlight) -> Result<Box<dyn TxnProgram + Send>> {
+    let wa = &inflight.work_area;
+    match inflight.txn_type {
+        t if t == ty::NEW_ORDER => {
+            let (w, d, o) = (
+                read_i64(wa, 0),
+                read_i64(wa, 8),
+                read_i64(wa, 16),
+            );
+            match (w, d, o) {
+                (Some(w), Some(d), Some(o)) if o >= 0 => Ok(Box::new(NewOrder::recovered(w, d, o))),
+                _ => Err(Error::Recovery(format!(
+                    "unparseable new-order work area for {}",
+                    inflight.txn
+                ))),
+            }
+        }
+        t if t == ty::PAYMENT => match (read_i64(wa, 0), read_i64(wa, 8), read_i64(wa, 16)) {
+            (Some(w), Some(d), Some(amount)) => Ok(Box::new(Payment::recovered(
+                w,
+                d,
+                Decimal::from_units(amount),
+            ))),
+            _ => Err(Error::Recovery(format!(
+                "unparseable payment work area for {}",
+                inflight.txn
+            ))),
+        },
+        t if t == ty::DELIVERY => Delivery::recovered(wa)
+            .map(|p| Box::new(p) as Box<dyn TxnProgram + Send>)
+            .ok_or_else(|| {
+                Error::Recovery(format!("unparseable delivery work area for {}", inflight.txn))
+            }),
+        other => Err(Error::Recovery(format!(
+            "in-flight transaction {} has non-compensable type {other}",
+            inflight.txn
+        ))),
+    }
+}
+
+/// Run the compensating step for every recovered in-flight transaction.
+/// Returns how many were compensated.
+pub fn resume_compensation(
+    shared: &SharedDb,
+    cc: &dyn ConcurrencyControl,
+    inflight: &[InFlight],
+) -> Result<usize> {
+    let mut done = 0;
+    for inf in inflight {
+        let mut program = program_for_inflight(inf)?;
+        let mut txn = Transaction::new(inf.txn, inf.txn_type);
+        txn.steps_completed = inf.steps_completed;
+        txn.step_index = inf.steps_completed;
+        txn.state = TxnState::Active;
+        rollback(shared, cc, program.as_mut(), &mut txn)?;
+        done += 1;
+    }
+    Ok(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_common::TxnId;
+    use acc_wal::InFlight;
+
+    #[test]
+    fn new_order_work_area_round_trip() {
+        let p = NewOrder::recovered(1, 4, 77);
+        let wa = p.work_area();
+        let inf = InFlight {
+            txn: TxnId(9),
+            txn_type: ty::NEW_ORDER,
+            steps_completed: 3,
+            work_area: wa,
+            compensating: false,
+        };
+        assert!(program_for_inflight(&inf).is_ok());
+    }
+
+    #[test]
+    fn payment_work_area_round_trip() {
+        let p = Payment::recovered(1, 2, Decimal::from_cents(555));
+        let inf = InFlight {
+            txn: TxnId(9),
+            txn_type: ty::PAYMENT,
+            steps_completed: 1,
+            work_area: p.work_area(),
+            compensating: false,
+        };
+        assert!(program_for_inflight(&inf).is_ok());
+    }
+
+    #[test]
+    fn garbage_work_area_is_an_error() {
+        let inf = InFlight {
+            txn: TxnId(9),
+            txn_type: ty::NEW_ORDER,
+            steps_completed: 1,
+            work_area: vec![1, 2, 3],
+            compensating: false,
+        };
+        assert!(matches!(
+            program_for_inflight(&inf),
+            Err(Error::Recovery(_))
+        ));
+        let inf = InFlight {
+            txn: TxnId(9),
+            txn_type: ty::ORDER_STATUS,
+            steps_completed: 1,
+            work_area: vec![],
+            compensating: false,
+        };
+        assert!(matches!(
+            program_for_inflight(&inf),
+            Err(Error::Recovery(_))
+        ));
+    }
+}

@@ -1,0 +1,358 @@
+//! The TPC-C schema (spec §1.3), sized by a [`Scale`].
+//!
+//! Column subsets: we keep every column the five transactions read or write
+//! plus the keys; purely decorative fields (street addresses, zip codes) are
+//! collapsed into single `data` columns so rows stay realistic in count
+//! without bloating the tests.
+
+use acc_common::TableId;
+use acc_storage::{Catalog, ColumnType, TableSchema};
+
+/// Table ids in catalog order.
+#[derive(Debug, Clone, Copy)]
+pub struct TableIds {
+    /// WAREHOUSE.
+    pub warehouse: TableId,
+    /// DISTRICT — the hot table.
+    pub district: TableId,
+    /// CUSTOMER.
+    pub customer: TableId,
+    /// HISTORY.
+    pub history: TableId,
+    /// NEW-ORDER.
+    pub new_order: TableId,
+    /// ORDER.
+    pub order: TableId,
+    /// ORDER-LINE.
+    pub order_line: TableId,
+    /// ITEM (read-only).
+    pub item: TableId,
+    /// STOCK.
+    pub stock: TableId,
+}
+
+/// Canonical table ids (the catalog is always built in this order).
+pub const TABLES: TableIds = TableIds {
+    warehouse: TableId(0),
+    district: TableId(1),
+    customer: TableId(2),
+    history: TableId(3),
+    new_order: TableId(4),
+    order: TableId(5),
+    order_line: TableId(6),
+    item: TableId(7),
+    stock: TableId(8),
+};
+
+/// Column positions, spelled out so program code reads like the spec.
+pub mod col {
+    /// WAREHOUSE columns.
+    pub mod w {
+        pub const ID: usize = 0;
+        pub const NAME: usize = 1;
+        pub const TAX: usize = 2;
+        pub const YTD: usize = 3;
+    }
+    /// DISTRICT columns.
+    pub mod d {
+        pub const W_ID: usize = 0;
+        pub const ID: usize = 1;
+        pub const NAME: usize = 2;
+        pub const TAX: usize = 3;
+        pub const YTD: usize = 4;
+        pub const NEXT_O_ID: usize = 5;
+    }
+    /// CUSTOMER columns.
+    pub mod c {
+        pub const W_ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const ID: usize = 2;
+        pub const FIRST: usize = 3;
+        pub const LAST: usize = 4;
+        pub const CREDIT: usize = 5;
+        pub const DISCOUNT: usize = 6;
+        pub const BALANCE: usize = 7;
+        pub const YTD_PAYMENT: usize = 8;
+        pub const PAYMENT_CNT: usize = 9;
+        pub const DELIVERY_CNT: usize = 10;
+        pub const DATA: usize = 11;
+    }
+    /// HISTORY columns.
+    pub mod h {
+        pub const ID: usize = 0;
+        pub const C_W_ID: usize = 1;
+        pub const C_D_ID: usize = 2;
+        pub const C_ID: usize = 3;
+        pub const DATE: usize = 4;
+        pub const AMOUNT: usize = 5;
+    }
+    /// NEW-ORDER columns.
+    pub mod no {
+        pub const W_ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const O_ID: usize = 2;
+    }
+    /// ORDER columns.
+    pub mod o {
+        pub const W_ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const ID: usize = 2;
+        pub const C_ID: usize = 3;
+        pub const ENTRY_D: usize = 4;
+        pub const CARRIER_ID: usize = 5;
+        pub const OL_CNT: usize = 6;
+        pub const ALL_LOCAL: usize = 7;
+    }
+    /// ORDER-LINE columns.
+    pub mod ol {
+        pub const W_ID: usize = 0;
+        pub const D_ID: usize = 1;
+        pub const O_ID: usize = 2;
+        pub const NUMBER: usize = 3;
+        pub const I_ID: usize = 4;
+        pub const SUPPLY_W_ID: usize = 5;
+        pub const DELIVERY_D: usize = 6;
+        pub const QUANTITY: usize = 7;
+        pub const AMOUNT: usize = 8;
+        pub const DIST_INFO: usize = 9;
+    }
+    /// ITEM columns.
+    pub mod i {
+        pub const ID: usize = 0;
+        pub const NAME: usize = 1;
+        pub const PRICE: usize = 2;
+        pub const DATA: usize = 3;
+    }
+    /// STOCK columns.
+    pub mod s {
+        pub const W_ID: usize = 0;
+        pub const I_ID: usize = 1;
+        pub const QUANTITY: usize = 2;
+        pub const YTD: usize = 3;
+        pub const ORDER_CNT: usize = 4;
+        pub const REMOTE_CNT: usize = 5;
+        pub const DIST_INFO: usize = 6;
+    }
+}
+
+/// Database sizing. The spec's cardinalities (3000 customers/district,
+/// 100 000 items) are one preset; tests use much smaller ones.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Warehouses (the paper's experiments use 1).
+    pub warehouses: i64,
+    /// Districts per warehouse (spec: 10).
+    pub districts: i64,
+    /// Customers per district (spec: 3000).
+    pub customers_per_district: i64,
+    /// Items = stock entries per warehouse (spec: 100 000).
+    pub items: i64,
+    /// Initially entered, undelivered orders per district. (Deviation from
+    /// the spec's 3000 orders/district with 2100 delivered: we start with
+    /// all-undelivered orders and zero balances so the consistency
+    /// conditions are exactly checkable; documented in DESIGN.md.)
+    pub initial_orders_per_district: i64,
+}
+
+impl Scale {
+    /// Tiny scale for unit tests.
+    pub fn test() -> Scale {
+        Scale {
+            warehouses: 1,
+            districts: 3,
+            customers_per_district: 12,
+            items: 50,
+            initial_orders_per_district: 4,
+        }
+    }
+
+    /// The scale the figure harness and examples use: 1 warehouse, the
+    /// spec's 10 districts, scaled-down customer/item counts.
+    pub fn benchmark() -> Scale {
+        Scale {
+            warehouses: 1,
+            districts: 10,
+            customers_per_district: 300,
+            items: 2000,
+            initial_orders_per_district: 30,
+        }
+    }
+}
+
+/// Build the TPC-C catalog.
+pub fn tpcc_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let w = c.add_table(
+        TableSchema::builder("warehouse")
+            .column("w_id", ColumnType::Int)
+            .column("w_name", ColumnType::Str)
+            .column("w_tax", ColumnType::Decimal)
+            .column("w_ytd", ColumnType::Decimal)
+            .key(&["w_id"])
+            .rows_per_page(1)
+            .build(),
+    );
+    let d = c.add_table(
+        TableSchema::builder("district")
+            .column("d_w_id", ColumnType::Int)
+            .column("d_id", ColumnType::Int)
+            .column("d_name", ColumnType::Str)
+            .column("d_tax", ColumnType::Decimal)
+            .column("d_ytd", ColumnType::Decimal)
+            .column("d_next_o_id", ColumnType::Int)
+            .key(&["d_w_id", "d_id"])
+            .rows_per_page(1) // the hot spot: one lockable item per district
+            .build(),
+    );
+    let cu = c.add_table(
+        TableSchema::builder("customer")
+            .column("c_w_id", ColumnType::Int)
+            .column("c_d_id", ColumnType::Int)
+            .column("c_id", ColumnType::Int)
+            .column("c_first", ColumnType::Str)
+            .column("c_last", ColumnType::Str)
+            .column("c_credit", ColumnType::Str)
+            .column("c_discount", ColumnType::Decimal)
+            .column("c_balance", ColumnType::Decimal)
+            .column("c_ytd_payment", ColumnType::Decimal)
+            .column("c_payment_cnt", ColumnType::Int)
+            .column("c_delivery_cnt", ColumnType::Int)
+            .column("c_data", ColumnType::Str)
+            .key(&["c_w_id", "c_d_id", "c_id"])
+            .index(&["c_w_id", "c_d_id", "c_last"])
+            .rows_per_page(4)
+            .build(),
+    );
+    let h = c.add_table(
+        TableSchema::builder("history")
+            .column("h_id", ColumnType::Int)
+            .column("h_c_w_id", ColumnType::Int)
+            .column("h_c_d_id", ColumnType::Int)
+            .column("h_c_id", ColumnType::Int)
+            .column("h_date", ColumnType::Int)
+            .column("h_amount", ColumnType::Decimal)
+            .key(&["h_id"])
+            .rows_per_page(8)
+            .build(),
+    );
+    let no = c.add_table(
+        TableSchema::builder("new_order")
+            .column("no_w_id", ColumnType::Int)
+            .column("no_d_id", ColumnType::Int)
+            .column("no_o_id", ColumnType::Int)
+            .key(&["no_w_id", "no_d_id", "no_o_id"])
+            .rows_per_page(4)
+            .build(),
+    );
+    let o = c.add_table(
+        TableSchema::builder("orders")
+            .column("o_w_id", ColumnType::Int)
+            .column("o_d_id", ColumnType::Int)
+            .column("o_id", ColumnType::Int)
+            .column("o_c_id", ColumnType::Int)
+            .column("o_entry_d", ColumnType::Int)
+            .column("o_carrier_id", ColumnType::Int)
+            .column("o_ol_cnt", ColumnType::Int)
+            .column("o_all_local", ColumnType::Bool)
+            .key(&["o_w_id", "o_d_id", "o_id"])
+            .index(&["o_w_id", "o_d_id", "o_c_id"])
+            .rows_per_page(4)
+            .build(),
+    );
+    let ol = c.add_table(
+        TableSchema::builder("order_line")
+            .column("ol_w_id", ColumnType::Int)
+            .column("ol_d_id", ColumnType::Int)
+            .column("ol_o_id", ColumnType::Int)
+            .column("ol_number", ColumnType::Int)
+            .column("ol_i_id", ColumnType::Int)
+            .column("ol_supply_w_id", ColumnType::Int)
+            .column("ol_delivery_d", ColumnType::Int)
+            .column("ol_quantity", ColumnType::Int)
+            .column("ol_amount", ColumnType::Decimal)
+            .column("ol_dist_info", ColumnType::Str)
+            .key(&["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"])
+            .rows_per_page(8)
+            .build(),
+    );
+    let i = c.add_table(
+        TableSchema::builder("item")
+            .column("i_id", ColumnType::Int)
+            .column("i_name", ColumnType::Str)
+            .column("i_price", ColumnType::Decimal)
+            .column("i_data", ColumnType::Str)
+            .key(&["i_id"])
+            .rows_per_page(16)
+            .build(),
+    );
+    let s = c.add_table(
+        TableSchema::builder("stock")
+            .column("s_w_id", ColumnType::Int)
+            .column("s_i_id", ColumnType::Int)
+            .column("s_quantity", ColumnType::Int)
+            .column("s_ytd", ColumnType::Int)
+            .column("s_order_cnt", ColumnType::Int)
+            .column("s_remote_cnt", ColumnType::Int)
+            .column("s_dist_info", ColumnType::Str)
+            .key(&["s_w_id", "s_i_id"])
+            .rows_per_page(4)
+            .build(),
+    );
+    // Guard against reordering: the TABLES constant must match.
+    assert_eq!(
+        (w, d, cu, h, no, o, ol, i, s),
+        (
+            TABLES.warehouse,
+            TABLES.district,
+            TABLES.customer,
+            TABLES.history,
+            TABLES.new_order,
+            TABLES.order,
+            TABLES.order_line,
+            TABLES.item,
+            TABLES.stock
+        )
+    );
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_builds_with_expected_ids() {
+        let c = tpcc_catalog();
+        assert_eq!(c.len(), 9);
+        assert_eq!(c.schema(TABLES.district).name, "district");
+        assert_eq!(c.schema(TABLES.district).rows_per_page, 1);
+        assert_eq!(c.schema(TABLES.stock).name, "stock");
+        // Secondary index on customer last name exists.
+        assert_eq!(c.schema(TABLES.customer).secondary.len(), 1);
+        assert_eq!(c.schema(TABLES.order).secondary.len(), 1);
+    }
+
+    #[test]
+    fn column_constants_match_schema() {
+        let c = tpcc_catalog();
+        assert_eq!(c.schema(TABLES.district).col("d_next_o_id"), col::d::NEXT_O_ID);
+        assert_eq!(c.schema(TABLES.district).col("d_ytd"), col::d::YTD);
+        assert_eq!(c.schema(TABLES.customer).col("c_balance"), col::c::BALANCE);
+        assert_eq!(c.schema(TABLES.order).col("o_ol_cnt"), col::o::OL_CNT);
+        assert_eq!(c.schema(TABLES.order_line).col("ol_amount"), col::ol::AMOUNT);
+        assert_eq!(c.schema(TABLES.stock).col("s_quantity"), col::s::QUANTITY);
+        assert_eq!(c.schema(TABLES.item).col("i_price"), col::i::PRICE);
+        assert_eq!(c.schema(TABLES.warehouse).col("w_ytd"), col::w::YTD);
+        assert_eq!(c.schema(TABLES.history).col("h_amount"), col::h::AMOUNT);
+        assert_eq!(c.schema(TABLES.new_order).col("no_o_id"), col::no::O_ID);
+    }
+
+    #[test]
+    fn scales() {
+        let t = Scale::test();
+        assert_eq!(t.warehouses, 1);
+        let b = Scale::benchmark();
+        assert_eq!(b.districts, 10);
+        assert!(b.items > t.items);
+    }
+}

@@ -1,0 +1,70 @@
+//! Wall-clock closed-loop TPC-C under both concurrency controls: a short
+//! multi-threaded soak with the consistency audit at quiescence.
+
+use acc_common::rng::SeededRng;
+use acc_engine::{run_closed_loop, ClosedLoopConfig, Workload};
+use acc_storage::Database;
+use acc_tpcc::decompose::TpccSystem;
+use acc_tpcc::input::{InputGen, TpccConfig};
+use acc_tpcc::schema::{tpcc_catalog, Scale};
+use acc_tpcc::{consistency, populate, txns};
+use acc_txn::{ConcurrencyControl, SharedDb, TwoPhase, TxnProgram};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct TpccWorkload {
+    gen: InputGen,
+    districts: i64,
+}
+
+impl Workload for TpccWorkload {
+    fn next_program(&self, rng: &mut SeededRng) -> Box<dyn TxnProgram + Send> {
+        txns::program_for(self.gen.next_input(rng), self.districts)
+    }
+}
+
+fn soak(use_acc: bool) {
+    let sys = TpccSystem::build();
+    let scale = Scale::test();
+    let mut db = Database::new(&tpcc_catalog());
+    populate(&mut db, &scale, 31);
+    let shared = Arc::new(
+        SharedDb::new(db, Arc::clone(&sys.tables) as _).with_wait_cap(Duration::from_secs(20)),
+    );
+    let cc: Arc<dyn ConcurrencyControl> = if use_acc {
+        Arc::clone(&sys.acc) as _
+    } else {
+        Arc::new(TwoPhase)
+    };
+    let workload: Arc<dyn Workload> = Arc::new(TpccWorkload {
+        gen: InputGen::new(TpccConfig::standard(scale), 5),
+        districts: scale.districts,
+    });
+    let report = run_closed_loop(
+        &shared,
+        &cc,
+        &workload,
+        &ClosedLoopConfig {
+            terminals: 6,
+            duration: Duration::from_millis(700),
+            think_time: Duration::from_millis(2),
+            seed: 77,
+        },
+    );
+    assert!(report.committed > 20, "{report:?}");
+    shared.with_core(|c| {
+        let v = consistency::check(&c.db, !use_acc);
+        assert!(v.is_empty(), "{v:#?}");
+        assert_eq!(c.lm.total_grants(), 0);
+    });
+}
+
+#[test]
+fn closed_loop_two_phase_soak() {
+    soak(false);
+}
+
+#[test]
+fn closed_loop_acc_soak() {
+    soak(true);
+}

@@ -1,0 +1,257 @@
+//! Driving a [`TxnProgram`] through its lifecycle: steps, commit, deadlock
+//! retry, and compensation-based rollback.
+
+use crate::cc::ConcurrencyControl;
+use crate::program::{StepOutcome, TxnProgram};
+use crate::shared::{SharedDb, WaitMode};
+use crate::step::StepCtx;
+use crate::transaction::{Transaction, TxnState};
+use acc_common::{Error, Result};
+use acc_storage::UndoRecord;
+use acc_wal::LogRecord;
+
+/// Why a transaction rolled back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbortReason {
+    /// Chosen as a deadlock victim (retryable by resubmission).
+    Deadlock,
+    /// The program executed its own abort (e.g. TPC-C's 1 % new-order
+    /// aborts).
+    UserAbort,
+    /// Doomed by a compensating step it was delaying (§3.4).
+    Doomed,
+}
+
+/// The overall result of running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Committed after this many completed steps.
+    Committed {
+        /// Steps executed (1 for an undecomposed run).
+        steps: u32,
+    },
+    /// Rolled back; the database reflects no net effect of the transaction
+    /// beyond what its compensating steps define as acceptable.
+    RolledBack(AbortReason),
+}
+
+/// Run `program` to completion under `cc`.
+///
+/// With [`WaitMode::Block`] this is the full lifecycle (threads park on lock
+/// waits). With [`WaitMode::Fail`] a contested lock aborts the current
+/// attempt with [`Error::WouldBlock`] after undoing the partial step — the
+/// deterministic scheduler in `acc-engine` catches that error and reschedules.
+pub fn run(
+    shared: &SharedDb,
+    cc: &dyn ConcurrencyControl,
+    program: &mut dyn TxnProgram,
+    mode: WaitMode,
+) -> Result<RunOutcome> {
+    let id = shared.begin_txn(program.txn_type());
+    let mut txn = Transaction::new(id, program.txn_type());
+    let result = run_existing(shared, cc, program, &mut txn, mode);
+    if matches!(result, Err(Error::WouldBlock { .. })) {
+        // The transaction object dies with this call, so nobody can resume
+        // it: roll it back completely instead of leaking its locks. Callers
+        // that want to resume after a block must use [`run_existing`].
+        rollback(shared, cc, program, &mut txn)?;
+    }
+    result
+}
+
+/// Like [`run`], but the caller owns the [`Transaction`] (lets the
+/// deterministic scheduler resume a transaction whose step previously
+/// blocked).
+pub fn run_existing(
+    shared: &SharedDb,
+    cc: &dyn ConcurrencyControl,
+    program: &mut dyn TxnProgram,
+    txn: &mut Transaction,
+    mode: WaitMode,
+) -> Result<RunOutcome> {
+    loop {
+        let mut retried = false;
+        let step_result = loop {
+            let mut ctx = StepCtx::new(shared, cc, txn, mode);
+            match program.step(ctx.txn().step_index, &mut ctx) {
+                Ok(outcome) => break Ok(outcome),
+                Err(Error::Deadlock { .. }) if cc.decomposed() && !retried => {
+                    // Paper §3.4: abort the step that completed the cycle and
+                    // restart it once; a recurring deadlock rolls the whole
+                    // transaction back by compensation.
+                    undo_current_step(shared, txn)?;
+                    shared.release_where(txn.id, |k, _| k.is_conventional());
+                    retried = true;
+                }
+                Err(e) => break Err(e),
+            }
+        };
+
+        match step_result {
+            Ok(StepOutcome::Continue) => {
+                if cc.decomposed() {
+                    end_step(shared, cc, txn, program.work_area());
+                } else {
+                    txn.step_index += 1;
+                }
+            }
+            Ok(StepOutcome::Done) => {
+                if shared.is_doomed(txn.id) {
+                    rollback(shared, cc, program, txn)?;
+                    return Ok(RunOutcome::RolledBack(AbortReason::Doomed));
+                }
+                let steps = txn.step_index + 1;
+                commit(shared, txn);
+                return Ok(RunOutcome::Committed { steps });
+            }
+            Ok(StepOutcome::Abort) => {
+                rollback(shared, cc, program, txn)?;
+                return Ok(RunOutcome::RolledBack(AbortReason::UserAbort));
+            }
+            Err(Error::WouldBlock { txn: t, resource }) => {
+                // Deterministic mode: withdraw cleanly; the scheduler retries
+                // this step later. Undo partial effects so other transactions
+                // see an untouched step.
+                undo_current_step(shared, txn)?;
+                if cc.decomposed() {
+                    shared.release_where(txn.id, |k, _| k.is_conventional());
+                }
+                return Err(Error::WouldBlock { txn: t, resource });
+            }
+            Err(Error::Deadlock { .. }) => {
+                rollback(shared, cc, program, txn)?;
+                return Ok(RunOutcome::RolledBack(AbortReason::Deadlock));
+            }
+            Err(Error::TxnAborted(_)) => {
+                rollback(shared, cc, program, txn)?;
+                return Ok(RunOutcome::RolledBack(AbortReason::Doomed));
+            }
+            Err(e) => {
+                // Hard error (schema violation, missing row, …): roll back,
+                // then surface the error to the caller.
+                rollback(shared, cc, program, txn)?;
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Physically undo the current step (or, for an undecomposed transaction,
+/// everything), logging each reversal as a compensation-log update so
+/// recovery can replay the net effect.
+pub fn undo_current_step(shared: &SharedDb, txn: &mut Transaction) -> Result<()> {
+    let undos: Vec<UndoRecord> = txn.step_undo.drain(..).collect();
+    let txn_id = txn.id;
+    shared.with_core(|c| -> Result<()> {
+        for undo in undos.iter().rev() {
+            let table = undo.table();
+            let slot = undo.slot();
+            let before = c.db.table(table)?.row(slot).cloned();
+            c.db.apply_undo(undo)?;
+            let after = c.db.table(table)?.row(slot).cloned();
+            c.wal.append(LogRecord::Update {
+                txn: txn_id,
+                table,
+                slot,
+                before,
+                after,
+            });
+        }
+        Ok(())
+    })
+}
+
+/// Complete the current step: log the end-of-step record with the program's
+/// work area, release locks per policy, advance the position.
+pub fn end_step(
+    shared: &SharedDb,
+    cc: &dyn ConcurrencyControl,
+    txn: &mut Transaction,
+    work_area: Vec<u8>,
+) {
+    shared.with_core(|c| {
+        c.wal.append(LogRecord::StepEnd {
+            txn: txn.id,
+            step_index: txn.step_index,
+            work_area,
+        });
+    });
+    txn.steps_completed = txn.step_index + 1;
+    txn.step_index += 1;
+    txn.step_undo.clear();
+    let meta = txn.meta();
+    shared.release_where(txn.id, |kind, _| cc.release_at_step_end(&meta, kind));
+}
+
+/// Commit: log, release everything, mark committed.
+pub fn commit(shared: &SharedDb, txn: &mut Transaction) {
+    shared.with_core(|c| {
+        c.wal.append(LogRecord::Commit { txn: txn.id });
+    });
+    shared.release_all(txn.id);
+    shared.clear_doom(txn.id);
+    txn.state = TxnState::Committed;
+}
+
+/// Roll back: physically undo the current step, then semantically undo any
+/// completed steps with the program's compensating step, then release
+/// everything.
+pub fn rollback(
+    shared: &SharedDb,
+    cc: &dyn ConcurrencyControl,
+    program: &mut dyn TxnProgram,
+    txn: &mut Transaction,
+) -> Result<()> {
+    undo_current_step(shared, txn)?;
+
+    if cc.decomposed() && txn.steps_completed > 0 {
+        shared.with_core(|c| {
+            c.wal.append(LogRecord::CompensationBegin {
+                txn: txn.id,
+                from_step: txn.steps_completed,
+            });
+        });
+        txn.state = TxnState::Compensating;
+        // A compensating step is never a deadlock victim (the lock manager
+        // dooms whoever delays it), but transient races can still surface;
+        // retry with a small cap before declaring the system wedged.
+        let steps_completed = txn.steps_completed;
+        let mut attempts = 0;
+        loop {
+            let mut ctx = StepCtx::new(shared, cc, txn, WaitMode::Block);
+            match program.compensate(steps_completed, &mut ctx) {
+                Ok(()) => break,
+                Err(e) if e.is_transient() && attempts < 8 => {
+                    attempts += 1;
+                    undo_current_step(shared, txn)?;
+                    // Drop the failed attempt's conventional locks so a
+                    // cross-blocked compensating peer can make progress
+                    // before we retry (otherwise two compensations deadlock
+                    // in lockstep through every retry).
+                    shared.release_where(txn.id, |k, _| k.is_conventional());
+                }
+                Err(e) => {
+                    // Give up cleanly: whatever physical undo we did stays
+                    // (it is idempotent against recovery), but the locks and
+                    // doom flag must not outlive us — leaking them stalls
+                    // every waiter behind this transaction.
+                    shared.release_all(txn.id);
+                    shared.clear_doom(txn.id);
+                    txn.state = TxnState::Aborted;
+                    return Err(Error::Internal(format!(
+                        "compensation of {} failed: {e}",
+                        txn.id
+                    )));
+                }
+            }
+        }
+    }
+
+    shared.with_core(|c| {
+        c.wal.append(LogRecord::Abort { txn: txn.id });
+    });
+    shared.release_all(txn.id);
+    shared.clear_doom(txn.id);
+    txn.state = TxnState::Aborted;
+    Ok(())
+}

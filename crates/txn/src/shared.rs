@@ -1,0 +1,341 @@
+//! The shared system state: database + lock manager + WAL behind one mutex,
+//! with a condvar for lock waits.
+
+use acc_common::{Error, ResourceId, Result, TxnId, TxnTypeId};
+use acc_lockmgr::{
+    GrantNotice, InterferenceOracle, LockKind, LockManager, Request, RequestCtx, RequestOutcome,
+    Ticket,
+};
+use acc_storage::Database;
+use acc_wal::{LogRecord, Wal};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a lock request behaves when it cannot be granted immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitMode {
+    /// Park the calling thread until granted (threaded engine).
+    Block,
+    /// Withdraw the request and return [`Error::WouldBlock`] (deterministic
+    /// single-threaded scheduling).
+    Fail,
+}
+
+/// Everything guarded by the system mutex.
+pub struct Core {
+    /// The database image.
+    pub db: Database,
+    /// The lock table.
+    pub lm: LockManager,
+    /// The write-ahead log.
+    pub wal: Wal,
+    granted: HashSet<Ticket>,
+    doomed: HashSet<TxnId>,
+    next_txn: u64,
+}
+
+/// The shared system: one per simulated database server group.
+pub struct SharedDb {
+    core: Mutex<Core>,
+    cond: Condvar,
+    oracle: Arc<dyn InterferenceOracle + Send + Sync>,
+    /// Safety net: a blocked lock wait longer than this is reported as an
+    /// internal error instead of hanging the process.
+    wait_cap: Duration,
+}
+
+impl SharedDb {
+    /// Build around an initial database image. The oracle is system-wide so
+    /// that legacy 2PL transactions and decomposed transactions make
+    /// consistent interference decisions.
+    pub fn new(db: Database, oracle: Arc<dyn InterferenceOracle + Send + Sync>) -> Self {
+        SharedDb {
+            core: Mutex::new(Core {
+                db,
+                lm: LockManager::new(),
+                wal: Wal::new(),
+                granted: HashSet::new(),
+                doomed: HashSet::new(),
+                next_txn: 1,
+            }),
+            cond: Condvar::new(),
+            oracle,
+            wait_cap: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the blocked-wait safety cap (tests use a short one).
+    pub fn with_wait_cap(mut self, cap: Duration) -> Self {
+        self.wait_cap = cap;
+        self
+    }
+
+    /// The system-wide interference oracle.
+    pub fn oracle(&self) -> &(dyn InterferenceOracle + Send + Sync) {
+        &*self.oracle
+    }
+
+    /// Run `f` with the core locked.
+    pub fn with_core<R>(&self, f: impl FnOnce(&mut Core) -> R) -> R {
+        f(&mut self.core.lock())
+    }
+
+    /// Allocate a transaction id and log its begin record.
+    pub fn begin_txn(&self, txn_type: TxnTypeId) -> TxnId {
+        let mut core = self.core.lock();
+        let id = TxnId(core.next_txn);
+        core.next_txn += 1;
+        core.wal.append(LogRecord::Begin { txn: id, txn_type });
+        id
+    }
+
+    /// True if some other transaction doomed this one (it is delaying a
+    /// compensating step and must roll back, §3.4).
+    pub fn is_doomed(&self, txn: TxnId) -> bool {
+        self.core.lock().doomed.contains(&txn)
+    }
+
+    /// Forget a transaction's doom flag (called once it has rolled back).
+    pub fn clear_doom(&self, txn: TxnId) {
+        self.core.lock().doomed.remove(&txn);
+    }
+
+    /// Acquire one lock, honouring the wait mode. Returns:
+    ///
+    /// * `Ok(())` — granted (possibly after blocking);
+    /// * `Err(WouldBlock)` — `Fail` mode and the lock is contested;
+    /// * `Err(Deadlock)` — this transaction's step must be undone and
+    ///   retried;
+    /// * `Err(TxnAborted)` — this transaction was doomed by a compensating
+    ///   step and must roll back entirely.
+    pub fn acquire(
+        &self,
+        txn: TxnId,
+        resource: ResourceId,
+        kind: LockKind,
+        ctx: RequestCtx,
+        mode: WaitMode,
+    ) -> Result<()> {
+        let mut core = self.core.lock();
+        // A doom flag orders the transaction to roll back; once it *is*
+        // rolling back (compensating), the order is vacuous and must not
+        // abort the compensating step (§3.4).
+        if !ctx.compensating && core.doomed.contains(&txn) {
+            return Err(Error::TxnAborted(txn));
+        }
+        let req = Request::new(txn, resource, kind, ctx);
+        match core.lm.request(req, &*self.oracle) {
+            RequestOutcome::Granted => Ok(()),
+            RequestOutcome::Waiting(ticket) => {
+                self.wait_on(core, txn, resource, ticket, mode, ctx.compensating)
+            }
+            RequestOutcome::Deadlock { victims, ticket } => {
+                if victims.contains(&txn) {
+                    // Our step is the victim; the request was withdrawn.
+                    Err(Error::Deadlock { victim: txn })
+                } else {
+                    // We are compensating: doom the steps delaying us and
+                    // keep waiting for our (still queued) request.
+                    for v in victims {
+                        core.doomed.insert(v);
+                    }
+                    self.cond.notify_all();
+                    let ticket = ticket.expect("compensating deadlock keeps the request queued");
+                    self.wait_on(core, txn, resource, ticket, mode, ctx.compensating)
+                }
+            }
+        }
+    }
+
+    fn wait_on(
+        &self,
+        mut core: MutexGuard<'_, Core>,
+        txn: TxnId,
+        resource: ResourceId,
+        ticket: Ticket,
+        mode: WaitMode,
+        compensating: bool,
+    ) -> Result<()> {
+        match mode {
+            WaitMode::Fail => {
+                // Withdraw immediately; the deterministic scheduler will
+                // retry the whole step later.
+                let notices = core.lm.cancel_waiting(txn, &*self.oracle);
+                Self::post_notices(&mut core, &self.cond, notices);
+                Err(Error::WouldBlock { txn, resource })
+            }
+            WaitMode::Block => {
+                // Wait in slices; on each timeout slice, re-run deadlock
+                // detection from this waiter — cycles assembled after our
+                // enqueue (by grants/queue mutations elsewhere) are invisible
+                // to enqueue-time detection and must be swept up here.
+                let slice = Duration::from_millis(50).min(self.wait_cap);
+                let mut waited = Duration::ZERO;
+                loop {
+                    if core.granted.remove(&ticket) {
+                        return Ok(());
+                    }
+                    if !compensating && core.doomed.contains(&txn) {
+                        let notices = core.lm.cancel_waiting(txn, &*self.oracle);
+                        Self::post_notices(&mut core, &self.cond, notices);
+                        return Err(Error::TxnAborted(txn));
+                    }
+                    if self.cond.wait_for(&mut core, slice).timed_out() {
+                        waited += slice;
+                        if let Some((victims, self_is_victim)) =
+                            core.lm.detect_from(txn, &*self.oracle)
+                        {
+                            if self_is_victim {
+                                return Err(Error::Deadlock { victim: txn });
+                            }
+                            for v in victims {
+                                core.doomed.insert(v);
+                            }
+                            self.cond.notify_all();
+                        }
+                        if waited >= self.wait_cap {
+                            let notices = core.lm.cancel_waiting(txn, &*self.oracle);
+                            Self::post_notices(&mut core, &self.cond, notices);
+                            return Err(Error::Internal(format!(
+                                "{txn} waited longer than {:?} on {resource} — \
+                                 undetected stall (bug)",
+                                self.wait_cap
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Release the caller-selected grants of `txn` and wake anyone whose
+    /// request became grantable.
+    pub fn release_where(&self, txn: TxnId, pred: impl Fn(LockKind, &RequestCtx) -> bool) {
+        let mut core = self.core.lock();
+        let notices = core.lm.release_where(txn, &*self.oracle, pred);
+        Self::post_notices(&mut core, &self.cond, notices);
+    }
+
+    /// Release everything `txn` holds or waits for.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut core = self.core.lock();
+        let notices = core.lm.release_all(txn, &*self.oracle);
+        Self::post_notices(&mut core, &self.cond, notices);
+    }
+
+    fn post_notices(core: &mut Core, cond: &Condvar, notices: Vec<GrantNotice>) {
+        if notices.is_empty() {
+            return;
+        }
+        for n in notices {
+            core.granted.insert(n.ticket);
+        }
+        cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_lockmgr::NoInterference;
+    use acc_storage::Catalog;
+    use std::sync::Arc;
+
+    fn shared() -> Arc<SharedDb> {
+        Arc::new(
+            SharedDb::new(Database::new(&Catalog::new()), Arc::new(NoInterference))
+                .with_wait_cap(Duration::from_millis(200)),
+        )
+    }
+
+    const R: ResourceId = ResourceId::Named(1);
+
+    fn plain() -> RequestCtx {
+        RequestCtx::plain(acc_common::StepTypeId(0))
+    }
+
+    #[test]
+    fn begin_assigns_ids_and_logs() {
+        let s = shared();
+        let a = s.begin_txn(TxnTypeId(0));
+        let b = s.begin_txn(TxnTypeId(0));
+        assert_ne!(a, b);
+        s.with_core(|c| assert_eq!(c.wal.len(), 2));
+    }
+
+    #[test]
+    fn fail_mode_returns_would_block() {
+        let s = shared();
+        let t1 = s.begin_txn(TxnTypeId(0));
+        let t2 = s.begin_txn(TxnTypeId(0));
+        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Fail).unwrap();
+        let err = s
+            .acquire(t2, R, LockKind::X, plain(), WaitMode::Fail)
+            .unwrap_err();
+        assert!(matches!(err, Error::WouldBlock { .. }));
+        // The request was withdrawn: releasing t1 leaves the queue empty.
+        s.release_all(t1);
+        s.with_core(|c| assert_eq!(c.lm.queue_len(R), 0));
+    }
+
+    #[test]
+    fn block_mode_wakes_on_release() {
+        let s = shared();
+        let t1 = s.begin_txn(TxnTypeId(0));
+        let t2 = s.begin_txn(TxnTypeId(0));
+        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Block).unwrap();
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || s2.acquire(t2, R, LockKind::X, plain(), WaitMode::Block));
+        std::thread::sleep(Duration::from_millis(30));
+        s.release_all(t1);
+        h.join().unwrap().unwrap();
+        s.with_core(|c| assert!(c.lm.holds(t2, R, LockKind::X)));
+    }
+
+    #[test]
+    fn doomed_waiter_is_woken_with_abort() {
+        let s = shared();
+        let t1 = s.begin_txn(TxnTypeId(0));
+        let t2 = s.begin_txn(TxnTypeId(0));
+        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Block).unwrap();
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || s2.acquire(t2, R, LockKind::X, plain(), WaitMode::Block));
+        std::thread::sleep(Duration::from_millis(30));
+        s.with_core(|c| {
+            c.doomed.insert(t2);
+        });
+        s.cond.notify_all();
+        let err = h.join().unwrap().unwrap_err();
+        assert_eq!(err, Error::TxnAborted(t2));
+        assert!(s.is_doomed(t2));
+        s.clear_doom(t2);
+        assert!(!s.is_doomed(t2));
+    }
+
+    #[test]
+    fn doomed_txn_cannot_acquire() {
+        let s = shared();
+        let t1 = s.begin_txn(TxnTypeId(0));
+        s.with_core(|c| {
+            c.doomed.insert(t1);
+        });
+        let err = s
+            .acquire(t1, R, LockKind::S, plain(), WaitMode::Block)
+            .unwrap_err();
+        assert_eq!(err, Error::TxnAborted(t1));
+    }
+
+    #[test]
+    fn wait_cap_fires_instead_of_hanging() {
+        let s = shared();
+        let t1 = s.begin_txn(TxnTypeId(0));
+        let t2 = s.begin_txn(TxnTypeId(0));
+        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Block).unwrap();
+        let err = s
+            .acquire(t2, R, LockKind::X, plain(), WaitMode::Block)
+            .unwrap_err();
+        assert!(matches!(err, Error::Internal(_)));
+    }
+}

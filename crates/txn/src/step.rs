@@ -1,0 +1,341 @@
+//! `StepCtx`: the data-access API a step executes against.
+//!
+//! Every operation acquires the locks the active [`ConcurrencyControl`]
+//! prescribes (conventional intention + item locks, plus whatever assertional
+//! locks the policy attaches), logs before/after images to the WAL, and
+//! pushes undo records onto the transaction's current-step undo stack.
+
+use crate::cc::ConcurrencyControl;
+use crate::shared::{SharedDb, WaitMode};
+use crate::transaction::Transaction;
+use acc_common::{Error, Result, Slot, TableId, TxnId};
+use acc_lockmgr::{LockKind, LockMode, RequestCtx};
+use acc_storage::{Key, Predicate, Row};
+use acc_wal::LogRecord;
+
+/// The execution context handed to [`crate::program::TxnProgram::step`].
+pub struct StepCtx<'a> {
+    shared: &'a SharedDb,
+    cc: &'a dyn ConcurrencyControl,
+    txn: &'a mut Transaction,
+    mode: WaitMode,
+}
+
+impl<'a> StepCtx<'a> {
+    /// Build a context for one step execution.
+    pub fn new(
+        shared: &'a SharedDb,
+        cc: &'a dyn ConcurrencyControl,
+        txn: &'a mut Transaction,
+        mode: WaitMode,
+    ) -> Self {
+        StepCtx {
+            shared,
+            cc,
+            txn,
+            mode,
+        }
+    }
+
+    /// The executing transaction's id.
+    pub fn txn_id(&self) -> TxnId {
+        self.txn.id
+    }
+
+    /// The transaction state (for runner bookkeeping).
+    pub fn txn(&mut self) -> &mut Transaction {
+        self.txn
+    }
+
+    fn request_ctx(&self) -> RequestCtx {
+        let meta = self.txn.meta();
+        RequestCtx {
+            step_type: self.cc.step_type(&meta),
+            comp_step: if self.cc.decomposed() {
+                self.cc.comp_step_type(meta.txn_type)
+            } else {
+                None
+            },
+            compensating: meta.compensating,
+        }
+    }
+
+    fn acquire(&self, resource: acc_common::ResourceId, kind: LockKind) -> Result<()> {
+        self.shared
+            .acquire(self.txn.id, resource, kind, self.request_ctx(), self.mode)
+    }
+
+    /// Take the table intention lock plus the policy's item locks on the
+    /// page covering `slot`.
+    fn lock_item(&self, table: TableId, slot: Slot, write: bool) -> Result<()> {
+        let intent = if write { LockMode::IX } else { LockMode::IS };
+        self.acquire(
+            acc_common::ResourceId::Table(table),
+            LockKind::Conventional(intent),
+        )?;
+        let page = self
+            .shared
+            .with_core(|c| c.db.table(table).map(|t| t.page_resource(slot)))?;
+        let meta = self.txn.meta();
+        for kind in self.cc.item_locks(&meta, table, write) {
+            self.acquire(page, kind)?;
+        }
+        Ok(())
+    }
+
+    /// Read the row with the given primary key. `None` if absent.
+    pub fn read(&mut self, table: TableId, key: &Key) -> Result<Option<Row>> {
+        loop {
+            let slot = self
+                .shared
+                .with_core(|c| c.db.table(table).map(|t| t.slot_of(key)))?;
+            let Some(slot) = slot else {
+                return Ok(None);
+            };
+            self.lock_item(table, slot, false)?;
+            // The row may have moved/vanished while we waited for the lock:
+            // outer None = retry, inner Option is the final answer.
+            let row: Option<Option<Row>> = self.shared.with_core(|c| {
+                c.db.table(table).map(|t| match t.slot_of(key) {
+                    Some(s) if s == slot => Some(t.row(slot).cloned()),
+                    Some(_) => None,     // moved: retry with fresh slot
+                    None => Some(None),  // deleted while we waited
+                })
+            })?;
+            match row {
+                Some(answer) => return Ok(answer),
+                None => continue,
+            }
+        }
+    }
+
+    /// Read the row with the given key under *write* locks (`SELECT … FOR
+    /// UPDATE`). Use this instead of [`StepCtx::read`] when the row will be
+    /// updated later in the step: going straight to an exclusive lock avoids
+    /// the classic S→X upgrade deadlock between two read-modify-write steps.
+    pub fn read_for_update(&mut self, table: TableId, key: &Key) -> Result<Option<Row>> {
+        loop {
+            let slot = self
+                .shared
+                .with_core(|c| c.db.table(table).map(|t| t.slot_of(key)))?;
+            let Some(slot) = slot else {
+                return Ok(None);
+            };
+            self.lock_item(table, slot, true)?;
+            let row: Option<Option<Row>> = self.shared.with_core(|c| {
+                c.db.table(table).map(|t| match t.slot_of(key) {
+                    Some(s) if s == slot => Some(t.row(slot).cloned()),
+                    Some(_) => None,
+                    None => Some(None),
+                })
+            })?;
+            match row {
+                Some(answer) => return Ok(answer),
+                None => continue,
+            }
+        }
+    }
+
+    /// Insert a row; returns its slot.
+    pub fn insert(&mut self, table: TableId, row: Row) -> Result<Slot> {
+        self.acquire(
+            acc_common::ResourceId::Table(table),
+            LockKind::Conventional(LockMode::IX),
+        )?;
+        loop {
+            let slot = self
+                .shared
+                .with_core(|c| c.db.table(table).map(|t| t.peek_next_slot()))?;
+            self.lock_item(table, slot, true)?;
+            let txn_id = self.txn.id;
+            let done = self.shared.with_core(|c| -> Result<Option<(Slot, _)>> {
+                let t = c.db.table_mut(table)?;
+                if t.peek_next_slot() != slot {
+                    return Ok(None); // another insert raced us while we waited
+                }
+                let (s, undo) = t.insert(row.clone())?;
+                c.wal.append(LogRecord::Update {
+                    txn: txn_id,
+                    table,
+                    slot: s,
+                    before: None,
+                    after: Some(row.clone()),
+                });
+                Ok(Some((s, undo)))
+            })?;
+            if let Some((s, undo)) = done {
+                self.txn.step_undo.push(undo);
+                return Ok(s);
+            }
+        }
+    }
+
+    /// Update the row with the given key in place. Returns `false` if the
+    /// key is absent.
+    pub fn update_key(
+        &mut self,
+        table: TableId,
+        key: &Key,
+        f: impl Fn(&mut Row),
+    ) -> Result<bool> {
+        loop {
+            let slot = self
+                .shared
+                .with_core(|c| c.db.table(table).map(|t| t.slot_of(key)))?;
+            let Some(slot) = slot else {
+                return Ok(false);
+            };
+            self.lock_item(table, slot, true)?;
+            let txn_id = self.txn.id;
+            let outcome = self.shared.with_core(|c| -> Result<Option<_>> {
+                let t = c.db.table_mut(table)?;
+                match t.slot_of(key) {
+                    Some(s) if s == slot => {
+                        let before = t.row(slot).cloned();
+                        let undo = t.update_with(slot, &f)?;
+                        let after = t.row(slot).cloned();
+                        c.wal.append(LogRecord::Update {
+                            txn: txn_id,
+                            table,
+                            slot,
+                            before,
+                            after,
+                        });
+                        Ok(Some(undo))
+                    }
+                    _ => Ok(None), // moved or deleted while waiting: retry
+                }
+            })?;
+            match outcome {
+                Some(undo) => {
+                    self.txn.step_undo.push(undo);
+                    return Ok(true);
+                }
+                None => continue,
+            }
+        }
+    }
+
+    /// Update the row at a known slot (must exist).
+    pub fn update_slot(
+        &mut self,
+        table: TableId,
+        slot: Slot,
+        f: impl Fn(&mut Row),
+    ) -> Result<()> {
+        self.lock_item(table, slot, true)?;
+        let txn_id = self.txn.id;
+        let undo = self.shared.with_core(|c| -> Result<_> {
+            let t = c.db.table_mut(table)?;
+            let before = t.row(slot).cloned();
+            let undo = t.update_with(slot, &f)?;
+            let after = t.row(slot).cloned();
+            c.wal.append(LogRecord::Update {
+                txn: txn_id,
+                table,
+                slot,
+                before,
+                after,
+            });
+            Ok(undo)
+        })?;
+        self.txn.step_undo.push(undo);
+        Ok(())
+    }
+
+    /// Delete the row with the given key. Returns `false` if absent.
+    pub fn delete_key(&mut self, table: TableId, key: &Key) -> Result<bool> {
+        loop {
+            let slot = self
+                .shared
+                .with_core(|c| c.db.table(table).map(|t| t.slot_of(key)))?;
+            let Some(slot) = slot else {
+                return Ok(false);
+            };
+            self.lock_item(table, slot, true)?;
+            let txn_id = self.txn.id;
+            let outcome = self.shared.with_core(|c| -> Result<Option<_>> {
+                let t = c.db.table_mut(table)?;
+                match t.slot_of(key) {
+                    Some(s) if s == slot => {
+                        let before = t.row(slot).cloned();
+                        let undo = t.delete(slot)?;
+                        c.wal.append(LogRecord::Update {
+                            txn: txn_id,
+                            table,
+                            slot,
+                            before,
+                            after: None,
+                        });
+                        Ok(Some(undo))
+                    }
+                    _ => Ok(None),
+                }
+            })?;
+            match outcome {
+                Some(undo) => {
+                    self.txn.step_undo.push(undo);
+                    return Ok(true);
+                }
+                None => continue,
+            }
+        }
+    }
+
+    /// Table-granularity locks for a scan.
+    fn lock_scan(&self, table: TableId) -> Result<()> {
+        let meta = self.txn.meta();
+        for kind in self.cc.scan_locks(&meta, table) {
+            self.acquire(acc_common::ResourceId::Table(table), kind)?;
+        }
+        Ok(())
+    }
+
+    /// All rows whose primary key starts with `prefix`, in key order.
+    pub fn scan_prefix(&mut self, table: TableId, prefix: &Key) -> Result<Vec<(Slot, Row)>> {
+        self.lock_scan(table)?;
+        self.shared.with_core(|c| {
+            Ok(c.db
+                .table(table)?
+                .scan_prefix(prefix)
+                .map(|(s, r)| (s, r.clone()))
+                .collect())
+        })
+    }
+
+    /// All rows satisfying `pred`, in key order.
+    pub fn scan(&mut self, table: TableId, pred: &Predicate) -> Result<Vec<(Slot, Row)>> {
+        self.lock_scan(table)?;
+        self.shared.with_core(|c| {
+            Ok(c.db
+                .table(table)?
+                .scan(pred)
+                .map(|(s, r)| (s, r.clone()))
+                .collect())
+        })
+    }
+
+    /// Rows matched through secondary index `idx` by key prefix.
+    pub fn lookup_secondary(
+        &mut self,
+        table: TableId,
+        idx: usize,
+        prefix: &Key,
+    ) -> Result<Vec<(Slot, Row)>> {
+        self.lock_scan(table)?;
+        self.shared.with_core(|c| {
+            let t = c.db.table(table)?;
+            Ok(t.lookup_secondary(idx, prefix)
+                .into_iter()
+                .filter_map(|s| t.row(s).map(|r| (s, r.clone())))
+                .collect())
+        })
+    }
+
+    /// Read a row that must exist (internal-error otherwise) — convenience
+    /// for foreign-key-guaranteed lookups.
+    pub fn read_existing(&mut self, table: TableId, key: &Key) -> Result<Row> {
+        self.read(table, key)?
+            .ok_or_else(|| Error::NotFound(format!("table#{} key {key}", table.raw())))
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-transaction runtime state.
+
+use crate::cc::TxnMeta;
+use acc_common::{TxnId, TxnTypeId};
+use acc_storage::UndoRecord;
+
+/// Lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Executing forward steps.
+    Active,
+    /// Executing compensating steps (rolling back).
+    Compensating,
+    /// Done, effects durable.
+    Committed,
+    /// Done, effects rolled back (physically or by compensation).
+    Aborted,
+}
+
+/// A live transaction.
+#[derive(Debug)]
+pub struct Transaction {
+    /// The transaction id.
+    pub id: TxnId,
+    /// Its analyzed type.
+    pub txn_type: TxnTypeId,
+    /// Zero-based index of the step currently executing.
+    pub step_index: u32,
+    /// Forward steps that have completed (their end-of-step records are on
+    /// the log).
+    pub steps_completed: u32,
+    /// Lifecycle state.
+    pub state: TxnState,
+    /// Undo stack for the *current* step, cleared at each step boundary when
+    /// running decomposed (completed steps are only compensable, never
+    /// physically undoable). Under 2PL it accumulates for the whole
+    /// transaction.
+    pub step_undo: Vec<UndoRecord>,
+}
+
+impl Transaction {
+    /// A fresh transaction.
+    pub fn new(id: TxnId, txn_type: TxnTypeId) -> Self {
+        Transaction {
+            id,
+            txn_type,
+            step_index: 0,
+            steps_completed: 0,
+            state: TxnState::Active,
+            step_undo: Vec::new(),
+        }
+    }
+
+    /// The position snapshot handed to the concurrency control.
+    pub fn meta(&self) -> TxnMeta {
+        TxnMeta {
+            id: self.id,
+            txn_type: self.txn_type,
+            step_index: self.step_index,
+            compensating: self.state == TxnState::Compensating,
+        }
+    }
+
+    /// True once the transaction can no longer issue operations.
+    pub fn finished(&self) -> bool {
+        matches!(self.state, TxnState::Committed | TxnState::Aborted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_flags() {
+        let mut t = Transaction::new(TxnId(1), TxnTypeId(2));
+        assert_eq!(t.state, TxnState::Active);
+        assert!(!t.finished());
+        assert!(!t.meta().compensating);
+        t.state = TxnState::Compensating;
+        assert!(t.meta().compensating);
+        assert!(!t.finished());
+        t.state = TxnState::Committed;
+        assert!(t.finished());
+    }
+
+    #[test]
+    fn meta_mirrors_position() {
+        let mut t = Transaction::new(TxnId(3), TxnTypeId(4));
+        t.step_index = 7;
+        let m = t.meta();
+        assert_eq!(m.id, TxnId(3));
+        assert_eq!(m.txn_type, TxnTypeId(4));
+        assert_eq!(m.step_index, 7);
+    }
+}

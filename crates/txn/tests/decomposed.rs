@@ -1,0 +1,282 @@
+//! Decomposed execution: step-boundary lock release and compensation-based
+//! rollback, tested with a minimal step-release policy (no assertional
+//! locks — those live in `acc-core`).
+//!
+//! The workload is the paper's §4 sketch: an order-entry transaction whose
+//! first step inserts the order header and whose subsequent steps insert one
+//! order line each; its compensating step deletes whatever was inserted.
+
+use acc_common::{Result, StepTypeId, TableId, TxnTypeId, Value};
+use acc_lockmgr::{LockKind, LockMode, NoInterference};
+use acc_storage::{Catalog, ColumnType, Database, Key, Row, TableSchema};
+use acc_txn::{
+    run, AbortReason, ConcurrencyControl, RunOutcome, SharedDb, StepCtx, StepOutcome,
+    TxnMeta, TxnProgram, WaitMode,
+};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+const ORDERS: TableId = TableId(0);
+const LINES: TableId = TableId(1);
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableSchema::builder("orders")
+            .column("order_id", ColumnType::Int)
+            .column("num_items", ColumnType::Int)
+            .key(&["order_id"])
+            .build(),
+    );
+    c.add_table(
+        TableSchema::builder("orderlines")
+            .column("order_id", ColumnType::Int)
+            .column("item_id", ColumnType::Int)
+            .key(&["order_id", "item_id"])
+            .build(),
+    );
+    c
+}
+
+fn shared() -> Arc<SharedDb> {
+    Arc::new(
+        SharedDb::new(Database::new(&catalog()), Arc::new(NoInterference))
+            .with_wait_cap(Duration::from_secs(5)),
+    )
+}
+
+/// Step-release policy: decomposed, conventional locks only, everything
+/// released at step end.
+struct StepRelease;
+
+impl ConcurrencyControl for StepRelease {
+    fn name(&self) -> &'static str {
+        "step-release"
+    }
+    fn decomposed(&self) -> bool {
+        true
+    }
+    fn step_type(&self, meta: &TxnMeta) -> StepTypeId {
+        if meta.compensating {
+            StepTypeId(100)
+        } else {
+            StepTypeId(meta.step_index.min(1))
+        }
+    }
+    fn comp_step_type(&self, _t: TxnTypeId) -> Option<StepTypeId> {
+        Some(StepTypeId(100))
+    }
+    fn item_locks(&self, _m: &TxnMeta, _t: TableId, write: bool) -> Vec<LockKind> {
+        vec![LockKind::Conventional(if write {
+            LockMode::X
+        } else {
+            LockMode::S
+        })]
+    }
+    fn scan_locks(&self, _m: &TxnMeta, _t: TableId) -> Vec<LockKind> {
+        vec![LockKind::Conventional(LockMode::S)]
+    }
+    fn release_at_step_end(&self, _m: &TxnMeta, _k: LockKind) -> bool {
+        true
+    }
+}
+
+struct OrderEntry {
+    order_id: i64,
+    items: Vec<i64>,
+    abort_at_last: bool,
+    pause_between_steps: Option<Arc<Barrier>>,
+}
+
+impl OrderEntry {
+    fn new(order_id: i64, items: Vec<i64>) -> Self {
+        OrderEntry {
+            order_id,
+            items,
+            abort_at_last: false,
+            pause_between_steps: None,
+        }
+    }
+}
+
+impl TxnProgram for OrderEntry {
+    fn txn_type(&self) -> TxnTypeId {
+        TxnTypeId(1)
+    }
+
+    fn step(&mut self, i: u32, ctx: &mut StepCtx<'_>) -> Result<StepOutcome> {
+        if i == 0 {
+            ctx.insert(
+                ORDERS,
+                Row::from(vec![
+                    Value::Int(self.order_id),
+                    Value::Int(self.items.len() as i64),
+                ]),
+            )?;
+            return Ok(if self.items.is_empty() {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Continue
+            });
+        }
+        let idx = (i - 1) as usize;
+        let last = idx + 1 == self.items.len();
+        if last && self.abort_at_last {
+            return Ok(StepOutcome::Abort);
+        }
+        if let Some(b) = &self.pause_between_steps {
+            if idx == 0 {
+                b.wait(); // after step 0 completed, before line 1 commits
+                b.wait(); // hold until the peer finishes its probe
+            }
+        }
+        ctx.insert(
+            LINES,
+            Row::from(vec![Value::Int(self.order_id), Value::Int(self.items[idx])]),
+        )?;
+        Ok(if last {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Continue
+        })
+    }
+
+    fn compensate(&mut self, steps_completed: u32, ctx: &mut StepCtx<'_>) -> Result<()> {
+        // Forward steps 0..steps_completed: step 0 is the header, step k>0 is
+        // line k-1.
+        for idx in (0..steps_completed.saturating_sub(1) as usize).rev() {
+            ctx.delete_key(LINES, &Key::ints(&[self.order_id, self.items[idx]]))?;
+        }
+        if steps_completed > 0 {
+            ctx.delete_key(ORDERS, &Key::ints(&[self.order_id]))?;
+        }
+        Ok(())
+    }
+
+    fn work_area(&self) -> Vec<u8> {
+        self.order_id.to_le_bytes().to_vec()
+    }
+}
+
+#[test]
+fn multi_step_commit() {
+    let s = shared();
+    let mut p = OrderEntry::new(1, vec![10, 11, 12]);
+    let out = run(&s, &StepRelease, &mut p, WaitMode::Block).unwrap();
+    assert_eq!(out, RunOutcome::Committed { steps: 4 });
+    s.with_core(|c| {
+        assert_eq!(c.db.table(ORDERS).unwrap().len(), 1);
+        assert_eq!(c.db.table(LINES).unwrap().len(), 3);
+        assert_eq!(c.lm.total_grants(), 0);
+        // WAL carries one StepEnd per completed step except the final one
+        // (commit makes it durable) and saved the work area.
+        let step_ends: Vec<_> = c
+            .wal
+            .records()
+            .iter()
+            .filter_map(|r| match r {
+                acc_wal::LogRecord::StepEnd { step_index, work_area, .. } => {
+                    Some((*step_index, work_area.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(step_ends.len(), 3);
+        assert_eq!(step_ends[0].1, 1i64.to_le_bytes().to_vec());
+    });
+}
+
+#[test]
+fn user_abort_compensates_completed_steps() {
+    let s = shared();
+    let mut p = OrderEntry::new(7, vec![1, 2, 3]);
+    p.abort_at_last = true;
+    let out = run(&s, &StepRelease, &mut p, WaitMode::Block).unwrap();
+    assert_eq!(out, RunOutcome::RolledBack(AbortReason::UserAbort));
+    s.with_core(|c| {
+        assert_eq!(c.db.table(ORDERS).unwrap().len(), 0, "header compensated");
+        assert_eq!(c.db.table(LINES).unwrap().len(), 0, "lines compensated");
+        assert_eq!(c.lm.total_grants(), 0);
+        let has_comp_begin = c
+            .wal
+            .records()
+            .iter()
+            .any(|r| matches!(r, acc_wal::LogRecord::CompensationBegin { from_step: 3, .. }));
+        assert!(has_comp_begin, "compensation was logged");
+        let has_abort = c
+            .wal
+            .records()
+            .iter()
+            .any(|r| matches!(r, acc_wal::LogRecord::Abort { .. }));
+        assert!(has_abort);
+    });
+}
+
+#[test]
+fn locks_released_at_step_boundaries() {
+    // While a decomposed order entry is paused *between* steps, a second
+    // transaction can write the very same pages — impossible under 2PL.
+    let s = shared();
+    let barrier = Arc::new(Barrier::new(2));
+
+    let s1 = Arc::clone(&s);
+    let b1 = Arc::clone(&barrier);
+    let h = std::thread::spawn(move || {
+        let mut p = OrderEntry::new(1, vec![10, 11]);
+        p.pause_between_steps = Some(b1);
+        run(&s1, &StepRelease, &mut p, WaitMode::Block).unwrap()
+    });
+
+    barrier.wait(); // txn 1 finished step 0 (header inserted, locks dropped)
+    // A competing order entry touching the same tables commits immediately.
+    let mut p2 = OrderEntry::new(2, vec![10]);
+    let out2 = run(&s, &StepRelease, &mut p2, WaitMode::Block).unwrap();
+    assert_eq!(out2, RunOutcome::Committed { steps: 2 });
+    barrier.wait(); // let txn 1 continue
+
+    assert_eq!(h.join().unwrap(), RunOutcome::Committed { steps: 3 });
+    s.with_core(|c| {
+        assert_eq!(c.db.table(ORDERS).unwrap().len(), 2);
+        assert_eq!(c.db.table(LINES).unwrap().len(), 3);
+    });
+}
+
+#[test]
+fn interleaved_order_entries_preserve_count_invariant() {
+    // The §4 consistency conjunct: each order's num_items equals its line
+    // count once the system quiesces, no matter how steps interleave.
+    let s = shared();
+    let mut handles = Vec::new();
+    for t in 0..6i64 {
+        let s = Arc::clone(&s);
+        handles.push(std::thread::spawn(move || {
+            let items: Vec<i64> = (0..5).map(|k| t * 10 + k).collect();
+            let mut p = OrderEntry::new(t, items);
+            run(&s, &StepRelease, &mut p, WaitMode::Block).unwrap()
+        }));
+    }
+    for h in handles {
+        assert!(matches!(
+            h.join().unwrap(),
+            RunOutcome::Committed { .. }
+        ));
+    }
+    s.with_core(|c| {
+        let orders = c.db.table(ORDERS).unwrap();
+        let lines = c.db.table(LINES).unwrap();
+        for (_, order) in orders.iter() {
+            let oid = order.int(0);
+            let n = lines.scan_prefix(&Key::ints(&[oid])).count() as i64;
+            assert_eq!(order.int(1), n, "order {oid}");
+        }
+        assert_eq!(c.lm.total_grants(), 0);
+    });
+}
+
+#[test]
+fn empty_order_is_single_step() {
+    let s = shared();
+    let mut p = OrderEntry::new(5, vec![]);
+    let out = run(&s, &StepRelease, &mut p, WaitMode::Block).unwrap();
+    assert_eq!(out, RunOutcome::Committed { steps: 1 });
+}

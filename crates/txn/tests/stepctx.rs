@@ -1,0 +1,196 @@
+//! Direct tests of the `StepCtx` data-access API.
+
+use acc_common::{Error, TableId, TxnTypeId, Value};
+use acc_lockmgr::NoInterference;
+use acc_storage::{Catalog, ColumnType, Database, Key, Predicate, Row, TableSchema};
+use acc_txn::{StepCtx, SharedDb, Transaction, TwoPhase, WaitMode};
+use acc_txn::runner::commit;
+use std::sync::Arc;
+
+const T: TableId = TableId(0);
+
+fn shared() -> Arc<SharedDb> {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableSchema::builder("people")
+            .column("id", ColumnType::Int)
+            .column("team", ColumnType::Int)
+            .column("name", ColumnType::Str)
+            .key(&["id"])
+            .index(&["team"])
+            .rows_per_page(2)
+            .build(),
+    );
+    let mut db = Database::new(&c);
+    for (id, team, name) in [
+        (1, 10, "ada"),
+        (2, 10, "grace"),
+        (3, 20, "edsger"),
+        (4, 20, "tony"),
+        (5, 30, "barbara"),
+    ] {
+        db.table_mut(T)
+            .unwrap()
+            .insert(Row(vec![
+                Value::Int(id),
+                Value::Int(team),
+                Value::str(name),
+            ]))
+            .unwrap();
+    }
+    Arc::new(SharedDb::new(db, Arc::new(NoInterference)))
+}
+
+fn with_ctx<R>(shared: &SharedDb, f: impl FnOnce(&mut StepCtx<'_>) -> R) -> R {
+    let id = shared.begin_txn(TxnTypeId(0));
+    let mut txn = Transaction::new(id, TxnTypeId(0));
+    let r = {
+        let two = TwoPhase;
+        let mut ctx = StepCtx::new(shared, &two, &mut txn, WaitMode::Block);
+        f(&mut ctx)
+    };
+    commit(shared, &mut txn);
+    r
+}
+
+#[test]
+fn read_and_read_existing() {
+    let s = shared();
+    with_ctx(&s, |ctx| {
+        let row = ctx.read(T, &Key::ints(&[3])).unwrap().unwrap();
+        assert_eq!(row.str(2), "edsger");
+        assert!(ctx.read(T, &Key::ints(&[99])).unwrap().is_none());
+        assert_eq!(ctx.read_existing(T, &Key::ints(&[1])).unwrap().str(2), "ada");
+        assert!(matches!(
+            ctx.read_existing(T, &Key::ints(&[99])),
+            Err(Error::NotFound(_))
+        ));
+    });
+}
+
+#[test]
+fn read_for_update_takes_write_locks_immediately() {
+    let s = shared();
+    let id = s.begin_txn(TxnTypeId(0));
+    let mut txn = Transaction::new(id, TxnTypeId(0));
+    {
+        let two = TwoPhase;
+        let mut ctx = StepCtx::new(&s, &two, &mut txn, WaitMode::Block);
+        let row = ctx.read_for_update(T, &Key::ints(&[1])).unwrap().unwrap();
+        assert_eq!(row.str(2), "ada");
+        assert!(ctx.read_for_update(T, &Key::ints(&[99])).unwrap().is_none());
+    }
+    // Another transaction's plain read of the same page must block.
+    let id2 = s.begin_txn(TxnTypeId(0));
+    let mut txn2 = Transaction::new(id2, TxnTypeId(0));
+    {
+        let two = TwoPhase;
+        let mut ctx2 = StepCtx::new(&s, &two, &mut txn2, WaitMode::Fail);
+        let err = ctx2.read(T, &Key::ints(&[1])).unwrap_err();
+        assert!(matches!(err, Error::WouldBlock { .. }));
+    }
+    commit(&s, &mut txn);
+    commit(&s, &mut txn2);
+}
+
+#[test]
+fn scan_and_predicate() {
+    let s = shared();
+    with_ctx(&s, |ctx| {
+        let all = ctx.scan(T, &Predicate::True).unwrap();
+        assert_eq!(all.len(), 5);
+        let team10 = ctx.scan(T, &Predicate::eq(1, 10i64)).unwrap();
+        assert_eq!(team10.len(), 2);
+        // Scans come back in key order.
+        let ids: Vec<i64> = all.iter().map(|(_, r)| r.int(0)).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    });
+}
+
+#[test]
+fn scan_prefix_on_compound_key() {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableSchema::builder("pairs")
+            .column("a", ColumnType::Int)
+            .column("b", ColumnType::Int)
+            .key(&["a", "b"])
+            .build(),
+    );
+    let mut db = Database::new(&c);
+    for (a, b) in [(1, 1), (1, 2), (2, 1), (2, 2), (2, 3)] {
+        db.table_mut(T)
+            .unwrap()
+            .insert(Row(vec![Value::Int(a), Value::Int(b)]))
+            .unwrap();
+    }
+    let s = Arc::new(SharedDb::new(db, Arc::new(NoInterference)));
+    with_ctx(&s, |ctx| {
+        assert_eq!(ctx.scan_prefix(T, &Key::ints(&[1])).unwrap().len(), 2);
+        assert_eq!(ctx.scan_prefix(T, &Key::ints(&[2])).unwrap().len(), 3);
+        assert_eq!(ctx.scan_prefix(T, &Key::ints(&[3])).unwrap().len(), 0);
+    });
+}
+
+#[test]
+fn lookup_secondary_finds_rows() {
+    let s = shared();
+    with_ctx(&s, |ctx| {
+        let team20 = ctx.lookup_secondary(T, 0, &Key::ints(&[20])).unwrap();
+        let names: Vec<&str> = team20.iter().map(|(_, r)| r.str(2)).collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&"edsger") && names.contains(&"tony"));
+        assert!(ctx.lookup_secondary(T, 0, &Key::ints(&[99])).unwrap().is_empty());
+    });
+}
+
+#[test]
+fn insert_update_delete_round_trip() {
+    let s = shared();
+    with_ctx(&s, |ctx| {
+        let slot = ctx
+            .insert(T, Row(vec![Value::Int(9), Value::Int(30), Value::str("alan")]))
+            .unwrap();
+        ctx.update_slot(T, slot, |r| {
+            r.set(2, Value::str("alonzo"));
+        })
+        .unwrap();
+        assert!(ctx.update_key(T, &Key::ints(&[9]), |r| {
+            r.set(1, Value::Int(40));
+        })
+        .unwrap());
+        assert!(!ctx.update_key(T, &Key::ints(&[99]), |_| {}).unwrap());
+        let row = ctx.read_existing(T, &Key::ints(&[9])).unwrap();
+        assert_eq!((row.int(1), row.str(2)), (40, "alonzo"));
+        assert!(ctx.delete_key(T, &Key::ints(&[9])).unwrap());
+        assert!(!ctx.delete_key(T, &Key::ints(&[9])).unwrap());
+    });
+    // Committed: the row is really gone and the WAL has the full story.
+    s.with_core(|c| {
+        assert!(c.db.table(T).unwrap().get(&Key::ints(&[9])).is_none());
+        assert_eq!(c.db.table(T).unwrap().len(), 5);
+        let updates = c
+            .wal
+            .records()
+            .iter()
+            .filter(|r| matches!(r, acc_wal::LogRecord::Update { .. }))
+            .count();
+        assert_eq!(updates, 4, "insert + 2 updates + delete");
+    });
+}
+
+#[test]
+fn duplicate_insert_is_an_error() {
+    let s = shared();
+    let id = s.begin_txn(TxnTypeId(0));
+    let mut txn = Transaction::new(id, TxnTypeId(0));
+    {
+        let two = TwoPhase;
+        let mut ctx = StepCtx::new(&s, &two, &mut txn, WaitMode::Block);
+        let err = ctx
+            .insert(T, Row(vec![Value::Int(1), Value::Int(0), Value::str("dup")]))
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateKey(_)));
+    }
+    commit(&s, &mut txn);
+}

@@ -1,0 +1,27 @@
+//! Write-ahead logging and step-aware crash recovery.
+//!
+//! The paper's implemented ACC "stores an end-of-step record, used in crash
+//! recovery, in the log, and saves some of its work area in a database table
+//! for compensation" (§5). This crate provides that machinery:
+//!
+//! * [`record::LogRecord`] — begin / update (before+after images) /
+//!   end-of-step (with the transaction's serialized work area) / commit /
+//!   abort / compensation-begin,
+//! * [`codec`] — a length- and checksum-framed binary encoding (`bytes`),
+//!   tolerant of truncation at any byte (a crash mid-write),
+//! * [`log::Wal`] — the append-only log,
+//! * [`recovery`] — redo everything durable, undo the incomplete current
+//!   step of each in-flight transaction, and report which multi-step
+//!   transactions need *compensating steps* run (a step is atomic and
+//!   durable once its end-of-step record is on the log; completed steps are
+//!   never physically undone — they are semantically undone by compensation,
+//!   §3.4).
+
+pub mod codec;
+pub mod log;
+pub mod record;
+pub mod recovery;
+
+pub use log::{Lsn, Wal};
+pub use record::LogRecord;
+pub use recovery::{recover, InFlight, RecoveryReport};

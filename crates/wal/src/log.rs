@@ -1,0 +1,119 @@
+//! The append-only log.
+
+use crate::codec;
+use crate::record::LogRecord;
+use bytes::BytesMut;
+use std::fmt;
+
+/// Log sequence number: the index of a record on the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lsn(pub u64);
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lsn:{}", self.0)
+    }
+}
+
+/// An in-memory write-ahead log with a durable binary image.
+///
+/// `to_bytes` produces the "disk" image; [`Wal::from_bytes`] replays whatever
+/// prefix of it survived a crash (see [`crate::codec`] for the framing).
+#[derive(Debug, Default)]
+pub struct Wal {
+    records: Vec<LogRecord>,
+}
+
+impl Wal {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a record, returning its LSN.
+    pub fn append(&mut self, rec: LogRecord) -> Lsn {
+        self.records.push(rec);
+        Lsn(self.records.len() as u64 - 1)
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records in LSN order.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Serialize to the durable image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        for r in &self.records {
+            codec::encode_record(r, &mut buf);
+        }
+        buf.to_vec()
+    }
+
+    /// Rebuild from a (possibly truncated or tail-corrupted) durable image.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        Wal {
+            records: codec::decode_all(data),
+        }
+    }
+
+    /// Drop all records from `lsn` (inclusive) on — simulates a crash that
+    /// lost the log tail.
+    pub fn truncate(&mut self, lsn: Lsn) {
+        self.records.truncate(lsn.0 as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_common::{TxnId, TxnTypeId};
+
+    #[test]
+    fn append_and_lsn() {
+        let mut wal = Wal::new();
+        assert!(wal.is_empty());
+        let a = wal.append(LogRecord::Begin {
+            txn: TxnId(1),
+            txn_type: TxnTypeId(0),
+        });
+        let b = wal.append(LogRecord::Commit { txn: TxnId(1) });
+        assert_eq!(a, Lsn(0));
+        assert_eq!(b, Lsn(1));
+        assert_eq!(wal.len(), 2);
+    }
+
+    #[test]
+    fn durable_round_trip() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Begin {
+            txn: TxnId(1),
+            txn_type: TxnTypeId(0),
+        });
+        wal.append(LogRecord::Commit { txn: TxnId(1) });
+        let img = wal.to_bytes();
+        let restored = Wal::from_bytes(&img);
+        assert_eq!(restored.records(), wal.records());
+    }
+
+    #[test]
+    fn truncate_drops_tail() {
+        let mut wal = Wal::new();
+        for i in 0..5 {
+            wal.append(LogRecord::Commit { txn: TxnId(i) });
+        }
+        wal.truncate(Lsn(2));
+        assert_eq!(wal.len(), 2);
+        assert_eq!(wal.records()[1], LogRecord::Commit { txn: TxnId(1) });
+    }
+}

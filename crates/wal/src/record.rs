@@ -1,0 +1,91 @@
+//! Log record types.
+
+use acc_common::{Slot, TableId, TxnId, TxnTypeId};
+use acc_storage::Row;
+
+/// One entry on the write-ahead log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A transaction started.
+    Begin {
+        /// The transaction.
+        txn: TxnId,
+        /// Its analyzed type (drives compensation at recovery).
+        txn_type: TxnTypeId,
+    },
+    /// A physical row mutation. `before == None` is an insert,
+    /// `after == None` is a delete, both `Some` is an update.
+    Update {
+        /// Mutating transaction.
+        txn: TxnId,
+        /// Table mutated.
+        table: TableId,
+        /// Heap slot.
+        slot: Slot,
+        /// Before-image (`None` for inserts).
+        before: Option<Row>,
+        /// After-image (`None` for deletes).
+        after: Option<Row>,
+    },
+    /// A step completed. Updates at or before this record are durable and
+    /// will not be physically undone; the work area is what a compensating
+    /// step needs to semantically undo the transaction so far.
+    StepEnd {
+        /// The transaction.
+        txn: TxnId,
+        /// Zero-based index of the completed step.
+        step_index: u32,
+        /// Serialized transaction work area (opaque to the log).
+        work_area: Vec<u8>,
+    },
+    /// The transaction began running compensating steps (rollback of a
+    /// multi-step transaction).
+    CompensationBegin {
+        /// The transaction.
+        txn: TxnId,
+        /// Number of forward steps that had completed.
+        from_step: u32,
+    },
+    /// The transaction committed.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// The transaction finished rolling back (single-step abort or completed
+    /// compensation).
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+}
+
+impl LogRecord {
+    /// The transaction this record belongs to.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            LogRecord::Begin { txn, .. }
+            | LogRecord::Update { txn, .. }
+            | LogRecord::StepEnd { txn, .. }
+            | LogRecord::CompensationBegin { txn, .. }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn } => *txn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_accessor() {
+        let r = LogRecord::Commit { txn: TxnId(4) };
+        assert_eq!(r.txn(), TxnId(4));
+        let r = LogRecord::StepEnd {
+            txn: TxnId(7),
+            step_index: 1,
+            work_area: vec![1, 2],
+        };
+        assert_eq!(r.txn(), TxnId(7));
+    }
+}
