@@ -222,9 +222,21 @@ mod tests {
             // §4: instances of new-order can interleave arbitrarily — each
             // works on its own order id, and stock decrements commute with
             // the loop invariant.
-            .declare_safe(no_s2, no_loop, "each instance touches its own order's lines; stock decrements commute")
-            .declare_safe(no_s1, no_loop, "order ids are unique; inserting another order does not affect this order's lines")
-            .declare_safe(no_s2, DIRTY, "stock decrements commute; compensation restores by increment")
+            .declare_safe(
+                no_s2,
+                no_loop,
+                "each instance touches its own order's lines; stock decrements commute",
+            )
+            .declare_safe(
+                no_s1,
+                no_loop,
+                "order ids are unique; inserting another order does not affect this order's lines",
+            )
+            .declare_safe(
+                no_s2,
+                DIRTY,
+                "stock decrements commute; compensation restores by increment",
+            )
             .build();
 
         // bill's required I1 is invalidated by both new-order steps…

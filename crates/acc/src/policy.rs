@@ -60,9 +60,9 @@ impl TxnSpec {
         if i < self.steps.len() {
             &self.steps[i]
         } else {
-            let o = self
-                .overflow
-                .unwrap_or_else(|| panic!("{}: position {i} beyond spec with no overflow", self.name));
+            let o = self.overflow.unwrap_or_else(|| {
+                panic!("{}: position {i} beyond spec with no overflow", self.name)
+            });
             let cycle = self.steps.len() - o;
             &self.steps[o + (i - o) % cycle]
         }
@@ -107,7 +107,11 @@ impl Acc {
     }
 
     /// Templates active at a position whose footprints include `table`.
-    fn attached(&self, meta: &TxnMeta, table: TableId) -> impl Iterator<Item = AssertionTemplateId> + '_ {
+    fn attached(
+        &self,
+        meta: &TxnMeta,
+        table: TableId,
+    ) -> impl Iterator<Item = AssertionTemplateId> + '_ {
         let spec = self.spec(meta.txn_type);
         let active: &[AssertionTemplateId] = if meta.compensating {
             // A compensating step runs under no interstep assertions of its
@@ -160,6 +164,24 @@ impl ConcurrencyControl for Acc {
             kinds.push(LockKind::Assertional(self.spec(meta.txn_type).guard));
         }
         kinds.extend(self.attached(meta, table).map(LockKind::Assertional));
+        kinds
+    }
+
+    fn table_locks(&self, meta: &TxnMeta, _table: TableId, write: bool) -> Vec<LockKind> {
+        let mut kinds = vec![LockKind::Conventional(if write {
+            LockMode::IX
+        } else {
+            LockMode::IS
+        })];
+        if write {
+            // The conventional intention lock is dropped at the step
+            // boundary, so the guard must *also* pin the table: scans take
+            // only a table-granularity `S`, and without this pin they would
+            // read uncommitted pages without ever consulting the
+            // interference table (intention modes pass assertional grants,
+            // so key accesses by other transactions are unaffected).
+            kinds.push(LockKind::Assertional(self.spec(meta.txn_type).guard));
+        }
         kinds
     }
 
@@ -251,7 +273,11 @@ mod tests {
         let (acc, _) = policy();
         assert_eq!(acc.step_type(&meta(0, false)), StepTypeId(1));
         assert_eq!(acc.step_type(&meta(1, false)), StepTypeId(2));
-        assert_eq!(acc.step_type(&meta(7, false)), StepTypeId(2), "overflow loops");
+        assert_eq!(
+            acc.step_type(&meta(7, false)),
+            StepTypeId(2),
+            "overflow loops"
+        );
         assert_eq!(acc.step_type(&meta(7, true)), StepTypeId(4), "compensating");
         assert_eq!(acc.comp_step_type(TxnTypeId(1)), Some(StepTypeId(4)));
     }

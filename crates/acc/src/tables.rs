@@ -4,9 +4,9 @@
 //! conflict decision for an assertional lock is a dense-array lookup — the
 //! paper's key contrast with predicate locks (§3.2).
 
+use acc_common::ids::LEGACY_STEP;
 use acc_common::{AssertionTemplateId, StepTypeId};
 use acc_lockmgr::InterferenceOracle;
-use acc_common::ids::LEGACY_STEP;
 use std::collections::{HashMap, HashSet};
 
 /// The step-type × assertion-template interference matrix plus the metadata

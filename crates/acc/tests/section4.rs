@@ -20,12 +20,12 @@
 
 use acc_common::{Decimal, Error, Result, StepTypeId, TableId, TxnTypeId, Value};
 use acc_core::{
-    Acc, Analysis, AssertionInstance, AssertionRegistry, StepFootprint, StepSpec,
-    TableFootprint, TxnSpec, DIRTY,
+    Acc, Analysis, AssertionInstance, AssertionRegistry, StepFootprint, StepSpec, TableFootprint,
+    TxnSpec, DIRTY,
 };
 use acc_storage::{Catalog, ColumnType, Database, Key, Row, TableSchema};
 use acc_txn::{
-    run, AbortReason, RunOutcome, StepCtx, StepOutcome, TwoPhase, TxnProgram, SharedDb, WaitMode,
+    run, AbortReason, RunOutcome, SharedDb, StepCtx, StepOutcome, TwoPhase, TxnProgram, WaitMode,
 };
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
@@ -166,12 +166,36 @@ fn system(n_items: i64, stock_each: i64) -> System {
             ],
         ))
         // §4's semantic declarations: new-order instances interleave freely.
-        .declare_safe(NO_S1, no_loop, "order ids are unique; a new header does not affect another order's lines")
-        .declare_safe(NO_S2, no_loop, "each instance inserts lines for its own order; stock decrements commute")
-        .declare_safe(NO_CS, no_loop, "compensation removes only its own order's rows; restock commutes")
-        .declare_safe(NO_S1, DIRTY, "counter increments commute and are never compensated")
-        .declare_safe(NO_S2, DIRTY, "stock decrements commute; line inserts create fresh keys")
-        .declare_safe(NO_CS, DIRTY, "restock increments commute; deletes touch own keys only")
+        .declare_safe(
+            NO_S1,
+            no_loop,
+            "order ids are unique; a new header does not affect another order's lines",
+        )
+        .declare_safe(
+            NO_S2,
+            no_loop,
+            "each instance inserts lines for its own order; stock decrements commute",
+        )
+        .declare_safe(
+            NO_CS,
+            no_loop,
+            "compensation removes only its own order's rows; restock commutes",
+        )
+        .declare_safe(
+            NO_S1,
+            DIRTY,
+            "counter increments commute and are never compensated",
+        )
+        .declare_safe(
+            NO_S2,
+            DIRTY,
+            "stock decrements commute; line inserts create fresh keys",
+        )
+        .declare_safe(
+            NO_CS,
+            DIRTY,
+            "restock increments commute; deletes touch own keys only",
+        )
         .build();
 
     let registry = Arc::new(reg);
@@ -228,9 +252,8 @@ fn system(n_items: i64, stock_each: i64) -> System {
             ]))
             .unwrap();
     }
-    let shared = Arc::new(
-        SharedDb::new(db, Arc::new(tables)).with_wait_cap(Duration::from_secs(10)),
-    );
+    let shared =
+        Arc::new(SharedDb::new(db, Arc::new(tables)).with_wait_cap(Duration::from_secs(10)));
     System {
         shared,
         acc,
@@ -387,13 +410,12 @@ impl TxnProgram for Bill {
 /// Quiescence check: every order satisfies I1 and total stock+fills balance.
 fn check_consistency(sys: &System, n_items: i64, stock_each: i64) {
     sys.shared.with_core(|c| {
-        let orders: Vec<i64> = c
-            .db
-            .table(ORDERS)
-            .unwrap()
-            .iter()
-            .map(|(_, r)| r.int(0))
-            .collect();
+        let orders: Vec<i64> =
+            c.db.table(ORDERS)
+                .unwrap()
+                .iter()
+                .map(|(_, r)| r.int(0))
+                .collect();
         for o in orders {
             let inst = AssertionInstance {
                 template: sys.i1,
@@ -405,20 +427,18 @@ fn check_consistency(sys: &System, n_items: i64, stock_each: i64) {
             );
         }
         // Stock conservation: initial = remaining + sum(filled).
-        let filled: i64 = c
-            .db
-            .table(LINES)
-            .unwrap()
-            .iter()
-            .map(|(_, r)| r.int(4))
-            .sum();
-        let remaining: i64 = c
-            .db
-            .table(STOCK)
-            .unwrap()
-            .iter()
-            .map(|(_, r)| r.int(1))
-            .sum();
+        let filled: i64 =
+            c.db.table(LINES)
+                .unwrap()
+                .iter()
+                .map(|(_, r)| r.int(4))
+                .sum();
+        let remaining: i64 =
+            c.db.table(STOCK)
+                .unwrap()
+                .iter()
+                .map(|(_, r)| r.int(1))
+                .sum();
         assert_eq!(remaining + filled, n_items * stock_each);
         assert_eq!(c.lm.total_grants(), 0, "all locks drained");
     });
@@ -463,14 +483,13 @@ fn aborting_new_order_compensates() {
         }
         // The order number was consumed (compensation does not undo the
         // counter — its increments commute).
-        let counter = c
-            .db
-            .table(COUNTERS)
-            .unwrap()
-            .get(&Key::ints(&[0]))
-            .unwrap()
-            .1
-            .int(1);
+        let counter =
+            c.db.table(COUNTERS)
+                .unwrap()
+                .get(&Key::ints(&[0]))
+                .unwrap()
+                .1
+                .int(1);
         assert_eq!(counter, 2);
     });
 }
@@ -597,14 +616,13 @@ fn partial_fills_interleave_non_serializably_but_correctly() {
     sys.shared.with_core(|c| {
         // Total filled per item never exceeds available stock.
         for item in 0..2i64 {
-            let filled: i64 = c
-                .db
-                .table(LINES)
-                .unwrap()
-                .iter()
-                .filter(|(_, r)| r.int(2) == item)
-                .map(|(_, r)| r.int(4))
-                .sum();
+            let filled: i64 =
+                c.db.table(LINES)
+                    .unwrap()
+                    .iter()
+                    .filter(|(_, r)| r.int(2) == item)
+                    .map(|(_, r)| r.int(4))
+                    .sum();
             assert!(filled <= 10);
         }
     });

@@ -7,6 +7,8 @@
 //! measurement context (wall time here measures the simulator itself, which
 //! is also worth tracking).
 
+use acc_bench::microbench::Criterion;
+use acc_bench::{criterion_group, criterion_main};
 use acc_common::clock::SimTime;
 use acc_sim::{CcMode, CostModel, SimConfig, Simulator};
 use acc_tpcc::decompose::TpccSystem;
@@ -14,7 +16,6 @@ use acc_tpcc::input::TpccConfig;
 use acc_tpcc::schema::Scale;
 use acc_tpcc::trace::TraceCosts;
 use acc_tpcc::TpccTraceSource;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn run(mode: CcMode) -> f64 {

@@ -3,18 +3,17 @@
 //! The paper claims the overhead of an assertional lock is "comparable to
 //! that for conventional locks" (§3.2); these benchmarks measure both.
 
+use acc_bench::microbench::Criterion;
+use acc_bench::{criterion_group, criterion_main};
 use acc_common::{AssertionTemplateId, ResourceId, StepTypeId, TxnId};
-use acc_lockmgr::{
-    InterferenceOracle, LockKind, LockManager, Request, RequestCtx, RequestOutcome,
-};
-use criterion::{criterion_group, criterion_main, Criterion};
+use acc_lockmgr::{InterferenceOracle, LockKind, LockManager, Request, RequestCtx, RequestOutcome};
 use std::hint::black_box;
 
 struct TableOracle;
 
 impl InterferenceOracle for TableOracle {
     fn write_interferes(&self, step: StepTypeId, assertion: AssertionTemplateId) -> bool {
-        (step.raw() + assertion.raw()) % 5 == 0
+        (step.raw() + assertion.raw()).is_multiple_of(5)
     }
     fn read_interferes(&self, _: StepTypeId, _: AssertionTemplateId) -> bool {
         false

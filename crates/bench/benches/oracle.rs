@@ -5,9 +5,10 @@
 //! must evaluate predicate intersection. This bench measures the lookup on
 //! the real TPC-C interference tables.
 
+use acc_bench::microbench::Criterion;
+use acc_bench::{criterion_group, criterion_main};
 use acc_lockmgr::InterferenceOracle;
 use acc_tpcc::decompose::{step, TpccSystem};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_lookup(c: &mut Criterion) {

@@ -6,10 +6,13 @@
 //! ```
 //!
 //! Subcommands: `fig2`, `fig3`, `fig4`, `servers`, `olcount`, `ablation`,
-//! `all`. `--quick` runs a
+//! `twolevel`, `lockstat`, `tables`, `all`. `--quick` runs a
 //! shorter sweep for smoke-testing.
 
-use acc_bench::figures::{ablation_table, dump_tables, twolevel_table, fig2, fig3, fig4, olcount_table, servers_table, FigureParams};
+use acc_bench::figures::{
+    ablation_table, dump_tables, fig2, fig3, fig4, lockstat, olcount_table, servers_table,
+    twolevel_table, FigureParams,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +61,9 @@ fn main() {
         "twolevel" => {
             twolevel_table(&params);
         }
+        "lockstat" => {
+            lockstat(&params);
+        }
         "all" => {
             fig2(&params);
             fig3(&params);
@@ -68,7 +74,7 @@ fn main() {
             twolevel_table(&params);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|tables|all");
+            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|all");
             std::process::exit(2);
         }
     }

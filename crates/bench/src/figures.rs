@@ -188,11 +188,74 @@ pub fn sweep(params: &FigureParams) -> Vec<SweepPoint> {
         .collect()
 }
 
+/// One machine-readable JSON line for a single (mode, load) measurement,
+/// carrying the response-time headline plus the sink's lock/contention
+/// counters. Hand-built (the workspace is dependency-free); keys are stable.
+fn report_json(
+    experiment: &str,
+    series: &str,
+    terminals: usize,
+    mode: &str,
+    r: &SimReport,
+) -> String {
+    let c = &r.counters;
+    format!(
+        concat!(
+            "{{\"experiment\":\"{}\",\"series\":\"{}\",\"terminals\":{},",
+            "\"mode\":\"{}\",\"mean_response_ms\":{:.3},\"p95_response_ms\":{:.3},",
+            "\"throughput_tps\":{:.3},\"deadlocks\":{},\"lock_requests\":{},",
+            "\"lock_waits\":{},\"mean_lock_wait_ms\":{:.3},\"assertion_pins\":{},",
+            "\"interference_hits\":{},\"conservative_denials\":{},",
+            "\"deadlock_cycles\":{},\"deadlock_victims\":{},\"compensations\":{}}}"
+        ),
+        experiment,
+        series,
+        terminals,
+        mode,
+        r.mean_response_ms,
+        r.p95_response_ms,
+        r.throughput_tps,
+        r.deadlocks,
+        c.lock_requests,
+        c.lock_waits,
+        c.mean_wait_ms(),
+        c.assertion_pins,
+        c.interference_hits,
+        c.conservative_denials,
+        c.deadlocks,
+        c.deadlock_victims,
+        c.compensations,
+    )
+}
+
+/// Emit the sweep as JSON lines (one per mode per point) for downstream
+/// scripting; printed after each human-readable table.
+fn print_json(experiment: &str, series: &str, points: &[SweepPoint]) {
+    for p in points {
+        println!(
+            "{}",
+            report_json(experiment, series, p.terminals, "2pl", &p.two_phase)
+        );
+        println!(
+            "{}",
+            report_json(experiment, series, p.terminals, "acc", &p.acc)
+        );
+    }
+}
+
 fn print_header(title: &str) {
     println!("\n=== {title} ===");
     println!(
         "{:>9} | {:>12} {:>12} | {:>9} | {:>9} | {:>7} {:>7} | {:>5} {:>5}",
-        "terminals", "2PL rt (ms)", "ACC rt (ms)", "rt ratio", "tp ratio", "2PL tps", "ACC tps", "2PLdl", "ACCdl"
+        "terminals",
+        "2PL rt (ms)",
+        "ACC rt (ms)",
+        "rt ratio",
+        "tp ratio",
+        "2PL tps",
+        "ACC tps",
+        "2PLdl",
+        "ACCdl"
     );
     println!("{}", "-".repeat(100));
 }
@@ -226,6 +289,8 @@ pub fn fig2(params: &FigureParams) -> (Vec<SweepPoint>, Vec<SweepPoint>) {
     print_points(&standard);
     print_header("Figure 2: The Effect of Hotspots — Skewed district distribution");
     print_points(&skewed);
+    print_json("fig2", "standard", &standard);
+    print_json("fig2", "skewed", &skewed);
     (standard, skewed)
 }
 
@@ -244,6 +309,8 @@ pub fn fig3(params: &FigureParams) -> (Vec<SweepPoint>, Vec<SweepPoint>) {
     print_points(&without);
     print_header("Figure 3: The Effect of Transaction Duration — with compute time");
     print_points(&with);
+    print_json("fig3", "no_compute", &without);
+    print_json("fig3", "with_compute", &with);
     (without, with)
 }
 
@@ -253,6 +320,7 @@ pub fn fig4(params: &FigureParams) -> Vec<SweepPoint> {
     let points = sweep(params);
     print_header("Figure 4: Response Time and Throughput");
     print_points(&points);
+    print_json("fig4", "standard", &points);
     points
 }
 
@@ -306,6 +374,8 @@ pub fn olcount_table(params: &FigureParams) -> (Vec<SweepPoint>, Vec<SweepPoint>
     print_points(&standard);
     print_header("§5.2 knob: order-line count 10–20 (longer transactions)");
     print_points(&longer);
+    print_json("olcount", "ol_5_15", &standard);
+    print_json("olcount", "ol_10_20", &longer);
     (standard, longer)
 }
 
@@ -327,7 +397,13 @@ pub fn ablation_table(params: &FigureParams) -> Vec<(String, SimReport)> {
     let rows = vec![
         (
             "strict 2PL (baseline)".to_owned(),
-            run_custom(params, CcMode::TwoPhase, terminals, CostModel::default(), true),
+            run_custom(
+                params,
+                CcMode::TwoPhase,
+                terminals,
+                CostModel::default(),
+                true,
+            ),
         ),
         (
             "ACC (full)".to_owned(),
@@ -346,7 +422,10 @@ pub fn ablation_table(params: &FigureParams) -> Vec<(String, SimReport)> {
             run_custom(params, CcMode::Acc, terminals, double, true),
         ),
     ];
-    println!("\n=== Ablations ({terminals} terminals, {} servers) ===", params.servers);
+    println!(
+        "\n=== Ablations ({terminals} terminals, {} servers) ===",
+        params.servers
+    );
     println!(
         "{:<24} {:>12} {:>9} {:>7}",
         "variant", "mean rt (ms)", "tps", "dl"
@@ -359,6 +438,48 @@ pub fn ablation_table(params: &FigureParams) -> Vec<(String, SimReport)> {
         );
     }
     rows
+}
+
+/// Run one short, highly contended simulation (skewed districts, maximum
+/// terminals of the sweep, ACC) and print the event sink's `lockstat` dump:
+/// counter summary, top contended resources, wait-time histogram, and
+/// deadlock cycle traces, followed by the same counters as a JSON line.
+pub fn lockstat(params: &FigureParams) -> SimReport {
+    let terminals = *params.terminals.last().expect("non-empty sweep");
+    let sys = TpccSystem::build();
+    let mut source = TpccTraceSource::new(
+        TpccConfig::skewed(params.tpcc.scale),
+        params.seed,
+        sys.templates,
+        params.costs.clone(),
+    );
+    let config = SimConfig {
+        mode: CcMode::Acc,
+        servers: params.servers,
+        terminals,
+        // Short think time = high contention: the point here is to exercise
+        // the lock table, not to reproduce the paper's load regime.
+        think_time: SimTime::from_millis(2_000),
+        duration: SimTime::from_micros(60_000_000),
+        warmup: SimTime::from_micros(10_000_000),
+        seed: params.seed,
+        costs: CostModel::default(),
+        release_at_step_end: true,
+        two_level_templates: Vec::new(),
+    };
+    let sim = Simulator::new(config, &*sys.tables, &mut source);
+    let sink = sim.event_sink();
+    let report = sim.run();
+    println!(
+        "\n=== lockstat: skewed TPC-C, {terminals} terminals, {} servers, ACC ===",
+        params.servers
+    );
+    print!("{}", sink.lockstat_dump());
+    println!(
+        "{}",
+        report_json("lockstat", "skewed", terminals, "acc", &report)
+    );
+    report
 }
 
 /// Dump the TPC-C design-time analysis: the step×template interference

@@ -8,8 +8,9 @@
 //! numbers.
 
 pub mod figures;
+pub mod microbench;
 
 pub use figures::{
-    ablation_table, dump_tables, fig2, twolevel_table, fig3, fig4, olcount_table, servers_table, sweep, FigureParams,
-    SweepPoint,
+    ablation_table, dump_tables, fig2, fig3, fig4, olcount_table, servers_table, sweep,
+    twolevel_table, FigureParams, SweepPoint,
 };

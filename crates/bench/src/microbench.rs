@@ -1,0 +1,128 @@
+//! Minimal, dependency-free micro-benchmark harness.
+//!
+//! Exposes the narrow slice of the criterion API the benches in
+//! `benches/` use: `Criterion::bench_function`, `benchmark_group` /
+//! `BenchmarkGroup::{sample_size, bench_function, finish}`, `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up briefly, then timed over a fixed number of samples; the median
+//! per-iteration time is reported to stdout.
+
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLES: usize = 50;
+const WARMUP: Duration = Duration::from_millis(100);
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+pub struct Bencher {
+    /// Iterations per timed sample, calibrated during warmup.
+    iters_per_sample: u64,
+    /// Per-iteration nanoseconds for each sample.
+    samples_ns: Vec<f64>,
+    n_samples: usize,
+    calibrating: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.calibrating {
+            // Warmup + calibration: find how many iterations fill a sample.
+            let start = Instant::now();
+            let mut n = 0u64;
+            while start.elapsed() < WARMUP {
+                std::hint::black_box(f());
+                n += 1;
+            }
+            let per_iter = WARMUP.as_secs_f64() / n.max(1) as f64;
+            self.iters_per_sample = ((TARGET_SAMPLE_TIME.as_secs_f64() / per_iter) as u64).max(1);
+            return;
+        }
+        for _ in 0..self.n_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, n_samples: usize, mut f: F) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples_ns: Vec::new(),
+        n_samples,
+        calibrating: true,
+    };
+    f(&mut b);
+    b.calibrating = false;
+    f(&mut b);
+    b.samples_ns.sort_by(|a, x| a.partial_cmp(x).unwrap());
+    if b.samples_ns.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let median = b.samples_ns[b.samples_ns.len() / 2];
+    let lo = b.samples_ns[0];
+    let hi = b.samples_ns[b.samples_ns.len() - 1];
+    println!("{name:<44} {median:>12.1} ns/iter  [{lo:.1} .. {hi:.1}]");
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, DEFAULT_SAMPLES, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::microbench::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -4,14 +4,13 @@
 //! interference tables talk about is a [`StepTypeId`] × [`AssertionTemplateId`]
 //! pair. Keeping these as newtypes prevents an entire class of index mix-ups.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! id_newtype {
     ($(#[$doc:meta])* $name:ident($inner:ty)) => {
         $(#[$doc])*
         #[derive(
-            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
         )]
         pub struct $name(pub $inner);
 
@@ -72,7 +71,7 @@ pub type Slot = u64;
 /// The engine locks *pages* by default (as Open Ingres did), with row-level
 /// resources available for hot tuples and named resources for things like
 /// sequence counters that live outside any table.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ResourceId {
     /// An entire table (used for intention locking and scans).
     Table(TableId),
@@ -145,7 +144,10 @@ mod tests {
 
     #[test]
     fn resource_display() {
-        assert_eq!(ResourceId::Page(TableId(2), 7).to_string(), "table#2/page#7");
+        assert_eq!(
+            ResourceId::Page(TableId(2), 7).to_string(),
+            "table#2/page#7"
+        );
         assert_eq!(ResourceId::Named(3).to_string(), "named#3");
     }
 }

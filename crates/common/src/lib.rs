@@ -11,16 +11,21 @@
 //! * [`rng`] — seeded random generation, Zipf skew and the TPC-C `NURand`
 //!   non-uniform distribution,
 //! * [`clock`] — a clock abstraction shared by the real engine (wall clock)
-//!   and the discrete-event simulator (virtual clock).
+//!   and the discrete-event simulator (virtual clock),
+//! * [`events`] — the zero-cost-when-disabled observability sink (structured
+//!   lock/step events, atomic counters, `lockstat` dumps).
 
 pub mod clock;
 pub mod error;
+pub mod events;
 pub mod ids;
 pub mod rng;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use events::{CounterSnapshot, Event, EventLog, EventSink, KindRepr, TxnList};
 pub use ids::{
     AssertionTemplateId, PageNo, ResourceId, Slot, StepTypeId, TableId, TxnId, TxnTypeId,
 };
+pub use rng::SeededRng;
 pub use value::{Decimal, Value};

@@ -5,42 +5,79 @@
 //! with [`Zipf`]; the TPC-C input generator uses [`NuRand`], the benchmark's
 //! non-uniform distribution (TPC-C spec clause 2.1.6).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
 /// A seedable RNG with the handful of helpers the workspace uses.
 ///
-/// Wraps [`rand::rngs::StdRng`] so the `rand` API surface is confined to this
-/// module. Not `Clone` (deliberately, matching `StdRng`): derive independent
-/// streams with [`SeededRng::fork`] instead.
+/// Self-contained xoshiro256++ generator (seeded through SplitMix64) so the
+/// workspace has no external RNG dependency. Not `Clone` (deliberately):
+/// derive independent streams with [`SeededRng::fork`] instead.
 #[derive(Debug)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SeededRng {
     /// Deterministic RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         SeededRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+
+    /// Uniform `u64` in `[0, span)` via 128-bit multiply reduction.
+    fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        (((self.next_u64() as u128) * (span as u128)) >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive).
     pub fn int_range(&mut self, lo: i64, hi: i64) -> i64 {
         debug_assert!(lo <= hi);
-        self.inner.random_range(lo..=hi)
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.bounded(span + 1) as i64)
     }
 
     /// Uniform `usize` in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
         debug_assert!(n > 0);
-        self.inner.random_range(0..n)
+        self.bounded(n as u64) as usize
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.random_range(0.0..1.0)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli trial with probability `p`.
@@ -58,23 +95,23 @@ impl SeededRng {
     /// Random alphanumeric string with length uniform in `[lo, hi]`.
     pub fn alnum_string(&mut self, lo: usize, hi: usize) -> String {
         const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
-        let len = self.inner.random_range(lo..=hi);
+        let len = lo + self.bounded((hi - lo + 1) as u64) as usize;
         (0..len)
-            .map(|_| CHARS[self.inner.random_range(0..CHARS.len())] as char)
+            .map(|_| CHARS[self.index(CHARS.len())] as char)
             .collect()
     }
 
     /// Fisher–Yates shuffle.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.random_range(0..=i);
+            let j = self.bounded(i as u64 + 1) as usize;
             xs.swap(i, j);
         }
     }
 
     /// Derive an independent RNG (e.g. one per simulated terminal).
     pub fn fork(&mut self) -> SeededRng {
-        SeededRng::new(self.inner.random())
+        SeededRng::new(self.next_u64())
     }
 }
 

@@ -4,7 +4,6 @@
 //! [`Value`]. Money and rates use [`Decimal`], a scale-4 fixed-point integer
 //! (1 unit = 10⁻⁴), which is exact for every amount TPC-C manipulates.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -13,7 +12,7 @@ use std::fmt;
 /// `Decimal::from_units(12345)` is `1.2345`; `Decimal::from_int(3)` is `3.0000`.
 /// Arithmetic is plain integer arithmetic on the underlying units and panics
 /// on overflow in debug builds, exactly like Rust integers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Decimal(i64);
 
 impl Decimal {
@@ -125,7 +124,7 @@ impl fmt::Display for Decimal {
 ///
 /// `Null` compares less than every non-null value so keys containing nulls
 /// still have a total order; the storage layer forbids nulls in key columns.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Value {
     /// SQL NULL.
     Null,

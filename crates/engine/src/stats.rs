@@ -1,7 +1,8 @@
 //! Latency and throughput accounting.
 
 use acc_common::clock::SimTime;
-use parking_lot::Mutex;
+use acc_common::events::{CounterSnapshot, EventSink};
+use std::sync::{Arc, Mutex};
 
 /// Summary statistics over a set of latencies.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +54,7 @@ pub struct StatsCollector {
     samples: Mutex<Vec<u64>>,
     committed: Mutex<u64>,
     aborted: Mutex<u64>,
+    sink: Mutex<Option<Arc<EventSink>>>,
 }
 
 impl StatsCollector {
@@ -61,30 +63,50 @@ impl StatsCollector {
         Self::default()
     }
 
+    /// Attach the lock manager's event sink so reports can embed lock/step
+    /// counters next to latency and throughput.
+    pub fn attach_sink(&self, sink: Arc<EventSink>) {
+        *self.sink.lock().unwrap() = Some(sink);
+    }
+
+    /// Snapshot of the attached sink's counters (all zero if no sink is
+    /// attached or the sink is disabled).
+    pub fn lock_counters(&self) -> CounterSnapshot {
+        self.sink
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|s| s.counters())
+            .unwrap_or_default()
+    }
+
     /// Record one committed transaction's response time.
     pub fn record_commit(&self, start: SimTime, end: SimTime) {
-        self.samples.lock().push(end.since(start).as_micros());
-        *self.committed.lock() += 1;
+        self.samples
+            .lock()
+            .unwrap()
+            .push(end.since(start).as_micros());
+        *self.committed.lock().unwrap() += 1;
     }
 
     /// Record a rollback (counts toward aborts, not latency).
     pub fn record_abort(&self) {
-        *self.aborted.lock() += 1;
+        *self.aborted.lock().unwrap() += 1;
     }
 
     /// Commits recorded so far.
     pub fn committed(&self) -> u64 {
-        *self.committed.lock()
+        *self.committed.lock().unwrap()
     }
 
     /// Aborts recorded so far.
     pub fn aborted(&self) -> u64 {
-        *self.aborted.lock()
+        *self.aborted.lock().unwrap()
     }
 
     /// Snapshot the latency distribution.
     pub fn latency(&self) -> LatencyStats {
-        LatencyStats::from_micros(self.samples.lock().clone())
+        LatencyStats::from_micros(self.samples.lock().unwrap().clone())
     }
 }
 

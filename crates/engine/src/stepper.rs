@@ -91,7 +91,12 @@ impl<'a> Stepper<'a> {
         let mut rng = SeededRng::new(config.seed);
         let mut slots: Vec<Slot> = programs
             .iter()
-            .map(|p| Slot::Ready(Transaction::new(self.shared.begin_txn(p.txn_type()), p.txn_type())))
+            .map(|p| {
+                Slot::Ready(Transaction::new(
+                    self.shared.begin_txn(p.txn_type()),
+                    p.txn_type(),
+                ))
+            })
             .collect();
         let mut resubmits = vec![0u32; programs.len()];
         let mut deadlock_retried = vec![false; programs.len()];
@@ -191,14 +196,16 @@ impl<'a> Stepper<'a> {
                 Err(Error::WouldBlock { .. }) => {
                     undo_current_step(self.shared, &mut txn)?;
                     if self.cc.decomposed() {
-                        self.shared.release_where(txn.id, |k, _| k.is_conventional());
+                        self.shared
+                            .release_where(txn.id, |k, _| k.is_conventional());
                     }
                     slots[pick] = Slot::Blocked(txn);
                 }
                 Err(Error::Deadlock { .. }) => {
                     undo_current_step(self.shared, &mut txn)?;
                     if self.cc.decomposed() {
-                        self.shared.release_where(txn.id, |k, _| k.is_conventional());
+                        self.shared
+                            .release_where(txn.id, |k, _| k.is_conventional());
                     }
                     if self.cc.decomposed() && !deadlock_retried[pick] {
                         // §3.4: retry the victim step once before rolling the

@@ -8,6 +8,7 @@
 
 use crate::stats::{LatencyStats, StatsCollector};
 use acc_common::clock::{Clock, RealClock};
+use acc_common::events::CounterSnapshot;
 use acc_common::rng::SeededRng;
 use acc_txn::{run, ConcurrencyControl, RunOutcome, SharedDb, TxnProgram, WaitMode};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,6 +45,10 @@ pub struct ClosedLoopReport {
     pub latency: LatencyStats,
     /// Committed transactions per second.
     pub throughput_tps: f64,
+    /// Lock/step counters accumulated during the run (all zero unless an
+    /// enabled [`acc_common::events::EventSink`] was installed on the shared
+    /// system before the run).
+    pub lock_counters: CounterSnapshot,
 }
 
 /// Drive `workload` from `config.terminals` threads for the configured
@@ -56,6 +61,8 @@ pub fn run_closed_loop(
     config: &ClosedLoopConfig,
 ) -> ClosedLoopReport {
     let stats = Arc::new(StatsCollector::new());
+    stats.attach_sink(shared.event_sink());
+    let counters_before = stats.lock_counters();
     let stop = Arc::new(AtomicBool::new(false));
     let clock = Arc::new(RealClock::new());
     let mut root_rng = SeededRng::new(config.seed);
@@ -104,5 +111,6 @@ pub fn run_closed_loop(
         aborted: stats.aborted(),
         latency: stats.latency(),
         throughput_tps: committed as f64 / config.duration.as_secs_f64(),
+        lock_counters: stats.lock_counters() - counters_before,
     }
 }

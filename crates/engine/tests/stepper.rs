@@ -1,15 +1,14 @@
 //! Deterministic-scheduler tests: seeded interleaving exploration with
 //! invariant checking at quiescence.
 
+use acc_common::SeededRng;
 use acc_common::{Decimal, Result, StepTypeId, TableId, TxnTypeId, Value};
+use acc_engine::{Stepper, StepperConfig};
 use acc_lockmgr::{LockKind, LockMode, NoInterference};
 use acc_storage::{Catalog, ColumnType, Database, Key, Row, TableSchema};
-use acc_engine::{Stepper, StepperConfig};
 use acc_txn::{
-    ConcurrencyControl, RunOutcome, SharedDb, StepCtx, StepOutcome, TwoPhase, TxnMeta,
-    TxnProgram,
+    ConcurrencyControl, RunOutcome, SharedDb, StepCtx, StepOutcome, TwoPhase, TxnMeta, TxnProgram,
 };
-use proptest::prelude::*;
 use std::sync::Arc;
 
 const ACCOUNTS: TableId = TableId(0);
@@ -172,7 +171,10 @@ fn cross_blocking_two_phase_stall_is_resolved() {
             )
             .unwrap();
         for o in &report.outcomes {
-            assert!(matches!(o, RunOutcome::Committed { .. }), "seed {seed}: {report:?}");
+            assert!(
+                matches!(o, RunOutcome::Committed { .. }),
+                "seed {seed}: {report:?}"
+            );
         }
         assert_eq!(total(&shared), Decimal::from_int(200), "seed {seed}");
         shared.with_core(|c| assert_eq!(c.lm.total_grants(), 0));
@@ -187,11 +189,20 @@ fn schedules_vary_with_seed() {
         let mut programs = transfers(5, true);
         let mut stepper = Stepper::new(&shared, &StepRelease);
         let report = stepper
-            .run_all(&mut programs, &StepperConfig { seed, max_resubmits: 10 })
+            .run_all(
+                &mut programs,
+                &StepperConfig {
+                    seed,
+                    max_resubmits: 10,
+                },
+            )
             .unwrap();
         seen.insert(report.schedule.clone());
     }
-    assert!(seen.len() > 1, "seeds should explore distinct interleavings");
+    assert!(
+        seen.len() > 1,
+        "seeds should explore distinct interleavings"
+    );
 }
 
 #[test]
@@ -211,35 +222,48 @@ fn step_start_hook_observes_every_attempt() {
     assert!(count.get() >= report.schedule.len());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn decomposed_transfers_conserve_money(seed in 0u64..10_000) {
+#[test]
+fn decomposed_transfers_conserve_money() {
+    let mut rng = SeededRng::new(0xdec0);
+    for _case in 0..48 {
+        let seed = rng.int_range(0, 9_999) as u64;
         let shared = shared(4);
         let mut programs = transfers(8, true);
         let mut stepper = Stepper::new(&shared, &StepRelease);
         let report = stepper
-            .run_all(&mut programs, &StepperConfig { seed, max_resubmits: 20 })
+            .run_all(
+                &mut programs,
+                &StepperConfig {
+                    seed,
+                    max_resubmits: 20,
+                },
+            )
             .unwrap();
         // Commits move money, rollbacks compensate: either way the total is
         // conserved at quiescence.
-        prop_assert_eq!(total(&shared), Decimal::from_int(400));
-        shared.with_core(|c| {
-            prop_assert_eq!(c.lm.total_grants(), 0);
-            Ok(())
-        })?;
-        prop_assert!(report.attempts >= report.schedule.len());
+        assert_eq!(total(&shared), Decimal::from_int(400), "seed {seed}");
+        shared.with_core(|c| assert_eq!(c.lm.total_grants(), 0, "seed {seed}"));
+        assert!(report.attempts >= report.schedule.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn two_phase_transfers_conserve_money(seed in 0u64..10_000) {
+#[test]
+fn two_phase_transfers_conserve_money() {
+    let mut rng = SeededRng::new(0x2b1);
+    for _case in 0..48 {
+        let seed = rng.int_range(0, 9_999) as u64;
         let shared = shared(4);
         let mut programs = transfers(8, false);
         let mut stepper = Stepper::new(&shared, &TwoPhase);
         stepper
-            .run_all(&mut programs, &StepperConfig { seed, max_resubmits: 20 })
+            .run_all(
+                &mut programs,
+                &StepperConfig {
+                    seed,
+                    max_resubmits: 20,
+                },
+            )
             .unwrap();
-        prop_assert_eq!(total(&shared), Decimal::from_int(400));
+        assert_eq!(total(&shared), Decimal::from_int(400), "seed {seed}");
     }
 }

@@ -45,7 +45,7 @@ pub mod oracle;
 pub mod request;
 mod waitfor;
 
-pub use manager::{GrantNotice, LockManager, RequestOutcome, Ticket};
+pub use manager::{Detection, GrantNotice, LockManager, RequestOutcome, Ticket};
 pub use mode::LockMode;
 pub use oracle::{InterferenceOracle, NoInterference, TotalInterference};
 pub use request::{LockKind, Request, RequestCtx};

@@ -4,8 +4,10 @@ use crate::mode::{conv_compatible, LockMode};
 use crate::oracle::InterferenceOracle;
 use crate::request::{LockKind, Request, RequestCtx};
 use crate::waitfor::WaitForGraph;
+use acc_common::events::{Event, EventSink, KindRepr, TxnList};
 use acc_common::{ResourceId, TxnId};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Identifies a waiting request; returned on enqueue, echoed on grant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,6 +45,22 @@ pub struct GrantNotice {
     pub resource: ResourceId,
 }
 
+/// The result of [`LockManager::detect_from`] when a cycle was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detection {
+    /// Transactions whose current steps must be aborted to break the cycle.
+    pub victims: Vec<TxnId>,
+    /// True if the caller itself is the victim: its queued requests have been
+    /// withdrawn and it must undo its step and retry. False means the caller
+    /// is compensating; the victims are the parties delaying it and the
+    /// caller keeps waiting.
+    pub self_is_victim: bool,
+    /// Waiters that became grantable because the victim's withdrawn requests
+    /// were unclogging their queues. The caller MUST deliver these exactly
+    /// like release notices, or those waiters stall.
+    pub notices: Vec<GrantNotice>,
+}
+
 #[derive(Debug, Clone)]
 struct Grant {
     txn: TxnId,
@@ -70,6 +88,9 @@ pub struct LockManager {
     heads: HashMap<ResourceId, LockHead>,
     held: HashMap<TxnId, HashSet<ResourceId>>,
     next_ticket: u64,
+    /// Observability sink; disabled by default, so the hot path pays one
+    /// relaxed atomic load per instrumented site.
+    sink: Arc<EventSink>,
 }
 
 impl LockManager {
@@ -78,8 +99,40 @@ impl LockManager {
         Self::default()
     }
 
+    /// Route this manager's events into `sink` (shared with whoever reads
+    /// counters/dumps from it).
+    pub fn set_sink(&mut self, sink: Arc<EventSink>) {
+        self.sink = sink;
+    }
+
+    /// The manager's event sink.
+    pub fn sink(&self) -> &Arc<EventSink> {
+        &self.sink
+    }
+
+    /// The observability image of a lock kind.
+    pub fn kind_repr(kind: LockKind) -> KindRepr {
+        match kind {
+            LockKind::Conventional(LockMode::IS) => KindRepr::IS,
+            LockKind::Conventional(LockMode::IX) => KindRepr::IX,
+            LockKind::Conventional(LockMode::S) => KindRepr::S,
+            LockKind::Conventional(LockMode::SIX) => KindRepr::SIX,
+            LockKind::Conventional(LockMode::X) => KindRepr::X,
+            LockKind::Assertional(t) => KindRepr::assertional(t),
+        }
+    }
+
     /// Request a lock. See [`RequestOutcome`].
     pub fn request(&mut self, req: Request, oracle: &dyn InterferenceOracle) -> RequestOutcome {
+        if self.sink.is_enabled() {
+            self.sink.emit(Event::LockRequest {
+                txn: req.txn,
+                resource: req.resource,
+                kind: Self::kind_repr(req.kind),
+                step_type: req.ctx.step_type,
+                compensating: req.ctx.compensating,
+            });
+        }
         let head = self.heads.entry(req.resource).or_default();
 
         // Re-entrant and covered requests.
@@ -93,10 +146,24 @@ impl LockManager {
                     if held.covers(want) =>
                 {
                     g.count += 1;
+                    self.sink.emit(Event::LockGranted {
+                        txn: req.txn,
+                        resource: req.resource,
+                        kind: Self::kind_repr(req.kind),
+                        step_type: req.ctx.step_type,
+                        compensating: req.ctx.compensating,
+                    });
                     return RequestOutcome::Granted;
                 }
                 (LockKind::Assertional(a), LockKind::Assertional(b)) if a == b => {
                     g.count += 1;
+                    self.sink.emit(Event::LockGranted {
+                        txn: req.txn,
+                        resource: req.resource,
+                        kind: Self::kind_repr(req.kind),
+                        step_type: req.ctx.step_type,
+                        compensating: req.ctx.compensating,
+                    });
                     return RequestOutcome::Granted;
                 }
                 _ => {} // conventional upgrade, handled below
@@ -106,9 +173,10 @@ impl LockManager {
         let upgrade = Self::upgrade_target(head, &req);
         let effective_kind = upgrade.map(LockKind::Conventional).unwrap_or(req.kind);
 
-        let blocked_by_grant = head.granted.iter().any(|g| {
-            g.txn != req.txn && Self::conflicts(effective_kind, &req.ctx, g, oracle)
-        });
+        let blocked_by_grant = head
+            .granted
+            .iter()
+            .any(|g| g.txn != req.txn && Self::conflicts(effective_kind, &req.ctx, g, oracle));
         // Strict FIFO: a brand-new request waits behind any queued waiter —
         // UNLESS the requester already holds a grant on this resource
         // (conventional upgrade, or an assertional pin added next to an
@@ -123,7 +191,39 @@ impl LockManager {
         if !blocked_by_grant && !blocked_by_queue {
             Self::install_grant(head, &req, effective_kind);
             self.held.entry(req.txn).or_default().insert(req.resource);
+            if self.sink.is_enabled() {
+                Self::emit_grant(&self.sink, req.txn, req.resource, effective_kind, &req.ctx);
+            }
             return RequestOutcome::Granted;
+        }
+
+        // Queue-cause analysis for the event log (off the disabled-sink hot
+        // path): was the wait forced by a real interference-table hit, or
+        // purely by FIFO position behind an earlier waiter?
+        if self.sink.is_enabled() {
+            let mut blocked_by_assertion = false;
+            for g in head.granted.iter() {
+                if g.txn == req.txn || !Self::conflicts(effective_kind, &req.ctx, g, oracle) {
+                    continue;
+                }
+                if let LockKind::Assertional(template) = g.kind {
+                    blocked_by_assertion = true;
+                    self.sink.emit(Event::InterferenceHit {
+                        txn: req.txn,
+                        step_type: req.ctx.step_type,
+                        template,
+                        resource: req.resource,
+                    });
+                }
+            }
+            self.sink.emit(Event::LockWait {
+                txn: req.txn,
+                resource: req.resource,
+                kind: Self::kind_repr(effective_kind),
+                compensating: req.ctx.compensating,
+                blocked_by_assertion,
+                conservative: !blocked_by_grant && blocked_by_queue,
+            });
         }
 
         // Enqueue.
@@ -152,9 +252,31 @@ impl LockManager {
                     // *compensating* cycle members are equally unabortable —
                     // exclude them (they resolve their own sub-cycle).
                     let victims: Vec<TxnId> = cycle
-                        .into_iter()
+                        .iter()
+                        .copied()
                         .filter(|&t| t != req.txn && !self.has_compensating_waiter(t))
                         .collect();
+                    if self.sink.is_enabled() {
+                        self.sink.emit(Event::Deadlock {
+                            cycle: TxnList::from_slice(&cycle),
+                            victims: TxnList::from_slice(if victims.is_empty() {
+                                std::slice::from_ref(&req.txn)
+                            } else {
+                                &victims
+                            }),
+                            compensating_requester: true,
+                        });
+                        // The degenerate comp-vs-comp retry below is NOT a
+                        // victimization (no step is aborted, the requester
+                        // just re-runs its lock acquisition), so victim
+                        // events are emitted only for real victims.
+                        for &v in &victims {
+                            self.sink.emit(Event::DeadlockVictim {
+                                txn: v,
+                                compensating: false,
+                            });
+                        }
+                    }
                     if victims.is_empty() {
                         // Degenerate compensating-vs-compensating deadlock:
                         // somebody must retry; the requester's conventional
@@ -181,6 +303,17 @@ impl LockManager {
                             );
                         }
                     }
+                    if self.sink.is_enabled() {
+                        self.sink.emit(Event::Deadlock {
+                            cycle: TxnList::from_slice(&cycle),
+                            victims: TxnList::from_slice(std::slice::from_ref(&req.txn)),
+                            compensating_requester: false,
+                        });
+                        self.sink.emit(Event::DeadlockVictim {
+                            txn: req.txn,
+                            compensating: false,
+                        });
+                    }
                     // The requester's step is the victim; withdraw the
                     // request (the caller will undo the step and retry).
                     let head = self.heads.get_mut(&req.resource).expect("head exists");
@@ -202,15 +335,29 @@ impl LockManager {
         oracle: &dyn InterferenceOracle,
         pred: impl Fn(LockKind, &RequestCtx) -> bool,
     ) -> Vec<GrantNotice> {
-        let resources: Vec<ResourceId> = self
+        let mut resources: Vec<ResourceId> = self
             .held
             .get(&txn)
             .map(|s| s.iter().copied().collect())
             .unwrap_or_default();
+        // Same ordering requirement as `cancel_waiting`: release (and hence
+        // wake) in resource order, not hash order.
+        resources.sort_unstable();
         let mut notices = Vec::new();
         for r in resources {
             let head = self.heads.get_mut(&r).expect("held resource has a head");
             let before = head.granted.len();
+            if self.sink.is_enabled() {
+                for g in head.granted.iter() {
+                    if g.txn == txn && pred(g.kind, &g.ctx) {
+                        self.sink.emit(Event::LockReleased {
+                            txn,
+                            resource: r,
+                            kind: Self::kind_repr(g.kind),
+                        });
+                    }
+                }
+            }
             head.granted
                 .retain(|g| !(g.txn == txn && pred(g.kind, &g.ctx)));
             let changed = head.granted.len() != before;
@@ -230,11 +377,7 @@ impl LockManager {
     }
 
     /// Release everything `txn` holds and cancel anything it is waiting for.
-    pub fn release_all(
-        &mut self,
-        txn: TxnId,
-        oracle: &dyn InterferenceOracle,
-    ) -> Vec<GrantNotice> {
+    pub fn release_all(&mut self, txn: TxnId, oracle: &dyn InterferenceOracle) -> Vec<GrantNotice> {
         let mut notices = self.cancel_waiting(txn, oracle);
         notices.extend(self.release_where(txn, oracle, |_, _| true));
         notices
@@ -247,12 +390,15 @@ impl LockManager {
         txn: TxnId,
         oracle: &dyn InterferenceOracle,
     ) -> Vec<GrantNotice> {
-        let resources: Vec<ResourceId> = self
+        let mut resources: Vec<ResourceId> = self
             .heads
             .iter()
             .filter(|(_, h)| h.waiting.iter().any(|w| w.req.txn == txn))
             .map(|(r, _)| *r)
             .collect();
+        // Hash-map iteration order varies between processes; grant notices
+        // must not (the simulator replays them deterministically).
+        resources.sort_unstable();
         let mut notices = Vec::new();
         for r in resources {
             let head = self.heads.get_mut(&r).expect("resource has a head");
@@ -337,16 +483,21 @@ impl LockManager {
     /// wait loops (timeout-based re-detection, as classic systems did) and
     /// resolve exactly like [`LockManager::request`] would have:
     ///
-    /// * `Some((victims, true))` — the caller's step is the victim; its
-    ///   queued requests have been withdrawn, undo and retry;
-    /// * `Some((victims, false))` — the caller is compensating: the listed
-    ///   other parties must be doomed; the caller keeps waiting;
+    /// * `self_is_victim` — the caller's step is the victim; its queued
+    ///   requests have been withdrawn, undo and retry;
+    /// * otherwise — the caller is compensating: the listed other parties
+    ///   must be doomed; the caller keeps waiting;
     /// * `None` — no cycle through `txn`.
+    ///
+    /// Withdrawing the victim's queued requests can make waiters queued
+    /// behind them grantable; those grants come back in
+    /// [`Detection::notices`] and the caller must deliver them exactly like
+    /// release notices — dropping them strands the newly granted waiters.
     pub fn detect_from(
         &mut self,
         txn: TxnId,
         oracle: &dyn InterferenceOracle,
-    ) -> Option<(Vec<TxnId>, bool)> {
+    ) -> Option<Detection> {
         if !self.is_waiting(txn) {
             return None;
         }
@@ -354,22 +505,59 @@ impl LockManager {
         let compensating = self.has_compensating_waiter(txn);
         if compensating {
             let victims: Vec<TxnId> = cycle
-                .into_iter()
+                .iter()
+                .copied()
                 .filter(|&t| t != txn && !self.has_compensating_waiter(t))
                 .collect();
+            if self.sink.is_enabled() {
+                self.sink.emit(Event::Deadlock {
+                    cycle: TxnList::from_slice(&cycle),
+                    victims: TxnList::from_slice(if victims.is_empty() {
+                        std::slice::from_ref(&txn)
+                    } else {
+                        &victims
+                    }),
+                    compensating_requester: true,
+                });
+                for &v in &victims {
+                    self.sink.emit(Event::DeadlockVictim {
+                        txn: v,
+                        compensating: false,
+                    });
+                }
+            }
             if victims.is_empty() {
                 // Compensating-vs-compensating: the caller retries.
-                for head in self.heads.values_mut() {
-                    head.waiting.retain(|w| w.req.txn != txn);
-                }
-                return Some((vec![txn], true));
+                let notices = self.cancel_waiting(txn, oracle);
+                return Some(Detection {
+                    victims: vec![txn],
+                    self_is_victim: true,
+                    notices,
+                });
             }
-            Some((victims, false))
+            Some(Detection {
+                victims,
+                self_is_victim: false,
+                notices: Vec::new(),
+            })
         } else {
-            for head in self.heads.values_mut() {
-                head.waiting.retain(|w| w.req.txn != txn);
+            if self.sink.is_enabled() {
+                self.sink.emit(Event::Deadlock {
+                    cycle: TxnList::from_slice(&cycle),
+                    victims: TxnList::from_slice(std::slice::from_ref(&txn)),
+                    compensating_requester: false,
+                });
+                self.sink.emit(Event::DeadlockVictim {
+                    txn,
+                    compensating: false,
+                });
             }
-            Some((vec![txn], true))
+            let notices = self.cancel_waiting(txn, oracle);
+            Some(Detection {
+                victims: vec![txn],
+                self_is_victim: true,
+                notices,
+            })
         }
     }
 
@@ -413,6 +601,31 @@ impl LockManager {
     }
 
     // ----- internals -------------------------------------------------------
+
+    /// Emit the grant (and, for assertional kinds, pin) events for a newly
+    /// installed grant. Callers gate on `sink.is_enabled()` themselves.
+    fn emit_grant(
+        sink: &EventSink,
+        txn: TxnId,
+        resource: ResourceId,
+        kind: LockKind,
+        ctx: &RequestCtx,
+    ) {
+        sink.emit(Event::LockGranted {
+            txn,
+            resource,
+            kind: Self::kind_repr(kind),
+            step_type: ctx.step_type,
+            compensating: ctx.compensating,
+        });
+        if let LockKind::Assertional(template) = kind {
+            sink.emit(Event::AssertionPinned {
+                txn,
+                resource,
+                template,
+            });
+        }
+    }
 
     /// True if the two kinds belong to the same "slot" for re-entrancy
     /// purposes: one conventional grant per txn per resource, one assertional
@@ -469,15 +682,30 @@ impl LockManager {
     ) -> bool {
         match (kind, grant.kind) {
             (LockKind::Conventional(a), LockKind::Conventional(b)) => !conv_compatible(a, b),
+            // Intention modes declare "I will lock finer items below this
+            // resource" — the finer request is where the interference check
+            // happens, so they pass assertional grants freely (otherwise a
+            // table-granularity guard pin would block every key access to
+            // the table instead of only accesses to the pinned pages).
+            (LockKind::Conventional(LockMode::IS | LockMode::IX), LockKind::Assertional(_)) => {
+                false
+            }
             // A writer meets a pinned assertion: consult the interference
             // table for the writer's step type; a reader conflicts only with
-            // read-interfering pseudo-assertions (legacy isolation).
+            // read-interfering pseudo-assertions (legacy isolation). At
+            // table granularity this is what makes a *scan* (S, no finer
+            // locks) honour the guard pins of in-flight writers.
             (LockKind::Conventional(m), LockKind::Assertional(t)) => {
                 if m.is_write() {
                     oracle.write_interferes(ctx.step_type, t)
                 } else {
                     oracle.read_interferes(ctx.step_type, t)
                 }
+            }
+            // Symmetrically, pinning next to an intention grant is free: the
+            // holder's real writes carry their own finer-granularity locks.
+            (LockKind::Assertional(_), LockKind::Conventional(LockMode::IS | LockMode::IX)) => {
+                false
             }
             // Pinning an assertion on an item some other step is writing:
             // refuse if that in-flight write invalidates the assertion.
@@ -493,7 +721,9 @@ impl LockManager {
                     .ctx
                     .comp_step
                     .is_some_and(|cs| oracle.write_interferes(cs, t))
-                    || ctx.comp_step.is_some_and(|cs| oracle.write_interferes(cs, u))
+                    || ctx
+                        .comp_step
+                        .is_some_and(|cs| oracle.write_interferes(cs, u))
             }
         }
     }
@@ -524,6 +754,15 @@ impl LockManager {
                 .entry(w.req.txn)
                 .or_default()
                 .insert(w.req.resource);
+            if self.sink.is_enabled() {
+                Self::emit_grant(
+                    &self.sink,
+                    w.req.txn,
+                    w.req.resource,
+                    w.req.kind,
+                    &w.req.ctx,
+                );
+            }
             notices.push(GrantNotice {
                 ticket: w.ticket,
                 txn: w.req.txn,
@@ -582,8 +821,14 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(req(1, R, LockKind::S), &NoInterference), RequestOutcome::Granted);
-        assert_eq!(lm.request(req(2, R, LockKind::S), &NoInterference), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(req(1, R, LockKind::S), &NoInterference),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(req(2, R, LockKind::S), &NoInterference),
+            RequestOutcome::Granted
+        );
         assert!(lm.holds(t(1), R, LockKind::S));
         assert!(lm.holds(t(2), R, LockKind::S));
     }
@@ -622,11 +867,23 @@ mod tests {
     #[test]
     fn reentrant_requests_count() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(req(1, R, LockKind::S), &NoInterference), RequestOutcome::Granted);
-        assert_eq!(lm.request(req(1, R, LockKind::S), &NoInterference), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(req(1, R, LockKind::S), &NoInterference),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(req(1, R, LockKind::S), &NoInterference),
+            RequestOutcome::Granted
+        );
         // X covers S: re-request of S after upgrade is also a no-op grant.
-        assert_eq!(lm.request(req(1, R, LockKind::X), &NoInterference), RequestOutcome::Granted);
-        assert_eq!(lm.request(req(1, R, LockKind::S), &NoInterference), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(req(1, R, LockKind::X), &NoInterference),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(req(1, R, LockKind::S), &NoInterference),
+            RequestOutcome::Granted
+        );
         assert!(lm.holds(t(1), R, LockKind::X));
     }
 
@@ -659,7 +916,10 @@ mod tests {
         ));
         let notices = lm.release_where(t(2), &NoInterference, |_, _| true);
         assert_eq!(notices.len(), 1);
-        assert!(lm.holds(t(1), R, LockKind::X), "upgrader granted before txn 3");
+        assert!(
+            lm.holds(t(1), R, LockKind::X),
+            "upgrader granted before txn 3"
+        );
         assert!(!lm.holds(t(3), R, LockKind::X));
     }
 
@@ -668,7 +928,7 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(req(1, R, LockKind::S), &NoInterference);
         lm.request(req(2, R, LockKind::X), &NoInterference); // waits
-        // S would be compatible with the S holder, but FIFO fairness queues it.
+                                                             // S would be compatible with the S holder, but FIFO fairness queues it.
         assert!(matches!(
             lm.request(req(3, R, LockKind::S), &NoInterference),
             RequestOutcome::Waiting(_)
@@ -682,9 +942,18 @@ mod tests {
     #[test]
     fn assertional_coexists_with_readers_and_assertions() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.request(req(1, R, a(1)), &TotalInterference), RequestOutcome::Granted);
-        assert_eq!(lm.request(req(2, R, a(2)), &NoInterference), RequestOutcome::Granted);
-        assert_eq!(lm.request(req(3, R, LockKind::S), &NoInterference), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(req(1, R, a(1)), &TotalInterference),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(req(2, R, a(2)), &NoInterference),
+            RequestOutcome::Granted
+        );
+        assert_eq!(
+            lm.request(req(3, R, LockKind::S), &NoInterference),
+            RequestOutcome::Granted
+        );
     }
 
     #[test]
@@ -742,7 +1011,10 @@ mod tests {
 
         let mut legacy = req(3, R, LockKind::S);
         legacy.ctx = RequestCtx::plain(StepTypeId(9));
-        assert!(matches!(lm.request(legacy, &oracle), RequestOutcome::Waiting(_)));
+        assert!(matches!(
+            lm.request(legacy, &oracle),
+            RequestOutcome::Waiting(_)
+        ));
     }
 
     #[test]
@@ -756,15 +1028,24 @@ mod tests {
         w.ctx = RequestCtx::plain(StepTypeId(7));
         lm.request(w, &oracle);
         // Pinning template 1 on the item mid-write must wait.
-        assert!(matches!(lm.request(req(2, R, a(1)), &oracle), RequestOutcome::Waiting(_)));
+        assert!(matches!(
+            lm.request(req(2, R, a(1)), &oracle),
+            RequestOutcome::Waiting(_)
+        ));
         // Template 2 is not invalidated by step 7: granted... but FIFO places
         // it behind the queued template-1 request, so it waits too.
-        assert!(matches!(lm.request(req(3, R, a(2)), &oracle), RequestOutcome::Waiting(_)));
+        assert!(matches!(
+            lm.request(req(3, R, a(2)), &oracle),
+            RequestOutcome::Waiting(_)
+        ));
         // On a fresh resource template 2 coexists with the same writer.
         let mut w2 = req(1, R2, LockKind::X);
         w2.ctx = RequestCtx::plain(StepTypeId(7));
         lm.request(w2, &oracle);
-        assert_eq!(lm.request(req(3, R2, a(2)), &oracle), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(req(3, R2, a(2)), &oracle),
+            RequestOutcome::Granted
+        );
     }
 
     #[test]
@@ -786,9 +1067,15 @@ mod tests {
 
         // Txn 2 may not pin template 4 on the item: if txn 1 rolls back, its
         // compensating step would invalidate it and would have to wait.
-        assert!(matches!(lm.request(req(2, R, a(4)), &oracle), RequestOutcome::Waiting(_)));
+        assert!(matches!(
+            lm.request(req(2, R, a(4)), &oracle),
+            RequestOutcome::Waiting(_)
+        ));
         // Template 5 is safe.
-        assert_eq!(lm.request(req(3, R2, a(5)), &oracle), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(req(3, R2, a(5)), &oracle),
+            RequestOutcome::Granted
+        );
 
         // Symmetric direction: txn 4 holds template 4 on R2; txn 5's
         // compensatable DIRTY request must wait there.
@@ -799,7 +1086,10 @@ mod tests {
             comp_step: Some(StepTypeId(50)),
             compensating: false,
         };
-        assert!(matches!(lm.request(dirty2, &oracle), RequestOutcome::Waiting(_)));
+        assert!(matches!(
+            lm.request(dirty2, &oracle),
+            RequestOutcome::Waiting(_)
+        ));
     }
 
     #[test]
@@ -862,7 +1152,10 @@ mod tests {
         // Txn 1's compensating step waits on R2.
         let mut c1 = req(1, R2, LockKind::X);
         c1.ctx.compensating = true;
-        assert!(matches!(lm.request(c1, &NoInterference), RequestOutcome::Waiting(_)));
+        assert!(matches!(
+            lm.request(c1, &NoInterference),
+            RequestOutcome::Waiting(_)
+        ));
         // Txn 2's compensating step closes the cycle on R: neither side is
         // abortable, so the requester itself retries (withdrawn request).
         let mut c2 = req(2, R, LockKind::X);
@@ -927,8 +1220,14 @@ mod tests {
         lm.request(req(1, R, LockKind::X), &NoInterference);
         lm.request(req(2, R2, LockKind::X), &NoInterference);
         lm.request(req(3, r3, LockKind::X), &NoInterference);
-        assert!(matches!(lm.request(req(1, R2, LockKind::X), &NoInterference), RequestOutcome::Waiting(_)));
-        assert!(matches!(lm.request(req(2, r3, LockKind::X), &NoInterference), RequestOutcome::Waiting(_)));
+        assert!(matches!(
+            lm.request(req(1, R2, LockKind::X), &NoInterference),
+            RequestOutcome::Waiting(_)
+        ));
+        assert!(matches!(
+            lm.request(req(2, r3, LockKind::X), &NoInterference),
+            RequestOutcome::Waiting(_)
+        ));
         let out = lm.request(req(3, R, LockKind::X), &NoInterference);
         assert_eq!(
             out,
@@ -954,7 +1253,10 @@ mod tests {
         lm.request(held, &oracle);
         let mut blocked_writer = req(2, R, LockKind::X);
         blocked_writer.ctx = RequestCtx::plain(StepTypeId(7));
-        assert!(matches!(lm.request(blocked_writer, &oracle), RequestOutcome::Waiting(_)));
+        assert!(matches!(
+            lm.request(blocked_writer, &oracle),
+            RequestOutcome::Waiting(_)
+        ));
         let out = lm.request(req(1, R2, LockKind::X), &oracle);
         assert_eq!(
             out,
@@ -1004,13 +1306,171 @@ mod tests {
         // Txn 1 pins template 1 next to its S: no grant conflicts (only the
         // *queued* step-7 X would interfere), so it is granted ahead of the
         // queue…
-        assert_eq!(lm.request(req(1, R, a(1)), &oracle), RequestOutcome::Granted);
+        assert_eq!(
+            lm.request(req(1, R, a(1)), &oracle),
+            RequestOutcome::Granted
+        );
         // …and the queued interfering writer now waits on the pin as well.
         let notices = lm.release_where(t(1), &oracle, |k, _| k.is_conventional());
         assert!(notices.is_empty(), "writer still blocked by the pin");
         let notices = lm.release_all(t(1), &oracle);
         assert_eq!(notices.len(), 1);
         assert!(lm.holds(t(2), R, LockKind::X));
+    }
+
+    #[test]
+    fn detect_from_victim_withdrawal_wakes_queued_waiters() {
+        // Regression: detect_from used to withdraw the victim's queued
+        // requests without draining the queues, stranding waiters that were
+        // blocked only by the victim's FIFO position.
+        //
+        // tC holds S on R. tV (holding X on R2) queues X on R; tW queues S
+        // on R behind it — compatible with tC's S, blocked purely by FIFO.
+        // tC then issues a compensating X request on R2: cycle tC→tV→tC,
+        // with tV doomed but still queued. Timeout re-detection from tV must
+        // victimize tV AND hand back a grant notice for tW.
+        let mut lm = LockManager::new();
+        let (tc, tv, tw) = (t(1), t(2), t(3));
+        lm.request(req(1, R, LockKind::S), &NoInterference);
+        lm.request(req(2, R2, LockKind::X), &NoInterference);
+        assert!(matches!(
+            lm.request(req(2, R, LockKind::X), &NoInterference),
+            RequestOutcome::Waiting(_)
+        ));
+        let tw_ticket = match lm.request(req(3, R, LockKind::S), &NoInterference) {
+            RequestOutcome::Waiting(tk) => tk,
+            other => panic!("expected wait, got {other:?}"),
+        };
+        let mut comp = req(1, R2, LockKind::X);
+        comp.ctx.compensating = true;
+        assert!(matches!(
+            lm.request(comp, &NoInterference),
+            RequestOutcome::Deadlock {
+                ticket: Some(_),
+                ..
+            }
+        ));
+        // The cycle persists (tV stays queued); re-detection from tV fires.
+        let det = lm.detect_from(tv, &NoInterference).expect("cycle persists");
+        assert!(det.self_is_victim);
+        assert_eq!(det.victims, vec![tv]);
+        assert!(
+            det.notices
+                .iter()
+                .any(|n| n.ticket == tw_ticket && n.txn == tw),
+            "waiter behind the withdrawn victim must be granted: {:?}",
+            det.notices
+        );
+        assert!(lm.holds(tw, R, LockKind::S));
+        assert!(lm.holds(tc, R, LockKind::S));
+        assert!(!lm.is_waiting(tv));
+    }
+
+    #[test]
+    fn detect_from_compensating_caller_keeps_waiting() {
+        // Same shape, but re-detection is run from the *compensating* waiter:
+        // the other party is the victim and the caller's request stays put.
+        let mut lm = LockManager::new();
+        lm.request(req(1, R, LockKind::X), &NoInterference);
+        lm.request(req(2, R2, LockKind::X), &NoInterference);
+        assert!(matches!(
+            lm.request(req(2, R, LockKind::X), &NoInterference),
+            RequestOutcome::Waiting(_)
+        ));
+        let mut comp = req(1, R2, LockKind::X);
+        comp.ctx.compensating = true;
+        assert!(matches!(
+            lm.request(comp, &NoInterference),
+            RequestOutcome::Deadlock {
+                ticket: Some(_),
+                ..
+            }
+        ));
+        let det = lm
+            .detect_from(t(1), &NoInterference)
+            .expect("cycle persists");
+        assert!(!det.self_is_victim);
+        assert_eq!(det.victims, vec![t(2)]);
+        assert!(det.notices.is_empty());
+        assert!(lm.is_waiting(t(1)), "compensating request stays queued");
+    }
+
+    #[test]
+    fn sink_records_lock_lifecycle_and_wait_causes() {
+        use acc_common::events::{Event, EventSink};
+
+        let oracle = FnOracle {
+            write: |s, tpl| s == StepTypeId(7) && tpl == AssertionTemplateId(1),
+            read: |_, _| false,
+        };
+        let sink = EventSink::enabled(128);
+        let mut lm = LockManager::new();
+        lm.set_sink(Arc::clone(&sink));
+
+        // Pin an assertion, then block an interfering writer on it.
+        lm.request(req(1, R, a(1)), &oracle);
+        let mut w = req(2, R, LockKind::X);
+        w.ctx = RequestCtx::plain(StepTypeId(7));
+        assert!(matches!(lm.request(w, &oracle), RequestOutcome::Waiting(_)));
+        // A compatible reader queues behind it: conservative FIFO denial.
+        let mut rdr = req(3, R, LockKind::S);
+        rdr.ctx = RequestCtx::plain(StepTypeId(8));
+        assert!(matches!(
+            lm.request(rdr, &oracle),
+            RequestOutcome::Waiting(_)
+        ));
+        lm.release_all(t(1), &oracle);
+
+        let c = sink.counters();
+        assert_eq!(c.assertion_pins, 1);
+        assert_eq!(c.interference_hits, 1);
+        assert_eq!(c.conservative_denials, 1, "reader blocked by FIFO only");
+        assert_eq!(c.lock_waits, 2);
+        assert!(c.lock_releases >= 1);
+        // Queue drain after the release granted the writer (the reader stays
+        // queued behind the new X): pin grant + writer grant.
+        assert_eq!(c.lock_grants, 2);
+
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::InterferenceHit {
+                txn: TxnId(2),
+                template: AssertionTemplateId(1),
+                ..
+            }
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::LockWait {
+                txn: TxnId(3),
+                conservative: true,
+                blocked_by_assertion: false,
+                ..
+            }
+        )));
+
+        // Deadlock events carry the cycle and victim.
+        lm.request(req(4, R, LockKind::X), &oracle);
+        lm.request(req(5, R2, LockKind::X), &oracle);
+        assert!(matches!(
+            lm.request(req(4, R2, LockKind::X), &oracle),
+            RequestOutcome::Waiting(_)
+        ));
+        assert!(matches!(
+            lm.request(req(5, R, LockKind::X), &oracle),
+            RequestOutcome::Deadlock { .. }
+        ));
+        let c = sink.counters();
+        assert_eq!(c.deadlocks, 1);
+        assert_eq!(c.deadlock_victims, 1);
+        assert!(sink.events().iter().any(|e| matches!(
+            e,
+            Event::DeadlockVictim {
+                txn: TxnId(5),
+                compensating: false,
+            }
+        )));
     }
 
     #[test]

@@ -114,12 +114,7 @@ mod tests {
     #[test]
     fn branching_paths() {
         // 1 -> {2, 3}; only the 3-path loops back.
-        let g = WaitForGraph::from_edges([
-            (t(1), t(2)),
-            (t(1), t(3)),
-            (t(3), t(4)),
-            (t(4), t(1)),
-        ]);
+        let g = WaitForGraph::from_edges([(t(1), t(2)), (t(1), t(3)), (t(3), t(4)), (t(4), t(1))]);
         let c = g.cycle_through(t(1)).unwrap();
         assert_eq!(c, vec![t(1), t(3), t(4)]);
     }

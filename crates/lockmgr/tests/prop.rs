@@ -1,14 +1,13 @@
-//! Property tests for the lock manager.
+//! Randomized property tests for the lock manager (seeded, dependency-free).
 //!
 //! A random workload of requests/releases must never produce two conflicting
 //! grants on the same resource, and releasing everything must drain the
 //! table.
 
-use acc_common::{AssertionTemplateId, ResourceId, StepTypeId, TxnId};
+use acc_common::{AssertionTemplateId, ResourceId, SeededRng, StepTypeId, TxnId};
 use acc_lockmgr::{
     InterferenceOracle, LockKind, LockManager, LockMode, Request, RequestCtx, RequestOutcome,
 };
-use proptest::prelude::*;
 
 /// Deterministic "pseudo-random" interference table: step s interferes with
 /// template t iff (s + t) divisible by 3.
@@ -42,20 +41,24 @@ enum Op {
     },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..6, 0u32..4, 0u8..8, 0u32..5).prop_map(|(txn, resource, kind_sel, step)| {
-            Op::Request {
-                txn,
-                resource,
-                kind_sel,
-                step,
-            }
-        }),
-        (0u64..6).prop_map(|txn| Op::ReleaseAll { txn }),
-        (0u64..6).prop_map(|txn| Op::ReleaseConventional { txn }),
-        (0u64..6).prop_map(|txn| Op::CancelWaiting { txn }),
-    ]
+fn random_op(rng: &mut SeededRng) -> Op {
+    match rng.index(4) {
+        0 => Op::Request {
+            txn: rng.int_range(0, 5) as u64,
+            resource: rng.int_range(0, 3) as u32,
+            kind_sel: rng.int_range(0, 7) as u8,
+            step: rng.int_range(0, 4) as u32,
+        },
+        1 => Op::ReleaseAll {
+            txn: rng.int_range(0, 5) as u64,
+        },
+        2 => Op::ReleaseConventional {
+            txn: rng.int_range(0, 5) as u64,
+        },
+        _ => Op::CancelWaiting {
+            txn: rng.int_range(0, 5) as u64,
+        },
+    }
 }
 
 fn kind_of(sel: u8) -> LockKind {
@@ -69,18 +72,24 @@ fn kind_of(sel: u8) -> LockKind {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn random_workload_preserves_invariants() {
+    let mut meta_rng = SeededRng::new(0x10c_4a11);
+    for _case in 0..256 {
+        let n_ops = 1 + meta_rng.index(119);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut meta_rng)).collect();
 
-    #[test]
-    fn random_workload_preserves_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
         let oracle = HashOracle;
         let mut lm = LockManager::new();
         // Track which txns hold which (resource, kind, step) so we can check
         // pairwise compatibility of everything granted.
         let mut grants: Vec<(u64, u32, LockKind, u32)> = Vec::new();
 
-        let note_granted = |grants: &mut Vec<(u64, u32, LockKind, u32)>, txn: u64, r: u32, kind: LockKind, step: u32| {
+        let note_granted = |grants: &mut Vec<(u64, u32, LockKind, u32)>,
+                            txn: u64,
+                            r: u32,
+                            kind: LockKind,
+                            step: u32| {
             grants.push((txn, r, kind, step));
         };
 
@@ -89,7 +98,12 @@ proptest! {
 
         for op in &ops {
             match *op {
-                Op::Request { txn, resource, kind_sel, step } => {
+                Op::Request {
+                    txn,
+                    resource,
+                    kind_sel,
+                    step,
+                } => {
                     let kind = kind_of(kind_sel);
                     let req = Request::new(
                         TxnId(txn),
@@ -98,11 +112,13 @@ proptest! {
                         RequestCtx::plain(StepTypeId(step)),
                     );
                     match lm.request(req, &oracle) {
-                        RequestOutcome::Granted => note_granted(&mut grants, txn, resource, kind, step),
+                        RequestOutcome::Granted => {
+                            note_granted(&mut grants, txn, resource, kind, step)
+                        }
                         RequestOutcome::Waiting(t) => queued.push((t.0, txn, resource, kind, step)),
                         RequestOutcome::Deadlock { victims, ticket } => {
-                            prop_assert!(ticket.is_none());
-                            prop_assert_eq!(victims, vec![TxnId(txn)]);
+                            assert!(ticket.is_none());
+                            assert_eq!(victims, vec![TxnId(txn)]);
                             // Resolve like the runtime would: abort the victim.
                             lm.release_all(TxnId(txn), &oracle);
                             grants.retain(|g| g.0 != txn);
@@ -116,7 +132,7 @@ proptest! {
                     queued.retain(|q| q.1 != txn);
                     for n in notices {
                         let i = queued.iter().position(|q| q.0 == n.ticket.0);
-                        prop_assert!(i.is_some(), "grant notice for unknown ticket");
+                        assert!(i.is_some(), "grant notice for unknown ticket");
                         let q = queued.remove(i.unwrap());
                         note_granted(&mut grants, q.1, q.2, q.3, q.4);
                     }
@@ -126,7 +142,7 @@ proptest! {
                     grants.retain(|g| !(g.0 == txn && g.2.is_conventional()));
                     for n in notices {
                         let i = queued.iter().position(|q| q.0 == n.ticket.0);
-                        prop_assert!(i.is_some(), "grant notice for unknown ticket");
+                        assert!(i.is_some(), "grant notice for unknown ticket");
                         let q = queued.remove(i.unwrap());
                         note_granted(&mut grants, q.1, q.2, q.3, q.4);
                     }
@@ -136,7 +152,7 @@ proptest! {
                     queued.retain(|q| q.1 != txn);
                     for n in notices {
                         let i = queued.iter().position(|q| q.0 == n.ticket.0);
-                        prop_assert!(i.is_some(), "grant notice for unknown ticket");
+                        assert!(i.is_some(), "grant notice for unknown ticket");
                         let q = queued.remove(i.unwrap());
                         note_granted(&mut grants, q.1, q.2, q.3, q.4);
                     }
@@ -160,7 +176,7 @@ proptest! {
                         if lm.holds(TxnId(ta), ResourceId::Named(ra), ka)
                             && lm.holds(TxnId(tb), ResourceId::Named(rb), kb)
                         {
-                            prop_assert!(
+                            assert!(
                                 ma.compatible(mb),
                                 "incompatible co-grants: txn{ta} {ma:?} vs txn{tb} {mb:?} on {ra}"
                             );
@@ -174,10 +190,10 @@ proptest! {
         for txn in 0..6u64 {
             lm.release_all(TxnId(txn), &oracle);
         }
-        prop_assert_eq!(lm.total_grants(), 0);
+        assert_eq!(lm.total_grants(), 0);
         for txn in 0..6u64 {
-            prop_assert!(!lm.is_waiting(TxnId(txn)));
-            prop_assert!(lm.held_resources(TxnId(txn)).is_empty());
+            assert!(!lm.is_waiting(TxnId(txn)));
+            assert!(lm.held_resources(TxnId(txn)).is_empty());
         }
     }
 }

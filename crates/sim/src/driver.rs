@@ -3,15 +3,16 @@
 use crate::metrics::{Completion, MetricsCollector};
 use crate::trace::{Op, TraceSource, TxnTrace};
 use acc_common::clock::SimTime;
+use acc_common::events::{Event as ObsEvent, EventSink};
+use acc_common::ids::LEGACY_STEP;
 use acc_common::rng::SeededRng;
 use acc_common::TxnId;
 use acc_lockmgr::{
-    InterferenceOracle, LockKind, LockManager, Request, RequestCtx, RequestOutcome,
-    Ticket,
+    InterferenceOracle, LockKind, LockManager, Request, RequestCtx, RequestOutcome, Ticket,
 };
-use acc_common::ids::LEGACY_STEP;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Which concurrency control the simulated system runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,6 +140,8 @@ struct Term {
     /// Consecutive deadlock victimizations of the current step (§3.4: retry
     /// once, then roll the transaction back by compensation).
     deadlock_retries: u32,
+    /// Sim time at which the terminal entered its current lock wait.
+    wait_since: Option<SimTime>,
 }
 
 /// The simulator. Construct with [`Simulator::new`], call
@@ -186,13 +189,18 @@ impl<'a> Simulator<'a> {
                 submit: SimTime::ZERO,
                 phase: Phase::Idle,
                 deadlock_retries: 0,
+                wait_since: None,
             })
             .collect();
+        // Simulations always record: the sink's counters become part of the
+        // report and the ring feeds `lockstat` dumps.
+        let mut lm = LockManager::new();
+        lm.set_sink(EventSink::enabled(4096));
         Simulator {
             config,
             oracle,
             source,
-            lm: LockManager::new(),
+            lm,
             now: SimTime::ZERO,
             seq: 0,
             events: BinaryHeap::new(),
@@ -204,6 +212,12 @@ impl<'a> Simulator<'a> {
             cpu_queue: VecDeque::new(),
             metrics: MetricsCollector::new(warmup),
         }
+    }
+
+    /// The simulator's event sink (clone before [`Simulator::run`] to read
+    /// counters or dump `lockstat` afterwards).
+    pub fn event_sink(&self) -> Arc<EventSink> {
+        Arc::clone(self.lm.sink())
     }
 
     fn push(&mut self, at: SimTime, kind: EvKind, term: usize, epoch: u64) {
@@ -239,6 +253,18 @@ impl<'a> Simulator<'a> {
                 EvKind::ServiceDone => self.on_service_done(t, epoch),
                 EvKind::Granted => {
                     if self.terms[t].epoch == epoch && self.terms[t].phase == Phase::Waiting {
+                        if let Some(since) = self.terms[t].wait_since.take() {
+                            let sink = self.lm.sink();
+                            if sink.is_enabled() {
+                                if let Some(&(resource, _)) = self.terms[t].pending.front() {
+                                    sink.emit(ObsEvent::WaitEnd {
+                                        txn: self.terms[t].txn,
+                                        resource,
+                                        micros: self.now.since(since).as_micros(),
+                                    });
+                                }
+                            }
+                        }
                         self.terms[t].phase = Phase::Locking;
                         self.terms[t].waiting_ticket = None;
                         self.terms[t].pending.pop_front();
@@ -290,7 +316,7 @@ impl<'a> Simulator<'a> {
         }
         let servers = self.config.servers;
         let end = self.config.duration;
-        self.metrics.report(end, servers)
+        self.metrics.report(end, servers, self.lm.sink().counters())
     }
 
     fn think(&mut self, t: usize) -> SimTime {
@@ -316,6 +342,7 @@ impl<'a> Simulator<'a> {
         term.comp_ops.clear();
         term.pending.clear();
         term.waiting_ticket = None;
+        term.wait_since = None;
         term.compute_done = false;
         term.submit = self.now;
         term.epoch += 1;
@@ -386,11 +413,7 @@ impl<'a> Simulator<'a> {
                 // item-attached in both designs (they model exposure of the
                 // written item itself, which both levels can locate).
                 if mode == acc_lockmgr::LockMode::X {
-                    let guard = self.terms[t]
-                        .trace
-                        .as_ref()
-                        .expect("active trace")
-                        .guard;
+                    let guard = self.terms[t].trace.as_ref().expect("active trace").guard;
                     kinds.push_back((r, LockKind::Assertional(guard)));
                 }
                 for &tpl in &op.templates {
@@ -437,6 +460,7 @@ impl<'a> Simulator<'a> {
                 RequestOutcome::Waiting(ticket) => {
                     self.terms[t].phase = Phase::Waiting;
                     self.terms[t].waiting_ticket = Some(ticket);
+                    self.terms[t].wait_since = Some(self.now);
                     self.ticket_owner.insert(ticket, t);
                     return;
                 }
@@ -459,6 +483,7 @@ impl<'a> Simulator<'a> {
                     let ticket = ticket.expect("compensating request stays queued");
                     self.terms[t].phase = Phase::Waiting;
                     self.terms[t].waiting_ticket = Some(ticket);
+                    self.terms[t].wait_since = Some(self.now);
                     self.ticket_owner.insert(ticket, t);
                     for v in victims {
                         if let Some(&vt) = self.txn_owner.get(&v) {
@@ -598,6 +623,13 @@ impl<'a> Simulator<'a> {
         self.terms[t].comp_ops = comp;
         self.terms[t].op = 0;
         self.terms[t].compute_done = false;
+        let sink = self.lm.sink();
+        if sink.is_enabled() {
+            sink.emit(ObsEvent::CompensationStart {
+                txn: self.terms[t].txn,
+                from_step: steps_done as u32,
+            });
+        }
         if self.terms[t].comp_ops.is_empty() {
             self.finish(t, false);
         } else {
@@ -656,6 +688,7 @@ impl<'a> Simulator<'a> {
             // convoys the step retry alone cannot resolve.
             self.terms[t].pending.clear();
             self.terms[t].waiting_ticket = None;
+            self.terms[t].wait_since = None;
             self.terms[t].compute_done = false;
             self.terms[t].phase = Phase::Idle;
             self.terms[t].epoch += 1;
@@ -665,6 +698,7 @@ impl<'a> Simulator<'a> {
         self.terms[t].op = 0;
         self.terms[t].pending.clear();
         self.terms[t].waiting_ticket = None;
+        self.terms[t].wait_since = None;
         self.terms[t].compute_done = false;
         self.terms[t].phase = Phase::Idle;
         self.terms[t].epoch += 1;
@@ -689,6 +723,7 @@ impl<'a> Simulator<'a> {
         self.terms[t].op = 0;
         self.terms[t].pending.clear();
         self.terms[t].waiting_ticket = None;
+        self.terms[t].wait_since = None;
         self.terms[t].compute_done = false;
         self.terms[t].rolling_back = false;
         self.terms[t].phase = Phase::Idle;

@@ -1,6 +1,7 @@
 //! Simulation metrics.
 
 use acc_common::clock::SimTime;
+use acc_common::events::CounterSnapshot;
 
 /// One finished transaction.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +28,17 @@ pub struct SimReport {
     pub deadlocks: usize,
     /// Mean server utilisation in [0, 1].
     pub server_utilisation: f64,
+    /// Lock/step counters from the simulator's event sink: requests, waits,
+    /// interference hits vs. conservative denials, deadlock cycles,
+    /// compensations, and total recorded wait time (sim-time µs).
+    pub counters: CounterSnapshot,
+}
+
+impl SimReport {
+    /// Mean sim-time lock wait in milliseconds over recorded waits.
+    pub fn mean_lock_wait_ms(&self) -> f64 {
+        self.counters.mean_wait_ms()
+    }
 }
 
 pub(crate) struct MetricsCollector {
@@ -52,7 +64,7 @@ impl MetricsCollector {
         }
     }
 
-    pub fn report(&self, end: SimTime, servers: usize) -> SimReport {
+    pub fn report(&self, end: SimTime, servers: usize, counters: CounterSnapshot) -> SimReport {
         let completed = self.completions.len();
         let committed = self.completions.iter().filter(|c| c.committed).count();
         let mut rts: Vec<u64> = self
@@ -81,6 +93,7 @@ impl MetricsCollector {
             deadlocks: self.deadlocks,
             server_utilisation: self.busy_time as f64
                 / (end.as_micros().max(1) as f64 * servers as f64),
+            counters,
         }
     }
 }
@@ -107,7 +120,7 @@ mod tests {
             finish: SimTime::from_millis(150),
             committed: false,
         });
-        let r = m.report(SimTime::from_millis(1100), 2);
+        let r = m.report(SimTime::from_millis(1100), 2, CounterSnapshot::default());
         assert_eq!(r.completed, 2);
         assert_eq!(r.committed, 1);
         assert!((r.mean_response_ms - 20.0).abs() < 1e-9);

@@ -145,7 +145,10 @@ mod tests {
             steps: vec![
                 StepTrace {
                     step_type: StepTypeId(1),
-                    ops: vec![Op::read(r(1), SimTime::ZERO), Op::write(r(2), SimTime::ZERO)],
+                    ops: vec![
+                        Op::read(r(1), SimTime::ZERO),
+                        Op::write(r(2), SimTime::ZERO),
+                    ],
                 },
                 StepTrace {
                     step_type: StepTypeId(2),

@@ -102,8 +102,7 @@ fn acc_response_adds_overheads_exactly() {
 fn acc_exceeds_two_phase_by_the_overhead_delta() {
     let two = run(CcMode::TwoPhase, costs());
     let acc = run(CcMode::Acc, costs());
-    let delta_us =
-        ((acc.mean_response_ms - two.mean_response_ms) * 1000.0).round() as i64;
+    let delta_us = ((acc.mean_response_ms - two.mean_response_ms) * 1000.0).round() as i64;
     // 2 step-end records + 2 guard pins + 1 template attach = 2×1000 + 3×200.
     assert_eq!(delta_us, 2 * 1000 + 3 * 200);
 }

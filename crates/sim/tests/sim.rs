@@ -119,7 +119,10 @@ fn reports_are_sane() {
     assert!(r.mean_response_ms > 0.0);
     assert!(r.p95_response_ms >= r.mean_response_ms * 0.5);
     assert!(r.throughput_tps > 0.0);
-    assert!(r.server_utilisation > 0.0 && r.server_utilisation <= 1.0, "{r:?}");
+    assert!(
+        r.server_utilisation > 0.0 && r.server_utilisation <= 1.0,
+        "{r:?}"
+    );
     // ~1% self-aborts.
     let abort_frac = 1.0 - r.committed as f64 / r.completed as f64;
     assert!(abort_frac < 0.05, "abort fraction {abort_frac}");

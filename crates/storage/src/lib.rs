@@ -99,7 +99,10 @@ mod tests {
         let cat = demo_catalog();
         let mut db = Database::new(&cat);
         let t = TableId(0);
-        let row = Row::from(vec![Value::Int(1), Value::from(acc_common::Decimal::from_int(10))]);
+        let row = Row::from(vec![
+            Value::Int(1),
+            Value::from(acc_common::Decimal::from_int(10)),
+        ]);
         let (_, undo) = db.table_mut(t).unwrap().insert(row).unwrap();
         assert_eq!(db.total_rows(), 1);
         db.apply_undo(&undo).unwrap();

@@ -196,7 +196,10 @@ mod tests {
             Predicate::And(ps) => assert_eq!(ps.len(), 3),
             other => panic!("expected flat And, got {other:?}"),
         }
-        assert_eq!(Predicate::True.and(Predicate::eq(0, 1i64)), Predicate::eq(0, 1i64));
+        assert_eq!(
+            Predicate::True.and(Predicate::eq(0, 1i64)),
+            Predicate::eq(0, 1i64)
+        );
     }
 
     #[test]

@@ -1,11 +1,10 @@
 //! Rows and keys.
 
 use acc_common::{Decimal, Value};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One tuple: a vector of [`Value`]s, positionally matching a table schema.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Row(pub Vec<Value>);
 
 impl Row {
@@ -79,7 +78,7 @@ impl fmt::Display for Row {
 ///
 /// Keys order lexicographically, which makes prefix range scans natural: all
 /// keys beginning with prefix `p` form a contiguous B-tree range.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Key(pub Vec<Value>);
 
 impl Key {
@@ -154,7 +153,10 @@ mod tests {
     #[test]
     fn project_builds_key() {
         let r = Row::from(vec![Value::Int(1), Value::str("x"), Value::Int(3)]);
-        assert_eq!(r.project(&[2, 0]), Key::new(vec![Value::Int(3), Value::Int(1)]));
+        assert_eq!(
+            r.project(&[2, 0]),
+            Key::new(vec![Value::Int(3), Value::Int(1)])
+        );
     }
 
     #[test]

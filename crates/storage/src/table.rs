@@ -109,7 +109,10 @@ impl Table {
     /// The row with the given primary key.
     pub fn get(&self, key: &Key) -> Option<(Slot, &Row)> {
         let slot = self.slot_of(key)?;
-        Some((slot, self.row(slot).expect("primary index points at live row")))
+        Some((
+            slot,
+            self.row(slot).expect("primary index points at live row"),
+        ))
     }
 
     /// Replace the row in `slot` wholesale. The new row may change the
@@ -371,10 +374,11 @@ mod tests {
     fn update_in_place() {
         let mut t = table();
         let (slot, _) = t.insert(row(1, 10, 5)).unwrap();
-        let undo = t.update_with(slot, |r| {
-            r.set(2, Value::Int(7));
-        })
-        .unwrap();
+        let undo = t
+            .update_with(slot, |r| {
+                r.set(2, Value::Int(7));
+            })
+            .unwrap();
         assert_eq!(t.row(slot).unwrap().int(2), 7);
         t.apply_undo(&undo).unwrap();
         assert_eq!(t.row(slot).unwrap().int(2), 5);
@@ -444,7 +448,10 @@ mod tests {
         assert_eq!(t.lookup_secondary(0, &Key::ints(&[11])).len(), 1);
         assert!(t.lookup_secondary(0, &Key::ints(&[12])).is_empty());
         // Deleting maintains the secondary index.
-        let (slot, _) = t.get(&Key::ints(&[1, 10])).map(|(s, r)| (s, r.clone())).unwrap();
+        let (slot, _) = t
+            .get(&Key::ints(&[1, 10]))
+            .map(|(s, r)| (s, r.clone()))
+            .unwrap();
         t.delete(slot).unwrap();
         assert_eq!(t.lookup_secondary(0, &Key::ints(&[10])).len(), 1);
     }
@@ -472,10 +479,7 @@ mod tests {
         assert_eq!(t.page_of(0), 0);
         assert_eq!(t.page_of(3), 0);
         assert_eq!(t.page_of(4), 1);
-        assert_eq!(
-            t.page_resource(5),
-            ResourceId::Page(TableId(0), 1)
-        );
+        assert_eq!(t.page_resource(5), ResourceId::Page(TableId(0), 1));
     }
 
     #[test]
@@ -500,11 +504,16 @@ mod tests {
         let mut undos = Vec::new();
         let (s, u) = t.insert(row(2, 2, 2)).unwrap();
         undos.push(u);
-        undos.push(t.update_with(s, |r| {
-            r.set(2, Value::Int(9));
-        })
-        .unwrap());
-        let (s1, _) = t.get(&Key::ints(&[1, 1])).map(|(s, r)| (s, r.clone())).unwrap();
+        undos.push(
+            t.update_with(s, |r| {
+                r.set(2, Value::Int(9));
+            })
+            .unwrap(),
+        );
+        let (s1, _) = t
+            .get(&Key::ints(&[1, 1]))
+            .map(|(s, r)| (s, r.clone()))
+            .unwrap();
         undos.push(t.delete(s1).unwrap());
         for u in undos.iter().rev() {
             t.apply_undo(u).unwrap();

@@ -7,10 +7,9 @@
 
 use crate::row::Row;
 use acc_common::{Slot, TableId};
-use serde::{Deserialize, Serialize};
 
 /// The inverse of one table mutation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum UndoRecord {
     /// An insert happened at `slot`; undo by deleting it.
     Insert {

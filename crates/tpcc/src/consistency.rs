@@ -137,9 +137,7 @@ pub fn check(db: &Database, strict: bool) -> Vec<Violation> {
         // Condition 9: d_ytd = sum of the district's history amounts.
         let h_sum: Decimal = history
             .iter()
-            .filter(|(_, h)| {
-                h.int(col::h::C_W_ID) == w_id && h.int(col::h::C_D_ID) == d_id
-            })
+            .filter(|(_, h)| h.int(col::h::C_W_ID) == w_id && h.int(col::h::C_D_ID) == d_id)
             .map(|(_, h)| h.decimal(col::h::AMOUNT))
             .sum();
         if d.decimal(col::d::YTD) != h_sum {
@@ -155,11 +153,7 @@ pub fn check(db: &Database, strict: bool) -> Vec<Violation> {
 
     // Per-order conditions 5, 6, 7.
     for (_, o) in orders.iter() {
-        let key = [
-            o.int(col::o::W_ID),
-            o.int(col::o::D_ID),
-            o.int(col::o::ID),
-        ];
+        let key = [o.int(col::o::W_ID), o.int(col::o::D_ID), o.int(col::o::ID)];
         let prefix = Key::ints(&key);
         let has_new_order = new_orders.get(&prefix).is_some();
         let carrier_null = o.is_null(col::o::CARRIER_ID);
@@ -228,11 +222,7 @@ pub fn check(db: &Database, strict: bool) -> Vec<Violation> {
         *paid.entry(ckey).or_insert(Decimal::ZERO) += h.decimal(col::h::AMOUNT);
     }
     for (_, c) in customers.iter() {
-        let ckey = (
-            c.int(col::c::W_ID),
-            c.int(col::c::D_ID),
-            c.int(col::c::ID),
-        );
+        let ckey = (c.int(col::c::W_ID), c.int(col::c::D_ID), c.int(col::c::ID));
         let expect = delivered.get(&ckey).copied().unwrap_or(Decimal::ZERO)
             - paid.get(&ckey).copied().unwrap_or(Decimal::ZERO);
         if c.decimal(col::c::BALANCE) != expect {
@@ -305,7 +295,10 @@ mod tests {
             .next()
             .unwrap()
             .0;
-        db.table_mut(TABLES.order_line).unwrap().delete(slot).unwrap();
+        db.table_mut(TABLES.order_line)
+            .unwrap()
+            .delete(slot)
+            .unwrap();
         let v = check(&db, true);
         assert!(v.iter().any(|x| x.condition == 4), "{v:?}");
         assert!(v.iter().any(|x| x.condition == 6), "{v:?}");
@@ -327,9 +320,7 @@ mod tests {
             .table(TABLES.order_line)
             .unwrap()
             .scan_prefix(&prefix)
-            .map(|(_, r)| {
-                Key::ints(&[1, 1, 2, r.int(col::ol::NUMBER)])
-            })
+            .map(|(_, r)| Key::ints(&[1, 1, 2, r.int(col::ol::NUMBER)]))
             .collect();
         for k in line_keys {
             db.table_mut(TABLES.order_line)

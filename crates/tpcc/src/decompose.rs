@@ -28,11 +28,11 @@
 //! the same district.
 
 use crate::schema::{col, TABLES};
- 
+
 use acc_core::analysis::Decision;
 use acc_core::{
-    Acc, Analysis, AssertionRegistry, InterferenceTables, StepFootprint, StepSpec,
-    TableFootprint, TxnSpec, DIRTY,
+    Acc, Analysis, AssertionRegistry, InterferenceTables, StepFootprint, StepSpec, TableFootprint,
+    TxnSpec, DIRTY,
 };
 use std::sync::Arc;
 
@@ -317,9 +317,21 @@ impl TpccSystem {
         // monotonicity arguments survive; "own keys / own order / distinct
         // claims" arguments do not.
         let (two_level_tables, _) = Self::footprinted_analysis(&reg)
-            .declare_safe(PAY_S1, pay_mid, "ytd additions are monotone (global argument)")
-            .declare_safe(PAY_CS, pay_mid, "subtraction of own contribution commutes (global argument)")
-            .declare_safe(DLV_S2, pay_mid, "delivery never touches ytd columns (footprint argument)")
+            .declare_safe(
+                PAY_S1,
+                pay_mid,
+                "ytd additions are monotone (global argument)",
+            )
+            .declare_safe(
+                PAY_CS,
+                pay_mid,
+                "subtraction of own contribution commutes (global argument)",
+            )
+            .declare_safe(
+                DLV_S2,
+                pay_mid,
+                "delivery never touches ytd columns (footprint argument)",
+            )
             .declare_safe(NO_S1, DIRTY, "counter increments commute (global argument)")
             .declare_safe(NO_S2, DIRTY, "stock decrements commute (global argument)")
             .declare_safe(PAY_S1, DIRTY, "ytd additions commute (global argument)")
@@ -436,8 +448,12 @@ mod tests {
         // New-order's counter bump does not invalidate payment's ytd
         // assertion, and vice versa — the same-district-row interleaving the
         // paper highlights.
-        assert!(!sys.tables.write_interferes(step::NO_S1, sys.templates.pay_mid));
-        assert!(!sys.tables.write_interferes(step::PAY_S1, sys.templates.no_loop));
+        assert!(!sys
+            .tables
+            .write_interferes(step::NO_S1, sys.templates.pay_mid));
+        assert!(!sys
+            .tables
+            .write_interferes(step::PAY_S1, sys.templates.no_loop));
     }
 
     #[test]
@@ -473,12 +489,16 @@ mod tests {
             .tables
             .write_interferes(acc_common::ids::LEGACY_STEP, sys.templates.no_loop));
         // NO_S2 invalidates delivery's line-column assertion? Declared safe.
-        assert!(!sys.tables.write_interferes(step::NO_S2, sys.templates.dlv_loop));
+        assert!(!sys
+            .tables
+            .write_interferes(step::NO_S2, sys.templates.dlv_loop));
         // But NO_S1 *does* interfere with no_loop's order-line cardinality…
         // no: declared safe. The compensating DLV_CS against no_loop was
         // never declared: footprints decide (order_line columns vs
         // cardinality: disjoint).
-        assert!(!sys.tables.write_interferes(step::DLV_CS, sys.templates.no_loop));
+        assert!(!sys
+            .tables
+            .write_interferes(step::DLV_CS, sys.templates.no_loop));
     }
 
     #[test]

@@ -384,7 +384,10 @@ mod tests {
         let (g, mut rng) = gen();
         let mut by_name = 0;
         for _ in 0..1000 {
-            if matches!(g.customer_selector(&mut rng), CustomerSelector::ByLastName(_)) {
+            if matches!(
+                g.customer_selector(&mut rng),
+                CustomerSelector::ByLastName(_)
+            ) {
                 by_name += 1;
             }
         }

@@ -23,9 +23,9 @@
 
 pub mod consistency;
 pub mod decompose;
-pub mod recovery;
 pub mod input;
 pub mod populate;
+pub mod recovery;
 pub mod schema;
 pub mod trace;
 pub mod txns;

@@ -58,7 +58,11 @@ pub fn populate(db: &mut Database, scale: &Scale, seed: u64) {
             for c in 1..=scale.customers_per_district {
                 // Spec: first 1000 customers cycle through the syllable
                 // names; beyond that, NURand-style spread.
-                let name_num = if c <= 1000 { c - 1 } else { rng.int_range(0, 999) };
+                let name_num = if c <= 1000 {
+                    c - 1
+                } else {
+                    rng.int_range(0, 999)
+                };
                 let credit = if rng.chance(0.10) { "BC" } else { "GC" };
                 db.table_mut(TABLES.customer)
                     .expect("customer table")

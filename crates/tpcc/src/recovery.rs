@@ -25,11 +25,7 @@ pub fn program_for_inflight(inflight: &InFlight) -> Result<Box<dyn TxnProgram + 
     let wa = &inflight.work_area;
     match inflight.txn_type {
         t if t == ty::NEW_ORDER => {
-            let (w, d, o) = (
-                read_i64(wa, 0),
-                read_i64(wa, 8),
-                read_i64(wa, 16),
-            );
+            let (w, d, o) = (read_i64(wa, 0), read_i64(wa, 8), read_i64(wa, 16));
             match (w, d, o) {
                 (Some(w), Some(d), Some(o)) if o >= 0 => Ok(Box::new(NewOrder::recovered(w, d, o))),
                 _ => Err(Error::Recovery(format!(
@@ -52,7 +48,10 @@ pub fn program_for_inflight(inflight: &InFlight) -> Result<Box<dyn TxnProgram + 
         t if t == ty::DELIVERY => Delivery::recovered(wa)
             .map(|p| Box::new(p) as Box<dyn TxnProgram + Send>)
             .ok_or_else(|| {
-                Error::Recovery(format!("unparseable delivery work area for {}", inflight.txn))
+                Error::Recovery(format!(
+                    "unparseable delivery work area for {}",
+                    inflight.txn
+                ))
             }),
         other => Err(Error::Recovery(format!(
             "in-flight transaction {} has non-compensable type {other}",

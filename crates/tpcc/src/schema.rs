@@ -335,11 +335,17 @@ mod tests {
     #[test]
     fn column_constants_match_schema() {
         let c = tpcc_catalog();
-        assert_eq!(c.schema(TABLES.district).col("d_next_o_id"), col::d::NEXT_O_ID);
+        assert_eq!(
+            c.schema(TABLES.district).col("d_next_o_id"),
+            col::d::NEXT_O_ID
+        );
         assert_eq!(c.schema(TABLES.district).col("d_ytd"), col::d::YTD);
         assert_eq!(c.schema(TABLES.customer).col("c_balance"), col::c::BALANCE);
         assert_eq!(c.schema(TABLES.order).col("o_ol_cnt"), col::o::OL_CNT);
-        assert_eq!(c.schema(TABLES.order_line).col("ol_amount"), col::ol::AMOUNT);
+        assert_eq!(
+            c.schema(TABLES.order_line).col("ol_amount"),
+            col::ol::AMOUNT
+        );
         assert_eq!(c.schema(TABLES.stock).col("s_quantity"), col::s::QUANTITY);
         assert_eq!(c.schema(TABLES.item).col("i_price"), col::i::PRICE);
         assert_eq!(c.schema(TABLES.warehouse).col("w_ytd"), col::w::YTD);

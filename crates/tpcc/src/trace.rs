@@ -128,7 +128,10 @@ impl TpccTraceSource {
     }
 
     fn new_order_page(d: i64, o: i64) -> ResourceId {
-        Self::page(TABLES.new_order, (d - 1) * DISTRICT_STRIDE + o / rpp::NEW_ORDER)
+        Self::page(
+            TABLES.new_order,
+            (d - 1) * DISTRICT_STRIDE + o / rpp::NEW_ORDER,
+        )
     }
 
     fn history_page(&self) -> ResourceId {
@@ -165,8 +168,7 @@ impl TpccTraceSource {
             steps.push(StepTrace {
                 step_type: step::NO_S2,
                 ops: vec![
-                    Op::read(Self::item_page(line.i_id), cpu)
-                        .with_compute(self.costs.compute_time),
+                    Op::read(Self::item_page(line.i_id), cpu).with_compute(self.costs.compute_time),
                     Op::write(Self::stock_page(line.i_id), cpu),
                     Op::write(Self::order_line_page(d, o_id), cpu)
                         .with_lock(ResourceId::Table(TABLES.order_line), LockMode::IX)
@@ -194,7 +196,10 @@ impl TpccTraceSource {
         let tpl = vec![self.templates.pay_mid];
         let c_id = self.gen.customer(rng);
         self.history_rows += 1;
-        let by_name = matches!(input.customer, crate::input::CustomerSelector::ByLastName(_));
+        let by_name = matches!(
+            input.customer,
+            crate::input::CustomerSelector::ByLastName(_)
+        );
 
         let s1 = StepTrace {
             step_type: step::PAY_S1,
@@ -259,11 +264,10 @@ impl TpccTraceSource {
             // DLV_S1: probe the district's oldest NEW-ORDER index page and
             // delete the row. (Open Ingres reaches the oldest entry through
             // the index with page locks — no table-level scan lock.)
-            let probe = claimed
-                .map(|(o, _)| o)
-                .unwrap_or(self.next_o[d as usize]);
-            let mut claim_ops = vec![Op::read(Self::new_order_page(d, probe), cpu)
-                .with_compute(self.costs.compute_time)];
+            let probe = claimed.map(|(o, _)| o).unwrap_or(self.next_o[d as usize]);
+            let mut claim_ops =
+                vec![Op::read(Self::new_order_page(d, probe), cpu)
+                    .with_compute(self.costs.compute_time)];
             if let Some((o_id, _)) = claimed {
                 claim_ops.push(
                     Op::write(Self::new_order_page(d, o_id), cpu)
@@ -282,8 +286,7 @@ impl TpccTraceSource {
                         Op::write(Self::order_page(d, o_id), cpu)
                             .with_compute(self.costs.compute_time)
                             .with_templates(tpl.clone()),
-                        Op::write(Self::order_line_page(d, o_id), cpu)
-                            .with_templates(tpl.clone()),
+                        Op::write(Self::order_line_page(d, o_id), cpu).with_templates(tpl.clone()),
                         Op::write(self.customer_page(d, c_id), cpu),
                     ]
                 }
@@ -359,9 +362,18 @@ mod tests {
     #[test]
     fn rpp_constants_match_schema() {
         let cat = tpcc_catalog();
-        assert_eq!(cat.schema(TABLES.customer).rows_per_page as i64, rpp::CUSTOMER);
-        assert_eq!(cat.schema(TABLES.history).rows_per_page as i64, rpp::HISTORY);
-        assert_eq!(cat.schema(TABLES.new_order).rows_per_page as i64, rpp::NEW_ORDER);
+        assert_eq!(
+            cat.schema(TABLES.customer).rows_per_page as i64,
+            rpp::CUSTOMER
+        );
+        assert_eq!(
+            cat.schema(TABLES.history).rows_per_page as i64,
+            rpp::HISTORY
+        );
+        assert_eq!(
+            cat.schema(TABLES.new_order).rows_per_page as i64,
+            rpp::NEW_ORDER
+        );
         assert_eq!(cat.schema(TABLES.order).rows_per_page as i64, rpp::ORDER);
         assert_eq!(cat.schema(TABLES.item).rows_per_page as i64, rpp::ITEM);
         assert_eq!(cat.schema(TABLES.stock).rows_per_page as i64, rpp::STOCK);
@@ -382,20 +394,14 @@ mod tests {
                     assert_eq!(t.steps[1].step_type, step::NO_S2);
                     assert!(t.comp_step.is_some());
                     // District row is the third statement of step 0.
-                    assert!(t.steps[0].ops[2]
-                        .locks
-                        .iter()
-                        .any(|(r, m)| m.is_write()
-                            && matches!(r, ResourceId::Page(tid, _) if *tid == TABLES.district)));
+                    assert!(t.steps[0].ops[2].locks.iter().any(|(r, m)| m.is_write()
+                        && matches!(r, ResourceId::Page(tid, _) if *tid == TABLES.district)));
                 }
                 x if x == ty::PAYMENT => {
                     assert_eq!(t.steps.len(), 2);
                     // Also writes the district row — the §5.1 conflict.
-                    assert!(t.steps[0].ops[1]
-                        .locks
-                        .iter()
-                        .any(|(r, m)| m.is_write()
-                            && matches!(r, ResourceId::Page(tid, _) if *tid == TABLES.district)));
+                    assert!(t.steps[0].ops[1].locks.iter().any(|(r, m)| m.is_write()
+                        && matches!(r, ResourceId::Page(tid, _) if *tid == TABLES.district)));
                 }
                 x if x == ty::DELIVERY => {
                     assert_eq!(t.steps.len(), 20, "two steps per district");

@@ -7,8 +7,7 @@
 //! undone.
 
 use crate::input::{
-    CustomerSelector, DeliveryInput, NewOrderInput, OrderStatusInput, PaymentInput,
-    StockLevelInput,
+    CustomerSelector, DeliveryInput, NewOrderInput, OrderStatusInput, PaymentInput, StockLevelInput,
 };
 use crate::schema::{col, TABLES};
 use acc_common::{Decimal, Error, Result, TxnTypeId, Value};
@@ -110,8 +109,7 @@ impl TxnProgram for NewOrder {
         if i == 0 {
             let wrow = ctx.read_existing(TABLES.warehouse, &Key::ints(&[w]))?;
             self.w_tax = wrow.decimal(col::w::TAX);
-            let crow =
-                ctx.read_existing(TABLES.customer, &Key::ints(&[w, d, self.input.c_id]))?;
+            let crow = ctx.read_existing(TABLES.customer, &Key::ints(&[w, d, self.input.c_id]))?;
             self.c_discount = crow.decimal(col::c::DISCOUNT);
 
             let drow = ctx
@@ -391,15 +389,8 @@ impl TxnProgram for OrderStatus {
         let crow = ctx.read_existing(TABLES.customer, &Key::ints(&[w, d, c_id]))?;
         self.balance = Some(crow.decimal(col::c::BALANCE));
 
-        let orders = ctx.lookup_secondary(
-            TABLES.order,
-            0,
-            &Key::ints(&[w, d, c_id]),
-        )?;
-        let last = orders
-            .iter()
-            .map(|(_, r)| r.int(col::o::ID))
-            .max();
+        let orders = ctx.lookup_secondary(TABLES.order, 0, &Key::ints(&[w, d, c_id]))?;
+        let last = orders.iter().map(|(_, r)| r.int(col::o::ID)).max();
         if let Some(o_id) = last {
             let lines = ctx.scan_prefix(TABLES.order_line, &Key::ints(&[w, d, o_id]))?;
             self.last_order = Some((o_id, lines.len()));
@@ -447,9 +438,9 @@ impl Delivery {
 
     /// Rebuild from a recovered work area.
     pub fn recovered(work_area: &[u8]) -> Option<Self> {
-        let mut it = work_area.chunks_exact(8).map(|c| {
-            i64::from_le_bytes(c.try_into().expect("8-byte chunk"))
-        });
+        let mut it = work_area
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         let w_id = it.next()?;
         let districts = it.next()?;
         let mut p = Delivery::new(
@@ -590,13 +581,9 @@ impl TxnProgram for Delivery {
                     r.set(col::c::DELIVERY_CNT, Value::Int(cnt - 1));
                 })?;
                 for l in 1..=claim.ol_cnt {
-                    ctx.update_key(
-                        TABLES.order_line,
-                        &Key::ints(&[w, d, claim.o_id, l]),
-                        |r| {
-                            r.set(col::ol::DELIVERY_D, Value::Null);
-                        },
-                    )?;
+                    ctx.update_key(TABLES.order_line, &Key::ints(&[w, d, claim.o_id, l]), |r| {
+                        r.set(col::ol::DELIVERY_D, Value::Null);
+                    })?;
                 }
                 ctx.update_key(TABLES.order, &Key::ints(&[w, d, claim.o_id]), |r| {
                     r.set(col::o::CARRIER_ID, Value::Null);
@@ -667,10 +654,7 @@ impl TxnProgram for StockLevel {
 }
 
 /// Construct the program for a generated input.
-pub fn program_for(
-    input: crate::input::TxnInput,
-    districts: i64,
-) -> Box<dyn TxnProgram + Send> {
+pub fn program_for(input: crate::input::TxnInput, districts: i64) -> Box<dyn TxnProgram + Send> {
     match input {
         crate::input::TxnInput::NewOrder(i) => Box::new(NewOrder::new(i)),
         crate::input::TxnInput::Payment(i) => Box::new(Payment::new(i)),

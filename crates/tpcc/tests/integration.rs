@@ -2,6 +2,7 @@
 //! consistency conditions checked at quiescence.
 
 use acc_common::rng::SeededRng;
+use acc_common::Decimal;
 use acc_engine::{Stepper, StepperConfig};
 use acc_storage::{Database, Key};
 use acc_tpcc::consistency;
@@ -10,13 +11,12 @@ use acc_tpcc::input::{
     CustomerSelector, DeliveryInput, InputGen, NewOrderInput, OrderLineInput, PaymentInput,
     StockLevelInput, TpccConfig, TxnInput,
 };
+use acc_tpcc::populate;
 use acc_tpcc::schema::{col, tpcc_catalog, Scale, TABLES};
 use acc_tpcc::txns::{self, program_for};
-use acc_tpcc::populate;
 use acc_txn::{
     run, AbortReason, ConcurrencyControl, RunOutcome, SharedDb, TwoPhase, TxnProgram, WaitMode,
 };
-use acc_common::Decimal;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,8 +26,7 @@ fn system(scale: Scale, seed: u64) -> (Arc<SharedDb>, TpccSystem) {
     let mut db = Database::new(&cat);
     populate(&mut db, &scale, seed);
     let shared = Arc::new(
-        SharedDb::new(db, Arc::clone(&sys.tables) as _)
-            .with_wait_cap(Duration::from_secs(20)),
+        SharedDb::new(db, Arc::clone(&sys.tables) as _).with_wait_cap(Duration::from_secs(20)),
     );
     (shared, sys)
 }
@@ -64,8 +63,16 @@ fn each_transaction_type_runs_under_2pl() {
         d_id: 1,
         c_id: 3,
         lines: vec![
-            OrderLineInput { i_id: 1, supply_w_id: 1, qty: 3 },
-            OrderLineInput { i_id: 2, supply_w_id: 1, qty: 4 },
+            OrderLineInput {
+                i_id: 1,
+                supply_w_id: 1,
+                qty: 3,
+            },
+            OrderLineInput {
+                i_id: 2,
+                supply_w_id: 1,
+                qty: 4,
+            },
         ],
         rollback: false,
     });
@@ -104,7 +111,13 @@ fn each_transaction_type_runs_under_2pl() {
     assert!(matches!(out, RunOutcome::Committed { .. }));
     assert!(ost.balance.is_some());
 
-    let mut dlv = txns::Delivery::new(DeliveryInput { w_id: 1, carrier_id: 7 }, 3);
+    let mut dlv = txns::Delivery::new(
+        DeliveryInput {
+            w_id: 1,
+            carrier_id: 7,
+        },
+        3,
+    );
     let out = run(&shared, &TwoPhase, &mut dlv, WaitMode::Block).unwrap();
     assert!(matches!(out, RunOutcome::Committed { .. }));
     assert_eq!(dlv.delivered.len(), 3, "one order per district");
@@ -137,9 +150,21 @@ fn new_order_rollback_compensates_under_acc() {
         d_id: 2,
         c_id: 1,
         lines: vec![
-            OrderLineInput { i_id: 5, supply_w_id: 1, qty: 2 },
-            OrderLineInput { i_id: 6, supply_w_id: 1, qty: 2 },
-            OrderLineInput { i_id: 7, supply_w_id: 1, qty: 2 },
+            OrderLineInput {
+                i_id: 5,
+                supply_w_id: 1,
+                qty: 2,
+            },
+            OrderLineInput {
+                i_id: 6,
+                supply_w_id: 1,
+                qty: 2,
+            },
+            OrderLineInput {
+                i_id: 7,
+                supply_w_id: 1,
+                qty: 2,
+            },
         ],
         rollback: true,
     });
@@ -148,17 +173,27 @@ fn new_order_rollback_compensates_under_acc() {
 
     shared.with_core(|c| {
         // Order gone, lines gone, stock restored.
-        assert!(c.db.table(TABLES.order).unwrap().get(&Key::ints(&[1, 2, 5])).is_none());
-        let stock_after: i64 = c
+        assert!(c
             .db
-            .table(TABLES.stock)
+            .table(TABLES.order)
             .unwrap()
-            .iter()
-            .map(|(_, r)| r.int(col::s::QUANTITY))
-            .sum();
+            .get(&Key::ints(&[1, 2, 5]))
+            .is_none());
+        let stock_after: i64 =
+            c.db.table(TABLES.stock)
+                .unwrap()
+                .iter()
+                .map(|(_, r)| r.int(col::s::QUANTITY))
+                .sum();
         assert_eq!(stock_after, stock_before);
         // The order id was consumed (gap allowed under semantic correctness).
-        let d = c.db.table(TABLES.district).unwrap().get(&Key::ints(&[1, 2])).unwrap().1.clone();
+        let d =
+            c.db.table(TABLES.district)
+                .unwrap()
+                .get(&Key::ints(&[1, 2]))
+                .unwrap()
+                .1
+                .clone();
         assert_eq!(d.int(col::d::NEXT_O_ID), 6);
     });
     assert_consistent(&shared, false);
@@ -232,7 +267,13 @@ fn stepper_explores_acc_interleavings_consistently() {
             .collect();
         let mut stepper = Stepper::new(&shared, &*sys.acc);
         let report = stepper
-            .run_all(&mut programs, &StepperConfig { seed, max_resubmits: 40 })
+            .run_all(
+                &mut programs,
+                &StepperConfig {
+                    seed,
+                    max_resubmits: 40,
+                },
+            )
             .unwrap();
         // All transactions reached a final state.
         assert_eq!(report.outcomes.len(), 10);
@@ -246,7 +287,13 @@ fn deliveries_drain_new_orders() {
     // 4 initial orders per district, 3 districts: 2 deliveries drain at most
     // 2 per district; run 5 to fully drain.
     for _ in 0..5 {
-        let program = Box::new(txns::Delivery::new(DeliveryInput { w_id: 1, carrier_id: 1 }, 3));
+        let program = Box::new(txns::Delivery::new(
+            DeliveryInput {
+                w_id: 1,
+                carrier_id: 1,
+            },
+            3,
+        ));
         run_with_resubmit(&shared, &*sys.acc, program);
     }
     shared.with_core(|c| {

@@ -4,8 +4,8 @@ use acc_common::{Decimal, Value};
 use acc_storage::{Database, Key};
 use acc_tpcc::decompose::TpccSystem;
 use acc_tpcc::input::{
-    CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput,
-    PaymentInput, StockLevelInput,
+    CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput, PaymentInput,
+    StockLevelInput,
 };
 use acc_tpcc::populate::{self, last_name};
 use acc_tpcc::schema::{col, tpcc_catalog, Scale, TABLES};
@@ -31,22 +31,35 @@ fn new_order_math_matches_spec() {
                 r.set(col::w::TAX, Value::Decimal(Decimal::from_units(1000))); // 10%
             })
             .unwrap();
-        let d_slot = c.db.table(TABLES.district).unwrap().slot_of(&Key::ints(&[1, 1])).unwrap();
+        let d_slot =
+            c.db.table(TABLES.district)
+                .unwrap()
+                .slot_of(&Key::ints(&[1, 1]))
+                .unwrap();
         c.db.table_mut(TABLES.district)
             .unwrap()
             .update_with(d_slot, |r| {
                 r.set(col::d::TAX, Value::Decimal(Decimal::from_units(500))); // 5%
             })
             .unwrap();
-        let c_slot = c.db.table(TABLES.customer).unwrap().slot_of(&Key::ints(&[1, 1, 2])).unwrap();
+        let c_slot =
+            c.db.table(TABLES.customer)
+                .unwrap()
+                .slot_of(&Key::ints(&[1, 1, 2]))
+                .unwrap();
         c.db.table_mut(TABLES.customer)
             .unwrap()
             .update_with(c_slot, |r| {
-                r.set(col::c::DISCOUNT, Value::Decimal(Decimal::from_units(2000))); // 20%
+                r.set(col::c::DISCOUNT, Value::Decimal(Decimal::from_units(2000)));
+                // 20%
             })
             .unwrap();
         for item in [1i64, 2] {
-            let i_slot = c.db.table(TABLES.item).unwrap().slot_of(&Key::ints(&[item])).unwrap();
+            let i_slot =
+                c.db.table(TABLES.item)
+                    .unwrap()
+                    .slot_of(&Key::ints(&[item]))
+                    .unwrap();
             c.db.table_mut(TABLES.item)
                 .unwrap()
                 .update_with(i_slot, |r| {
@@ -61,8 +74,16 @@ fn new_order_math_matches_spec() {
         d_id: 1,
         c_id: 2,
         lines: vec![
-            OrderLineInput { i_id: 1, supply_w_id: 1, qty: 2 }, // 20.00
-            OrderLineInput { i_id: 2, supply_w_id: 1, qty: 3 }, // 30.00
+            OrderLineInput {
+                i_id: 1,
+                supply_w_id: 1,
+                qty: 2,
+            }, // 20.00
+            OrderLineInput {
+                i_id: 2,
+                supply_w_id: 1,
+                qty: 3,
+            }, // 30.00
         ],
         rollback: false,
     });
@@ -70,7 +91,10 @@ fn new_order_math_matches_spec() {
     assert!(matches!(out, RunOutcome::Committed { .. }));
     // total = 50 * (1 + 0.10 + 0.05) * (1 - 0.20) = 50 * 1.15 * 0.8 = 46.
     assert_eq!(no.total, Some(Decimal::from_int(46)));
-    assert_eq!(no.amounts, vec![Decimal::from_int(20), Decimal::from_int(30)]);
+    assert_eq!(
+        no.amounts,
+        vec![Decimal::from_int(20), Decimal::from_int(30)]
+    );
 }
 
 #[test]
@@ -78,7 +102,11 @@ fn new_order_stock_91_rule() {
     let s = shared(2);
     // Force a known stock level below the reorder threshold.
     s.with_core(|c| {
-        let slot = c.db.table(TABLES.stock).unwrap().slot_of(&Key::ints(&[1, 5])).unwrap();
+        let slot =
+            c.db.table(TABLES.stock)
+                .unwrap()
+                .slot_of(&Key::ints(&[1, 5]))
+                .unwrap();
         c.db.table_mut(TABLES.stock)
             .unwrap()
             .update_with(slot, |r| {
@@ -90,12 +118,22 @@ fn new_order_stock_91_rule() {
         w_id: 1,
         d_id: 1,
         c_id: 1,
-        lines: vec![OrderLineInput { i_id: 5, supply_w_id: 1, qty: 4 }],
+        lines: vec![OrderLineInput {
+            i_id: 5,
+            supply_w_id: 1,
+            qty: 4,
+        }],
         rollback: false,
     });
     run(&s, &TwoPhase, &mut no, WaitMode::Block).unwrap();
     s.with_core(|c| {
-        let stock = c.db.table(TABLES.stock).unwrap().get(&Key::ints(&[1, 5])).unwrap().1.clone();
+        let stock =
+            c.db.table(TABLES.stock)
+                .unwrap()
+                .get(&Key::ints(&[1, 5]))
+                .unwrap()
+                .1
+                .clone();
         // 12 - 4 = 8 < 10 → +91 ⇒ 99 (spec §2.4.2.2).
         assert_eq!(stock.int(col::s::QUANTITY), 99);
         assert_eq!(stock.int(col::s::YTD), 4);
@@ -118,14 +156,13 @@ fn payment_by_last_name_picks_middle_match() {
     run(&s, &TwoPhase, &mut pay, WaitMode::Block).unwrap();
     assert_eq!(pay.c_id, Some(8));
     s.with_core(|c| {
-        let cust = c
-            .db
-            .table(TABLES.customer)
-            .unwrap()
-            .get(&Key::ints(&[1, 2, 8]))
-            .unwrap()
-            .1
-            .clone();
+        let cust =
+            c.db.table(TABLES.customer)
+                .unwrap()
+                .get(&Key::ints(&[1, 2, 8]))
+                .unwrap()
+                .1
+                .clone();
         assert_eq!(cust.decimal(col::c::BALANCE), Decimal::from_int(-10));
         assert_eq!(cust.decimal(col::c::YTD_PAYMENT), Decimal::from_int(10));
         assert_eq!(cust.int(col::c::PAYMENT_CNT), 1);
@@ -137,7 +174,12 @@ fn payment_by_last_name_picks_middle_match() {
 fn payment_missing_name_rolls_back_cleanly() {
     let s = shared(4);
     let ytd_before = s.with_core(|c| {
-        c.db.table(TABLES.warehouse).unwrap().get(&Key::ints(&[1])).unwrap().1.decimal(col::w::YTD)
+        c.db.table(TABLES.warehouse)
+            .unwrap()
+            .get(&Key::ints(&[1]))
+            .unwrap()
+            .1
+            .decimal(col::w::YTD)
     });
     let mut pay = txns::Payment::new(PaymentInput {
         w_id: 1,
@@ -150,7 +192,13 @@ fn payment_missing_name_rolls_back_cleanly() {
     assert!(matches!(err, acc_common::Error::NotFound(_)));
     // Step-0 effects (w_ytd/d_ytd) were rolled back physically.
     s.with_core(|c| {
-        let ytd = c.db.table(TABLES.warehouse).unwrap().get(&Key::ints(&[1])).unwrap().1.decimal(col::w::YTD);
+        let ytd =
+            c.db.table(TABLES.warehouse)
+                .unwrap()
+                .get(&Key::ints(&[1]))
+                .unwrap()
+                .1
+                .decimal(col::w::YTD);
         assert_eq!(ytd, ytd_before);
         assert_eq!(c.lm.total_grants(), 0);
     });
@@ -167,9 +215,21 @@ fn order_status_reports_last_order() {
             d_id: 1,
             c_id: 1,
             lines: vec![
-                OrderLineInput { i_id: 1, supply_w_id: 1, qty: 1 },
-                OrderLineInput { i_id: 2, supply_w_id: 1, qty: 1 },
-                OrderLineInput { i_id: 3, supply_w_id: 1, qty: 1 },
+                OrderLineInput {
+                    i_id: 1,
+                    supply_w_id: 1,
+                    qty: 1,
+                },
+                OrderLineInput {
+                    i_id: 2,
+                    supply_w_id: 1,
+                    qty: 1,
+                },
+                OrderLineInput {
+                    i_id: 3,
+                    supply_w_id: 1,
+                    qty: 1,
+                },
             ],
             rollback: false,
         });
@@ -191,36 +251,63 @@ fn order_status_reports_last_order() {
 fn delivery_processes_oldest_first_and_credits_customer() {
     let s = shared(6);
     let (oldest, c_id, amount) = s.with_core(|c| {
-        let oldest = c
-            .db
-            .table(TABLES.new_order)
-            .unwrap()
-            .scan_prefix(&Key::ints(&[1, 1]))
-            .next()
-            .map(|(_, r)| r.int(col::no::O_ID))
-            .unwrap();
-        let order = c.db.table(TABLES.order).unwrap().get(&Key::ints(&[1, 1, oldest])).unwrap().1.clone();
-        let amount: Decimal = c
-            .db
-            .table(TABLES.order_line)
-            .unwrap()
-            .scan_prefix(&Key::ints(&[1, 1, oldest]))
-            .map(|(_, l)| l.decimal(col::ol::AMOUNT))
-            .sum();
+        let oldest =
+            c.db.table(TABLES.new_order)
+                .unwrap()
+                .scan_prefix(&Key::ints(&[1, 1]))
+                .next()
+                .map(|(_, r)| r.int(col::no::O_ID))
+                .unwrap();
+        let order =
+            c.db.table(TABLES.order)
+                .unwrap()
+                .get(&Key::ints(&[1, 1, oldest]))
+                .unwrap()
+                .1
+                .clone();
+        let amount: Decimal =
+            c.db.table(TABLES.order_line)
+                .unwrap()
+                .scan_prefix(&Key::ints(&[1, 1, oldest]))
+                .map(|(_, l)| l.decimal(col::ol::AMOUNT))
+                .sum();
         (oldest, order.int(col::o::C_ID), amount)
     });
 
-    let mut dlv = txns::Delivery::new(DeliveryInput { w_id: 1, carrier_id: 3 }, 3);
+    let mut dlv = txns::Delivery::new(
+        DeliveryInput {
+            w_id: 1,
+            carrier_id: 3,
+        },
+        3,
+    );
     run(&s, &TwoPhase, &mut dlv, WaitMode::Block).unwrap();
     assert!(dlv.delivered.contains(&(1, oldest)));
     s.with_core(|c| {
-        let order = c.db.table(TABLES.order).unwrap().get(&Key::ints(&[1, 1, oldest])).unwrap().1.clone();
+        let order =
+            c.db.table(TABLES.order)
+                .unwrap()
+                .get(&Key::ints(&[1, 1, oldest]))
+                .unwrap()
+                .1
+                .clone();
         assert_eq!(order.int(col::o::CARRIER_ID), 3);
-        let cust = c.db.table(TABLES.customer).unwrap().get(&Key::ints(&[1, 1, c_id])).unwrap().1.clone();
+        let cust =
+            c.db.table(TABLES.customer)
+                .unwrap()
+                .get(&Key::ints(&[1, 1, c_id]))
+                .unwrap()
+                .1
+                .clone();
         assert_eq!(cust.decimal(col::c::BALANCE), amount);
         assert_eq!(cust.int(col::c::DELIVERY_CNT), 1);
         // The NEW-ORDER row is gone.
-        assert!(c.db.table(TABLES.new_order).unwrap().get(&Key::ints(&[1, 1, oldest])).is_none());
+        assert!(c
+            .db
+            .table(TABLES.new_order)
+            .unwrap()
+            .get(&Key::ints(&[1, 1, oldest]))
+            .is_none());
     });
 }
 
@@ -229,11 +316,23 @@ fn delivery_skips_empty_districts() {
     let s = shared(7);
     // Drain district 2 completely first.
     for _ in 0..4 {
-        let mut d = txns::Delivery::new(DeliveryInput { w_id: 1, carrier_id: 1 }, 3);
+        let mut d = txns::Delivery::new(
+            DeliveryInput {
+                w_id: 1,
+                carrier_id: 1,
+            },
+            3,
+        );
         run(&s, &TwoPhase, &mut d, WaitMode::Block).unwrap();
     }
     // Now a delivery on the empty warehouse: commits, delivers nothing.
-    let mut d = txns::Delivery::new(DeliveryInput { w_id: 1, carrier_id: 1 }, 3);
+    let mut d = txns::Delivery::new(
+        DeliveryInput {
+            w_id: 1,
+            carrier_id: 1,
+        },
+        3,
+    );
     let out = run(&s, &TwoPhase, &mut d, WaitMode::Block).unwrap();
     assert!(matches!(out, RunOutcome::Committed { .. }));
     assert!(d.delivered.is_empty());
@@ -245,7 +344,12 @@ fn stock_level_counts_below_threshold() {
     // Set every stock row's quantity to 50, then drop a couple of recently
     // ordered items below threshold.
     s.with_core(|c| {
-        let slots: Vec<_> = c.db.table(TABLES.stock).unwrap().iter().map(|(s, _)| s).collect();
+        let slots: Vec<_> =
+            c.db.table(TABLES.stock)
+                .unwrap()
+                .iter()
+                .map(|(s, _)| s)
+                .collect();
         for slot in slots {
             c.db.table_mut(TABLES.stock)
                 .unwrap()
@@ -260,15 +364,27 @@ fn stock_level_counts_below_threshold() {
         d_id: 1,
         c_id: 1,
         lines: vec![
-            OrderLineInput { i_id: 7, supply_w_id: 1, qty: 1 },
-            OrderLineInput { i_id: 8, supply_w_id: 1, qty: 1 },
+            OrderLineInput {
+                i_id: 7,
+                supply_w_id: 1,
+                qty: 1,
+            },
+            OrderLineInput {
+                i_id: 8,
+                supply_w_id: 1,
+                qty: 1,
+            },
         ],
         rollback: false,
     });
     run(&s, &TwoPhase, &mut no, WaitMode::Block).unwrap();
     s.with_core(|c| {
         for item in [7i64, 8] {
-            let slot = c.db.table(TABLES.stock).unwrap().slot_of(&Key::ints(&[1, item])).unwrap();
+            let slot =
+                c.db.table(TABLES.stock)
+                    .unwrap()
+                    .slot_of(&Key::ints(&[1, item]))
+                    .unwrap();
             c.db.table_mut(TABLES.stock)
                 .unwrap()
                 .update_with(slot, |r| {

@@ -48,6 +48,21 @@ pub trait ConcurrencyControl: Send + Sync {
     /// by the executor.
     fn item_locks(&self, meta: &TxnMeta, table: TableId, write: bool) -> Vec<LockKind>;
 
+    /// Lock kinds to acquire on the *table* resource for a single-row access
+    /// (alongside [`ConcurrencyControl::item_locks`] on the item itself).
+    /// Defaults to the plain intention mode; policies that release
+    /// conventional locks early must add a table-granularity presence for
+    /// their uncommitted writes here, or scans — which take only a
+    /// table-level `S` — would walk past the item-level pins unchecked.
+    fn table_locks(&self, meta: &TxnMeta, table: TableId, write: bool) -> Vec<LockKind> {
+        let _ = (meta, table);
+        vec![LockKind::Conventional(if write {
+            LockMode::IX
+        } else {
+            LockMode::IS
+        })]
+    }
+
     /// Lock kinds to acquire on the *table* resource for a scan.
     fn scan_locks(&self, meta: &TxnMeta, table: TableId) -> Vec<LockKind>;
 

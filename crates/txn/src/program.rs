@@ -76,5 +76,4 @@ mod tests {
         assert!(p.work_area().is_empty());
         assert_eq!(p.txn_type(), TxnTypeId(0));
     }
-
 }

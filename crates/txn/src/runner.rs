@@ -6,9 +6,11 @@ use crate::program::{StepOutcome, TxnProgram};
 use crate::shared::{SharedDb, WaitMode};
 use crate::step::StepCtx;
 use crate::transaction::{Transaction, TxnState};
+use acc_common::events::Event;
 use acc_common::{Error, Result};
 use acc_storage::UndoRecord;
 use acc_wal::LogRecord;
+use std::time::Instant;
 
 /// Why a transaction rolled back.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,8 +71,10 @@ pub fn run_existing(
     txn: &mut Transaction,
     mode: WaitMode,
 ) -> Result<RunOutcome> {
+    let sink = shared.event_sink();
     loop {
         let mut retried = false;
+        let step_started = Instant::now();
         let step_result = loop {
             let mut ctx = StepCtx::new(shared, cc, txn, mode);
             match program.step(ctx.txn().step_index, &mut ctx) {
@@ -86,6 +90,14 @@ pub fn run_existing(
                 Err(e) => break Err(e),
             }
         };
+
+        if sink.is_enabled() && step_result.is_ok() {
+            sink.emit(Event::StepEnd {
+                txn: txn.id,
+                step_index: txn.step_index,
+                micros: step_started.elapsed().as_micros() as u64,
+            });
+        }
 
         match step_result {
             Ok(StepOutcome::Continue) => {
@@ -211,6 +223,13 @@ pub fn rollback(
                 from_step: txn.steps_completed,
             });
         });
+        let sink = shared.event_sink();
+        if sink.is_enabled() {
+            sink.emit(Event::CompensationStart {
+                txn: txn.id,
+                from_step: txn.steps_completed,
+            });
+        }
         txn.state = TxnState::Compensating;
         // A compensating step is never a deadlock victim (the lock manager
         // dooms whoever delays it), but transient races can still surface;

@@ -1,6 +1,7 @@
 //! The shared system state: database + lock manager + WAL behind one mutex,
 //! with a condvar for lock waits.
 
+use acc_common::events::{Event, EventSink};
 use acc_common::{Error, ResourceId, Result, TxnId, TxnTypeId};
 use acc_lockmgr::{
     GrantNotice, InterferenceOracle, LockKind, LockManager, Request, RequestCtx, RequestOutcome,
@@ -8,9 +9,8 @@ use acc_lockmgr::{
 };
 use acc_storage::Database;
 use acc_wal::{LogRecord, Wal};
-use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
 
 /// How a lock request behaves when it cannot be granted immediately.
@@ -77,14 +77,24 @@ impl SharedDb {
         &*self.oracle
     }
 
+    /// Route the lock manager's observability events into `sink`.
+    pub fn set_event_sink(&self, sink: Arc<EventSink>) {
+        self.core.lock().unwrap().lm.set_sink(sink);
+    }
+
+    /// The lock manager's current event sink (disabled by default).
+    pub fn event_sink(&self) -> Arc<EventSink> {
+        Arc::clone(self.core.lock().unwrap().lm.sink())
+    }
+
     /// Run `f` with the core locked.
     pub fn with_core<R>(&self, f: impl FnOnce(&mut Core) -> R) -> R {
-        f(&mut self.core.lock())
+        f(&mut self.core.lock().unwrap())
     }
 
     /// Allocate a transaction id and log its begin record.
     pub fn begin_txn(&self, txn_type: TxnTypeId) -> TxnId {
-        let mut core = self.core.lock();
+        let mut core = self.core.lock().unwrap();
         let id = TxnId(core.next_txn);
         core.next_txn += 1;
         core.wal.append(LogRecord::Begin { txn: id, txn_type });
@@ -94,12 +104,12 @@ impl SharedDb {
     /// True if some other transaction doomed this one (it is delaying a
     /// compensating step and must roll back, §3.4).
     pub fn is_doomed(&self, txn: TxnId) -> bool {
-        self.core.lock().doomed.contains(&txn)
+        self.core.lock().unwrap().doomed.contains(&txn)
     }
 
     /// Forget a transaction's doom flag (called once it has rolled back).
     pub fn clear_doom(&self, txn: TxnId) {
-        self.core.lock().doomed.remove(&txn);
+        self.core.lock().unwrap().doomed.remove(&txn);
     }
 
     /// Acquire one lock, honouring the wait mode. Returns:
@@ -118,7 +128,7 @@ impl SharedDb {
         ctx: RequestCtx,
         mode: WaitMode,
     ) -> Result<()> {
-        let mut core = self.core.lock();
+        let mut core = self.core.lock().unwrap();
         // A doom flag orders the transaction to roll back; once it *is*
         // rolling back (compensating), the order is vacuous and must not
         // abort the compensating step (§3.4).
@@ -171,10 +181,19 @@ impl SharedDb {
                 // detection from this waiter — cycles assembled after our
                 // enqueue (by grants/queue mutations elsewhere) are invisible
                 // to enqueue-time detection and must be swept up here.
+                let started = std::time::Instant::now();
                 let slice = Duration::from_millis(50).min(self.wait_cap);
                 let mut waited = Duration::ZERO;
                 loop {
                     if core.granted.remove(&ticket) {
+                        let sink = core.lm.sink();
+                        if sink.is_enabled() {
+                            sink.emit(Event::WaitEnd {
+                                txn,
+                                resource,
+                                micros: started.elapsed().as_micros() as u64,
+                            });
+                        }
                         return Ok(());
                     }
                     if !compensating && core.doomed.contains(&txn) {
@@ -182,15 +201,18 @@ impl SharedDb {
                         Self::post_notices(&mut core, &self.cond, notices);
                         return Err(Error::TxnAborted(txn));
                     }
-                    if self.cond.wait_for(&mut core, slice).timed_out() {
+                    let (guard, timeout) = self.cond.wait_timeout(core, slice).unwrap();
+                    core = guard;
+                    if timeout.timed_out() {
                         waited += slice;
-                        if let Some((victims, self_is_victim)) =
-                            core.lm.detect_from(txn, &*self.oracle)
-                        {
-                            if self_is_victim {
+                        if let Some(det) = core.lm.detect_from(txn, &*self.oracle) {
+                            // Waiters unblocked by the victim's withdrawn
+                            // requests must be woken, or they stall.
+                            Self::post_notices(&mut core, &self.cond, det.notices);
+                            if det.self_is_victim {
                                 return Err(Error::Deadlock { victim: txn });
                             }
-                            for v in victims {
+                            for v in det.victims {
                                 core.doomed.insert(v);
                             }
                             self.cond.notify_all();
@@ -213,14 +235,14 @@ impl SharedDb {
     /// Release the caller-selected grants of `txn` and wake anyone whose
     /// request became grantable.
     pub fn release_where(&self, txn: TxnId, pred: impl Fn(LockKind, &RequestCtx) -> bool) {
-        let mut core = self.core.lock();
+        let mut core = self.core.lock().unwrap();
         let notices = core.lm.release_where(txn, &*self.oracle, pred);
         Self::post_notices(&mut core, &self.cond, notices);
     }
 
     /// Release everything `txn` holds or waits for.
     pub fn release_all(&self, txn: TxnId) {
-        let mut core = self.core.lock();
+        let mut core = self.core.lock().unwrap();
         let notices = core.lm.release_all(txn, &*self.oracle);
         Self::post_notices(&mut core, &self.cond, notices);
     }
@@ -270,7 +292,8 @@ mod tests {
         let s = shared();
         let t1 = s.begin_txn(TxnTypeId(0));
         let t2 = s.begin_txn(TxnTypeId(0));
-        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Fail).unwrap();
+        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Fail)
+            .unwrap();
         let err = s
             .acquire(t2, R, LockKind::X, plain(), WaitMode::Fail)
             .unwrap_err();
@@ -285,9 +308,11 @@ mod tests {
         let s = shared();
         let t1 = s.begin_txn(TxnTypeId(0));
         let t2 = s.begin_txn(TxnTypeId(0));
-        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Block).unwrap();
+        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Block)
+            .unwrap();
         let s2 = Arc::clone(&s);
-        let h = std::thread::spawn(move || s2.acquire(t2, R, LockKind::X, plain(), WaitMode::Block));
+        let h =
+            std::thread::spawn(move || s2.acquire(t2, R, LockKind::X, plain(), WaitMode::Block));
         std::thread::sleep(Duration::from_millis(30));
         s.release_all(t1);
         h.join().unwrap().unwrap();
@@ -299,9 +324,11 @@ mod tests {
         let s = shared();
         let t1 = s.begin_txn(TxnTypeId(0));
         let t2 = s.begin_txn(TxnTypeId(0));
-        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Block).unwrap();
+        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Block)
+            .unwrap();
         let s2 = Arc::clone(&s);
-        let h = std::thread::spawn(move || s2.acquire(t2, R, LockKind::X, plain(), WaitMode::Block));
+        let h =
+            std::thread::spawn(move || s2.acquire(t2, R, LockKind::X, plain(), WaitMode::Block));
         std::thread::sleep(Duration::from_millis(30));
         s.with_core(|c| {
             c.doomed.insert(t2);
@@ -332,7 +359,8 @@ mod tests {
         let s = shared();
         let t1 = s.begin_txn(TxnTypeId(0));
         let t2 = s.begin_txn(TxnTypeId(0));
-        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Block).unwrap();
+        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Block)
+            .unwrap();
         let err = s
             .acquire(t2, R, LockKind::X, plain(), WaitMode::Block)
             .unwrap_err();

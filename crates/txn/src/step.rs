@@ -68,15 +68,13 @@ impl<'a> StepCtx<'a> {
     /// Take the table intention lock plus the policy's item locks on the
     /// page covering `slot`.
     fn lock_item(&self, table: TableId, slot: Slot, write: bool) -> Result<()> {
-        let intent = if write { LockMode::IX } else { LockMode::IS };
-        self.acquire(
-            acc_common::ResourceId::Table(table),
-            LockKind::Conventional(intent),
-        )?;
+        let meta = self.txn.meta();
+        for kind in self.cc.table_locks(&meta, table, write) {
+            self.acquire(acc_common::ResourceId::Table(table), kind)?;
+        }
         let page = self
             .shared
             .with_core(|c| c.db.table(table).map(|t| t.page_resource(slot)))?;
-        let meta = self.txn.meta();
         for kind in self.cc.item_locks(&meta, table, write) {
             self.acquire(page, kind)?;
         }
@@ -98,8 +96,8 @@ impl<'a> StepCtx<'a> {
             let row: Option<Option<Row>> = self.shared.with_core(|c| {
                 c.db.table(table).map(|t| match t.slot_of(key) {
                     Some(s) if s == slot => Some(t.row(slot).cloned()),
-                    Some(_) => None,     // moved: retry with fresh slot
-                    None => Some(None),  // deleted while we waited
+                    Some(_) => None,    // moved: retry with fresh slot
+                    None => Some(None), // deleted while we waited
                 })
             })?;
             match row {
@@ -172,12 +170,7 @@ impl<'a> StepCtx<'a> {
 
     /// Update the row with the given key in place. Returns `false` if the
     /// key is absent.
-    pub fn update_key(
-        &mut self,
-        table: TableId,
-        key: &Key,
-        f: impl Fn(&mut Row),
-    ) -> Result<bool> {
+    pub fn update_key(&mut self, table: TableId, key: &Key, f: impl Fn(&mut Row)) -> Result<bool> {
         loop {
             let slot = self
                 .shared
@@ -217,12 +210,7 @@ impl<'a> StepCtx<'a> {
     }
 
     /// Update the row at a known slot (must exist).
-    pub fn update_slot(
-        &mut self,
-        table: TableId,
-        slot: Slot,
-        f: impl Fn(&mut Row),
-    ) -> Result<()> {
+    pub fn update_slot(&mut self, table: TableId, slot: Slot, f: impl Fn(&mut Row)) -> Result<()> {
         self.lock_item(table, slot, true)?;
         let txn_id = self.txn.id;
         let undo = self.shared.with_core(|c| -> Result<_> {

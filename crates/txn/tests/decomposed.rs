@@ -10,8 +10,8 @@ use acc_common::{Result, StepTypeId, TableId, TxnTypeId, Value};
 use acc_lockmgr::{LockKind, LockMode, NoInterference};
 use acc_storage::{Catalog, ColumnType, Database, Key, Row, TableSchema};
 use acc_txn::{
-    run, AbortReason, ConcurrencyControl, RunOutcome, SharedDb, StepCtx, StepOutcome,
-    TxnMeta, TxnProgram, WaitMode,
+    run, AbortReason, ConcurrencyControl, RunOutcome, SharedDb, StepCtx, StepOutcome, TxnMeta,
+    TxnProgram, WaitMode,
 };
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
@@ -175,9 +175,11 @@ fn multi_step_commit() {
             .records()
             .iter()
             .filter_map(|r| match r {
-                acc_wal::LogRecord::StepEnd { step_index, work_area, .. } => {
-                    Some((*step_index, work_area.clone()))
-                }
+                acc_wal::LogRecord::StepEnd {
+                    step_index,
+                    work_area,
+                    ..
+                } => Some((*step_index, work_area.clone())),
                 _ => None,
             })
             .collect();
@@ -197,11 +199,12 @@ fn user_abort_compensates_completed_steps() {
         assert_eq!(c.db.table(ORDERS).unwrap().len(), 0, "header compensated");
         assert_eq!(c.db.table(LINES).unwrap().len(), 0, "lines compensated");
         assert_eq!(c.lm.total_grants(), 0);
-        let has_comp_begin = c
-            .wal
-            .records()
-            .iter()
-            .any(|r| matches!(r, acc_wal::LogRecord::CompensationBegin { from_step: 3, .. }));
+        let has_comp_begin = c.wal.records().iter().any(|r| {
+            matches!(
+                r,
+                acc_wal::LogRecord::CompensationBegin { from_step: 3, .. }
+            )
+        });
         assert!(has_comp_begin, "compensation was logged");
         let has_abort = c
             .wal
@@ -228,7 +231,7 @@ fn locks_released_at_step_boundaries() {
     });
 
     barrier.wait(); // txn 1 finished step 0 (header inserted, locks dropped)
-    // A competing order entry touching the same tables commits immediately.
+                    // A competing order entry touching the same tables commits immediately.
     let mut p2 = OrderEntry::new(2, vec![10]);
     let out2 = run(&s, &StepRelease, &mut p2, WaitMode::Block).unwrap();
     assert_eq!(out2, RunOutcome::Committed { steps: 2 });
@@ -256,10 +259,7 @@ fn interleaved_order_entries_preserve_count_invariant() {
         }));
     }
     for h in handles {
-        assert!(matches!(
-            h.join().unwrap(),
-            RunOutcome::Committed { .. }
-        ));
+        assert!(matches!(h.join().unwrap(), RunOutcome::Committed { .. }));
     }
     s.with_core(|c| {
         let orders = c.db.table(ORDERS).unwrap();

@@ -3,8 +3,8 @@
 use acc_common::{Error, TableId, TxnTypeId, Value};
 use acc_lockmgr::NoInterference;
 use acc_storage::{Catalog, ColumnType, Database, Key, Predicate, Row, TableSchema};
-use acc_txn::{StepCtx, SharedDb, Transaction, TwoPhase, WaitMode};
 use acc_txn::runner::commit;
+use acc_txn::{SharedDb, StepCtx, Transaction, TwoPhase, WaitMode};
 use std::sync::Arc;
 
 const T: TableId = TableId(0);
@@ -60,7 +60,10 @@ fn read_and_read_existing() {
         let row = ctx.read(T, &Key::ints(&[3])).unwrap().unwrap();
         assert_eq!(row.str(2), "edsger");
         assert!(ctx.read(T, &Key::ints(&[99])).unwrap().is_none());
-        assert_eq!(ctx.read_existing(T, &Key::ints(&[1])).unwrap().str(2), "ada");
+        assert_eq!(
+            ctx.read_existing(T, &Key::ints(&[1])).unwrap().str(2),
+            "ada"
+        );
         assert!(matches!(
             ctx.read_existing(T, &Key::ints(&[99])),
             Err(Error::NotFound(_))
@@ -140,7 +143,10 @@ fn lookup_secondary_finds_rows() {
         let names: Vec<&str> = team20.iter().map(|(_, r)| r.str(2)).collect();
         assert_eq!(names.len(), 2);
         assert!(names.contains(&"edsger") && names.contains(&"tony"));
-        assert!(ctx.lookup_secondary(T, 0, &Key::ints(&[99])).unwrap().is_empty());
+        assert!(ctx
+            .lookup_secondary(T, 0, &Key::ints(&[99]))
+            .unwrap()
+            .is_empty());
     });
 }
 
@@ -149,16 +155,20 @@ fn insert_update_delete_round_trip() {
     let s = shared();
     with_ctx(&s, |ctx| {
         let slot = ctx
-            .insert(T, Row(vec![Value::Int(9), Value::Int(30), Value::str("alan")]))
+            .insert(
+                T,
+                Row(vec![Value::Int(9), Value::Int(30), Value::str("alan")]),
+            )
             .unwrap();
         ctx.update_slot(T, slot, |r| {
             r.set(2, Value::str("alonzo"));
         })
         .unwrap();
-        assert!(ctx.update_key(T, &Key::ints(&[9]), |r| {
-            r.set(1, Value::Int(40));
-        })
-        .unwrap());
+        assert!(ctx
+            .update_key(T, &Key::ints(&[9]), |r| {
+                r.set(1, Value::Int(40));
+            })
+            .unwrap());
         assert!(!ctx.update_key(T, &Key::ints(&[99]), |_| {}).unwrap());
         let row = ctx.read_existing(T, &Key::ints(&[9])).unwrap();
         assert_eq!((row.int(1), row.str(2)), (40, "alonzo"));
@@ -188,7 +198,10 @@ fn duplicate_insert_is_an_error() {
         let two = TwoPhase;
         let mut ctx = StepCtx::new(&s, &two, &mut txn, WaitMode::Block);
         let err = ctx
-            .insert(T, Row(vec![Value::Int(1), Value::Int(0), Value::str("dup")]))
+            .insert(
+                T,
+                Row(vec![Value::Int(1), Value::Int(0), Value::str("dup")]),
+            )
             .unwrap_err();
         assert!(matches!(err, Error::DuplicateKey(_)));
     }

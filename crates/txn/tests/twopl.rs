@@ -3,9 +3,7 @@
 use acc_common::{Decimal, Error, Result, TableId, TxnTypeId, Value};
 use acc_lockmgr::NoInterference;
 use acc_storage::{Catalog, ColumnType, Database, Key, Row, TableSchema};
-use acc_txn::{
-    run, RunOutcome, SharedDb, StepCtx, StepOutcome, TwoPhase, TxnProgram, WaitMode,
-};
+use acc_txn::{run, RunOutcome, SharedDb, StepCtx, StepOutcome, TwoPhase, TxnProgram, WaitMode};
 use acc_wal::recover;
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
@@ -116,10 +114,7 @@ fn user_abort_rolls_back_physically() {
     let mut p = Transfer::new(0, 1, 30);
     p.abort_after_debit = true;
     let out = run(&shared, &TwoPhase, &mut p, WaitMode::Block).unwrap();
-    assert_eq!(
-        out,
-        RunOutcome::RolledBack(acc_txn::AbortReason::UserAbort)
-    );
+    assert_eq!(out, RunOutcome::RolledBack(acc_txn::AbortReason::UserAbort));
     let b0 = shared.with_core(|c| {
         c.db.table(ACCOUNTS)
             .unwrap()

@@ -1,0 +1,95 @@
+//! Minimal byte-buffer helpers: a `Vec<u8>` writer extension and a bounds-
+//! checked slice reader. Keeps the codec free of external buffer crates.
+
+/// Little-endian append helpers for `Vec<u8>`.
+pub trait PutExt {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_u64_le(&mut self, v: u64);
+    fn put_i64_le(&mut self, v: i64);
+}
+
+impl PutExt for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice. Every getter
+/// returns `None` on underrun instead of panicking, which is what a codec
+/// replaying a torn log tail needs.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    pub fn get_u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    pub fn get_u32_le(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    pub fn get_u64_le(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_round_trips_through_reader() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xdead_beef);
+        buf.put_u64_le(42);
+        buf.put_i64_le(-1);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8(), Some(7));
+        assert_eq!(r.get_u32_le(), Some(0xdead_beef));
+        assert_eq!(r.get_u64_le(), Some(42));
+        assert_eq!(r.get_u64_le(), Some(u64::MAX));
+        assert_eq!(r.get_u8(), None);
+    }
+
+    #[test]
+    fn underrun_is_none_not_panic() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.get_u32_le(), None);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.take(3), Some(&[1u8, 2, 3][..]));
+        assert_eq!(r.take(1), None);
+    }
+}

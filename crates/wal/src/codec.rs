@@ -5,10 +5,10 @@
 //! truncated or corrupt frame — exactly what a crash mid-`write(2)` leaves
 //! behind.
 
+use crate::buf::{PutExt, Reader};
 use crate::record::LogRecord;
 use acc_common::{Slot, TableId, TxnId, TxnTypeId, Value};
 use acc_storage::Row;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const TAG_BEGIN: u8 = 1;
 const TAG_UPDATE: u8 = 2;
@@ -34,15 +34,15 @@ fn fnv1a(data: &[u8]) -> u64 {
 }
 
 /// Append one framed record to `out`.
-pub fn encode_record(rec: &LogRecord, out: &mut BytesMut) {
-    let mut payload = BytesMut::new();
+pub fn encode_record(rec: &LogRecord, out: &mut Vec<u8>) {
+    let mut payload = Vec::new();
     encode_payload(rec, &mut payload);
     out.put_u32_le(payload.len() as u32);
     out.put_u64_le(fnv1a(&payload));
     out.extend_from_slice(&payload);
 }
 
-fn encode_payload(rec: &LogRecord, p: &mut BytesMut) {
+fn encode_payload(rec: &LogRecord, p: &mut Vec<u8>) {
     match rec {
         LogRecord::Begin { txn, txn_type } => {
             p.put_u8(TAG_BEGIN);
@@ -90,7 +90,7 @@ fn encode_payload(rec: &LogRecord, p: &mut BytesMut) {
     }
 }
 
-fn encode_opt_row(row: Option<&Row>, p: &mut BytesMut) {
+fn encode_opt_row(row: Option<&Row>, p: &mut Vec<u8>) {
     match row {
         None => p.put_u8(0),
         Some(r) => {
@@ -103,7 +103,7 @@ fn encode_opt_row(row: Option<&Row>, p: &mut BytesMut) {
     }
 }
 
-fn encode_value(v: &Value, p: &mut BytesMut) {
+fn encode_value(v: &Value, p: &mut Vec<u8>) {
     match v {
         Value::Null => p.put_u8(VAL_NULL),
         Value::Int(n) => {
@@ -129,34 +129,29 @@ fn encode_value(v: &Value, p: &mut BytesMut) {
 /// Decode every intact record from `data`, stopping silently at the first
 /// truncated or corrupt frame.
 pub fn decode_all(data: &[u8]) -> Vec<LogRecord> {
-    let mut buf = Bytes::copy_from_slice(data);
+    let mut buf = Reader::new(data);
     let mut out = Vec::new();
     loop {
         if buf.remaining() < 12 {
             return out;
         }
-        let len = (&buf[0..4]).get_u32_le() as usize;
-        if buf.remaining() < 12 + len {
+        let len = buf.get_u32_le().expect("12-byte header") as usize;
+        let checksum = buf.get_u64_le().expect("12-byte header");
+        let Some(payload) = buf.take(len) else {
             return out;
-        }
-        let checksum = (&buf[4..12]).get_u64_le();
-        let payload = &buf[12..12 + len];
+        };
         if fnv1a(payload) != checksum {
             return out;
         }
-        match decode_payload(&mut Bytes::copy_from_slice(payload)) {
+        match decode_payload(&mut Reader::new(payload)) {
             Some(rec) => out.push(rec),
             None => return out,
         }
-        buf.advance(12 + len);
     }
 }
 
-fn decode_payload(p: &mut Bytes) -> Option<LogRecord> {
-    if p.remaining() < 1 {
-        return None;
-    }
-    let tag = p.get_u8();
+fn decode_payload(p: &mut Reader<'_>) -> Option<LogRecord> {
+    let tag = p.get_u8()?;
     match tag {
         TAG_BEGIN => {
             let txn = TxnId(get_u64(p)?);
@@ -181,10 +176,7 @@ fn decode_payload(p: &mut Bytes) -> Option<LogRecord> {
             let txn = TxnId(get_u64(p)?);
             let step_index = get_u32(p)?;
             let n = get_u32(p)? as usize;
-            if p.remaining() < n {
-                return None;
-            }
-            let work_area = p.copy_to_bytes(n).to_vec();
+            let work_area = p.take(n)?.to_vec();
             Some(LogRecord::StepEnd {
                 txn,
                 step_index,
@@ -206,11 +198,8 @@ fn decode_payload(p: &mut Bytes) -> Option<LogRecord> {
     }
 }
 
-fn decode_opt_row(p: &mut Bytes) -> Option<Option<Row>> {
-    if p.remaining() < 1 {
-        return None;
-    }
-    match p.get_u8() {
+fn decode_opt_row(p: &mut Reader<'_>) -> Option<Option<Row>> {
+    match p.get_u8()? {
         0 => Some(None),
         1 => {
             let n = get_u32(p)? as usize;
@@ -224,40 +213,29 @@ fn decode_opt_row(p: &mut Bytes) -> Option<Option<Row>> {
     }
 }
 
-fn decode_value(p: &mut Bytes) -> Option<Value> {
-    if p.remaining() < 1 {
-        return None;
-    }
-    match p.get_u8() {
+fn decode_value(p: &mut Reader<'_>) -> Option<Value> {
+    match p.get_u8()? {
         VAL_NULL => Some(Value::Null),
         VAL_INT => Some(Value::Int(get_u64(p)? as i64)),
         VAL_STR => {
             let n = get_u32(p)? as usize;
-            if p.remaining() < n {
-                return None;
-            }
-            let bytes = p.copy_to_bytes(n);
+            let bytes = p.take(n)?;
             String::from_utf8(bytes.to_vec()).ok().map(Value::Str)
         }
         VAL_DEC => Some(Value::Decimal(acc_common::Decimal::from_units(
-            get_u64(p)? as i64,
+            get_u64(p)? as i64
         ))),
-        VAL_BOOL => {
-            if p.remaining() < 1 {
-                return None;
-            }
-            Some(Value::Bool(p.get_u8() != 0))
-        }
+        VAL_BOOL => Some(Value::Bool(p.get_u8()? != 0)),
         _ => None,
     }
 }
 
-fn get_u32(p: &mut Bytes) -> Option<u32> {
-    (p.remaining() >= 4).then(|| p.get_u32_le())
+fn get_u32(p: &mut Reader<'_>) -> Option<u32> {
+    p.get_u32_le()
 }
 
-fn get_u64(p: &mut Bytes) -> Option<u64> {
-    (p.remaining() >= 8).then(|| p.get_u64_le())
+fn get_u64(p: &mut Reader<'_>) -> Option<u64> {
+    p.get_u64_le()
 }
 
 #[cfg(test)]
@@ -308,7 +286,7 @@ mod tests {
     #[test]
     fn round_trip() {
         let recs = sample_records();
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         for r in &recs {
             encode_record(r, &mut buf);
         }
@@ -319,11 +297,11 @@ mod tests {
     #[test]
     fn truncation_at_every_byte_is_clean() {
         let recs = sample_records();
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         for r in &recs {
             encode_record(r, &mut buf);
         }
-        let full = buf.to_vec();
+        let full = buf.clone();
         for cut in 0..full.len() {
             let decoded = decode_all(&full[..cut]);
             // Decoded records are always an exact prefix of the originals.
@@ -335,13 +313,13 @@ mod tests {
     #[test]
     fn corruption_detected_by_checksum() {
         let recs = sample_records();
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         for r in &recs {
             encode_record(r, &mut buf);
         }
-        let mut bytes = buf.to_vec();
+        let mut bytes = buf;
         // Flip a byte inside the second record's payload.
-        let first_len = 12 + (&bytes[0..4]).get_u32_le() as usize;
+        let first_len = 12 + u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
         bytes[first_len + 20] ^= 0xff;
         let decoded = decode_all(&bytes);
         assert_eq!(decoded.len(), 1, "decoding stops at the corrupt frame");

@@ -17,6 +17,7 @@
 //!   never physically undone — they are semantically undone by compensation,
 //!   §3.4).
 
+pub mod buf;
 pub mod codec;
 pub mod log;
 pub mod record;

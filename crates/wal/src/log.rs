@@ -2,7 +2,6 @@
 
 use crate::codec;
 use crate::record::LogRecord;
-use bytes::BytesMut;
 use std::fmt;
 
 /// Log sequence number: the index of a record on the log.
@@ -53,11 +52,11 @@ impl Wal {
 
     /// Serialize to the durable image.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         for r in &self.records {
             codec::encode_record(r, &mut buf);
         }
-        buf.to_vec()
+        buf
     }
 
     /// Rebuild from a (possibly truncated or tail-corrupted) durable image.

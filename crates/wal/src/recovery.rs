@@ -154,11 +154,7 @@ pub fn recover(db: &mut Database, wal: &Wal) -> Result<RecoveryReport> {
     aborted_v.sort_unstable();
     report.aborted = aborted_v;
 
-    let mut active: Vec<TxnId> = types
-        .keys()
-        .filter(|t| !finished(t))
-        .copied()
-        .collect();
+    let mut active: Vec<TxnId> = types.keys().filter(|t| !finished(t)).copied().collect();
     active.sort_unstable();
     for txn in active {
         match last_step_end.get(&txn) {
@@ -178,8 +174,8 @@ pub fn recover(db: &mut Database, wal: &Wal) -> Result<RecoveryReport> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use acc_storage::{Catalog, ColumnType, Row, TableSchema};
     use acc_common::{TableId, Value};
+    use acc_storage::{Catalog, ColumnType, Row, TableSchema};
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -307,7 +303,12 @@ mod tests {
         assert_eq!(report.aborted, vec![TxnId(1)]);
         assert_eq!(report.redone_updates, 2);
         assert_eq!(
-            db.table(T).unwrap().get(&acc_storage::Key::ints(&[10])).unwrap().1.int(1),
+            db.table(T)
+                .unwrap()
+                .get(&acc_storage::Key::ints(&[10]))
+                .unwrap()
+                .1
+                .int(1),
             100
         );
     }

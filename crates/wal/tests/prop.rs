@@ -1,105 +1,110 @@
-//! Property tests for the WAL codec: arbitrary record sequences round-trip
-//! exactly, and any truncation decodes to an exact prefix.
+//! Randomized property tests for the WAL codec (seeded, dependency-free):
+//! arbitrary record sequences round-trip exactly, and any truncation decodes
+//! to an exact prefix.
 
-use acc_common::{Decimal, TableId, TxnId, TxnTypeId, Value};
+use acc_common::{Decimal, SeededRng, TableId, TxnId, TxnTypeId, Value};
 use acc_storage::Row;
 use acc_wal::{LogRecord, Wal};
-use proptest::prelude::*;
 
-fn value_strategy() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        any::<i64>().prop_map(Value::Int),
-        "[a-zA-Z0-9 _-]{0,24}".prop_map(Value::Str),
-        any::<i64>().prop_map(|u| Value::Decimal(Decimal::from_units(u))),
-        any::<bool>().prop_map(Value::Bool),
-    ]
+fn random_value(rng: &mut SeededRng) -> Value {
+    match rng.index(5) {
+        0 => Value::Null,
+        1 => Value::Int(rng.int_range(i64::MIN, i64::MAX)),
+        2 => Value::Str(rng.alnum_string(0, 24)),
+        3 => Value::Decimal(Decimal::from_units(rng.int_range(i64::MIN, i64::MAX))),
+        _ => Value::Bool(rng.chance(0.5)),
+    }
 }
 
-fn row_strategy() -> impl Strategy<Value = Row> {
-    proptest::collection::vec(value_strategy(), 0..6).prop_map(Row)
+fn random_row(rng: &mut SeededRng) -> Row {
+    let n = rng.index(6);
+    Row((0..n).map(|_| random_value(rng)).collect())
 }
 
-fn record_strategy() -> impl Strategy<Value = LogRecord> {
-    let txn = (0u64..1000).prop_map(TxnId);
-    prop_oneof![
-        (txn.clone(), 0u32..10).prop_map(|(txn, ty)| LogRecord::Begin {
+fn random_opt_row(rng: &mut SeededRng) -> Option<Row> {
+    rng.chance(0.5).then(|| random_row(rng))
+}
+
+fn random_record(rng: &mut SeededRng) -> LogRecord {
+    let txn = TxnId(rng.int_range(0, 999) as u64);
+    match rng.index(6) {
+        0 => LogRecord::Begin {
             txn,
-            txn_type: TxnTypeId(ty),
-        }),
-        (
-            txn.clone(),
-            0u32..9,
-            0u64..100,
-            proptest::option::of(row_strategy()),
-            proptest::option::of(row_strategy()),
-        )
-            .prop_map(|(txn, table, slot, before, after)| LogRecord::Update {
-                txn,
-                table: TableId(table),
-                slot,
-                before,
-                after,
-            }),
-        (txn.clone(), 0u32..30, proptest::collection::vec(any::<u8>(), 0..40)).prop_map(
-            |(txn, step_index, work_area)| LogRecord::StepEnd {
-                txn,
-                step_index,
-                work_area,
-            }
-        ),
-        (txn.clone(), 0u32..30).prop_map(|(txn, from_step)| LogRecord::CompensationBegin {
+            txn_type: TxnTypeId(rng.int_range(0, 9) as u32),
+        },
+        1 => LogRecord::Update {
             txn,
-            from_step,
-        }),
-        txn.clone().prop_map(|txn| LogRecord::Commit { txn }),
-        txn.prop_map(|txn| LogRecord::Abort { txn }),
-    ]
+            table: TableId(rng.int_range(0, 8) as u32),
+            slot: rng.int_range(0, 99) as u64,
+            before: random_opt_row(rng),
+            after: random_opt_row(rng),
+        },
+        2 => LogRecord::StepEnd {
+            txn,
+            step_index: rng.int_range(0, 29) as u32,
+            work_area: (0..rng.index(40))
+                .map(|_| rng.int_range(0, 255) as u8)
+                .collect(),
+        },
+        3 => LogRecord::CompensationBegin {
+            txn,
+            from_step: rng.int_range(0, 29) as u32,
+        },
+        4 => LogRecord::Commit { txn },
+        _ => LogRecord::Abort { txn },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn random_records(rng: &mut SeededRng, lo: usize, hi: usize) -> Vec<LogRecord> {
+    let n = lo + rng.index(hi - lo + 1);
+    (0..n).map(|_| random_record(rng)).collect()
+}
 
-    #[test]
-    fn codec_round_trips(records in proptest::collection::vec(record_strategy(), 0..30)) {
+#[test]
+fn codec_round_trips() {
+    let mut rng = SeededRng::new(0x0a1_5eed);
+    for _case in 0..256 {
+        let records = random_records(&mut rng, 0, 29);
         let mut wal = Wal::new();
         for r in &records {
             wal.append(r.clone());
         }
         let restored = Wal::from_bytes(&wal.to_bytes());
-        prop_assert_eq!(restored.records(), &records[..]);
+        assert_eq!(restored.records(), &records[..]);
     }
+}
 
-    #[test]
-    fn any_truncation_yields_exact_prefix(
-        records in proptest::collection::vec(record_strategy(), 1..12),
-        cut_frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn any_truncation_yields_exact_prefix() {
+    let mut rng = SeededRng::new(0x7a11);
+    for _case in 0..256 {
+        let records = random_records(&mut rng, 1, 11);
         let mut wal = Wal::new();
         for r in &records {
             wal.append(r.clone());
         }
         let bytes = wal.to_bytes();
-        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let cut = rng.index(bytes.len() + 1);
         let restored = Wal::from_bytes(&bytes[..cut]);
-        prop_assert!(restored.len() <= records.len());
-        prop_assert_eq!(restored.records(), &records[..restored.len()]);
+        assert!(restored.len() <= records.len());
+        assert_eq!(restored.records(), &records[..restored.len()]);
     }
+}
 
-    #[test]
-    fn single_corrupt_byte_never_yields_garbage_records(
-        records in proptest::collection::vec(record_strategy(), 1..8),
-        flip_frac in 0.0f64..1.0,
-    ) {
+#[test]
+fn single_corrupt_byte_never_yields_garbage_records() {
+    let mut rng = SeededRng::new(0xc0de);
+    for _case in 0..256 {
+        let records = random_records(&mut rng, 1, 7);
         let mut wal = Wal::new();
         for r in &records {
             wal.append(r.clone());
         }
         let mut bytes = wal.to_bytes();
         if bytes.is_empty() {
-            return Ok(());
+            continue;
         }
-        let at = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+        let at = rng.index(bytes.len());
         bytes[at] ^= 0x5a;
         let restored = Wal::from_bytes(&bytes);
         // Decoding stops at (or before) the corrupted frame: every decoded
@@ -107,9 +112,9 @@ proptest! {
         // single exception of a flip inside a length header that happens to
         // frame a checksum-valid window, which FNV makes vanishingly
         // unlikely; we assert the prefix property outright.
-        prop_assert!(restored.len() <= records.len());
+        assert!(restored.len() <= records.len());
         for (got, want) in restored.records().iter().zip(records.iter()) {
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
     }
 }

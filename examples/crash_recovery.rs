@@ -127,14 +127,13 @@ fn main() -> Result<()> {
             .expect("order table")
             .get(&Key::ints(&[1, 2, 5]))
             .is_none());
-        let w = c
-            .db
-            .table(tpcc::schema::TABLES.warehouse)
-            .expect("warehouse table")
-            .get(&Key::ints(&[1]))
-            .expect("warehouse 1")
-            .1
-            .decimal(tpcc::schema::col::w::YTD);
+        let w =
+            c.db.table(tpcc::schema::TABLES.warehouse)
+                .expect("warehouse table")
+                .get(&Key::ints(&[1]))
+                .expect("warehouse 1")
+                .1
+                .decimal(tpcc::schema::col::w::YTD);
         assert_eq!(w, Decimal::from_int(75));
     });
     println!("post-recovery consistency: OK");

@@ -258,9 +258,17 @@ fn build_system() -> (Arc<SharedDb>, Arc<Acc>) {
             ],
         ))
         .declare_safe(NO_S1, no_loop, "order ids are unique")
-        .declare_safe(NO_S2, no_loop, "lines belong to own order; stock decrements commute")
+        .declare_safe(
+            NO_S2,
+            no_loop,
+            "lines belong to own order; stock decrements commute",
+        )
         .declare_safe(NO_CS, no_loop, "compensation removes own rows")
-        .declare_safe(NO_S1, DIRTY, "counter increments commute, never compensated")
+        .declare_safe(
+            NO_S1,
+            DIRTY,
+            "counter increments commute, never compensated",
+        )
         .declare_safe(NO_S2, DIRTY, "stock decrements commute; fresh line keys")
         .declare_safe(NO_CS, DIRTY, "restock commutes")
         .build();

@@ -108,15 +108,26 @@ fn main() -> Result<()> {
         // assertion: balance changes commute with "my debit happened".
         .declare_safe(S_DEBIT, in_flight, "balance deltas commute")
         .declare_safe(S_CREDIT, in_flight, "balance deltas commute")
-        .declare_safe(CS_TRANSFER, in_flight, "compensation restores its own debit")
-        .declare_safe(S_DEBIT, DIRTY, "deltas commute; compensation restores by addition")
+        .declare_safe(
+            CS_TRANSFER,
+            in_flight,
+            "compensation restores its own debit",
+        )
+        .declare_safe(
+            S_DEBIT,
+            DIRTY,
+            "deltas commute; compensation restores by addition",
+        )
         .declare_safe(S_CREDIT, DIRTY, "deltas commute")
         .declare_safe(CS_TRANSFER, DIRTY, "restores its own debit only")
         // The audit reports totals: it must only see committed money.
         .require_committed_reads(S_AUDIT)
         .build();
 
-    println!("design-time analysis made {} decisions, e.g.:", decisions.len());
+    println!(
+        "design-time analysis made {} decisions, e.g.:",
+        decisions.len()
+    );
     for d in decisions.iter().take(3) {
         println!(
             "  step {:>2} vs template {}: {} ({})",

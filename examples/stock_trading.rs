@@ -60,8 +60,7 @@ impl TxnProgram for Buy {
         let Some((_, offer)) = offers.first() else {
             return Ok(StepOutcome::Abort); // market ran dry: undo everything
         };
-        let (price_units, offer_id, available) =
-            (offer.int(0), offer.int(1), offer.int(2));
+        let (price_units, offer_id, available) = (offer.int(0), offer.int(1), offer.int(2));
         let take = available.min(self.still_needed());
 
         if take == available {
@@ -92,8 +91,7 @@ impl TxnProgram for Buy {
     fn compensate(&mut self, steps_completed: u32, ctx: &mut StepCtx<'_>) -> Result<()> {
         // Put the shares back on the market and clear the ledger entries.
         for seq in (0..steps_completed as i64).rev() {
-            let Some(entry) = ctx.read_for_update(LEDGER, &Key::ints(&[self.buyer, seq]))?
-            else {
+            let Some(entry) = ctx.read_for_update(LEDGER, &Key::ints(&[self.buyer, seq]))? else {
                 continue;
             };
             let (price, shares) = (entry.int(2), entry.int(3));

@@ -21,10 +21,7 @@ struct TpccWorkload {
 }
 
 impl Workload for TpccWorkload {
-    fn next_program(
-        &self,
-        rng: &mut acc_common::rng::SeededRng,
-    ) -> Box<dyn TxnProgram + Send> {
+    fn next_program(&self, rng: &mut acc_common::rng::SeededRng) -> Box<dyn TxnProgram + Send> {
         tpcc::txns::program_for(self.gen.next_input(rng), self.districts)
     }
 }
@@ -45,7 +42,9 @@ fn main() {
     let terminals: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(16);
     let seconds: u64 = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(3);
 
-    println!("TPC-C demo: {terminals} terminals, {seconds}s per system, 1 warehouse × 10 districts");
+    println!(
+        "TPC-C demo: {terminals} terminals, {seconds}s per system, 1 warehouse × 10 districts"
+    );
     println!(
         "{:<10} {:>9} {:>9} {:>10} {:>10} {:>9}",
         "system", "commits", "aborts", "mean (ms)", "p95 (ms)", "tps"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, and the full test suite.
+#
+# Everything runs offline against the vendored workspace — no network, no
+# extra components beyond rustfmt and clippy from the pinned toolchain.
+# Workload tests are seeded deterministically, so a green run here is
+# reproducible bit-for-bit.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace --offline -q
+
+echo "All checks passed."

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/acc_bench-19794a2712435456.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libacc_bench-19794a2712435456.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/libacc_bench-19794a2712435456.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/microbench.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/acc_bench-28fea07a3094495a.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs
+
+/root/repo/target/debug/deps/acc_bench-28fea07a3094495a: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/microbench.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/acc_bench-50bc14eb9c3e0280.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libacc_bench-50bc14eb9c3e0280.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/acc_core-2a67e04f2385a080.d: crates/acc/src/lib.rs crates/acc/src/analysis.rs crates/acc/src/assertion.rs crates/acc/src/footprint.rs crates/acc/src/policy.rs crates/acc/src/tables.rs
+
+/root/repo/target/debug/deps/acc_core-2a67e04f2385a080: crates/acc/src/lib.rs crates/acc/src/analysis.rs crates/acc/src/assertion.rs crates/acc/src/footprint.rs crates/acc/src/policy.rs crates/acc/src/tables.rs
+
+crates/acc/src/lib.rs:
+crates/acc/src/analysis.rs:
+crates/acc/src/assertion.rs:
+crates/acc/src/footprint.rs:
+crates/acc/src/policy.rs:
+crates/acc/src/tables.rs:

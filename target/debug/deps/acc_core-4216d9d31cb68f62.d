@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/acc_core-4216d9d31cb68f62.d: crates/acc/src/lib.rs crates/acc/src/analysis.rs crates/acc/src/assertion.rs crates/acc/src/footprint.rs crates/acc/src/policy.rs crates/acc/src/tables.rs
+
+/root/repo/target/debug/deps/libacc_core-4216d9d31cb68f62.rlib: crates/acc/src/lib.rs crates/acc/src/analysis.rs crates/acc/src/assertion.rs crates/acc/src/footprint.rs crates/acc/src/policy.rs crates/acc/src/tables.rs
+
+/root/repo/target/debug/deps/libacc_core-4216d9d31cb68f62.rmeta: crates/acc/src/lib.rs crates/acc/src/analysis.rs crates/acc/src/assertion.rs crates/acc/src/footprint.rs crates/acc/src/policy.rs crates/acc/src/tables.rs
+
+crates/acc/src/lib.rs:
+crates/acc/src/analysis.rs:
+crates/acc/src/assertion.rs:
+crates/acc/src/footprint.rs:
+crates/acc/src/policy.rs:
+crates/acc/src/tables.rs:

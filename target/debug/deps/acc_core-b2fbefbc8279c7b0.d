@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/acc_core-b2fbefbc8279c7b0.d: crates/acc/src/lib.rs crates/acc/src/analysis.rs crates/acc/src/assertion.rs crates/acc/src/footprint.rs crates/acc/src/policy.rs crates/acc/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libacc_core-b2fbefbc8279c7b0.rmeta: crates/acc/src/lib.rs crates/acc/src/analysis.rs crates/acc/src/assertion.rs crates/acc/src/footprint.rs crates/acc/src/policy.rs crates/acc/src/tables.rs Cargo.toml
+
+crates/acc/src/lib.rs:
+crates/acc/src/analysis.rs:
+crates/acc/src/assertion.rs:
+crates/acc/src/footprint.rs:
+crates/acc/src/policy.rs:
+crates/acc/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

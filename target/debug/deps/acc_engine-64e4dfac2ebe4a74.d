@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/acc_engine-64e4dfac2ebe4a74.d: crates/engine/src/lib.rs crates/engine/src/stats.rs crates/engine/src/stepper.rs crates/engine/src/threaded.rs
+
+/root/repo/target/debug/deps/libacc_engine-64e4dfac2ebe4a74.rlib: crates/engine/src/lib.rs crates/engine/src/stats.rs crates/engine/src/stepper.rs crates/engine/src/threaded.rs
+
+/root/repo/target/debug/deps/libacc_engine-64e4dfac2ebe4a74.rmeta: crates/engine/src/lib.rs crates/engine/src/stats.rs crates/engine/src/stepper.rs crates/engine/src/threaded.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/stepper.rs:
+crates/engine/src/threaded.rs:

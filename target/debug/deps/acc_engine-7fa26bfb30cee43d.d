@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/acc_engine-7fa26bfb30cee43d.d: crates/engine/src/lib.rs crates/engine/src/stats.rs crates/engine/src/stepper.rs crates/engine/src/threaded.rs Cargo.toml
+
+/root/repo/target/debug/deps/libacc_engine-7fa26bfb30cee43d.rmeta: crates/engine/src/lib.rs crates/engine/src/stats.rs crates/engine/src/stepper.rs crates/engine/src/threaded.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/stepper.rs:
+crates/engine/src/threaded.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

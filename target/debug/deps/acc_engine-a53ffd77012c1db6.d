@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/acc_engine-a53ffd77012c1db6.d: crates/engine/src/lib.rs crates/engine/src/stats.rs crates/engine/src/stepper.rs crates/engine/src/threaded.rs
+
+/root/repo/target/debug/deps/acc_engine-a53ffd77012c1db6: crates/engine/src/lib.rs crates/engine/src/stats.rs crates/engine/src/stepper.rs crates/engine/src/threaded.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/stepper.rs:
+crates/engine/src/threaded.rs:

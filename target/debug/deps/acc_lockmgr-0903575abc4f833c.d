@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/acc_lockmgr-0903575abc4f833c.d: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/mode.rs crates/lockmgr/src/oracle.rs crates/lockmgr/src/request.rs crates/lockmgr/src/waitfor.rs
+
+/root/repo/target/debug/deps/libacc_lockmgr-0903575abc4f833c.rlib: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/mode.rs crates/lockmgr/src/oracle.rs crates/lockmgr/src/request.rs crates/lockmgr/src/waitfor.rs
+
+/root/repo/target/debug/deps/libacc_lockmgr-0903575abc4f833c.rmeta: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/mode.rs crates/lockmgr/src/oracle.rs crates/lockmgr/src/request.rs crates/lockmgr/src/waitfor.rs
+
+crates/lockmgr/src/lib.rs:
+crates/lockmgr/src/manager.rs:
+crates/lockmgr/src/mode.rs:
+crates/lockmgr/src/oracle.rs:
+crates/lockmgr/src/request.rs:
+crates/lockmgr/src/waitfor.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/acc_lockmgr-426da137f9050685.d: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/mode.rs crates/lockmgr/src/oracle.rs crates/lockmgr/src/request.rs crates/lockmgr/src/waitfor.rs
+
+/root/repo/target/debug/deps/acc_lockmgr-426da137f9050685: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/mode.rs crates/lockmgr/src/oracle.rs crates/lockmgr/src/request.rs crates/lockmgr/src/waitfor.rs
+
+crates/lockmgr/src/lib.rs:
+crates/lockmgr/src/manager.rs:
+crates/lockmgr/src/mode.rs:
+crates/lockmgr/src/oracle.rs:
+crates/lockmgr/src/request.rs:
+crates/lockmgr/src/waitfor.rs:

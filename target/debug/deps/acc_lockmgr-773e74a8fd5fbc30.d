@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/acc_lockmgr-773e74a8fd5fbc30.d: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/mode.rs crates/lockmgr/src/oracle.rs crates/lockmgr/src/request.rs crates/lockmgr/src/waitfor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libacc_lockmgr-773e74a8fd5fbc30.rmeta: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/mode.rs crates/lockmgr/src/oracle.rs crates/lockmgr/src/request.rs crates/lockmgr/src/waitfor.rs Cargo.toml
+
+crates/lockmgr/src/lib.rs:
+crates/lockmgr/src/manager.rs:
+crates/lockmgr/src/mode.rs:
+crates/lockmgr/src/oracle.rs:
+crates/lockmgr/src/request.rs:
+crates/lockmgr/src/waitfor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

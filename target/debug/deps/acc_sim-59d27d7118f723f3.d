@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/acc_sim-59d27d7118f723f3.d: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/metrics.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libacc_sim-59d27d7118f723f3.rlib: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/metrics.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/libacc_sim-59d27d7118f723f3.rmeta: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/metrics.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/trace.rs:

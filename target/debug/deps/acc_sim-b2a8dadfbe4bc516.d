@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/acc_sim-b2a8dadfbe4bc516.d: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/metrics.rs crates/sim/src/trace.rs
+
+/root/repo/target/debug/deps/acc_sim-b2a8dadfbe4bc516: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/metrics.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/trace.rs:

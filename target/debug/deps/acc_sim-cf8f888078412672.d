@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/acc_sim-cf8f888078412672.d: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/metrics.rs crates/sim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libacc_sim-cf8f888078412672.rmeta: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/metrics.rs crates/sim/src/trace.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

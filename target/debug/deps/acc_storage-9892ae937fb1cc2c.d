@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/acc_storage-9892ae937fb1cc2c.d: crates/storage/src/lib.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/undo.rs
+
+/root/repo/target/debug/deps/libacc_storage-9892ae937fb1cc2c.rlib: crates/storage/src/lib.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/undo.rs
+
+/root/repo/target/debug/deps/libacc_storage-9892ae937fb1cc2c.rmeta: crates/storage/src/lib.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/undo.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/row.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/undo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/acc_storage-9a21ae71db8063c2.d: crates/storage/src/lib.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/undo.rs
+
+/root/repo/target/debug/deps/acc_storage-9a21ae71db8063c2: crates/storage/src/lib.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/undo.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/row.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/undo.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/acc_storage-b818b5033915b46b.d: crates/storage/src/lib.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/undo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libacc_storage-b818b5033915b46b.rmeta: crates/storage/src/lib.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/undo.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/row.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/undo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

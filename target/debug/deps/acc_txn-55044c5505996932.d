@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/acc_txn-55044c5505996932.d: crates/txn/src/lib.rs crates/txn/src/cc.rs crates/txn/src/program.rs crates/txn/src/runner.rs crates/txn/src/shared.rs crates/txn/src/step.rs crates/txn/src/transaction.rs
+
+/root/repo/target/debug/deps/libacc_txn-55044c5505996932.rlib: crates/txn/src/lib.rs crates/txn/src/cc.rs crates/txn/src/program.rs crates/txn/src/runner.rs crates/txn/src/shared.rs crates/txn/src/step.rs crates/txn/src/transaction.rs
+
+/root/repo/target/debug/deps/libacc_txn-55044c5505996932.rmeta: crates/txn/src/lib.rs crates/txn/src/cc.rs crates/txn/src/program.rs crates/txn/src/runner.rs crates/txn/src/shared.rs crates/txn/src/step.rs crates/txn/src/transaction.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/cc.rs:
+crates/txn/src/program.rs:
+crates/txn/src/runner.rs:
+crates/txn/src/shared.rs:
+crates/txn/src/step.rs:
+crates/txn/src/transaction.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/acc_txn-57a57309876b3e12.d: crates/txn/src/lib.rs crates/txn/src/cc.rs crates/txn/src/program.rs crates/txn/src/runner.rs crates/txn/src/shared.rs crates/txn/src/step.rs crates/txn/src/transaction.rs
+
+/root/repo/target/debug/deps/acc_txn-57a57309876b3e12: crates/txn/src/lib.rs crates/txn/src/cc.rs crates/txn/src/program.rs crates/txn/src/runner.rs crates/txn/src/shared.rs crates/txn/src/step.rs crates/txn/src/transaction.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/cc.rs:
+crates/txn/src/program.rs:
+crates/txn/src/runner.rs:
+crates/txn/src/shared.rs:
+crates/txn/src/step.rs:
+crates/txn/src/transaction.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/acc_txn-c5351aa66a4a7f0d.d: crates/txn/src/lib.rs crates/txn/src/cc.rs crates/txn/src/program.rs crates/txn/src/runner.rs crates/txn/src/shared.rs crates/txn/src/step.rs crates/txn/src/transaction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libacc_txn-c5351aa66a4a7f0d.rmeta: crates/txn/src/lib.rs crates/txn/src/cc.rs crates/txn/src/program.rs crates/txn/src/runner.rs crates/txn/src/shared.rs crates/txn/src/step.rs crates/txn/src/transaction.rs Cargo.toml
+
+crates/txn/src/lib.rs:
+crates/txn/src/cc.rs:
+crates/txn/src/program.rs:
+crates/txn/src/runner.rs:
+crates/txn/src/shared.rs:
+crates/txn/src/step.rs:
+crates/txn/src/transaction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/acc_wal-1cd1573239382ddc.d: crates/wal/src/lib.rs crates/wal/src/buf.rs crates/wal/src/codec.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/recovery.rs
+
+/root/repo/target/debug/deps/libacc_wal-1cd1573239382ddc.rlib: crates/wal/src/lib.rs crates/wal/src/buf.rs crates/wal/src/codec.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/recovery.rs
+
+/root/repo/target/debug/deps/libacc_wal-1cd1573239382ddc.rmeta: crates/wal/src/lib.rs crates/wal/src/buf.rs crates/wal/src/codec.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/recovery.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/buf.rs:
+crates/wal/src/codec.rs:
+crates/wal/src/log.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:

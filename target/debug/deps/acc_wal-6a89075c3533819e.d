@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/acc_wal-6a89075c3533819e.d: crates/wal/src/lib.rs crates/wal/src/buf.rs crates/wal/src/codec.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/recovery.rs
+
+/root/repo/target/debug/deps/acc_wal-6a89075c3533819e: crates/wal/src/lib.rs crates/wal/src/buf.rs crates/wal/src/codec.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/recovery.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/buf.rs:
+crates/wal/src/codec.rs:
+crates/wal/src/log.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/acc_wal-b16cb66eac7b2813.d: crates/wal/src/lib.rs crates/wal/src/buf.rs crates/wal/src/codec.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libacc_wal-b16cb66eac7b2813.rmeta: crates/wal/src/lib.rs crates/wal/src/buf.rs crates/wal/src/codec.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/recovery.rs Cargo.toml
+
+crates/wal/src/lib.rs:
+crates/wal/src/buf.rs:
+crates/wal/src/codec.rs:
+crates/wal/src/log.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assertional_acc-06e213bfb120ca40.d: src/lib.rs
+
+/root/repo/target/debug/deps/assertional_acc-06e213bfb120ca40: src/lib.rs
+
+src/lib.rs:

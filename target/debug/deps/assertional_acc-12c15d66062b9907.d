@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/assertional_acc-12c15d66062b9907.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libassertional_acc-12c15d66062b9907.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

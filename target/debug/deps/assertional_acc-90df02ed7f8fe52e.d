@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/assertional_acc-90df02ed7f8fe52e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libassertional_acc-90df02ed7f8fe52e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/assertional_acc-d61b266c9e6556c4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libassertional_acc-d61b266c9e6556c4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libassertional_acc-d61b266c9e6556c4.rmeta: src/lib.rs
+
+src/lib.rs:

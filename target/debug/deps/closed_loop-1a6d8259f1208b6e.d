@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/closed_loop-1a6d8259f1208b6e.d: crates/tpcc/tests/closed_loop.rs
+
+/root/repo/target/debug/deps/closed_loop-1a6d8259f1208b6e: crates/tpcc/tests/closed_loop.rs
+
+crates/tpcc/tests/closed_loop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/closed_loop-557c828fe85bafaf.d: crates/engine/tests/closed_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclosed_loop-557c828fe85bafaf.rmeta: crates/engine/tests/closed_loop.rs Cargo.toml
+
+crates/engine/tests/closed_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

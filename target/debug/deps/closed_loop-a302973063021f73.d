@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/closed_loop-a302973063021f73.d: crates/tpcc/tests/closed_loop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclosed_loop-a302973063021f73.rmeta: crates/tpcc/tests/closed_loop.rs Cargo.toml
+
+crates/tpcc/tests/closed_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/closed_loop-fc9689af78b71192.d: crates/engine/tests/closed_loop.rs
+
+/root/repo/target/debug/deps/closed_loop-fc9689af78b71192: crates/engine/tests/closed_loop.rs
+
+crates/engine/tests/closed_loop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/costs-7f52e6662a1191b3.d: crates/sim/tests/costs.rs
+
+/root/repo/target/debug/deps/costs-7f52e6662a1191b3: crates/sim/tests/costs.rs
+
+crates/sim/tests/costs.rs:

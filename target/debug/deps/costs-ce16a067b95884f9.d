@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/costs-ce16a067b95884f9.d: crates/sim/tests/costs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcosts-ce16a067b95884f9.rmeta: crates/sim/tests/costs.rs Cargo.toml
+
+crates/sim/tests/costs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

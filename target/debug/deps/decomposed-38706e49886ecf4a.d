@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decomposed-38706e49886ecf4a.d: crates/txn/tests/decomposed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecomposed-38706e49886ecf4a.rmeta: crates/txn/tests/decomposed.rs Cargo.toml
+
+crates/txn/tests/decomposed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decomposed-6e4bb952f64dcc25.d: crates/txn/tests/decomposed.rs
+
+/root/repo/target/debug/deps/decomposed-6e4bb952f64dcc25: crates/txn/tests/decomposed.rs
+
+crates/txn/tests/decomposed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/district_conflict-18f6d47aec086ba6.d: crates/bench/benches/district_conflict.rs
+
+/root/repo/target/debug/deps/district_conflict-18f6d47aec086ba6: crates/bench/benches/district_conflict.rs
+
+crates/bench/benches/district_conflict.rs:

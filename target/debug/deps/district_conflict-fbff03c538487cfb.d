@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/district_conflict-fbff03c538487cfb.d: crates/bench/benches/district_conflict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistrict_conflict-fbff03c538487cfb.rmeta: crates/bench/benches/district_conflict.rs Cargo.toml
+
+crates/bench/benches/district_conflict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-51f1052c8e2e4435.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-51f1052c8e2e4435: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-5cb5cb8e2c8017be.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-5cb5cb8e2c8017be: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-236b5fe4cd7662c7.d: crates/tpcc/tests/integration.rs
+
+/root/repo/target/debug/deps/integration-236b5fe4cd7662c7: crates/tpcc/tests/integration.rs
+
+crates/tpcc/tests/integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-2d554fb235da59b2.d: crates/tpcc/tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-2d554fb235da59b2.rmeta: crates/tpcc/tests/integration.rs Cargo.toml
+
+crates/tpcc/tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

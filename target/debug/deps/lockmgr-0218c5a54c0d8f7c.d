@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lockmgr-0218c5a54c0d8f7c.d: crates/bench/benches/lockmgr.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblockmgr-0218c5a54c0d8f7c.rmeta: crates/bench/benches/lockmgr.rs Cargo.toml
+
+crates/bench/benches/lockmgr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lockmgr-1d6bf8788bb68761.d: crates/bench/benches/lockmgr.rs
+
+/root/repo/target/debug/deps/lockmgr-1d6bf8788bb68761: crates/bench/benches/lockmgr.rs
+
+crates/bench/benches/lockmgr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-aa7917f91c33df0f.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-aa7917f91c33df0f: tests/observability.rs
+
+tests/observability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle-c1eba36e976d322d.d: crates/bench/benches/oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle-c1eba36e976d322d.rmeta: crates/bench/benches/oracle.rs Cargo.toml
+
+crates/bench/benches/oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle-fe37564fdec1df88.d: crates/bench/benches/oracle.rs
+
+/root/repo/target/debug/deps/oracle-fe37564fdec1df88: crates/bench/benches/oracle.rs
+
+crates/bench/benches/oracle.rs:

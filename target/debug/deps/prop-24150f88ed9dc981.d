@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-24150f88ed9dc981.d: crates/wal/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-24150f88ed9dc981.rmeta: crates/wal/tests/prop.rs Cargo.toml
+
+crates/wal/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

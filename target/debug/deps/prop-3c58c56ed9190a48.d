@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-3c58c56ed9190a48.d: crates/wal/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-3c58c56ed9190a48: crates/wal/tests/prop.rs
+
+crates/wal/tests/prop.rs:

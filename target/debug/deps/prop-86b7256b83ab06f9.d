@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-86b7256b83ab06f9.d: crates/lockmgr/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-86b7256b83ab06f9: crates/lockmgr/tests/prop.rs
+
+crates/lockmgr/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-b01b191b09af8277.d: crates/storage/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-b01b191b09af8277: crates/storage/tests/prop.rs
+
+crates/storage/tests/prop.rs:

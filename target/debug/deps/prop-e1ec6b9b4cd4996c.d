@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-e1ec6b9b4cd4996c.d: crates/lockmgr/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-e1ec6b9b4cd4996c.rmeta: crates/lockmgr/tests/prop.rs Cargo.toml
+
+crates/lockmgr/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/section4-021bc20ec94e0f32.d: crates/acc/tests/section4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsection4-021bc20ec94e0f32.rmeta: crates/acc/tests/section4.rs Cargo.toml
+
+crates/acc/tests/section4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/section4-7d577158059ea0da.d: crates/acc/tests/section4.rs
+
+/root/repo/target/debug/deps/section4-7d577158059ea0da: crates/acc/tests/section4.rs
+
+crates/acc/tests/section4.rs:

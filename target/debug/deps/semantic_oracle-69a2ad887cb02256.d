@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/semantic_oracle-69a2ad887cb02256.d: tests/semantic_oracle.rs
+
+/root/repo/target/debug/deps/semantic_oracle-69a2ad887cb02256: tests/semantic_oracle.rs
+
+tests/semantic_oracle.rs:

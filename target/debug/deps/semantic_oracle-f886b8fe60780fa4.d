@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantic_oracle-f886b8fe60780fa4.d: tests/semantic_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantic_oracle-f886b8fe60780fa4.rmeta: tests/semantic_oracle.rs Cargo.toml
+
+tests/semantic_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim-6d21b41f980c07a7.d: crates/sim/tests/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim-6d21b41f980c07a7.rmeta: crates/sim/tests/sim.rs Cargo.toml
+
+crates/sim/tests/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

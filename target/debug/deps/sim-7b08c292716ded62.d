@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim-7b08c292716ded62.d: crates/sim/tests/sim.rs
+
+/root/repo/target/debug/deps/sim-7b08c292716ded62: crates/sim/tests/sim.rs
+
+crates/sim/tests/sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stepctx-9f2526347941496a.d: crates/txn/tests/stepctx.rs
+
+/root/repo/target/debug/deps/stepctx-9f2526347941496a: crates/txn/tests/stepctx.rs
+
+crates/txn/tests/stepctx.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stepctx-bf86c72c212a02fd.d: crates/txn/tests/stepctx.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstepctx-bf86c72c212a02fd.rmeta: crates/txn/tests/stepctx.rs Cargo.toml
+
+crates/txn/tests/stepctx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stepper-893fc1209cb4f604.d: crates/engine/tests/stepper.rs
+
+/root/repo/target/debug/deps/stepper-893fc1209cb4f604: crates/engine/tests/stepper.rs
+
+crates/engine/tests/stepper.rs:

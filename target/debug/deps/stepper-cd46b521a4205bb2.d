@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stepper-cd46b521a4205bb2.d: crates/engine/tests/stepper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstepper-cd46b521a4205bb2.rmeta: crates/engine/tests/stepper.rs Cargo.toml
+
+crates/engine/tests/stepper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/twopl-2c33724511831365.d: crates/txn/tests/twopl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtwopl-2c33724511831365.rmeta: crates/txn/tests/twopl.rs Cargo.toml
+
+crates/txn/tests/twopl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/twopl-374751fabd7d1e1e.d: crates/txn/tests/twopl.rs
+
+/root/repo/target/debug/deps/twopl-374751fabd7d1e1e: crates/txn/tests/twopl.rs
+
+crates/txn/tests/twopl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/txns_unit-2d33609ba4b6f4d1.d: crates/tpcc/tests/txns_unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtxns_unit-2d33609ba4b6f4d1.rmeta: crates/tpcc/tests/txns_unit.rs Cargo.toml
+
+crates/tpcc/tests/txns_unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

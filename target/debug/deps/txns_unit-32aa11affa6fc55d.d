@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/txns_unit-32aa11affa6fc55d.d: crates/tpcc/tests/txns_unit.rs
+
+/root/repo/target/debug/deps/txns_unit-32aa11affa6fc55d: crates/tpcc/tests/txns_unit.rs
+
+crates/tpcc/tests/txns_unit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-ddac49d864095742.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-ddac49d864095742: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

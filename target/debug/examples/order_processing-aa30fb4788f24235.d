@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/order_processing-aa30fb4788f24235.d: examples/order_processing.rs
+
+/root/repo/target/debug/examples/order_processing-aa30fb4788f24235: examples/order_processing.rs
+
+examples/order_processing.rs:

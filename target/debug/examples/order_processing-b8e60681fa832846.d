@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/order_processing-b8e60681fa832846.d: examples/order_processing.rs Cargo.toml
+
+/root/repo/target/debug/examples/liborder_processing-b8e60681fa832846.rmeta: examples/order_processing.rs Cargo.toml
+
+examples/order_processing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

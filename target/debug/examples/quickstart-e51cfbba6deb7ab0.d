@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e51cfbba6deb7ab0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e51cfbba6deb7ab0: examples/quickstart.rs
+
+examples/quickstart.rs:

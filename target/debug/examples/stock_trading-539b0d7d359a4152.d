@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/stock_trading-539b0d7d359a4152.d: examples/stock_trading.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstock_trading-539b0d7d359a4152.rmeta: examples/stock_trading.rs Cargo.toml
+
+examples/stock_trading.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/stock_trading-f243434c1947a18e.d: examples/stock_trading.rs
+
+/root/repo/target/debug/examples/stock_trading-f243434c1947a18e: examples/stock_trading.rs
+
+examples/stock_trading.rs:

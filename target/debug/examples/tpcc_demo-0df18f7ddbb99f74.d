@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpcc_demo-0df18f7ddbb99f74.d: examples/tpcc_demo.rs
+
+/root/repo/target/debug/examples/tpcc_demo-0df18f7ddbb99f74: examples/tpcc_demo.rs
+
+examples/tpcc_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpcc_demo-106a5376fb7dd8d8.d: examples/tpcc_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpcc_demo-106a5376fb7dd8d8.rmeta: examples/tpcc_demo.rs Cargo.toml
+
+examples/tpcc_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

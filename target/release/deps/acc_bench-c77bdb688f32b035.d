@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/acc_bench-c77bdb688f32b035.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libacc_bench-c77bdb688f32b035.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs
+
+/root/repo/target/release/deps/libacc_bench-c77bdb688f32b035.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/microbench.rs:

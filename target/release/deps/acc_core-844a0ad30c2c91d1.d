@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/acc_core-844a0ad30c2c91d1.d: crates/acc/src/lib.rs crates/acc/src/analysis.rs crates/acc/src/assertion.rs crates/acc/src/footprint.rs crates/acc/src/policy.rs crates/acc/src/tables.rs
+
+/root/repo/target/release/deps/libacc_core-844a0ad30c2c91d1.rlib: crates/acc/src/lib.rs crates/acc/src/analysis.rs crates/acc/src/assertion.rs crates/acc/src/footprint.rs crates/acc/src/policy.rs crates/acc/src/tables.rs
+
+/root/repo/target/release/deps/libacc_core-844a0ad30c2c91d1.rmeta: crates/acc/src/lib.rs crates/acc/src/analysis.rs crates/acc/src/assertion.rs crates/acc/src/footprint.rs crates/acc/src/policy.rs crates/acc/src/tables.rs
+
+crates/acc/src/lib.rs:
+crates/acc/src/analysis.rs:
+crates/acc/src/assertion.rs:
+crates/acc/src/footprint.rs:
+crates/acc/src/policy.rs:
+crates/acc/src/tables.rs:

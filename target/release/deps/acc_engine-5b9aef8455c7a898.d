@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/acc_engine-5b9aef8455c7a898.d: crates/engine/src/lib.rs crates/engine/src/stats.rs crates/engine/src/stepper.rs crates/engine/src/threaded.rs
+
+/root/repo/target/release/deps/libacc_engine-5b9aef8455c7a898.rlib: crates/engine/src/lib.rs crates/engine/src/stats.rs crates/engine/src/stepper.rs crates/engine/src/threaded.rs
+
+/root/repo/target/release/deps/libacc_engine-5b9aef8455c7a898.rmeta: crates/engine/src/lib.rs crates/engine/src/stats.rs crates/engine/src/stepper.rs crates/engine/src/threaded.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/stepper.rs:
+crates/engine/src/threaded.rs:

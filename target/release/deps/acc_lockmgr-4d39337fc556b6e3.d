@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/acc_lockmgr-4d39337fc556b6e3.d: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/mode.rs crates/lockmgr/src/oracle.rs crates/lockmgr/src/request.rs crates/lockmgr/src/waitfor.rs
+
+/root/repo/target/release/deps/libacc_lockmgr-4d39337fc556b6e3.rlib: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/mode.rs crates/lockmgr/src/oracle.rs crates/lockmgr/src/request.rs crates/lockmgr/src/waitfor.rs
+
+/root/repo/target/release/deps/libacc_lockmgr-4d39337fc556b6e3.rmeta: crates/lockmgr/src/lib.rs crates/lockmgr/src/manager.rs crates/lockmgr/src/mode.rs crates/lockmgr/src/oracle.rs crates/lockmgr/src/request.rs crates/lockmgr/src/waitfor.rs
+
+crates/lockmgr/src/lib.rs:
+crates/lockmgr/src/manager.rs:
+crates/lockmgr/src/mode.rs:
+crates/lockmgr/src/oracle.rs:
+crates/lockmgr/src/request.rs:
+crates/lockmgr/src/waitfor.rs:

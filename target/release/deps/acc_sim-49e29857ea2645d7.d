@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/acc_sim-49e29857ea2645d7.d: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/metrics.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libacc_sim-49e29857ea2645d7.rlib: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/metrics.rs crates/sim/src/trace.rs
+
+/root/repo/target/release/deps/libacc_sim-49e29857ea2645d7.rmeta: crates/sim/src/lib.rs crates/sim/src/driver.rs crates/sim/src/metrics.rs crates/sim/src/trace.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/acc_storage-8b4aa0781e5f5ee4.d: crates/storage/src/lib.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/undo.rs
+
+/root/repo/target/release/deps/libacc_storage-8b4aa0781e5f5ee4.rlib: crates/storage/src/lib.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/undo.rs
+
+/root/repo/target/release/deps/libacc_storage-8b4aa0781e5f5ee4.rmeta: crates/storage/src/lib.rs crates/storage/src/predicate.rs crates/storage/src/row.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/undo.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/predicate.rs:
+crates/storage/src/row.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/table.rs:
+crates/storage/src/undo.rs:

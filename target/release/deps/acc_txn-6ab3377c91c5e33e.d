@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/acc_txn-6ab3377c91c5e33e.d: crates/txn/src/lib.rs crates/txn/src/cc.rs crates/txn/src/program.rs crates/txn/src/runner.rs crates/txn/src/shared.rs crates/txn/src/step.rs crates/txn/src/transaction.rs
+
+/root/repo/target/release/deps/libacc_txn-6ab3377c91c5e33e.rlib: crates/txn/src/lib.rs crates/txn/src/cc.rs crates/txn/src/program.rs crates/txn/src/runner.rs crates/txn/src/shared.rs crates/txn/src/step.rs crates/txn/src/transaction.rs
+
+/root/repo/target/release/deps/libacc_txn-6ab3377c91c5e33e.rmeta: crates/txn/src/lib.rs crates/txn/src/cc.rs crates/txn/src/program.rs crates/txn/src/runner.rs crates/txn/src/shared.rs crates/txn/src/step.rs crates/txn/src/transaction.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/cc.rs:
+crates/txn/src/program.rs:
+crates/txn/src/runner.rs:
+crates/txn/src/shared.rs:
+crates/txn/src/step.rs:
+crates/txn/src/transaction.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/acc_wal-250dc0289061a319.d: crates/wal/src/lib.rs crates/wal/src/buf.rs crates/wal/src/codec.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/recovery.rs
+
+/root/repo/target/release/deps/libacc_wal-250dc0289061a319.rlib: crates/wal/src/lib.rs crates/wal/src/buf.rs crates/wal/src/codec.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/recovery.rs
+
+/root/repo/target/release/deps/libacc_wal-250dc0289061a319.rmeta: crates/wal/src/lib.rs crates/wal/src/buf.rs crates/wal/src/codec.rs crates/wal/src/log.rs crates/wal/src/record.rs crates/wal/src/recovery.rs
+
+crates/wal/src/lib.rs:
+crates/wal/src/buf.rs:
+crates/wal/src/codec.rs:
+crates/wal/src/log.rs:
+crates/wal/src/record.rs:
+crates/wal/src/recovery.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/assertional_acc-e567bd96e08372c9.d: src/lib.rs
+
+/root/repo/target/release/deps/libassertional_acc-e567bd96e08372c9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libassertional_acc-e567bd96e08372c9.rmeta: src/lib.rs
+
+src/lib.rs:

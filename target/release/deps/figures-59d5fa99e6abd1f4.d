@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-59d5fa99e6abd1f4.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/release/deps/figures-59d5fa99e6abd1f4: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

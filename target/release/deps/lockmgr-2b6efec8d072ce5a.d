@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lockmgr-2b6efec8d072ce5a.d: crates/bench/benches/lockmgr.rs
+
+/root/repo/target/release/deps/lockmgr-2b6efec8d072ce5a: crates/bench/benches/lockmgr.rs
+
+crates/bench/benches/lockmgr.rs:

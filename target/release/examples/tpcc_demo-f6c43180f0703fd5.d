@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tpcc_demo-f6c43180f0703fd5.d: examples/tpcc_demo.rs
+
+/root/repo/target/release/examples/tpcc_demo-f6c43180f0703fd5: examples/tpcc_demo.rs
+
+examples/tpcc_demo.rs:

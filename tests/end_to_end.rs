@@ -37,8 +37,16 @@ fn scripted_history(scale: &tpcc::Scale, sys: &tpcc::TpccSystem) -> Vec<u8> {
         d_id: 1,
         c_id: 2,
         lines: vec![
-            OrderLineInput { i_id: 1, supply_w_id: 1, qty: 3 },
-            OrderLineInput { i_id: 2, supply_w_id: 1, qty: 4 },
+            OrderLineInput {
+                i_id: 1,
+                supply_w_id: 1,
+                qty: 3,
+            },
+            OrderLineInput {
+                i_id: 2,
+                supply_w_id: 1,
+                qty: 4,
+            },
         ],
         rollback: false,
     });
@@ -50,8 +58,16 @@ fn scripted_history(scale: &tpcc::Scale, sys: &tpcc::TpccSystem) -> Vec<u8> {
         d_id: 2,
         c_id: 3,
         lines: vec![
-            OrderLineInput { i_id: 3, supply_w_id: 1, qty: 1 },
-            OrderLineInput { i_id: 4, supply_w_id: 1, qty: 1 },
+            OrderLineInput {
+                i_id: 3,
+                supply_w_id: 1,
+                qty: 1,
+            },
+            OrderLineInput {
+                i_id: 4,
+                supply_w_id: 1,
+                qty: 1,
+            },
         ],
         rollback: true,
     });
@@ -163,8 +179,7 @@ fn mixed_legacy_and_acc_traffic_stays_consistent() {
         let acc: Arc<dyn ConcurrencyControl> = Arc::clone(&sys.acc) as _;
         handles.push(std::thread::spawn(move || {
             let legacy = worker == 2;
-            let cc: Arc<dyn ConcurrencyControl> =
-                if legacy { Arc::new(TwoPhase) } else { acc };
+            let cc: Arc<dyn ConcurrencyControl> = if legacy { Arc::new(TwoPhase) } else { acc };
             let mut rng = SeededRng::new(worker + 70);
             for _ in 0..15 {
                 let mut program = tpcc::txns::program_for(gen.next_input(&mut rng), 3);
@@ -210,10 +225,7 @@ fn facade_prelude_compiles_and_runs() {
             TxnTypeId(0)
         }
         fn step(&mut self, _i: u32, ctx: &mut StepCtx<'_>) -> Result<StepOutcome> {
-            ctx.insert(
-                TableId(0),
-                Row(vec![Value::Int(1), Value::str("hello")]),
-            )?;
+            ctx.insert(TableId(0), Row(vec![Value::Int(1), Value::str("hello")]))?;
             Ok(StepOutcome::Done)
         }
     }

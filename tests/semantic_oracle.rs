@@ -79,7 +79,11 @@ fn i1_holds(db: &Database, o: i64) -> bool {
     let Some((_, order)) = db.table(ORDERS).unwrap().get(&Key::ints(&[o])) else {
         return false;
     };
-    let lines = db.table(LINES).unwrap().scan_prefix(&Key::ints(&[o])).count() as i64;
+    let lines = db
+        .table(LINES)
+        .unwrap()
+        .scan_prefix(&Key::ints(&[o]))
+        .count() as i64;
     order.int(1) == lines
 }
 
@@ -330,21 +334,29 @@ fn bill_precondition_holds_at_every_step_start_across_seeds() {
                 // Teeth check: I1 *is* broken for some in-flight order at
                 // some moment (new-order's header precedes its lines).
                 for o in 1..=4i64 {
-                    if db.table(ORDERS).unwrap().get(&Key::ints(&[o])).is_some()
-                        && !i1_holds(db, o)
+                    if db.table(ORDERS).unwrap().get(&Key::ints(&[o])).is_some() && !i1_holds(db, o)
                     {
                         *broken_midflight.borrow_mut() = true;
                     }
                 }
             }));
             stepper
-                .run_all(&mut programs, &StepperConfig { seed, max_resubmits: 30 })
+                .run_all(
+                    &mut programs,
+                    &StepperConfig {
+                        seed,
+                        max_resubmits: 30,
+                    },
+                )
                 .unwrap();
         }
         // The oracle proper: every bill observation — including ones from
         // step attempts that were later undone and retried — saw I1 hold.
         for (o, ok) in observations.borrow().iter() {
-            assert!(ok, "seed {seed}: bill({o}) observed a violated precondition");
+            assert!(
+                ok,
+                "seed {seed}: bill({o}) observed a violated precondition"
+            );
         }
         total_bill_starts += *bill_starts.borrow();
         saw_broken_i1_midflight |= *broken_midflight.borrow();
