@@ -6,11 +6,11 @@
 //! ```
 //!
 //! Subcommands: `fig2`, `fig3`, `fig4`, `servers`, `olcount`, `ablation`,
-//! `twolevel`, `lockstat`, `tables`, `all`. `--quick` runs a
+//! `twolevel`, `lockstat`, `tables`, `torture`, `all`. `--quick` runs a
 //! shorter sweep for smoke-testing.
 
 use acc_bench::figures::{
-    ablation_table, dump_tables, fig2, fig3, fig4, lockstat, olcount_table, servers_table,
+    ablation_table, dump_tables, fig2, fig3, fig4, lockstat, olcount_table, servers_table, torture,
     twolevel_table, FigureParams,
 };
 
@@ -64,6 +64,9 @@ fn main() {
         "lockstat" => {
             lockstat(&params);
         }
+        "torture" => {
+            torture(quick);
+        }
         "all" => {
             fig2(&params);
             fig3(&params);
@@ -74,7 +77,7 @@ fn main() {
             twolevel_table(&params);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|all");
+            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|torture|all");
             std::process::exit(2);
         }
     }

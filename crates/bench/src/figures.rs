@@ -482,6 +482,46 @@ pub fn lockstat(params: &FigureParams) -> SimReport {
     report
 }
 
+/// Run the crash-torture sweep (see `acc_tpcc::torture`): a seeded TPC-C mix
+/// crashed at every WAL-append index plus seeded torn-tail and bit-flip
+/// corruptions, each salvaged image recovered, compensated, and audited
+/// against the §3.3.2 consistency conditions. Prints the per-point outcome
+/// log and a summary; exits non-zero on any violation.
+pub fn torture(quick: bool) -> acc_tpcc::torture::TortureReport {
+    let cfg = if quick {
+        acc_tpcc::torture::TortureConfig::smoke(42)
+    } else {
+        acc_tpcc::torture::TortureConfig::standard(42)
+    };
+    println!(
+        "\n=== crash torture: {} sweep, seed {} ===",
+        if quick { "smoke" } else { "standard" },
+        cfg.seed
+    );
+    let report = match acc_tpcc::torture::run_torture(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("torture harness failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.log);
+    println!(
+        "summary: {} crash points, {} replayed, {} compensated, {} discarded, {} records rejected, {} violations",
+        report.points,
+        report.replayed,
+        report.compensated,
+        report.discarded,
+        report.rejected_records,
+        report.violations
+    );
+    if report.violations > 0 {
+        eprintln!("CONSISTENCY VIOLATIONS under crash torture");
+        std::process::exit(1);
+    }
+    report
+}
+
 /// Dump the TPC-C design-time analysis: the step×template interference
 /// matrix and every recorded decision with its justification — the paper's
 /// "interference tables … constructed at design time" (§5.1), as an

@@ -248,6 +248,19 @@ pub enum Event {
         /// How long it waited, microseconds.
         micros: u64,
     },
+    /// One crash-recovery pass finished (torture harness, crash drills):
+    /// how every transaction on the salvaged log was accounted for.
+    RecoveryOutcome {
+        /// Transactions fully replayed (committed or cleanly aborted).
+        replayed: u32,
+        /// In-flight transactions finished by compensating steps.
+        compensated: u32,
+        /// In-flight transactions with no durable step, discarded outright.
+        discarded: u32,
+        /// Log records rejected as torn or corrupt (beyond the clean
+        /// prefix).
+        rejected_records: u32,
+    },
 }
 
 /// Number of wait-histogram buckets (power-of-two microsecond buckets:
@@ -270,6 +283,11 @@ struct Counters {
     step_micros: AtomicU64,
     wait_count: AtomicU64,
     wait_micros: AtomicU64,
+    recoveries: AtomicU64,
+    recovered_replayed: AtomicU64,
+    recovered_compensated: AtomicU64,
+    recovered_discarded: AtomicU64,
+    rejected_records: AtomicU64,
 }
 
 /// A point-in-time copy of the sink's counters.
@@ -303,6 +321,16 @@ pub struct CounterSnapshot {
     pub wait_count: u64,
     /// Total recorded lock-wait time, µs.
     pub wait_micros: u64,
+    /// Crash-recovery passes observed.
+    pub recoveries: u64,
+    /// Transactions fully replayed across all recovery passes.
+    pub recovered_replayed: u64,
+    /// In-flight transactions compensated across all recovery passes.
+    pub recovered_compensated: u64,
+    /// In-flight transactions discarded across all recovery passes.
+    pub recovered_discarded: u64,
+    /// Torn/corrupt log records rejected across all recovery passes.
+    pub rejected_records: u64,
 }
 
 impl std::ops::Sub for CounterSnapshot {
@@ -328,6 +356,17 @@ impl std::ops::Sub for CounterSnapshot {
             step_micros: self.step_micros.saturating_sub(rhs.step_micros),
             wait_count: self.wait_count.saturating_sub(rhs.wait_count),
             wait_micros: self.wait_micros.saturating_sub(rhs.wait_micros),
+            recoveries: self.recoveries.saturating_sub(rhs.recoveries),
+            recovered_replayed: self
+                .recovered_replayed
+                .saturating_sub(rhs.recovered_replayed),
+            recovered_compensated: self
+                .recovered_compensated
+                .saturating_sub(rhs.recovered_compensated),
+            recovered_discarded: self
+                .recovered_discarded
+                .saturating_sub(rhs.recovered_discarded),
+            rejected_records: self.rejected_records.saturating_sub(rhs.rejected_records),
         }
     }
 }
@@ -490,6 +529,21 @@ impl EventSink {
                     (64 - micros.max(1).leading_zeros() as usize - 1).min(WAIT_BUCKETS - 1);
                 self.wait_hist[bucket].fetch_add(1, Ordering::Relaxed);
             }
+            Event::RecoveryOutcome {
+                replayed,
+                compensated,
+                discarded,
+                rejected_records,
+            } => {
+                bump(&c.recoveries);
+                let add = |a: &AtomicU64, n: u32| {
+                    a.fetch_add(n as u64, Ordering::Relaxed);
+                };
+                add(&c.recovered_replayed, replayed);
+                add(&c.recovered_compensated, compensated);
+                add(&c.recovered_discarded, discarded);
+                add(&c.rejected_records, rejected_records);
+            }
         }
     }
 
@@ -512,6 +566,11 @@ impl EventSink {
             step_micros: get(&c.step_micros),
             wait_count: get(&c.wait_count),
             wait_micros: get(&c.wait_micros),
+            recoveries: get(&c.recoveries),
+            recovered_replayed: get(&c.recovered_replayed),
+            recovered_compensated: get(&c.recovered_compensated),
+            recovered_discarded: get(&c.recovered_discarded),
+            rejected_records: get(&c.rejected_records),
         }
     }
 
@@ -562,6 +621,17 @@ impl EventSink {
             c.wait_count,
             c.mean_wait_ms()
         );
+        if c.recoveries > 0 {
+            let _ = writeln!(
+                out,
+                "recoveries {}: {} replayed, {} compensated, {} discarded, {} records rejected",
+                c.recoveries,
+                c.recovered_replayed,
+                c.recovered_compensated,
+                c.recovered_discarded,
+                c.rejected_records
+            );
+        }
 
         // Top contended resources by wait events in the ring.
         let mut per_resource: HashMap<ResourceId, (u64, u64)> = HashMap::new(); // (waits, hits)

@@ -1,0 +1,367 @@
+//! Seeded, deterministic fault injection for crash-torture testing.
+//!
+//! A [`FaultInjector`] is the fault-site analogue of [`crate::events::EventSink`]:
+//! components hold an `Arc<FaultInjector>` (or an `Option` of one) and call the
+//! site hooks; a disabled injector — the default — costs one branch (and at
+//! most one relaxed load) per instrumented operation, so production paths pay
+//! essentially nothing.
+//!
+//! Faults are *planned*, never random at the site: a [`FaultPlan`] names the
+//! injection point up front (crash after the Nth WAL append, crash on a given
+//! edge of the Nth step boundary, wake every Kth blocked lock wait spuriously)
+//! and the injector fires it deterministically. Randomisation, if any, happens
+//! in the harness that builds the plan from a [`crate::rng::SeededRng`] — so
+//! the same seed always tortures the same points.
+//!
+//! A "crash" here does not kill the process. The injector captures the durable
+//! WAL image exactly as `write(2)` would have left it at the fault point
+//! (optionally mangled by a [`Corruption`]) and lets the run continue; the
+//! harness later recovers from the captured image as if the process had died
+//! there. This is faithful because the WAL image fully determines durable
+//! state, and it lets one live run serve as the oracle for its own crash.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which side of an end-of-step boundary a crash lands on. The two edges are
+/// the cases that decide recovery's fate for the in-flight step: a crash
+/// *before* the end-of-step record makes the step's updates non-durable
+/// (discarded and redone by compensation of earlier steps only), a crash
+/// *after* it makes them durable (replayed, then compensated as a completed
+/// step).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryEdge {
+    /// Just before the end-of-step record is appended.
+    Before,
+    /// Just after the end-of-step record is appended.
+    After,
+}
+
+impl fmt::Display for BoundaryEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundaryEdge::Before => write!(f, "before"),
+            BoundaryEdge::After => write!(f, "after"),
+        }
+    }
+}
+
+/// Deterministic mangling applied to a captured disk image — what a torn
+/// write or a decaying sector leaves behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Corruption {
+    /// Capture the image verbatim.
+    #[default]
+    None,
+    /// Drop the last `n` bytes (a torn final `write(2)`).
+    TornTail(u32),
+    /// Flip one bit: byte `(n / 8) % len`, bit `n % 8`.
+    BitFlip(u64),
+}
+
+impl Corruption {
+    /// Apply the corruption to `image` in place.
+    pub fn apply(self, image: &mut Vec<u8>) {
+        match self {
+            Corruption::None => {}
+            Corruption::TornTail(n) => {
+                let keep = image.len().saturating_sub(n as usize);
+                image.truncate(keep);
+            }
+            Corruption::BitFlip(n) => {
+                if !image.is_empty() {
+                    let byte = (n / 8) as usize % image.len();
+                    image[byte] ^= 1 << (n % 8);
+                }
+            }
+        }
+    }
+}
+
+/// What to inject, and where. All sites are optional and independent; an
+/// empty plan makes the injector a pure counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultPlan {
+    /// Capture the durable image when the `n`th WAL append (1-based)
+    /// completes — the crash point includes that record.
+    pub crash_after_appends: Option<u64>,
+    /// Capture at the `n`th end-of-step boundary (0-based), on the given
+    /// edge.
+    pub crash_at_step_boundary: Option<(u64, BoundaryEdge)>,
+    /// Corruption applied to whichever capture fires first.
+    pub corruption: Corruption,
+    /// Wake every `k`th blocked lock-wait slice spuriously (before its
+    /// timeout), exercising the timeout/re-detection path.
+    pub spurious_wake_every: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Crash when the `n`th WAL append (1-based) completes.
+    pub fn crash_after_appends(n: u64) -> FaultPlan {
+        FaultPlan {
+            crash_after_appends: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Crash on `edge` of the `n`th end-of-step boundary (0-based).
+    pub fn crash_at_step_boundary(n: u64, edge: BoundaryEdge) -> FaultPlan {
+        FaultPlan {
+            crash_at_step_boundary: Some((n, edge)),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Wake every `k`th blocked lock-wait slice spuriously.
+    pub fn spurious_wakes(k: u64) -> FaultPlan {
+        FaultPlan {
+            spurious_wake_every: Some(k),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Mangle the captured image with `c`.
+    pub fn with_corruption(mut self, c: Corruption) -> FaultPlan {
+        self.corruption = c;
+        self
+    }
+}
+
+/// A point-in-time copy of the injector's site counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// WAL appends observed.
+    pub wal_appends: u64,
+    /// End-of-step boundaries observed (counted once, on the `Before` edge).
+    pub step_boundaries: u64,
+    /// Blocked lock-wait slices observed.
+    pub lock_waits: u64,
+    /// Spurious wakeups injected.
+    pub spurious_wakes: u64,
+}
+
+/// The injector: an enable flag, a plan, per-site counters, and at most one
+/// captured crash image. Cheap to share (`Arc<FaultInjector>`), inert when
+/// disabled.
+pub struct FaultInjector {
+    enabled: AtomicBool,
+    plan: FaultPlan,
+    wal_appends: AtomicU64,
+    step_boundaries: AtomicU64,
+    lock_waits: AtomicU64,
+    spurious_wakes: AtomicU64,
+    image: Mutex<Option<Vec<u8>>>,
+}
+
+impl fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("enabled", &self.is_enabled())
+            .field("plan", &self.plan)
+            .field("crashed", &self.crashed())
+            .finish()
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector {
+            enabled: AtomicBool::new(false),
+            plan: FaultPlan::default(),
+            wal_appends: AtomicU64::new(0),
+            step_boundaries: AtomicU64::new(0),
+            lock_waits: AtomicU64::new(0),
+            spurious_wakes: AtomicU64::new(0),
+            image: Mutex::new(None),
+        }
+    }
+}
+
+impl FaultInjector {
+    /// A disabled injector with an empty plan — the default everywhere.
+    pub fn disabled() -> Arc<FaultInjector> {
+        Arc::new(FaultInjector::default())
+    }
+
+    /// An enabled injector executing `plan`.
+    pub fn with_plan(plan: FaultPlan) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            enabled: AtomicBool::new(true),
+            plan,
+            ..FaultInjector::default()
+        })
+    }
+
+    /// The hot-path guard: one relaxed load.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Site hook: one WAL append just completed. `serialize` produces the
+    /// durable image *including* the appended record; it is only invoked if
+    /// this append is the planned crash point.
+    pub fn on_wal_append(&self, serialize: impl FnOnce() -> Vec<u8>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let n = self.wal_appends.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.crash_after_appends == Some(n) {
+            self.capture(serialize());
+        }
+    }
+
+    /// Site hook: the current end-of-step boundary, on `edge`. Boundaries are
+    /// numbered from 0 in the order their `Before` edges occur.
+    pub fn on_step_boundary(&self, edge: BoundaryEdge, serialize: impl FnOnce() -> Vec<u8>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ord = match edge {
+            BoundaryEdge::Before => self.step_boundaries.fetch_add(1, Ordering::Relaxed),
+            BoundaryEdge::After => self
+                .step_boundaries
+                .load(Ordering::Relaxed)
+                .saturating_sub(1),
+        };
+        if self.plan.crash_at_step_boundary == Some((ord, edge)) {
+            self.capture(serialize());
+        }
+    }
+
+    /// Site hook: a lock wait is about to park for one timeout slice.
+    /// Returns true if this slice should wake spuriously instead of sleeping
+    /// its full length.
+    pub fn on_lock_wait(&self) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let n = self.lock_waits.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.plan.spurious_wake_every {
+            Some(k) if k > 0 && n.is_multiple_of(k) => {
+                self.spurious_wakes.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn capture(&self, mut image: Vec<u8>) {
+        let mut slot = self.image.lock().unwrap();
+        // First capture wins: the crash happened, later faults are moot.
+        if slot.is_none() {
+            self.plan.corruption.apply(&mut image);
+            *slot = Some(image);
+        }
+    }
+
+    /// True once a planned crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.image.lock().unwrap().is_some()
+    }
+
+    /// The captured (post-corruption) disk image, if a crash point fired.
+    pub fn captured_image(&self) -> Option<Vec<u8>> {
+        self.image.lock().unwrap().clone()
+    }
+
+    /// Copy out the site counters.
+    pub fn counters(&self) -> FaultCounters {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        FaultCounters {
+            wal_appends: get(&self.wal_appends),
+            step_boundaries: get(&self.step_boundaries),
+            lock_waits: get(&self.lock_waits),
+            spurious_wakes: get(&self.spurious_wakes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_injector_is_inert() {
+        let f = FaultInjector::disabled();
+        f.on_wal_append(|| panic!("must not serialize when disabled"));
+        f.on_step_boundary(BoundaryEdge::Before, || panic!("inert"));
+        assert!(!f.on_lock_wait());
+        assert!(!f.crashed());
+        assert_eq!(f.counters(), FaultCounters::default());
+    }
+
+    #[test]
+    fn crash_after_appends_fires_once_on_the_nth() {
+        let f = FaultInjector::with_plan(FaultPlan::crash_after_appends(3));
+        for i in 1..=5u8 {
+            f.on_wal_append(|| vec![i]);
+        }
+        assert_eq!(f.captured_image(), Some(vec![3]));
+        assert_eq!(f.counters().wal_appends, 5);
+    }
+
+    #[test]
+    fn first_capture_wins() {
+        let f = FaultInjector::with_plan(FaultPlan {
+            crash_after_appends: Some(1),
+            crash_at_step_boundary: Some((0, BoundaryEdge::Before)),
+            ..FaultPlan::default()
+        });
+        f.on_wal_append(|| vec![1]);
+        f.on_step_boundary(BoundaryEdge::Before, || vec![2]);
+        assert_eq!(f.captured_image(), Some(vec![1]));
+    }
+
+    #[test]
+    fn boundary_edges_share_an_ordinal() {
+        let before =
+            FaultInjector::with_plan(FaultPlan::crash_at_step_boundary(1, BoundaryEdge::Before));
+        let after =
+            FaultInjector::with_plan(FaultPlan::crash_at_step_boundary(1, BoundaryEdge::After));
+        for f in [&before, &after] {
+            f.on_step_boundary(BoundaryEdge::Before, || vec![10]); // boundary 0
+            f.on_step_boundary(BoundaryEdge::After, || vec![11]);
+            f.on_step_boundary(BoundaryEdge::Before, || vec![20]); // boundary 1
+            f.on_step_boundary(BoundaryEdge::After, || vec![21]);
+        }
+        assert_eq!(before.captured_image(), Some(vec![20]));
+        assert_eq!(after.captured_image(), Some(vec![21]));
+    }
+
+    #[test]
+    fn corruption_applies_at_capture() {
+        let f = FaultInjector::with_plan(
+            FaultPlan::crash_after_appends(1).with_corruption(Corruption::TornTail(2)),
+        );
+        f.on_wal_append(|| vec![1, 2, 3, 4, 5]);
+        assert_eq!(f.captured_image(), Some(vec![1, 2, 3]));
+
+        let mut img = vec![0u8; 4];
+        Corruption::BitFlip(8 * 2 + 5).apply(&mut img);
+        assert_eq!(img, vec![0, 0, 1 << 5, 0]);
+        // Torn tail longer than the image leaves it empty, not panicking.
+        let mut img = vec![1u8, 2];
+        Corruption::TornTail(10).apply(&mut img);
+        assert!(img.is_empty());
+        // Bit flip on an empty image is a no-op.
+        let mut img = Vec::new();
+        Corruption::BitFlip(3).apply(&mut img);
+        assert!(img.is_empty());
+    }
+
+    #[test]
+    fn spurious_wakes_every_kth_slice() {
+        let f = FaultInjector::with_plan(FaultPlan::spurious_wakes(3));
+        let fired: Vec<bool> = (0..6).map(|_| f.on_lock_wait()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, true]);
+        assert_eq!(f.counters().spurious_wakes, 2);
+        assert_eq!(f.counters().lock_waits, 6);
+    }
+}

@@ -13,17 +13,21 @@
 //! * [`clock`] — a clock abstraction shared by the real engine (wall clock)
 //!   and the discrete-event simulator (virtual clock),
 //! * [`events`] — the zero-cost-when-disabled observability sink (structured
-//!   lock/step events, atomic counters, `lockstat` dumps).
+//!   lock/step events, atomic counters, `lockstat` dumps),
+//! * [`faults`] — seeded, deterministic fault injection (planned crash
+//!   points, image corruption, spurious wakeups), disabled by default.
 
 pub mod clock;
 pub mod error;
 pub mod events;
+pub mod faults;
 pub mod ids;
 pub mod rng;
 pub mod value;
 
 pub use error::{Error, Result};
 pub use events::{CounterSnapshot, Event, EventLog, EventSink, KindRepr, TxnList};
+pub use faults::{BoundaryEdge, Corruption, FaultCounters, FaultInjector, FaultPlan};
 pub use ids::{
     AssertionTemplateId, PageNo, ResourceId, Slot, StepTypeId, TableId, TxnId, TxnTypeId,
 };

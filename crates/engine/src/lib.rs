@@ -17,4 +17,4 @@ pub mod threaded;
 
 pub use stats::{LatencyStats, StatsCollector};
 pub use stepper::{Stepper, StepperConfig, StepperReport};
-pub use threaded::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport, Workload};
+pub use threaded::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport, RetryPolicy, Workload};

@@ -54,6 +54,8 @@ pub struct StatsCollector {
     samples: Mutex<Vec<u64>>,
     committed: Mutex<u64>,
     aborted: Mutex<u64>,
+    retries: Mutex<u64>,
+    retry_backoff_micros: Mutex<u64>,
     sink: Mutex<Option<Arc<EventSink>>>,
 }
 
@@ -94,6 +96,12 @@ impl StatsCollector {
         *self.aborted.lock().unwrap() += 1;
     }
 
+    /// Record one resubmission and the backoff slept before it.
+    pub fn record_retry(&self, backoff: std::time::Duration) {
+        *self.retries.lock().unwrap() += 1;
+        *self.retry_backoff_micros.lock().unwrap() += backoff.as_micros() as u64;
+    }
+
     /// Commits recorded so far.
     pub fn committed(&self) -> u64 {
         *self.committed.lock().unwrap()
@@ -102,6 +110,16 @@ impl StatsCollector {
     /// Aborts recorded so far.
     pub fn aborted(&self) -> u64 {
         *self.aborted.lock().unwrap()
+    }
+
+    /// Resubmissions recorded so far.
+    pub fn retries(&self) -> u64 {
+        *self.retries.lock().unwrap()
+    }
+
+    /// Total backoff slept before resubmissions, microseconds.
+    pub fn retry_backoff_micros(&self) -> u64 {
+        *self.retry_backoff_micros.lock().unwrap()
     }
 
     /// Snapshot the latency distribution.

@@ -10,7 +10,7 @@ use crate::stats::{LatencyStats, StatsCollector};
 use acc_common::clock::{Clock, RealClock};
 use acc_common::events::CounterSnapshot;
 use acc_common::rng::SeededRng;
-use acc_txn::{run, ConcurrencyControl, RunOutcome, SharedDb, TxnProgram, WaitMode};
+use acc_txn::{run, AbortReason, ConcurrencyControl, RunOutcome, SharedDb, TxnProgram, WaitMode};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,6 +19,61 @@ use std::time::Duration;
 pub trait Workload: Send + Sync {
     /// Generate the next transaction for a terminal.
     fn next_program(&self, rng: &mut SeededRng) -> Box<dyn TxnProgram + Send>;
+}
+
+/// Bounded resubmission of rolled-back transactions, the way the paper's
+/// testbed terminals resubmitted aborted work: deadlock victims and doomed
+/// transactions are retried up to `max_retries` times with seeded full-jitter
+/// exponential backoff; user aborts are the transaction's own decision and
+/// are never retried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum resubmissions per transaction (0 disables retry).
+    pub max_retries: u32,
+    /// Backoff scale for the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// Never resubmit — every rollback is final (the abort rate is the
+    /// measurement, as in the figure experiments).
+    pub fn disabled() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    /// Up to 3 resubmissions, 0.5 ms–8 ms full-jitter backoff.
+    pub fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_micros(500),
+            max_backoff: Duration::from_millis(8),
+        }
+    }
+
+    /// True if the policy can resubmit at all.
+    pub fn is_enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// The pause before the `attempt`th retry (1-based): full jitter over an
+    /// exponentially growing, capped window. Seeded — the same rng stream
+    /// gives the same backoff schedule.
+    pub fn backoff(&self, attempt: u32, rng: &mut SeededRng) -> Duration {
+        if self.base_backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let window = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(20))
+            .min(self.max_backoff);
+        window.mul_f64(rng.f64())
+    }
 }
 
 /// Closed-loop run parameters.
@@ -32,6 +87,8 @@ pub struct ClosedLoopConfig {
     pub think_time: Duration,
     /// RNG seed.
     pub seed: u64,
+    /// Resubmission policy for deadlock victims and doomed transactions.
+    pub retry: RetryPolicy,
 }
 
 /// Results of a closed-loop run.
@@ -49,11 +106,18 @@ pub struct ClosedLoopReport {
     /// enabled [`acc_common::events::EventSink`] was installed on the shared
     /// system before the run).
     pub lock_counters: CounterSnapshot,
+    /// Resubmissions performed under the [`RetryPolicy`].
+    pub retries: u64,
+    /// Total backoff time slept before resubmissions, microseconds.
+    pub retry_backoff_micros: u64,
 }
 
 /// Drive `workload` from `config.terminals` threads for the configured
-/// duration. Rolled-back transactions are not resubmitted (the abort rate is
-/// part of the measurement).
+/// duration. Rolled-back deadlock victims and doomed transactions are
+/// resubmitted per `config.retry` (each rolled-back attempt still counts as
+/// an abort — the abort rate stays part of the measurement); user aborts are
+/// final. A committed retry's response time spans from its *first*
+/// submission, as a terminal would observe it.
 pub fn run_closed_loop(
     shared: &Arc<SharedDb>,
     cc: &Arc<dyn ConcurrencyControl>,
@@ -77,6 +141,7 @@ pub fn run_closed_loop(
         let clock = Arc::clone(&clock);
         let mut rng = root_rng.fork();
         let think_us = config.think_time.as_micros() as f64;
+        let retry = config.retry.clone();
         handles.push(std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 if think_us > 0.0 {
@@ -88,12 +153,35 @@ pub fn run_closed_loop(
                 }
                 let mut program = workload.next_program(&mut rng);
                 let start = clock.now();
-                match run(&shared, &*cc, program.as_mut(), WaitMode::Block) {
-                    Ok(RunOutcome::Committed { .. }) => {
-                        stats.record_commit(start, clock.now());
+                let mut attempt = 0u32;
+                loop {
+                    match run(&shared, &*cc, program.as_mut(), WaitMode::Block) {
+                        Ok(RunOutcome::Committed { .. }) => {
+                            stats.record_commit(start, clock.now());
+                            break;
+                        }
+                        Ok(RunOutcome::RolledBack(reason)) => {
+                            stats.record_abort();
+                            // Steps are idempotent, so the same program object
+                            // can be resubmitted; only system-caused rollbacks
+                            // qualify.
+                            let transient =
+                                matches!(reason, AbortReason::Deadlock | AbortReason::Doomed);
+                            if !transient
+                                || attempt >= retry.max_retries
+                                || stop.load(Ordering::Relaxed)
+                            {
+                                break;
+                            }
+                            attempt += 1;
+                            let pause = retry.backoff(attempt, &mut rng);
+                            stats.record_retry(pause);
+                            if !pause.is_zero() {
+                                std::thread::sleep(pause);
+                            }
+                        }
+                        Err(e) => panic!("transaction failed hard: {e}"),
                     }
-                    Ok(RunOutcome::RolledBack(_)) => stats.record_abort(),
-                    Err(e) => panic!("transaction failed hard: {e}"),
                 }
             }
         }));
@@ -112,5 +200,7 @@ pub fn run_closed_loop(
         latency: stats.latency(),
         throughput_tps: committed as f64 / config.duration.as_secs_f64(),
         lock_counters: stats.lock_counters() - counters_before,
+        retries: stats.retries(),
+        retry_backoff_micros: stats.retry_backoff_micros(),
     }
 }

@@ -2,7 +2,7 @@
 
 use acc_common::rng::SeededRng;
 use acc_common::{Decimal, Result, TableId, TxnTypeId, Value};
-use acc_engine::{run_closed_loop, ClosedLoopConfig, Workload};
+use acc_engine::{run_closed_loop, ClosedLoopConfig, RetryPolicy, Workload};
 use acc_lockmgr::NoInterference;
 use acc_storage::{Catalog, ColumnType, Database, Key, Row, TableSchema};
 use acc_txn::{ConcurrencyControl, SharedDb, StepCtx, StepOutcome, TwoPhase, TxnProgram};
@@ -83,10 +83,12 @@ fn closed_loop_runs_and_conserves() {
             duration: Duration::from_millis(300),
             think_time: Duration::from_millis(1),
             seed: 7,
+            retry: RetryPolicy::disabled(),
         },
     );
 
     assert!(report.committed > 0, "{report:?}");
+    assert_eq!(report.retries, 0, "retry disabled but engine resubmitted");
     assert!(report.throughput_tps > 0.0);
     assert!(report.latency.mean_ms >= 0.0);
     let total: Decimal = shared.with_core(|c| {

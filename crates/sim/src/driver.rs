@@ -695,6 +695,7 @@ impl<'a> Simulator<'a> {
             self.begin_rollback(t);
             return;
         }
+        self.metrics.retries += 1;
         self.terms[t].op = 0;
         self.terms[t].pending.clear();
         self.terms[t].waiting_ticket = None;
@@ -716,6 +717,7 @@ impl<'a> Simulator<'a> {
         if self.terms[t].trace.is_none() {
             return;
         }
+        self.metrics.restarts += 1;
         let txn = self.terms[t].txn;
         let notices = self.lm.release_all(txn, self.oracle);
         self.post_notices(notices);

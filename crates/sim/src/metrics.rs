@@ -26,6 +26,12 @@ pub struct SimReport {
     pub throughput_tps: f64,
     /// Deadlock victim events (diagnostic).
     pub deadlocks: usize,
+    /// Deadlock-victim resubmissions: whole-transaction restarts under 2PL,
+    /// single-step retries under the ACC (§3.4).
+    pub retries: usize,
+    /// Transactions force-restarted after being doomed by a compensating
+    /// step.
+    pub restarts: usize,
     /// Mean server utilisation in [0, 1].
     pub server_utilisation: f64,
     /// Lock/step counters from the simulator's event sink: requests, waits,
@@ -45,6 +51,8 @@ pub(crate) struct MetricsCollector {
     warmup: SimTime,
     completions: Vec<Completion>,
     pub deadlocks: usize,
+    pub retries: usize,
+    pub restarts: usize,
     pub busy_time: u64,
 }
 
@@ -54,6 +62,8 @@ impl MetricsCollector {
             warmup,
             completions: Vec::new(),
             deadlocks: 0,
+            retries: 0,
+            restarts: 0,
             busy_time: 0,
         }
     }
@@ -91,6 +101,8 @@ impl MetricsCollector {
             p95_response_ms,
             throughput_tps: committed as f64 / measured,
             deadlocks: self.deadlocks,
+            retries: self.retries,
+            restarts: self.restarts,
             server_utilisation: self.busy_time as f64
                 / (end.as_micros().max(1) as f64 * servers as f64),
             counters,

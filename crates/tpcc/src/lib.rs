@@ -18,6 +18,8 @@
 //! * [`consistency`] — the TPC-C consistency conditions, with the strict
 //!   variants that only serializable execution guarantees separated from the
 //!   semantic-correctness variants the ACC guarantees;
+//! * [`torture`] — the crash-torture harness: recovery + compensation +
+//!   consistency at every WAL crash point, plus seeded corruption;
 //! * [`trace`] — the same workload as simulator traces for the figure
 //!   harness.
 
@@ -27,6 +29,7 @@ pub mod input;
 pub mod populate;
 pub mod recovery;
 pub mod schema;
+pub mod torture;
 pub mod trace;
 pub mod txns;
 

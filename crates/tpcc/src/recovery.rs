@@ -114,6 +114,84 @@ mod tests {
     }
 
     #[test]
+    fn delivery_work_area_round_trip() {
+        let p = Delivery::new(
+            crate::input::DeliveryInput {
+                w_id: 1,
+                carrier_id: 3,
+            },
+            10,
+        );
+        let inf = InFlight {
+            txn: TxnId(9),
+            txn_type: ty::DELIVERY,
+            steps_completed: 2,
+            work_area: p.work_area(),
+            compensating: false,
+        };
+        assert!(program_for_inflight(&inf).is_ok());
+    }
+
+    fn expect_recovery_err(txn_type: acc_common::TxnTypeId, work_area: Vec<u8>) {
+        let inf = InFlight {
+            txn: TxnId(9),
+            txn_type,
+            steps_completed: 1,
+            work_area,
+            compensating: false,
+        };
+        assert!(
+            matches!(program_for_inflight(&inf), Err(Error::Recovery(_))),
+            "work area {:?} must be rejected",
+            inf.work_area
+        );
+    }
+
+    fn i64s(vals: &[i64]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn short_work_areas_are_errors_not_panics() {
+        // Every prefix length shorter than the fixed header of each program.
+        for len in [0usize, 1, 7, 8, 15, 16, 23] {
+            expect_recovery_err(ty::NEW_ORDER, vec![0xab; len]);
+            expect_recovery_err(ty::PAYMENT, vec![0xab; len]);
+        }
+        for len in [0usize, 1, 7, 8, 15] {
+            expect_recovery_err(ty::DELIVERY, vec![0xab; len]);
+        }
+    }
+
+    #[test]
+    fn new_order_negative_order_id_is_rejected() {
+        expect_recovery_err(ty::NEW_ORDER, i64s(&[1, 1, -5]));
+    }
+
+    #[test]
+    fn delivery_malformed_work_areas_are_errors_not_panics() {
+        // Negative district count: previously sized a `vec![None; n as usize]`
+        // allocation from attacker-controlled bytes.
+        expect_recovery_err(ty::DELIVERY, i64s(&[1, -1]));
+        // Absurd district count: ditto, as a near-usize::MAX allocation.
+        expect_recovery_err(ty::DELIVERY, i64s(&[1, i64::MAX]));
+        // Claim index outside the district range: previously an
+        // out-of-bounds slice write.
+        expect_recovery_err(ty::DELIVERY, i64s(&[1, 3, 99, 5, 5, 5, 5, 1]));
+        expect_recovery_err(ty::DELIVERY, i64s(&[1, 3, -2, 5, 5, 5, 5, 1]));
+        // Claim tuple cut mid-field (length not a multiple of 8).
+        let mut torn = i64s(&[1, 3, 0, 5, 5, 5, 5, 1]);
+        torn.truncate(torn.len() - 3);
+        expect_recovery_err(ty::DELIVERY, torn);
+        // Claim tuple missing trailing fields.
+        expect_recovery_err(ty::DELIVERY, i64s(&[1, 3, 0, 5, 5]));
+        // Garbage `applied` flag.
+        expect_recovery_err(ty::DELIVERY, i64s(&[1, 3, 0, 5, 5, 5, 5, 7]));
+        // Non-positive warehouse id.
+        expect_recovery_err(ty::DELIVERY, i64s(&[0, 3]));
+    }
+
+    #[test]
     fn garbage_work_area_is_an_error() {
         let inf = InFlight {
             txn: TxnId(9),

@@ -1,0 +1,466 @@
+//! The crash-torture harness: recovery + compensation at every crash point.
+//!
+//! The paper's robustness claim (§3.4) is that multi-step transactions
+//! survive failure via compensating steps. This module proves the claim
+//! mechanically: it runs a seeded TPC-C mix under the ACC, captures the WAL's
+//! durable byte image, and then "crashes" the system at *every* append index
+//! (plus seeded samples of torn-tail cuts and single-bit flips), recovering
+//! each salvaged prefix into a pristine base, resuming compensation, and
+//! checking the §3.3.2 consistency conditions.
+//!
+//! Three properties are enforced at every point:
+//!
+//! 1. **consistency** — the semantic TPC-C conditions hold after recovery +
+//!    compensation (strict serializability conditions are out of scope for
+//!    the ACC by design);
+//! 2. **no silent loss** — every transaction on the salvaged log is
+//!    accounted for: fully replayed, compensated, or discarded (no durable
+//!    step); corrupt bytes beyond the clean prefix are counted as rejected
+//!    records, never silently absorbed;
+//! 3. **determinism** — the per-point outcome log is a pure function of the
+//!    seed: two runs with the same config produce byte-identical logs.
+//!
+//! A fourth phase validates the live fault injector itself
+//! ([`acc_common::faults`]): re-running the workload with a planned crash
+//! must capture exactly the prefix the offline sweep cut at the same point,
+//! and the two edges of a step boundary must differ by exactly the
+//! end-of-step record — the distinction that decides replay-then-compensate
+//! versus discard.
+
+use crate::decompose::TpccSystem;
+use crate::schema::Scale;
+use crate::{consistency, input, recovery, txns};
+use acc_common::events::{Event, EventSink};
+use acc_common::faults::{BoundaryEdge, Corruption, FaultInjector, FaultPlan};
+use acc_common::{CounterSnapshot, Error, Result, SeededRng};
+use acc_storage::Database;
+use acc_txn::runner::run;
+use acc_txn::{SharedDb, WaitMode};
+use acc_wal::{recover, LogRecord, Wal};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Sizing of a torture run. Everything is derived from `seed`; two runs with
+/// an equal config produce byte-identical outcome logs.
+#[derive(Debug, Clone, Copy)]
+pub struct TortureConfig {
+    /// Master seed for population, inputs and corruption sampling.
+    pub seed: u64,
+    /// Transactions in the baseline TPC-C mix.
+    pub txns: usize,
+    /// Ceiling on swept append indices; above it the sweep strides (and says
+    /// so in the log). `usize::MAX` sweeps every index.
+    pub max_append_points: usize,
+    /// Seeded torn-tail cuts (byte truncations, usually mid-record).
+    pub torn_samples: usize,
+    /// Seeded single-bit flips over the full image.
+    pub flip_samples: usize,
+    /// Live fault-injector crash replays to cross-validate against the
+    /// offline sweep.
+    pub injector_samples: usize,
+}
+
+impl TortureConfig {
+    /// The full sweep: every append index of a 16-transaction mix plus
+    /// generous corruption samples. Used by `figures -- torture` and the
+    /// torture test (≥ 200 points).
+    pub fn standard(seed: u64) -> TortureConfig {
+        TortureConfig {
+            seed,
+            txns: 16,
+            max_append_points: usize::MAX,
+            torn_samples: 24,
+            flip_samples: 16,
+            injector_samples: 4,
+        }
+    }
+
+    /// A bounded smoke run (~100 points) for the PR gate in
+    /// `scripts/check.sh`.
+    pub fn smoke(seed: u64) -> TortureConfig {
+        TortureConfig {
+            seed,
+            txns: 10,
+            max_append_points: 72,
+            torn_samples: 16,
+            flip_samples: 8,
+            injector_samples: 2,
+        }
+    }
+}
+
+/// Aggregate outcome of a torture run.
+#[derive(Debug)]
+pub struct TortureReport {
+    /// Crash/corruption points recovered (every one passed consistency
+    /// unless `violations > 0`).
+    pub points: usize,
+    /// Transactions fully replayed, summed over all points.
+    pub replayed: u64,
+    /// In-flight transactions compensated, summed over all points.
+    pub compensated: u64,
+    /// In-flight transactions discarded (no durable step), summed.
+    pub discarded: u64,
+    /// Torn/corrupt records rejected past the clean prefix, summed.
+    pub rejected_records: u64,
+    /// Consistency violations across all points (must be 0).
+    pub violations: usize,
+    /// One line per point; byte-identical across same-seed runs.
+    pub log: String,
+    /// Counter snapshot of the harness's event sink (includes the
+    /// `recoveries` family fed by [`Event::RecoveryOutcome`]).
+    pub counters: CounterSnapshot,
+}
+
+/// Per-point outcome of one crash-recover-compensate pass.
+struct PointStats {
+    decoded: usize,
+    replayed: usize,
+    compensated: usize,
+    discarded: usize,
+    violations: usize,
+}
+
+fn fresh_base(scale: &Scale, seed: u64) -> Database {
+    let mut db = Database::new(&crate::tpcc_catalog());
+    crate::populate(&mut db, scale, seed);
+    db
+}
+
+/// Run the seeded TPC-C mix single-threaded under the ACC, returning the
+/// final durable WAL image and (if a fault plan was installed) the image the
+/// injector captured at its crash point.
+fn run_workload(
+    cfg: &TortureConfig,
+    sys: &TpccSystem,
+    plan: Option<FaultPlan>,
+) -> Result<(Vec<u8>, Option<Vec<u8>>)> {
+    let scale = Scale::test();
+    let mut shared = SharedDb::new(fresh_base(&scale, cfg.seed), Arc::clone(&sys.tables) as _);
+    let injector = plan.map(FaultInjector::with_plan);
+    if let Some(f) = &injector {
+        shared = shared.with_fault_injector(Arc::clone(f));
+    }
+    let gen = input::InputGen::new(input::TpccConfig::standard(scale), cfg.seed);
+    let mut rng = SeededRng::new(cfg.seed ^ 0x746f_7274); // "tort"
+    for _ in 0..cfg.txns {
+        let mut program = txns::program_for(gen.next_input(&mut rng), scale.districts);
+        // Single-threaded: deadlocks are impossible, user aborts are part of
+        // the mix; hard errors are harness bugs and propagate.
+        run(&shared, &*sys.acc, program.as_mut(), WaitMode::Block)?;
+    }
+    let image = shared.with_core(|c| c.wal.to_bytes());
+    Ok((image, injector.and_then(|f| f.captured_image())))
+}
+
+/// Byte offset of the end of each intact frame in `image` (offset `[k-1]` is
+/// the exact prefix length holding the first `k` records).
+fn record_offsets(image: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while image.len() - pos >= 12 {
+        let len = u32::from_le_bytes(image[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        if image.len() - pos - 12 < len {
+            break;
+        }
+        pos += 12 + len;
+        out.push(pos);
+    }
+    out
+}
+
+/// One crash point: salvage `bytes`, recover into a clone of `base`, resume
+/// compensation, audit consistency, lock cleanliness and the no-silent-loss
+/// accounting.
+fn crash_and_recover(base: &Database, sys: &TpccSystem, bytes: &[u8]) -> Result<PointStats> {
+    let salvaged = Wal::from_bytes(bytes);
+    let decoded = salvaged.len();
+    let txns_on_log: HashSet<_> = salvaged.records().iter().map(|r| r.txn()).collect();
+
+    let mut db = base.clone();
+    let report = recover(&mut db, &salvaged)?;
+    let shared = SharedDb::new(db, Arc::clone(&sys.tables) as _);
+    let compensated =
+        recovery::resume_compensation(&shared, &*sys.acc, &report.needs_compensation)?;
+
+    let replayed = report.committed.len() + report.aborted.len();
+    let discarded = report.discarded.len();
+    // No silent loss: every transaction that reached the salvaged log is in
+    // exactly one bucket.
+    if replayed + compensated + discarded != txns_on_log.len() {
+        return Err(Error::Internal(format!(
+            "accounting hole: {} txns on log, {} replayed + {} compensated + {} discarded",
+            txns_on_log.len(),
+            replayed,
+            compensated,
+            discarded
+        )));
+    }
+
+    let (violations, grants) =
+        shared.with_core(|c| (consistency::check(&c.db, false).len(), c.lm.total_grants()));
+    // Compensation must leave no lock behind; a leak here stalls the next
+    // workload a real restart would admit.
+    if grants != 0 {
+        return Err(Error::Internal(format!(
+            "{grants} lock grants leaked by post-crash compensation"
+        )));
+    }
+    Ok(PointStats {
+        decoded,
+        replayed,
+        compensated,
+        discarded,
+        violations,
+    })
+}
+
+fn emit_point(
+    sink: &EventSink,
+    log: &mut String,
+    label: &str,
+    stats: &PointStats,
+    rejected: usize,
+) {
+    sink.emit(Event::RecoveryOutcome {
+        replayed: stats.replayed as u32,
+        compensated: stats.compensated as u32,
+        discarded: stats.discarded as u32,
+        rejected_records: rejected as u32,
+    });
+    let _ = writeln!(
+        log,
+        "{label}: decoded={} replayed={} compensated={} discarded={} rejected={} violations={}",
+        stats.decoded,
+        stats.replayed,
+        stats.compensated,
+        stats.discarded,
+        rejected,
+        stats.violations
+    );
+}
+
+/// Run the full torture sweep. Errors indicate harness-level failures (a
+/// recovery or compensation pass that itself failed); consistency violations
+/// are *counted* in the report so the caller can assert on them.
+pub fn run_torture(cfg: &TortureConfig) -> Result<TortureReport> {
+    let sys = TpccSystem::build();
+    let scale = Scale::test();
+    let base = fresh_base(&scale, cfg.seed);
+    let sink = EventSink::enabled(64);
+    let mut log = String::new();
+    let mut points = 0usize;
+    let mut stats_sum = (0u64, 0u64, 0u64, 0u64); // replayed, compensated, discarded, rejected
+    let mut violations = 0usize;
+
+    // ---- phase 1: baseline -------------------------------------------------
+    let (image, _) = run_workload(cfg, &sys, None)?;
+    let offsets = record_offsets(&image);
+    let n = offsets.len();
+    let _ = writeln!(
+        log,
+        "baseline: seed={} txns={} records={} image={}B",
+        cfg.seed,
+        cfg.txns,
+        n,
+        image.len()
+    );
+
+    let mut sweep = |log: &mut String,
+                     label: String,
+                     bytes: &[u8],
+                     expect_decoded: Option<usize>,
+                     rejected: usize|
+     -> Result<()> {
+        let stats = crash_and_recover(&base, &sys, bytes)?;
+        if let Some(want) = expect_decoded {
+            if stats.decoded != want {
+                return Err(Error::Internal(format!(
+                    "{label}: decoded {} records, expected {want} — the codec's \
+                     clean-prefix guarantee is broken",
+                    stats.decoded
+                )));
+            }
+        }
+        points += 1;
+        stats_sum.0 += stats.replayed as u64;
+        stats_sum.1 += stats.compensated as u64;
+        stats_sum.2 += stats.discarded as u64;
+        stats_sum.3 += rejected as u64;
+        violations += stats.violations;
+        emit_point(&sink, log, &label, &stats, rejected);
+        Ok(())
+    };
+
+    // ---- phase 2a: crash at every append index -----------------------------
+    let stride = n.div_ceil(cfg.max_append_points).max(1);
+    if stride > 1 {
+        let _ = writeln!(
+            log,
+            "append sweep: striding by {stride} ({} of {} indices; bounded smoke run)",
+            n / stride + 1,
+            n + 1
+        );
+    }
+    let mut ks: Vec<usize> = (0..=n).step_by(stride).collect();
+    if ks.last() != Some(&n) {
+        ks.push(n); // always include the crash-after-everything point
+    }
+    for k in ks {
+        let cut = if k == 0 { 0 } else { offsets[k - 1] };
+        sweep(&mut log, format!("append k={k}"), &image[..cut], Some(k), 0)?;
+    }
+
+    // ---- phase 2b: seeded torn-tail cuts -----------------------------------
+    let mut rng = SeededRng::new(cfg.seed ^ 0x746f_726e); // "torn"
+    for _ in 0..cfg.torn_samples {
+        let cut = 1 + rng.index(image.len() - 1);
+        let intact = offsets.partition_point(|&o| o <= cut);
+        // A cut strictly inside a frame leaves one torn record behind it.
+        let torn_record = usize::from(offsets.binary_search(&cut).is_err());
+        sweep(
+            &mut log,
+            format!("torn cut={cut}"),
+            &image[..cut],
+            Some(intact),
+            torn_record,
+        )?;
+    }
+
+    // ---- phase 2c: seeded single-bit flips ---------------------------------
+    let mut rng = SeededRng::new(cfg.seed ^ 0x666c_6970); // "flip"
+    for _ in 0..cfg.flip_samples {
+        let byte = rng.index(image.len());
+        let bit = rng.index(8) as u8;
+        let mut corrupt = image.clone();
+        corrupt[byte] ^= 1 << bit;
+        // Decoding must stop exactly at the frame containing the flip; all
+        // records from there on are rejected.
+        let intact = offsets.partition_point(|&o| o <= byte);
+        sweep(
+            &mut log,
+            format!("flip byte={byte} bit={bit}"),
+            &corrupt,
+            Some(intact),
+            n - intact,
+        )?;
+    }
+
+    // ---- phase 3: live injector cross-validation ---------------------------
+    let mut rng = SeededRng::new(cfg.seed ^ 0x696e_6a65); // "inje"
+    for s in 0..cfg.injector_samples {
+        let k = 1 + rng.index(n);
+        // Odd samples also mangle the capture with a torn tail, exercising
+        // the injector's corruption path end to end.
+        let torn = if s % 2 == 1 { 1 + rng.index(11) } else { 0 };
+        let plan = FaultPlan::crash_after_appends(k as u64).with_corruption(if torn > 0 {
+            Corruption::TornTail(torn as u32)
+        } else {
+            Corruption::None
+        });
+        let (_, captured) = run_workload(cfg, &sys, Some(plan))?;
+        let captured = captured
+            .ok_or_else(|| Error::Internal(format!("injector never fired for append k={k}")))?;
+        let expected = &image[..offsets[k - 1] - torn];
+        if captured != expected {
+            return Err(Error::Internal(format!(
+                "injector capture at append k={k} torn={torn} diverged from the \
+                 offline prefix ({} vs {} bytes) — the workload is not \
+                 deterministic",
+                captured.len(),
+                expected.len()
+            )));
+        }
+        let intact = offsets.partition_point(|&o| o <= captured.len());
+        sweep(
+            &mut log,
+            format!("inject append k={k} torn={torn}"),
+            &captured,
+            Some(intact),
+            usize::from(torn > 0),
+        )?;
+    }
+
+    // ---- phase 3b: the two edges of one step boundary ----------------------
+    let n_boundaries = Wal::from_bytes(&image)
+        .records()
+        .iter()
+        .filter(|r| matches!(r, LogRecord::StepEnd { .. }))
+        .count();
+    if n_boundaries > 0 {
+        let b = (n_boundaries / 2) as u64;
+        let edge_image = |edge| -> Result<Vec<u8>> {
+            let (_, captured) =
+                run_workload(cfg, &sys, Some(FaultPlan::crash_at_step_boundary(b, edge)))?;
+            captured
+                .ok_or_else(|| Error::Internal(format!("boundary {b} {edge} crash never fired")))
+        };
+        let before = edge_image(BoundaryEdge::Before)?;
+        let after = edge_image(BoundaryEdge::After)?;
+        let before_recs = Wal::from_bytes(&before);
+        let after_recs = Wal::from_bytes(&after);
+        let Some(LogRecord::StepEnd {
+            txn, step_index, ..
+        }) = after_recs.records().last().cloned()
+        else {
+            return Err(Error::Internal(
+                "after-edge capture does not end in the end-of-step record".into(),
+            ));
+        };
+        if after_recs.len() != before_recs.len() + 1 {
+            return Err(Error::Internal(format!(
+                "boundary edges differ by {} records, expected exactly the \
+                 end-of-step record",
+                after_recs.len() - before_recs.len()
+            )));
+        }
+        // The edge decides the in-flight step's fate: after the record it is
+        // durable (steps_completed = step_index + 1, then compensated);
+        // before it, the step never happened durably.
+        for (img, label, want_steps) in [
+            (&before, "before", step_index as usize),
+            (&after, "after", step_index as usize + 1),
+        ] {
+            let salvaged = Wal::from_bytes(img);
+            let mut db = base.clone();
+            let report = recover(&mut db, &salvaged)?;
+            let durable_steps = report
+                .needs_compensation
+                .iter()
+                .find(|inf| inf.txn == txn)
+                .map(|inf| inf.steps_completed as usize)
+                .unwrap_or(0);
+            if durable_steps != want_steps {
+                return Err(Error::Internal(format!(
+                    "boundary {b} {label}-edge: {txn} has {durable_steps} durable \
+                     steps, expected {want_steps}"
+                )));
+            }
+            sweep(
+                &mut log,
+                format!("inject boundary b={b} edge={label}"),
+                img,
+                Some(salvaged.len()),
+                0,
+            )?;
+        }
+    }
+
+    let (replayed, compensated, discarded, rejected_records) = stats_sum;
+    let _ = writeln!(
+        log,
+        "total: points={points} replayed={replayed} compensated={compensated} \
+         discarded={discarded} rejected={rejected_records} violations={violations}"
+    );
+    Ok(TortureReport {
+        points,
+        replayed,
+        compensated,
+        discarded,
+        rejected_records,
+        violations,
+        log,
+        counters: sink.counters(),
+    })
+}

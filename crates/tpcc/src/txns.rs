@@ -436,13 +436,21 @@ impl Delivery {
         }
     }
 
-    /// Rebuild from a recovered work area.
+    /// Rebuild from a recovered work area. Returns `None` for a malformed
+    /// area: every field a corrupt log could hand us is validated before it
+    /// sizes an allocation or indexes a slice.
     pub fn recovered(work_area: &[u8]) -> Option<Self> {
+        if !work_area.len().is_multiple_of(8) {
+            return None;
+        }
         let mut it = work_area
             .chunks_exact(8)
             .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         let w_id = it.next()?;
         let districts = it.next()?;
+        if w_id < 1 || !(1..=100).contains(&districts) {
+            return None;
+        }
         let mut p = Delivery::new(
             DeliveryInput {
                 w_id,
@@ -455,13 +463,16 @@ impl Delivery {
             let c_id = it.next()?;
             let ol_cnt = it.next()?;
             let amount = it.next()?;
-            let applied = it.next()? != 0;
+            let applied = it.next()?;
+            if !(0..districts).contains(&idx) || !(0..=1).contains(&applied) {
+                return None;
+            }
             p.claims[idx as usize] = Some(Claim {
                 o_id,
                 c_id,
                 ol_cnt,
                 amount: Decimal::from_units(amount),
-                applied,
+                applied: applied != 0,
             });
         }
         Some(p)

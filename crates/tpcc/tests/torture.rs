@@ -1,0 +1,66 @@
+//! Crash-torture: recovery + compensation must hold at every crash point.
+//!
+//! These tests drive `acc_tpcc::torture` (see that module for the sweep
+//! design): a seeded TPC-C mix, a crash at every WAL-append index plus
+//! seeded torn-tail and bit-flip corruptions, and a recovery + compensation
+//! + §3.3.2-consistency pass for each salvaged image.
+
+use acc_tpcc::torture::{run_torture, TortureConfig};
+
+#[test]
+fn standard_sweep_holds_consistency_at_every_crash_point() {
+    let report = run_torture(&TortureConfig::standard(42)).expect("torture harness failed");
+    assert!(
+        report.points >= 200,
+        "swept only {} crash points (need ≥ 200)\n{}",
+        report.points,
+        report.log
+    );
+    assert_eq!(
+        report.violations, 0,
+        "consistency violated after recovery:\n{}",
+        report.log
+    );
+    // The sweep must actually exercise all three outcome classes — a run
+    // that never compensates or never rejects a torn record proves nothing.
+    assert!(report.replayed > 0, "no transaction ever replayed");
+    assert!(
+        report.compensated > 0,
+        "no crash point exercised compensation:\n{}",
+        report.log
+    );
+    assert!(
+        report.discarded > 0,
+        "no crash point caught a step-less in-flight transaction:\n{}",
+        report.log
+    );
+    assert!(
+        report.rejected_records > 0,
+        "no corruption point rejected records:\n{}",
+        report.log
+    );
+    // The event sink saw exactly one RecoveryOutcome per point.
+    assert_eq!(report.counters.recoveries, report.points as u64);
+    assert_eq!(report.counters.recovered_compensated, report.compensated);
+    assert_eq!(report.counters.recovered_discarded, report.discarded);
+    assert_eq!(report.counters.rejected_records, report.rejected_records);
+}
+
+#[test]
+fn same_seed_yields_byte_identical_outcome_logs() {
+    let a = run_torture(&TortureConfig::smoke(7)).expect("torture harness failed");
+    let b = run_torture(&TortureConfig::smoke(7)).expect("torture harness failed");
+    assert_eq!(
+        a.log, b.log,
+        "two same-seed torture runs diverged — determinism is broken"
+    );
+    assert_eq!(a.violations, 0, "{}", a.log);
+}
+
+#[test]
+fn different_seeds_torture_different_points() {
+    let a = run_torture(&TortureConfig::smoke(1)).expect("torture harness failed");
+    let b = run_torture(&TortureConfig::smoke(2)).expect("torture harness failed");
+    assert_ne!(a.log, b.log, "seed does not steer the sweep");
+    assert_eq!(a.violations + b.violations, 0);
+}

@@ -7,6 +7,7 @@ use crate::shared::{SharedDb, WaitMode};
 use crate::step::StepCtx;
 use crate::transaction::{Transaction, TxnState};
 use acc_common::events::Event;
+use acc_common::faults::BoundaryEdge;
 use acc_common::{Error, Result};
 use acc_storage::UndoRecord;
 use acc_wal::LogRecord;
@@ -182,11 +183,16 @@ pub fn end_step(
     work_area: Vec<u8>,
 ) {
     shared.with_core(|c| {
+        // The two boundary edges are the crash points that decide recovery's
+        // treatment of this step: before the record it is non-durable and
+        // discarded, after it it is durable and compensated.
+        c.wal.fault_boundary(BoundaryEdge::Before);
         c.wal.append(LogRecord::StepEnd {
             txn: txn.id,
             step_index: txn.step_index,
             work_area,
         });
+        c.wal.fault_boundary(BoundaryEdge::After);
     });
     txn.steps_completed = txn.step_index + 1;
     txn.step_index += 1;
@@ -233,14 +239,16 @@ pub fn rollback(
         txn.state = TxnState::Compensating;
         // A compensating step is never a deadlock victim (the lock manager
         // dooms whoever delays it), but transient races can still surface;
-        // retry with a small cap before declaring the system wedged.
+        // retry with a small cap before declaring the system wedged. The cap
+        // is configurable via [`SharedDb::with_comp_retry_cap`].
         let steps_completed = txn.steps_completed;
+        let cap = shared.comp_retry_cap();
         let mut attempts = 0;
         loop {
             let mut ctx = StepCtx::new(shared, cc, txn, WaitMode::Block);
             match program.compensate(steps_completed, &mut ctx) {
                 Ok(()) => break,
-                Err(e) if e.is_transient() && attempts < 8 => {
+                Err(e) if e.is_transient() && attempts < cap => {
                     attempts += 1;
                     undo_current_step(shared, txn)?;
                     // Drop the failed attempt's conventional locks so a
@@ -257,10 +265,15 @@ pub fn rollback(
                     shared.release_all(txn.id);
                     shared.clear_doom(txn.id);
                     txn.state = TxnState::Aborted;
-                    return Err(Error::Internal(format!(
-                        "compensation of {} failed: {e}",
-                        txn.id
-                    )));
+                    return Err(Error::Internal(if e.is_transient() {
+                        format!(
+                            "compensation of {} wedged: still transient after \
+                             {attempts} retries (cap {cap}): {e}",
+                            txn.id
+                        )
+                    } else {
+                        format!("compensation of {} failed: {e}", txn.id)
+                    }));
                 }
             }
         }

@@ -2,6 +2,7 @@
 //! with a condvar for lock waits.
 
 use acc_common::events::{Event, EventSink};
+use acc_common::faults::FaultInjector;
 use acc_common::{Error, ResourceId, Result, TxnId, TxnTypeId};
 use acc_lockmgr::{
     GrantNotice, InterferenceOracle, LockKind, LockManager, Request, RequestCtx, RequestOutcome,
@@ -44,6 +45,11 @@ pub struct SharedDb {
     /// Safety net: a blocked lock wait longer than this is reported as an
     /// internal error instead of hanging the process.
     wait_cap: Duration,
+    /// Fault-injection hook for lock waits (disabled by default).
+    faults: Arc<FaultInjector>,
+    /// How many transient failures a compensating step retries before the
+    /// rollback is declared wedged (see `runner::rollback`).
+    comp_retry_cap: u32,
 }
 
 impl SharedDb {
@@ -63,6 +69,8 @@ impl SharedDb {
             cond: Condvar::new(),
             oracle,
             wait_cap: Duration::from_secs(30),
+            faults: FaultInjector::disabled(),
+            comp_retry_cap: 8,
         }
     }
 
@@ -70,6 +78,31 @@ impl SharedDb {
     pub fn with_wait_cap(mut self, cap: Duration) -> Self {
         self.wait_cap = cap;
         self
+    }
+
+    /// Install a fault injector: the WAL reports appends and step boundaries
+    /// to it, and lock waits consult it for planned spurious wakeups.
+    pub fn with_fault_injector(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.core
+            .get_mut()
+            .unwrap()
+            .wal
+            .set_fault_injector(Arc::clone(&faults));
+        self.faults = faults;
+        self
+    }
+
+    /// Override the compensation transient-retry cap (how many times a
+    /// compensating step retries a transient failure before the rollback is
+    /// reported wedged).
+    pub fn with_comp_retry_cap(mut self, cap: u32) -> Self {
+        self.comp_retry_cap = cap;
+        self
+    }
+
+    /// The compensation transient-retry cap.
+    pub fn comp_retry_cap(&self) -> u32 {
+        self.comp_retry_cap
     }
 
     /// The system-wide interference oracle.
@@ -201,10 +234,23 @@ impl SharedDb {
                         Self::post_notices(&mut core, &self.cond, notices);
                         return Err(Error::TxnAborted(txn));
                     }
-                    let (guard, timeout) = self.cond.wait_timeout(core, slice).unwrap();
+                    // A planned spurious wakeup truncates this slice to near
+                    // zero: the waiter comes back with no grant and must
+                    // re-check doom flags and re-run detection — the path a
+                    // stray `notify_all` or early timeout exercises.
+                    let spurious = self.faults.on_lock_wait();
+                    let this_slice = if spurious {
+                        Duration::from_micros(100)
+                    } else {
+                        slice
+                    };
+                    let (guard, timeout) = self.cond.wait_timeout(core, this_slice).unwrap();
                     core = guard;
                     if timeout.timed_out() {
-                        waited += slice;
+                        // Accumulate the time actually slept so the safety
+                        // cap stays sound even under a storm of injected
+                        // spurious wakeups.
+                        waited += this_slice;
                         if let Some(det) = core.lm.detect_from(txn, &*self.oracle) {
                             // Waiters unblocked by the victim's withdrawn
                             // requests must be woken, or they stall.

@@ -203,7 +203,10 @@ fn decode_opt_row(p: &mut Reader<'_>) -> Option<Option<Row>> {
         0 => Some(None),
         1 => {
             let n = get_u32(p)? as usize;
-            let mut vals = Vec::with_capacity(n);
+            // The count is attacker-controlled when decoding a corrupt image;
+            // every value takes at least one byte, so cap the pre-allocation
+            // by what the buffer could possibly hold.
+            let mut vals = Vec::with_capacity(n.min(p.remaining()));
             for _ in 0..n {
                 vals.push(decode_value(p)?);
             }

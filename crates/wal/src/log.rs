@@ -2,7 +2,9 @@
 
 use crate::codec;
 use crate::record::LogRecord;
+use acc_common::faults::{BoundaryEdge, FaultInjector};
 use std::fmt;
+use std::sync::Arc;
 
 /// Log sequence number: the index of a record on the log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -21,6 +23,8 @@ impl fmt::Display for Lsn {
 #[derive(Debug, Default)]
 pub struct Wal {
     records: Vec<LogRecord>,
+    /// Fault-injection hook (crash-torture harness); absent in production.
+    faults: Option<Arc<FaultInjector>>,
 }
 
 impl Wal {
@@ -29,10 +33,34 @@ impl Wal {
         Self::default()
     }
 
+    /// Install a fault injector observing this log's appends and step
+    /// boundaries. The injector captures the durable image at its planned
+    /// crash point; an absent or disabled injector costs one branch per
+    /// append.
+    pub fn set_fault_injector(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = Some(faults);
+    }
+
     /// Append a record, returning its LSN.
     pub fn append(&mut self, rec: LogRecord) -> Lsn {
         self.records.push(rec);
+        if let Some(f) = &self.faults {
+            if f.is_enabled() {
+                f.on_wal_append(|| self.to_bytes());
+            }
+        }
         Lsn(self.records.len() as u64 - 1)
+    }
+
+    /// Report an end-of-step boundary edge to the fault injector, letting a
+    /// planned crash land just before or just after the end-of-step record.
+    /// No-op without an enabled injector.
+    pub fn fault_boundary(&self, edge: BoundaryEdge) {
+        if let Some(f) = &self.faults {
+            if f.is_enabled() {
+                f.on_step_boundary(edge, || self.to_bytes());
+            }
+        }
     }
 
     /// Number of records.
@@ -63,6 +91,7 @@ impl Wal {
     pub fn from_bytes(data: &[u8]) -> Self {
         Wal {
             records: codec::decode_all(data),
+            faults: None,
         }
     }
 

@@ -92,6 +92,60 @@ fn any_truncation_yields_exact_prefix() {
 }
 
 #[test]
+fn truncation_plus_corruption_never_panics_and_keeps_prefix_order() {
+    // The crash-torture model: a torn tail AND scribbled bytes on what
+    // survives. Whatever `from_bytes` salvages must still be a prefix-ordered
+    // subsequence of the originals — never garbage, never a panic.
+    let mut rng = SeededRng::new(0x70c7);
+    for _case in 0..256 {
+        let records = random_records(&mut rng, 1, 11);
+        let mut wal = Wal::new();
+        for r in &records {
+            wal.append(r.clone());
+        }
+        let mut bytes = wal.to_bytes();
+        let cut = rng.index(bytes.len() + 1);
+        bytes.truncate(cut);
+        for _ in 0..rng.index(4) {
+            if bytes.is_empty() {
+                break;
+            }
+            let at = rng.index(bytes.len());
+            bytes[at] ^= 1 << rng.index(8);
+        }
+        let restored = Wal::from_bytes(&bytes);
+        assert!(restored.len() <= records.len());
+        for (got, want) in restored.records().iter().zip(records.iter()) {
+            assert_eq!(got, want);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_single_bit_flips_on_sample_image() {
+    // Every bit of one representative image, flipped one at a time: decoding
+    // must never panic and must always stop at or before the damaged frame.
+    let mut rng = SeededRng::new(0xb17);
+    let records = random_records(&mut rng, 6, 6);
+    let mut wal = Wal::new();
+    for r in &records {
+        wal.append(r.clone());
+    }
+    let bytes = wal.to_bytes();
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut image = bytes.clone();
+            image[byte] ^= 1u8 << bit;
+            let restored = Wal::from_bytes(&image);
+            assert!(restored.len() <= records.len(), "byte {byte} bit {bit}");
+            for (got, want) in restored.records().iter().zip(records.iter()) {
+                assert_eq!(got, want, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}
+
+#[test]
 fn single_corrupt_byte_never_yields_garbage_records() {
     let mut rng = SeededRng::new(0xc0de);
     for _case in 0..256 {

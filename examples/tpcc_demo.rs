@@ -9,7 +9,7 @@
 //! (`cargo run -p acc-bench --release --bin figures`). Expect the same
 //! qualitative picture, with wall-clock noise.
 
-use acc_engine::{run_closed_loop, ClosedLoopConfig, Workload};
+use acc_engine::{run_closed_loop, ClosedLoopConfig, RetryPolicy, Workload};
 use assertional_acc::prelude::*;
 use assertional_acc::tpcc;
 use std::sync::Arc;
@@ -46,8 +46,8 @@ fn main() {
         "TPC-C demo: {terminals} terminals, {seconds}s per system, 1 warehouse × 10 districts"
     );
     println!(
-        "{:<10} {:>9} {:>9} {:>10} {:>10} {:>9}",
-        "system", "commits", "aborts", "mean (ms)", "p95 (ms)", "tps"
+        "{:<10} {:>9} {:>9} {:>9} {:>10} {:>10} {:>9}",
+        "system", "commits", "aborts", "retries", "mean (ms)", "p95 (ms)", "tps"
     );
 
     let mut means = Vec::new();
@@ -71,13 +71,15 @@ fn main() {
                 duration: Duration::from_secs(seconds),
                 think_time: Duration::from_millis(10),
                 seed: 99,
+                retry: RetryPolicy::standard(),
             },
         );
         println!(
-            "{:<10} {:>9} {:>9} {:>10.2} {:>10.2} {:>9.0}",
+            "{:<10} {:>9} {:>9} {:>9} {:>10.2} {:>10.2} {:>9.0}",
             name,
             report.committed,
             report.aborted,
+            report.retries,
             report.latency.mean_ms,
             report.latency.p95_ms,
             report.throughput_tps

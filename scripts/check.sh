@@ -18,4 +18,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
+echo "== crash-torture smoke (bounded sweep) =="
+cargo run -p acc-bench --release --offline --bin figures -- torture --quick >/dev/null
+
 echo "All checks passed."

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/acc_common-4dfb49cc3fa8c82c.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
+/root/repo/target/debug/deps/acc_common-4dfb49cc3fa8c82c.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/faults.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
 
-/root/repo/target/debug/deps/acc_common-4dfb49cc3fa8c82c: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
+/root/repo/target/debug/deps/acc_common-4dfb49cc3fa8c82c: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/faults.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
 
 crates/common/src/lib.rs:
 crates/common/src/clock.rs:
 crates/common/src/error.rs:
 crates/common/src/events.rs:
+crates/common/src/faults.rs:
 crates/common/src/ids.rs:
 crates/common/src/rng.rs:
 crates/common/src/value.rs:

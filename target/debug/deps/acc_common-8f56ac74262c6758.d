@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/acc_common-8f56ac74262c6758.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/acc_common-8f56ac74262c6758.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/faults.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs Cargo.toml
 
-/root/repo/target/debug/deps/libacc_common-8f56ac74262c6758.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs Cargo.toml
+/root/repo/target/debug/deps/libacc_common-8f56ac74262c6758.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/faults.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs Cargo.toml
 
 crates/common/src/lib.rs:
 crates/common/src/clock.rs:
 crates/common/src/error.rs:
 crates/common/src/events.rs:
+crates/common/src/faults.rs:
 crates/common/src/ids.rs:
 crates/common/src/rng.rs:
 crates/common/src/value.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/acc_common-d86cf660bd231fdd.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
+/root/repo/target/debug/deps/acc_common-d86cf660bd231fdd.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/faults.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
 
-/root/repo/target/debug/deps/libacc_common-d86cf660bd231fdd.rlib: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
+/root/repo/target/debug/deps/libacc_common-d86cf660bd231fdd.rlib: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/faults.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
 
-/root/repo/target/debug/deps/libacc_common-d86cf660bd231fdd.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
+/root/repo/target/debug/deps/libacc_common-d86cf660bd231fdd.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/faults.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
 
 crates/common/src/lib.rs:
 crates/common/src/clock.rs:
 crates/common/src/error.rs:
 crates/common/src/events.rs:
+crates/common/src/faults.rs:
 crates/common/src/ids.rs:
 crates/common/src/rng.rs:
 crates/common/src/value.rs:

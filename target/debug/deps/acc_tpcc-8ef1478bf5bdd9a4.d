@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/acc_tpcc-8ef1478bf5bdd9a4.d: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs Cargo.toml
+/root/repo/target/debug/deps/acc_tpcc-8ef1478bf5bdd9a4.d: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/torture.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs Cargo.toml
 
-/root/repo/target/debug/deps/libacc_tpcc-8ef1478bf5bdd9a4.rmeta: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs Cargo.toml
+/root/repo/target/debug/deps/libacc_tpcc-8ef1478bf5bdd9a4.rmeta: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/torture.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs Cargo.toml
 
 crates/tpcc/src/lib.rs:
 crates/tpcc/src/consistency.rs:
@@ -9,6 +9,7 @@ crates/tpcc/src/input.rs:
 crates/tpcc/src/populate.rs:
 crates/tpcc/src/recovery.rs:
 crates/tpcc/src/schema.rs:
+crates/tpcc/src/torture.rs:
 crates/tpcc/src/trace.rs:
 crates/tpcc/src/txns.rs:
 Cargo.toml:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/acc_tpcc-936d5833e06c2002.d: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
+/root/repo/target/debug/deps/acc_tpcc-936d5833e06c2002.d: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/torture.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
 
-/root/repo/target/debug/deps/libacc_tpcc-936d5833e06c2002.rlib: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
+/root/repo/target/debug/deps/libacc_tpcc-936d5833e06c2002.rlib: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/torture.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
 
-/root/repo/target/debug/deps/libacc_tpcc-936d5833e06c2002.rmeta: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
+/root/repo/target/debug/deps/libacc_tpcc-936d5833e06c2002.rmeta: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/torture.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
 
 crates/tpcc/src/lib.rs:
 crates/tpcc/src/consistency.rs:
@@ -11,5 +11,6 @@ crates/tpcc/src/input.rs:
 crates/tpcc/src/populate.rs:
 crates/tpcc/src/recovery.rs:
 crates/tpcc/src/schema.rs:
+crates/tpcc/src/torture.rs:
 crates/tpcc/src/trace.rs:
 crates/tpcc/src/txns.rs:

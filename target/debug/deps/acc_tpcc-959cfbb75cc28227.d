@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/acc_tpcc-959cfbb75cc28227.d: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
+/root/repo/target/debug/deps/acc_tpcc-959cfbb75cc28227.d: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/torture.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
 
-/root/repo/target/debug/deps/acc_tpcc-959cfbb75cc28227: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
+/root/repo/target/debug/deps/acc_tpcc-959cfbb75cc28227: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/torture.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
 
 crates/tpcc/src/lib.rs:
 crates/tpcc/src/consistency.rs:
@@ -9,5 +9,6 @@ crates/tpcc/src/input.rs:
 crates/tpcc/src/populate.rs:
 crates/tpcc/src/recovery.rs:
 crates/tpcc/src/schema.rs:
+crates/tpcc/src/torture.rs:
 crates/tpcc/src/trace.rs:
 crates/tpcc/src/txns.rs:

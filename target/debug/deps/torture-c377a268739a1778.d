@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/torture-c377a268739a1778.d: crates/tpcc/tests/torture.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtorture-c377a268739a1778.rmeta: crates/tpcc/tests/torture.rs Cargo.toml
+
+crates/tpcc/tests/torture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

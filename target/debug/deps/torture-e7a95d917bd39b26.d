@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/torture-e7a95d917bd39b26.d: crates/tpcc/tests/torture.rs
+
+/root/repo/target/debug/deps/torture-e7a95d917bd39b26: crates/tpcc/tests/torture.rs
+
+crates/tpcc/tests/torture.rs:

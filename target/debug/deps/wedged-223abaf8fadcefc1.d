@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wedged-223abaf8fadcefc1.d: crates/txn/tests/wedged.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwedged-223abaf8fadcefc1.rmeta: crates/txn/tests/wedged.rs Cargo.toml
+
+crates/txn/tests/wedged.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wedged-6bf45d894a984a7c.d: crates/txn/tests/wedged.rs
+
+/root/repo/target/debug/deps/wedged-6bf45d894a984a7c: crates/txn/tests/wedged.rs
+
+crates/txn/tests/wedged.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/acc_common-f26ee87bc40b78c9.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
+/root/repo/target/release/deps/acc_common-f26ee87bc40b78c9.d: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/faults.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
 
-/root/repo/target/release/deps/libacc_common-f26ee87bc40b78c9.rlib: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
+/root/repo/target/release/deps/libacc_common-f26ee87bc40b78c9.rlib: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/faults.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
 
-/root/repo/target/release/deps/libacc_common-f26ee87bc40b78c9.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
+/root/repo/target/release/deps/libacc_common-f26ee87bc40b78c9.rmeta: crates/common/src/lib.rs crates/common/src/clock.rs crates/common/src/error.rs crates/common/src/events.rs crates/common/src/faults.rs crates/common/src/ids.rs crates/common/src/rng.rs crates/common/src/value.rs
 
 crates/common/src/lib.rs:
 crates/common/src/clock.rs:
 crates/common/src/error.rs:
 crates/common/src/events.rs:
+crates/common/src/faults.rs:
 crates/common/src/ids.rs:
 crates/common/src/rng.rs:
 crates/common/src/value.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/acc_tpcc-6ec4b37f34de2720.d: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
+/root/repo/target/release/deps/acc_tpcc-6ec4b37f34de2720.d: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/torture.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
 
-/root/repo/target/release/deps/libacc_tpcc-6ec4b37f34de2720.rlib: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
+/root/repo/target/release/deps/libacc_tpcc-6ec4b37f34de2720.rlib: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/torture.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
 
-/root/repo/target/release/deps/libacc_tpcc-6ec4b37f34de2720.rmeta: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
+/root/repo/target/release/deps/libacc_tpcc-6ec4b37f34de2720.rmeta: crates/tpcc/src/lib.rs crates/tpcc/src/consistency.rs crates/tpcc/src/decompose.rs crates/tpcc/src/input.rs crates/tpcc/src/populate.rs crates/tpcc/src/recovery.rs crates/tpcc/src/schema.rs crates/tpcc/src/torture.rs crates/tpcc/src/trace.rs crates/tpcc/src/txns.rs
 
 crates/tpcc/src/lib.rs:
 crates/tpcc/src/consistency.rs:
@@ -11,5 +11,6 @@ crates/tpcc/src/input.rs:
 crates/tpcc/src/populate.rs:
 crates/tpcc/src/recovery.rs:
 crates/tpcc/src/schema.rs:
+crates/tpcc/src/torture.rs:
 crates/tpcc/src/trace.rs:
 crates/tpcc/src/txns.rs:
