@@ -409,39 +409,25 @@ impl TxnProgram for Bill {
 
 /// Quiescence check: every order satisfies I1 and total stock+fills balance.
 fn check_consistency(sys: &System, n_items: i64, stock_each: i64) {
-    sys.shared.with_core(|c| {
-        let orders: Vec<i64> =
-            c.db.table(ORDERS)
-                .unwrap()
-                .iter()
-                .map(|(_, r)| r.int(0))
-                .collect();
-        for o in orders {
-            let inst = AssertionInstance {
-                template: sys.i1,
-                params: vec![Value::Int(o)],
-            };
-            assert!(
-                sys.registry.check(&c.db, &inst),
-                "I1 violated for order {o}"
-            );
-        }
-        // Stock conservation: initial = remaining + sum(filled).
-        let filled: i64 =
-            c.db.table(LINES)
-                .unwrap()
-                .iter()
-                .map(|(_, r)| r.int(4))
-                .sum();
-        let remaining: i64 =
-            c.db.table(STOCK)
-                .unwrap()
-                .iter()
-                .map(|(_, r)| r.int(1))
-                .sum();
-        assert_eq!(remaining + filled, n_items * stock_each);
-        assert_eq!(c.lm.total_grants(), 0, "all locks drained");
-    });
+    let db = sys.shared.snapshot_db();
+    let orders: Vec<i64> = db
+        .table(ORDERS)
+        .unwrap()
+        .iter()
+        .map(|(_, r)| r.int(0))
+        .collect();
+    for o in orders {
+        let inst = AssertionInstance {
+            template: sys.i1,
+            params: vec![Value::Int(o)],
+        };
+        assert!(sys.registry.check(&db, &inst), "I1 violated for order {o}");
+    }
+    // Stock conservation: initial = remaining + sum(filled).
+    let filled: i64 = db.table(LINES).unwrap().iter().map(|(_, r)| r.int(4)).sum();
+    let remaining: i64 = db.table(STOCK).unwrap().iter().map(|(_, r)| r.int(1)).sum();
+    assert_eq!(remaining + filled, n_items * stock_each);
+    assert_eq!(sys.shared.total_grants(), 0, "all locks drained");
 }
 
 #[test]
@@ -461,10 +447,9 @@ fn concurrent_new_orders_satisfy_invariants() {
         assert!(matches!(h.join().unwrap(), RunOutcome::Committed { .. }));
     }
     check_consistency(&sys, 6, 100);
-    sys.shared.with_core(|c| {
-        assert_eq!(c.db.table(ORDERS).unwrap().len(), 6);
-        assert_eq!(c.db.table(LINES).unwrap().len(), 24);
-    });
+    let db = sys.shared.snapshot_db();
+    assert_eq!(db.table(ORDERS).unwrap().len(), 6);
+    assert_eq!(db.table(LINES).unwrap().len(), 24);
 }
 
 #[test]
@@ -475,23 +460,22 @@ fn aborting_new_order_compensates() {
     let out = run(&sys.shared, &*sys.acc, &mut p, WaitMode::Block).unwrap();
     assert_eq!(out, RunOutcome::RolledBack(AbortReason::UserAbort));
     check_consistency(&sys, 3, 50);
-    sys.shared.with_core(|c| {
-        assert_eq!(c.db.table(ORDERS).unwrap().len(), 0);
-        assert_eq!(c.db.table(LINES).unwrap().len(), 0);
-        for (_, r) in c.db.table(STOCK).unwrap().iter() {
-            assert_eq!(r.int(1), 50, "stock fully restored");
-        }
-        // The order number was consumed (compensation does not undo the
-        // counter — its increments commute).
-        let counter =
-            c.db.table(COUNTERS)
-                .unwrap()
-                .get(&Key::ints(&[0]))
-                .unwrap()
-                .1
-                .int(1);
-        assert_eq!(counter, 2);
-    });
+    let db = sys.shared.snapshot_db();
+    assert_eq!(db.table(ORDERS).unwrap().len(), 0);
+    assert_eq!(db.table(LINES).unwrap().len(), 0);
+    for (_, r) in db.table(STOCK).unwrap().iter() {
+        assert_eq!(r.int(1), 50, "stock fully restored");
+    }
+    // The order number was consumed (compensation does not undo the
+    // counter — its increments commute).
+    let counter = db
+        .table(COUNTERS)
+        .unwrap()
+        .get(&Key::ints(&[0]))
+        .unwrap()
+        .1
+        .int(1);
+    assert_eq!(counter, 2);
 }
 
 #[test]
@@ -613,17 +597,16 @@ fn partial_fills_interleave_non_serializably_but_correctly() {
         assert!(matches!(h.join().unwrap(), RunOutcome::Committed { .. }));
     }
     check_consistency(&sys, 2, 10);
-    sys.shared.with_core(|c| {
-        // Total filled per item never exceeds available stock.
-        for item in 0..2i64 {
-            let filled: i64 =
-                c.db.table(LINES)
-                    .unwrap()
-                    .iter()
-                    .filter(|(_, r)| r.int(2) == item)
-                    .map(|(_, r)| r.int(4))
-                    .sum();
-            assert!(filled <= 10);
-        }
-    });
+    let db = sys.shared.snapshot_db();
+    // Total filled per item never exceeds available stock.
+    for item in 0..2i64 {
+        let filled: i64 = db
+            .table(LINES)
+            .unwrap()
+            .iter()
+            .filter(|(_, r)| r.int(2) == item)
+            .map(|(_, r)| r.int(4))
+            .sum();
+        assert!(filled <= 10);
+    }
 }

@@ -6,7 +6,10 @@
 use acc_bench::microbench::Criterion;
 use acc_bench::{criterion_group, criterion_main};
 use acc_common::{AssertionTemplateId, ResourceId, StepTypeId, TxnId};
-use acc_lockmgr::{InterferenceOracle, LockKind, LockManager, Request, RequestCtx, RequestOutcome};
+use acc_lockmgr::{
+    InterferenceOracle, LockKind, LockManager, Request, RequestCtx, RequestOutcome,
+    ShardedLockManager,
+};
 use std::hint::black_box;
 
 struct TableOracle;
@@ -79,10 +82,36 @@ fn bench_contended_queue(c: &mut Criterion) {
     });
 }
 
+fn bench_sharded_single_thread(c: &mut Criterion) {
+    // The single-threaded cost of going through the sharded front door
+    // (shard hash + per-shard mutex) instead of the plain manager. Must stay
+    // within noise of `lockmgr/conventional_acquire_release` — uncontended
+    // acquire/release is the hot path the decomposition must not tax.
+    c.bench_function("lockmgr/sharded_acquire_release", |b| {
+        let oracle = TableOracle;
+        let lm = ShardedLockManager::new(ShardedLockManager::DEFAULT_SHARDS);
+        let mut i = 0u64;
+        b.iter(|| {
+            let txn = TxnId(i);
+            let r = ResourceId::Named((i % 64) as u32);
+            i += 1;
+            let out = lm.request(
+                Request::new(txn, r, LockKind::X, RequestCtx::plain(StepTypeId(1))),
+                &oracle,
+            );
+            assert_eq!(out, RequestOutcome::Granted);
+            lm.release_all(txn, &oracle, &mut |n| {
+                black_box(n);
+            });
+        });
+    });
+}
+
 criterion_group!(
     benches,
     bench_conventional,
     bench_assertional,
-    bench_contended_queue
+    bench_contended_queue,
+    bench_sharded_single_thread
 );
 criterion_main!(benches);

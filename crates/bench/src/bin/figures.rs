@@ -6,17 +6,23 @@
 //! ```
 //!
 //! Subcommands: `fig2`, `fig3`, `fig4`, `servers`, `olcount`, `ablation`,
-//! `twolevel`, `lockstat`, `tables`, `torture`, `all`. `--quick` runs a
-//! shorter sweep for smoke-testing.
+//! `twolevel`, `lockstat`, `tables`, `torture` (`--strided` for the
+//! benchmark-scale sweep), `mtbench`, `retry`, `stress`, `all`. `--quick`
+//! runs a shorter sweep for smoke-testing. The deterministic simulator
+//! subcommands (everything in `all`) are byte-identical across runs;
+//! `mtbench`/`retry`/`stress` are wall-clock and intentionally kept out of
+//! `all`.
 
 use acc_bench::figures::{
     ablation_table, dump_tables, fig2, fig3, fig4, lockstat, olcount_table, servers_table, torture,
-    twolevel_table, FigureParams,
+    torture_strided, twolevel_table, FigureParams,
 };
+use acc_bench::mtbench;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let strided = args.iter().any(|a| a == "--strided");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -65,7 +71,20 @@ fn main() {
             lockstat(&params);
         }
         "torture" => {
-            torture(quick);
+            if strided {
+                torture_strided();
+            } else {
+                torture(quick);
+            }
+        }
+        "mtbench" => {
+            mtbench::mtbench(quick);
+        }
+        "retry" => {
+            mtbench::retry_sweep(quick);
+        }
+        "stress" => {
+            mtbench::stress(quick);
         }
         "all" => {
             fig2(&params);
@@ -77,7 +96,7 @@ fn main() {
             twolevel_table(&params);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|torture|all");
+            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|torture|mtbench|retry|stress|all");
             std::process::exit(2);
         }
     }

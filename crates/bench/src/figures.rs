@@ -488,15 +488,25 @@ pub fn lockstat(params: &FigureParams) -> SimReport {
 /// against the §3.3.2 consistency conditions. Prints the per-point outcome
 /// log and a summary; exits non-zero on any violation.
 pub fn torture(quick: bool) -> acc_tpcc::torture::TortureReport {
-    let cfg = if quick {
+    torture_with(if quick {
         acc_tpcc::torture::TortureConfig::smoke(42)
     } else {
         acc_tpcc::torture::TortureConfig::standard(42)
-    };
+    })
+}
+
+/// The strided benchmark-scale torture variant (`figures -- torture
+/// --strided`): the same sweep and invariants against [`Scale::benchmark`],
+/// whose much longer WAL is crashed at sampled (strided) append indices
+/// instead of every one.
+pub fn torture_strided() -> acc_tpcc::torture::TortureReport {
+    torture_with(acc_tpcc::torture::TortureConfig::benchmark_strided(42))
+}
+
+fn torture_with(cfg: acc_tpcc::torture::TortureConfig) -> acc_tpcc::torture::TortureReport {
     println!(
-        "\n=== crash torture: {} sweep, seed {} ===",
-        if quick { "smoke" } else { "standard" },
-        cfg.seed
+        "\n=== crash torture: {} txns at {} warehouse(s) × {} district(s), seed {} ===",
+        cfg.txns, cfg.scale.warehouses, cfg.scale.districts, cfg.seed
     );
     let report = match acc_tpcc::torture::run_torture(&cfg) {
         Ok(r) => r,

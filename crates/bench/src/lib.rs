@@ -9,6 +9,7 @@
 
 pub mod figures;
 pub mod microbench;
+pub mod mtbench;
 
 pub use figures::{
     ablation_table, dump_tables, fig2, fig3, fig4, olcount_table, servers_table, sweep,

@@ -1,0 +1,484 @@
+//! Contended multi-thread benchmarks over the sharded runtime.
+//!
+//! Everything here measures wall-clock time on real threads, so none of it
+//! belongs in `figures -- all` (whose output must stay byte-identical across
+//! runs). Three entry points:
+//!
+//! - [`mtbench`] — lock-manager shard scaling plus the disjoint-warehouse /
+//!   hot-district TPC-C microbench at 1/2/4/8 threads;
+//! - [`retry_sweep`] — closed-loop calibration of [`RetryPolicy`]
+//!   (max-retries × base-backoff) under a deliberately hot mix;
+//! - [`stress`] — the release-mode 8-thread smoke `scripts/check.sh` runs:
+//!   a short closed-loop soak that must end consistent with no leaked locks.
+//!
+//! Throughput numbers depend on the host (core count, scheduler); the
+//! invariant checks (consistency audit, drained lock tables) do not.
+
+use acc_common::rng::SeededRng;
+use acc_common::{ResourceId, StepTypeId, TxnId};
+use acc_engine::{run_closed_loop, ClosedLoopConfig, RetryPolicy, Workload};
+use acc_lockmgr::ShardedLockManager;
+use acc_lockmgr::{LockKind, NoInterference, Request, RequestCtx, RequestOutcome};
+use acc_storage::{Database, Key};
+use acc_tpcc::decompose::TpccSystem;
+use acc_tpcc::input::{InputGen, NewOrderInput, OrderLineInput, TpccConfig};
+use acc_tpcc::schema::{tpcc_catalog, Scale};
+use acc_tpcc::{consistency, populate, txns};
+use acc_txn::runner::run;
+use acc_txn::{RunOutcome, SharedDb, TxnProgram, WaitMode};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Thread counts every table sweeps.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn parallelism_banner() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host parallelism: {cores} core(s) available");
+    if cores < 4 {
+        println!(
+            "NOTE: fewer cores than benchmark threads — thread counts beyond \
+             {cores} time-slice one core, so wall-clock scaling cannot appear \
+             on this host; the tables below measure contention overhead only."
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-manager shard scaling
+// ---------------------------------------------------------------------------
+
+/// One measurement: `threads` workers each do `iters` acquire/release pairs
+/// against a shared [`ShardedLockManager`]. `disjoint` gives every worker a
+/// private resource range (different shards, no lock conflicts — pure shard-
+/// mutex scaling); otherwise all workers take S locks on the same 8 resources
+/// (compatible grants, maximal shard-mutex contention).
+fn lockmgr_ops_per_sec(threads: usize, iters: u64, disjoint: bool) -> f64 {
+    let lm = Arc::new(ShardedLockManager::new(ShardedLockManager::DEFAULT_SHARDS));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let lm = Arc::clone(&lm);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..iters {
+                let txn = TxnId(((t as u64) << 32) | i);
+                let (r, kind) = if disjoint {
+                    (
+                        ResourceId::Named((t as u32) * 64 + (i % 64) as u32),
+                        LockKind::X,
+                    )
+                } else {
+                    (ResourceId::Named((i % 8) as u32), LockKind::S)
+                };
+                let out = lm.request(
+                    Request::new(txn, r, kind, RequestCtx::plain(StepTypeId(1))),
+                    &NoInterference,
+                );
+                assert_eq!(out, RequestOutcome::Granted);
+                lm.release_all(txn, &NoInterference, &mut |_| {});
+            }
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("lockmgr bench worker panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(lm.total_grants(), 0, "lock table not drained");
+    (threads as u64 * iters) as f64 / elapsed
+}
+
+// ---------------------------------------------------------------------------
+// Contended TPC-C microbench
+// ---------------------------------------------------------------------------
+
+/// Per-cell outcome of the TPC-C microbench.
+struct MtCell {
+    committed: u64,
+    aborted: u64,
+    tps: f64,
+}
+
+/// Seeded new-order input pinned to `w_id`; `hot` forces district 1 (every
+/// thread funnels into one district row), otherwise districts spread.
+fn pinned_new_order(rng: &mut SeededRng, scale: &Scale, w_id: i64, hot: bool) -> NewOrderInput {
+    let n = rng.int_range(5, 15);
+    let lines = (0..n)
+        .map(|_| OrderLineInput {
+            i_id: rng.int_range(1, scale.items),
+            supply_w_id: w_id,
+            qty: rng.int_range(1, 10),
+        })
+        .collect();
+    NewOrderInput {
+        w_id,
+        d_id: if hot {
+            1
+        } else {
+            rng.int_range(1, scale.districts)
+        },
+        c_id: rng.int_range(1, scale.customers_per_district),
+        lines,
+        rollback: false,
+    }
+}
+
+/// Run new-orders from `threads` worker threads for `duration`. In the
+/// disjoint shape every thread owns its own warehouse (no data conflicts —
+/// the run measures how well the decomposed runtime stays out of its own
+/// way); in the hot shape all threads hammer warehouse 1 / district 1.
+fn tpcc_cell(threads: usize, hot: bool, duration: Duration, seed: u64) -> MtCell {
+    let scale = Scale {
+        warehouses: if hot { 1 } else { threads as i64 },
+        districts: 3,
+        customers_per_district: 30,
+        items: 100,
+        initial_orders_per_district: 4,
+    };
+    let sys = TpccSystem::build();
+    let mut db = Database::new(&tpcc_catalog());
+    populate(&mut db, &scale, seed);
+    let shared = Arc::new(SharedDb::new(db, Arc::clone(&sys.tables) as _));
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let shared = Arc::clone(&shared);
+        let acc = Arc::clone(&sys.acc);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let w_id = if hot { 1 } else { t as i64 + 1 };
+            let mut rng = SeededRng::new(seed ^ ((t as u64 + 1) << 8));
+            let (mut committed, mut aborted) = (0u64, 0u64);
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let input = pinned_new_order(&mut rng, &scale, w_id, hot);
+                let mut program: Box<dyn TxnProgram + Send> = Box::new(txns::NewOrder::new(input));
+                match run(&shared, &*acc, program.as_mut(), WaitMode::Block) {
+                    Ok(RunOutcome::Committed { .. }) => committed += 1,
+                    Ok(RunOutcome::RolledBack(_)) => aborted += 1,
+                    Err(e) => panic!("mtbench worker hit a hard error: {e}"),
+                }
+            }
+            (committed, aborted)
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let (mut committed, mut aborted) = (0u64, 0u64);
+    for h in handles {
+        let (c, a) = h.join().expect("mtbench worker panicked");
+        committed += c;
+        aborted += a;
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let violations = consistency::check(&shared.snapshot_db(), false);
+    assert!(violations.is_empty(), "{violations:#?}");
+    assert_eq!(shared.total_grants(), 0, "lock grants leaked");
+    MtCell {
+        committed,
+        aborted,
+        tps: committed as f64 / elapsed,
+    }
+}
+
+/// The contended multi-thread microbench: shard scaling of the raw lock
+/// manager, then disjoint-warehouse vs hot-district TPC-C new-orders at
+/// 1/2/4/8 threads. Prints two tables; speedups are relative to one thread.
+pub fn mtbench(quick: bool) {
+    parallelism_banner();
+    let iters: u64 = if quick { 20_000 } else { 100_000 };
+    println!("\n=== sharded lock manager: acquire/release ops/s ({iters} iters/thread) ===");
+    println!(
+        "{:>7} {:>16} {:>9} {:>16} {:>9}",
+        "threads", "disjoint ops/s", "speedup", "hot-shard ops/s", "speedup"
+    );
+    let (mut base_d, mut base_h) = (0.0f64, 0.0f64);
+    for &t in &THREADS {
+        let d = lockmgr_ops_per_sec(t, iters, true);
+        let h = lockmgr_ops_per_sec(t, iters, false);
+        if t == 1 {
+            base_d = d;
+            base_h = h;
+        }
+        println!(
+            "{t:>7} {d:>16.0} {:>8.2}x {h:>16.0} {:>8.2}x",
+            d / base_d,
+            h / base_h
+        );
+    }
+
+    let duration = Duration::from_millis(if quick { 250 } else { 1000 });
+    println!(
+        "\n=== contended TPC-C new-orders, {} ms/cell (threaded engine, ACC) ===",
+        duration.as_millis()
+    );
+    println!(
+        "{:>7} {:>14} {:>9} {:>8} {:>14} {:>9} {:>8}",
+        "threads", "disjoint tps", "speedup", "aborts", "hot tps", "speedup", "aborts"
+    );
+    let (mut base_dt, mut base_ht) = (0.0f64, 0.0f64);
+    for &t in &THREADS {
+        let d = tpcc_cell(t, false, duration, 42);
+        let h = tpcc_cell(t, true, duration, 42);
+        if t == 1 {
+            base_dt = d.tps;
+            base_ht = h.tps;
+        }
+        println!(
+            "{t:>7} {:>14.0} {:>8.2}x {:>8} {:>14.0} {:>8.2}x {:>8}",
+            d.tps,
+            d.tps / base_dt,
+            d.aborted,
+            h.tps,
+            h.tps / base_ht,
+            h.aborted
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retry-policy calibration
+// ---------------------------------------------------------------------------
+
+struct TpccWorkload {
+    gen: InputGen,
+    districts: i64,
+}
+
+impl Workload for TpccWorkload {
+    fn next_program(&self, rng: &mut SeededRng) -> Box<dyn TxnProgram + Send> {
+        txns::program_for(self.gen.next_input(rng), self.districts)
+    }
+}
+
+/// One closed-loop run of the standard mix at test scale under `retry`.
+fn retry_cell(retry: RetryPolicy, terminals: usize, duration: Duration, seed: u64) -> MtCell {
+    let sys = TpccSystem::build();
+    let scale = Scale::test();
+    let mut db = Database::new(&tpcc_catalog());
+    populate(&mut db, &scale, seed);
+    let shared = Arc::new(SharedDb::new(db, Arc::clone(&sys.tables) as _));
+    let cc = Arc::clone(&sys.acc) as _;
+    let workload: Arc<dyn Workload> = Arc::new(TpccWorkload {
+        gen: InputGen::new(TpccConfig::standard(scale), seed),
+        districts: scale.districts,
+    });
+    let report = run_closed_loop(
+        &shared,
+        &cc,
+        &workload,
+        &ClosedLoopConfig {
+            terminals,
+            duration,
+            think_time: Duration::ZERO,
+            seed,
+            retry,
+        },
+    );
+    let violations = consistency::check(&shared.snapshot_db(), false);
+    assert!(violations.is_empty(), "{violations:#?}");
+    assert_eq!(shared.total_grants(), 0, "lock grants leaked");
+    MtCell {
+        committed: report.committed,
+        aborted: report.aborted,
+        tps: report.throughput_tps,
+    }
+}
+
+// --- deadlock-prone transfer workload for the retry calibration ------------
+//
+// TPC-C acquires its locks in a consistent order, so deadlocks (the only
+// thing a [`RetryPolicy`] retries besides dooms) are too rare to calibrate
+// against. Transfers that update `from` then `to` in request order produce
+// classic AB/BA cycles on demand: a handful of accounts and zero think time
+// make the deadlock rate high enough that the retry knobs visibly move both
+// goodput and wasted work.
+
+const ACCOUNTS: acc_common::TableId = acc_common::TableId(0);
+
+struct Transfer {
+    from: i64,
+    to: i64,
+}
+
+impl TxnProgram for Transfer {
+    fn txn_type(&self) -> acc_common::TxnTypeId {
+        acc_common::TxnTypeId(0)
+    }
+    fn step(
+        &mut self,
+        _i: u32,
+        ctx: &mut acc_txn::StepCtx<'_>,
+    ) -> acc_common::Result<acc_txn::StepOutcome> {
+        let amount = acc_common::Decimal::from_int(1);
+        ctx.update_key(ACCOUNTS, &Key::ints(&[self.from]), |r| {
+            let b = r.decimal(1);
+            r.set(1, acc_common::Value::from(b - amount));
+        })?;
+        ctx.update_key(ACCOUNTS, &Key::ints(&[self.to]), |r| {
+            let b = r.decimal(1);
+            r.set(1, acc_common::Value::from(b + amount));
+        })?;
+        Ok(acc_txn::StepOutcome::Done)
+    }
+}
+
+struct TransferWorkload {
+    accounts: i64,
+}
+
+impl Workload for TransferWorkload {
+    fn next_program(&self, rng: &mut SeededRng) -> Box<dyn TxnProgram + Send> {
+        let from = rng.int_range(0, self.accounts - 1);
+        let mut to = rng.int_range(0, self.accounts - 1);
+        if to == from {
+            to = (to + 1) % self.accounts;
+        }
+        Box::new(Transfer { from, to })
+    }
+}
+
+struct RetryCell {
+    committed: u64,
+    aborted: u64,
+    retries: u64,
+    tps: f64,
+}
+
+/// One closed-loop run of the transfer workload under `retry`. Audits
+/// balance conservation (committed transfers are zero-sum) and a drained
+/// lock table.
+fn transfer_cell(retry: RetryPolicy, terminals: usize, duration: Duration, seed: u64) -> RetryCell {
+    const N_ACCOUNTS: i64 = 8;
+    let mut catalog = acc_storage::Catalog::new();
+    catalog.add_table(
+        acc_storage::TableSchema::builder("accounts")
+            .column("id", acc_storage::ColumnType::Int)
+            .column("balance", acc_storage::ColumnType::Decimal)
+            .key(&["id"])
+            .rows_per_page(1)
+            .build(),
+    );
+    let mut db = Database::new(&catalog);
+    for i in 0..N_ACCOUNTS {
+        db.table_mut(ACCOUNTS)
+            .expect("accounts table")
+            .insert(acc_storage::Row::from(vec![
+                acc_common::Value::Int(i),
+                acc_common::Value::from(acc_common::Decimal::from_int(1000)),
+            ]))
+            .expect("populate");
+    }
+    let shared = Arc::new(SharedDb::new(db, Arc::new(NoInterference)));
+    let cc: Arc<dyn acc_txn::ConcurrencyControl> = Arc::new(acc_txn::TwoPhase);
+    let workload: Arc<dyn Workload> = Arc::new(TransferWorkload {
+        accounts: N_ACCOUNTS,
+    });
+    let report = run_closed_loop(
+        &shared,
+        &cc,
+        &workload,
+        &ClosedLoopConfig {
+            terminals,
+            duration,
+            think_time: Duration::ZERO,
+            seed,
+            retry,
+        },
+    );
+    let total: acc_common::Decimal = shared
+        .with_table(ACCOUNTS, |t| t.iter().map(|(_, r)| r.decimal(1)).sum())
+        .expect("accounts table");
+    assert_eq!(
+        total,
+        acc_common::Decimal::from_int(N_ACCOUNTS * 1000),
+        "committed transfers must conserve balance"
+    );
+    assert_eq!(shared.total_grants(), 0, "lock grants leaked");
+    RetryCell {
+        committed: report.committed,
+        aborted: report.aborted,
+        retries: report.retries,
+        tps: report.throughput_tps,
+    }
+}
+
+/// Calibrate [`RetryPolicy`]: sweep max-retries × base-backoff under a
+/// deadlock-prone 8-terminal transfer loop and print goodput, abort and
+/// retry counts per cell. The *thrash point* is the corner where retries
+/// balloon without raising goodput (deep retry budgets with no backoff) —
+/// recorded in EXPERIMENTS.md from this table's output.
+pub fn retry_sweep(quick: bool) {
+    parallelism_banner();
+    let duration = Duration::from_millis(if quick { 250 } else { 600 });
+    let terminals = 8;
+    println!(
+        "\n=== retry-policy calibration: {terminals} terminals, 8-account transfers, {} ms/cell ===",
+        duration.as_millis()
+    );
+    println!(
+        "{:>11} {:>12} {:>12} {:>10} {:>9} {:>14}",
+        "max_retries", "backoff", "committed/s", "aborts", "retries", "retries/commit"
+    );
+    for &max_retries in &[0u32, 1, 3, 6, 10] {
+        let backoffs: &[u64] = if max_retries == 0 {
+            &[0] // no retries → backoff is never consulted
+        } else {
+            &[0, 500, 2000, 8000]
+        };
+        for &base_us in backoffs {
+            let retry = RetryPolicy {
+                max_retries,
+                base_backoff: Duration::from_micros(base_us),
+                max_backoff: Duration::from_millis(16),
+            };
+            let cell = transfer_cell(retry, terminals, duration, 42);
+            println!(
+                "{max_retries:>11} {:>9} us {:>12.0} {:>10} {:>9} {:>14.2}",
+                base_us,
+                cell.tps,
+                cell.aborted,
+                cell.retries,
+                cell.retries as f64 / cell.committed.max(1) as f64
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Release-mode stress smoke
+// ---------------------------------------------------------------------------
+
+/// The PR-gate stress smoke: an 8-thread closed-loop soak of the standard
+/// mix (with retries) that must end with the consistency audit clean, the
+/// lock table drained, and a sane commit count. Exits non-zero on failure so
+/// `scripts/check.sh` can gate on it.
+pub fn stress(quick: bool) {
+    parallelism_banner();
+    let duration = Duration::from_millis(if quick { 500 } else { 1500 });
+    println!(
+        "\n=== stress smoke: 8 terminals, standard retry, {} ms ===",
+        duration.as_millis()
+    );
+    let cell = retry_cell(RetryPolicy::standard(), 8, duration, 1337);
+    println!(
+        "committed={} aborted={} throughput={:.0} tps — consistency clean, locks drained",
+        cell.committed, cell.aborted, cell.tps
+    );
+    if cell.committed == 0 {
+        eprintln!("stress smoke committed nothing — runtime wedged");
+        std::process::exit(1);
+    }
+}

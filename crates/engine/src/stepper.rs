@@ -153,7 +153,8 @@ impl<'a> Stepper<'a> {
             };
 
             if let Some(hook) = &self.on_step_start {
-                self.shared.with_core(|c| hook(&c.db, pick, txn.step_index));
+                let db = self.shared.snapshot_db();
+                hook(&db, pick, txn.step_index);
             }
 
             let program = programs[pick].as_mut();

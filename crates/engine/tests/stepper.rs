@@ -37,13 +37,9 @@ fn shared(n_accounts: i64) -> Arc<SharedDb> {
 }
 
 fn total(shared: &SharedDb) -> Decimal {
-    shared.with_core(|c| {
-        c.db.table(ACCOUNTS)
-            .unwrap()
-            .iter()
-            .map(|(_, r)| r.decimal(1))
-            .sum()
-    })
+    shared
+        .with_table(ACCOUNTS, |t| t.iter().map(|(_, r)| r.decimal(1)).sum())
+        .unwrap()
 }
 
 /// Two-op transfer; under 2PL it is a single atomic unit, under the
@@ -177,7 +173,7 @@ fn cross_blocking_two_phase_stall_is_resolved() {
             );
         }
         assert_eq!(total(&shared), Decimal::from_int(200), "seed {seed}");
-        shared.with_core(|c| assert_eq!(c.lm.total_grants(), 0));
+        assert_eq!(shared.total_grants(), 0);
     }
 }
 
@@ -242,7 +238,7 @@ fn decomposed_transfers_conserve_money() {
         // Commits move money, rollbacks compensate: either way the total is
         // conserved at quiescence.
         assert_eq!(total(&shared), Decimal::from_int(400), "seed {seed}");
-        shared.with_core(|c| assert_eq!(c.lm.total_grants(), 0, "seed {seed}"));
+        assert_eq!(shared.total_grants(), 0, "seed {seed}");
         assert!(report.attempts >= report.schedule.len(), "seed {seed}");
     }
 }

@@ -43,9 +43,11 @@ pub mod manager;
 pub mod mode;
 pub mod oracle;
 pub mod request;
+pub mod sharded;
 mod waitfor;
 
 pub use manager::{Detection, GrantNotice, LockManager, RequestOutcome, Ticket};
 pub use mode::LockMode;
 pub use oracle::{InterferenceOracle, NoInterference, TotalInterference};
 pub use request::{LockKind, Request, RequestCtx};
+pub use sharded::{CycleResolution, ShardedLockManager};

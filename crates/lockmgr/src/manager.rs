@@ -34,6 +34,16 @@ pub enum RequestOutcome {
     },
 }
 
+/// What [`LockManager::grant_or_enqueue`] did with a request: granted it or
+/// queued it. Deadlock detection is the caller's next move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EnqueueOutcome {
+    /// The lock is held; proceed.
+    Granted,
+    /// The request is queued under this ticket.
+    Waiting(Ticket),
+}
+
 /// A formerly waiting request that has now been granted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GrantNotice {
@@ -122,8 +132,32 @@ impl LockManager {
         }
     }
 
+    /// Start ticket numbering at `base`. The sharded front end gives each
+    /// shard a disjoint namespace (shard index in the high bits) so a ticket
+    /// alone identifies its shard and tickets never collide across shards.
+    pub fn set_ticket_base(&mut self, base: u64) {
+        debug_assert_eq!(self.next_ticket, 0, "set the base before any request");
+        self.next_ticket = base;
+    }
+
     /// Request a lock. See [`RequestOutcome`].
     pub fn request(&mut self, req: Request, oracle: &dyn InterferenceOracle) -> RequestOutcome {
+        match self.grant_or_enqueue(req, oracle) {
+            EnqueueOutcome::Granted => RequestOutcome::Granted,
+            EnqueueOutcome::Waiting(ticket) => self.detect_enqueued(req, ticket, oracle),
+        }
+    }
+
+    /// The grant-or-enqueue half of [`LockManager::request`]: grants
+    /// immediately when compatible, otherwise queues the request — but runs
+    /// *no* deadlock detection. The sharded front end uses this directly and
+    /// then detects across all shards; [`LockManager::request`] composes it
+    /// with local detection.
+    pub(crate) fn grant_or_enqueue(
+        &mut self,
+        req: Request,
+        oracle: &dyn InterferenceOracle,
+    ) -> EnqueueOutcome {
         if self.sink.is_enabled() {
             self.sink.emit(Event::LockRequest {
                 txn: req.txn,
@@ -153,7 +187,7 @@ impl LockManager {
                         step_type: req.ctx.step_type,
                         compensating: req.ctx.compensating,
                     });
-                    return RequestOutcome::Granted;
+                    return EnqueueOutcome::Granted;
                 }
                 (LockKind::Assertional(a), LockKind::Assertional(b)) if a == b => {
                     g.count += 1;
@@ -164,7 +198,7 @@ impl LockManager {
                         step_type: req.ctx.step_type,
                         compensating: req.ctx.compensating,
                     });
-                    return RequestOutcome::Granted;
+                    return EnqueueOutcome::Granted;
                 }
                 _ => {} // conventional upgrade, handled below
             }
@@ -194,7 +228,7 @@ impl LockManager {
             if self.sink.is_enabled() {
                 Self::emit_grant(&self.sink, req.txn, req.resource, effective_kind, &req.ctx);
             }
-            return RequestOutcome::Granted;
+            return EnqueueOutcome::Granted;
         }
 
         // Queue-cause analysis for the event log (off the disabled-sink hot
@@ -240,8 +274,17 @@ impl LockManager {
         } else {
             head.waiting.push_back(waiter);
         }
+        EnqueueOutcome::Waiting(ticket)
+    }
 
-        // Deadlock check.
+    /// The enqueue-time deadlock check of [`LockManager::request`], run after
+    /// [`LockManager::grant_or_enqueue`] returned a ticket.
+    fn detect_enqueued(
+        &mut self,
+        req: Request,
+        ticket: Ticket,
+        oracle: &dyn InterferenceOracle,
+    ) -> RequestOutcome {
         let graph = self.wait_graph(oracle);
         match graph.cycle_through(req.txn) {
             None => RequestOutcome::Waiting(ticket),
@@ -281,8 +324,7 @@ impl LockManager {
                         // Degenerate compensating-vs-compensating deadlock:
                         // somebody must retry; the requester's conventional
                         // locks are step-scoped, so retrying it is safe.
-                        let head = self.heads.get_mut(&req.resource).expect("head exists");
-                        head.waiting.retain(|w| w.ticket != ticket);
+                        self.withdraw_ticket(req.resource, ticket);
                         return RequestOutcome::Deadlock {
                             victims: vec![req.txn],
                             ticket: None,
@@ -316,8 +358,7 @@ impl LockManager {
                     }
                     // The requester's step is the victim; withdraw the
                     // request (the caller will undo the step and retry).
-                    let head = self.heads.get_mut(&req.resource).expect("head exists");
-                    head.waiting.retain(|w| w.ticket != ticket);
+                    self.withdraw_ticket(req.resource, ticket);
                     RequestOutcome::Deadlock {
                         victims: vec![req.txn],
                         ticket: None,
@@ -447,6 +488,13 @@ impl LockManager {
     /// Total grants across all resources (diagnostics).
     pub fn total_grants(&self) -> usize {
         self.heads.values().map(|h| h.granted.len()).sum()
+    }
+
+    /// True if no transaction holds or waits for anything here. Exact:
+    /// lock heads and per-transaction hold sets are removed as they drain,
+    /// so two empty maps mean an empty manager.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heads.is_empty() && self.held.is_empty()
     }
 
     /// Transactions the given waiting transaction is currently blocked by
@@ -589,6 +637,27 @@ impl LockManager {
             .collect();
         v.sort_unstable_by_key(|(t, _, _)| *t);
         v
+    }
+
+    /// Withdraw one queued request by ticket, *without* processing the
+    /// queue — exactly what enqueue-time victim resolution does: the ticket
+    /// was pushed moments ago, so nothing behind it can have been waiting on
+    /// it yet. Returns true if the ticket was still queued.
+    pub(crate) fn withdraw_ticket(&mut self, resource: ResourceId, ticket: Ticket) -> bool {
+        let Some(head) = self.heads.get_mut(&resource) else {
+            return false;
+        };
+        let before = head.waiting.len();
+        head.waiting.retain(|w| w.ticket != ticket);
+        head.waiting.len() != before
+    }
+
+    /// True if the ticket is still queued on `resource` (it has neither been
+    /// granted nor withdrawn).
+    pub(crate) fn is_ticket_waiting(&self, resource: ResourceId, ticket: Ticket) -> bool {
+        self.heads
+            .get(&resource)
+            .is_some_and(|h| h.waiting.iter().any(|w| w.ticket == ticket))
     }
 
     /// True if `txn` has a queued request issued by a compensating step.
@@ -774,10 +843,11 @@ impl LockManager {
         }
     }
 
-    /// Build the wait-for graph from the current queues: a waiter waits on
+    /// The wait-for edges of this manager's queues: a waiter waits on
     /// conflicting holders and on every earlier waiter in the same queue
-    /// (strict FIFO).
-    fn wait_graph(&self, oracle: &dyn InterferenceOracle) -> WaitForGraph {
+    /// (strict FIFO). The sharded front end concatenates per-shard edge
+    /// lists into one cross-shard graph.
+    pub(crate) fn wait_edges(&self, oracle: &dyn InterferenceOracle) -> Vec<(TxnId, TxnId)> {
         let mut edges = Vec::new();
         for head in self.heads.values() {
             for (i, w) in head.waiting.iter().enumerate() {
@@ -793,7 +863,12 @@ impl LockManager {
                 }
             }
         }
-        WaitForGraph::from_edges(edges)
+        edges
+    }
+
+    /// Build the wait-for graph from the current queues.
+    fn wait_graph(&self, oracle: &dyn InterferenceOracle) -> WaitForGraph {
+        WaitForGraph::from_edges(self.wait_edges(oracle))
     }
 }
 

@@ -12,12 +12,14 @@
 pub mod predicate;
 pub mod row;
 pub mod schema;
+pub mod striped;
 pub mod table;
 pub mod undo;
 
 pub use predicate::{CmpOp, Predicate};
 pub use row::{Key, Row};
 pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};
+pub use striped::StripedDb;
 pub use table::Table;
 pub use undo::UndoRecord;
 
@@ -54,6 +56,17 @@ impl Database {
     /// All tables, in id order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> {
         self.tables.iter()
+    }
+
+    /// Deconstruct into the table vector (striping hand-off).
+    pub fn into_tables(self) -> Vec<Table> {
+        self.tables
+    }
+
+    /// Reassemble from a table vector (inverse of
+    /// [`Database::into_tables`]).
+    pub fn from_tables(tables: Vec<Table>) -> Self {
+        Database { tables }
     }
 
     /// Undo a previously returned [`UndoRecord`].

@@ -1,0 +1,149 @@
+//! Per-table striping of a [`Database`] for concurrent engines.
+//!
+//! A [`StripedDb`] wraps each table of a [`Database`] in its own `RwLock`, so
+//! steps touching disjoint tables never contend on the database image. The
+//! lock manager still provides the *logical* isolation (page/table locks);
+//! the stripe locks only make the physical reads and writes of the in-memory
+//! image safe, and are held for the duration of one closure — never across a
+//! lock wait or a WAL append by another transaction.
+
+use crate::table::Table;
+use crate::undo::UndoRecord;
+use crate::Database;
+use acc_common::{Error, Result, TableId};
+use std::sync::RwLock;
+
+/// A [`Database`] split into independently-locked table stripes.
+#[derive(Debug)]
+pub struct StripedDb {
+    tables: Vec<RwLock<Table>>,
+}
+
+impl StripedDb {
+    /// Take ownership of a database image, striping it per table.
+    pub fn new(db: Database) -> Self {
+        StripedDb {
+            tables: db.into_tables().into_iter().map(RwLock::new).collect(),
+        }
+    }
+
+    /// Number of table stripes.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    fn stripe(&self, id: TableId) -> Result<&RwLock<Table>> {
+        self.tables
+            .get(id.raw() as usize)
+            .ok_or_else(|| Error::NotFound(format!("table {id}")))
+    }
+
+    /// Run `f` with shared access to one table.
+    pub fn with_table<R>(&self, id: TableId, f: impl FnOnce(&Table) -> R) -> Result<R> {
+        Ok(f(&self.stripe(id)?.read().expect("stripe not poisoned")))
+    }
+
+    /// Run `f` with exclusive access to one table.
+    pub fn with_table_mut<R>(&self, id: TableId, f: impl FnOnce(&mut Table) -> R) -> Result<R> {
+        Ok(f(&mut self
+            .stripe(id)?
+            .write()
+            .expect("stripe not poisoned")))
+    }
+
+    /// Undo a previously returned [`UndoRecord`].
+    pub fn apply_undo(&self, undo: &UndoRecord) -> Result<()> {
+        self.with_table_mut(undo.table(), |t| t.apply_undo(undo))?
+    }
+
+    /// Clone the whole image back into a plain [`Database`] (tests,
+    /// consistency checks, recovery hand-off). Locks the stripes one at a
+    /// time in table order, so concurrent writers may be interleaved — call
+    /// it only at quiescent points when a transactionally consistent image
+    /// is required.
+    pub fn snapshot(&self) -> Database {
+        Database::from_tables(
+            self.tables
+                .iter()
+                .map(|t| t.read().expect("stripe not poisoned").clone())
+                .collect(),
+        )
+    }
+
+    /// Total row count across all tables (test/diagnostic helper).
+    pub fn total_rows(&self) -> usize {
+        self.tables
+            .iter()
+            .map(|t| t.read().expect("stripe not poisoned").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Row;
+    use crate::schema::{Catalog, ColumnType, TableSchema};
+    use acc_common::Value;
+
+    fn demo() -> StripedDb {
+        let mut c = Catalog::new();
+        c.add_table(
+            TableSchema::builder("accounts")
+                .column("id", ColumnType::Int)
+                .column("balance", ColumnType::Int)
+                .key(&["id"])
+                .build(),
+        );
+        StripedDb::new(Database::new(&c))
+    }
+
+    #[test]
+    fn stripes_round_trip() {
+        let db = demo();
+        let t = TableId(0);
+        let undo = db
+            .with_table_mut(t, |tbl| {
+                tbl.insert(Row::from(vec![Value::Int(1), Value::Int(10)]))
+            })
+            .unwrap()
+            .unwrap()
+            .1;
+        assert_eq!(db.total_rows(), 1);
+        assert_eq!(db.snapshot().total_rows(), 1);
+        db.apply_undo(&undo).unwrap();
+        assert_eq!(db.total_rows(), 0);
+        assert!(db.with_table(TableId(9), |_| ()).is_err());
+    }
+
+    #[test]
+    fn concurrent_disjoint_tables_do_not_conflict() {
+        let mut c = Catalog::new();
+        for name in ["a", "b"] {
+            c.add_table(
+                TableSchema::builder(name)
+                    .column("id", ColumnType::Int)
+                    .key(&["id"])
+                    .build(),
+            );
+        }
+        let db = std::sync::Arc::new(StripedDb::new(Database::new(&c)));
+        let handles: Vec<_> = (0..2u32)
+            .map(|i| {
+                let db = std::sync::Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for k in 0..100 {
+                        db.with_table_mut(TableId(i), |t| {
+                            t.insert(Row::from(vec![Value::Int(k)])).unwrap();
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.total_rows(), 200);
+    }
+}

@@ -47,6 +47,8 @@ use std::sync::Arc;
 pub struct TortureConfig {
     /// Master seed for population, inputs and corruption sampling.
     pub seed: u64,
+    /// Database scale the mix runs against.
+    pub scale: Scale,
     /// Transactions in the baseline TPC-C mix.
     pub txns: usize,
     /// Ceiling on swept append indices; above it the sweep strides (and says
@@ -68,6 +70,7 @@ impl TortureConfig {
     pub fn standard(seed: u64) -> TortureConfig {
         TortureConfig {
             seed,
+            scale: Scale::test(),
             txns: 16,
             max_append_points: usize::MAX,
             torn_samples: 24,
@@ -81,11 +84,28 @@ impl TortureConfig {
     pub fn smoke(seed: u64) -> TortureConfig {
         TortureConfig {
             seed,
+            scale: Scale::test(),
             txns: 10,
             max_append_points: 72,
             torn_samples: 16,
             flip_samples: 8,
             injector_samples: 2,
+        }
+    }
+
+    /// The strided benchmark-scale sweep: a larger mix against
+    /// [`Scale::benchmark`] whose WAL is far too long to crash at every
+    /// append index, so the sweep strides through sampled crash points. Same
+    /// invariants as [`TortureConfig::standard`], bigger state space.
+    pub fn benchmark_strided(seed: u64) -> TortureConfig {
+        TortureConfig {
+            seed,
+            scale: Scale::benchmark(),
+            txns: 24,
+            max_append_points: 96,
+            torn_samples: 24,
+            flip_samples: 16,
+            injector_samples: 4,
         }
     }
 }
@@ -136,7 +156,7 @@ fn run_workload(
     sys: &TpccSystem,
     plan: Option<FaultPlan>,
 ) -> Result<(Vec<u8>, Option<Vec<u8>>)> {
-    let scale = Scale::test();
+    let scale = cfg.scale;
     let mut shared = SharedDb::new(fresh_base(&scale, cfg.seed), Arc::clone(&sys.tables) as _);
     let injector = plan.map(FaultInjector::with_plan);
     if let Some(f) = &injector {
@@ -150,7 +170,7 @@ fn run_workload(
         // the mix; hard errors are harness bugs and propagate.
         run(&shared, &*sys.acc, program.as_mut(), WaitMode::Block)?;
     }
-    let image = shared.with_core(|c| c.wal.to_bytes());
+    let image = shared.wal_bytes();
     Ok((image, injector.and_then(|f| f.captured_image())))
 }
 
@@ -198,8 +218,8 @@ fn crash_and_recover(base: &Database, sys: &TpccSystem, bytes: &[u8]) -> Result<
         )));
     }
 
-    let (violations, grants) =
-        shared.with_core(|c| (consistency::check(&c.db, false).len(), c.lm.total_grants()));
+    let violations = consistency::check(&shared.snapshot_db(), false).len();
+    let grants = shared.total_grants();
     // Compensation must leave no lock behind; a leak here stalls the next
     // workload a real restart would admit.
     if grants != 0 {
@@ -246,8 +266,7 @@ fn emit_point(
 /// are *counted* in the report so the caller can assert on them.
 pub fn run_torture(cfg: &TortureConfig) -> Result<TortureReport> {
     let sys = TpccSystem::build();
-    let scale = Scale::test();
-    let base = fresh_base(&scale, cfg.seed);
+    let base = fresh_base(&cfg.scale, cfg.seed);
     let sink = EventSink::enabled(64);
     let mut log = String::new();
     let mut points = 0usize;

@@ -54,11 +54,9 @@ fn soak(use_acc: bool) {
         },
     );
     assert!(report.committed > 20, "{report:?}");
-    shared.with_core(|c| {
-        let v = consistency::check(&c.db, !use_acc);
-        assert!(v.is_empty(), "{v:#?}");
-        assert_eq!(c.lm.total_grants(), 0);
-    });
+    let v = consistency::check(&shared.snapshot_db(), !use_acc);
+    assert!(v.is_empty(), "{v:#?}");
+    assert_eq!(shared.total_grants(), 0);
 }
 
 #[test]
@@ -110,9 +108,7 @@ fn closed_loop_acc_survives_spurious_wakeups() {
         "storm never fired (lock_waits = {})",
         counters.lock_waits
     );
-    shared.with_core(|c| {
-        let v = consistency::check(&c.db, false);
-        assert!(v.is_empty(), "{v:#?}");
-        assert_eq!(c.lm.total_grants(), 0);
-    });
+    let v = consistency::check(&shared.snapshot_db(), false);
+    assert!(v.is_empty(), "{v:#?}");
+    assert_eq!(shared.total_grants(), 0);
 }

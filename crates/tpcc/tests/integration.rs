@@ -32,11 +32,9 @@ fn system(scale: Scale, seed: u64) -> (Arc<SharedDb>, TpccSystem) {
 }
 
 fn assert_consistent(shared: &SharedDb, strict: bool) {
-    shared.with_core(|c| {
-        let v = consistency::check(&c.db, strict);
-        assert!(v.is_empty(), "consistency violations: {v:#?}");
-        assert_eq!(c.lm.total_grants(), 0, "lock table drained");
-    });
+    let v = consistency::check(&shared.snapshot_db(), strict);
+    assert!(v.is_empty(), "consistency violations: {v:#?}");
+    assert_eq!(shared.total_grants(), 0, "lock table drained");
 }
 
 fn run_with_resubmit(
@@ -137,13 +135,11 @@ fn each_transaction_type_runs_under_2pl() {
 #[test]
 fn new_order_rollback_compensates_under_acc() {
     let (shared, sys) = system(Scale::test(), 2);
-    let stock_before: i64 = shared.with_core(|c| {
-        c.db.table(TABLES.stock)
-            .unwrap()
-            .iter()
-            .map(|(_, r)| r.int(col::s::QUANTITY))
-            .sum()
-    });
+    let stock_before: i64 = shared
+        .with_table(TABLES.stock, |t| {
+            t.iter().map(|(_, r)| r.int(col::s::QUANTITY)).sum()
+        })
+        .unwrap();
 
     let mut no = txns::NewOrder::new(NewOrderInput {
         w_id: 1,
@@ -171,31 +167,29 @@ fn new_order_rollback_compensates_under_acc() {
     let out = run(&shared, &*sys.acc, &mut no, WaitMode::Block).unwrap();
     assert_eq!(out, RunOutcome::RolledBack(AbortReason::UserAbort));
 
-    shared.with_core(|c| {
-        // Order gone, lines gone, stock restored.
-        assert!(c
-            .db
-            .table(TABLES.order)
-            .unwrap()
-            .get(&Key::ints(&[1, 2, 5]))
-            .is_none());
-        let stock_after: i64 =
-            c.db.table(TABLES.stock)
-                .unwrap()
-                .iter()
-                .map(|(_, r)| r.int(col::s::QUANTITY))
-                .sum();
-        assert_eq!(stock_after, stock_before);
-        // The order id was consumed (gap allowed under semantic correctness).
-        let d =
-            c.db.table(TABLES.district)
-                .unwrap()
-                .get(&Key::ints(&[1, 2]))
-                .unwrap()
-                .1
-                .clone();
-        assert_eq!(d.int(col::d::NEXT_O_ID), 6);
-    });
+    let db = shared.snapshot_db();
+    // Order gone, lines gone, stock restored.
+    assert!(db
+        .table(TABLES.order)
+        .unwrap()
+        .get(&Key::ints(&[1, 2, 5]))
+        .is_none());
+    let stock_after: i64 = db
+        .table(TABLES.stock)
+        .unwrap()
+        .iter()
+        .map(|(_, r)| r.int(col::s::QUANTITY))
+        .sum();
+    assert_eq!(stock_after, stock_before);
+    // The order id was consumed (gap allowed under semantic correctness).
+    let d = db
+        .table(TABLES.district)
+        .unwrap()
+        .get(&Key::ints(&[1, 2]))
+        .unwrap()
+        .1
+        .clone();
+    assert_eq!(d.int(col::d::NEXT_O_ID), 6);
     assert_consistent(&shared, false);
 }
 
@@ -296,16 +290,15 @@ fn deliveries_drain_new_orders() {
         ));
         run_with_resubmit(&shared, &*sys.acc, program);
     }
-    shared.with_core(|c| {
-        assert_eq!(c.db.table(TABLES.new_order).unwrap().len(), 0);
-        // Every order is delivered and every line stamped.
-        for (_, o) in c.db.table(TABLES.order).unwrap().iter() {
-            assert!(!o.is_null(col::o::CARRIER_ID));
-        }
-        for (_, l) in c.db.table(TABLES.order_line).unwrap().iter() {
-            assert!(!l.is_null(col::ol::DELIVERY_D));
-        }
-    });
+    let db = shared.snapshot_db();
+    assert_eq!(db.table(TABLES.new_order).unwrap().len(), 0);
+    // Every order is delivered and every line stamped.
+    for (_, o) in db.table(TABLES.order).unwrap().iter() {
+        assert!(!o.is_null(col::o::CARRIER_ID));
+    }
+    for (_, l) in db.table(TABLES.order_line).unwrap().iter() {
+        assert!(!l.is_null(col::ol::DELIVERY_D));
+    }
     assert_consistent(&shared, true);
 }
 

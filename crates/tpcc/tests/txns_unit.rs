@@ -24,50 +24,40 @@ fn shared(seed: u64) -> Arc<SharedDb> {
 fn new_order_math_matches_spec() {
     let s = shared(1);
     // Pin the tax/discount/price environment so the total is checkable.
-    s.with_core(|c| {
-        c.db.table_mut(TABLES.warehouse)
-            .unwrap()
-            .update_with(0, |r| {
-                r.set(col::w::TAX, Value::Decimal(Decimal::from_units(1000))); // 10%
-            })
-            .unwrap();
-        let d_slot =
-            c.db.table(TABLES.district)
-                .unwrap()
-                .slot_of(&Key::ints(&[1, 1]))
-                .unwrap();
-        c.db.table_mut(TABLES.district)
-            .unwrap()
-            .update_with(d_slot, |r| {
-                r.set(col::d::TAX, Value::Decimal(Decimal::from_units(500))); // 5%
-            })
-            .unwrap();
-        let c_slot =
-            c.db.table(TABLES.customer)
-                .unwrap()
-                .slot_of(&Key::ints(&[1, 1, 2]))
-                .unwrap();
-        c.db.table_mut(TABLES.customer)
-            .unwrap()
-            .update_with(c_slot, |r| {
-                r.set(col::c::DISCOUNT, Value::Decimal(Decimal::from_units(2000)));
-                // 20%
-            })
-            .unwrap();
+    s.with_table_mut(TABLES.warehouse, |t| {
+        t.update_with(0, |r| {
+            r.set(col::w::TAX, Value::Decimal(Decimal::from_units(1000))); // 10%
+        })
+        .unwrap();
+    })
+    .unwrap();
+    s.with_table_mut(TABLES.district, |t| {
+        let d_slot = t.slot_of(&Key::ints(&[1, 1])).unwrap();
+        t.update_with(d_slot, |r| {
+            r.set(col::d::TAX, Value::Decimal(Decimal::from_units(500))); // 5%
+        })
+        .unwrap();
+    })
+    .unwrap();
+    s.with_table_mut(TABLES.customer, |t| {
+        let c_slot = t.slot_of(&Key::ints(&[1, 1, 2])).unwrap();
+        t.update_with(c_slot, |r| {
+            r.set(col::c::DISCOUNT, Value::Decimal(Decimal::from_units(2000)));
+            // 20%
+        })
+        .unwrap();
+    })
+    .unwrap();
+    s.with_table_mut(TABLES.item, |t| {
         for item in [1i64, 2] {
-            let i_slot =
-                c.db.table(TABLES.item)
-                    .unwrap()
-                    .slot_of(&Key::ints(&[item]))
-                    .unwrap();
-            c.db.table_mut(TABLES.item)
-                .unwrap()
-                .update_with(i_slot, |r| {
-                    r.set(col::i::PRICE, Value::Decimal(Decimal::from_int(10)));
-                })
-                .unwrap();
+            let i_slot = t.slot_of(&Key::ints(&[item])).unwrap();
+            t.update_with(i_slot, |r| {
+                r.set(col::i::PRICE, Value::Decimal(Decimal::from_int(10)));
+            })
+            .unwrap();
         }
-    });
+    })
+    .unwrap();
 
     let mut no = txns::NewOrder::new(NewOrderInput {
         w_id: 1,
@@ -101,19 +91,14 @@ fn new_order_math_matches_spec() {
 fn new_order_stock_91_rule() {
     let s = shared(2);
     // Force a known stock level below the reorder threshold.
-    s.with_core(|c| {
-        let slot =
-            c.db.table(TABLES.stock)
-                .unwrap()
-                .slot_of(&Key::ints(&[1, 5]))
-                .unwrap();
-        c.db.table_mut(TABLES.stock)
-            .unwrap()
-            .update_with(slot, |r| {
-                r.set(col::s::QUANTITY, Value::Int(12));
-            })
-            .unwrap();
-    });
+    s.with_table_mut(TABLES.stock, |t| {
+        let slot = t.slot_of(&Key::ints(&[1, 5])).unwrap();
+        t.update_with(slot, |r| {
+            r.set(col::s::QUANTITY, Value::Int(12));
+        })
+        .unwrap();
+    })
+    .unwrap();
     let mut no = txns::NewOrder::new(NewOrderInput {
         w_id: 1,
         d_id: 1,
@@ -126,19 +111,15 @@ fn new_order_stock_91_rule() {
         rollback: false,
     });
     run(&s, &TwoPhase, &mut no, WaitMode::Block).unwrap();
-    s.with_core(|c| {
-        let stock =
-            c.db.table(TABLES.stock)
-                .unwrap()
-                .get(&Key::ints(&[1, 5]))
-                .unwrap()
-                .1
-                .clone();
-        // 12 - 4 = 8 < 10 → +91 ⇒ 99 (spec §2.4.2.2).
-        assert_eq!(stock.int(col::s::QUANTITY), 99);
-        assert_eq!(stock.int(col::s::YTD), 4);
-        assert_eq!(stock.int(col::s::ORDER_CNT), 1);
-    });
+    let stock = s
+        .with_table(TABLES.stock, |t| {
+            t.get(&Key::ints(&[1, 5])).unwrap().1.clone()
+        })
+        .unwrap();
+    // 12 - 4 = 8 < 10 → +91 ⇒ 99 (spec §2.4.2.2).
+    assert_eq!(stock.int(col::s::QUANTITY), 99);
+    assert_eq!(stock.int(col::s::YTD), 4);
+    assert_eq!(stock.int(col::s::ORDER_CNT), 1);
 }
 
 #[test]
@@ -155,32 +136,25 @@ fn payment_by_last_name_picks_middle_match() {
     });
     run(&s, &TwoPhase, &mut pay, WaitMode::Block).unwrap();
     assert_eq!(pay.c_id, Some(8));
-    s.with_core(|c| {
-        let cust =
-            c.db.table(TABLES.customer)
-                .unwrap()
-                .get(&Key::ints(&[1, 2, 8]))
-                .unwrap()
-                .1
-                .clone();
-        assert_eq!(cust.decimal(col::c::BALANCE), Decimal::from_int(-10));
-        assert_eq!(cust.decimal(col::c::YTD_PAYMENT), Decimal::from_int(10));
-        assert_eq!(cust.int(col::c::PAYMENT_CNT), 1);
-        assert_eq!(c.db.table(TABLES.history).unwrap().len(), 1);
-    });
+    let cust = s
+        .with_table(TABLES.customer, |t| {
+            t.get(&Key::ints(&[1, 2, 8])).unwrap().1.clone()
+        })
+        .unwrap();
+    assert_eq!(cust.decimal(col::c::BALANCE), Decimal::from_int(-10));
+    assert_eq!(cust.decimal(col::c::YTD_PAYMENT), Decimal::from_int(10));
+    assert_eq!(cust.int(col::c::PAYMENT_CNT), 1);
+    assert_eq!(s.with_table(TABLES.history, |t| t.len()).unwrap(), 1);
 }
 
 #[test]
 fn payment_missing_name_rolls_back_cleanly() {
     let s = shared(4);
-    let ytd_before = s.with_core(|c| {
-        c.db.table(TABLES.warehouse)
-            .unwrap()
-            .get(&Key::ints(&[1]))
-            .unwrap()
-            .1
-            .decimal(col::w::YTD)
-    });
+    let ytd_before = s
+        .with_table(TABLES.warehouse, |t| {
+            t.get(&Key::ints(&[1])).unwrap().1.decimal(col::w::YTD)
+        })
+        .unwrap();
     let mut pay = txns::Payment::new(PaymentInput {
         w_id: 1,
         d_id: 1,
@@ -191,17 +165,13 @@ fn payment_missing_name_rolls_back_cleanly() {
     let err = run(&s, &TwoPhase, &mut pay, WaitMode::Block).unwrap_err();
     assert!(matches!(err, acc_common::Error::NotFound(_)));
     // Step-0 effects (w_ytd/d_ytd) were rolled back physically.
-    s.with_core(|c| {
-        let ytd =
-            c.db.table(TABLES.warehouse)
-                .unwrap()
-                .get(&Key::ints(&[1]))
-                .unwrap()
-                .1
-                .decimal(col::w::YTD);
-        assert_eq!(ytd, ytd_before);
-        assert_eq!(c.lm.total_grants(), 0);
-    });
+    let ytd = s
+        .with_table(TABLES.warehouse, |t| {
+            t.get(&Key::ints(&[1])).unwrap().1.decimal(col::w::YTD)
+        })
+        .unwrap();
+    assert_eq!(ytd, ytd_before);
+    assert_eq!(s.total_grants(), 0);
 }
 
 #[test]
@@ -250,29 +220,30 @@ fn order_status_reports_last_order() {
 #[test]
 fn delivery_processes_oldest_first_and_credits_customer() {
     let s = shared(6);
-    let (oldest, c_id, amount) = s.with_core(|c| {
-        let oldest =
-            c.db.table(TABLES.new_order)
-                .unwrap()
-                .scan_prefix(&Key::ints(&[1, 1]))
-                .next()
-                .map(|(_, r)| r.int(col::no::O_ID))
-                .unwrap();
-        let order =
-            c.db.table(TABLES.order)
-                .unwrap()
-                .get(&Key::ints(&[1, 1, oldest]))
-                .unwrap()
-                .1
-                .clone();
-        let amount: Decimal =
-            c.db.table(TABLES.order_line)
-                .unwrap()
-                .scan_prefix(&Key::ints(&[1, 1, oldest]))
-                .map(|(_, l)| l.decimal(col::ol::AMOUNT))
-                .sum();
+    let db = s.snapshot_db();
+    let (oldest, c_id, amount) = {
+        let oldest = db
+            .table(TABLES.new_order)
+            .unwrap()
+            .scan_prefix(&Key::ints(&[1, 1]))
+            .next()
+            .map(|(_, r)| r.int(col::no::O_ID))
+            .unwrap();
+        let order = db
+            .table(TABLES.order)
+            .unwrap()
+            .get(&Key::ints(&[1, 1, oldest]))
+            .unwrap()
+            .1
+            .clone();
+        let amount: Decimal = db
+            .table(TABLES.order_line)
+            .unwrap()
+            .scan_prefix(&Key::ints(&[1, 1, oldest]))
+            .map(|(_, l)| l.decimal(col::ol::AMOUNT))
+            .sum();
         (oldest, order.int(col::o::C_ID), amount)
-    });
+    };
 
     let mut dlv = txns::Delivery::new(
         DeliveryInput {
@@ -283,32 +254,30 @@ fn delivery_processes_oldest_first_and_credits_customer() {
     );
     run(&s, &TwoPhase, &mut dlv, WaitMode::Block).unwrap();
     assert!(dlv.delivered.contains(&(1, oldest)));
-    s.with_core(|c| {
-        let order =
-            c.db.table(TABLES.order)
-                .unwrap()
-                .get(&Key::ints(&[1, 1, oldest]))
-                .unwrap()
-                .1
-                .clone();
-        assert_eq!(order.int(col::o::CARRIER_ID), 3);
-        let cust =
-            c.db.table(TABLES.customer)
-                .unwrap()
-                .get(&Key::ints(&[1, 1, c_id]))
-                .unwrap()
-                .1
-                .clone();
-        assert_eq!(cust.decimal(col::c::BALANCE), amount);
-        assert_eq!(cust.int(col::c::DELIVERY_CNT), 1);
-        // The NEW-ORDER row is gone.
-        assert!(c
-            .db
-            .table(TABLES.new_order)
-            .unwrap()
-            .get(&Key::ints(&[1, 1, oldest]))
-            .is_none());
-    });
+    let db = s.snapshot_db();
+    let order = db
+        .table(TABLES.order)
+        .unwrap()
+        .get(&Key::ints(&[1, 1, oldest]))
+        .unwrap()
+        .1
+        .clone();
+    assert_eq!(order.int(col::o::CARRIER_ID), 3);
+    let cust = db
+        .table(TABLES.customer)
+        .unwrap()
+        .get(&Key::ints(&[1, 1, c_id]))
+        .unwrap()
+        .1
+        .clone();
+    assert_eq!(cust.decimal(col::c::BALANCE), amount);
+    assert_eq!(cust.int(col::c::DELIVERY_CNT), 1);
+    // The NEW-ORDER row is gone.
+    assert!(db
+        .table(TABLES.new_order)
+        .unwrap()
+        .get(&Key::ints(&[1, 1, oldest]))
+        .is_none());
 }
 
 #[test]
@@ -343,22 +312,16 @@ fn stock_level_counts_below_threshold() {
     let s = shared(8);
     // Set every stock row's quantity to 50, then drop a couple of recently
     // ordered items below threshold.
-    s.with_core(|c| {
-        let slots: Vec<_> =
-            c.db.table(TABLES.stock)
-                .unwrap()
-                .iter()
-                .map(|(s, _)| s)
-                .collect();
+    s.with_table_mut(TABLES.stock, |t| {
+        let slots: Vec<_> = t.iter().map(|(s, _)| s).collect();
         for slot in slots {
-            c.db.table_mut(TABLES.stock)
-                .unwrap()
-                .update_with(slot, |r| {
-                    r.set(col::s::QUANTITY, Value::Int(50));
-                })
-                .unwrap();
+            t.update_with(slot, |r| {
+                r.set(col::s::QUANTITY, Value::Int(50));
+            })
+            .unwrap();
         }
-    });
+    })
+    .unwrap();
     let mut no = txns::NewOrder::new(NewOrderInput {
         w_id: 1,
         d_id: 1,
@@ -378,21 +341,16 @@ fn stock_level_counts_below_threshold() {
         rollback: false,
     });
     run(&s, &TwoPhase, &mut no, WaitMode::Block).unwrap();
-    s.with_core(|c| {
+    s.with_table_mut(TABLES.stock, |t| {
         for item in [7i64, 8] {
-            let slot =
-                c.db.table(TABLES.stock)
-                    .unwrap()
-                    .slot_of(&Key::ints(&[1, item]))
-                    .unwrap();
-            c.db.table_mut(TABLES.stock)
-                .unwrap()
-                .update_with(slot, |r| {
-                    r.set(col::s::QUANTITY, Value::Int(3));
-                })
-                .unwrap();
+            let slot = t.slot_of(&Key::ints(&[1, item])).unwrap();
+            t.update_with(slot, |r| {
+                r.set(col::s::QUANTITY, Value::Int(3));
+            })
+            .unwrap();
         }
-    });
+    })
+    .unwrap();
     let mut stk = txns::StockLevel::new(StockLevelInput {
         w_id: 1,
         d_id: 1,

@@ -17,13 +17,15 @@
 //!
 //! # Threading
 //!
-//! [`shared::SharedDb`] is the one synchronization point: a mutex around
-//! (database, lock manager, WAL) plus a condvar for lock waits. Transactions
+//! [`shared::SharedDb`] decomposes the system's synchronization: table
+//! stripes (`RwLock` per table), a sharded lock table, a dedicated WAL
+//! append mutex, and per-ticket parking slots for lock waits. Transactions
 //! run on arbitrary threads in [`shared::WaitMode::Block`], or single-threaded
 //! with [`shared::WaitMode::Fail`] (the deterministic scheduler in
 //! `acc-engine` uses this to explore interleavings reproducibly).
 
 pub mod cc;
+mod parking;
 pub mod program;
 pub mod runner;
 pub mod shared;

@@ -1,0 +1,204 @@
+//! Per-ticket parking slots: a grant wakes exactly its owner.
+//!
+//! The old runtime parked every waiter on one global condvar and broadcast
+//! `notify_all` on every release — a thundering herd where N-1 of N woken
+//! threads immediately went back to sleep. Here each queued ticket gets its
+//! own (mutex, condvar) slot; delivering a grant touches only that slot.
+//!
+//! # The grant/park race
+//!
+//! A grant can be produced between `request` returning `Waiting(ticket)` and
+//! the waiter registering its slot (another thread releases the lock in that
+//! window). The table records such grants as [`Entry::EarlyGrant`];
+//! [`Parking::register`] consumes the marker and tells the waiter to proceed
+//! without parking at all.
+//!
+//! # The grant/cancel race
+//!
+//! The inverse race — a waiter gives up (doom, timeout cap) while a grant is
+//! in flight — is closed by the sharded lock manager's delivery contract:
+//! grants are posted *under the owning shard's mutex*, and the waiter cancels
+//! its request under that same mutex. After `cancel_waiting` returns, no
+//! grant for the withdrawn ticket can be produced, so the waiter can safely
+//! remove its slot (consuming any `EarlyGrant` that did land first).
+
+use acc_common::TxnId;
+use acc_lockmgr::Ticket;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One waiter's parking slot.
+#[derive(Debug, Default)]
+pub(crate) struct ParkSlot {
+    granted: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl ParkSlot {
+    /// True once the grant has been delivered.
+    pub fn is_granted(&self) -> bool {
+        *self.granted.lock().expect("slot not poisoned")
+    }
+
+    /// Mark granted and wake the owner (exactly one waiter parks here).
+    fn deliver(&self) {
+        let mut g = self.granted.lock().expect("slot not poisoned");
+        *g = true;
+        self.cv.notify_one();
+    }
+
+    /// Wake the owner *without* a grant so it re-checks its doom flag.
+    fn nudge(&self) {
+        let _g = self.granted.lock().expect("slot not poisoned");
+        self.cv.notify_one();
+    }
+
+    /// Park for up to `dur`; returns true if granted (checked under the slot
+    /// mutex, so a delivery racing the park is never missed).
+    pub fn wait_granted(&self, dur: Duration) -> bool {
+        let g = self.granted.lock().expect("slot not poisoned");
+        if *g {
+            return true;
+        }
+        let (g, _) = self.cv.wait_timeout(g, dur).expect("slot not poisoned");
+        *g
+    }
+}
+
+#[derive(Debug)]
+enum Entry {
+    /// A registered waiter parked (or about to park) on its slot.
+    Waiting { txn: TxnId, slot: Arc<ParkSlot> },
+    /// The grant arrived before the waiter registered.
+    EarlyGrant,
+}
+
+/// The ticket → slot table, sharded by the ticket's shard bits (tickets from
+/// different lock shards never contend on the same map mutex).
+#[derive(Debug)]
+pub(crate) struct Parking {
+    shards: Vec<Mutex<HashMap<Ticket, Entry>>>,
+}
+
+impl Parking {
+    pub fn new(n_shards: usize) -> Self {
+        Parking {
+            shards: (0..n_shards.max(1))
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, ticket: Ticket) -> &Mutex<HashMap<Ticket, Entry>> {
+        // Lock-shard index lives in the ticket's high 16 bits (see
+        // `acc_lockmgr::sharded`); reuse it so parking contention mirrors
+        // lock-table contention.
+        &self.shards[(ticket.0 >> 48) as usize % self.shards.len()]
+    }
+
+    /// Register a waiter for `ticket`. `None` means the grant already
+    /// arrived — proceed without parking.
+    pub fn register(&self, ticket: Ticket, txn: TxnId) -> Option<Arc<ParkSlot>> {
+        let mut m = self.shard(ticket).lock().expect("parking not poisoned");
+        match m.remove(&ticket) {
+            Some(Entry::EarlyGrant) => None,
+            Some(other @ Entry::Waiting { .. }) => {
+                // A ticket has exactly one owner; re-registration is a bug.
+                m.insert(ticket, other);
+                unreachable!("ticket {ticket:?} registered twice");
+            }
+            None => {
+                let slot = Arc::new(ParkSlot::default());
+                m.insert(
+                    ticket,
+                    Entry::Waiting {
+                        txn,
+                        slot: Arc::clone(&slot),
+                    },
+                );
+                Some(slot)
+            }
+        }
+    }
+
+    /// Deliver a grant to `ticket`'s owner — wakes exactly that waiter, or
+    /// records an early grant if it has not registered yet. Call this under
+    /// the lock-shard mutex that produced the grant (see the module docs).
+    pub fn grant(&self, ticket: Ticket) {
+        let mut m = self.shard(ticket).lock().expect("parking not poisoned");
+        match m.remove(&ticket) {
+            Some(Entry::Waiting { slot, .. }) => slot.deliver(),
+            _ => {
+                m.insert(ticket, Entry::EarlyGrant);
+            }
+        }
+    }
+
+    /// Remove `ticket`'s entry (waiter gave up, or consumed a raced grant).
+    /// Only call after the ticket was withdrawn from the lock queues — no
+    /// further grant can arrive.
+    pub fn deregister(&self, ticket: Ticket) {
+        self.shard(ticket)
+            .lock()
+            .expect("parking not poisoned")
+            .remove(&ticket);
+    }
+
+    /// Wake every parked waiter owned by `txn` (doom delivery: the waiter
+    /// re-checks its doom flag and aborts).
+    pub fn nudge_txn(&self, txn: TxnId) {
+        for shard in &self.shards {
+            let m = shard.lock().expect("parking not poisoned");
+            for e in m.values() {
+                if let Entry::Waiting { txn: t, slot } = e {
+                    if *t == txn {
+                        slot.nudge();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn early_grant_is_consumed_by_register() {
+        let p = Parking::new(4);
+        let t = Ticket(7);
+        p.grant(t);
+        assert!(p.register(t, TxnId(1)).is_none());
+        // Consumed: a later registration parks normally.
+        assert!(p.register(t, TxnId(1)).is_some());
+        p.deregister(t);
+    }
+
+    #[test]
+    fn grant_wakes_exactly_the_owner() {
+        let p = Arc::new(Parking::new(4));
+        let slot = p.register(Ticket(1), TxnId(1)).unwrap();
+        let other = p.register(Ticket(2), TxnId(2)).unwrap();
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || slot.wait_granted(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        p2.grant(Ticket(1));
+        assert!(h.join().unwrap());
+        assert!(!other.is_granted());
+        p.deregister(Ticket(2));
+    }
+
+    #[test]
+    fn nudge_wakes_without_grant() {
+        let p = Arc::new(Parking::new(4));
+        let slot = p.register(Ticket(3), TxnId(9)).unwrap();
+        let p2 = Arc::clone(&p);
+        let h = std::thread::spawn(move || slot.wait_granted(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        p2.nudge_txn(TxnId(9));
+        assert!(!h.join().unwrap(), "nudge is not a grant");
+        p.deregister(Ticket(3));
+    }
+}

@@ -11,7 +11,7 @@ use acc_common::faults::BoundaryEdge;
 use acc_common::{Error, Result};
 use acc_storage::UndoRecord;
 use acc_wal::LogRecord;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Why a transaction rolled back.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,23 +155,28 @@ pub fn run_existing(
 pub fn undo_current_step(shared: &SharedDb, txn: &mut Transaction) -> Result<()> {
     let undos: Vec<UndoRecord> = txn.step_undo.drain(..).collect();
     let txn_id = txn.id;
-    shared.with_core(|c| -> Result<()> {
-        for undo in undos.iter().rev() {
-            let table = undo.table();
-            let slot = undo.slot();
-            let before = c.db.table(table)?.row(slot).cloned();
-            c.db.apply_undo(undo)?;
-            let after = c.db.table(table)?.row(slot).cloned();
-            c.wal.append(LogRecord::Update {
+    for undo in undos.iter().rev() {
+        let table = undo.table();
+        let slot = undo.slot();
+        let (before, after) = shared.with_table_mut(table, |t| -> Result<_> {
+            let before = t.row(slot).cloned();
+            t.apply_undo(undo)?;
+            let after = t.row(slot).cloned();
+            Ok((before, after))
+        })??;
+        // Same-slot WAL ordering is protected by this transaction's still-held
+        // page X lock (see `StepCtx::insert`).
+        shared.with_wal(|w| {
+            w.append(LogRecord::Update {
                 txn: txn_id,
                 table,
                 slot,
                 before,
                 after,
-            });
-        }
-        Ok(())
-    })
+            })
+        });
+    }
+    Ok(())
 }
 
 /// Complete the current step: log the end-of-step record with the program's
@@ -182,17 +187,17 @@ pub fn end_step(
     txn: &mut Transaction,
     work_area: Vec<u8>,
 ) {
-    shared.with_core(|c| {
+    shared.with_wal(|w| {
         // The two boundary edges are the crash points that decide recovery's
         // treatment of this step: before the record it is non-durable and
         // discarded, after it it is durable and compensated.
-        c.wal.fault_boundary(BoundaryEdge::Before);
-        c.wal.append(LogRecord::StepEnd {
+        w.fault_boundary(BoundaryEdge::Before);
+        w.append(LogRecord::StepEnd {
             txn: txn.id,
             step_index: txn.step_index,
             work_area,
         });
-        c.wal.fault_boundary(BoundaryEdge::After);
+        w.fault_boundary(BoundaryEdge::After);
     });
     txn.steps_completed = txn.step_index + 1;
     txn.step_index += 1;
@@ -203,9 +208,7 @@ pub fn end_step(
 
 /// Commit: log, release everything, mark committed.
 pub fn commit(shared: &SharedDb, txn: &mut Transaction) {
-    shared.with_core(|c| {
-        c.wal.append(LogRecord::Commit { txn: txn.id });
-    });
+    shared.with_wal(|w| w.append(LogRecord::Commit { txn: txn.id }));
     shared.release_all(txn.id);
     shared.clear_doom(txn.id);
     txn.state = TxnState::Committed;
@@ -223,11 +226,11 @@ pub fn rollback(
     undo_current_step(shared, txn)?;
 
     if cc.decomposed() && txn.steps_completed > 0 {
-        shared.with_core(|c| {
-            c.wal.append(LogRecord::CompensationBegin {
+        shared.with_wal(|w| {
+            w.append(LogRecord::CompensationBegin {
                 txn: txn.id,
                 from_step: txn.steps_completed,
-            });
+            })
         });
         let sink = shared.event_sink();
         if sink.is_enabled() {
@@ -256,6 +259,18 @@ pub fn rollback(
                     // before we retry (otherwise two compensations deadlock
                     // in lockstep through every retry).
                     shared.release_where(txn.id, |k, _| k.is_conventional());
+                    // Releasing alone is not enough: the transient failure
+                    // may be a comp-vs-comp cycle among *other* waiters that
+                    // our request keeps running into, and parked waiters only
+                    // break such a tie on their 50 ms re-detection slice
+                    // (`SharedDb::wait_on`). Retrying faster than that slice
+                    // burns the whole cap against one still-unresolved cycle
+                    // and declares a spurious wedge; pace the retries so the
+                    // cumulative pause comfortably spans several slices, with
+                    // txn-id jitter so lockstep peers desynchronize.
+                    std::thread::sleep(Duration::from_micros(
+                        ((1u64 << attempts.min(7)) * 1000).min(80_000) + (txn.id.0 % 8) * 137,
+                    ));
                 }
                 Err(e) => {
                     // Give up cleanly: whatever physical undo we did stays
@@ -279,9 +294,7 @@ pub fn rollback(
         }
     }
 
-    shared.with_core(|c| {
-        c.wal.append(LogRecord::Abort { txn: txn.id });
-    });
+    shared.with_wal(|w| w.append(LogRecord::Abort { txn: txn.id }));
     shared.release_all(txn.id);
     shared.clear_doom(txn.id);
     txn.state = TxnState::Aborted;

@@ -1,17 +1,35 @@
-//! The shared system state: database + lock manager + WAL behind one mutex,
-//! with a condvar for lock waits.
+//! The shared system state, decomposed: striped database image, sharded lock
+//! tables, and an independent WAL append path.
+//!
+//! Until PR 3 everything lived behind one `Mutex<Core>` with a broadcast
+//! condvar. Now each concern has its own synchronization:
+//!
+//! * the database image is a [`StripedDb`] — one `RwLock` per table;
+//! * the lock table is a [`ShardedLockManager`] — N hash-sharded mutexes;
+//! * the WAL has a dedicated append mutex that assigns LSNs independently of
+//!   lock traffic (group commit can batch fsyncs behind it later);
+//! * lock waits park on per-ticket slots ([`crate::parking`]) — a grant
+//!   wakes exactly its owner instead of `notify_all`-ing every waiter.
+//!
+//! Lock ordering: table stripes, lock shards, the WAL mutex, the doom set
+//! and the parking table are all *leaves* relative to each other — no thread
+//! ever holds one while blocking on another, except the sharded manager's
+//! own discipline (one shard at a time, notices posted under the shard
+//! mutex, parking/doom taken inside — see `acc_lockmgr::sharded`). See
+//! DESIGN.md §Concurrency model for the full diagram.
 
+use crate::parking::Parking;
 use acc_common::events::{Event, EventSink};
 use acc_common::faults::FaultInjector;
-use acc_common::{Error, ResourceId, Result, TxnId, TxnTypeId};
+use acc_common::{Error, ResourceId, Result, TableId, TxnId, TxnTypeId};
 use acc_lockmgr::{
-    GrantNotice, InterferenceOracle, LockKind, LockManager, Request, RequestCtx, RequestOutcome,
-    Ticket,
+    InterferenceOracle, LockKind, Request, RequestCtx, RequestOutcome, ShardedLockManager, Ticket,
 };
-use acc_storage::Database;
+use acc_storage::{Database, StripedDb, Table};
 use acc_wal::{LogRecord, Wal};
 use std::collections::HashSet;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How a lock request behaves when it cannot be granted immediately.
@@ -24,23 +42,20 @@ pub enum WaitMode {
     Fail,
 }
 
-/// Everything guarded by the system mutex.
-pub struct Core {
-    /// The database image.
-    pub db: Database,
-    /// The lock table.
-    pub lm: LockManager,
-    /// The write-ahead log.
-    pub wal: Wal,
-    granted: HashSet<Ticket>,
-    doomed: HashSet<TxnId>,
-    next_txn: u64,
-}
-
 /// The shared system: one per simulated database server group.
 pub struct SharedDb {
-    core: Mutex<Core>,
-    cond: Condvar,
+    /// The database image, striped per table.
+    db: StripedDb,
+    /// The sharded lock table.
+    lm: ShardedLockManager,
+    /// The WAL behind its own append mutex: LSN assignment never contends
+    /// with lock traffic or stripe access.
+    wal: Mutex<Wal>,
+    /// Per-ticket parking slots for blocked lock waits.
+    parking: Parking,
+    /// Transactions ordered to roll back by a compensating step (§3.4).
+    doomed: Mutex<HashSet<TxnId>>,
+    next_txn: AtomicU64,
     oracle: Arc<dyn InterferenceOracle + Send + Sync>,
     /// Safety net: a blocked lock wait longer than this is reported as an
     /// internal error instead of hanging the process.
@@ -57,16 +72,15 @@ impl SharedDb {
     /// that legacy 2PL transactions and decomposed transactions make
     /// consistent interference decisions.
     pub fn new(db: Database, oracle: Arc<dyn InterferenceOracle + Send + Sync>) -> Self {
+        let lm = ShardedLockManager::new(ShardedLockManager::DEFAULT_SHARDS);
+        let parking = Parking::new(lm.n_shards());
         SharedDb {
-            core: Mutex::new(Core {
-                db,
-                lm: LockManager::new(),
-                wal: Wal::new(),
-                granted: HashSet::new(),
-                doomed: HashSet::new(),
-                next_txn: 1,
-            }),
-            cond: Condvar::new(),
+            db: StripedDb::new(db),
+            lm,
+            wal: Mutex::new(Wal::new()),
+            parking,
+            doomed: Mutex::new(HashSet::new()),
+            next_txn: AtomicU64::new(1),
             oracle,
             wait_cap: Duration::from_secs(30),
             faults: FaultInjector::disabled(),
@@ -83,10 +97,9 @@ impl SharedDb {
     /// Install a fault injector: the WAL reports appends and step boundaries
     /// to it, and lock waits consult it for planned spurious wakeups.
     pub fn with_fault_injector(mut self, faults: Arc<FaultInjector>) -> Self {
-        self.core
+        self.wal
             .get_mut()
-            .unwrap()
-            .wal
+            .expect("wal not poisoned")
             .set_fault_injector(Arc::clone(&faults));
         self.faults = faults;
         self
@@ -112,37 +125,88 @@ impl SharedDb {
 
     /// Route the lock manager's observability events into `sink`.
     pub fn set_event_sink(&self, sink: Arc<EventSink>) {
-        self.core.lock().unwrap().lm.set_sink(sink);
+        self.lm.set_sink(sink);
     }
 
     /// The lock manager's current event sink (disabled by default).
     pub fn event_sink(&self) -> Arc<EventSink> {
-        Arc::clone(self.core.lock().unwrap().lm.sink())
+        self.lm.sink()
     }
 
-    /// Run `f` with the core locked.
-    pub fn with_core<R>(&self, f: impl FnOnce(&mut Core) -> R) -> R {
-        f(&mut self.core.lock().unwrap())
+    /// The sharded lock table (diagnostics: `holds`, `queue_len`,
+    /// `all_grants`, …).
+    pub fn lm(&self) -> &ShardedLockManager {
+        &self.lm
+    }
+
+    /// Total lock grants across all shards — the lock-leak check.
+    pub fn total_grants(&self) -> usize {
+        self.lm.total_grants()
+    }
+
+    /// Run `f` with shared access to one table stripe.
+    pub fn with_table<R>(&self, id: TableId, f: impl FnOnce(&Table) -> R) -> Result<R> {
+        self.db.with_table(id, f)
+    }
+
+    /// Run `f` with exclusive access to one table stripe.
+    pub fn with_table_mut<R>(&self, id: TableId, f: impl FnOnce(&mut Table) -> R) -> Result<R> {
+        self.db.with_table_mut(id, f)
+    }
+
+    /// Clone the current database image (tests, consistency checks). Only
+    /// transactionally consistent at quiescent points.
+    pub fn snapshot_db(&self) -> Database {
+        self.db.snapshot()
+    }
+
+    /// Run `f` with the WAL locked (appends, boundary fault hooks).
+    pub fn with_wal<R>(&self, f: impl FnOnce(&mut Wal) -> R) -> R {
+        f(&mut self.wal.lock().expect("wal not poisoned"))
+    }
+
+    /// The WAL's current durable byte image.
+    pub fn wal_bytes(&self) -> Vec<u8> {
+        self.with_wal(|w| w.to_bytes())
+    }
+
+    /// Number of WAL records.
+    pub fn wal_len(&self) -> usize {
+        self.with_wal(|w| w.len())
     }
 
     /// Allocate a transaction id and log its begin record.
     pub fn begin_txn(&self, txn_type: TxnTypeId) -> TxnId {
-        let mut core = self.core.lock().unwrap();
-        let id = TxnId(core.next_txn);
-        core.next_txn += 1;
-        core.wal.append(LogRecord::Begin { txn: id, txn_type });
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        self.with_wal(|w| w.append(LogRecord::Begin { txn: id, txn_type }));
         id
     }
 
     /// True if some other transaction doomed this one (it is delaying a
     /// compensating step and must roll back, §3.4).
     pub fn is_doomed(&self, txn: TxnId) -> bool {
-        self.core.lock().unwrap().doomed.contains(&txn)
+        self.doomed
+            .lock()
+            .expect("doom set not poisoned")
+            .contains(&txn)
     }
 
     /// Forget a transaction's doom flag (called once it has rolled back).
     pub fn clear_doom(&self, txn: TxnId) {
-        self.core.lock().unwrap().doomed.remove(&txn);
+        self.doomed
+            .lock()
+            .expect("doom set not poisoned")
+            .remove(&txn);
+    }
+
+    /// Doom `txn` (it is delaying a compensating step) and wake any of its
+    /// parked lock waits so it notices promptly.
+    pub fn doom(&self, txn: TxnId) {
+        self.doomed
+            .lock()
+            .expect("doom set not poisoned")
+            .insert(txn);
+        self.parking.nudge_txn(txn);
     }
 
     /// Acquire one lock, honouring the wait mode. Returns:
@@ -161,18 +225,17 @@ impl SharedDb {
         ctx: RequestCtx,
         mode: WaitMode,
     ) -> Result<()> {
-        let mut core = self.core.lock().unwrap();
         // A doom flag orders the transaction to roll back; once it *is*
         // rolling back (compensating), the order is vacuous and must not
         // abort the compensating step (§3.4).
-        if !ctx.compensating && core.doomed.contains(&txn) {
+        if !ctx.compensating && self.is_doomed(txn) {
             return Err(Error::TxnAborted(txn));
         }
         let req = Request::new(txn, resource, kind, ctx);
-        match core.lm.request(req, &*self.oracle) {
+        match self.lm.request(req, &*self.oracle) {
             RequestOutcome::Granted => Ok(()),
             RequestOutcome::Waiting(ticket) => {
-                self.wait_on(core, txn, resource, ticket, mode, ctx.compensating)
+                self.wait_on(txn, resource, ticket, mode, ctx.compensating)
             }
             RequestOutcome::Deadlock { victims, ticket } => {
                 if victims.contains(&txn) {
@@ -182,19 +245,38 @@ impl SharedDb {
                     // We are compensating: doom the steps delaying us and
                     // keep waiting for our (still queued) request.
                     for v in victims {
-                        core.doomed.insert(v);
+                        self.doom(v);
                     }
-                    self.cond.notify_all();
                     let ticket = ticket.expect("compensating deadlock keeps the request queued");
-                    self.wait_on(core, txn, resource, ticket, mode, ctx.compensating)
+                    self.wait_on(txn, resource, ticket, mode, ctx.compensating)
                 }
             }
         }
     }
 
+    /// Withdraw `txn`'s queued requests and drop any parking state for
+    /// `ticket`. Safe against in-flight grants: notices are posted under the
+    /// shard mutexes `cancel_waiting` itself takes, so once it returns no
+    /// grant for the ticket can still be produced.
+    fn cancel_and_unpark(&self, txn: TxnId, ticket: Ticket) {
+        self.lm
+            .cancel_waiting(txn, &*self.oracle, &mut |n| self.parking.grant(n.ticket));
+        self.parking.deregister(ticket);
+    }
+
+    fn emit_wait_end(&self, txn: TxnId, resource: ResourceId, started: std::time::Instant) {
+        let sink = self.lm.sink();
+        if sink.is_enabled() {
+            sink.emit(Event::WaitEnd {
+                txn,
+                resource,
+                micros: started.elapsed().as_micros() as u64,
+            });
+        }
+    }
+
     fn wait_on(
         &self,
-        mut core: MutexGuard<'_, Core>,
         txn: TxnId,
         resource: ResourceId,
         ticket: Ticket,
@@ -205,73 +287,71 @@ impl SharedDb {
             WaitMode::Fail => {
                 // Withdraw immediately; the deterministic scheduler will
                 // retry the whole step later.
-                let notices = core.lm.cancel_waiting(txn, &*self.oracle);
-                Self::post_notices(&mut core, &self.cond, notices);
+                self.cancel_and_unpark(txn, ticket);
                 Err(Error::WouldBlock { txn, resource })
             }
             WaitMode::Block => {
-                // Wait in slices; on each timeout slice, re-run deadlock
-                // detection from this waiter — cycles assembled after our
-                // enqueue (by grants/queue mutations elsewhere) are invisible
-                // to enqueue-time detection and must be swept up here.
                 let started = std::time::Instant::now();
+                let Some(slot) = self.parking.register(ticket, txn) else {
+                    // The grant raced ahead of our registration.
+                    self.emit_wait_end(txn, resource, started);
+                    return Ok(());
+                };
+                // Wait in slices; on each slice that expires without a
+                // grant, re-run deadlock detection from this waiter — cycles
+                // assembled after our enqueue (by grants/queue mutations
+                // elsewhere, possibly on other shards) are invisible to
+                // enqueue-time detection and must be swept up here.
                 let slice = Duration::from_millis(50).min(self.wait_cap);
                 let mut waited = Duration::ZERO;
                 loop {
-                    if core.granted.remove(&ticket) {
-                        let sink = core.lm.sink();
-                        if sink.is_enabled() {
-                            sink.emit(Event::WaitEnd {
-                                txn,
-                                resource,
-                                micros: started.elapsed().as_micros() as u64,
-                            });
-                        }
+                    if slot.is_granted() {
+                        self.emit_wait_end(txn, resource, started);
                         return Ok(());
                     }
-                    if !compensating && core.doomed.contains(&txn) {
-                        let notices = core.lm.cancel_waiting(txn, &*self.oracle);
-                        Self::post_notices(&mut core, &self.cond, notices);
+                    if !compensating && self.is_doomed(txn) {
+                        self.cancel_and_unpark(txn, ticket);
                         return Err(Error::TxnAborted(txn));
                     }
                     // A planned spurious wakeup truncates this slice to near
                     // zero: the waiter comes back with no grant and must
                     // re-check doom flags and re-run detection — the path a
-                    // stray `notify_all` or early timeout exercises.
+                    // stray nudge or early timeout exercises.
                     let spurious = self.faults.on_lock_wait();
                     let this_slice = if spurious {
                         Duration::from_micros(100)
                     } else {
                         slice
                     };
-                    let (guard, timeout) = self.cond.wait_timeout(core, this_slice).unwrap();
-                    core = guard;
-                    if timeout.timed_out() {
-                        // Accumulate the time actually slept so the safety
-                        // cap stays sound even under a storm of injected
-                        // spurious wakeups.
-                        waited += this_slice;
-                        if let Some(det) = core.lm.detect_from(txn, &*self.oracle) {
-                            // Waiters unblocked by the victim's withdrawn
-                            // requests must be woken, or they stall.
-                            Self::post_notices(&mut core, &self.cond, det.notices);
-                            if det.self_is_victim {
-                                return Err(Error::Deadlock { victim: txn });
-                            }
-                            for v in det.victims {
-                                core.doomed.insert(v);
-                            }
-                            self.cond.notify_all();
+                    if slot.wait_granted(this_slice) {
+                        self.emit_wait_end(txn, resource, started);
+                        return Ok(());
+                    }
+                    // Accumulate the time actually slept so the safety cap
+                    // stays sound even under a storm of injected spurious
+                    // wakeups.
+                    waited += this_slice;
+                    let det = self
+                        .lm
+                        .detect_from(txn, &*self.oracle, &mut |n| self.parking.grant(n.ticket));
+                    if let Some(det) = det {
+                        if det.self_is_victim {
+                            // Our queued requests were withdrawn inside
+                            // detect_from (notices already delivered).
+                            self.parking.deregister(ticket);
+                            return Err(Error::Deadlock { victim: txn });
                         }
-                        if waited >= self.wait_cap {
-                            let notices = core.lm.cancel_waiting(txn, &*self.oracle);
-                            Self::post_notices(&mut core, &self.cond, notices);
-                            return Err(Error::Internal(format!(
-                                "{txn} waited longer than {:?} on {resource} — \
-                                 undetected stall (bug)",
-                                self.wait_cap
-                            )));
+                        for v in det.victims {
+                            self.doom(v);
                         }
+                    }
+                    if waited >= self.wait_cap {
+                        self.cancel_and_unpark(txn, ticket);
+                        return Err(Error::Internal(format!(
+                            "{txn} waited longer than {:?} on {resource} — \
+                             undetected stall (bug)",
+                            self.wait_cap
+                        )));
                     }
                 }
             }
@@ -281,26 +361,15 @@ impl SharedDb {
     /// Release the caller-selected grants of `txn` and wake anyone whose
     /// request became grantable.
     pub fn release_where(&self, txn: TxnId, pred: impl Fn(LockKind, &RequestCtx) -> bool) {
-        let mut core = self.core.lock().unwrap();
-        let notices = core.lm.release_where(txn, &*self.oracle, pred);
-        Self::post_notices(&mut core, &self.cond, notices);
+        self.lm.release_where(txn, &*self.oracle, pred, &mut |n| {
+            self.parking.grant(n.ticket)
+        });
     }
 
     /// Release everything `txn` holds or waits for.
     pub fn release_all(&self, txn: TxnId) {
-        let mut core = self.core.lock().unwrap();
-        let notices = core.lm.release_all(txn, &*self.oracle);
-        Self::post_notices(&mut core, &self.cond, notices);
-    }
-
-    fn post_notices(core: &mut Core, cond: &Condvar, notices: Vec<GrantNotice>) {
-        if notices.is_empty() {
-            return;
-        }
-        for n in notices {
-            core.granted.insert(n.ticket);
-        }
-        cond.notify_all();
+        self.lm
+            .release_all(txn, &*self.oracle, &mut |n| self.parking.grant(n.ticket));
     }
 }
 
@@ -330,7 +399,7 @@ mod tests {
         let a = s.begin_txn(TxnTypeId(0));
         let b = s.begin_txn(TxnTypeId(0));
         assert_ne!(a, b);
-        s.with_core(|c| assert_eq!(c.wal.len(), 2));
+        assert_eq!(s.wal_len(), 2);
     }
 
     #[test]
@@ -346,7 +415,7 @@ mod tests {
         assert!(matches!(err, Error::WouldBlock { .. }));
         // The request was withdrawn: releasing t1 leaves the queue empty.
         s.release_all(t1);
-        s.with_core(|c| assert_eq!(c.lm.queue_len(R), 0));
+        assert_eq!(s.lm().queue_len(R), 0);
     }
 
     #[test]
@@ -362,7 +431,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         s.release_all(t1);
         h.join().unwrap().unwrap();
-        s.with_core(|c| assert!(c.lm.holds(t2, R, LockKind::X)));
+        assert!(s.lm().holds(t2, R, LockKind::X));
     }
 
     #[test]
@@ -376,10 +445,7 @@ mod tests {
         let h =
             std::thread::spawn(move || s2.acquire(t2, R, LockKind::X, plain(), WaitMode::Block));
         std::thread::sleep(Duration::from_millis(30));
-        s.with_core(|c| {
-            c.doomed.insert(t2);
-        });
-        s.cond.notify_all();
+        s.doom(t2);
         let err = h.join().unwrap().unwrap_err();
         assert_eq!(err, Error::TxnAborted(t2));
         assert!(s.is_doomed(t2));
@@ -391,9 +457,7 @@ mod tests {
     fn doomed_txn_cannot_acquire() {
         let s = shared();
         let t1 = s.begin_txn(TxnTypeId(0));
-        s.with_core(|c| {
-            c.doomed.insert(t1);
-        });
+        s.doom(t1);
         let err = s
             .acquire(t1, R, LockKind::S, plain(), WaitMode::Block)
             .unwrap_err();
@@ -411,5 +475,36 @@ mod tests {
             .acquire(t2, R, LockKind::X, plain(), WaitMode::Block)
             .unwrap_err();
         assert!(matches!(err, Error::Internal(_)));
+    }
+
+    #[test]
+    fn grants_on_distinct_resources_do_not_cross_wake() {
+        // Two waiters on two resources; releasing one lock must wake only
+        // its own waiter (per-ticket parking, no thundering herd).
+        let s = shared();
+        let r2 = ResourceId::Named(2);
+        let t1 = s.begin_txn(TxnTypeId(0));
+        let t2 = s.begin_txn(TxnTypeId(0));
+        let t3 = s.begin_txn(TxnTypeId(0));
+        let t4 = s.begin_txn(TxnTypeId(0));
+        s.acquire(t1, R, LockKind::X, plain(), WaitMode::Block)
+            .unwrap();
+        s.acquire(t2, r2, LockKind::X, plain(), WaitMode::Block)
+            .unwrap();
+        let s3 = Arc::clone(&s);
+        let h3 =
+            std::thread::spawn(move || s3.acquire(t3, R, LockKind::X, plain(), WaitMode::Block));
+        let s4 = Arc::clone(&s);
+        let h4 =
+            std::thread::spawn(move || s4.acquire(t4, r2, LockKind::X, plain(), WaitMode::Block));
+        std::thread::sleep(Duration::from_millis(30));
+        s.release_all(t1);
+        h3.join().unwrap().unwrap();
+        assert!(s.lm().holds(t3, R, LockKind::X));
+        // t4 is still parked; its lock is still held by t2.
+        assert!(s.lm().is_waiting(t4));
+        s.release_all(t2);
+        h4.join().unwrap().unwrap();
+        assert!(s.lm().holds(t4, r2, LockKind::X));
     }
 }

@@ -72,9 +72,7 @@ impl<'a> StepCtx<'a> {
         for kind in self.cc.table_locks(&meta, table, write) {
             self.acquire(acc_common::ResourceId::Table(table), kind)?;
         }
-        let page = self
-            .shared
-            .with_core(|c| c.db.table(table).map(|t| t.page_resource(slot)))?;
+        let page = self.shared.with_table(table, |t| t.page_resource(slot))?;
         for kind in self.cc.item_locks(&meta, table, write) {
             self.acquire(page, kind)?;
         }
@@ -84,22 +82,19 @@ impl<'a> StepCtx<'a> {
     /// Read the row with the given primary key. `None` if absent.
     pub fn read(&mut self, table: TableId, key: &Key) -> Result<Option<Row>> {
         loop {
-            let slot = self
-                .shared
-                .with_core(|c| c.db.table(table).map(|t| t.slot_of(key)))?;
+            let slot = self.shared.with_table(table, |t| t.slot_of(key))?;
             let Some(slot) = slot else {
                 return Ok(None);
             };
             self.lock_item(table, slot, false)?;
             // The row may have moved/vanished while we waited for the lock:
             // outer None = retry, inner Option is the final answer.
-            let row: Option<Option<Row>> = self.shared.with_core(|c| {
-                c.db.table(table).map(|t| match t.slot_of(key) {
+            let row: Option<Option<Row>> =
+                self.shared.with_table(table, |t| match t.slot_of(key) {
                     Some(s) if s == slot => Some(t.row(slot).cloned()),
                     Some(_) => None,    // moved: retry with fresh slot
                     None => Some(None), // deleted while we waited
-                })
-            })?;
+                })?;
             match row {
                 Some(answer) => return Ok(answer),
                 None => continue,
@@ -113,20 +108,17 @@ impl<'a> StepCtx<'a> {
     /// the classic S→X upgrade deadlock between two read-modify-write steps.
     pub fn read_for_update(&mut self, table: TableId, key: &Key) -> Result<Option<Row>> {
         loop {
-            let slot = self
-                .shared
-                .with_core(|c| c.db.table(table).map(|t| t.slot_of(key)))?;
+            let slot = self.shared.with_table(table, |t| t.slot_of(key))?;
             let Some(slot) = slot else {
                 return Ok(None);
             };
             self.lock_item(table, slot, true)?;
-            let row: Option<Option<Row>> = self.shared.with_core(|c| {
-                c.db.table(table).map(|t| match t.slot_of(key) {
+            let row: Option<Option<Row>> =
+                self.shared.with_table(table, |t| match t.slot_of(key) {
                     Some(s) if s == slot => Some(t.row(slot).cloned()),
                     Some(_) => None,
                     None => Some(None),
-                })
-            })?;
+                })?;
             match row {
                 Some(answer) => return Ok(answer),
                 None => continue,
@@ -141,27 +133,30 @@ impl<'a> StepCtx<'a> {
             LockKind::Conventional(LockMode::IX),
         )?;
         loop {
-            let slot = self
-                .shared
-                .with_core(|c| c.db.table(table).map(|t| t.peek_next_slot()))?;
+            let slot = self.shared.with_table(table, |t| t.peek_next_slot())?;
             self.lock_item(table, slot, true)?;
-            let txn_id = self.txn.id;
-            let done = self.shared.with_core(|c| -> Result<Option<(Slot, _)>> {
-                let t = c.db.table_mut(table)?;
-                if t.peek_next_slot() != slot {
-                    return Ok(None); // another insert raced us while we waited
-                }
-                let (s, undo) = t.insert(row.clone())?;
-                c.wal.append(LogRecord::Update {
-                    txn: txn_id,
-                    table,
-                    slot: s,
-                    before: None,
-                    after: Some(row.clone()),
-                });
-                Ok(Some((s, undo)))
-            })?;
+            let done = self
+                .shared
+                .with_table_mut(table, |t| -> Result<Option<(Slot, _)>> {
+                    if t.peek_next_slot() != slot {
+                        return Ok(None); // another insert raced us while we waited
+                    }
+                    let (s, undo) = t.insert(row.clone())?;
+                    Ok(Some((s, undo)))
+                })??;
             if let Some((s, undo)) = done {
+                // The WAL append happens outside the table stripe, but the
+                // slot's page X lock (held until step end) serializes all
+                // same-slot records, so recovery sees them in mutation order.
+                self.shared.with_wal(|w| {
+                    w.append(LogRecord::Update {
+                        txn: self.txn.id,
+                        table,
+                        slot: s,
+                        before: None,
+                        after: Some(row.clone()),
+                    })
+                });
                 self.txn.step_undo.push(undo);
                 return Ok(s);
             }
@@ -172,35 +167,35 @@ impl<'a> StepCtx<'a> {
     /// key is absent.
     pub fn update_key(&mut self, table: TableId, key: &Key, f: impl Fn(&mut Row)) -> Result<bool> {
         loop {
-            let slot = self
-                .shared
-                .with_core(|c| c.db.table(table).map(|t| t.slot_of(key)))?;
+            let slot = self.shared.with_table(table, |t| t.slot_of(key))?;
             let Some(slot) = slot else {
                 return Ok(false);
             };
             self.lock_item(table, slot, true)?;
-            let txn_id = self.txn.id;
-            let outcome = self.shared.with_core(|c| -> Result<Option<_>> {
-                let t = c.db.table_mut(table)?;
-                match t.slot_of(key) {
-                    Some(s) if s == slot => {
-                        let before = t.row(slot).cloned();
-                        let undo = t.update_with(slot, &f)?;
-                        let after = t.row(slot).cloned();
-                        c.wal.append(LogRecord::Update {
-                            txn: txn_id,
+            let outcome = self
+                .shared
+                .with_table_mut(table, |t| -> Result<Option<_>> {
+                    match t.slot_of(key) {
+                        Some(s) if s == slot => {
+                            let before = t.row(slot).cloned();
+                            let undo = t.update_with(slot, &f)?;
+                            let after = t.row(slot).cloned();
+                            Ok(Some((undo, before, after)))
+                        }
+                        _ => Ok(None), // moved or deleted while waiting: retry
+                    }
+                })??;
+            match outcome {
+                Some((undo, before, after)) => {
+                    self.shared.with_wal(|w| {
+                        w.append(LogRecord::Update {
+                            txn: self.txn.id,
                             table,
                             slot,
                             before,
                             after,
-                        });
-                        Ok(Some(undo))
-                    }
-                    _ => Ok(None), // moved or deleted while waiting: retry
-                }
-            })?;
-            match outcome {
-                Some(undo) => {
+                        })
+                    });
                     self.txn.step_undo.push(undo);
                     return Ok(true);
                 }
@@ -212,21 +207,21 @@ impl<'a> StepCtx<'a> {
     /// Update the row at a known slot (must exist).
     pub fn update_slot(&mut self, table: TableId, slot: Slot, f: impl Fn(&mut Row)) -> Result<()> {
         self.lock_item(table, slot, true)?;
-        let txn_id = self.txn.id;
-        let undo = self.shared.with_core(|c| -> Result<_> {
-            let t = c.db.table_mut(table)?;
+        let (undo, before, after) = self.shared.with_table_mut(table, |t| -> Result<_> {
             let before = t.row(slot).cloned();
             let undo = t.update_with(slot, &f)?;
             let after = t.row(slot).cloned();
-            c.wal.append(LogRecord::Update {
-                txn: txn_id,
+            Ok((undo, before, after))
+        })??;
+        self.shared.with_wal(|w| {
+            w.append(LogRecord::Update {
+                txn: self.txn.id,
                 table,
                 slot,
                 before,
                 after,
-            });
-            Ok(undo)
-        })?;
+            })
+        });
         self.txn.step_undo.push(undo);
         Ok(())
     }
@@ -234,34 +229,34 @@ impl<'a> StepCtx<'a> {
     /// Delete the row with the given key. Returns `false` if absent.
     pub fn delete_key(&mut self, table: TableId, key: &Key) -> Result<bool> {
         loop {
-            let slot = self
-                .shared
-                .with_core(|c| c.db.table(table).map(|t| t.slot_of(key)))?;
+            let slot = self.shared.with_table(table, |t| t.slot_of(key))?;
             let Some(slot) = slot else {
                 return Ok(false);
             };
             self.lock_item(table, slot, true)?;
-            let txn_id = self.txn.id;
-            let outcome = self.shared.with_core(|c| -> Result<Option<_>> {
-                let t = c.db.table_mut(table)?;
-                match t.slot_of(key) {
-                    Some(s) if s == slot => {
-                        let before = t.row(slot).cloned();
-                        let undo = t.delete(slot)?;
-                        c.wal.append(LogRecord::Update {
-                            txn: txn_id,
+            let outcome = self
+                .shared
+                .with_table_mut(table, |t| -> Result<Option<_>> {
+                    match t.slot_of(key) {
+                        Some(s) if s == slot => {
+                            let before = t.row(slot).cloned();
+                            let undo = t.delete(slot)?;
+                            Ok(Some((undo, before)))
+                        }
+                        _ => Ok(None),
+                    }
+                })??;
+            match outcome {
+                Some((undo, before)) => {
+                    self.shared.with_wal(|w| {
+                        w.append(LogRecord::Update {
+                            txn: self.txn.id,
                             table,
                             slot,
                             before,
                             after: None,
-                        });
-                        Ok(Some(undo))
-                    }
-                    _ => Ok(None),
-                }
-            })?;
-            match outcome {
-                Some(undo) => {
+                        })
+                    });
                     self.txn.step_undo.push(undo);
                     return Ok(true);
                 }
@@ -282,24 +277,16 @@ impl<'a> StepCtx<'a> {
     /// All rows whose primary key starts with `prefix`, in key order.
     pub fn scan_prefix(&mut self, table: TableId, prefix: &Key) -> Result<Vec<(Slot, Row)>> {
         self.lock_scan(table)?;
-        self.shared.with_core(|c| {
-            Ok(c.db
-                .table(table)?
-                .scan_prefix(prefix)
-                .map(|(s, r)| (s, r.clone()))
-                .collect())
+        self.shared.with_table(table, |t| {
+            t.scan_prefix(prefix).map(|(s, r)| (s, r.clone())).collect()
         })
     }
 
     /// All rows satisfying `pred`, in key order.
     pub fn scan(&mut self, table: TableId, pred: &Predicate) -> Result<Vec<(Slot, Row)>> {
         self.lock_scan(table)?;
-        self.shared.with_core(|c| {
-            Ok(c.db
-                .table(table)?
-                .scan(pred)
-                .map(|(s, r)| (s, r.clone()))
-                .collect())
+        self.shared.with_table(table, |t| {
+            t.scan(pred).map(|(s, r)| (s, r.clone())).collect()
         })
     }
 
@@ -311,12 +298,11 @@ impl<'a> StepCtx<'a> {
         prefix: &Key,
     ) -> Result<Vec<(Slot, Row)>> {
         self.lock_scan(table)?;
-        self.shared.with_core(|c| {
-            let t = c.db.table(table)?;
-            Ok(t.lookup_secondary(idx, prefix)
+        self.shared.with_table(table, |t| {
+            t.lookup_secondary(idx, prefix)
                 .into_iter()
                 .filter_map(|s| t.row(s).map(|r| (s, r.clone())))
-                .collect())
+                .collect()
         })
     }
 

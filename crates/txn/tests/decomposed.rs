@@ -164,15 +164,14 @@ fn multi_step_commit() {
     let mut p = OrderEntry::new(1, vec![10, 11, 12]);
     let out = run(&s, &StepRelease, &mut p, WaitMode::Block).unwrap();
     assert_eq!(out, RunOutcome::Committed { steps: 4 });
-    s.with_core(|c| {
-        assert_eq!(c.db.table(ORDERS).unwrap().len(), 1);
-        assert_eq!(c.db.table(LINES).unwrap().len(), 3);
-        assert_eq!(c.lm.total_grants(), 0);
-        // WAL carries one StepEnd per completed step except the final one
-        // (commit makes it durable) and saved the work area.
-        let step_ends: Vec<_> = c
-            .wal
-            .records()
+    let db = s.snapshot_db();
+    assert_eq!(db.table(ORDERS).unwrap().len(), 1);
+    assert_eq!(db.table(LINES).unwrap().len(), 3);
+    assert_eq!(s.total_grants(), 0);
+    // WAL carries one StepEnd per completed step except the final one
+    // (commit makes it durable) and saved the work area.
+    let step_ends: Vec<_> = s.with_wal(|w| {
+        w.records()
             .iter()
             .filter_map(|r| match r {
                 acc_wal::LogRecord::StepEnd {
@@ -182,10 +181,10 @@ fn multi_step_commit() {
                 } => Some((*step_index, work_area.clone())),
                 _ => None,
             })
-            .collect();
-        assert_eq!(step_ends.len(), 3);
-        assert_eq!(step_ends[0].1, 1i64.to_le_bytes().to_vec());
+            .collect()
     });
+    assert_eq!(step_ends.len(), 3);
+    assert_eq!(step_ends[0].1, 1i64.to_le_bytes().to_vec());
 }
 
 #[test]
@@ -195,19 +194,19 @@ fn user_abort_compensates_completed_steps() {
     p.abort_at_last = true;
     let out = run(&s, &StepRelease, &mut p, WaitMode::Block).unwrap();
     assert_eq!(out, RunOutcome::RolledBack(AbortReason::UserAbort));
-    s.with_core(|c| {
-        assert_eq!(c.db.table(ORDERS).unwrap().len(), 0, "header compensated");
-        assert_eq!(c.db.table(LINES).unwrap().len(), 0, "lines compensated");
-        assert_eq!(c.lm.total_grants(), 0);
-        let has_comp_begin = c.wal.records().iter().any(|r| {
+    let db = s.snapshot_db();
+    assert_eq!(db.table(ORDERS).unwrap().len(), 0, "header compensated");
+    assert_eq!(db.table(LINES).unwrap().len(), 0, "lines compensated");
+    assert_eq!(s.total_grants(), 0);
+    s.with_wal(|w| {
+        let has_comp_begin = w.records().iter().any(|r| {
             matches!(
                 r,
                 acc_wal::LogRecord::CompensationBegin { from_step: 3, .. }
             )
         });
         assert!(has_comp_begin, "compensation was logged");
-        let has_abort = c
-            .wal
+        let has_abort = w
             .records()
             .iter()
             .any(|r| matches!(r, acc_wal::LogRecord::Abort { .. }));
@@ -238,10 +237,9 @@ fn locks_released_at_step_boundaries() {
     barrier.wait(); // let txn 1 continue
 
     assert_eq!(h.join().unwrap(), RunOutcome::Committed { steps: 3 });
-    s.with_core(|c| {
-        assert_eq!(c.db.table(ORDERS).unwrap().len(), 2);
-        assert_eq!(c.db.table(LINES).unwrap().len(), 3);
-    });
+    let db = s.snapshot_db();
+    assert_eq!(db.table(ORDERS).unwrap().len(), 2);
+    assert_eq!(db.table(LINES).unwrap().len(), 3);
 }
 
 #[test]
@@ -261,16 +259,15 @@ fn interleaved_order_entries_preserve_count_invariant() {
     for h in handles {
         assert!(matches!(h.join().unwrap(), RunOutcome::Committed { .. }));
     }
-    s.with_core(|c| {
-        let orders = c.db.table(ORDERS).unwrap();
-        let lines = c.db.table(LINES).unwrap();
-        for (_, order) in orders.iter() {
-            let oid = order.int(0);
-            let n = lines.scan_prefix(&Key::ints(&[oid])).count() as i64;
-            assert_eq!(order.int(1), n, "order {oid}");
-        }
-        assert_eq!(c.lm.total_grants(), 0);
-    });
+    let db = s.snapshot_db();
+    let orders = db.table(ORDERS).unwrap();
+    let lines = db.table(LINES).unwrap();
+    for (_, order) in orders.iter() {
+        let oid = order.int(0);
+        let n = lines.scan_prefix(&Key::ints(&[oid])).count() as i64;
+        assert_eq!(order.int(1), n, "order {oid}");
+    }
+    assert_eq!(s.total_grants(), 0);
 }
 
 #[test]

@@ -176,17 +176,16 @@ fn insert_update_delete_round_trip() {
         assert!(!ctx.delete_key(T, &Key::ints(&[9])).unwrap());
     });
     // Committed: the row is really gone and the WAL has the full story.
-    s.with_core(|c| {
-        assert!(c.db.table(T).unwrap().get(&Key::ints(&[9])).is_none());
-        assert_eq!(c.db.table(T).unwrap().len(), 5);
-        let updates = c
-            .wal
-            .records()
+    let db = s.snapshot_db();
+    assert!(db.table(T).unwrap().get(&Key::ints(&[9])).is_none());
+    assert_eq!(db.table(T).unwrap().len(), 5);
+    let updates = s.with_wal(|w| {
+        w.records()
             .iter()
             .filter(|r| matches!(r, acc_wal::LogRecord::Update { .. }))
-            .count();
-        assert_eq!(updates, 4, "insert + 2 updates + delete");
+            .count()
     });
+    assert_eq!(updates, 4, "insert + 2 updates + delete");
 }
 
 #[test]

@@ -39,13 +39,9 @@ fn setup(n_accounts: i64, initial: i64) -> Arc<SharedDb> {
 }
 
 fn total_balance(shared: &SharedDb) -> Decimal {
-    shared.with_core(|c| {
-        c.db.table(ACCOUNTS)
-            .unwrap()
-            .iter()
-            .map(|(_, r)| r.decimal(1))
-            .sum()
-    })
+    shared
+        .with_table(ACCOUNTS, |t| t.iter().map(|(_, r)| r.decimal(1)).sum())
+        .unwrap()
 }
 
 struct Transfer {
@@ -105,7 +101,7 @@ fn serial_transfers_preserve_total() {
     }
     assert_eq!(total_balance(&shared), Decimal::from_int(400));
     // All locks released.
-    shared.with_core(|c| assert_eq!(c.lm.total_grants(), 0));
+    assert_eq!(shared.total_grants(), 0);
 }
 
 #[test]
@@ -115,14 +111,9 @@ fn user_abort_rolls_back_physically() {
     p.abort_after_debit = true;
     let out = run(&shared, &TwoPhase, &mut p, WaitMode::Block).unwrap();
     assert_eq!(out, RunOutcome::RolledBack(acc_txn::AbortReason::UserAbort));
-    let b0 = shared.with_core(|c| {
-        c.db.table(ACCOUNTS)
-            .unwrap()
-            .get(&Key::ints(&[0]))
-            .unwrap()
-            .1
-            .decimal(1)
-    });
+    let b0 = shared
+        .with_table(ACCOUNTS, |t| t.get(&Key::ints(&[0])).unwrap().1.decimal(1))
+        .unwrap();
     assert_eq!(b0, Decimal::from_int(100));
     assert_eq!(total_balance(&shared), Decimal::from_int(200));
 }
@@ -153,7 +144,7 @@ fn concurrent_transfers_conserve_money() {
     let committed: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
     assert!(committed > 0);
     assert_eq!(total_balance(&shared), Decimal::from_int(800));
-    shared.with_core(|c| assert_eq!(c.lm.total_grants(), 0));
+    assert_eq!(shared.total_grants(), 0);
 }
 
 #[test]
@@ -213,15 +204,14 @@ fn wal_replay_reproduces_state() {
             ]))
             .unwrap();
     }
-    shared.with_core(|c| {
-        let report = recover(&mut base, &c.wal).unwrap();
-        assert_eq!(report.committed.len(), 4);
-        assert_eq!(report.aborted.len(), 1);
-        for (slot, row) in c.db.table(ACCOUNTS).unwrap().iter() {
-            let replayed = base.table(ACCOUNTS).unwrap().row(slot).unwrap();
-            assert_eq!(replayed, row);
-        }
-    });
+    let report = shared.with_wal(|w| recover(&mut base, w)).unwrap();
+    assert_eq!(report.committed.len(), 4);
+    assert_eq!(report.aborted.len(), 1);
+    let db = shared.snapshot_db();
+    for (slot, row) in db.table(ACCOUNTS).unwrap().iter() {
+        let replayed = base.table(ACCOUNTS).unwrap().row(slot).unwrap();
+        assert_eq!(replayed, row);
+    }
 }
 
 #[test]
@@ -243,16 +233,11 @@ fn fail_mode_surfaces_would_block_and_leaves_no_trace() {
     let err = run(&shared, &TwoPhase, &mut p, WaitMode::Fail).unwrap_err();
     assert!(matches!(err, Error::WouldBlock { .. }));
     // Its partial effects were undone (it had none before the block).
-    let b1 = shared.with_core(|c| {
-        c.db.table(ACCOUNTS)
-            .unwrap()
-            .get(&Key::ints(&[1]))
-            .unwrap()
-            .1
-            .decimal(1)
-    });
+    let b1 = shared
+        .with_table(ACCOUNTS, |t| t.get(&Key::ints(&[1])).unwrap().1.decimal(1))
+        .unwrap();
     assert_eq!(b1, Decimal::from_int(100));
     // Finish txn 1 so the table drains.
     acc_txn::runner::commit(&shared, &mut txn1);
-    shared.with_core(|c| assert_eq!(c.lm.total_grants(), 0));
+    assert_eq!(shared.total_grants(), 0);
 }

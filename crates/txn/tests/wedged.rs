@@ -108,7 +108,7 @@ fn wedged_compensation_hits_default_cap_with_clean_error() {
     assert!(msg.contains("cap 8"), "unexpected error: {msg}");
     // The failed transaction must not leak locks or doom flags: a fresh
     // transaction on the same table runs fine.
-    shared.with_core(|c| assert_eq!(c.lm.total_grants(), 0));
+    assert_eq!(shared.total_grants(), 0);
 }
 
 #[test]
@@ -121,5 +121,5 @@ fn wedged_compensation_honours_configured_cap() {
     let (err, calls) = run_wedged(&shared);
     assert_eq!(calls, 3, "expected initial attempt + 2 retries");
     assert!(err.to_string().contains("cap 2"), "{err}");
-    shared.with_core(|c| assert_eq!(c.lm.total_grants(), 0));
+    assert_eq!(shared.total_grants(), 0);
 }

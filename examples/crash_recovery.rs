@@ -78,7 +78,7 @@ fn main() -> Result<()> {
     );
 
     // --- 2. crash ----------------------------------------------------------
-    let disk_image = shared.with_core(|c| c.wal.to_bytes());
+    let disk_image = shared.wal_bytes();
     // Lose the tail of the log too, for good measure: cut 10 bytes into the
     // last record.
     let cut = disk_image.len() - 10;
@@ -86,7 +86,7 @@ fn main() -> Result<()> {
     println!(
         "crash: salvaged {} of {} log records from a {}-byte image cut at {cut}",
         salvaged.len(),
-        shared.with_core(|c| c.wal.len()),
+        shared.wal_len(),
         disk_image.len()
     );
 
@@ -117,25 +117,23 @@ fn main() -> Result<()> {
     let n = tpcc::recovery::resume_compensation(&recovered, &*sys.acc, &report.needs_compensation)?;
     println!("compensated {n} in-flight transaction(s)");
 
-    recovered.with_core(|c| {
-        let violations = tpcc::consistency::check(&c.db, false);
-        assert!(violations.is_empty(), "{violations:#?}");
-        // The in-flight order is gone; the committed payment survived.
-        assert!(c
-            .db
-            .table(tpcc::schema::TABLES.order)
-            .expect("order table")
-            .get(&Key::ints(&[1, 2, 5]))
-            .is_none());
-        let w =
-            c.db.table(tpcc::schema::TABLES.warehouse)
-                .expect("warehouse table")
-                .get(&Key::ints(&[1]))
-                .expect("warehouse 1")
-                .1
-                .decimal(tpcc::schema::col::w::YTD);
-        assert_eq!(w, Decimal::from_int(75));
-    });
+    let db = recovered.snapshot_db();
+    let violations = tpcc::consistency::check(&db, false);
+    assert!(violations.is_empty(), "{violations:#?}");
+    // The in-flight order is gone; the committed payment survived.
+    assert!(db
+        .table(tpcc::schema::TABLES.order)
+        .expect("order table")
+        .get(&Key::ints(&[1, 2, 5]))
+        .is_none());
+    let w = db
+        .table(tpcc::schema::TABLES.warehouse)
+        .expect("warehouse table")
+        .get(&Key::ints(&[1]))
+        .expect("warehouse 1")
+        .1
+        .decimal(tpcc::schema::col::w::YTD);
+    assert_eq!(w, Decimal::from_int(75));
     println!("post-recovery consistency: OK");
     println!("crash_recovery OK");
     Ok(())

@@ -220,16 +220,24 @@ fn main() -> Result<()> {
         }
     }
 
-    shared.with_core(|c| {
-        let by_price: Vec<(i64, i64, i64)> = c
-            .db
+    let db = shared.snapshot_db();
+    {
+        let by_price: Vec<(i64, i64, i64)> = db
             .table(LEDGER)
             .expect("ledger")
             .iter()
             .map(|(_, r)| (r.int(0), r.int(2), r.int(3)))
             .collect();
-        let t1_30: i64 = by_price.iter().filter(|(b, p, _)| *b == 1 && *p == 30).map(|(_, _, n)| n).sum();
-        let t2_30: i64 = by_price.iter().filter(|(b, p, _)| *b == 2 && *p == 30).map(|(_, _, n)| n).sum();
+        let t1_30: i64 = by_price
+            .iter()
+            .filter(|(b, p, _)| *b == 1 && *p == 30)
+            .map(|(_, _, n)| n)
+            .sum();
+        let t2_30: i64 = by_price
+            .iter()
+            .filter(|(b, p, _)| *b == 2 && *p == 30)
+            .map(|(_, _, n)| n)
+            .sum();
         println!("\nledger: T1 got {t1_30} shares @ $30, T2 got {t2_30} @ $30");
         if t1_30 > 0 && t2_30 > 0 {
             println!(
@@ -239,15 +247,14 @@ fn main() -> Result<()> {
             println!("→ this run happened to serialize; rerun for the interleaved outcome");
         }
         // Conservation: 8 + 8 bought, book shrank accordingly.
-        let remaining: i64 = c
-            .db
+        let remaining: i64 = db
             .table(OFFERS)
             .expect("offers")
             .iter()
             .map(|(_, r)| r.int(2))
             .sum();
         assert_eq!(remaining, 108 - 16);
-    });
+    }
     println!("stock_trading OK");
     Ok(())
 }

@@ -88,15 +88,13 @@ fn main() {
 
         // Audit at quiescence: strict conditions for 2PL, the semantic
         // (gap-tolerant) conditions for the ACC.
-        shared.with_core(|c| {
-            let violations = tpcc::consistency::check(&c.db, !use_acc);
-            if violations.is_empty() {
-                println!("           consistency: OK");
-            } else {
-                println!("           consistency VIOLATIONS: {violations:#?}");
-                std::process::exit(1);
-            }
-        });
+        let violations = tpcc::consistency::check(&shared.snapshot_db(), !use_acc);
+        if violations.is_empty() {
+            println!("           consistency: OK");
+        } else {
+            println!("           consistency VIOLATIONS: {violations:#?}");
+            std::process::exit(1);
+        }
     }
     if means[1] > 0.0 {
         println!(

@@ -21,4 +21,7 @@ cargo test --workspace --offline -q
 echo "== crash-torture smoke (bounded sweep) =="
 cargo run -p acc-bench --release --offline --bin figures -- torture --quick >/dev/null
 
+echo "== multi-thread stress smoke (8-terminal closed loop, release) =="
+cargo run -p acc-bench --release --offline --bin figures -- stress --quick
+
 echo "All checks passed."

@@ -107,7 +107,7 @@ fn scripted_history(scale: &tpcc::Scale, sys: &tpcc::TpccSystem) -> Vec<u8> {
         inflight.step(i, &mut ctx).expect("half-done step");
     }
 
-    shared.with_core(|c| c.wal.to_bytes())
+    shared.wal_bytes()
 }
 
 #[test]
@@ -131,14 +131,12 @@ fn recovery_is_sound_at_every_crash_point() {
             .unwrap_or_else(|e| panic!("compensation failed at cut {cut}: {e}"));
         assert_eq!(n, report.needs_compensation.len());
 
-        shared.with_core(|c| {
-            let violations = tpcc::consistency::check(&c.db, false);
-            assert!(
-                violations.is_empty(),
-                "cut {cut}: {} records salvaged, violations {violations:#?}",
-                salvaged.len()
-            );
-        });
+        let violations = tpcc::consistency::check(&shared.snapshot_db(), false);
+        assert!(
+            violations.is_empty(),
+            "cut {cut}: {} records salvaged, violations {violations:#?}",
+            salvaged.len()
+        );
     }
 }
 
@@ -198,11 +196,9 @@ fn mixed_legacy_and_acc_traffic_stays_consistent() {
     for h in handles {
         h.join().expect("worker");
     }
-    shared.with_core(|c| {
-        let violations = tpcc::consistency::check(&c.db, false);
-        assert!(violations.is_empty(), "{violations:#?}");
-        assert_eq!(c.lm.total_grants(), 0);
-    });
+    let violations = tpcc::consistency::check(&shared.snapshot_db(), false);
+    assert!(violations.is_empty(), "{violations:#?}");
+    assert_eq!(shared.total_grants(), 0);
 }
 
 #[test]
@@ -231,7 +227,5 @@ fn facade_prelude_compiles_and_runs() {
     }
     let out = run(&shared, &TwoPhase, &mut Put, WaitMode::Block).expect("put");
     assert!(matches!(out, RunOutcome::Committed { .. }));
-    shared.with_core(|c| {
-        assert_eq!(c.db.table(t).expect("kv").len(), 1);
-    });
+    assert_eq!(shared.with_table(t, |t| t.len()).expect("kv"), 1);
 }

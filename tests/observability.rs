@@ -79,10 +79,8 @@ fn compensation_properties_hold_under_contention() {
         log.assert_compensation_never_victimized();
         log.assert_writes_respect_assertions(|s, t| sys.tables.write_interferes(s, t));
 
-        shared.with_core(|core| {
-            let violations = tpcc::consistency::check(&core.db, false);
-            assert!(violations.is_empty(), "seed {seed}: {violations:#?}");
-        });
+        let violations = tpcc::consistency::check(&shared.snapshot_db(), false);
+        assert!(violations.is_empty(), "seed {seed}: {violations:#?}");
     }
 }
 

@@ -362,12 +362,11 @@ fn bill_precondition_holds_at_every_step_start_across_seeds() {
         saw_broken_i1_midflight |= *broken_midflight.borrow();
 
         // Quiescence: the consistency constraint holds for every order.
-        shared.with_core(|c| {
-            for (_, order) in c.db.table(ORDERS).unwrap().iter() {
-                assert!(i1_holds(&c.db, order.int(0)), "seed {seed}");
-            }
-            assert_eq!(c.lm.total_grants(), 0);
-        });
+        let db = shared.snapshot_db();
+        for (_, order) in db.table(ORDERS).unwrap().iter() {
+            assert!(i1_holds(&db, order.int(0)), "seed {seed}");
+        }
+        assert_eq!(shared.total_grants(), 0);
     }
 
     assert!(total_bill_starts >= 60 * 4, "bills actually ran");
