@@ -7,22 +7,23 @@
 //!
 //! Subcommands: `fig2`, `fig3`, `fig4`, `servers`, `olcount`, `ablation`,
 //! `twolevel`, `lockstat`, `tables`, `torture` (`--strided` for the
-//! benchmark-scale sweep), `mtbench`, `retry`, `stress`, `all`. `--quick`
-//! runs a shorter sweep for smoke-testing. The deterministic simulator
-//! subcommands (everything in `all`) are byte-identical across runs;
-//! `mtbench`/`retry`/`stress` are wall-clock and intentionally kept out of
-//! `all`.
+//! benchmark-scale sweep, `--fsync` for the fsync-boundary sweep), `wal`,
+//! `mtbench`, `retry`, `stress`, `all`. `--quick` runs a shorter sweep for
+//! smoke-testing. The deterministic simulator subcommands (everything in
+//! `all`) are byte-identical across runs; `wal`/`mtbench`/`retry`/`stress`
+//! are wall-clock and intentionally kept out of `all`.
 
 use acc_bench::figures::{
     ablation_table, dump_tables, fig2, fig3, fig4, lockstat, olcount_table, servers_table, torture,
     torture_strided, twolevel_table, FigureParams,
 };
-use acc_bench::mtbench;
+use acc_bench::{mtbench, walbench};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let strided = args.iter().any(|a| a == "--strided");
+    let fsync = args.iter().any(|a| a == "--fsync");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -71,11 +72,16 @@ fn main() {
             lockstat(&params);
         }
         "torture" => {
-            if strided {
+            if fsync {
+                walbench::fsync_torture(quick);
+            } else if strided {
                 torture_strided();
             } else {
                 torture(quick);
             }
+        }
+        "wal" => {
+            walbench::walbench(quick);
         }
         "mtbench" => {
             mtbench::mtbench(quick);
@@ -96,7 +102,7 @@ fn main() {
             twolevel_table(&params);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|torture|mtbench|retry|stress|all");
+            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|torture|wal|mtbench|retry|stress|all");
             std::process::exit(2);
         }
     }

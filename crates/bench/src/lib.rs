@@ -10,6 +10,7 @@
 pub mod figures;
 pub mod microbench;
 pub mod mtbench;
+pub mod walbench;
 
 pub use figures::{
     ablation_table, dump_tables, fig2, fig3, fig4, olcount_table, servers_table, sweep,

@@ -261,6 +261,14 @@ pub enum Event {
         /// prefix).
         rejected_records: u32,
     },
+    /// One WAL group-commit flush (write + fsync) completed, making every
+    /// record appended before it durable.
+    WalFsync {
+        /// Records newly made durable by this flush.
+        records: u32,
+        /// Encoded bytes newly made durable by this flush.
+        bytes: u32,
+    },
 }
 
 /// Number of wait-histogram buckets (power-of-two microsecond buckets:
@@ -288,6 +296,9 @@ struct Counters {
     recovered_compensated: AtomicU64,
     recovered_discarded: AtomicU64,
     rejected_records: AtomicU64,
+    wal_fsyncs: AtomicU64,
+    wal_fsynced_records: AtomicU64,
+    wal_fsynced_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of the sink's counters.
@@ -331,6 +342,12 @@ pub struct CounterSnapshot {
     pub recovered_discarded: u64,
     /// Torn/corrupt log records rejected across all recovery passes.
     pub rejected_records: u64,
+    /// WAL group-commit flushes (write + fsync) completed.
+    pub wal_fsyncs: u64,
+    /// Records made durable across all flushes.
+    pub wal_fsynced_records: u64,
+    /// Encoded bytes made durable across all flushes.
+    pub wal_fsynced_bytes: u64,
 }
 
 impl std::ops::Sub for CounterSnapshot {
@@ -367,6 +384,11 @@ impl std::ops::Sub for CounterSnapshot {
                 .recovered_discarded
                 .saturating_sub(rhs.recovered_discarded),
             rejected_records: self.rejected_records.saturating_sub(rhs.rejected_records),
+            wal_fsyncs: self.wal_fsyncs.saturating_sub(rhs.wal_fsyncs),
+            wal_fsynced_records: self
+                .wal_fsynced_records
+                .saturating_sub(rhs.wal_fsynced_records),
+            wal_fsynced_bytes: self.wal_fsynced_bytes.saturating_sub(rhs.wal_fsynced_bytes),
         }
     }
 }
@@ -544,6 +566,13 @@ impl EventSink {
                 add(&c.recovered_discarded, discarded);
                 add(&c.rejected_records, rejected_records);
             }
+            Event::WalFsync { records, bytes } => {
+                bump(&c.wal_fsyncs);
+                c.wal_fsynced_records
+                    .fetch_add(records as u64, Ordering::Relaxed);
+                c.wal_fsynced_bytes
+                    .fetch_add(bytes as u64, Ordering::Relaxed);
+            }
         }
     }
 
@@ -571,6 +600,9 @@ impl EventSink {
             recovered_compensated: get(&c.recovered_compensated),
             recovered_discarded: get(&c.recovered_discarded),
             rejected_records: get(&c.rejected_records),
+            wal_fsyncs: get(&c.wal_fsyncs),
+            wal_fsynced_records: get(&c.wal_fsynced_records),
+            wal_fsynced_bytes: get(&c.wal_fsynced_bytes),
         }
     }
 
@@ -621,6 +653,16 @@ impl EventSink {
             c.wait_count,
             c.mean_wait_ms()
         );
+        if c.wal_fsyncs > 0 {
+            let _ = writeln!(
+                out,
+                "wal fsyncs {}: {} records, {} bytes ({:.1} records/fsync)",
+                c.wal_fsyncs,
+                c.wal_fsynced_records,
+                c.wal_fsynced_bytes,
+                c.wal_fsynced_records as f64 / c.wal_fsyncs as f64
+            );
+        }
         if c.recoveries > 0 {
             let _ = writeln!(
                 out,

@@ -58,6 +58,16 @@ pub enum Corruption {
     TornTail(u32),
     /// Flip one bit: byte `(n / 8) % len`, bit `n % 8`.
     BitFlip(u64),
+    /// Mangle one whole `sector_size`-sized unit (XOR 0x5a over sector
+    /// `n % sector_count`) — a torn *page*: the disk persisted garbage (or a
+    /// stale version) for exactly one write unit, splitting any frame that
+    /// crossed its boundary.
+    SectorTear {
+        /// Which sector to tear (wrapped by the image's sector count).
+        index: u64,
+        /// The write-unit size in bytes.
+        sector_size: u32,
+    },
 }
 
 impl Corruption {
@@ -75,6 +85,17 @@ impl Corruption {
                     image[byte] ^= 1 << (n % 8);
                 }
             }
+            Corruption::SectorTear { index, sector_size } => {
+                let size = sector_size.max(1) as usize;
+                let sectors = image.len().div_ceil(size);
+                if sectors > 0 {
+                    let k = (index as usize) % sectors;
+                    let end = ((k + 1) * size).min(image.len());
+                    for b in &mut image[k * size..end] {
+                        *b ^= 0x5a;
+                    }
+                }
+            }
         }
     }
 }
@@ -89,6 +110,10 @@ pub struct FaultPlan {
     /// Capture at the `n`th end-of-step boundary (0-based), on the given
     /// edge.
     pub crash_at_step_boundary: Option<(u64, BoundaryEdge)>,
+    /// Capture the durable image when the `n`th WAL fsync (1-based)
+    /// completes — the crash loses everything past that fsync boundary
+    /// (`durable_lsn`), exactly what a real disk can lose.
+    pub crash_after_fsyncs: Option<u64>,
     /// Corruption applied to whichever capture fires first.
     pub corruption: Corruption,
     /// Wake every `k`th blocked lock-wait slice spuriously (before its
@@ -109,6 +134,14 @@ impl FaultPlan {
     pub fn crash_at_step_boundary(n: u64, edge: BoundaryEdge) -> FaultPlan {
         FaultPlan {
             crash_at_step_boundary: Some((n, edge)),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Crash when the `n`th WAL fsync (1-based) completes.
+    pub fn crash_after_fsyncs(n: u64) -> FaultPlan {
+        FaultPlan {
+            crash_after_fsyncs: Some(n),
             ..FaultPlan::default()
         }
     }
@@ -135,6 +168,8 @@ pub struct FaultCounters {
     pub wal_appends: u64,
     /// End-of-step boundaries observed (counted once, on the `Before` edge).
     pub step_boundaries: u64,
+    /// WAL fsync boundaries observed.
+    pub wal_fsyncs: u64,
     /// Blocked lock-wait slices observed.
     pub lock_waits: u64,
     /// Spurious wakeups injected.
@@ -149,6 +184,7 @@ pub struct FaultInjector {
     plan: FaultPlan,
     wal_appends: AtomicU64,
     step_boundaries: AtomicU64,
+    wal_fsyncs: AtomicU64,
     lock_waits: AtomicU64,
     spurious_wakes: AtomicU64,
     image: Mutex<Option<Vec<u8>>>,
@@ -171,6 +207,7 @@ impl Default for FaultInjector {
             plan: FaultPlan::default(),
             wal_appends: AtomicU64::new(0),
             step_boundaries: AtomicU64::new(0),
+            wal_fsyncs: AtomicU64::new(0),
             lock_waits: AtomicU64::new(0),
             spurious_wakes: AtomicU64::new(0),
             image: Mutex::new(None),
@@ -235,6 +272,19 @@ impl FaultInjector {
         }
     }
 
+    /// Site hook: one WAL group-commit fsync just completed. `serialize`
+    /// produces the durable record stream as of this fsync boundary; it is
+    /// only invoked if this fsync is the planned crash point.
+    pub fn on_wal_fsync(&self, serialize: impl FnOnce() -> Vec<u8>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let n = self.wal_fsyncs.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.crash_after_fsyncs == Some(n) {
+            self.capture(serialize());
+        }
+    }
+
     /// Site hook: a lock wait is about to park for one timeout slice.
     /// Returns true if this slice should wake spuriously instead of sleeping
     /// its full length.
@@ -277,6 +327,7 @@ impl FaultInjector {
         FaultCounters {
             wal_appends: get(&self.wal_appends),
             step_boundaries: get(&self.step_boundaries),
+            wal_fsyncs: get(&self.wal_fsyncs),
             lock_waits: get(&self.lock_waits),
             spurious_wakes: get(&self.spurious_wakes),
         }
@@ -353,6 +404,47 @@ mod tests {
         // Bit flip on an empty image is a no-op.
         let mut img = Vec::new();
         Corruption::BitFlip(3).apply(&mut img);
+        assert!(img.is_empty());
+    }
+
+    #[test]
+    fn crash_after_fsyncs_fires_on_the_nth_boundary() {
+        let f = FaultInjector::with_plan(FaultPlan::crash_after_fsyncs(2));
+        for i in 1..=4u8 {
+            f.on_wal_fsync(|| vec![i; i as usize]);
+        }
+        assert_eq!(f.captured_image(), Some(vec![2, 2]));
+        assert_eq!(f.counters().wal_fsyncs, 4);
+    }
+
+    #[test]
+    fn sector_tear_mangles_exactly_one_unit() {
+        let mut img: Vec<u8> = (0..10u8).collect();
+        Corruption::SectorTear {
+            index: 1,
+            sector_size: 4,
+        }
+        .apply(&mut img);
+        let expect: Vec<u8> = (0..10u8)
+            .map(|b| if (4..8).contains(&b) { b ^ 0x5a } else { b })
+            .collect();
+        assert_eq!(img, expect);
+        // Index wraps; a short final sector is torn to the image end.
+        let mut img: Vec<u8> = (0..10u8).collect();
+        Corruption::SectorTear {
+            index: 5, // 3 sectors of size 4 -> sector 2 (bytes 8..10)
+            sector_size: 4,
+        }
+        .apply(&mut img);
+        assert_eq!(img[..8], (0..8u8).collect::<Vec<u8>>()[..]);
+        assert_eq!(&img[8..], &[8 ^ 0x5a, 9 ^ 0x5a]);
+        // Empty image is a no-op.
+        let mut img = Vec::new();
+        Corruption::SectorTear {
+            index: 0,
+            sector_size: 512,
+        }
+        .apply(&mut img);
         assert!(img.is_empty());
     }
 

@@ -184,7 +184,7 @@ impl<'a> Stepper<'a> {
                         self.requeue(pick, program.txn_type(), &mut slots, &mut resubmits, config);
                     } else {
                         let steps = txn.step_index + 1;
-                        commit(self.shared, &mut txn);
+                        commit(self.shared, &mut txn)?;
                         slots[pick] = Slot::Finished(RunOutcome::Committed { steps });
                     }
                     self.wake_blocked(&mut slots);

@@ -36,10 +36,15 @@ use acc_common::{CounterSnapshot, Error, Result, SeededRng};
 use acc_storage::Database;
 use acc_txn::runner::run;
 use acc_txn::{SharedDb, WaitMode};
-use acc_wal::{recover, LogRecord, Wal};
+use acc_wal::device::temp_log_path;
+use acc_wal::{
+    recover, sector, FileDevice, FsyncSnapshot, GroupCommitPolicy, LogDevice, LogRecord, Lsn,
+    MemDevice, Snooper, Wal,
+};
 use std::collections::HashSet;
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Sizing of a torture run. Everything is derived from `seed`; two runs with
 /// an equal config produce byte-identical outcome logs.
@@ -473,6 +478,412 @@ pub fn run_torture(cfg: &TortureConfig) -> Result<TortureReport> {
          discarded={discarded} rejected={rejected_records} violations={violations}"
     );
     Ok(TortureReport {
+        points,
+        replayed,
+        compensated,
+        discarded,
+        rejected_records,
+        violations,
+        log,
+        counters: sink.counters(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fsync-boundary torture: crash points a real disk can actually exhibit.
+// ---------------------------------------------------------------------------
+
+/// Sizing of a fsync-boundary torture run. The append-index sweep above
+/// models an idealised disk that persists every append; this sweep models the
+/// real one — everything past the last completed fsync vanishes, and a torn
+/// write mangles a whole sector. All crash points come from one seeded
+/// workload run per device, so two runs with an equal config produce
+/// byte-identical outcome logs.
+#[derive(Debug, Clone, Copy)]
+pub struct FsyncTortureConfig {
+    /// Master seed for population, inputs and tear sampling.
+    pub seed: u64,
+    /// Database scale the mix runs against.
+    pub scale: Scale,
+    /// Transactions in the TPC-C mix.
+    pub txns: usize,
+    /// Group-commit batch threshold. Small values force background flushes
+    /// *inside* steps, so fsync boundaries fall mid-transaction and the
+    /// sweep exercises compensation and discard, not just replay.
+    pub max_batch: usize,
+    /// Seeded sector tears applied to the file device's raw image.
+    pub tear_samples: usize,
+    /// Live `crash_after_fsyncs` replays to cross-validate the injector
+    /// against the snapshot sweep.
+    pub injector_samples: usize,
+}
+
+impl FsyncTortureConfig {
+    /// The full sweep used by `figures -- torture --fsync` and the torture
+    /// tests: every fsync boundary on both devices, generous tear samples.
+    pub fn standard(seed: u64) -> FsyncTortureConfig {
+        FsyncTortureConfig {
+            seed,
+            scale: Scale::test(),
+            txns: 16,
+            max_batch: 4,
+            tear_samples: 16,
+            injector_samples: 3,
+        }
+    }
+
+    /// A bounded smoke run for the PR gate in `scripts/check.sh`.
+    pub fn smoke(seed: u64) -> FsyncTortureConfig {
+        FsyncTortureConfig {
+            seed,
+            scale: Scale::test(),
+            txns: 8,
+            max_batch: 6,
+            tear_samples: 6,
+            injector_samples: 2,
+        }
+    }
+}
+
+/// Aggregate outcome of a fsync-boundary torture run.
+#[derive(Debug)]
+pub struct FsyncTortureReport {
+    /// Fsync boundaries observed per device (equal across devices by
+    /// determinism).
+    pub boundaries: usize,
+    /// Crash/tear points recovered across both devices.
+    pub points: usize,
+    /// Transactions fully replayed, summed over all points.
+    pub replayed: u64,
+    /// In-flight transactions compensated, summed over all points.
+    pub compensated: u64,
+    /// In-flight transactions discarded, summed over all points.
+    pub discarded: u64,
+    /// Torn/corrupt records rejected past the clean prefix, summed.
+    pub rejected_records: u64,
+    /// Consistency violations across all points (must be 0).
+    pub violations: usize,
+    /// One line per point; byte-identical across same-seed runs.
+    pub log: String,
+    /// Counter snapshot of the harness's event sink.
+    pub counters: CounterSnapshot,
+}
+
+/// Uniquifier for temp log files (tests run concurrently in one process).
+static FSYNC_RUN: AtomicU64 = AtomicU64::new(0);
+
+type Snapshots = Arc<Mutex<Vec<FsyncSnapshot>>>;
+
+/// What one fsync workload run leaves behind: the full record stream, every
+/// fsync-boundary snapshot, the final raw device image, and (with a plan
+/// armed) the injector's captured image.
+type FsyncRun = (Vec<u8>, Vec<FsyncSnapshot>, Vec<u8>, Option<Vec<u8>>);
+
+fn make_device(
+    kind: &str,
+    cfg: &FsyncTortureConfig,
+) -> Result<(Box<dyn LogDevice>, Snapshots, Option<std::path::PathBuf>)> {
+    match kind {
+        "mem" => {
+            let (dev, snaps) = Snooper::new(MemDevice::new());
+            Ok((Box::new(dev), snaps, None))
+        }
+        "file" => {
+            let run = FSYNC_RUN.fetch_add(1, Ordering::Relaxed);
+            let path = temp_log_path(&format!("fsynctort-{}-{run}", cfg.seed));
+            let (dev, snaps) = Snooper::new(FileDevice::create(&path)?);
+            Ok((Box::new(dev), snaps, Some(path)))
+        }
+        other => Err(Error::Internal(format!("unknown device kind {other}"))),
+    }
+}
+
+/// Run the seeded mix single-threaded on `kind`'s device under a
+/// small-batch group-commit policy, force-sync the tail, and return the full
+/// record stream, every fsync-boundary snapshot, the final raw device image,
+/// and (with a plan) the injector's captured image.
+fn run_fsync_workload(
+    cfg: &FsyncTortureConfig,
+    sys: &TpccSystem,
+    kind: &str,
+    plan: Option<FaultPlan>,
+) -> Result<FsyncRun> {
+    let scale = cfg.scale;
+    let (dev, snaps, path) = make_device(kind, cfg)?;
+    let policy = GroupCommitPolicy {
+        window: std::time::Duration::ZERO,
+        max_batch: cfg.max_batch,
+    };
+    let mut shared = SharedDb::new(fresh_base(&scale, cfg.seed), Arc::clone(&sys.tables) as _)
+        .with_wal_backend(dev, policy);
+    let injector = plan.map(FaultInjector::with_plan);
+    if let Some(f) = &injector {
+        shared = shared.with_fault_injector(Arc::clone(f));
+    }
+    let gen = input::InputGen::new(input::TpccConfig::standard(scale), cfg.seed);
+    let mut rng = SeededRng::new(cfg.seed ^ 0x746f_7274); // "tort" — same mix as run_workload
+    for _ in 0..cfg.txns {
+        let mut program = txns::program_for(gen.next_input(&mut rng), scale.districts);
+        run(&shared, &*sys.acc, program.as_mut(), WaitMode::Block)?;
+    }
+    // Force-sync the tail (an abort record can trail the last commit) so the
+    // final snapshot covers the whole stream and both devices agree.
+    let len = shared.wal_len();
+    if len > 0 {
+        shared.sync_wal(Lsn(len as u64 - 1))?;
+    }
+    let stream = shared.wal_bytes();
+    let raw = shared.wal_raw_image();
+    let snapshots = snaps.lock().unwrap().clone();
+    // The raw image is in memory now; drop the device (closing the file)
+    // and clean up the temp path.
+    drop(shared);
+    if let Some(p) = path {
+        let _ = std::fs::remove_file(p);
+    }
+    Ok((
+        stream,
+        snapshots,
+        raw,
+        injector.and_then(|f| f.captured_image()),
+    ))
+}
+
+/// Run the fsync-boundary torture sweep over both devices. Phases:
+///
+/// 1. baseline per device — same seed, same mix, snapshot every fsync;
+/// 2. device parity — mem and file must agree on every boundary's durable
+///    stream (the device changes the format, never the contract);
+/// 3. boundary sweep — each snapshot is an exact frame prefix of the final
+///    stream; recover + compensate + audit it like any crash point;
+/// 4. injector cross-validation — a live `crash_after_fsyncs(j)` run must
+///    capture exactly snapshot `j`;
+/// 5. sector tears — mangle one sector of the file device's raw image
+///    (including, deterministically, one that splits a frame across a sector
+///    boundary) and verify the chained checksums salvage an exact prefix
+///    with no silent loss.
+pub fn run_fsync_torture(cfg: &FsyncTortureConfig) -> Result<FsyncTortureReport> {
+    let sys = TpccSystem::build();
+    let base = fresh_base(&cfg.scale, cfg.seed);
+    let sink = EventSink::enabled(64);
+    let mut log = String::new();
+    let mut points = 0usize;
+    let mut stats_sum = (0u64, 0u64, 0u64, 0u64);
+    let mut violations = 0usize;
+
+    // ---- phase 1: baseline on each device ----------------------------------
+    let (mem_stream, mem_snaps, _, _) = run_fsync_workload(cfg, &sys, "mem", None)?;
+    let (file_stream, file_snaps, file_raw, _) = run_fsync_workload(cfg, &sys, "file", None)?;
+    let offsets = record_offsets(&mem_stream);
+    let _ = writeln!(
+        log,
+        "baseline: seed={} txns={} max_batch={} records={} stream={}B boundaries={}",
+        cfg.seed,
+        cfg.txns,
+        cfg.max_batch,
+        offsets.len(),
+        mem_stream.len(),
+        mem_snaps.len()
+    );
+
+    // ---- phase 2: device parity --------------------------------------------
+    if mem_stream != file_stream {
+        return Err(Error::Internal(
+            "mem and file devices disagree on the final record stream".into(),
+        ));
+    }
+    if mem_snaps.len() != file_snaps.len() {
+        return Err(Error::Internal(format!(
+            "device fsync counts diverge: mem={} file={}",
+            mem_snaps.len(),
+            file_snaps.len()
+        )));
+    }
+    for (j, (m, f)) in mem_snaps.iter().zip(&file_snaps).enumerate() {
+        if m.stream != f.stream {
+            return Err(Error::Internal(format!(
+                "boundary {j}: mem and file durable streams diverge \
+                 ({} vs {} bytes)",
+                m.stream.len(),
+                f.stream.len()
+            )));
+        }
+    }
+    let _ = writeln!(
+        log,
+        "parity: mem == file at all {} boundaries",
+        mem_snaps.len()
+    );
+
+    let mut sweep = |log: &mut String,
+                     label: String,
+                     bytes: &[u8],
+                     expect_decoded: Option<usize>,
+                     rejected: usize|
+     -> Result<()> {
+        let stats = crash_and_recover(&base, &sys, bytes)?;
+        if let Some(want) = expect_decoded {
+            if stats.decoded != want {
+                return Err(Error::Internal(format!(
+                    "{label}: decoded {} records, expected {want}",
+                    stats.decoded
+                )));
+            }
+        }
+        points += 1;
+        stats_sum.0 += stats.replayed as u64;
+        stats_sum.1 += stats.compensated as u64;
+        stats_sum.2 += stats.discarded as u64;
+        stats_sum.3 += rejected as u64;
+        violations += stats.violations;
+        emit_point(&sink, log, &label, &stats, rejected);
+        Ok(())
+    };
+
+    // ---- phase 3: sweep every fsync boundary, both devices -----------------
+    // The crash model: everything past `durable_lsn` (the snapshot) vanishes.
+    // Each snapshot must be an exact frame-boundary prefix of the final
+    // stream — a durable suffix can never appear without its prefix.
+    for (kind, snaps) in [("mem", &mem_snaps), ("file", &file_snaps)] {
+        for (j, snap) in snaps.iter().enumerate() {
+            let cut = snap.stream.len();
+            if mem_stream[..cut] != snap.stream[..] {
+                return Err(Error::Internal(format!(
+                    "{kind} boundary {j}: durable stream is not a prefix of \
+                     the final stream"
+                )));
+            }
+            let intact = offsets.partition_point(|&o| o <= cut);
+            if cut != 0 && offsets.binary_search(&cut).is_err() {
+                return Err(Error::Internal(format!(
+                    "{kind} boundary {j}: durable stream cuts mid-frame at \
+                     byte {cut} — flushes must drain whole records"
+                )));
+            }
+            sweep(
+                &mut log,
+                format!("{kind} fsync j={}", j + 1),
+                &snap.stream,
+                Some(intact),
+                0,
+            )?;
+        }
+    }
+
+    // ---- phase 4: live injector cross-validation ---------------------------
+    let n_boundaries = mem_snaps.len();
+    let mut rng = SeededRng::new(cfg.seed ^ 0x6673_796e); // "fsyn"
+    for _ in 0..cfg.injector_samples.min(n_boundaries) {
+        let j = 1 + rng.index(n_boundaries);
+        let plan = FaultPlan::crash_after_fsyncs(j as u64);
+        let (_, _, _, captured) = run_fsync_workload(cfg, &sys, "mem", Some(plan))?;
+        let captured = captured
+            .ok_or_else(|| Error::Internal(format!("injector never fired for fsync j={j}")))?;
+        if captured != mem_snaps[j - 1].stream {
+            return Err(Error::Internal(format!(
+                "injector capture at fsync j={j} diverged from the snapshot \
+                 ({} vs {} bytes) — the workload is not deterministic",
+                captured.len(),
+                mem_snaps[j - 1].stream.len()
+            )));
+        }
+        let intact = offsets.partition_point(|&o| o <= captured.len());
+        sweep(
+            &mut log,
+            format!("inject fsync j={j}"),
+            &captured,
+            Some(intact),
+            0,
+        )?;
+    }
+
+    // ---- phase 5a: deterministic tear of a frame-spanning sector -----------
+    // The ROADMAP bug this PR fixes: a frame that spans a sector boundary,
+    // with one of its sectors torn, must be rejected by the page checksums —
+    // the length header alone cannot see it.
+    let spanning = offsets
+        .iter()
+        .zip(std::iter::once(&0usize).chain(offsets.iter()))
+        .find(|&(&end, &start)| start / sector::CAPACITY != (end - 1) / sector::CAPACITY)
+        .map(|(&end, &start)| (start, end));
+    if let Some((start, end)) = spanning {
+        // Tear the *second* sector the frame touches: the frame's head
+        // survives in sector k, its tail is garbage.
+        let k = start / sector::CAPACITY + 1;
+        let mut torn = file_raw.clone();
+        Corruption::SectorTear {
+            index: k as u64,
+            sector_size: sector::SECTOR_SIZE as u32,
+        }
+        .apply(&mut torn);
+        let opened = sector::open(&torn);
+        if !opened.torn || opened.stream.len() > start.max(k * sector::CAPACITY) {
+            return Err(Error::Internal(format!(
+                "spanning-frame tear at sector {k} not detected: salvaged \
+                 {} bytes (frame {start}..{end})",
+                opened.stream.len()
+            )));
+        }
+        let intact = offsets.partition_point(|&o| o <= opened.stream.len());
+        // Everything after the salvage point is rejected, including the
+        // split frame.
+        sweep(
+            &mut log,
+            format!("tear spanning-frame sector={k}"),
+            &opened.stream,
+            Some(intact),
+            offsets.len() - intact,
+        )?;
+    } else {
+        let _ = writeln!(
+            log,
+            "tear spanning-frame: no frame spans a sector (skipped)"
+        );
+    }
+
+    // ---- phase 5b: seeded sector tears -------------------------------------
+    let n_sectors = file_raw.len() / sector::SECTOR_SIZE;
+    let mut rng = SeededRng::new(cfg.seed ^ 0x7465_6172); // "tear"
+    for _ in 0..cfg.tear_samples {
+        let k = rng.index(n_sectors.max(1));
+        let mut torn = file_raw.clone();
+        Corruption::SectorTear {
+            index: k as u64,
+            sector_size: sector::SECTOR_SIZE as u32,
+        }
+        .apply(&mut torn);
+        let opened = sector::open(&torn);
+        // Chained checksums: salvage stops at (or before) the torn sector;
+        // the stream is always an exact byte prefix of the reference.
+        let want_stream_len = (k * sector::CAPACITY).min(mem_stream.len());
+        if opened.stream.len() != want_stream_len || mem_stream[..want_stream_len] != opened.stream
+        {
+            return Err(Error::Internal(format!(
+                "tear sector={k}: salvaged {} bytes, expected the {}‑byte \
+                 prefix",
+                opened.stream.len(),
+                want_stream_len
+            )));
+        }
+        let intact = offsets.partition_point(|&o| o <= opened.stream.len());
+        sweep(
+            &mut log,
+            format!("tear sector={k}"),
+            &opened.stream,
+            Some(intact),
+            offsets.len() - intact,
+        )?;
+    }
+
+    let (replayed, compensated, discarded, rejected_records) = stats_sum;
+    let _ = writeln!(
+        log,
+        "total: boundaries={n_boundaries} points={points} replayed={replayed} \
+         compensated={compensated} discarded={discarded} rejected={rejected_records} \
+         violations={violations}"
+    );
+    Ok(FsyncTortureReport {
+        boundaries: n_boundaries,
         points,
         replayed,
         compensated,

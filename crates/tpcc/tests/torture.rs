@@ -5,7 +5,7 @@
 //! seeded torn-tail and bit-flip corruptions, and a recovery + compensation
 //! + §3.3.2-consistency pass for each salvaged image.
 
-use acc_tpcc::torture::{run_torture, TortureConfig};
+use acc_tpcc::torture::{run_fsync_torture, run_torture, FsyncTortureConfig, TortureConfig};
 
 #[test]
 fn standard_sweep_holds_consistency_at_every_crash_point() {
@@ -63,4 +63,61 @@ fn different_seeds_torture_different_points() {
     let b = run_torture(&TortureConfig::smoke(2)).expect("torture harness failed");
     assert_ne!(a.log, b.log, "seed does not steer the sweep");
     assert_eq!(a.violations + b.violations, 0);
+}
+
+#[test]
+fn fsync_sweep_holds_consistency_at_every_boundary() {
+    let report =
+        run_fsync_torture(&FsyncTortureConfig::standard(42)).expect("fsync torture failed");
+    assert_eq!(
+        report.violations, 0,
+        "consistency violated after an fsync-boundary crash:\n{}",
+        report.log
+    );
+    assert!(
+        report.boundaries >= 10,
+        "only {} fsync boundaries observed — the group-commit batcher never \
+         split the workload\n{}",
+        report.boundaries,
+        report.log
+    );
+    // Both devices swept every boundary, plus tears and injector replays.
+    assert!(
+        report.points > 2 * report.boundaries,
+        "points={} boundaries={}\n{}",
+        report.points,
+        report.boundaries,
+        report.log
+    );
+    // All three outcome classes must be exercised: replay (committed before
+    // the boundary), compensation (durable step, in-flight at the boundary),
+    // discard (no durable step yet).
+    assert!(report.replayed > 0, "no transaction ever replayed");
+    assert!(
+        report.compensated > 0,
+        "no fsync boundary landed mid-transaction after a durable step:\n{}",
+        report.log
+    );
+    assert!(
+        report.discarded > 0,
+        "no fsync boundary caught a step-less in-flight transaction:\n{}",
+        report.log
+    );
+    assert!(
+        report.rejected_records > 0,
+        "no sector tear rejected records:\n{}",
+        report.log
+    );
+    assert_eq!(report.counters.recoveries, report.points as u64);
+}
+
+#[test]
+fn fsync_sweep_same_seed_is_byte_identical() {
+    let a = run_fsync_torture(&FsyncTortureConfig::smoke(7)).expect("fsync torture failed");
+    let b = run_fsync_torture(&FsyncTortureConfig::smoke(7)).expect("fsync torture failed");
+    assert_eq!(
+        a.log, b.log,
+        "two same-seed fsync torture runs diverged — determinism is broken"
+    );
+    assert_eq!(a.violations, 0, "{}", a.log);
 }

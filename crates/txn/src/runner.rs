@@ -114,7 +114,7 @@ pub fn run_existing(
                     return Ok(RunOutcome::RolledBack(AbortReason::Doomed));
                 }
                 let steps = txn.step_index + 1;
-                commit(shared, txn);
+                commit(shared, txn)?;
                 return Ok(RunOutcome::Committed { steps });
             }
             Ok(StepOutcome::Abort) => {
@@ -202,16 +202,41 @@ pub fn end_step(
     txn.steps_completed = txn.step_index + 1;
     txn.step_index += 1;
     txn.step_undo.clear();
+    // A step boundary is a natural batching point: if enough records are
+    // staged, retire them in one background fsync so commit-time flushes
+    // stay small. Never an ack — errors are sticky and surface at commit.
+    shared.flush_wal_batch();
     let meta = txn.meta();
     shared.release_where(txn.id, |kind, _| cc.release_at_step_end(&meta, kind));
 }
 
-/// Commit: log, release everything, mark committed.
-pub fn commit(shared: &SharedDb, txn: &mut Transaction) {
-    shared.with_wal(|w| w.append(LogRecord::Commit { txn: txn.id }));
-    shared.release_all(txn.id);
-    shared.clear_doom(txn.id);
-    txn.state = TxnState::Committed;
+/// Commit: log the commit record, park until it is durable (group-commit
+/// fsync boundary), then release everything and mark committed. The
+/// durability wait comes *before* lock release: a transaction whose commit
+/// was never fsynced must not expose its writes. A device failure aborts the
+/// commit with [`Error::Internal`] — nothing in that batch is acked.
+pub fn commit(shared: &SharedDb, txn: &mut Transaction) -> Result<()> {
+    let lsn = shared.with_wal(|w| w.append(LogRecord::Commit { txn: txn.id }));
+    match shared.sync_wal(lsn) {
+        Ok(()) => {
+            shared.release_all(txn.id);
+            shared.clear_doom(txn.id);
+            txn.state = TxnState::Committed;
+            Ok(())
+        }
+        Err(e) => {
+            // The commit record's durability is unknown and the device
+            // failure is sticky, so no later transaction can ack either; the
+            // system is done for. Still release everything — leaking locks
+            // would hang peers that deserve to see the same error at their
+            // own commit point. Recovery from the durable prefix decides
+            // this transaction's real fate.
+            shared.release_all(txn.id);
+            shared.clear_doom(txn.id);
+            txn.state = TxnState::Aborted;
+            Err(e)
+        }
+    }
 }
 
 /// Roll back: physically undo the current step, then semantically undo any
@@ -295,6 +320,9 @@ pub fn rollback(
     }
 
     shared.with_wal(|w| w.append(LogRecord::Abort { txn: txn.id }));
+    // Batching hint only; an abort needs no durability ack (recovery treats
+    // a missing abort record as in-flight and compensates it the same way).
+    shared.flush_wal_batch();
     shared.release_all(txn.id);
     shared.clear_doom(txn.id);
     txn.state = TxnState::Aborted;

@@ -26,7 +26,7 @@ use acc_lockmgr::{
     InterferenceOracle, LockKind, Request, RequestCtx, RequestOutcome, ShardedLockManager, Ticket,
 };
 use acc_storage::{Database, StripedDb, Table};
-use acc_wal::{LogRecord, Wal};
+use acc_wal::{DurableWal, GroupCommitPolicy, LogDevice, LogRecord, Lsn, Wal};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -48,9 +48,11 @@ pub struct SharedDb {
     db: StripedDb,
     /// The sharded lock table.
     lm: ShardedLockManager,
-    /// The WAL behind its own append mutex: LSN assignment never contends
-    /// with lock traffic or stripe access.
-    wal: Mutex<Wal>,
+    /// The WAL behind its own append mutex, plus its durable device and
+    /// group-commit batcher: LSN assignment never contends with lock traffic
+    /// or stripe access, and commits park on fsync boundaries
+    /// (`DurableWal::sync_to`).
+    wal: DurableWal,
     /// Per-ticket parking slots for blocked lock waits.
     parking: Parking,
     /// Transactions ordered to roll back by a compensating step (§3.4).
@@ -77,7 +79,7 @@ impl SharedDb {
         SharedDb {
             db: StripedDb::new(db),
             lm,
-            wal: Mutex::new(Wal::new()),
+            wal: DurableWal::default(),
             parking,
             doomed: Mutex::new(HashSet::new()),
             next_txn: AtomicU64::new(1),
@@ -94,13 +96,20 @@ impl SharedDb {
         self
     }
 
-    /// Install a fault injector: the WAL reports appends and step boundaries
-    /// to it, and lock waits consult it for planned spurious wakeups.
+    /// Swap the WAL's durable backend and group-commit policy (defaults to
+    /// an in-memory device flushing on every commit). Builder-order caveat:
+    /// call this *before* [`SharedDb::with_fault_injector`] — the injector is
+    /// installed on the current `DurableWal`, which this replaces.
+    pub fn with_wal_backend(mut self, dev: Box<dyn LogDevice>, policy: GroupCommitPolicy) -> Self {
+        self.wal = DurableWal::new(dev, policy);
+        self
+    }
+
+    /// Install a fault injector: the WAL reports appends, step boundaries
+    /// and fsync boundaries to it, and lock waits consult it for planned
+    /// spurious wakeups.
     pub fn with_fault_injector(mut self, faults: Arc<FaultInjector>) -> Self {
-        self.wal
-            .get_mut()
-            .expect("wal not poisoned")
-            .set_fault_injector(Arc::clone(&faults));
+        self.wal.set_fault_injector(Arc::clone(&faults));
         self.faults = faults;
         self
     }
@@ -162,10 +171,11 @@ impl SharedDb {
 
     /// Run `f` with the WAL locked (appends, boundary fault hooks).
     pub fn with_wal<R>(&self, f: impl FnOnce(&mut Wal) -> R) -> R {
-        f(&mut self.wal.lock().expect("wal not poisoned"))
+        self.wal.with_log(f)
     }
 
-    /// The WAL's current durable byte image.
+    /// The WAL's full byte image — every appended record, durable or not
+    /// (the PR-2 crash model: crash points at append indices).
     pub fn wal_bytes(&self) -> Vec<u8> {
         self.with_wal(|w| w.to_bytes())
     }
@@ -173,6 +183,64 @@ impl SharedDb {
     /// Number of WAL records.
     pub fn wal_len(&self) -> usize {
         self.with_wal(|w| w.len())
+    }
+
+    /// Park until `lsn` is durable, leading a group-commit flush if nobody
+    /// else is (the commit ack point). Emits [`Event::WalFsync`] when this
+    /// caller led the flush.
+    pub fn sync_wal(&self, lsn: Lsn) -> Result<()> {
+        let stats = self.wal.sync_to(lsn)?;
+        if let Some(stats) = stats {
+            let sink = self.lm.sink();
+            if sink.is_enabled() {
+                sink.emit(Event::WalFsync {
+                    records: stats.records as u32,
+                    bytes: stats.bytes as u32,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Background flush hint (non-commit append sites): flush if the staged
+    /// batch reached the policy threshold. Device errors are deliberately
+    /// swallowed here — they are sticky and surface at the next commit's
+    /// [`SharedDb::sync_wal`], the only point that acks durability.
+    pub fn flush_wal_batch(&self) {
+        if let Some(stats) = self.wal.flush_if_batchful() {
+            let sink = self.lm.sink();
+            if sink.is_enabled() {
+                sink.emit(Event::WalFsync {
+                    records: stats.records as u32,
+                    bytes: stats.bytes as u32,
+                });
+            }
+        }
+    }
+
+    /// Records covered by completed fsyncs (`durable_lsn` frontier).
+    pub fn durable_wal_records(&self) -> u64 {
+        self.wal.durable_records()
+    }
+
+    /// Completed WAL fsync boundaries.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal.fsyncs()
+    }
+
+    /// The durable record stream — what a crash right now would leave.
+    pub fn wal_durable_stream(&self) -> Vec<u8> {
+        self.wal.durable_stream()
+    }
+
+    /// The raw durable device image (sector-framed for a file device).
+    pub fn wal_raw_image(&self) -> Vec<u8> {
+        self.wal.raw_image()
+    }
+
+    /// The WAL device's short name ("mem" / "file").
+    pub fn wal_device_kind(&self) -> &'static str {
+        self.wal.device_kind()
     }
 
     /// Allocate a transaction id and log its begin record.

@@ -157,6 +157,9 @@ impl<'a> StepCtx<'a> {
                         after: Some(row.clone()),
                     })
                 });
+                // Batching hint: lets a full batch retire mid-step, so fsync
+                // boundaries can fall inside a step (what a real disk does).
+                self.shared.flush_wal_batch();
                 self.txn.step_undo.push(undo);
                 return Ok(s);
             }
@@ -196,6 +199,7 @@ impl<'a> StepCtx<'a> {
                             after,
                         })
                     });
+                    self.shared.flush_wal_batch();
                     self.txn.step_undo.push(undo);
                     return Ok(true);
                 }
@@ -222,6 +226,7 @@ impl<'a> StepCtx<'a> {
                 after,
             })
         });
+        self.shared.flush_wal_batch();
         self.txn.step_undo.push(undo);
         Ok(())
     }
@@ -257,6 +262,7 @@ impl<'a> StepCtx<'a> {
                             after: None,
                         })
                     });
+                    self.shared.flush_wal_batch();
                     self.txn.step_undo.push(undo);
                     return Ok(true);
                 }

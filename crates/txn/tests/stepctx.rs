@@ -49,7 +49,7 @@ fn with_ctx<R>(shared: &SharedDb, f: impl FnOnce(&mut StepCtx<'_>) -> R) -> R {
         let mut ctx = StepCtx::new(shared, &two, &mut txn, WaitMode::Block);
         f(&mut ctx)
     };
-    commit(shared, &mut txn);
+    commit(shared, &mut txn).unwrap();
     r
 }
 
@@ -92,8 +92,8 @@ fn read_for_update_takes_write_locks_immediately() {
         let err = ctx2.read(T, &Key::ints(&[1])).unwrap_err();
         assert!(matches!(err, Error::WouldBlock { .. }));
     }
-    commit(&s, &mut txn);
-    commit(&s, &mut txn2);
+    commit(&s, &mut txn).unwrap();
+    commit(&s, &mut txn2).unwrap();
 }
 
 #[test]
@@ -204,5 +204,5 @@ fn duplicate_insert_is_an_error() {
             .unwrap_err();
         assert!(matches!(err, Error::DuplicateKey(_)));
     }
-    commit(&s, &mut txn);
+    commit(&s, &mut txn).unwrap();
 }

@@ -238,6 +238,6 @@ fn fail_mode_surfaces_would_block_and_leaves_no_trace() {
         .unwrap();
     assert_eq!(b1, Decimal::from_int(100));
     // Finish txn 1 so the table drains.
-    acc_txn::runner::commit(&shared, &mut txn1);
+    acc_txn::runner::commit(&shared, &mut txn1).unwrap();
     assert_eq!(shared.total_grants(), 0);
 }

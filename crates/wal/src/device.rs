@@ -1,0 +1,400 @@
+//! Pluggable durable backends for the WAL.
+//!
+//! A [`LogDevice`] owns the byte-level durability contract: the group-commit
+//! layer ([`crate::group::DurableWal`]) stages encoded frames on it and calls
+//! [`LogDevice::sync`] at fsync boundaries; only bytes covered by a completed
+//! `sync` are durable. Two implementations:
+//!
+//! * [`MemDevice`] — the PR-2 model: the "disk" is an in-memory image, a
+//!   crash keeps exactly the synced prefix. Zero I/O, fully deterministic;
+//!   the default for every test and simulation.
+//! * [`FileDevice`] — a real file written in sector-aligned units
+//!   ([`crate::sector`]) with chained page checksums and `sync_data` at each
+//!   fsync boundary; reopening re-reads the raw image and salvages the
+//!   verified sector prefix.
+//!
+//! [`Snooper`] wraps any device and snapshots the durable state after every
+//! sync — the fsync-boundary torture harness replays those snapshots as crash
+//! points.
+
+use crate::sector::{self, SectorWriter};
+use acc_common::{Error, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A durable byte sink for encoded WAL frames.
+///
+/// The contract mirrors a file plus fsync: [`stage`](LogDevice::stage) is
+/// `write(2)` into the OS cache (fast, not durable), [`sync`](LogDevice::sync)
+/// is `fdatasync(2)` (everything staged so far becomes durable, atomically at
+/// the sector level). A crash loses all staged-but-unsynced bytes and may tear
+/// the sectors of an in-flight sync.
+pub trait LogDevice: Send {
+    /// Queue `bytes` for the next sync. Cheap; no durability yet.
+    fn stage(&mut self, bytes: &[u8]);
+
+    /// Make everything staged durable. On error the device is considered
+    /// failed: staged bytes are in unknown state and no further durability
+    /// can be promised.
+    fn sync(&mut self) -> Result<()>;
+
+    /// Bytes staged since the last sync.
+    fn staged_len(&self) -> usize;
+
+    /// Record-stream bytes covered by completed syncs.
+    fn durable_len(&self) -> u64;
+
+    /// The durable record stream — what a crash right now would leave for
+    /// recovery, after whatever integrity checks the device applies.
+    fn durable_stream(&self) -> Vec<u8>;
+
+    /// The raw durable image in the device's on-disk format (for
+    /// [`MemDevice`] this equals the stream; for [`FileDevice`] it is the
+    /// sector-framed file contents). Corruption sweeps mangle this and hand
+    /// it back through the device's open path.
+    fn raw_image(&self) -> Vec<u8>;
+
+    /// A short name for reports ("mem" / "file").
+    fn kind(&self) -> &'static str;
+}
+
+/// The in-memory device: durable state is the synced prefix of a plain byte
+/// vector.
+#[derive(Debug, Default)]
+pub struct MemDevice {
+    bytes: Vec<u8>,
+    synced: usize,
+}
+
+impl MemDevice {
+    /// An empty in-memory device.
+    pub fn new() -> MemDevice {
+        MemDevice::default()
+    }
+}
+
+impl LogDevice for MemDevice {
+    fn stage(&mut self, bytes: &[u8]) {
+        self.bytes.extend_from_slice(bytes);
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.synced = self.bytes.len();
+        Ok(())
+    }
+
+    fn staged_len(&self) -> usize {
+        self.bytes.len() - self.synced
+    }
+
+    fn durable_len(&self) -> u64 {
+        self.synced as u64
+    }
+
+    fn durable_stream(&self) -> Vec<u8> {
+        self.bytes[..self.synced].to_vec()
+    }
+
+    fn raw_image(&self) -> Vec<u8> {
+        self.durable_stream()
+    }
+
+    fn kind(&self) -> &'static str {
+        "mem"
+    }
+}
+
+/// A file-backed device writing sector-aligned frames with chained page
+/// checksums (see [`crate::sector`] for the format and what it detects).
+#[derive(Debug)]
+pub struct FileDevice {
+    file: File,
+    path: PathBuf,
+    writer: SectorWriter,
+    pending: Vec<u8>,
+    durable: u64,
+}
+
+impl FileDevice {
+    /// Create (truncating) a log file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<FileDevice> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| Error::Internal(format!("create {}: {e}", path.display())))?;
+        Ok(FileDevice {
+            file,
+            path,
+            writer: SectorWriter::new(),
+            pending: Vec::new(),
+            durable: 0,
+        })
+    }
+
+    /// Open an existing log file, salvaging the verified sector prefix (the
+    /// reopen-after-crash path). Bytes past the salvaged prefix — torn
+    /// sectors, stale versions, trailing garbage — are abandoned; the next
+    /// sync overwrites them.
+    pub fn open_existing(path: impl AsRef<Path>) -> Result<FileDevice> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| Error::Internal(format!("open {}: {e}", path.display())))?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)
+            .map_err(|e| Error::Internal(format!("read {}: {e}", path.display())))?;
+        let opened = sector::open(&raw);
+        let writer = SectorWriter::resume(&opened.stream);
+        let durable = opened.stream.len() as u64;
+        Ok(FileDevice {
+            file,
+            path,
+            writer,
+            pending: Vec::new(),
+            durable,
+        })
+    }
+
+    /// The file this device writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl LogDevice for FileDevice {
+    fn stage(&mut self, bytes: &[u8]) {
+        self.pending.extend_from_slice(bytes);
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        let staged = std::mem::take(&mut self.pending);
+        let (offset, sectors) = self.writer.push(&staged);
+        let io = (|| -> std::io::Result<()> {
+            if !sectors.is_empty() {
+                self.file.seek(SeekFrom::Start(offset))?;
+                self.file.write_all(&sectors)?;
+            }
+            self.file.sync_data()
+        })();
+        io.map_err(|e| Error::Internal(format!("sync {}: {e}", self.path.display())))?;
+        self.durable = self.writer.stream_len();
+        Ok(())
+    }
+
+    fn staged_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn durable_len(&self) -> u64 {
+        self.durable
+    }
+
+    fn durable_stream(&self) -> Vec<u8> {
+        // Honest path: re-verify the on-disk sectors rather than trusting
+        // in-memory state — this is exactly what recovery would see.
+        sector::open(&self.raw_image()).stream
+    }
+
+    fn raw_image(&self) -> Vec<u8> {
+        let mut f = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(_) => return Vec::new(),
+        };
+        let mut raw = Vec::new();
+        let _ = f.read_to_end(&mut raw);
+        raw
+    }
+
+    fn kind(&self) -> &'static str {
+        "file"
+    }
+}
+
+/// Durable state captured immediately after one successful sync.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsyncSnapshot {
+    /// The verified record stream durable at this boundary.
+    pub stream: Vec<u8>,
+    /// The raw device image (sector-framed for [`FileDevice`]).
+    pub raw: Vec<u8>,
+}
+
+/// Wraps a device and records an [`FsyncSnapshot`] after every successful
+/// sync — the torture harness's window into each fsync boundary.
+pub struct Snooper<D> {
+    inner: D,
+    snapshots: Arc<Mutex<Vec<FsyncSnapshot>>>,
+}
+
+impl<D: LogDevice> Snooper<D> {
+    /// Wrap `inner`; snapshots accumulate into the shared vector.
+    pub fn new(inner: D) -> (Snooper<D>, Arc<Mutex<Vec<FsyncSnapshot>>>) {
+        let snapshots = Arc::new(Mutex::new(Vec::new()));
+        (
+            Snooper {
+                inner,
+                snapshots: Arc::clone(&snapshots),
+            },
+            snapshots,
+        )
+    }
+}
+
+impl<D: LogDevice> LogDevice for Snooper<D> {
+    fn stage(&mut self, bytes: &[u8]) {
+        self.inner.stage(bytes);
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        self.inner.sync()?;
+        self.snapshots.lock().unwrap().push(FsyncSnapshot {
+            stream: self.inner.durable_stream(),
+            raw: self.inner.raw_image(),
+        });
+        Ok(())
+    }
+
+    fn staged_len(&self) -> usize {
+        self.inner.staged_len()
+    }
+
+    fn durable_len(&self) -> u64 {
+        self.inner.durable_len()
+    }
+
+    fn durable_stream(&self) -> Vec<u8> {
+        self.inner.durable_stream()
+    }
+
+    fn raw_image(&self) -> Vec<u8> {
+        self.inner.raw_image()
+    }
+
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+}
+
+/// A unique temp-file path for tests and benches (pid + discriminator).
+pub fn temp_log_path(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("acc-wal-{}-{tag}.log", std::process::id()));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_device_durable_is_synced_prefix() {
+        let mut d = MemDevice::new();
+        d.stage(b"hello ");
+        assert_eq!(d.durable_len(), 0);
+        assert!(d.durable_stream().is_empty());
+        d.sync().unwrap();
+        d.stage(b"world");
+        assert_eq!(d.durable_stream(), b"hello ");
+        assert_eq!(d.staged_len(), 5);
+        d.sync().unwrap();
+        assert_eq!(d.durable_stream(), b"hello world");
+    }
+
+    #[test]
+    fn file_device_round_trip_and_reopen() {
+        let path = temp_log_path("device-roundtrip");
+        let payload: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+        {
+            let mut d = FileDevice::create(&path).unwrap();
+            d.stage(&payload[..1000]);
+            d.sync().unwrap();
+            d.stage(&payload[1000..]);
+            d.sync().unwrap();
+            assert_eq!(d.durable_len(), payload.len() as u64);
+            assert_eq!(d.durable_stream(), payload);
+            // The raw image is sector-framed, strictly larger than the
+            // stream and sector-aligned.
+            let raw = d.raw_image();
+            assert_eq!(raw.len() % sector::SECTOR_SIZE, 0);
+            assert!(raw.len() > payload.len());
+        }
+        let reopened = FileDevice::open_existing(&path).unwrap();
+        assert_eq!(reopened.durable_len(), payload.len() as u64);
+        assert_eq!(reopened.durable_stream(), payload);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_device_unsynced_bytes_are_not_durable() {
+        let path = temp_log_path("device-unsynced");
+        let mut d = FileDevice::create(&path).unwrap();
+        d.stage(b"durable");
+        d.sync().unwrap();
+        d.stage(b"staged only");
+        assert_eq!(d.durable_stream(), b"durable");
+        // A reopen (the crash model) sees only the synced prefix.
+        let reopened = FileDevice::open_existing(&path).unwrap();
+        assert_eq!(reopened.durable_stream(), b"durable");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_reopen_salvages_prefix_of_torn_image() {
+        let path = temp_log_path("device-torn");
+        let payload: Vec<u8> = (0..2500u32).map(|i| (i % 13) as u8).collect();
+        {
+            let mut d = FileDevice::create(&path).unwrap();
+            d.stage(&payload);
+            d.sync().unwrap();
+        }
+        // Tear the second sector on disk.
+        let mut raw = std::fs::read(&path).unwrap();
+        for b in &mut raw[sector::SECTOR_SIZE..2 * sector::SECTOR_SIZE] {
+            *b ^= 0x5a;
+        }
+        std::fs::write(&path, &raw).unwrap();
+        let reopened = FileDevice::open_existing(&path).unwrap();
+        assert_eq!(reopened.durable_stream(), payload[..sector::CAPACITY]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_device_extends_after_torn_reopen() {
+        let path = temp_log_path("device-extend");
+        {
+            let mut d = FileDevice::create(&path).unwrap();
+            d.stage(&[7u8; 100]);
+            d.sync().unwrap();
+        }
+        let mut d = FileDevice::open_existing(&path).unwrap();
+        d.stage(&[9u8; 50]);
+        d.sync().unwrap();
+        let mut expect = vec![7u8; 100];
+        expect.extend_from_slice(&[9u8; 50]);
+        assert_eq!(d.durable_stream(), expect);
+        let reopened = FileDevice::open_existing(&path).unwrap();
+        assert_eq!(reopened.durable_stream(), expect);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snooper_snapshots_every_sync() {
+        let (mut d, snaps) = Snooper::new(MemDevice::new());
+        d.stage(b"ab");
+        d.sync().unwrap();
+        d.stage(b"cd");
+        d.sync().unwrap();
+        let snaps = snaps.lock().unwrap();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].stream, b"ab");
+        assert_eq!(snaps[1].stream, b"abcd");
+    }
+}

@@ -1,0 +1,434 @@
+//! Group commit: batching appenders onto shared fsync boundaries.
+//!
+//! PR 3 put the WAL behind a dedicated append mutex assigning LSNs
+//! independently of lock traffic; this module is the batching layer that
+//! slots in behind it. Appenders append under the log mutex (cheap —
+//! encode + push, no I/O) and *commit* by parking on their record's LSN in
+//! [`DurableWal::sync_to`]. The first parked committer becomes the batch
+//! leader: it waits out the group-commit window so followers can pile on,
+//! drains every frame staged since the last flush, and retires the whole
+//! batch with one device write + fsync. `durable_lsn` advances only at these
+//! fsync boundaries — a crash loses precisely the suffix past the last
+//! completed fsync, never a prefix of it.
+//!
+//! Failure is sticky: if a sync fails mid-batch, no transaction in that
+//! batch (or any later one) is ever acknowledged — the error surfaces to
+//! every parked committer and to all future ones. Acking a commit whose
+//! fsync did not complete is the one unforgivable durability bug.
+
+use crate::device::{LogDevice, MemDevice};
+use crate::log::{Lsn, Wal};
+use acc_common::faults::FaultInjector;
+use acc_common::{Error, Result};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Tuning for the group-commit batcher.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupCommitPolicy {
+    /// How long a batch leader waits for followers before flushing. Zero —
+    /// the default — flushes immediately (every committer that finds no
+    /// flush in progress leads its own batch); non-zero trades commit
+    /// latency for fewer, fatter fsyncs.
+    pub window: Duration,
+    /// Background-flush threshold: once this many records are appended but
+    /// not yet durable, a non-committing append may trigger a flush so the
+    /// staged tail cannot grow without bound between commits.
+    pub max_batch: usize,
+}
+
+impl Default for GroupCommitPolicy {
+    fn default() -> GroupCommitPolicy {
+        GroupCommitPolicy {
+            window: Duration::ZERO,
+            max_batch: 256,
+        }
+    }
+}
+
+/// What one leader flush retired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Records newly made durable by this flush.
+    pub records: u64,
+    /// Encoded bytes newly made durable by this flush.
+    pub bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct GcState {
+    /// Records covered by completed fsyncs (the durable LSN frontier:
+    /// record `lsn` is durable iff `lsn < durable`).
+    durable: u64,
+    /// True while a leader is flushing (followers park instead of syncing).
+    flushing: bool,
+    /// Completed fsync boundaries.
+    fsyncs: u64,
+    /// Sticky device failure: set once, fails every later sync.
+    failed: Option<String>,
+}
+
+/// The WAL plus its durable backend and the group-commit state machine.
+///
+/// The in-memory [`Wal`] stays the source of truth for reads (`records`,
+/// `to_bytes`); the device holds the durable image. The three locks are
+/// ordered `state` → `log` → `dev` (each taken briefly, never nested the
+/// other way), so appenders touch only `log` while a leader is inside the
+/// device fsync.
+pub struct DurableWal {
+    log: Mutex<Wal>,
+    dev: Mutex<Box<dyn LogDevice>>,
+    state: Mutex<GcState>,
+    cv: Condvar,
+    policy: GroupCommitPolicy,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl std::fmt::Debug for DurableWal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().unwrap();
+        f.debug_struct("DurableWal")
+            .field("durable", &state.durable)
+            .field("fsyncs", &state.fsyncs)
+            .field("failed", &state.failed)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl Default for DurableWal {
+    fn default() -> DurableWal {
+        DurableWal::new(Box::new(MemDevice::new()), GroupCommitPolicy::default())
+    }
+}
+
+impl DurableWal {
+    /// A log on `dev` under `policy`.
+    pub fn new(dev: Box<dyn LogDevice>, policy: GroupCommitPolicy) -> DurableWal {
+        DurableWal {
+            log: Mutex::new(Wal::new()),
+            dev: Mutex::new(dev),
+            state: Mutex::new(GcState::default()),
+            cv: Condvar::new(),
+            policy,
+            faults: None,
+        }
+    }
+
+    /// Install a fault injector: the inner log observes appends and step
+    /// boundaries (as before), and the batcher reports each completed fsync
+    /// so a planned crash can land exactly on a fsync boundary.
+    pub fn set_fault_injector(&mut self, faults: Arc<FaultInjector>) {
+        self.log
+            .lock()
+            .unwrap()
+            .set_fault_injector(Arc::clone(&faults));
+        self.faults = Some(faults);
+    }
+
+    /// Run `f` under the append mutex — the PR-3 append path, unchanged.
+    pub fn with_log<R>(&self, f: impl FnOnce(&mut Wal) -> R) -> R {
+        f(&mut self.log.lock().unwrap())
+    }
+
+    /// The group-commit policy in force.
+    pub fn policy(&self) -> GroupCommitPolicy {
+        self.policy
+    }
+
+    /// Records covered by completed fsyncs.
+    pub fn durable_records(&self) -> u64 {
+        self.state.lock().unwrap().durable
+    }
+
+    /// Completed fsync boundaries.
+    pub fn fsyncs(&self) -> u64 {
+        self.state.lock().unwrap().fsyncs
+    }
+
+    /// The device's durable record stream (what a crash right now leaves).
+    pub fn durable_stream(&self) -> Vec<u8> {
+        self.dev.lock().unwrap().durable_stream()
+    }
+
+    /// The device's raw durable image (sector-framed for a file device).
+    pub fn raw_image(&self) -> Vec<u8> {
+        self.dev.lock().unwrap().raw_image()
+    }
+
+    /// The device's short name ("mem" / "file").
+    pub fn device_kind(&self) -> &'static str {
+        self.dev.lock().unwrap().kind()
+    }
+
+    /// Park until record `lsn` is durable, leading a batch flush if nobody
+    /// else is. Returns `Some(stats)` if this call led the flush that
+    /// retired `lsn` (the caller observes the fsync boundary), `None` if a
+    /// concurrent leader covered it. Errors are sticky: once a sync fails,
+    /// every current and future committer gets the error.
+    pub fn sync_to(&self, lsn: Lsn) -> Result<Option<FlushStats>> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(msg) = &state.failed {
+                return Err(Error::Internal(format!("wal device failed: {msg}")));
+            }
+            if state.durable > lsn.0 {
+                return Ok(None);
+            }
+            if state.flushing {
+                state = self.cv.wait(state).unwrap();
+                continue;
+            }
+            // Lead: let followers accumulate for one window, then flush
+            // everything staged — including appends that arrived during the
+            // wait — in one write + fsync.
+            state.flushing = true;
+            drop(state);
+            if !self.policy.window.is_zero() {
+                std::thread::sleep(self.policy.window);
+            }
+            let flushed = self.flush_once();
+            state = self.state.lock().unwrap();
+            state.flushing = false;
+            match flushed {
+                Ok((covered, bytes)) => {
+                    let stats = FlushStats {
+                        records: covered - state.durable,
+                        bytes,
+                    };
+                    state.durable = covered;
+                    state.fsyncs += 1;
+                    self.cv.notify_all();
+                    // This leader's own record is covered by construction:
+                    // it was appended before sync_to was called.
+                    debug_assert!(state.durable > lsn.0);
+                    return Ok(Some(stats));
+                }
+                Err(e) => {
+                    state.failed = Some(e.to_string());
+                    self.cv.notify_all();
+                    return Err(Error::Internal(format!("wal device failed: {e}")));
+                }
+            }
+        }
+    }
+
+    /// Background flush hint: if at least `max_batch` records are appended
+    /// but not durable and no flush is running, lead one now (no window
+    /// wait — the batch is already full). Returns the flush stats if this
+    /// call flushed. Device errors are sticky but deliberately not returned
+    /// here: a failed background flush surfaces at the next commit's
+    /// `sync_to`, which is the ack point that must see it.
+    pub fn flush_if_batchful(&self) -> Option<FlushStats> {
+        {
+            let state = self.state.lock().unwrap();
+            if state.flushing || state.failed.is_some() {
+                return None;
+            }
+            let appended = self.log.lock().unwrap().len() as u64;
+            if appended.saturating_sub(state.durable) < self.policy.max_batch as u64 {
+                return None;
+            }
+        }
+        self.force_flush().ok().flatten()
+    }
+
+    /// Lead a flush now regardless of batch size (used by tests and
+    /// shutdown). Same sticky-failure semantics as [`DurableWal::sync_to`].
+    pub fn force_flush(&self) -> Result<Option<FlushStats>> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(msg) = &state.failed {
+                return Err(Error::Internal(format!("wal device failed: {msg}")));
+            }
+            if state.flushing {
+                state = self.cv.wait(state).unwrap();
+                continue;
+            }
+            let appended = self.log.lock().unwrap().len() as u64;
+            if state.durable >= appended {
+                return Ok(None);
+            }
+            state.flushing = true;
+            drop(state);
+            let flushed = self.flush_once();
+            state = self.state.lock().unwrap();
+            state.flushing = false;
+            match flushed {
+                Ok((covered, bytes)) => {
+                    let stats = FlushStats {
+                        records: covered - state.durable,
+                        bytes,
+                    };
+                    state.durable = covered;
+                    state.fsyncs += 1;
+                    self.cv.notify_all();
+                    return Ok(Some(stats));
+                }
+                Err(e) => {
+                    state.failed = Some(e.to_string());
+                    self.cv.notify_all();
+                    return Err(Error::Internal(format!("wal device failed: {e}")));
+                }
+            }
+        }
+    }
+
+    /// Drain staged frames and fsync them. Returns the record count covered
+    /// by this flush (the log length at drain time) and the byte count
+    /// written. Called only by a leader (state.flushing == true), so there
+    /// is exactly one drainer at a time.
+    fn flush_once(&self) -> Result<(u64, u64)> {
+        let (bytes, covered) = {
+            let mut log = self.log.lock().unwrap();
+            let bytes = log.take_staged();
+            (bytes, log.len() as u64)
+        };
+        let n = bytes.len() as u64;
+        let mut dev = self.dev.lock().unwrap();
+        dev.stage(&bytes);
+        dev.sync()?;
+        if let Some(f) = &self.faults {
+            if f.is_enabled() {
+                f.on_wal_fsync(|| dev.durable_stream());
+            }
+        }
+        Ok((covered, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec;
+    use crate::record::LogRecord;
+    use acc_common::TxnId;
+
+    fn commit_rec(n: u64) -> LogRecord {
+        LogRecord::Commit { txn: TxnId(n) }
+    }
+
+    /// A device whose sync always fails — the mid-batch crash model.
+    struct BrokenDevice;
+
+    impl LogDevice for BrokenDevice {
+        fn stage(&mut self, _bytes: &[u8]) {}
+        fn sync(&mut self) -> Result<()> {
+            Err(Error::Internal("injected sync failure".into()))
+        }
+        fn staged_len(&self) -> usize {
+            0
+        }
+        fn durable_len(&self) -> u64 {
+            0
+        }
+        fn durable_stream(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn raw_image(&self) -> Vec<u8> {
+            Vec::new()
+        }
+        fn kind(&self) -> &'static str {
+            "broken"
+        }
+    }
+
+    #[test]
+    fn sync_to_advances_durable_only_at_fsync() {
+        let wal = DurableWal::default();
+        let a = wal.with_log(|w| w.append(commit_rec(1)));
+        let b = wal.with_log(|w| w.append(commit_rec(2)));
+        assert_eq!(wal.durable_records(), 0);
+        assert!(wal.durable_stream().is_empty());
+        let stats = wal.sync_to(b).unwrap().expect("led the flush");
+        assert_eq!(stats.records, 2);
+        assert_eq!(wal.durable_records(), 2);
+        assert_eq!(wal.fsyncs(), 1);
+        // Both records are on the durable stream.
+        let recs = codec::decode_all(&wal.durable_stream());
+        assert_eq!(recs, vec![commit_rec(1), commit_rec(2)]);
+        // Re-syncing an already durable LSN is a no-op.
+        assert_eq!(wal.sync_to(a).unwrap(), None);
+        assert_eq!(wal.fsyncs(), 1);
+    }
+
+    #[test]
+    fn lone_appender_flushes_within_the_window() {
+        // Liveness: one committer, nonzero window, nobody else to batch
+        // with — it must lead its own flush and return, not park forever.
+        let wal = DurableWal::new(
+            Box::new(MemDevice::new()),
+            GroupCommitPolicy {
+                window: Duration::from_millis(5),
+                max_batch: 256,
+            },
+        );
+        let lsn = wal.with_log(|w| w.append(commit_rec(1)));
+        let start = std::time::Instant::now();
+        wal.sync_to(lsn).unwrap().expect("led");
+        assert!(start.elapsed() < Duration::from_secs(1));
+        assert_eq!(wal.durable_records(), 1);
+    }
+
+    #[test]
+    fn failed_sync_is_sticky_and_acks_nothing() {
+        let mut wal = DurableWal::new(Box::new(BrokenDevice), GroupCommitPolicy::default());
+        wal.set_fault_injector(FaultInjector::disabled());
+        let lsn = wal.with_log(|w| w.append(commit_rec(1)));
+        assert!(wal.sync_to(lsn).is_err());
+        assert_eq!(wal.durable_records(), 0, "no ack on failed fsync");
+        // Sticky: later commits fail too, without touching the device.
+        let lsn2 = wal.with_log(|w| w.append(commit_rec(2)));
+        assert!(wal.sync_to(lsn2).is_err());
+        assert!(wal.force_flush().is_err());
+    }
+
+    #[test]
+    fn concurrent_committers_coalesce_into_few_fsyncs() {
+        let wal = Arc::new(DurableWal::new(
+            Box::new(MemDevice::new()),
+            GroupCommitPolicy {
+                window: Duration::from_millis(2),
+                max_batch: 256,
+            },
+        ));
+        let threads: Vec<_> = (0..8u64)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    let lsn = wal.with_log(|w| w.append(commit_rec(i)));
+                    wal.sync_to(lsn).unwrap();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(wal.durable_records(), 8);
+        assert!(
+            wal.fsyncs() <= 8,
+            "never more fsyncs than committers: {}",
+            wal.fsyncs()
+        );
+        assert_eq!(codec::decode_all(&wal.durable_stream()).len(), 8);
+    }
+
+    #[test]
+    fn flush_if_batchful_flushes_at_threshold() {
+        let wal = DurableWal::new(
+            Box::new(MemDevice::new()),
+            GroupCommitPolicy {
+                window: Duration::ZERO,
+                max_batch: 4,
+            },
+        );
+        for i in 0..3 {
+            wal.with_log(|w| w.append(commit_rec(i)));
+            assert_eq!(wal.flush_if_batchful(), None, "below threshold");
+        }
+        wal.with_log(|w| w.append(commit_rec(3)));
+        let stats = wal.flush_if_batchful().expect("at threshold");
+        assert_eq!(stats.records, 4);
+        assert_eq!(wal.durable_records(), 4);
+    }
+}

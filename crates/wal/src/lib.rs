@@ -19,10 +19,15 @@
 
 pub mod buf;
 pub mod codec;
+pub mod device;
+pub mod group;
 pub mod log;
 pub mod record;
 pub mod recovery;
+pub mod sector;
 
+pub use device::{FileDevice, FsyncSnapshot, LogDevice, MemDevice, Snooper};
+pub use group::{DurableWal, FlushStats, GroupCommitPolicy};
 pub use log::{Lsn, Wal};
 pub use record::LogRecord;
 pub use recovery::{recover, InFlight, RecoveryReport};

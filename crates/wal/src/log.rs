@@ -23,6 +23,10 @@ impl fmt::Display for Lsn {
 #[derive(Debug, Default)]
 pub struct Wal {
     records: Vec<LogRecord>,
+    /// Encoded frames not yet handed to a durable device (see
+    /// [`Wal::take_staged`]). Records are encoded once, at append time, so
+    /// the group-commit batcher drains bytes without re-walking the log.
+    staged: Vec<u8>,
     /// Fault-injection hook (crash-torture harness); absent in production.
     faults: Option<Arc<FaultInjector>>,
 }
@@ -43,6 +47,7 @@ impl Wal {
 
     /// Append a record, returning its LSN.
     pub fn append(&mut self, rec: LogRecord) -> Lsn {
+        codec::encode_record(&rec, &mut self.staged);
         self.records.push(rec);
         if let Some(f) = &self.faults {
             if f.is_enabled() {
@@ -50,6 +55,13 @@ impl Wal {
             }
         }
         Lsn(self.records.len() as u64 - 1)
+    }
+
+    /// Drain the encoded frames appended since the last drain. The
+    /// group-commit batcher stages these on the durable device; callers that
+    /// never drain just accumulate bytes they never look at.
+    pub fn take_staged(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.staged)
     }
 
     /// Report an end-of-step boundary edge to the fault injector, letting a
@@ -89,16 +101,24 @@ impl Wal {
 
     /// Rebuild from a (possibly truncated or tail-corrupted) durable image.
     pub fn from_bytes(data: &[u8]) -> Self {
+        let records = codec::decode_all(data);
+        let mut staged = Vec::new();
+        for r in &records {
+            codec::encode_record(r, &mut staged);
+        }
         Wal {
-            records: codec::decode_all(data),
+            records,
+            staged,
             faults: None,
         }
     }
 
     /// Drop all records from `lsn` (inclusive) on — simulates a crash that
-    /// lost the log tail.
+    /// lost the log tail. Resets the staging buffer to the full surviving
+    /// image (valid only if nothing has been drained to a device yet).
     pub fn truncate(&mut self, lsn: Lsn) {
         self.records.truncate(lsn.0 as usize);
+        self.staged = self.to_bytes();
     }
 }
 

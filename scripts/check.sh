@@ -18,8 +18,14 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
+echo "== durable WAL tests (sector framing, devices, group commit) =="
+cargo test -p acc-wal -p acc-txn --offline -q --test sector_prop --test group_commit
+
 echo "== crash-torture smoke (bounded sweep) =="
 cargo run -p acc-bench --release --offline --bin figures -- torture --quick >/dev/null
+
+echo "== fsync-boundary torture smoke (both devices) =="
+cargo run -p acc-bench --release --offline --bin figures -- torture --fsync --quick
 
 echo "== multi-thread stress smoke (8-terminal closed loop, release) =="
 cargo run -p acc-bench --release --offline --bin figures -- stress --quick

@@ -183,7 +183,7 @@ fn district_conflict_interleaves_under_acc() {
                 acc_txn::runner::end_step(&shared, &*sys.acc, &mut txn, no.work_area());
             }
             StepOutcome::Done => {
-                acc_txn::runner::commit(&shared, &mut txn);
+                acc_txn::runner::commit(&shared, &mut txn).unwrap();
                 break;
             }
             StepOutcome::Abort => panic!("unexpected abort"),
