@@ -7,8 +7,9 @@
 //!
 //! Subcommands: `fig2`, `fig3`, `fig4`, `servers`, `olcount`, `ablation`,
 //! `twolevel`, `lockstat`, `tables`, `torture` (`--strided` for the
-//! benchmark-scale sweep, `--fsync` for the fsync-boundary sweep), `wal`,
-//! `mtbench`, `retry`, `stress`, `all`. `--quick` runs a shorter sweep for
+//! benchmark-scale sweep, `--fsync` for the fsync-boundary sweep,
+//! `--reanalysis` for the online table-switchover sweep), `wal`, `mtbench`,
+//! `retry`, `stress`, `all`. `--quick` runs a shorter sweep for
 //! smoke-testing. The deterministic simulator subcommands (everything in
 //! `all`) are byte-identical across runs; `wal`/`mtbench`/`retry`/`stress`
 //! are wall-clock and intentionally kept out of `all`.
@@ -19,11 +20,48 @@ use acc_bench::figures::{
 };
 use acc_bench::{mtbench, walbench};
 
+/// Every subcommand, one line each, for `--help`. `scripts/check.sh` greps
+/// this output against the subcommands the README mentions, so the list must
+/// stay complete.
+const HELP: &str = "\
+regenerate the paper's figures and tables
+
+usage: figures -- <subcommand> [--quick] [--strided] [--fsync] [--reanalysis]
+
+subcommands:
+  fig2       paper figure 2: throughput vs multiprogramming level
+  fig3       paper figure 3: response time vs multiprogramming level
+  fig4       paper figure 4: throughput vs think time
+  servers    server-count sweep table
+  olcount    order-line count sweep table
+  ablation   assertion-template ablation table
+  twolevel   two-level (global argument) analysis table
+  lockstat   lock/step observability counter dump
+  tables     dump the design-time interference tables
+  torture    crash-torture sweep (--strided: benchmark scale;
+             --fsync: fsync-boundary sweep; --reanalysis: online
+             table re-analysis with epoch switchover)
+  wal        group-commit latency/throughput sweep (wall-clock)
+  mtbench    multi-thread lock-manager benchmark (wall-clock)
+  retry      deadlock-retry sweep (wall-clock)
+  stress     multi-thread consistency stress (wall-clock)
+  all        every deterministic simulator figure above
+
+flags:
+  --quick       shorter smoke-scale sweeps
+  --help, -h    this text
+";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let strided = args.iter().any(|a| a == "--strided");
     let fsync = args.iter().any(|a| a == "--fsync");
+    let reanalysis = args.iter().any(|a| a == "--reanalysis");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -72,7 +110,9 @@ fn main() {
             lockstat(&params);
         }
         "torture" => {
-            if fsync {
+            if reanalysis {
+                walbench::reanalysis_torture(quick);
+            } else if fsync {
                 walbench::fsync_torture(quick);
             } else if strided {
                 torture_strided();

@@ -195,7 +195,10 @@ fn tpcc_cell(threads: usize, hot: bool, duration: Duration, seed: u64) -> MtCell
 
 /// The contended multi-thread microbench: shard scaling of the raw lock
 /// manager, then disjoint-warehouse vs hot-district TPC-C new-orders at
-/// 1/2/4/8 threads. Prints two tables; speedups are relative to one thread.
+/// 1/2/4/8 threads. Prints two tables (speedups relative to one thread),
+/// then one machine-readable JSON line per thread count — stable keys, one
+/// object per line, so scripts can `grep '^{'` the output and parse without
+/// scraping the human tables.
 pub fn mtbench(quick: bool) {
     parallelism_banner();
     let iters: u64 = if quick { 20_000 } else { 100_000 };
@@ -204,6 +207,7 @@ pub fn mtbench(quick: bool) {
         "{:>7} {:>16} {:>9} {:>16} {:>9}",
         "threads", "disjoint ops/s", "speedup", "hot-shard ops/s", "speedup"
     );
+    let mut lock_rows = Vec::new();
     let (mut base_d, mut base_h) = (0.0f64, 0.0f64);
     for &t in &THREADS {
         let d = lockmgr_ops_per_sec(t, iters, true);
@@ -217,6 +221,7 @@ pub fn mtbench(quick: bool) {
             d / base_d,
             h / base_h
         );
+        lock_rows.push((d, h));
     }
 
     let duration = Duration::from_millis(if quick { 250 } else { 1000 });
@@ -228,6 +233,7 @@ pub fn mtbench(quick: bool) {
         "{:>7} {:>14} {:>9} {:>8} {:>14} {:>9} {:>8}",
         "threads", "disjoint tps", "speedup", "aborts", "hot tps", "speedup", "aborts"
     );
+    let mut tpcc_rows = Vec::new();
     let (mut base_dt, mut base_ht) = (0.0f64, 0.0f64);
     for &t in &THREADS {
         let d = tpcc_cell(t, false, duration, 42);
@@ -244,6 +250,23 @@ pub fn mtbench(quick: bool) {
             h.tps,
             h.tps / base_ht,
             h.aborted
+        );
+        tpcc_rows.push((d, h));
+    }
+
+    println!();
+    for (i, &t) in THREADS.iter().enumerate() {
+        let (ld, lh) = lock_rows[i];
+        let (d, h) = &tpcc_rows[i];
+        println!(
+            "{{\"bench\":\"mtbench\",\"threads\":{t},\
+             \"lockmgr_disjoint_ops_per_s\":{ld:.0},\
+             \"lockmgr_hot_ops_per_s\":{lh:.0},\
+             \"tpcc_disjoint_tps\":{:.1},\"tpcc_disjoint_committed\":{},\
+             \"tpcc_disjoint_aborted\":{},\
+             \"tpcc_hot_tps\":{:.1},\"tpcc_hot_committed\":{},\
+             \"tpcc_hot_aborted\":{}}}",
+            d.tps, d.committed, d.aborted, h.tps, h.committed, h.aborted
         );
     }
 }

@@ -19,7 +19,7 @@ use acc_storage::{Catalog, ColumnType, Database, Key, Row, TableSchema};
 use acc_txn::runner::commit;
 use acc_txn::{SharedDb, StepCtx, Transaction, TwoPhase, WaitMode};
 use acc_wal::device::temp_log_path;
-use acc_wal::{FileDevice, GroupCommitPolicy, LogDevice, MemDevice};
+use acc_wal::{CommitWindow, FileDevice, GroupCommitPolicy, LogDevice, MemDevice};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -71,7 +71,7 @@ struct WalCell {
 
 fn wal_cell(
     dev: Box<dyn LogDevice>,
-    window: Duration,
+    window: CommitWindow,
     threads: usize,
     duration: Duration,
 ) -> WalCell {
@@ -145,11 +145,31 @@ pub fn walbench(quick: bool) {
     }
     let duration = Duration::from_millis(if quick { 150 } else { 400 });
     let threads: &[usize] = if quick { &[1, 4] } else { &[1, 4, 8] };
-    let windows_us: &[u64] = if quick {
-        &[0, 200]
+    // Fixed windows plus the rate-adaptive policy (floor 50 µs, ceil 2 ms):
+    // the adaptive rows should stay near window-0 wherever flushes retire
+    // ~one commit each (lone committer; mem device) and engage a window
+    // sized to the arrival rate where coalescing pays (file device under
+    // concurrency) — without hand-tuning.
+    let mut windows: Vec<(String, CommitWindow)> = if quick {
+        vec![0u64, 200]
     } else {
-        &[0, 100, 500, 2000]
-    };
+        vec![0, 100, 500, 2000]
+    }
+    .into_iter()
+    .map(|us| {
+        (
+            format!("{us} us"),
+            CommitWindow::Fixed(Duration::from_micros(us)),
+        )
+    })
+    .collect();
+    windows.push((
+        "adaptive".to_string(),
+        CommitWindow::Adaptive {
+            floor: Duration::from_micros(50),
+            ceil: Duration::from_millis(2),
+        },
+    ));
     println!(
         "\n=== group commit: single-update commits, {} ms/cell, max_batch 256 ===",
         duration.as_millis()
@@ -166,9 +186,9 @@ pub fn walbench(quick: bool) {
         "recs/fsync"
     );
     for kind in ["mem", "file"] {
-        for &win in windows_us {
+        for (label, win) in &windows {
             for &t in threads {
-                let path = temp_log_path(&format!("walbench-{win}-{t}"));
+                let path = temp_log_path(&format!("walbench-{label}-{t}").replace(' ', ""));
                 let dev: Box<dyn LogDevice> = match kind {
                     "mem" => Box::new(MemDevice::new()),
                     _ => {
@@ -176,12 +196,12 @@ pub fn walbench(quick: bool) {
                         Box::new(FileDevice::create(&path).expect("create bench log"))
                     }
                 };
-                let cell = wal_cell(dev, Duration::from_micros(win), t, duration);
+                let cell = wal_cell(dev, *win, t, duration);
                 if kind == "file" {
                     let _ = std::fs::remove_file(&path);
                 }
                 println!(
-                    "{kind:>6} {win:>7} us {t:>8} {:>12} {:>12.0} {:>14.1} {:>10} {:>11.1}",
+                    "{kind:>6} {label:>10} {t:>8} {:>12} {:>12.0} {:>14.1} {:>10} {:>11.1}",
                     cell.commits, cell.tps, cell.mean_latency_us, cell.fsyncs, cell.recs_per_fsync
                 );
             }
@@ -212,6 +232,40 @@ pub fn fsync_torture(quick: bool) {
         report.violations
     );
     if report.violations > 0 {
+        eprintln!("{}", report.log);
+        std::process::exit(1);
+    }
+}
+
+/// The `figures -- torture --reanalysis` smoke: an online table re-analysis
+/// (epoch switchover) at every step boundary of the seeded mix, plus the
+/// crash sweep recovering under the edited tables. Exits non-zero on any
+/// consistency violation or mixed-epoch lookup so `scripts/check.sh` can
+/// gate on it.
+pub fn reanalysis_torture(quick: bool) {
+    use acc_tpcc::torture::{run_reanalysis_torture, ReanalysisTortureConfig};
+    let cfg = if quick {
+        ReanalysisTortureConfig::smoke(42)
+    } else {
+        ReanalysisTortureConfig::standard(42)
+    };
+    let report = run_reanalysis_torture(&cfg).expect("reanalysis torture harness failed");
+    println!(
+        "reanalysis torture: {} boundaries, {} switchovers ({} pins drained, \
+         {} immediate), {} crash points under edited tables, replayed {}, \
+         compensated {}, discarded {}, {} violations, {} mixed-epoch lookups",
+        report.boundaries,
+        report.switch_points,
+        report.drained,
+        report.immediate_installs,
+        report.crash_points,
+        report.replayed,
+        report.compensated,
+        report.discarded,
+        report.violations,
+        report.mixed_epoch_lookups
+    );
+    if report.violations > 0 || report.mixed_epoch_lookups > 0 {
         eprintln!("{}", report.log);
         std::process::exit(1);
     }

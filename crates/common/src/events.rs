@@ -269,6 +269,17 @@ pub enum Event {
         /// Encoded bytes newly made durable by this flush.
         bytes: u32,
     },
+    /// An interference-table switchover completed: re-analyzed tables became
+    /// current after every transaction pinned to the old epoch released its
+    /// locks (immediate when nothing was pinned).
+    EpochSwitch {
+        /// The epoch that just became current.
+        epoch: u64,
+        /// Old-epoch pins the switch drained (0 = immediate).
+        drained: u32,
+        /// Admissions that parked while the drain was in progress.
+        parked: u32,
+    },
 }
 
 /// Number of wait-histogram buckets (power-of-two microsecond buckets:
@@ -299,6 +310,9 @@ struct Counters {
     wal_fsyncs: AtomicU64,
     wal_fsynced_records: AtomicU64,
     wal_fsynced_bytes: AtomicU64,
+    epoch_switches: AtomicU64,
+    epoch_drained_pins: AtomicU64,
+    epoch_parked_admissions: AtomicU64,
 }
 
 /// A point-in-time copy of the sink's counters.
@@ -348,6 +362,12 @@ pub struct CounterSnapshot {
     pub wal_fsynced_records: u64,
     /// Encoded bytes made durable across all flushes.
     pub wal_fsynced_bytes: u64,
+    /// Interference-table switchovers completed (immediate + drained).
+    pub epoch_switches: u64,
+    /// Old-epoch pins drained across all switchovers.
+    pub epoch_drained_pins: u64,
+    /// Admissions parked waiting for a switchover across all drains.
+    pub epoch_parked_admissions: u64,
 }
 
 impl std::ops::Sub for CounterSnapshot {
@@ -389,6 +409,13 @@ impl std::ops::Sub for CounterSnapshot {
                 .wal_fsynced_records
                 .saturating_sub(rhs.wal_fsynced_records),
             wal_fsynced_bytes: self.wal_fsynced_bytes.saturating_sub(rhs.wal_fsynced_bytes),
+            epoch_switches: self.epoch_switches.saturating_sub(rhs.epoch_switches),
+            epoch_drained_pins: self
+                .epoch_drained_pins
+                .saturating_sub(rhs.epoch_drained_pins),
+            epoch_parked_admissions: self
+                .epoch_parked_admissions
+                .saturating_sub(rhs.epoch_parked_admissions),
         }
     }
 }
@@ -573,6 +600,15 @@ impl EventSink {
                 c.wal_fsynced_bytes
                     .fetch_add(bytes as u64, Ordering::Relaxed);
             }
+            Event::EpochSwitch {
+                drained, parked, ..
+            } => {
+                bump(&c.epoch_switches);
+                c.epoch_drained_pins
+                    .fetch_add(drained as u64, Ordering::Relaxed);
+                c.epoch_parked_admissions
+                    .fetch_add(parked as u64, Ordering::Relaxed);
+            }
         }
     }
 
@@ -603,6 +639,9 @@ impl EventSink {
             wal_fsyncs: get(&c.wal_fsyncs),
             wal_fsynced_records: get(&c.wal_fsynced_records),
             wal_fsynced_bytes: get(&c.wal_fsynced_bytes),
+            epoch_switches: get(&c.epoch_switches),
+            epoch_drained_pins: get(&c.epoch_drained_pins),
+            epoch_parked_admissions: get(&c.epoch_parked_admissions),
         }
     }
 
@@ -661,6 +700,13 @@ impl EventSink {
                 c.wal_fsynced_records,
                 c.wal_fsynced_bytes,
                 c.wal_fsynced_records as f64 / c.wal_fsyncs as f64
+            );
+        }
+        if c.epoch_switches > 0 {
+            let _ = writeln!(
+                out,
+                "epoch switches {}: {} pins drained, {} admissions parked",
+                c.epoch_switches, c.epoch_drained_pins, c.epoch_parked_admissions
             );
         }
         if c.recoveries > 0 {

@@ -42,6 +42,7 @@
 pub mod manager;
 pub mod mode;
 pub mod oracle;
+pub mod registry;
 pub mod request;
 pub mod sharded;
 mod waitfor;
@@ -49,5 +50,8 @@ mod waitfor;
 pub use manager::{Detection, GrantNotice, LockManager, RequestOutcome, Ticket};
 pub use mode::LockMode;
 pub use oracle::{InterferenceOracle, NoInterference, TotalInterference};
+pub use registry::{
+    EpochPin, InstallOutcome, InterferenceRegistry, PinAttempt, SharedOracle, SwitchStats,
+};
 pub use request::{LockKind, Request, RequestCtx};
 pub use sharded::{CycleResolution, ShardedLockManager};

@@ -1,0 +1,427 @@
+//! Epoch-versioned interference-table registry: online re-analysis with a
+//! drained switchover.
+//!
+//! The paper's interference tables are built at design time and consulted as
+//! pure lookups at run time (§3.2). That soundness argument assumes every
+//! in-flight step was analyzed against the *same* tables that now answer for
+//! it; swapping the tables under a running step could delay a writer by a
+//! template it never conflicted with — or, worse, *not* delay one it does.
+//! The registry makes table replacement safe by versioning:
+//!
+//! * every decomposed transaction **pins** the current epoch at its first
+//!   step admission and keeps the pinned oracle for all of its lookups
+//!   (forward and compensating steps alike);
+//! * [`InterferenceRegistry::install`] publishes a re-analyzed oracle. With
+//!   no pins outstanding the switch is immediate; otherwise the new tables
+//!   become *pending* and the registry **drains** — pinned transactions
+//!   finish under the tables of the epoch they started in, while new
+//!   admissions park;
+//! * the last unpin completes the switchover: the pending oracle becomes
+//!   current, the epoch counter bumps, parked admissions wake and pin the
+//!   new epoch.
+//!
+//! Because a pin spans the transaction's entire lock footprint (pins are
+//! released only after `release_all`), at the moment of switchover **no
+//! assertional lock from the old epoch exists** — a mixed-epoch lookup is
+//! impossible by construction. [`InterferenceRegistry::check_pin`] is the
+//! run-time audit of exactly that claim: one atomic load per step, off the
+//! per-lookup hot path.
+
+use crate::oracle::InterferenceOracle;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// The shared-ownership oracle type the registry versions.
+pub type SharedOracle = Arc<dyn InterferenceOracle + Send + Sync>;
+
+/// A transaction's hold on one table epoch: the epoch number it admitted
+/// under and the oracle snapshot it must use for every interference decision
+/// until it releases its locks.
+pub struct EpochPin {
+    /// The epoch this pin was taken in.
+    pub epoch: u64,
+    /// The tables of that epoch.
+    pub oracle: SharedOracle,
+}
+
+impl std::fmt::Debug for EpochPin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochPin")
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What [`InterferenceRegistry::install`] did with the new tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstallOutcome {
+    /// No pins were outstanding: the tables are current as of `epoch`.
+    Immediate {
+        /// The new epoch number.
+        epoch: u64,
+    },
+    /// `pins` transactions still run under the old tables; the switch
+    /// completes when the last of them unpins.
+    Draining {
+        /// Outstanding pins at install time.
+        pins: u64,
+    },
+}
+
+/// Bookkeeping for one completed switchover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// The epoch that just became current.
+    pub epoch: u64,
+    /// Pins the switch had to wait out (0 for an immediate switch).
+    pub drained: u64,
+    /// Admissions that parked while the drain was in progress.
+    pub parked: u64,
+}
+
+/// Outcome of a pin attempt.
+pub enum PinAttempt {
+    /// Admitted; the pin carries the epoch's oracle.
+    Pinned(EpochPin),
+    /// A drain is in progress and the caller asked not to block.
+    WouldBlock,
+    /// A drain was still in progress after the caller's wait cap.
+    TimedOut,
+}
+
+struct RegState {
+    current: SharedOracle,
+    /// Tables waiting for the drain to finish. `Some` implies `pins > 0`.
+    pending: Option<SharedOracle>,
+    /// Outstanding [`EpochPin`]s on the current epoch.
+    pins: u64,
+    /// Pins outstanding when the in-progress drain began.
+    draining: u64,
+    /// Admissions parked by the in-progress drain.
+    parked: u64,
+}
+
+/// The registry: one per shared system, consulted by every frontend.
+pub struct InterferenceRegistry {
+    state: Mutex<RegState>,
+    admit: Condvar,
+    /// Monotonic epoch number; bumped only under the state mutex, read with
+    /// a single atomic load on the per-step audit path.
+    epoch: AtomicU64,
+    switches: AtomicU64,
+    drained_pins: AtomicU64,
+    parked_admissions: AtomicU64,
+    /// Steps that observed a pin from a different epoch than the current
+    /// one while unswitched tables were live — must stay zero.
+    mixed_epoch_lookups: AtomicU64,
+}
+
+impl InterferenceRegistry {
+    /// Wrap `oracle` as epoch 0.
+    pub fn new(oracle: SharedOracle) -> InterferenceRegistry {
+        InterferenceRegistry {
+            state: Mutex::new(RegState {
+                current: oracle,
+                pending: None,
+                pins: 0,
+                draining: 0,
+                parked: 0,
+            }),
+            admit: Condvar::new(),
+            epoch: AtomicU64::new(0),
+            switches: AtomicU64::new(0),
+            drained_pins: AtomicU64::new(0),
+            parked_admissions: AtomicU64::new(0),
+            mixed_epoch_lookups: AtomicU64::new(0),
+        }
+    }
+
+    /// The current epoch number (single atomic load).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The current tables (unpinned snapshot — legacy/2PL callers, whose
+    /// `LEGACY_STEP` decisions are table-independent, and cold paths).
+    pub fn current(&self) -> SharedOracle {
+        Arc::clone(&self.state.lock().expect("registry not poisoned").current)
+    }
+
+    /// Completed switchovers.
+    pub fn switches(&self) -> u64 {
+        self.switches.load(Ordering::Relaxed)
+    }
+
+    /// Mixed-epoch audit failures (must stay zero).
+    pub fn mixed_epoch_lookups(&self) -> u64 {
+        self.mixed_epoch_lookups.load(Ordering::Relaxed)
+    }
+
+    /// Outstanding pins (diagnostics/tests).
+    pub fn pins(&self) -> u64 {
+        self.state.lock().expect("registry not poisoned").pins
+    }
+
+    /// True while a drain is in progress (new tables pending).
+    pub fn draining(&self) -> bool {
+        self.state
+            .lock()
+            .expect("registry not poisoned")
+            .pending
+            .is_some()
+    }
+
+    /// Pin the current epoch for one transaction. While a drain is in
+    /// progress the admission parks (`block`) or reports
+    /// [`PinAttempt::WouldBlock`] — admitting under tables that are about to
+    /// be replaced would re-create the mixed-epoch hazard the drain exists
+    /// to prevent.
+    pub fn pin(&self, block: bool, cap: Duration) -> PinAttempt {
+        let mut st = self.state.lock().expect("registry not poisoned");
+        if st.pending.is_some() {
+            if !block {
+                return PinAttempt::WouldBlock;
+            }
+            st.parked += 1;
+            self.parked_admissions.fetch_add(1, Ordering::Relaxed);
+            let deadline = Instant::now() + cap;
+            while st.pending.is_some() {
+                let now = Instant::now();
+                if now >= deadline {
+                    return PinAttempt::TimedOut;
+                }
+                let (guard, _timeout) = self
+                    .admit
+                    .wait_timeout(st, deadline - now)
+                    .expect("registry not poisoned");
+                st = guard;
+            }
+        }
+        st.pins += 1;
+        PinAttempt::Pinned(EpochPin {
+            // Consistent with `current`: the epoch only changes under the
+            // state mutex we hold.
+            epoch: self.epoch.load(Ordering::Acquire),
+            oracle: Arc::clone(&st.current),
+        })
+    }
+
+    /// Release one pin. Returns the switch stats when this unpin completed a
+    /// pending switchover (the caller emits the observability event).
+    pub fn unpin(&self, pin: EpochPin) -> Option<SwitchStats> {
+        drop(pin.oracle);
+        let mut st = self.state.lock().expect("registry not poisoned");
+        debug_assert!(st.pins > 0, "unpin without a pin");
+        st.pins = st.pins.saturating_sub(1);
+        if st.pins == 0 {
+            if let Some(next) = st.pending.take() {
+                return Some(self.switch(&mut st, next));
+            }
+        }
+        None
+    }
+
+    /// Publish re-analyzed tables. Immediate when nothing is pinned;
+    /// otherwise the registry drains (latest-wins if a drain was already in
+    /// progress: the superseded pending tables were never current, so no
+    /// lookup ever saw them).
+    pub fn install(&self, oracle: SharedOracle) -> (InstallOutcome, Option<SwitchStats>) {
+        let mut st = self.state.lock().expect("registry not poisoned");
+        if st.pins == 0 {
+            debug_assert!(st.pending.is_none(), "pending tables with zero pins");
+            let stats = self.switch(&mut st, oracle);
+            (
+                InstallOutcome::Immediate { epoch: stats.epoch },
+                Some(stats),
+            )
+        } else {
+            if st.pending.is_none() {
+                st.draining = st.pins;
+                st.parked = 0;
+            }
+            st.pending = Some(oracle);
+            (InstallOutcome::Draining { pins: st.pins }, None)
+        }
+    }
+
+    fn switch(&self, st: &mut RegState, next: SharedOracle) -> SwitchStats {
+        st.current = next;
+        let epoch = self.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        self.switches.fetch_add(1, Ordering::Relaxed);
+        self.drained_pins.fetch_add(st.draining, Ordering::Relaxed);
+        let stats = SwitchStats {
+            epoch,
+            drained: st.draining,
+            parked: st.parked,
+        };
+        st.draining = 0;
+        st.parked = 0;
+        self.admit.notify_all();
+        stats
+    }
+
+    /// Per-step mixed-epoch audit: a pinned transaction's epoch must equal
+    /// the current epoch at every step admission — during a drain the epoch
+    /// has not switched yet, and after the switch no old pin can still be
+    /// running (the switch waited for all of them). One atomic load; a
+    /// failure is counted, not panicked, so torture can assert on the total.
+    pub fn check_pin(&self, pin: &EpochPin) -> bool {
+        let ok = pin.epoch == self.epoch();
+        if !ok {
+            self.mixed_epoch_lookups.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{NoInterference, TotalInterference};
+    use acc_common::{AssertionTemplateId, StepTypeId};
+
+    const S: StepTypeId = StepTypeId(1);
+    const A: AssertionTemplateId = AssertionTemplateId(1);
+    const CAP: Duration = Duration::from_secs(5);
+
+    fn pinned(r: &InterferenceRegistry) -> EpochPin {
+        match r.pin(true, CAP) {
+            PinAttempt::Pinned(p) => p,
+            _ => panic!("pin blocked with no drain in progress"),
+        }
+    }
+
+    #[test]
+    fn install_with_no_pins_is_immediate() {
+        let reg = InterferenceRegistry::new(Arc::new(NoInterference));
+        assert_eq!(reg.epoch(), 0);
+        let (outcome, stats) = reg.install(Arc::new(TotalInterference));
+        assert_eq!(outcome, InstallOutcome::Immediate { epoch: 1 });
+        assert_eq!(
+            stats,
+            Some(SwitchStats {
+                epoch: 1,
+                drained: 0,
+                parked: 0
+            })
+        );
+        assert_eq!(reg.epoch(), 1);
+        assert!(reg.current().write_interferes(S, A));
+    }
+
+    #[test]
+    fn pinned_txn_drains_under_its_own_tables() {
+        let reg = InterferenceRegistry::new(Arc::new(NoInterference));
+        let pin = pinned(&reg);
+        assert_eq!(pin.epoch, 0);
+        let (outcome, stats) = reg.install(Arc::new(TotalInterference));
+        assert_eq!(outcome, InstallOutcome::Draining { pins: 1 });
+        assert!(stats.is_none());
+        assert!(reg.draining());
+        // The pinned snapshot still answers with the old tables, and the
+        // epoch has not switched.
+        assert!(!pin.oracle.write_interferes(S, A));
+        assert!(reg.check_pin(&pin));
+        assert_eq!(reg.epoch(), 0);
+        // The last unpin completes the switch.
+        let stats = reg.unpin(pin).expect("switch completes at last unpin");
+        assert_eq!(
+            stats,
+            SwitchStats {
+                epoch: 1,
+                drained: 1,
+                parked: 0
+            }
+        );
+        assert_eq!(reg.epoch(), 1);
+        assert!(!reg.draining());
+        assert!(reg.current().write_interferes(S, A));
+    }
+
+    #[test]
+    fn admission_during_drain_would_block_or_parks() {
+        let reg = Arc::new(InterferenceRegistry::new(Arc::new(NoInterference)));
+        let pin = pinned(&reg);
+        reg.install(Arc::new(TotalInterference));
+        assert!(matches!(reg.pin(false, CAP), PinAttempt::WouldBlock));
+        // A blocking admission parks until the drain completes...
+        let reg2 = Arc::clone(&reg);
+        let joiner = std::thread::spawn(move || match reg2.pin(true, CAP) {
+            PinAttempt::Pinned(p) => {
+                let epoch = p.epoch;
+                reg2.unpin(p);
+                epoch
+            }
+            _ => panic!("parked admission never admitted"),
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        let stats = reg.unpin(pin).expect("switch");
+        // ...and admits under the *new* epoch.
+        assert_eq!(joiner.join().expect("joiner"), 1);
+        assert_eq!(stats.drained, 1);
+        assert_eq!(stats.parked, 1);
+        assert_eq!(reg.switches(), 1);
+    }
+
+    #[test]
+    fn admission_timeout_reports_instead_of_hanging() {
+        let reg = InterferenceRegistry::new(Arc::new(NoInterference));
+        let pin = pinned(&reg);
+        reg.install(Arc::new(TotalInterference));
+        assert!(matches!(
+            reg.pin(true, Duration::from_millis(20)),
+            PinAttempt::TimedOut
+        ));
+        reg.unpin(pin);
+    }
+
+    #[test]
+    fn latest_install_wins_during_drain() {
+        let reg = InterferenceRegistry::new(Arc::new(NoInterference));
+        let pin = pinned(&reg);
+        reg.install(Arc::new(TotalInterference));
+        // Superseded before ever becoming current.
+        let (outcome, _) = reg.install(Arc::new(NoInterference));
+        assert_eq!(outcome, InstallOutcome::Draining { pins: 1 });
+        reg.unpin(pin);
+        assert_eq!(reg.epoch(), 1, "one switch, not two");
+        assert!(!reg.current().write_interferes(S, A), "latest tables won");
+    }
+
+    #[test]
+    fn stale_pin_is_counted_not_panicked() {
+        let reg = InterferenceRegistry::new(Arc::new(NoInterference));
+        let pin = pinned(&reg);
+        // Forge staleness (cannot happen through the public protocol): an
+        // immediate install under an outstanding pin is exactly the hazard
+        // the drain prevents.
+        let forged = EpochPin {
+            epoch: pin.epoch + 7,
+            oracle: Arc::clone(&pin.oracle),
+        };
+        assert!(!reg.check_pin(&forged));
+        assert_eq!(reg.mixed_epoch_lookups(), 1);
+        assert!(reg.check_pin(&pin));
+        assert_eq!(reg.mixed_epoch_lookups(), 1);
+        reg.unpin(pin);
+        drop(forged);
+        assert_eq!(reg.pins(), 0);
+    }
+
+    #[test]
+    fn many_pins_one_switch() {
+        let reg = InterferenceRegistry::new(Arc::new(NoInterference));
+        let pins: Vec<EpochPin> = (0..5).map(|_| pinned(&reg)).collect();
+        let (outcome, _) = reg.install(Arc::new(TotalInterference));
+        assert_eq!(outcome, InstallOutcome::Draining { pins: 5 });
+        let mut stats = None;
+        for pin in pins {
+            assert!(stats.is_none(), "switch fired before the last unpin");
+            stats = reg.unpin(pin);
+        }
+        let stats = stats.expect("switch at last unpin");
+        assert_eq!(stats.drained, 5);
+        assert_eq!(reg.epoch(), 1);
+    }
+}

@@ -62,6 +62,33 @@ pub mod step {
     pub const DLV_CS: StepTypeId = StepTypeId(22);
 }
 
+/// An online edit to the assertion-template set. [`TpccSystem::reanalyze`]
+/// re-derives the full interference matrix from the edited set; the epoch
+/// registry (`acc_txn::SharedDb::install_oracle`) then switches the live
+/// system over once every in-flight transaction has drained.
+///
+/// Every edit preserves the base template ids (the base registry is rebuilt
+/// in the identical define order, extras go last), so a policy built against
+/// the base system keeps meaning the same templates under the new tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableEdit {
+    /// Define an extra "backlog audit" template that reads the ORDER and
+    /// NEW-ORDER row sets. No step is declared safe against it, so every
+    /// writer whose footprint overlaps (new-order's header step, delivery's
+    /// claim step, both their compensations) becomes interfering —
+    /// the "add an assertion template" direction.
+    AddAudit,
+    /// Rebuild without the audit template — the "remove a template"
+    /// direction. Lookups against the departed id fall off the matrix and
+    /// answer conservatively (see `InterferenceTables`).
+    RemoveAudit,
+    /// Widen `no_loop`'s read footprint with ORDER-LINE's `DELIVERY_D`
+    /// column: delivery's apply and compensating steps now overlap it and
+    /// flip from safe to interfering — the "widen a footprint" direction
+    /// (strictly more conservative, so always sound to install).
+    WidenNoLoop,
+}
+
 /// Assertion template handles produced by [`TpccSystem::build`].
 #[derive(Debug, Clone, Copy)]
 pub struct Templates {
@@ -77,6 +104,10 @@ pub struct Templates {
     /// orders atomically), while everything in-flight from new-order stays
     /// barred behind the shared [`DIRTY`] guard.
     pub dlv_dirty: acc_common::AssertionTemplateId,
+    /// The backlog-audit template, present only in a
+    /// [`TableEdit::AddAudit`] re-analysis (always the last id, so the base
+    /// ids are stable across edits).
+    pub audit: Option<acc_common::AssertionTemplateId>,
 }
 
 /// The complete design-time product: templates, interference tables, policy.
@@ -225,15 +256,37 @@ impl TpccSystem {
 
     /// Run the design-time analysis and build the policy.
     pub fn build() -> TpccSystem {
+        Self::build_edited(None)
+    }
+
+    /// Re-derive the whole design-time product from an edited template set —
+    /// the online re-analysis entry point. The returned system's `tables`
+    /// are what a caller hands to `SharedDb::install_oracle`; its `acc`
+    /// policy is interchangeable with the base one because the base template
+    /// ids are preserved.
+    pub fn reanalyze(edit: TableEdit) -> TpccSystem {
+        Self::build_edited(Some(edit))
+    }
+
+    fn build_edited(edit: Option<TableEdit>) -> TpccSystem {
         use step::*;
 
         let mut reg = AssertionRegistry::new();
+        let mut no_loop_reads = vec![
+            TableFootprint::columns(TABLES.order, [col::o::OL_CNT]),
+            TableFootprint::rows(TABLES.order_line, []),
+        ];
+        if edit == Some(TableEdit::WidenNoLoop) {
+            // The widened invariant also cares about delivery stamps on this
+            // order's lines.
+            no_loop_reads.push(TableFootprint::columns(
+                TABLES.order_line,
+                [col::ol::DELIVERY_D],
+            ));
+        }
         let no_loop = reg.define(
             "no-loop: entered lines match loop progress for this order",
-            vec![
-                TableFootprint::columns(TABLES.order, [col::o::OL_CNT]),
-                TableFootprint::rows(TABLES.order_line, []),
-            ],
+            no_loop_reads,
             None,
         );
         let pay_mid = reg.define(
@@ -255,6 +308,20 @@ impl TpccSystem {
             None,
         );
         let dlv_dirty = reg.define_guard("dlv-dirty: uncommitted delivery writes");
+        // Extra templates always define *after* the base four, so the ids a
+        // running policy pinned keep meaning the same thing across epochs.
+        let audit = if edit == Some(TableEdit::AddAudit) {
+            Some(reg.define(
+                "audit: open new-order backlog matches order headers",
+                vec![
+                    TableFootprint::rows(TABLES.new_order, []),
+                    TableFootprint::rows(TABLES.order, []),
+                ],
+                None,
+            ))
+        } else {
+            None
+        };
 
         let (mut tables, decisions) = Self::footprinted_analysis(&reg)
             // ----- semantic declarations (each with its §5.1-style proof
@@ -431,6 +498,7 @@ impl TpccSystem {
                 pay_mid,
                 dlv_loop,
                 dlv_dirty,
+                audit,
             },
             decisions,
         }
@@ -532,5 +600,80 @@ mod tests {
             .any(|d| d.why.contains("declared safe")));
         let dump = sys.tables.dump();
         assert!(dump.lines().count() >= 11, "{dump}");
+    }
+
+    #[test]
+    fn widen_no_loop_flips_delivery_pairs() {
+        let base = TpccSystem::build();
+        let wide = TpccSystem::reanalyze(TableEdit::WidenNoLoop);
+        // Base ids survive the edit unchanged.
+        assert_eq!(wide.templates.no_loop, base.templates.no_loop);
+        assert_eq!(wide.templates.dlv_dirty, base.templates.dlv_dirty);
+        assert_eq!(wide.templates.audit, None);
+        // Delivery's apply step and its compensation now write a column the
+        // widened no_loop reads — and neither pair was ever declared safe.
+        for (sys, expect) in [(&base, false), (&wide, true)] {
+            assert_eq!(
+                sys.tables
+                    .write_interferes(step::DLV_S2, sys.templates.no_loop),
+                expect
+            );
+            assert_eq!(
+                sys.tables
+                    .write_interferes(step::DLV_CS, sys.templates.no_loop),
+                expect
+            );
+        }
+        // Declarations still win over the widened overlap: new-order's own
+        // line inserts stay safe against its own assertion.
+        assert!(!wide
+            .tables
+            .write_interferes(step::NO_S2, wide.templates.no_loop));
+        // And the §5.1 resolution is untouched by the edit.
+        assert!(!wide
+            .tables
+            .write_interferes(step::PAY_S1, wide.templates.no_loop));
+    }
+
+    #[test]
+    fn add_audit_makes_backlog_writers_interfere() {
+        let base = TpccSystem::build();
+        let sys = TpccSystem::reanalyze(TableEdit::AddAudit);
+        let audit = sys.templates.audit.expect("audit template defined");
+        // Defined last: the base ids are stable.
+        assert_eq!(sys.templates.no_loop, base.templates.no_loop);
+        assert_eq!(sys.templates.dlv_dirty, base.templates.dlv_dirty);
+        assert_eq!(sys.decisions.len(), 11 * 6);
+        // Writers into ORDER/NEW-ORDER row sets were never declared safe
+        // against the new template, so the footprint overlap decides.
+        for s in [step::NO_S1, step::DLV_S1, step::NO_CS, step::DLV_CS] {
+            assert!(sys.tables.write_interferes(s, audit), "step {s:?}");
+        }
+        // Disjoint writers stay safe against it.
+        for s in [step::PAY_S1, step::PAY_S2, step::NO_S2, step::DLV_S2] {
+            assert!(!sys.tables.write_interferes(s, audit), "step {s:?}");
+        }
+        // Pre-existing pairs are unchanged by the addition.
+        assert!(!sys
+            .tables
+            .write_interferes(step::NO_S1, sys.templates.pay_mid));
+        assert!(sys.tables.write_interferes(step::DLV_S1, DIRTY));
+    }
+
+    #[test]
+    fn remove_audit_rebuilds_base_and_stays_conservative_for_departed_id() {
+        let with = TpccSystem::reanalyze(TableEdit::AddAudit);
+        let without = TpccSystem::reanalyze(TableEdit::RemoveAudit);
+        let base = TpccSystem::build();
+        // Removal really is the base matrix again.
+        assert_eq!(without.tables.dump(), base.tables.dump());
+        // A straggler still holding the departed audit id gets conservative
+        // *write* answers, never a panic (the id is off the end of the
+        // matrix row). Reads only ever conflict with guard templates, so the
+        // departed non-guard id stays read-safe — reads cannot falsify it.
+        let departed = with.templates.audit.unwrap();
+        assert!(without.tables.write_interferes(step::PAY_S1, departed));
+        assert!(without.tables.write_interferes(step::NO_S2, departed));
+        assert!(!without.tables.read_interferes(step::STK, departed));
     }
 }

@@ -27,12 +27,13 @@
 //! end-of-step record — the distinction that decides replay-then-compensate
 //! versus discard.
 
-use crate::decompose::TpccSystem;
+use crate::decompose::{TableEdit, TpccSystem};
 use crate::schema::Scale;
 use crate::{consistency, input, recovery, txns};
 use acc_common::events::{Event, EventSink};
 use acc_common::faults::{BoundaryEdge, Corruption, FaultInjector, FaultPlan};
 use acc_common::{CounterSnapshot, Error, Result, SeededRng};
+use acc_lockmgr::{InstallOutcome, SharedOracle};
 use acc_storage::Database;
 use acc_txn::runner::run;
 use acc_txn::{SharedDb, WaitMode};
@@ -610,10 +611,7 @@ fn run_fsync_workload(
 ) -> Result<FsyncRun> {
     let scale = cfg.scale;
     let (dev, snaps, path) = make_device(kind, cfg)?;
-    let policy = GroupCommitPolicy {
-        window: std::time::Duration::ZERO,
-        max_batch: cfg.max_batch,
-    };
+    let policy = GroupCommitPolicy::fixed(std::time::Duration::ZERO, cfg.max_batch);
     let mut shared = SharedDb::new(fresh_base(&scale, cfg.seed), Arc::clone(&sys.tables) as _)
         .with_wal_backend(dev, policy);
     let injector = plan.map(FaultInjector::with_plan);
@@ -890,6 +888,469 @@ pub fn run_fsync_torture(cfg: &FsyncTortureConfig) -> Result<FsyncTortureReport>
         discarded,
         rejected_records,
         violations,
+        log,
+        counters: sink.counters(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reanalysis torture: an epoch switchover at every step boundary.
+// ---------------------------------------------------------------------------
+
+/// Sizing of a reanalysis torture run. The sweeps above crash the system;
+/// this one *re-analyzes* it: at every step boundary of the seeded mix a
+/// re-derived interference table ([`TableEdit`], cycling through add, widen
+/// and remove) is installed into the live system, and the harness checks the
+/// epoch protocol did its job — the switch drains the pinned transaction,
+/// no lookup ever mixes epochs, and the workload's durable image is
+/// byte-identical to an undisturbed run. A crash sweep then recovers every
+/// WAL prefix *under the edited tables*, and an fsync pass crashes inside
+/// the drain window itself.
+#[derive(Debug, Clone, Copy)]
+pub struct ReanalysisTortureConfig {
+    /// Master seed for population and inputs.
+    pub seed: u64,
+    /// Database scale the mix runs against.
+    pub scale: Scale,
+    /// Transactions in the TPC-C mix.
+    pub txns: usize,
+    /// Ceiling on swept step boundaries; above it the sweep strides.
+    pub max_boundaries: usize,
+    /// Ceiling on crash-under-new-tables append indices.
+    pub max_crash_points: usize,
+    /// Group-commit batch threshold for the fsync-during-drain pass.
+    pub max_batch: usize,
+}
+
+impl ReanalysisTortureConfig {
+    /// The full sweep used by `figures -- torture --reanalysis`: a
+    /// switchover at every step boundary of a 16-transaction mix.
+    pub fn standard(seed: u64) -> ReanalysisTortureConfig {
+        ReanalysisTortureConfig {
+            seed,
+            scale: Scale::test(),
+            txns: 16,
+            max_boundaries: usize::MAX,
+            max_crash_points: 72,
+            max_batch: 4,
+        }
+    }
+
+    /// A bounded smoke run for the PR gate in `scripts/check.sh`.
+    pub fn smoke(seed: u64) -> ReanalysisTortureConfig {
+        ReanalysisTortureConfig {
+            seed,
+            scale: Scale::test(),
+            txns: 8,
+            max_boundaries: 16,
+            max_crash_points: 24,
+            max_batch: 6,
+        }
+    }
+}
+
+/// Aggregate outcome of a reanalysis torture run.
+#[derive(Debug)]
+pub struct ReanalysisTortureReport {
+    /// Step boundaries in the baseline mix.
+    pub boundaries: usize,
+    /// Live switchover points exercised (drained installs).
+    pub switch_points: usize,
+    /// Quiescent installs that switched immediately.
+    pub immediate_installs: u64,
+    /// Pins drained across all switchovers.
+    pub drained: u64,
+    /// Crash points recovered under edited tables.
+    pub crash_points: usize,
+    /// Transactions fully replayed, summed over all crash points.
+    pub replayed: u64,
+    /// In-flight transactions compensated, summed over all crash points.
+    pub compensated: u64,
+    /// In-flight transactions discarded, summed over all crash points.
+    pub discarded: u64,
+    /// Torn/corrupt records rejected past the clean prefix, summed.
+    pub rejected_records: u64,
+    /// Consistency violations across all points and runs (must be 0).
+    pub violations: usize,
+    /// Mixed-epoch lookups observed across all runs (must be 0).
+    pub mixed_epoch_lookups: u64,
+    /// One line per point; byte-identical across same-seed runs.
+    pub log: String,
+    /// Counter snapshot of the harness's event sink.
+    pub counters: CounterSnapshot,
+}
+
+/// What one hooked workload run leaves behind, for assertions against the
+/// undisturbed baseline.
+struct SwitchRun {
+    image: Vec<u8>,
+    boundaries: u64,
+    epoch: u64,
+    switches: u64,
+    mixed: u64,
+    outcome: Option<InstallOutcome>,
+    violations: usize,
+    grants: usize,
+    counters: CounterSnapshot,
+}
+
+/// Run the seeded mix with an optional re-analysis installed at step
+/// boundary `at` (1-based, counted across the whole mix) through the live
+/// step-boundary hook — exactly how an online operator would install new
+/// tables while transactions are running.
+fn run_switch_workload(
+    cfg: &ReanalysisTortureConfig,
+    sys: &TpccSystem,
+    install: Option<(u64, SharedOracle)>,
+) -> Result<SwitchRun> {
+    let scale = cfg.scale;
+    let shared = Arc::new(SharedDb::new(
+        fresh_base(&scale, cfg.seed),
+        Arc::clone(&sys.tables) as _,
+    ));
+    let sink = Arc::new(EventSink::enabled(64));
+    shared.set_event_sink(Arc::clone(&sink));
+    let outcome = Arc::new(Mutex::new(None));
+    if let Some((at, tables)) = install {
+        let sh = Arc::clone(&shared);
+        let out = Arc::clone(&outcome);
+        shared.set_step_boundary_hook(Some(Box::new(move |count| {
+            if count == at {
+                let o = sh.install_oracle(Arc::clone(&tables));
+                *out.lock().expect("outcome not poisoned") = Some(o);
+            }
+        })));
+    }
+    let gen = input::InputGen::new(input::TpccConfig::standard(scale), cfg.seed);
+    let mut rng = SeededRng::new(cfg.seed ^ 0x746f_7274); // "tort" — same mix as run_workload
+    for _ in 0..cfg.txns {
+        let mut program = txns::program_for(gen.next_input(&mut rng), scale.districts);
+        run(&shared, &*sys.acc, program.as_mut(), WaitMode::Block)?;
+    }
+    // Dropping the hook breaks its `Arc<SharedDb>` cycle.
+    shared.set_step_boundary_hook(None);
+    let outcome = *outcome.lock().expect("outcome not poisoned");
+    let reg = shared.registry();
+    Ok(SwitchRun {
+        image: shared.wal_bytes(),
+        boundaries: shared.step_boundaries(),
+        epoch: reg.epoch(),
+        switches: reg.switches(),
+        mixed: reg.mixed_epoch_lookups(),
+        outcome,
+        violations: consistency::check(&shared.snapshot_db(), false).len(),
+        grants: shared.total_grants(),
+        counters: sink.counters(),
+    })
+}
+
+/// Run the reanalysis torture sweep. Phases:
+///
+/// 1. baseline — the undisturbed mix: durable image, boundary count;
+/// 2. switchover sweep — install a re-derived table at every step boundary
+///    (edits cycle add-audit → widen → remove); each run must drain exactly
+///    the one pinned transaction, switch exactly once, observe zero
+///    mixed-epoch lookups, leave zero locks, pass consistency, and produce
+///    a WAL byte-identical to the baseline (re-analysis is pure metadata:
+///    it must never perturb the workload's durable history);
+/// 3. quiescent install — between transactions the same install switches
+///    immediately, draining nothing;
+/// 4. crash sweep under edited tables — every salvaged WAL prefix recovers
+///    and compensates under the *new* tables (base template ids are stable
+///    across edits, so the policy's lock choices remain meaningful);
+/// 5. fsync-during-drain — the mix runs on a snooped device with a small
+///    group-commit batch and an install at the middle boundary; every
+///    fsync-boundary snapshot (including those inside the drain window)
+///    recovers under the edited tables.
+pub fn run_reanalysis_torture(cfg: &ReanalysisTortureConfig) -> Result<ReanalysisTortureReport> {
+    let sys = TpccSystem::build();
+    let edits = [
+        TableEdit::AddAudit,
+        TableEdit::WidenNoLoop,
+        TableEdit::RemoveAudit,
+    ];
+    let edited: Vec<TpccSystem> = edits.iter().map(|&e| TpccSystem::reanalyze(e)).collect();
+    let base = fresh_base(&cfg.scale, cfg.seed);
+    let sink = EventSink::enabled(64);
+    let mut log = String::new();
+    let mut stats_sum = (0u64, 0u64, 0u64, 0u64);
+    let mut violations = 0usize;
+    let mut mixed = 0u64;
+    let mut drained = 0u64;
+
+    // ---- phase 1: baseline -------------------------------------------------
+    let baseline = run_switch_workload(cfg, &sys, None)?;
+    if baseline.switches != 0 || baseline.epoch != 0 {
+        return Err(Error::Internal(
+            "baseline run switched epochs with no install".into(),
+        ));
+    }
+    violations += baseline.violations;
+    mixed += baseline.mixed;
+    let offsets = record_offsets(&baseline.image);
+    let n_boundaries = baseline.boundaries as usize;
+    let _ = writeln!(
+        log,
+        "baseline: seed={} txns={} records={} image={}B boundaries={}",
+        cfg.seed,
+        cfg.txns,
+        offsets.len(),
+        baseline.image.len(),
+        n_boundaries
+    );
+
+    // ---- phase 2: a switchover at every step boundary ----------------------
+    let stride = n_boundaries.div_ceil(cfg.max_boundaries).max(1);
+    if stride > 1 {
+        let _ = writeln!(
+            log,
+            "switch sweep: striding by {stride} ({} of {} boundaries; bounded smoke run)",
+            n_boundaries / stride + 1,
+            n_boundaries
+        );
+    }
+    let mut bs: Vec<usize> = (1..=n_boundaries).step_by(stride).collect();
+    if bs.last() != Some(&n_boundaries) {
+        bs.push(n_boundaries); // always include the final boundary
+    }
+    let mut switch_points = 0usize;
+    for b in bs {
+        let edit = edits[b % edits.len()];
+        let esys = &edited[b % edits.len()];
+        let run = run_switch_workload(cfg, &sys, Some((b as u64, Arc::clone(&esys.tables) as _)))?;
+        // Re-analysis is pure metadata: the durable history must not move.
+        if run.image != baseline.image {
+            return Err(Error::Internal(format!(
+                "switch at boundary {b}: WAL diverged from baseline \
+                 ({} vs {} bytes) — the switchover perturbed the workload",
+                run.image.len(),
+                baseline.image.len()
+            )));
+        }
+        // The hook fires inside a live (pinned) transaction, so the install
+        // must drain exactly that one pin and switch exactly once.
+        if run.outcome != Some(InstallOutcome::Draining { pins: 1 }) {
+            return Err(Error::Internal(format!(
+                "switch at boundary {b}: install outcome {:?}, expected a \
+                 1-pin drain",
+                run.outcome
+            )));
+        }
+        if run.switches != 1 || run.epoch != 1 {
+            return Err(Error::Internal(format!(
+                "switch at boundary {b}: {} switches to epoch {}, expected \
+                 exactly one",
+                run.switches, run.epoch
+            )));
+        }
+        if run.counters.epoch_switches != 1
+            || run.counters.epoch_drained_pins != 1
+            || run.counters.epoch_parked_admissions != 0
+        {
+            return Err(Error::Internal(format!(
+                "switch at boundary {b}: counters disagree with the registry \
+                 (switches={} drained={} parked={})",
+                run.counters.epoch_switches,
+                run.counters.epoch_drained_pins,
+                run.counters.epoch_parked_admissions
+            )));
+        }
+        if run.grants != 0 {
+            return Err(Error::Internal(format!(
+                "switch at boundary {b}: {} lock grants leaked",
+                run.grants
+            )));
+        }
+        switch_points += 1;
+        drained += 1;
+        violations += run.violations;
+        mixed += run.mixed;
+        let _ = writeln!(
+            log,
+            "switch b={b} edit={edit:?}: drained=1 epoch={} mixed={} violations={}",
+            run.epoch, run.mixed, run.violations
+        );
+    }
+
+    // ---- phase 3: quiescent install switches immediately -------------------
+    let mut immediate_installs = 0u64;
+    {
+        let scale = cfg.scale;
+        let shared = SharedDb::new(fresh_base(&scale, cfg.seed), Arc::clone(&sys.tables) as _);
+        let gen = input::InputGen::new(input::TpccConfig::standard(scale), cfg.seed);
+        let mut rng = SeededRng::new(cfg.seed ^ 0x746f_7274); // "tort"
+        let half = cfg.txns / 2;
+        for i in 0..cfg.txns {
+            if i == half {
+                let outcome = shared.install_oracle(Arc::clone(&edited[0].tables) as _);
+                if outcome != (InstallOutcome::Immediate { epoch: 1 }) {
+                    return Err(Error::Internal(format!(
+                        "quiescent install: outcome {outcome:?}, expected an \
+                         immediate switch to epoch 1"
+                    )));
+                }
+                immediate_installs += 1;
+            }
+            let mut program = txns::program_for(gen.next_input(&mut rng), scale.districts);
+            run(&shared, &*sys.acc, program.as_mut(), WaitMode::Block)?;
+        }
+        if shared.wal_bytes() != baseline.image {
+            return Err(Error::Internal(
+                "quiescent install: WAL diverged from baseline".into(),
+            ));
+        }
+        violations += consistency::check(&shared.snapshot_db(), false).len();
+        mixed += shared.registry().mixed_epoch_lookups();
+        let _ = writeln!(
+            log,
+            "quiescent install after txn {half}: immediate epoch=1 mixed={}",
+            shared.registry().mixed_epoch_lookups()
+        );
+    }
+
+    let mut points = 0usize;
+    let mut sweep = |log: &mut String,
+                     label: String,
+                     esys: &TpccSystem,
+                     bytes: &[u8],
+                     expect_decoded: Option<usize>|
+     -> Result<()> {
+        let stats = crash_and_recover(&base, esys, bytes)?;
+        if let Some(want) = expect_decoded {
+            if stats.decoded != want {
+                return Err(Error::Internal(format!(
+                    "{label}: decoded {} records, expected {want}",
+                    stats.decoded
+                )));
+            }
+        }
+        points += 1;
+        stats_sum.0 += stats.replayed as u64;
+        stats_sum.1 += stats.compensated as u64;
+        stats_sum.2 += stats.discarded as u64;
+        violations += stats.violations;
+        emit_point(&sink, log, &label, &stats, 0);
+        Ok(())
+    };
+
+    // ---- phase 4: crash at every append index, recover under new tables ----
+    let n = offsets.len();
+    let cstride = n.div_ceil(cfg.max_crash_points).max(1);
+    if cstride > 1 {
+        let _ = writeln!(
+            log,
+            "crash sweep: striding by {cstride} ({} of {} indices; bounded smoke run)",
+            n / cstride + 1,
+            n + 1
+        );
+    }
+    let mut ks: Vec<usize> = (0..=n).step_by(cstride).collect();
+    if ks.last() != Some(&n) {
+        ks.push(n);
+    }
+    for k in ks {
+        let cut = if k == 0 { 0 } else { offsets[k - 1] };
+        let edit = edits[k % edits.len()];
+        let esys = &edited[k % edits.len()];
+        sweep(
+            &mut log,
+            format!("crash k={k} edit={edit:?}"),
+            esys,
+            &baseline.image[..cut],
+            Some(k),
+        )?;
+    }
+
+    // ---- phase 5: fsync boundaries inside the drain window -----------------
+    let drain_sys = &edited[0]; // AddAudit: the widest edit
+    {
+        let scale = cfg.scale;
+        let (dev, snaps) = Snooper::new(MemDevice::new());
+        let policy = GroupCommitPolicy::fixed(std::time::Duration::ZERO, cfg.max_batch);
+        let shared = Arc::new(
+            SharedDb::new(fresh_base(&scale, cfg.seed), Arc::clone(&sys.tables) as _)
+                .with_wal_backend(Box::new(dev), policy),
+        );
+        let b_mid = (n_boundaries / 2).max(1) as u64;
+        {
+            let sh = Arc::clone(&shared);
+            let tables = Arc::clone(&drain_sys.tables);
+            shared.set_step_boundary_hook(Some(Box::new(move |count| {
+                if count == b_mid {
+                    sh.install_oracle(Arc::clone(&tables) as _);
+                }
+            })));
+        }
+        let gen = input::InputGen::new(input::TpccConfig::standard(scale), cfg.seed);
+        let mut rng = SeededRng::new(cfg.seed ^ 0x746f_7274); // "tort"
+        for _ in 0..cfg.txns {
+            let mut program = txns::program_for(gen.next_input(&mut rng), scale.districts);
+            run(&shared, &*sys.acc, program.as_mut(), WaitMode::Block)?;
+        }
+        shared.set_step_boundary_hook(None);
+        let len = shared.wal_len();
+        if len > 0 {
+            shared.sync_wal(Lsn(len as u64 - 1))?;
+        }
+        let stream = shared.wal_bytes();
+        if stream != baseline.image {
+            return Err(Error::Internal(
+                "fsync-during-drain run: record stream diverged from baseline".into(),
+            ));
+        }
+        if shared.registry().switches() != 1 {
+            return Err(Error::Internal(
+                "fsync-during-drain run: the mid-mix install never switched".into(),
+            ));
+        }
+        mixed += shared.registry().mixed_epoch_lookups();
+        let snapshots = snaps.lock().unwrap().clone();
+        let _ = writeln!(
+            log,
+            "fsync-during-drain: install at b={b_mid} max_batch={} boundaries={}",
+            cfg.max_batch,
+            snapshots.len()
+        );
+        drop(shared);
+        for (j, snap) in snapshots.iter().enumerate() {
+            let cut = snap.stream.len();
+            if cut != 0 && offsets.binary_search(&cut).is_err() {
+                return Err(Error::Internal(format!(
+                    "fsync j={}: durable stream cuts mid-frame at byte {cut}",
+                    j + 1
+                )));
+            }
+            let intact = offsets.partition_point(|&o| o <= cut);
+            sweep(
+                &mut log,
+                format!("fsync j={}", j + 1),
+                drain_sys,
+                &snap.stream,
+                Some(intact),
+            )?;
+        }
+    }
+
+    let (replayed, compensated, discarded, rejected_records) = stats_sum;
+    let _ = writeln!(
+        log,
+        "total: boundaries={n_boundaries} switches={switch_points} immediate={immediate_installs} \
+         crash_points={points} replayed={replayed} compensated={compensated} \
+         discarded={discarded} rejected={rejected_records} violations={violations} \
+         mixed_epoch={mixed}"
+    );
+    Ok(ReanalysisTortureReport {
+        boundaries: n_boundaries,
+        switch_points,
+        immediate_installs,
+        drained,
+        crash_points: points,
+        replayed,
+        compensated,
+        discarded,
+        rejected_records,
+        violations,
+        mixed_epoch_lookups: mixed,
         log,
         counters: sink.counters(),
     })

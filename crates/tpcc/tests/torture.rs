@@ -5,7 +5,10 @@
 //! seeded torn-tail and bit-flip corruptions, and a recovery + compensation
 //! + §3.3.2-consistency pass for each salvaged image.
 
-use acc_tpcc::torture::{run_fsync_torture, run_torture, FsyncTortureConfig, TortureConfig};
+use acc_tpcc::torture::{
+    run_fsync_torture, run_reanalysis_torture, run_torture, FsyncTortureConfig,
+    ReanalysisTortureConfig, TortureConfig,
+};
 
 #[test]
 fn standard_sweep_holds_consistency_at_every_crash_point() {
@@ -120,4 +123,61 @@ fn fsync_sweep_same_seed_is_byte_identical() {
         "two same-seed fsync torture runs diverged — determinism is broken"
     );
     assert_eq!(a.violations, 0, "{}", a.log);
+}
+
+#[test]
+fn reanalysis_sweep_switches_at_every_boundary() {
+    let report =
+        run_reanalysis_torture(&ReanalysisTortureConfig::standard(42)).expect("reanalysis failed");
+    // Every step boundary of the mix hosted a drained switchover (the
+    // harness errors out on any WAL divergence, outcome mismatch or counter
+    // disagreement, so reaching here means each one behaved).
+    assert_eq!(
+        report.switch_points, report.boundaries,
+        "not every boundary was swept\n{}",
+        report.log
+    );
+    assert!(report.boundaries >= 30, "{} boundaries", report.boundaries);
+    assert_eq!(report.drained, report.switch_points as u64);
+    assert_eq!(report.immediate_installs, 1);
+    assert_eq!(
+        report.mixed_epoch_lookups, 0,
+        "a lookup crossed epochs:\n{}",
+        report.log
+    );
+    assert_eq!(
+        report.violations, 0,
+        "consistency violated:\n{}",
+        report.log
+    );
+    // The crash sweep under edited tables exercised all outcome classes.
+    assert!(report.crash_points > 0);
+    assert!(report.replayed > 0, "no transaction ever replayed");
+    assert!(
+        report.compensated > 0,
+        "no crash point exercised compensation under edited tables:\n{}",
+        report.log
+    );
+    assert!(
+        report.discarded > 0,
+        "no crash point caught a step-less in-flight transaction:\n{}",
+        report.log
+    );
+    assert_eq!(report.counters.recoveries, report.crash_points as u64);
+}
+
+#[test]
+fn reanalysis_sweep_same_seed_is_byte_identical() {
+    let a = run_reanalysis_torture(&ReanalysisTortureConfig::smoke(7)).expect("reanalysis failed");
+    let b = run_reanalysis_torture(&ReanalysisTortureConfig::smoke(7)).expect("reanalysis failed");
+    assert_eq!(
+        a.log, b.log,
+        "two same-seed reanalysis runs diverged — determinism is broken"
+    );
+    assert_eq!(
+        a.violations + a.mixed_epoch_lookups as usize,
+        0,
+        "{}",
+        a.log
+    );
 }

@@ -24,9 +24,14 @@ pub struct TxnMeta {
 /// access and what happens at step boundaries.
 ///
 /// The *interference oracle* is deliberately **not** part of this trait: it
-/// belongs to the [`crate::shared::SharedDb`] so that a 2PL legacy
-/// transaction and an ACC transaction running in the same system consult the
-/// same tables (otherwise legacy isolation would be unsound).
+/// belongs to the [`crate::shared::SharedDb`]'s epoch-versioned
+/// `InterferenceRegistry`, so that a 2PL legacy transaction and an ACC
+/// transaction running in the same system consult the same tables
+/// (otherwise legacy isolation would be unsound). A decomposed transaction
+/// pins the table epoch it admitted under for its whole lifetime
+/// (`Transaction::epoch_pin`); an online re-analysis switches epochs only
+/// once every pinned transaction has released its locks, so a policy's
+/// lock choices are always judged by the tables they were analyzed against.
 pub trait ConcurrencyControl: Send + Sync {
     /// Human-readable name for reports.
     fn name(&self) -> &'static str;

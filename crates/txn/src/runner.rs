@@ -74,6 +74,18 @@ pub fn run_existing(
 ) -> Result<RunOutcome> {
     let sink = shared.event_sink();
     loop {
+        // Step admission: a decomposed transaction pins the current
+        // interference-table epoch before its first step and is audited
+        // against it at every later one — one atomic load per step, never
+        // per lookup (see `InterferenceRegistry::check_pin`).
+        if cc.decomposed() {
+            match &txn.epoch_pin {
+                Some(pin) => {
+                    shared.registry().check_pin(pin);
+                }
+                None => txn.epoch_pin = Some(shared.pin_epoch(txn.id, mode)?),
+            }
+        }
         let mut retried = false;
         let step_started = Instant::now();
         let step_result = loop {
@@ -85,7 +97,8 @@ pub fn run_existing(
                     // restart it once; a recurring deadlock rolls the whole
                     // transaction back by compensation.
                     undo_current_step(shared, txn)?;
-                    shared.release_where(txn.id, |k, _| k.is_conventional());
+                    let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
+                    shared.release_where_with(txn.id, |k, _| k.is_conventional(), &*oracle);
                     retried = true;
                 }
                 Err(e) => break Err(e),
@@ -124,10 +137,12 @@ pub fn run_existing(
             Err(Error::WouldBlock { txn: t, resource }) => {
                 // Deterministic mode: withdraw cleanly; the scheduler retries
                 // this step later. Undo partial effects so other transactions
-                // see an untouched step.
+                // see an untouched step. The epoch pin stays: the transaction
+                // is still in flight and resumes under its own tables.
                 undo_current_step(shared, txn)?;
                 if cc.decomposed() {
-                    shared.release_where(txn.id, |k, _| k.is_conventional());
+                    let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
+                    shared.release_where_with(txn.id, |k, _| k.is_conventional(), &*oracle);
                 }
                 return Err(Error::WouldBlock { txn: t, resource });
             }
@@ -207,7 +222,16 @@ pub fn end_step(
     // stay small. Never an ack — errors are sticky and surface at commit.
     shared.flush_wal_batch();
     let meta = txn.meta();
-    shared.release_where(txn.id, |kind, _| cc.release_at_step_end(&meta, kind));
+    let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
+    shared.release_where_with(
+        txn.id,
+        |kind, _| cc.release_at_step_end(&meta, kind),
+        &*oracle,
+    );
+    // Announce the boundary last: an observer-triggered re-analysis sees the
+    // post-step lock state, and this transaction is still pinned, so a
+    // switchover drains behind it rather than racing it.
+    shared.fire_step_boundary();
 }
 
 /// Commit: log the commit record, park until it is durable (group-commit
@@ -217,10 +241,14 @@ pub fn end_step(
 /// commit with [`Error::Internal`] — nothing in that batch is acked.
 pub fn commit(shared: &SharedDb, txn: &mut Transaction) -> Result<()> {
     let lsn = shared.with_wal(|w| w.append(LogRecord::Commit { txn: txn.id }));
+    let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
     match shared.sync_wal(lsn) {
         Ok(()) => {
-            shared.release_all(txn.id);
+            shared.release_all_with(txn.id, &*oracle);
             shared.clear_doom(txn.id);
+            // Unpin only after every lock is gone: the switchover this may
+            // complete must never see a live old-epoch grant.
+            shared.unpin_epoch(txn.epoch_pin.take());
             txn.state = TxnState::Committed;
             Ok(())
         }
@@ -231,8 +259,9 @@ pub fn commit(shared: &SharedDb, txn: &mut Transaction) -> Result<()> {
             // would hang peers that deserve to see the same error at their
             // own commit point. Recovery from the durable prefix decides
             // this transaction's real fate.
-            shared.release_all(txn.id);
+            shared.release_all_with(txn.id, &*oracle);
             shared.clear_doom(txn.id);
+            shared.unpin_epoch(txn.epoch_pin.take());
             txn.state = TxnState::Aborted;
             Err(e)
         }
@@ -283,7 +312,8 @@ pub fn rollback(
                     // cross-blocked compensating peer can make progress
                     // before we retry (otherwise two compensations deadlock
                     // in lockstep through every retry).
-                    shared.release_where(txn.id, |k, _| k.is_conventional());
+                    let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
+                    shared.release_where_with(txn.id, |k, _| k.is_conventional(), &*oracle);
                     // Releasing alone is not enough: the transient failure
                     // may be a comp-vs-comp cycle among *other* waiters that
                     // our request keeps running into, and parked waiters only
@@ -302,8 +332,10 @@ pub fn rollback(
                     // (it is idempotent against recovery), but the locks and
                     // doom flag must not outlive us — leaking them stalls
                     // every waiter behind this transaction.
-                    shared.release_all(txn.id);
+                    let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
+                    shared.release_all_with(txn.id, &*oracle);
                     shared.clear_doom(txn.id);
+                    shared.unpin_epoch(txn.epoch_pin.take());
                     txn.state = TxnState::Aborted;
                     return Err(Error::Internal(if e.is_transient() {
                         format!(
@@ -323,8 +355,10 @@ pub fn rollback(
     // Batching hint only; an abort needs no durability ack (recovery treats
     // a missing abort record as in-flight and compensates it the same way).
     shared.flush_wal_batch();
-    shared.release_all(txn.id);
+    let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
+    shared.release_all_with(txn.id, &*oracle);
     shared.clear_doom(txn.id);
+    shared.unpin_epoch(txn.epoch_pin.take());
     txn.state = TxnState::Aborted;
     Ok(())
 }

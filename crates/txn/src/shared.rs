@@ -23,7 +23,8 @@ use acc_common::events::{Event, EventSink};
 use acc_common::faults::FaultInjector;
 use acc_common::{Error, ResourceId, Result, TableId, TxnId, TxnTypeId};
 use acc_lockmgr::{
-    InterferenceOracle, LockKind, Request, RequestCtx, RequestOutcome, ShardedLockManager, Ticket,
+    EpochPin, InstallOutcome, InterferenceOracle, InterferenceRegistry, LockKind, PinAttempt,
+    Request, RequestCtx, RequestOutcome, ShardedLockManager, SharedOracle, SwitchStats, Ticket,
 };
 use acc_storage::{Database, StripedDb, Table};
 use acc_wal::{DurableWal, GroupCommitPolicy, LogDevice, LogRecord, Lsn, Wal};
@@ -31,6 +32,9 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// A forward-step-boundary observer (see `SharedDb::set_step_boundary_hook`).
+pub type StepBoundaryHook = Box<dyn Fn(u64) + Send + Sync>;
 
 /// How a lock request behaves when it cannot be granted immediately.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,7 +62,15 @@ pub struct SharedDb {
     /// Transactions ordered to roll back by a compensating step (§3.4).
     doomed: Mutex<HashSet<TxnId>>,
     next_txn: AtomicU64,
-    oracle: Arc<dyn InterferenceOracle + Send + Sync>,
+    /// The epoch-versioned interference tables. Decomposed transactions pin
+    /// an epoch at first-step admission and use the pinned snapshot for
+    /// every lookup; unpinned callers (2PL legacy, tests) resolve the
+    /// current tables per call.
+    registry: Arc<InterferenceRegistry>,
+    /// Global forward-step-boundary counter and observer (torture harnesses
+    /// install re-analyses at exact boundaries through this).
+    boundaries: AtomicU64,
+    boundary_hook: Mutex<Option<StepBoundaryHook>>,
     /// Safety net: a blocked lock wait longer than this is reported as an
     /// internal error instead of hanging the process.
     wait_cap: Duration,
@@ -73,7 +85,7 @@ impl SharedDb {
     /// Build around an initial database image. The oracle is system-wide so
     /// that legacy 2PL transactions and decomposed transactions make
     /// consistent interference decisions.
-    pub fn new(db: Database, oracle: Arc<dyn InterferenceOracle + Send + Sync>) -> Self {
+    pub fn new(db: Database, oracle: SharedOracle) -> Self {
         let lm = ShardedLockManager::new(ShardedLockManager::DEFAULT_SHARDS);
         let parking = Parking::new(lm.n_shards());
         SharedDb {
@@ -83,7 +95,9 @@ impl SharedDb {
             parking,
             doomed: Mutex::new(HashSet::new()),
             next_txn: AtomicU64::new(1),
-            oracle,
+            registry: Arc::new(InterferenceRegistry::new(oracle)),
+            boundaries: AtomicU64::new(0),
+            boundary_hook: Mutex::new(None),
             wait_cap: Duration::from_secs(30),
             faults: FaultInjector::disabled(),
             comp_retry_cap: 8,
@@ -127,9 +141,109 @@ impl SharedDb {
         self.comp_retry_cap
     }
 
-    /// The system-wide interference oracle.
-    pub fn oracle(&self) -> &(dyn InterferenceOracle + Send + Sync) {
-        &*self.oracle
+    /// The current interference tables (unpinned snapshot).
+    pub fn oracle(&self) -> SharedOracle {
+        self.registry.current()
+    }
+
+    /// The epoch-versioned table registry (epoch number, drain state,
+    /// mixed-epoch audit counter).
+    pub fn registry(&self) -> &InterferenceRegistry {
+        &self.registry
+    }
+
+    /// The tables a request must consult: the transaction's pinned epoch
+    /// snapshot, or the current tables for unpinned (legacy/2PL) callers.
+    pub fn oracle_for(&self, pin: Option<&EpochPin>) -> SharedOracle {
+        match pin {
+            Some(p) => Arc::clone(&p.oracle),
+            None => self.registry.current(),
+        }
+    }
+
+    /// Pin the current table epoch for a decomposed transaction's lifetime
+    /// (first-step admission). While a switchover is draining, `Block` mode
+    /// parks until the new epoch is current and `Fail` mode reports
+    /// [`Error::WouldBlock`] on the admission sentinel so the deterministic
+    /// scheduler retries the step later.
+    pub fn pin_epoch(&self, txn: TxnId, mode: WaitMode) -> Result<EpochPin> {
+        match self.registry.pin(mode == WaitMode::Block, self.wait_cap) {
+            PinAttempt::Pinned(pin) => Ok(pin),
+            PinAttempt::WouldBlock => Err(Error::WouldBlock {
+                txn,
+                resource: SharedDb::ADMISSION_SENTINEL,
+            }),
+            PinAttempt::TimedOut => Err(Error::Internal(format!(
+                "{txn} waited longer than {:?} for an epoch switchover — \
+                 drain never completed (bug)",
+                self.wait_cap
+            ))),
+        }
+    }
+
+    /// Release a transaction's epoch pin (after `release_all`, so the
+    /// switchover a completed drain triggers can never see a live old-epoch
+    /// lock). Emits [`Event::EpochSwitch`] when this unpin completed one.
+    pub fn unpin_epoch(&self, pin: Option<EpochPin>) {
+        if let Some(pin) = pin {
+            if let Some(stats) = self.registry.unpin(pin) {
+                self.emit_switch(stats);
+            }
+        }
+    }
+
+    /// Publish re-analyzed interference tables: immediate switch when no
+    /// epoch pins are outstanding, otherwise a drain that completes at the
+    /// last unpin. Emits [`Event::EpochSwitch`] for an immediate switch.
+    pub fn install_oracle(&self, oracle: SharedOracle) -> InstallOutcome {
+        let (outcome, stats) = self.registry.install(oracle);
+        if let Some(stats) = stats {
+            self.emit_switch(stats);
+        }
+        outcome
+    }
+
+    fn emit_switch(&self, stats: SwitchStats) {
+        let sink = self.lm.sink();
+        if sink.is_enabled() {
+            sink.emit(Event::EpochSwitch {
+                epoch: stats.epoch,
+                drained: stats.drained as u32,
+                parked: stats.parked as u32,
+            });
+        }
+    }
+
+    /// The pseudo-resource reported by a `Fail`-mode admission that ran into
+    /// a draining switchover.
+    pub const ADMISSION_SENTINEL: ResourceId = ResourceId::Named(u32::MAX);
+
+    /// Install a forward-step-boundary observer (torture harnesses trigger
+    /// re-analyses at exact global boundaries through it). The hook receives
+    /// the 1-based global boundary count.
+    pub fn set_step_boundary_hook(&self, hook: Option<StepBoundaryHook>) {
+        *self
+            .boundary_hook
+            .lock()
+            .expect("boundary hook not poisoned") = hook;
+    }
+
+    /// Count one forward-step boundary and notify the observer, if any
+    /// (called by `runner::end_step`).
+    pub fn fire_step_boundary(&self) {
+        let n = self.boundaries.fetch_add(1, Ordering::Relaxed) + 1;
+        let hook = self
+            .boundary_hook
+            .lock()
+            .expect("boundary hook not poisoned");
+        if let Some(hook) = hook.as_ref() {
+            hook(n);
+        }
+    }
+
+    /// Forward-step boundaries observed so far.
+    pub fn step_boundaries(&self) -> u64 {
+        self.boundaries.load(Ordering::Relaxed)
     }
 
     /// Route the lock manager's observability events into `sink`.
@@ -293,6 +407,21 @@ impl SharedDb {
         ctx: RequestCtx,
         mode: WaitMode,
     ) -> Result<()> {
+        self.acquire_with(txn, resource, kind, ctx, mode, &*self.registry.current())
+    }
+
+    /// [`SharedDb::acquire`] against an explicit oracle snapshot — the hot
+    /// path for pinned transactions (the step context resolves the epoch
+    /// snapshot once per step instead of once per request).
+    pub fn acquire_with(
+        &self,
+        txn: TxnId,
+        resource: ResourceId,
+        kind: LockKind,
+        ctx: RequestCtx,
+        mode: WaitMode,
+        oracle: &(dyn InterferenceOracle + Send + Sync),
+    ) -> Result<()> {
         // A doom flag orders the transaction to roll back; once it *is*
         // rolling back (compensating), the order is vacuous and must not
         // abort the compensating step (§3.4).
@@ -300,10 +429,10 @@ impl SharedDb {
             return Err(Error::TxnAborted(txn));
         }
         let req = Request::new(txn, resource, kind, ctx);
-        match self.lm.request(req, &*self.oracle) {
+        match self.lm.request(req, oracle) {
             RequestOutcome::Granted => Ok(()),
             RequestOutcome::Waiting(ticket) => {
-                self.wait_on(txn, resource, ticket, mode, ctx.compensating)
+                self.wait_on(txn, resource, ticket, mode, ctx.compensating, oracle)
             }
             RequestOutcome::Deadlock { victims, ticket } => {
                 if victims.contains(&txn) {
@@ -316,7 +445,7 @@ impl SharedDb {
                         self.doom(v);
                     }
                     let ticket = ticket.expect("compensating deadlock keeps the request queued");
-                    self.wait_on(txn, resource, ticket, mode, ctx.compensating)
+                    self.wait_on(txn, resource, ticket, mode, ctx.compensating, oracle)
                 }
             }
         }
@@ -326,9 +455,14 @@ impl SharedDb {
     /// `ticket`. Safe against in-flight grants: notices are posted under the
     /// shard mutexes `cancel_waiting` itself takes, so once it returns no
     /// grant for the ticket can still be produced.
-    fn cancel_and_unpark(&self, txn: TxnId, ticket: Ticket) {
+    fn cancel_and_unpark(
+        &self,
+        txn: TxnId,
+        ticket: Ticket,
+        oracle: &(dyn InterferenceOracle + Send + Sync),
+    ) {
         self.lm
-            .cancel_waiting(txn, &*self.oracle, &mut |n| self.parking.grant(n.ticket));
+            .cancel_waiting(txn, oracle, &mut |n| self.parking.grant(n.ticket));
         self.parking.deregister(ticket);
     }
 
@@ -350,12 +484,13 @@ impl SharedDb {
         ticket: Ticket,
         mode: WaitMode,
         compensating: bool,
+        oracle: &(dyn InterferenceOracle + Send + Sync),
     ) -> Result<()> {
         match mode {
             WaitMode::Fail => {
                 // Withdraw immediately; the deterministic scheduler will
                 // retry the whole step later.
-                self.cancel_and_unpark(txn, ticket);
+                self.cancel_and_unpark(txn, ticket, oracle);
                 Err(Error::WouldBlock { txn, resource })
             }
             WaitMode::Block => {
@@ -378,7 +513,7 @@ impl SharedDb {
                         return Ok(());
                     }
                     if !compensating && self.is_doomed(txn) {
-                        self.cancel_and_unpark(txn, ticket);
+                        self.cancel_and_unpark(txn, ticket, oracle);
                         return Err(Error::TxnAborted(txn));
                     }
                     // A planned spurious wakeup truncates this slice to near
@@ -401,7 +536,7 @@ impl SharedDb {
                     waited += this_slice;
                     let det = self
                         .lm
-                        .detect_from(txn, &*self.oracle, &mut |n| self.parking.grant(n.ticket));
+                        .detect_from(txn, oracle, &mut |n| self.parking.grant(n.ticket));
                     if let Some(det) = det {
                         if det.self_is_victim {
                             // Our queued requests were withdrawn inside
@@ -414,7 +549,7 @@ impl SharedDb {
                         }
                     }
                     if waited >= self.wait_cap {
-                        self.cancel_and_unpark(txn, ticket);
+                        self.cancel_and_unpark(txn, ticket, oracle);
                         return Err(Error::Internal(format!(
                             "{txn} waited longer than {:?} on {resource} — \
                              undetected stall (bug)",
@@ -429,15 +564,30 @@ impl SharedDb {
     /// Release the caller-selected grants of `txn` and wake anyone whose
     /// request became grantable.
     pub fn release_where(&self, txn: TxnId, pred: impl Fn(LockKind, &RequestCtx) -> bool) {
-        self.lm.release_where(txn, &*self.oracle, pred, &mut |n| {
-            self.parking.grant(n.ticket)
-        });
+        self.release_where_with(txn, pred, &*self.registry.current());
+    }
+
+    /// [`SharedDb::release_where`] against an explicit oracle snapshot
+    /// (pinned transactions re-evaluate waiters under their own epoch).
+    pub fn release_where_with(
+        &self,
+        txn: TxnId,
+        pred: impl Fn(LockKind, &RequestCtx) -> bool,
+        oracle: &(dyn InterferenceOracle + Send + Sync),
+    ) {
+        self.lm
+            .release_where(txn, oracle, pred, &mut |n| self.parking.grant(n.ticket));
     }
 
     /// Release everything `txn` holds or waits for.
     pub fn release_all(&self, txn: TxnId) {
+        self.release_all_with(txn, &*self.registry.current());
+    }
+
+    /// [`SharedDb::release_all`] against an explicit oracle snapshot.
+    pub fn release_all_with(&self, txn: TxnId, oracle: &(dyn InterferenceOracle + Send + Sync)) {
         self.lm
-            .release_all(txn, &*self.oracle, &mut |n| self.parking.grant(n.ticket));
+            .release_all(txn, oracle, &mut |n| self.parking.grant(n.ticket));
     }
 }
 

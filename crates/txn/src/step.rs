@@ -9,7 +9,7 @@ use crate::cc::ConcurrencyControl;
 use crate::shared::{SharedDb, WaitMode};
 use crate::transaction::Transaction;
 use acc_common::{Error, Result, Slot, TableId, TxnId};
-use acc_lockmgr::{LockKind, LockMode, RequestCtx};
+use acc_lockmgr::{LockKind, LockMode, RequestCtx, SharedOracle};
 use acc_storage::{Key, Predicate, Row};
 use acc_wal::LogRecord;
 
@@ -19,6 +19,10 @@ pub struct StepCtx<'a> {
     cc: &'a dyn ConcurrencyControl,
     txn: &'a mut Transaction,
     mode: WaitMode,
+    /// The interference tables every lock request in this step consults:
+    /// the transaction's pinned epoch snapshot, resolved once here — the
+    /// per-request path never touches the registry.
+    oracle: SharedOracle,
 }
 
 impl<'a> StepCtx<'a> {
@@ -29,11 +33,13 @@ impl<'a> StepCtx<'a> {
         txn: &'a mut Transaction,
         mode: WaitMode,
     ) -> Self {
+        let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
         StepCtx {
             shared,
             cc,
             txn,
             mode,
+            oracle,
         }
     }
 
@@ -61,8 +67,14 @@ impl<'a> StepCtx<'a> {
     }
 
     fn acquire(&self, resource: acc_common::ResourceId, kind: LockKind) -> Result<()> {
-        self.shared
-            .acquire(self.txn.id, resource, kind, self.request_ctx(), self.mode)
+        self.shared.acquire_with(
+            self.txn.id,
+            resource,
+            kind,
+            self.request_ctx(),
+            self.mode,
+            &*self.oracle,
+        )
     }
 
     /// Take the table intention lock plus the policy's item locks on the

@@ -2,6 +2,7 @@
 
 use crate::cc::TxnMeta;
 use acc_common::{TxnId, TxnTypeId};
+use acc_lockmgr::EpochPin;
 use acc_storage::UndoRecord;
 
 /// Lifecycle states.
@@ -36,6 +37,12 @@ pub struct Transaction {
     /// physically undoable). Under 2PL it accumulates for the whole
     /// transaction.
     pub step_undo: Vec<UndoRecord>,
+    /// The interference-table epoch this transaction admitted under
+    /// (decomposed transactions only; taken at first-step admission,
+    /// released after `release_all` at commit/rollback). Every interference
+    /// lookup the transaction causes — forward or compensating — uses this
+    /// pinned snapshot, never a newer epoch's tables.
+    pub epoch_pin: Option<EpochPin>,
 }
 
 impl Transaction {
@@ -48,6 +55,7 @@ impl Transaction {
             steps_completed: 0,
             state: TxnState::Active,
             step_undo: Vec::new(),
+            epoch_pin: None,
         }
     }
 

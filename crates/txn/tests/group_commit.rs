@@ -70,10 +70,8 @@ fn bump(s: &SharedDb, id: i64) -> Result<()> {
 fn lone_appender_commits_within_the_batch_window() {
     // A generous window: if the leader waited for followers that never come,
     // this test would hang, not just slow down.
-    let policy = GroupCommitPolicy {
-        window: Duration::from_millis(20),
-        max_batch: 1 << 20, // never triggers a size-based flush
-    };
+    // max_batch high enough to never trigger a size-based flush.
+    let policy = GroupCommitPolicy::fixed(Duration::from_millis(20), 1 << 20);
     let s = shared_with(Box::new(acc_wal::MemDevice::new()), policy);
     let start = Instant::now();
     bump(&s, 1).expect("lone commit must succeed");
@@ -89,10 +87,7 @@ fn lone_appender_commits_within_the_batch_window() {
 
 #[test]
 fn commits_coalesce_into_shared_fsyncs_under_a_window() {
-    let policy = GroupCommitPolicy {
-        window: Duration::from_millis(5),
-        max_batch: 1 << 20,
-    };
+    let policy = GroupCommitPolicy::fixed(Duration::from_millis(5), 1 << 20);
     let s = shared_with(Box::new(acc_wal::MemDevice::new()), policy);
     let threads: Vec<_> = (0..8)
         .map(|i| {
@@ -109,6 +104,31 @@ fn commits_coalesce_into_shared_fsyncs_under_a_window() {
     assert_eq!(s.durable_wal_records(), s.wal_len() as u64);
     let fsyncs = s.wal_fsyncs();
     assert!((1..=8).contains(&fsyncs), "fsyncs={fsyncs}");
+    assert_eq!(s.total_grants(), 0, "locks leaked after commit");
+}
+
+#[test]
+fn adaptive_window_acks_every_commit() {
+    // The rate-adaptive window must behave like a (well-tuned) fixed one
+    // through the full commit path: every ack durable, no locks left.
+    let policy =
+        GroupCommitPolicy::adaptive(Duration::from_micros(50), Duration::from_millis(5), 1 << 20);
+    let s = shared_with(Box::new(acc_wal::MemDevice::new()), policy);
+    let threads: Vec<_> = (0..4)
+        .map(|i| {
+            let s = Arc::clone(&s);
+            std::thread::spawn(move || {
+                for _ in 0..4 {
+                    bump(&s, i).expect("commit failed");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(s.durable_wal_records(), s.wal_len() as u64);
+    assert!(s.wal_fsyncs() >= 1);
     assert_eq!(s.total_grants(), 0, "locks leaked after commit");
 }
 

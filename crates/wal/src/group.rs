@@ -21,26 +21,107 @@ use crate::log::{Lsn, Wal};
 use acc_common::faults::FaultInjector;
 use acc_common::{Error, Result};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How long a batch leader waits for followers before flushing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitWindow {
+    /// Wait exactly this long. Zero — the default — flushes immediately
+    /// (every committer that finds no flush in progress leads its own
+    /// batch); non-zero trades commit latency for fewer, fatter fsyncs.
+    Fixed(Duration),
+    /// Track the observed arrival rate: the leader waits roughly four EWMA
+    /// inter-append gaps (time enough for a few more records to arrive at
+    /// the current pace), clamped to `floor..=ceil` — but only while
+    /// flushes are actually coalescing commits. The second signal is an
+    /// EWMA of committers retired per flush: while it sits near 1 (a lone
+    /// committer, or a device so fast that batching buys nothing) the wait
+    /// is zero, so a solo thread never pays a window for followers that
+    /// cannot exist. On a slow device under concurrency the in-flight fsync
+    /// itself coalesces the first followers, occupancy rises above the
+    /// engage threshold, and the window switches on. Gaps so long that four
+    /// of them exceed `ceil` mean "idle": zero wait again.
+    Adaptive {
+        /// Smallest engaged wait (granted even when the gap estimate says
+        /// less — an fsync costs the same either way).
+        floor: Duration,
+        /// Largest wait; estimated waits beyond it mean "idle, don't wait".
+        ceil: Duration,
+    },
+}
+
+impl Default for CommitWindow {
+    fn default() -> CommitWindow {
+        CommitWindow::Fixed(Duration::ZERO)
+    }
+}
+
+/// Commits-per-flush below which an adaptive window stays off: flushes are
+/// not coalescing, so waiting would tax the only committer there is.
+const ENGAGE_COMMITS_PER_FLUSH: f64 = 1.5;
+
+/// The leader wait a [`CommitWindow::Adaptive`] window prescribes given the
+/// EWMA of inter-append gaps (`0` = no estimate yet) and the EWMA of
+/// committers retired per flush. Pure, so the clamp/engage policy is
+/// unit-testable without a clock.
+pub fn adaptive_wait(
+    ewma_gap_ns: u64,
+    ewma_commits_per_flush: f64,
+    floor: Duration,
+    ceil: Duration,
+) -> Duration {
+    if ewma_commits_per_flush < ENGAGE_COMMITS_PER_FLUSH {
+        // Flushes retire ~one commit each: either a lone committer (no
+        // follower will ever arrive during the wait) or a device fast
+        // enough that followers retire behind the in-flight fsync anyway.
+        // Waiting buys nothing; don't.
+        return Duration::ZERO;
+    }
+    if ewma_gap_ns == 0 {
+        // Coalescing but no rate estimate yet: the cheapest engaged wait.
+        return floor;
+    }
+    let want = Duration::from_nanos(ewma_gap_ns.saturating_mul(4));
+    if want > ceil {
+        // Records arrive slower than the ceiling covers: idle, don't wait.
+        return Duration::ZERO;
+    }
+    want.max(floor)
+}
 
 /// Tuning for the group-commit batcher.
 #[derive(Debug, Clone, Copy)]
 pub struct GroupCommitPolicy {
-    /// How long a batch leader waits for followers before flushing. Zero —
-    /// the default — flushes immediately (every committer that finds no
-    /// flush in progress leads its own batch); non-zero trades commit
-    /// latency for fewer, fatter fsyncs.
-    pub window: Duration,
+    /// The leader's follower-accumulation wait.
+    pub window: CommitWindow,
     /// Background-flush threshold: once this many records are appended but
     /// not yet durable, a non-committing append may trigger a flush so the
     /// staged tail cannot grow without bound between commits.
     pub max_batch: usize,
 }
 
+impl GroupCommitPolicy {
+    /// A fixed-window policy.
+    pub fn fixed(window: Duration, max_batch: usize) -> GroupCommitPolicy {
+        GroupCommitPolicy {
+            window: CommitWindow::Fixed(window),
+            max_batch,
+        }
+    }
+
+    /// A rate-adaptive policy (see [`CommitWindow::Adaptive`]).
+    pub fn adaptive(floor: Duration, ceil: Duration, max_batch: usize) -> GroupCommitPolicy {
+        GroupCommitPolicy {
+            window: CommitWindow::Adaptive { floor, ceil },
+            max_batch,
+        }
+    }
+}
+
 impl Default for GroupCommitPolicy {
     fn default() -> GroupCommitPolicy {
         GroupCommitPolicy {
-            window: Duration::ZERO,
+            window: CommitWindow::default(),
             max_batch: 256,
         }
     }
@@ -66,6 +147,43 @@ struct GcState {
     fsyncs: u64,
     /// Sticky device failure: set once, fails every later sync.
     failed: Option<String>,
+    /// When the last flush completed (adaptive-window rate tracking).
+    last_flush: Option<Instant>,
+    /// EWMA (α = 1/4) of inter-append gaps, nanoseconds; 0 = no estimate.
+    /// Sampled batchwise: elapsed-since-last-flush / records-this-flush.
+    ewma_gap_ns: u64,
+    /// EWMA (α = 1/4) of committers retired per flush — the adaptive
+    /// window's engage signal (see [`adaptive_wait`]).
+    ewma_commits_per_flush: f64,
+    /// `sync_to` calls since the last completed flush.
+    committers_since_flush: u64,
+}
+
+impl GcState {
+    /// Fold one completed flush covering `records` new records into the
+    /// rate estimates. Called at each completed flush, under the state
+    /// mutex.
+    fn note_flush(&mut self, records: u64) {
+        let now = Instant::now();
+        if let Some(prev) = self.last_flush {
+            let elapsed = now.duration_since(prev).as_nanos().min(u64::MAX as u128) as u64;
+            // Mean inter-append gap over the interval. Dividing by the batch
+            // size is also what keeps the feedback loop stable: a longer
+            // window collects proportionally more records, so the per-record
+            // gap — and with it the next window — converges instead of
+            // compounding.
+            let gap = elapsed / records.max(1);
+            self.ewma_gap_ns = if self.ewma_gap_ns == 0 {
+                gap
+            } else {
+                self.ewma_gap_ns - self.ewma_gap_ns / 4 + gap / 4
+            };
+        }
+        self.last_flush = Some(now);
+        self.ewma_commits_per_flush =
+            self.ewma_commits_per_flush * 0.75 + self.committers_since_flush as f64 * 0.25;
+        self.committers_since_flush = 0;
+    }
 }
 
 /// The WAL plus its durable backend and the group-commit state machine.
@@ -168,6 +286,7 @@ impl DurableWal {
     /// every current and future committer gets the error.
     pub fn sync_to(&self, lsn: Lsn) -> Result<Option<FlushStats>> {
         let mut state = self.state.lock().unwrap();
+        state.committers_since_flush += 1;
         loop {
             if let Some(msg) = &state.failed {
                 return Err(Error::Internal(format!("wal device failed: {msg}")));
@@ -183,9 +302,15 @@ impl DurableWal {
             // everything staged — including appends that arrived during the
             // wait — in one write + fsync.
             state.flushing = true;
+            let wait = match self.policy.window {
+                CommitWindow::Fixed(w) => w,
+                CommitWindow::Adaptive { floor, ceil } => {
+                    adaptive_wait(state.ewma_gap_ns, state.ewma_commits_per_flush, floor, ceil)
+                }
+            };
             drop(state);
-            if !self.policy.window.is_zero() {
-                std::thread::sleep(self.policy.window);
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
             }
             let flushed = self.flush_once();
             state = self.state.lock().unwrap();
@@ -198,6 +323,7 @@ impl DurableWal {
                     };
                     state.durable = covered;
                     state.fsyncs += 1;
+                    state.note_flush(stats.records);
                     self.cv.notify_all();
                     // This leader's own record is covered by construction:
                     // it was appended before sync_to was called.
@@ -262,6 +388,7 @@ impl DurableWal {
                     };
                     state.durable = covered;
                     state.fsyncs += 1;
+                    state.note_flush(stats.records);
                     self.cv.notify_all();
                     return Ok(Some(stats));
                 }
@@ -358,10 +485,7 @@ mod tests {
         // with — it must lead its own flush and return, not park forever.
         let wal = DurableWal::new(
             Box::new(MemDevice::new()),
-            GroupCommitPolicy {
-                window: Duration::from_millis(5),
-                max_batch: 256,
-            },
+            GroupCommitPolicy::fixed(Duration::from_millis(5), 256),
         );
         let lsn = wal.with_log(|w| w.append(commit_rec(1)));
         let start = std::time::Instant::now();
@@ -387,10 +511,7 @@ mod tests {
     fn concurrent_committers_coalesce_into_few_fsyncs() {
         let wal = Arc::new(DurableWal::new(
             Box::new(MemDevice::new()),
-            GroupCommitPolicy {
-                window: Duration::from_millis(2),
-                max_batch: 256,
-            },
+            GroupCommitPolicy::fixed(Duration::from_millis(2), 256),
         ));
         let threads: Vec<_> = (0..8u64)
             .map(|i| {
@@ -417,10 +538,7 @@ mod tests {
     fn flush_if_batchful_flushes_at_threshold() {
         let wal = DurableWal::new(
             Box::new(MemDevice::new()),
-            GroupCommitPolicy {
-                window: Duration::ZERO,
-                max_batch: 4,
-            },
+            GroupCommitPolicy::fixed(Duration::ZERO, 4),
         );
         for i in 0..3 {
             wal.with_log(|w| w.append(commit_rec(i)));
@@ -430,5 +548,58 @@ mod tests {
         let stats = wal.flush_if_batchful().expect("at threshold");
         assert_eq!(stats.records, 4);
         assert_eq!(wal.durable_records(), 4);
+    }
+
+    #[test]
+    fn adaptive_wait_clamps_to_the_observed_rate() {
+        let floor = Duration::from_micros(50);
+        let ceil = Duration::from_millis(2);
+        // Not coalescing (~1 commit per flush): never wait, whatever the
+        // rate estimate says — a lone committer has no followers to collect.
+        assert_eq!(adaptive_wait(0, 0.0, floor, ceil), Duration::ZERO);
+        assert_eq!(adaptive_wait(1_000, 1.0, floor, ceil), Duration::ZERO);
+        assert_eq!(adaptive_wait(100_000, 1.4, floor, ceil), Duration::ZERO);
+        // Engaged but no rate estimate yet: the cheapest engaged wait.
+        assert_eq!(adaptive_wait(0, 4.0, floor, ceil), floor);
+        // Gaps so small that 4× still undercuts the floor: floor wins.
+        assert_eq!(adaptive_wait(1_000, 4.0, floor, ceil), floor);
+        // In range: wait ≈ four gaps.
+        assert_eq!(
+            adaptive_wait(100_000, 4.0, floor, ceil),
+            Duration::from_micros(400)
+        );
+        // The exact ceiling is still a wait...
+        assert_eq!(adaptive_wait(500_000, 4.0, floor, ceil), ceil);
+        // ...but beyond it the system is idle: no wait at all.
+        assert_eq!(adaptive_wait(500_001, 4.0, floor, ceil), Duration::ZERO);
+        assert_eq!(adaptive_wait(u64::MAX, 8.0, floor, ceil), Duration::ZERO);
+    }
+
+    #[test]
+    fn adaptive_window_stays_live_and_durable() {
+        // Functional check (the latency/batching numbers live in
+        // `figures -- wal`): an adaptive policy must ack every commit and
+        // advance durability exactly like a fixed one.
+        let wal = Arc::new(DurableWal::new(
+            Box::new(MemDevice::new()),
+            GroupCommitPolicy::adaptive(Duration::from_micros(50), Duration::from_millis(2), 256),
+        ));
+        let threads: Vec<_> = (0..4u64)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for j in 0..8u64 {
+                        let lsn = wal.with_log(|w| w.append(commit_rec(i * 8 + j)));
+                        wal.sync_to(lsn).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(wal.durable_records(), 32);
+        assert_eq!(codec::decode_all(&wal.durable_stream()).len(), 32);
+        assert!(wal.fsyncs() <= 32);
     }
 }

@@ -21,13 +21,33 @@ cargo test --workspace --offline -q
 echo "== durable WAL tests (sector framing, devices, group commit) =="
 cargo test -p acc-wal -p acc-txn --offline -q --test sector_prop --test group_commit
 
+echo "== oracle edge cases + epoch registry tests =="
+cargo test -p acc-core --offline -q --test oracle_edges
+cargo test -p acc-lockmgr --offline -q registry
+
 echo "== crash-torture smoke (bounded sweep) =="
 cargo run -p acc-bench --release --offline --bin figures -- torture --quick >/dev/null
 
 echo "== fsync-boundary torture smoke (both devices) =="
 cargo run -p acc-bench --release --offline --bin figures -- torture --fsync --quick
 
+echo "== reanalysis torture smoke (epoch switchover at step boundaries) =="
+cargo run -p acc-bench --release --offline --bin figures -- torture --reanalysis --quick
+
 echo "== multi-thread stress smoke (8-terminal closed loop, release) =="
 cargo run -p acc-bench --release --offline --bin figures -- stress --quick
+
+echo "== README vs figures --help drift =="
+# Every `figures -- <subcommand>` the README advertises must exist in the
+# binary's --help output, so docs can't drift from the dispatcher.
+help_out="$(cargo run -p acc-bench --release --offline --bin figures -- --help)"
+missing=0
+for sub in $(grep -o 'figures -- [a-z0-9]*' README.md | awk '{print $3}' | sort -u); do
+    if ! grep -qw "$sub" <<<"$help_out"; then
+        echo "README mentions 'figures -- $sub' but --help does not list it" >&2
+        missing=1
+    fi
+done
+[ "$missing" -eq 0 ] || exit 1
 
 echo "All checks passed."
