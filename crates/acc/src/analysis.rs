@@ -114,9 +114,13 @@ impl<'a> Analysis<'a> {
                     (true, format!("declared: {why}"))
                 } else if let Some(why) = self.safe.get(&key) {
                     (false, format!("declared safe: {why}"))
-                } else if template.read_guard {
+                } else if template.read_guard && !step.writes.is_empty() {
                     // DIRTY and type-specific guards: footprints cannot
                     // decide whether overwriting *uncommitted* data is safe.
+                    // A step with an empty write footprint writes nothing at
+                    // all, so the conservative default does not apply to it
+                    // (and its all-clear write row makes it eligible for
+                    // coordination-free version reads).
                     (
                         true,
                         "conservative default: may overwrite uncommitted data".to_owned(),

@@ -51,6 +51,15 @@ pub struct TxnSpec {
     /// type-specific guard defined with
     /// [`AssertionRegistry::define_guard`].
     pub guard: AssertionTemplateId,
+    /// Declare the whole type read-only: its steps' results feed no writes,
+    /// so their reads may be served from committed row versions without
+    /// locking ([`ConcurrencyControl::version_read_safe`]). The declaration
+    /// is only half the gate — the interference oracle must also clear the
+    /// step's write row — but it is the load-bearing half: an all-clear
+    /// write row alone also admits *writers* whose writes are declared
+    /// interference-free (e.g. TPC-C's payment steps), and those must never
+    /// read stale versions of rows they are about to overwrite.
+    pub version_safe: bool,
 }
 
 impl TxnSpec {
@@ -98,6 +107,29 @@ impl Acc {
     /// The registry backing this policy.
     pub fn registry(&self) -> &AssertionRegistry {
         &self.registry
+    }
+
+    /// The same policy with every type's `version_safe` declaration
+    /// withdrawn: all reads take the conventional lock-manager path. Used by
+    /// comparison experiments (and tests) that need the pre-MVCC behavior of
+    /// an otherwise identical system.
+    pub fn without_version_reads(&self) -> Acc {
+        Acc {
+            registry: Arc::clone(&self.registry),
+            specs: self
+                .specs
+                .iter()
+                .map(|(&ty, s)| {
+                    (
+                        ty,
+                        TxnSpec {
+                            version_safe: false,
+                            ..s.clone()
+                        },
+                    )
+                })
+                .collect(),
+        }
     }
 
     fn spec(&self, ty: TxnTypeId) -> &TxnSpec {
@@ -191,6 +223,12 @@ impl ConcurrencyControl for Acc {
         kinds
     }
 
+    fn version_read_safe(&self, meta: &TxnMeta) -> bool {
+        // Compensating steps write by definition; a read-only type never
+        // compensates, but stay defensive.
+        !meta.compensating && self.spec(meta.txn_type).version_safe
+    }
+
     fn release_at_step_end(&self, meta: &TxnMeta, kind: LockKind) -> bool {
         match kind {
             // Step atomicity: conventional locks are strictly two-phase
@@ -254,6 +292,7 @@ mod tests {
                 overflow: Some(1),
                 comp_step: Some(StepTypeId(4)),
                 guard: DIRTY,
+                version_safe: false,
             }],
         );
         (acc, no_loop, extra)
@@ -350,7 +389,58 @@ mod tests {
                 overflow: None,
                 comp_step: None,
                 guard: DIRTY,
+                version_safe: false,
             }],
         );
+    }
+
+    #[test]
+    fn version_safety_is_declared_per_type_and_never_compensating() {
+        let mut reg = AssertionRegistry::new();
+        let t = reg.define("t", vec![], None);
+        let acc = Acc::new(
+            Arc::new(reg),
+            vec![
+                TxnSpec {
+                    txn_type: TxnTypeId(1),
+                    name: "reader".into(),
+                    steps: vec![StepSpec {
+                        step_type: StepTypeId(1),
+                        active: vec![t],
+                    }],
+                    overflow: None,
+                    comp_step: None,
+                    guard: DIRTY,
+                    version_safe: true,
+                },
+                TxnSpec {
+                    txn_type: TxnTypeId(2),
+                    name: "writer".into(),
+                    steps: vec![StepSpec {
+                        step_type: StepTypeId(2),
+                        active: vec![],
+                    }],
+                    overflow: None,
+                    comp_step: Some(StepTypeId(3)),
+                    guard: DIRTY,
+                    version_safe: false,
+                },
+            ],
+        );
+        let reader = TxnMeta {
+            id: TxnId(1),
+            txn_type: TxnTypeId(1),
+            step_index: 0,
+            compensating: false,
+        };
+        assert!(acc.version_read_safe(&reader));
+        assert!(!acc.version_read_safe(&TxnMeta {
+            compensating: true,
+            ..reader
+        }));
+        assert!(!acc.version_read_safe(&TxnMeta {
+            txn_type: TxnTypeId(2),
+            ..reader
+        }));
     }
 }

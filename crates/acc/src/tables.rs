@@ -103,6 +103,18 @@ impl InterferenceOracle for InterferenceTables {
                 || !self.analyzed.contains(&step)
                 || self.committed_readers.contains(&step))
     }
+
+    fn version_read_safe(&self, step: StepTypeId) -> bool {
+        // A dense-row lookup, like everything else here: the step must be
+        // analyzed and its write row all-clear. (Committed-reader steps
+        // qualify too — the version chains serve only committed images, so
+        // the §3.3 requirement is met without blocking on DIRTY pins.)
+        step != LEGACY_STEP
+            && self
+                .write
+                .get(&step)
+                .is_some_and(|row| row.iter().all(|&b| !b))
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +163,17 @@ mod tests {
     fn out_of_range_template_is_conservative() {
         let t = tables();
         assert!(t.write_interferes(StepTypeId(2), AssertionTemplateId(50)));
+    }
+
+    #[test]
+    fn version_read_safety_requires_clear_write_row() {
+        let t = tables();
+        // Step 2 writes nothing: version reads are interference-safe.
+        assert!(t.version_read_safe(StepTypeId(2)));
+        // Step 1 writes; legacy/unknown steps are conservative.
+        assert!(!t.version_read_safe(StepTypeId(1)));
+        assert!(!t.version_read_safe(LEGACY_STEP));
+        assert!(!t.version_read_safe(StepTypeId(99)));
     }
 
     #[test]

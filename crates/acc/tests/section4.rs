@@ -218,6 +218,7 @@ fn system(n_items: i64, stock_each: i64) -> System {
                 overflow: Some(1),
                 comp_step: Some(NO_CS),
                 guard: DIRTY,
+                version_safe: false,
             },
             TxnSpec {
                 txn_type: TY_BILL,
@@ -229,6 +230,7 @@ fn system(n_items: i64, stock_each: i64) -> System {
                 overflow: None,
                 comp_step: None,
                 guard: DIRTY,
+                version_safe: false,
             },
         ],
     ));

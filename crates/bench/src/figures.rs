@@ -206,7 +206,8 @@ fn report_json(
             "\"throughput_tps\":{:.3},\"deadlocks\":{},\"lock_requests\":{},",
             "\"lock_waits\":{},\"mean_lock_wait_ms\":{:.3},\"assertion_pins\":{},",
             "\"interference_hits\":{},\"conservative_denials\":{},",
-            "\"deadlock_cycles\":{},\"deadlock_victims\":{},\"compensations\":{}}}"
+            "\"deadlock_cycles\":{},\"deadlock_victims\":{},\"compensations\":{},",
+            "\"version_reads\":{},\"version_fallbacks\":{}}}"
         ),
         experiment,
         series,
@@ -225,6 +226,8 @@ fn report_json(
         c.deadlocks,
         c.deadlock_victims,
         c.compensations,
+        c.version_reads,
+        c.version_fallbacks,
     )
 }
 

@@ -14,6 +14,7 @@
 //! Throughput numbers depend on the host (core count, scheduler); the
 //! invariant checks (consistency audit, drained lock tables) do not.
 
+use acc_common::events::EventSink;
 use acc_common::rng::SeededRng;
 use acc_common::{ResourceId, StepTypeId, TxnId};
 use acc_engine::{run_closed_loop, ClosedLoopConfig, RetryPolicy, Workload};
@@ -21,11 +22,14 @@ use acc_lockmgr::ShardedLockManager;
 use acc_lockmgr::{LockKind, NoInterference, Request, RequestCtx, RequestOutcome};
 use acc_storage::{Database, Key};
 use acc_tpcc::decompose::TpccSystem;
-use acc_tpcc::input::{InputGen, NewOrderInput, OrderLineInput, TpccConfig};
+use acc_tpcc::input::{
+    CustomerSelector, InputGen, NewOrderInput, OrderLineInput, OrderStatusInput, StockLevelInput,
+    TpccConfig,
+};
 use acc_tpcc::schema::{tpcc_catalog, Scale};
 use acc_tpcc::{consistency, populate, txns};
 use acc_txn::runner::run;
-use acc_txn::{RunOutcome, SharedDb, TxnProgram, WaitMode};
+use acc_txn::{ConcurrencyControl, RunOutcome, SharedDb, TxnProgram, WaitMode};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -193,6 +197,132 @@ fn tpcc_cell(threads: usize, hot: bool, duration: Duration, seed: u64) -> MtCell
     }
 }
 
+/// Per-cell outcome of the read-mostly microbench.
+struct ReadMostlyCell {
+    reads: u64,
+    writes: u64,
+    read_tps: f64,
+    version_reads: u64,
+    version_fallbacks: u64,
+}
+
+/// The hot-district read-mostly shape: one new-order writer hammering
+/// warehouse 1 / district 1 while `readers` threads run order-status and
+/// stock-level against the same district. With `mvcc` the read-only types
+/// take the coordination-free version-read path; without it (the same policy
+/// through [`Acc::without_version_reads`]) every read goes through the lock
+/// manager and queues behind the writer's DIRTY pins.
+fn readmostly_cell(readers: usize, mvcc: bool, duration: Duration, seed: u64) -> ReadMostlyCell {
+    let scale = Scale {
+        warehouses: 1,
+        districts: 3,
+        customers_per_district: 30,
+        items: 100,
+        initial_orders_per_district: 4,
+    };
+    let sys = TpccSystem::build();
+    let acc: Arc<dyn ConcurrencyControl + Send + Sync> = if mvcc {
+        Arc::clone(&sys.acc) as _
+    } else {
+        Arc::new(sys.acc.without_version_reads()) as _
+    };
+    let mut db = Database::new(&tpcc_catalog());
+    populate(&mut db, &scale, seed);
+    let shared = Arc::new(SharedDb::new(db, Arc::clone(&sys.tables) as _));
+    let sink = EventSink::enabled(1 << 12);
+    shared.set_event_sink(Arc::clone(&sink));
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(readers + 2));
+
+    // The writer: hot new-orders, same shape as the hot tpcc cell.
+    let writer = {
+        let shared = Arc::clone(&shared);
+        let acc = Arc::clone(&acc);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let mut rng = SeededRng::new(seed ^ 0x57ea3);
+            let mut committed = 0u64;
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let input = pinned_new_order(&mut rng, &scale, 1, true);
+                let mut program: Box<dyn TxnProgram + Send> = Box::new(txns::NewOrder::new(input));
+                match run(&shared, &*acc, program.as_mut(), WaitMode::Block) {
+                    Ok(RunOutcome::Committed { .. }) => committed += 1,
+                    Ok(RunOutcome::RolledBack(_)) => {}
+                    Err(e) => panic!("read-mostly writer hit a hard error: {e}"),
+                }
+            }
+            committed
+        })
+    };
+    let mut handles = Vec::new();
+    for t in 0..readers {
+        let shared = Arc::clone(&shared);
+        let acc = Arc::clone(&acc);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = SeededRng::new(seed ^ ((t as u64 + 2) << 16));
+            let mut committed = 0u64;
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                let mut program: Box<dyn TxnProgram + Send> = if rng.chance(0.5) {
+                    Box::new(txns::OrderStatus::new(OrderStatusInput {
+                        w_id: 1,
+                        d_id: 1,
+                        customer: CustomerSelector::ById(
+                            rng.int_range(1, scale.customers_per_district),
+                        ),
+                    }))
+                } else {
+                    Box::new(txns::StockLevel::new(StockLevelInput {
+                        w_id: 1,
+                        d_id: 1,
+                        threshold: rng.int_range(10, 20),
+                    }))
+                };
+                match run(&shared, &*acc, program.as_mut(), WaitMode::Block) {
+                    Ok(RunOutcome::Committed { .. }) => committed += 1,
+                    Ok(RunOutcome::RolledBack(_)) => {}
+                    Err(e) => panic!("read-mostly reader hit a hard error: {e}"),
+                }
+            }
+            committed
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let writes = writer.join().expect("read-mostly writer panicked");
+    let mut reads = 0u64;
+    for h in handles {
+        reads += h.join().expect("read-mostly reader panicked");
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let violations = consistency::check(&shared.snapshot_db(), false);
+    assert!(violations.is_empty(), "{violations:#?}");
+    assert_eq!(shared.total_grants(), 0, "lock grants leaked");
+    let c = sink.counters();
+    if mvcc {
+        assert!(
+            c.version_reads > 0,
+            "read-only types never took the version-read fast path"
+        );
+    } else {
+        assert_eq!(c.version_reads, 0, "version reads under a no-MVCC policy");
+    }
+    ReadMostlyCell {
+        reads,
+        writes,
+        read_tps: reads as f64 / elapsed,
+        version_reads: c.version_reads,
+        version_fallbacks: c.version_fallbacks,
+    }
+}
+
 /// The contended multi-thread microbench: shard scaling of the raw lock
 /// manager, then disjoint-warehouse vs hot-district TPC-C new-orders at
 /// 1/2/4/8 threads. Prints two tables (speedups relative to one thread),
@@ -254,6 +384,29 @@ pub fn mtbench(quick: bool) {
         tpcc_rows.push((d, h));
     }
 
+    println!(
+        "\n=== hot-district read-mostly: 1 new-order writer + N readers, {} ms/cell ===",
+        duration.as_millis()
+    );
+    println!(
+        "{:>8} {:>15} {:>13} {:>8} {:>13} {:>10}",
+        "readers", "lock-path r/s", "version r/s", "speedup", "version reads", "fallbacks"
+    );
+    let mut rm_rows = Vec::new();
+    for &t in &THREADS {
+        let lock = readmostly_cell(t, false, duration, 42);
+        let vers = readmostly_cell(t, true, duration, 42);
+        println!(
+            "{t:>8} {:>15.0} {:>13.0} {:>7.2}x {:>13} {:>10}",
+            lock.read_tps,
+            vers.read_tps,
+            vers.read_tps / lock.read_tps.max(1e-9),
+            vers.version_reads,
+            vers.version_fallbacks
+        );
+        rm_rows.push((lock, vers));
+    }
+
     println!();
     for (i, &t) in THREADS.iter().enumerate() {
         let (ld, lh) = lock_rows[i];
@@ -267,6 +420,23 @@ pub fn mtbench(quick: bool) {
              \"tpcc_hot_tps\":{:.1},\"tpcc_hot_committed\":{},\
              \"tpcc_hot_aborted\":{}}}",
             d.tps, d.committed, d.aborted, h.tps, h.committed, h.aborted
+        );
+    }
+    for (i, &t) in THREADS.iter().enumerate() {
+        let (lock, vers) = &rm_rows[i];
+        println!(
+            "{{\"bench\":\"mtbench-readmostly\",\"readers\":{t},\
+             \"lockpath_read_tps\":{:.1},\"lockpath_reads\":{},\"lockpath_writes\":{},\
+             \"version_read_tps\":{:.1},\"version_reads_committed\":{},\"version_writes\":{},\
+             \"version_reads\":{},\"version_fallbacks\":{}}}",
+            lock.read_tps,
+            lock.reads,
+            lock.writes,
+            vers.read_tps,
+            vers.reads,
+            vers.writes,
+            vers.version_reads,
+            vers.version_fallbacks
         );
     }
 }

@@ -18,7 +18,7 @@
 //!   interfering pinned assertion; compensating steps never wait on
 //!   assertional locks and are never deadlock victims).
 
-use crate::ids::{AssertionTemplateId, ResourceId, StepTypeId, TxnId};
+use crate::ids::{AssertionTemplateId, ResourceId, StepTypeId, TableId, TxnId};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -280,6 +280,22 @@ pub enum Event {
         /// Admissions that parked while the drain was in progress.
         parked: u32,
     },
+    /// A read was satisfied from the version chains without touching the
+    /// lock manager (the coordination-free fast path).
+    VersionRead {
+        /// Reading transaction.
+        txn: TxnId,
+        /// Table read.
+        table: TableId,
+    },
+    /// A version read could not be soundly reconstructed (tainted chain) and
+    /// fell back to a conventional locked read.
+    VersionFallback {
+        /// Reading transaction.
+        txn: TxnId,
+        /// Table read.
+        table: TableId,
+    },
 }
 
 /// Number of wait-histogram buckets (power-of-two microsecond buckets:
@@ -313,6 +329,8 @@ struct Counters {
     epoch_switches: AtomicU64,
     epoch_drained_pins: AtomicU64,
     epoch_parked_admissions: AtomicU64,
+    version_reads: AtomicU64,
+    version_fallbacks: AtomicU64,
 }
 
 /// A point-in-time copy of the sink's counters.
@@ -368,6 +386,10 @@ pub struct CounterSnapshot {
     pub epoch_drained_pins: u64,
     /// Admissions parked waiting for a switchover across all drains.
     pub epoch_parked_admissions: u64,
+    /// Reads satisfied from version chains, bypassing the lock manager.
+    pub version_reads: u64,
+    /// Version reads that tainted and fell back to a locked read.
+    pub version_fallbacks: u64,
 }
 
 impl std::ops::Sub for CounterSnapshot {
@@ -416,6 +438,8 @@ impl std::ops::Sub for CounterSnapshot {
             epoch_parked_admissions: self
                 .epoch_parked_admissions
                 .saturating_sub(rhs.epoch_parked_admissions),
+            version_reads: self.version_reads.saturating_sub(rhs.version_reads),
+            version_fallbacks: self.version_fallbacks.saturating_sub(rhs.version_fallbacks),
         }
     }
 }
@@ -609,6 +633,8 @@ impl EventSink {
                 c.epoch_parked_admissions
                     .fetch_add(parked as u64, Ordering::Relaxed);
             }
+            Event::VersionRead { .. } => bump(&c.version_reads),
+            Event::VersionFallback { .. } => bump(&c.version_fallbacks),
         }
     }
 
@@ -642,6 +668,8 @@ impl EventSink {
             epoch_switches: get(&c.epoch_switches),
             epoch_drained_pins: get(&c.epoch_drained_pins),
             epoch_parked_admissions: get(&c.epoch_parked_admissions),
+            version_reads: get(&c.version_reads),
+            version_fallbacks: get(&c.version_fallbacks),
         }
     }
 
@@ -700,6 +728,13 @@ impl EventSink {
                 c.wal_fsynced_records,
                 c.wal_fsynced_bytes,
                 c.wal_fsynced_records as f64 / c.wal_fsyncs as f64
+            );
+        }
+        if c.version_reads > 0 || c.version_fallbacks > 0 {
+            let _ = writeln!(
+                out,
+                "version reads {} (coordination-free)  fallbacks {}",
+                c.version_reads, c.version_fallbacks
             );
         }
         if c.epoch_switches > 0 {

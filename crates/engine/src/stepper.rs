@@ -153,7 +153,11 @@ impl<'a> Stepper<'a> {
             };
 
             if let Some(hook) = &self.on_step_start {
-                let db = self.shared.snapshot_db();
+                // Transactions are in flight here, but the stepper is
+                // single-threaded: no concurrent writer can tear the
+                // per-stripe snapshot, so the quiescence check does not
+                // apply.
+                let db = self.shared.snapshot_db_unchecked();
                 hook(&db, pick, txn.step_index);
             }
 

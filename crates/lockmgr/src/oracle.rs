@@ -27,6 +27,19 @@ pub trait InterferenceOracle {
     /// invisible to transactions that were never analyzed (paper §3.3,
     /// "legacy and ad hoc transactions").
     fn read_interferes(&self, step: StepTypeId, assertion: AssertionTemplateId) -> bool;
+
+    /// May a step of type `step` satisfy its reads from committed row
+    /// versions without acquiring locks at all?
+    ///
+    /// Sound only for steps the analysis covered whose write row is empty —
+    /// a step that writes nothing can neither falsify a pinned assertion
+    /// nor expose uncommitted data, and the version chain's visibility rule
+    /// supplies the committed-reads guarantee. Defaults to `false`
+    /// (conservative), so legacy oracles and baselines never take the fast
+    /// path.
+    fn version_read_safe(&self, _step: StepTypeId) -> bool {
+        false
+    }
 }
 
 /// An oracle that reports no interference anywhere: plain two-phase locking

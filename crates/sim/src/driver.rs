@@ -394,6 +394,22 @@ impl<'a> Simulator<'a> {
             self.push(self.now + op.compute_before, EvKind::ComputeDone, t, epoch);
             return;
         }
+        // Coordination-free version read (MVCC-lite): a declared read-only
+        // transaction whose step's write row is all-clear in the pinned
+        // interference tables reads committed row versions and never touches
+        // the lock manager.
+        if self.version_fast_path(t, &op) {
+            let sink = self.lm.sink();
+            if sink.is_enabled() {
+                let txn = self.terms[t].txn;
+                if let Some(table) = op.locks.first().and_then(|(r, _)| r.table()) {
+                    sink.emit(ObsEvent::VersionRead { txn, table });
+                }
+            }
+            self.terms[t].pending.clear();
+            self.enter_service(t);
+            return;
+        }
         // Build the lock list for this op: the statement's conventional
         // locks, plus (under the ACC) a DIRTY pin on every written resource
         // and the active assertion templates on every locked resource.
@@ -497,11 +513,40 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// The version-read gate, both halves (mirrors the live engine's
+    /// `StepCtx::version_reads_enabled`): the trace declares the whole
+    /// transaction read-only, and the interference oracle clears the step's
+    /// write row. Write ops and compensation never qualify.
+    fn version_fast_path(&self, t: usize, op: &Op) -> bool {
+        let term = &self.terms[t];
+        if !self.config.mode.is_acc() || term.rolling_back || op.is_write() {
+            return false;
+        }
+        let Some(trace) = term.trace.as_ref() else {
+            return false;
+        };
+        trace.version_safe
+            && self
+                .oracle
+                .version_read_safe(trace.steps[term.step].step_type)
+    }
+
     /// Total CPU demand for the current op: statement cost + lock-op costs
     /// (+ end-of-step cost folded into the last op of each ACC step).
     fn service_demand(&self, t: usize, op: &Op) -> SimTime {
         let costs = &self.config.costs;
         let term = &self.terms[t];
+        if self.version_fast_path(t, op) {
+            // No lock-manager work at all: the statement plus the
+            // end-of-step record.
+            let trace = term.trace.as_ref().expect("active trace");
+            let is_last_in_step = term.op + 1 == trace.steps[term.step].ops.len();
+            return if is_last_in_step {
+                op.cpu + costs.step_end
+            } else {
+                op.cpu
+            };
+        }
         let n_locks = op.locks.len().max(1) as u64;
         let mut d = op.cpu + SimTime::from_micros(costs.lock_op.as_micros() * n_locks);
         if self.config.mode.is_acc() {

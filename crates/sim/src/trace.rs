@@ -102,6 +102,11 @@ pub struct TxnTrace {
     /// steps (TPC-C's 1 % new-order aborts): compensation (ACC) or physical
     /// undo (2PL) follows.
     pub abort_after_step: Option<usize>,
+    /// Declared read-only (the policy half of the version-read gate): under
+    /// the ACC, a step whose write row is also all-clear in the interference
+    /// tables reads committed row versions and skips the lock manager
+    /// entirely. Ignored under 2PL.
+    pub version_safe: bool,
 }
 
 impl TxnTrace {
@@ -158,6 +163,7 @@ mod tests {
             comp_step: Some(StepTypeId(9)),
             guard: AssertionTemplateId(0),
             abort_after_step: None,
+            version_safe: false,
         };
         assert_eq!(t.n_ops(), 3);
         let comp = t.compensation_ops(2);

@@ -35,6 +35,7 @@ impl TraceSource for Fixed {
             comp_step: None,
             guard: AssertionTemplateId(0),
             abort_after_step: None,
+            version_safe: false,
         }
     }
 }

@@ -45,6 +45,7 @@ impl TraceSource for HotSpot {
             comp_step: Some(StepTypeId(9)),
             guard: acc_common::AssertionTemplateId(0),
             abort_after_step: abort.then_some(n - 1),
+            version_safe: false,
         }
     }
 }
@@ -200,6 +201,7 @@ fn deadlocks_are_detected_and_resolved() {
                 comp_step: None,
                 guard: acc_common::AssertionTemplateId(0),
                 abort_after_step: None,
+                version_safe: false,
             }
         }
     }

@@ -15,6 +15,7 @@ pub mod schema;
 pub mod striped;
 pub mod table;
 pub mod undo;
+pub mod version;
 
 pub use predicate::{CmpOp, Predicate};
 pub use row::{Key, Row};
@@ -22,6 +23,7 @@ pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};
 pub use striped::StripedDb;
 pub use table::Table;
 pub use undo::UndoRecord;
+pub use version::{ChainEntry, Visibility};
 
 use acc_common::{Error, Result, TableId};
 

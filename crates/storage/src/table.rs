@@ -8,8 +8,9 @@ use crate::predicate::Predicate;
 use crate::row::{Key, Row};
 use crate::schema::TableSchema;
 use crate::undo::UndoRecord;
-use acc_common::{Error, PageNo, ResourceId, Result, Slot};
-use std::collections::{BTreeMap, BTreeSet};
+use crate::version::{prune_chain, reconstruct, ChainEntry, Visibility};
+use acc_common::{Error, PageNo, ResourceId, Result, Slot, TxnId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One heap table.
 #[derive(Debug, Clone)]
@@ -19,6 +20,19 @@ pub struct Table {
     free: Vec<Slot>,
     primary: BTreeMap<Key, Slot>,
     secondary: Vec<BTreeMap<Key, BTreeSet<Slot>>>,
+    /// MVCC-lite version chains for slots with recent mutations (sparse —
+    /// pruned by the low-watermark, see [`crate::version`]). Entries are
+    /// pushed explicitly by the transaction layer alongside its undo
+    /// records; the physical mutators below never *add* entries, so
+    /// populate and recovery replay stay chain-free. `apply_undo` does move
+    /// existing chains between here and the tombstone store so a rollback
+    /// leaves each key's history where readers look for it.
+    versions: HashMap<Slot, Vec<ChainEntry>>,
+    /// Chains of deleted keys. A slot may be reused by an unrelated key, so
+    /// a versioned delete moves the slot's chain here (plus the delete
+    /// entry); re-inserting the key — forward insert (`push_version` with
+    /// no before-image) or undo of the delete — splices it back.
+    tombstones: BTreeMap<Key, Vec<ChainEntry>>,
 }
 
 impl Table {
@@ -31,6 +45,8 @@ impl Table {
             free: Vec::new(),
             primary: BTreeMap::new(),
             secondary,
+            versions: HashMap::new(),
+            tombstones: BTreeMap::new(),
         }
     }
 
@@ -228,16 +244,261 @@ impl Table {
         debug_assert_eq!(undo.table(), self.schema.id);
         match undo {
             UndoRecord::Insert { slot, .. } => {
+                // The slot is freed and may be reused by an unrelated key,
+                // so its chain (the key's pre-revival history plus the
+                // now-moot insert entry) must follow the key to the
+                // tombstone store, exactly as a forward delete's would.
+                let key = self.row(*slot).map(|r| self.schema.key_of(r));
                 self.delete(*slot)?;
+                if let (Some(key), Some(chain)) = (key, self.versions.remove(slot)) {
+                    self.tombstones.insert(key, chain);
+                }
             }
             UndoRecord::Update { slot, before, .. } => {
                 self.update(*slot, before.clone())?;
             }
             UndoRecord::Delete { slot, before, .. } => {
                 self.insert_at(*slot, before.clone())?;
+                // Inverse of the move in `push_delete_version`: the key is
+                // live again, so its history must sit under the slot where
+                // readers will look for it.
+                let key = self.schema.key_of(before);
+                if let Some(chain) = self.tombstones.remove(&key) {
+                    let entry = self.versions.entry(*slot).or_default();
+                    let newer = std::mem::replace(entry, chain);
+                    entry.extend(newer);
+                }
             }
         }
         Ok(())
+    }
+
+    // ----- MVCC-lite version chains (see `crate::version`) ----------------
+
+    /// Record a pending version for a mutation of `slot`: `before` is the
+    /// full row image prior to the write (`None` for an insert). Called by
+    /// the transaction layer next to the mutation, inside the same stripe
+    /// lock.
+    pub fn push_version(&mut self, slot: Slot, txn: TxnId, before: Option<Row>) {
+        if before.is_none() {
+            // An insert may revive a previously deleted key: move the key's
+            // tombstone chain (its pre-delete history) back under the slot,
+            // else readers at views older than the delete would see the row
+            // as absent instead of its old image.
+            if let Some(key) = self.row(slot).map(|r| self.schema.key_of(r)) {
+                if let Some(chain) = self.tombstones.remove(&key) {
+                    let entry = self.versions.entry(slot).or_default();
+                    let newer = std::mem::replace(entry, chain);
+                    entry.extend(newer);
+                }
+            }
+        }
+        self.versions
+            .entry(slot)
+            .or_default()
+            .push(ChainEntry::Pending { txn, before });
+    }
+
+    /// Record a pending version for a *delete* of `key` at `slot`. The
+    /// slot's chain moves to the tombstone store (the slot may be reused by
+    /// an unrelated key) with the delete entry on top.
+    pub fn push_delete_version(&mut self, key: Key, slot: Slot, txn: TxnId, before: Row) {
+        let mut chain = self.versions.remove(&slot).unwrap_or_default();
+        chain.push(ChainEntry::Pending {
+            txn,
+            before: Some(before),
+        });
+        self.tombstones.insert(key, chain);
+    }
+
+    /// Finalize every pending entry of `txn` in this table at `commit_lsn`
+    /// (the `Commit` record's LSN, or the `Abort` record's on rollback).
+    /// Returns the number of entries finalized.
+    pub fn finalize_versions(&mut self, txn: TxnId, commit_lsn: u64) -> usize {
+        let mut n = 0;
+        for chain in self
+            .versions
+            .values_mut()
+            .chain(self.tombstones.values_mut())
+        {
+            for e in chain.iter_mut() {
+                if matches!(e, ChainEntry::Pending { txn: t, .. } if *t == txn) {
+                    let before = e.before().cloned();
+                    *e = ChainEntry::Committed { commit_lsn, before };
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Prune chains against the low-watermark (see [`crate::version`]):
+    /// drop all-visible prefixes, empty chains, and tombstones whose delete
+    /// is itself below the watermark.
+    pub fn prune_versions(&mut self, watermark: u64) {
+        self.versions
+            .retain(|_, chain| !prune_chain(chain, watermark));
+        self.tombstones
+            .retain(|_, chain| !prune_chain(chain, watermark));
+    }
+
+    /// Number of live version chains (slots + tombstones); test/diagnostic
+    /// helper.
+    pub fn n_version_chains(&self) -> usize {
+        self.versions.len() + self.tombstones.len()
+    }
+
+    fn slot_chain(&self, slot: Slot) -> &[ChainEntry] {
+        self.versions.get(&slot).map_or(&[], |c| c.as_slice())
+    }
+
+    /// True if any image in `chain` (or `current`) carries a primary key
+    /// other than `key` — a key-changing update went through this slot, so
+    /// the chain no longer describes one row's history and version reads
+    /// must fall back.
+    fn chain_key_mismatch(&self, key: &Key, current: Option<&Row>, chain: &[ChainEntry]) -> bool {
+        current
+            .into_iter()
+            .chain(chain.iter().filter_map(|e| e.before()))
+            .any(|r| self.schema.key_of(r) != *key)
+    }
+
+    /// The row image with primary key `key` as visible at `view`
+    /// (coordination-free point read).
+    pub fn read_at(&self, key: &Key, view: u64, reader: TxnId) -> Visibility {
+        if let Some(slot) = self.slot_of(key) {
+            let current = self.row(slot);
+            let chain = self.slot_chain(slot);
+            if self.chain_key_mismatch(key, current, chain) {
+                return Visibility::Tainted;
+            }
+            reconstruct(current, chain, view, reader)
+        } else if let Some(chain) = self.tombstones.get(key) {
+            if self.chain_key_mismatch(key, None, chain) {
+                return Visibility::Tainted;
+            }
+            reconstruct(None, chain, view, reader)
+        } else {
+            Visibility::Visible(None)
+        }
+    }
+
+    /// All row images whose primary key begins with `prefix`, as visible at
+    /// `view`, in key order. `None` means some row could not be soundly
+    /// reconstructed — fall back to a locked scan.
+    pub fn scan_prefix_at(&self, prefix: &Key, view: u64, reader: TxnId) -> Option<Vec<Row>> {
+        let mut out: BTreeMap<Key, Row> = BTreeMap::new();
+        for (k, &slot) in self
+            .primary
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+        {
+            let current = self.row(slot);
+            let chain = self.slot_chain(slot);
+            if self.chain_key_mismatch(k, current, chain) {
+                return None;
+            }
+            match reconstruct(current, chain, view, reader) {
+                Visibility::Tainted => return None,
+                Visibility::Visible(Some(r)) => {
+                    out.insert(k.clone(), r);
+                }
+                Visibility::Visible(None) => {}
+            }
+        }
+        // Deleted keys in range may still be visible at an older view.
+        for (k, chain) in self
+            .tombstones
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+        {
+            if self.primary.contains_key(k) {
+                continue; // revived key: the slot chain above covered it
+            }
+            if self.chain_key_mismatch(k, None, chain) {
+                return None;
+            }
+            match reconstruct(None, chain, view, reader) {
+                Visibility::Tainted => return None,
+                Visibility::Visible(Some(r)) => {
+                    out.insert(k.clone(), r);
+                }
+                Visibility::Visible(None) => {}
+            }
+        }
+        Some(out.into_values().collect())
+    }
+
+    /// All row images whose secondary index `idx` key begins with `prefix`,
+    /// as visible at `view`, ordered by (secondary key, primary key).
+    /// `None` means fall back to a locked lookup.
+    ///
+    /// The secondary index describes *current* rows only, so this is sound
+    /// only while no live chain changes a row's secondary projection — we
+    /// verify that over the (small, pruned) chain set and fall back if any
+    /// projection moved.
+    pub fn lookup_secondary_at(
+        &self,
+        idx: usize,
+        prefix: &Key,
+        view: u64,
+        reader: TxnId,
+    ) -> Option<Vec<Row>> {
+        let cols = &self.schema.secondary[idx];
+        // If any versioned slot's projection differs between images, the
+        // index range below could miss a historically-matching row.
+        for (&slot, chain) in &self.versions {
+            let mut images = self
+                .row(slot)
+                .into_iter()
+                .chain(chain.iter().filter_map(|e| e.before()));
+            if let Some(first) = images.next() {
+                let p = first.project(cols);
+                if images.any(|r| r.project(cols) != p) {
+                    return None;
+                }
+            }
+        }
+        let mut out: BTreeMap<(Key, Key), Row> = BTreeMap::new();
+        for (_, slots) in self.secondary[idx]
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+        {
+            for &slot in slots {
+                let current = self.row(slot);
+                let chain = self.slot_chain(slot);
+                match reconstruct(current, chain, view, reader) {
+                    Visibility::Tainted => return None,
+                    Visibility::Visible(Some(r)) => {
+                        let sk = r.project(cols);
+                        if sk.starts_with(prefix) {
+                            let pk = self.schema.key_of(&r);
+                            out.insert((sk, pk), r);
+                        }
+                    }
+                    Visibility::Visible(None) => {}
+                }
+            }
+        }
+        // Deleted rows may still be visible; tombstones are few, so scan
+        // them all and filter by projection.
+        for (k, chain) in &self.tombstones {
+            if self.primary.contains_key(k) {
+                continue;
+            }
+            match reconstruct(None, chain, view, reader) {
+                Visibility::Tainted => return None,
+                Visibility::Visible(Some(r)) => {
+                    let sk = r.project(cols);
+                    if sk.starts_with(prefix) {
+                        let pk = self.schema.key_of(&r);
+                        out.insert((sk, pk), r);
+                    }
+                }
+                Visibility::Visible(None) => {}
+            }
+        }
+        Some(out.into_values().collect())
     }
 
     /// Re-insert a row at a specific slot (undo of delete, and WAL redo).
@@ -269,6 +530,12 @@ impl Table {
     }
 
     fn index_insert(&mut self, slot: Slot, key: Key) {
+        // A key coming back to life revives its tombstone chain onto the new
+        // slot, so version readers keep seeing the key's full history. (The
+        // revived entries are older than anything pushed for this insert.)
+        if let Some(chain) = self.tombstones.remove(&key) {
+            self.versions.entry(slot).or_default().extend(chain);
+        }
         self.primary.insert(key, slot);
         self.index_insert_secondary(slot);
     }

@@ -1,0 +1,318 @@
+//! MVCC-lite version chains: per-slot undo chains keyed by commit LSN.
+//!
+//! Each chain entry records the full row image *before* one mutation, in
+//! append (time) order. The current slot value plus the chain therefore
+//! reconstructs every physical image the row ever had: unwinding the newest
+//! entry yields the image before that mutation, and so on down the chain.
+//!
+//! # Visibility rule
+//!
+//! A reader holds a *read view* `B` — the LSN of its `Begin` record. Walking
+//! newest-to-oldest, an entry is *visible* iff it is `Committed { lsn <= B }`;
+//! `Pending` entries and commits newer than `B` are unwound to their
+//! before-image. The walk stops at the first visible entry and returns the
+//! image reconstructed so far — but only if **every deeper entry is also
+//! visible**. Images are physical composites: the image after mutation *i*
+//! includes the effects of all mutations below it, so stopping above an
+//! uncommitted (or too-new) deeper write would expose data the reader must
+//! not see. That case is [`Visibility::Tainted`]: the caller falls back to a
+//! conventional locked read.
+//!
+//! A reader also taints on its own `Pending` entries — a transaction reads
+//! its own writes through the lock path, never through versions.
+//!
+//! # Pruning
+//!
+//! Chains are pruned by a low-watermark `W = min(active begin LSNs,
+//! durable frontier)`: the longest *prefix* (oldest entries) consisting
+//! entirely of `Committed { lsn <= W }` entries may be dropped. Every
+//! current or future reader has `B >= W`, so its walk either stops above the
+//! prefix or stops at the prefix's top entry with all deeper entries visible
+//! — and an exhausted chain returns the same image the dropped stop-entry
+//! would have. Pruning therefore never changes a read result, only memory.
+//! `Pending` entries are never pruned (and can in fact never sit below a
+//! prunable commit: the overwriting commit's LSN necessarily exceeds the
+//! pending owner's begin LSN, which bounds `W` from above).
+
+use crate::row::Row;
+use acc_common::TxnId;
+
+/// One link of a version chain: the row image before one mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChainEntry {
+    /// The mutating transaction has not finished; visible to nobody else.
+    Pending {
+        /// The writer.
+        txn: TxnId,
+        /// Image before the write (`None` = the row did not exist).
+        before: Option<Row>,
+    },
+    /// The mutation is finalized: visible to views at or after `commit_lsn`.
+    /// Rolled-back transactions finalize with their `Abort` record's LSN —
+    /// their compensating writes stack above the forward writes, so the
+    /// composite is the pre-transaction image either way.
+    Committed {
+        /// LSN of the finalizing `Commit`/`Abort` record.
+        commit_lsn: u64,
+        /// Image before the write (`None` = the row did not exist).
+        before: Option<Row>,
+    },
+}
+
+impl ChainEntry {
+    /// The before-image, if the row existed before this mutation.
+    pub fn before(&self) -> Option<&Row> {
+        match self {
+            ChainEntry::Pending { before, .. } | ChainEntry::Committed { before, .. } => {
+                before.as_ref()
+            }
+        }
+    }
+
+    /// True if this entry's writer has not yet finalized.
+    pub fn is_pending(&self) -> bool {
+        matches!(self, ChainEntry::Pending { .. })
+    }
+
+    /// True if this entry is committed at or before `view`.
+    pub fn visible_at(&self, view: u64) -> bool {
+        matches!(self, ChainEntry::Committed { commit_lsn, .. } if *commit_lsn <= view)
+    }
+}
+
+/// The outcome of a version-chain walk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Visibility {
+    /// The row image at the read view (`None` = row absent at that view).
+    Visible(Option<Row>),
+    /// No physical image equals the logical snapshot (an uncommitted or
+    /// too-new write is buried under a visible one, or the reader wrote the
+    /// row itself). Fall back to a locked read.
+    Tainted,
+}
+
+/// Reconstruct the image visible at `view` from the current slot value and
+/// its chain (oldest first). See the module docs for the rule.
+pub fn reconstruct(
+    current: Option<&Row>,
+    chain: &[ChainEntry],
+    view: u64,
+    reader: TxnId,
+) -> Visibility {
+    let mut cur = current.cloned();
+    for i in (0..chain.len()).rev() {
+        match &chain[i] {
+            ChainEntry::Pending { txn, before } => {
+                if *txn == reader {
+                    return Visibility::Tainted;
+                }
+                cur = before.clone();
+            }
+            ChainEntry::Committed { commit_lsn, before } => {
+                if *commit_lsn > view {
+                    cur = before.clone();
+                } else if chain[..i].iter().all(|e| e.visible_at(view)) {
+                    return Visibility::Visible(cur);
+                } else {
+                    return Visibility::Tainted;
+                }
+            }
+        }
+    }
+    Visibility::Visible(cur)
+}
+
+/// Drop the longest all-visible-at-`watermark` prefix of `chain`; returns
+/// true if the chain is now empty. See the module docs for why this is
+/// invisible to every reader with a view at or after the watermark.
+pub fn prune_chain(chain: &mut Vec<ChainEntry>, watermark: u64) -> bool {
+    let keep_from = chain
+        .iter()
+        .position(|e| !e.visible_at(watermark))
+        .unwrap_or(chain.len());
+    chain.drain(..keep_from);
+    chain.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_common::Value;
+
+    fn row(n: i64) -> Row {
+        Row::from(vec![Value::Int(n)])
+    }
+
+    const R: TxnId = TxnId(99);
+
+    #[test]
+    fn empty_chain_returns_current() {
+        assert_eq!(
+            reconstruct(Some(&row(7)), &[], 0, R),
+            Visibility::Visible(Some(row(7)))
+        );
+        assert_eq!(reconstruct(None, &[], 0, R), Visibility::Visible(None));
+    }
+
+    #[test]
+    fn pending_unwinds_to_before_image() {
+        let chain = vec![ChainEntry::Pending {
+            txn: TxnId(1),
+            before: Some(row(1)),
+        }];
+        assert_eq!(
+            reconstruct(Some(&row(2)), &chain, 10, R),
+            Visibility::Visible(Some(row(1)))
+        );
+    }
+
+    #[test]
+    fn own_pending_write_taints() {
+        let chain = vec![ChainEntry::Pending {
+            txn: R,
+            before: Some(row(1)),
+        }];
+        assert_eq!(
+            reconstruct(Some(&row(2)), &chain, 10, R),
+            Visibility::Tainted
+        );
+    }
+
+    #[test]
+    fn stops_at_first_visible_commit() {
+        let chain = vec![
+            ChainEntry::Committed {
+                commit_lsn: 3,
+                before: Some(row(1)),
+            },
+            ChainEntry::Committed {
+                commit_lsn: 8,
+                before: Some(row(2)),
+            },
+        ];
+        // View 5: the lsn-8 commit is too new, the lsn-3 one is visible.
+        assert_eq!(
+            reconstruct(Some(&row(3)), &chain, 5, R),
+            Visibility::Visible(Some(row(2)))
+        );
+        // View 10: everything visible — current row.
+        assert_eq!(
+            reconstruct(Some(&row(3)), &chain, 10, R),
+            Visibility::Visible(Some(row(3)))
+        );
+        // View 1: nothing visible — unwind to the oldest before-image.
+        assert_eq!(
+            reconstruct(Some(&row(3)), &chain, 1, R),
+            Visibility::Visible(Some(row(1)))
+        );
+    }
+
+    #[test]
+    fn buried_pending_taints() {
+        // T1 wrote (still pending), T2 overwrote and committed: the image
+        // after T2's write physically contains T1's uncommitted data.
+        let chain = vec![
+            ChainEntry::Pending {
+                txn: TxnId(1),
+                before: Some(row(1)),
+            },
+            ChainEntry::Committed {
+                commit_lsn: 5,
+                before: Some(row(2)),
+            },
+        ];
+        assert_eq!(
+            reconstruct(Some(&row(3)), &chain, 9, R),
+            Visibility::Tainted
+        );
+        // A view older than the commit unwinds both and is fine.
+        assert_eq!(
+            reconstruct(Some(&row(3)), &chain, 4, R),
+            Visibility::Visible(Some(row(1)))
+        );
+    }
+
+    #[test]
+    fn buried_too_new_commit_taints() {
+        // Non-monotone commit order: the deeper write committed *later*.
+        let chain = vec![
+            ChainEntry::Committed {
+                commit_lsn: 20,
+                before: Some(row(1)),
+            },
+            ChainEntry::Committed {
+                commit_lsn: 10,
+                before: Some(row(2)),
+            },
+        ];
+        // View 15 sees the lsn-10 commit but not the buried lsn-20 one.
+        assert_eq!(
+            reconstruct(Some(&row(3)), &chain, 15, R),
+            Visibility::Tainted
+        );
+        // View 25 sees both; view 5 sees neither.
+        assert_eq!(
+            reconstruct(Some(&row(3)), &chain, 25, R),
+            Visibility::Visible(Some(row(3)))
+        );
+        assert_eq!(
+            reconstruct(Some(&row(3)), &chain, 5, R),
+            Visibility::Visible(Some(row(1)))
+        );
+    }
+
+    #[test]
+    fn insert_unwinds_to_absent() {
+        let chain = vec![ChainEntry::Committed {
+            commit_lsn: 7,
+            before: None,
+        }];
+        assert_eq!(
+            reconstruct(Some(&row(1)), &chain, 3, R),
+            Visibility::Visible(None)
+        );
+        assert_eq!(
+            reconstruct(Some(&row(1)), &chain, 7, R),
+            Visibility::Visible(Some(row(1)))
+        );
+    }
+
+    #[test]
+    fn prune_drops_only_visible_prefix() {
+        let mut chain = vec![
+            ChainEntry::Committed {
+                commit_lsn: 2,
+                before: Some(row(1)),
+            },
+            ChainEntry::Committed {
+                commit_lsn: 4,
+                before: Some(row(2)),
+            },
+            ChainEntry::Committed {
+                commit_lsn: 9,
+                before: Some(row(3)),
+            },
+        ];
+        assert!(!prune_chain(&mut chain, 5));
+        assert_eq!(chain.len(), 1);
+        assert!(chain[0].visible_at(9));
+        assert!(prune_chain(&mut chain, 9));
+    }
+
+    #[test]
+    fn prune_never_drops_pending_or_suffix() {
+        let mut chain = vec![
+            ChainEntry::Pending {
+                txn: TxnId(1),
+                before: Some(row(1)),
+            },
+            ChainEntry::Committed {
+                commit_lsn: 1,
+                before: Some(row(2)),
+            },
+        ];
+        // The pending head blocks the whole prefix.
+        assert!(!prune_chain(&mut chain, 100));
+        assert_eq!(chain.len(), 2);
+    }
+}

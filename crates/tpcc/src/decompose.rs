@@ -428,6 +428,7 @@ impl TpccSystem {
                     overflow: Some(1),
                     comp_step: Some(NO_CS),
                     guard: DIRTY,
+                    version_safe: false,
                 },
                 TxnSpec {
                     txn_type: ty::PAYMENT,
@@ -445,6 +446,7 @@ impl TpccSystem {
                     overflow: None,
                     comp_step: Some(PAY_CS),
                     guard: DIRTY,
+                    version_safe: false,
                 },
                 TxnSpec {
                     txn_type: ty::ORDER_STATUS,
@@ -456,6 +458,11 @@ impl TpccSystem {
                     overflow: None,
                     comp_step: None,
                     guard: DIRTY,
+                    // Read-only: OST writes nothing, so its reads may be
+                    // served from committed row versions. Its §3.3
+                    // committed-reads requirement is met by the visibility
+                    // rule (chains serve only committed images).
+                    version_safe: true,
                 },
                 TxnSpec {
                     txn_type: ty::DELIVERY,
@@ -473,6 +480,7 @@ impl TpccSystem {
                     overflow: Some(0),
                     comp_step: Some(DLV_CS),
                     guard: dlv_dirty,
+                    version_safe: false,
                 },
                 TxnSpec {
                     txn_type: ty::STOCK_LEVEL,
@@ -484,6 +492,8 @@ impl TpccSystem {
                     overflow: None,
                     comp_step: None,
                     guard: DIRTY,
+                    // Read-only, like order-status.
+                    version_safe: true,
                 },
             ],
         ));

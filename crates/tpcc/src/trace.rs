@@ -186,6 +186,7 @@ impl TpccTraceSource {
             comp_step: Some(step::NO_CS),
             guard: DIRTY,
             abort_after_step: input.rollback.then_some(n - 1),
+            version_safe: false,
         }
     }
 
@@ -230,6 +231,7 @@ impl TpccTraceSource {
             comp_step: Some(step::PAY_CS),
             guard: DIRTY,
             abort_after_step: None,
+            version_safe: false,
         }
     }
 
@@ -251,6 +253,8 @@ impl TpccTraceSource {
             comp_step: None,
             guard: DIRTY,
             abort_after_step: None,
+            // Read-only: eligible for coordination-free version reads.
+            version_safe: true,
         }
     }
 
@@ -303,6 +307,7 @@ impl TpccTraceSource {
             comp_step: Some(step::DLV_CS),
             guard: self.templates.dlv_dirty,
             abort_after_step: None,
+            version_safe: false,
         }
     }
 
@@ -327,6 +332,8 @@ impl TpccTraceSource {
             comp_step: None,
             guard: DIRTY,
             abort_after_step: None,
+            // Read-only: eligible for coordination-free version reads.
+            version_safe: true,
         }
     }
 }

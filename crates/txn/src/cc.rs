@@ -74,6 +74,21 @@ pub trait ConcurrencyControl: Send + Sync {
     /// Should a held lock of this kind be released when the current step
     /// completes? (Only consulted when [`ConcurrencyControl::decomposed`].)
     fn release_at_step_end(&self, meta: &TxnMeta, kind: LockKind) -> bool;
+
+    /// May the step at this position satisfy its reads from committed row
+    /// versions, without acquiring any locks?
+    ///
+    /// This is the *policy half* of the version-read gate: only steps the
+    /// policy classifies as read-only (their results feed no writes) may
+    /// answer `true` — the interference oracle's own
+    /// `version_read_safe(step_type)` is consulted separately, and an
+    /// all-clear write row alone is not sufficient (a writer whose writes
+    /// are declared interference-free still must not read stale versions it
+    /// is about to overwrite). Defaults to `false`, so the 2PL baseline and
+    /// any legacy policy never take the fast path.
+    fn version_read_safe(&self, _meta: &TxnMeta) -> bool {
+        false
+    }
 }
 
 /// Strict two-phase locking: the paper's baseline (unmodified Open Ingres,

@@ -234,6 +234,33 @@ pub fn end_step(
     shared.fire_step_boundary();
 }
 
+/// Finalize a finished transaction's version chains at `end_lsn` (the
+/// `Commit` record's LSN, or the `Abort` record's on rollback), deregister
+/// it from the active map, and prune the touched tables against the fresh
+/// watermark.
+///
+/// Deregistration happens first so this transaction's own begin LSN stops
+/// clamping the watermark; its *pending* entries are still unprunable
+/// (pruning only drops all-committed prefixes), so the order is safe even
+/// against a concurrent pruner. A poisoned stripe leaves that table's
+/// entries pending forever — readers unwind past them, which is merely
+/// conservative.
+fn finalize_versions(shared: &SharedDb, txn: &Transaction, end_lsn: u64) {
+    shared.deregister_active(txn.id);
+    if txn.version_tables.is_empty() {
+        return;
+    }
+    let watermark = shared.version_watermark();
+    for &table in &txn.version_tables {
+        let _ = shared.with_table_mut(table, |t| {
+            t.finalize_versions(txn.id, end_lsn);
+            if let Some(w) = watermark {
+                t.prune_versions(w);
+            }
+        });
+    }
+}
+
 /// Commit: log the commit record, park until it is durable (group-commit
 /// fsync boundary), then release everything and mark committed. The
 /// durability wait comes *before* lock release: a transaction whose commit
@@ -244,6 +271,10 @@ pub fn commit(shared: &SharedDb, txn: &mut Transaction) -> Result<()> {
     let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
     match shared.sync_wal(lsn) {
         Ok(()) => {
+            // Version chains flip to committed only after the commit record
+            // is durable: a version read never serves an image whose commit
+            // a crash could still erase.
+            finalize_versions(shared, txn, lsn.0);
             shared.release_all_with(txn.id, &*oracle);
             shared.clear_doom(txn.id);
             // Unpin only after every lock is gone: the switchover this may
@@ -259,6 +290,7 @@ pub fn commit(shared: &SharedDb, txn: &mut Transaction) -> Result<()> {
             // would hang peers that deserve to see the same error at their
             // own commit point. Recovery from the durable prefix decides
             // this transaction's real fate.
+            finalize_versions(shared, txn, lsn.0);
             shared.release_all_with(txn.id, &*oracle);
             shared.clear_doom(txn.id);
             shared.unpin_epoch(txn.epoch_pin.take());
@@ -331,7 +363,10 @@ pub fn rollback(
                     // Give up cleanly: whatever physical undo we did stays
                     // (it is idempotent against recovery), but the locks and
                     // doom flag must not outlive us — leaking them stalls
-                    // every waiter behind this transaction.
+                    // every waiter behind this transaction. Version chains
+                    // stay pending (readers unwind past them — conservative)
+                    // but the active-map entry must not pin the watermark.
+                    shared.deregister_active(txn.id);
                     let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
                     shared.release_all_with(txn.id, &*oracle);
                     shared.clear_doom(txn.id);
@@ -351,10 +386,16 @@ pub fn rollback(
         }
     }
 
-    shared.with_wal(|w| w.append(LogRecord::Abort { txn: txn.id }));
+    let abort_lsn = shared.with_wal(|w| w.append(LogRecord::Abort { txn: txn.id }));
     // Batching hint only; an abort needs no durability ack (recovery treats
     // a missing abort record as in-flight and compensates it the same way).
     shared.flush_wal_batch();
+    // The chains record everything this transaction wrote — forward writes
+    // (their physical undo restored the images without touching the chain)
+    // and compensations alike. Finalizing them at the abort LSN makes every
+    // entry's before-image line up with the settled table state: readers at
+    // older views unwind to the same values either way.
+    finalize_versions(shared, txn, abort_lsn.0);
     let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
     shared.release_all_with(txn.id, &*oracle);
     shared.clear_doom(txn.id);

@@ -28,7 +28,7 @@ use acc_lockmgr::{
 };
 use acc_storage::{Database, StripedDb, Table};
 use acc_wal::{DurableWal, GroupCommitPolicy, LogDevice, LogRecord, Lsn, Wal};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -61,6 +61,13 @@ pub struct SharedDb {
     parking: Parking,
     /// Transactions ordered to roll back by a compensating step (§3.4).
     doomed: Mutex<HashSet<TxnId>>,
+    /// Begin LSNs of in-flight transactions. Source of the version-read
+    /// views (a version read is "as of my begin record") and of the
+    /// version-chain pruning watermark (no chain entry a live view might
+    /// still unwind through is ever dropped). Registered inside the WAL
+    /// append mutex at [`SharedDb::begin_txn`]; removed at commit/rollback
+    /// after the transaction's chains are finalized.
+    active: Mutex<HashMap<TxnId, u64>>,
     next_txn: AtomicU64,
     /// The epoch-versioned interference tables. Decomposed transactions pin
     /// an epoch at first-step admission and use the pinned snapshot for
@@ -94,6 +101,7 @@ impl SharedDb {
             wal: DurableWal::default(),
             parking,
             doomed: Mutex::new(HashSet::new()),
+            active: Mutex::new(HashMap::new()),
             next_txn: AtomicU64::new(1),
             registry: Arc::new(InterferenceRegistry::new(oracle)),
             boundaries: AtomicU64::new(0),
@@ -278,8 +286,25 @@ impl SharedDb {
     }
 
     /// Clone the current database image (tests, consistency checks). Only
-    /// transactionally consistent at quiescent points.
+    /// transactionally consistent at quiescent points: the stripes are
+    /// locked one at a time, so concurrent writers would be interleaved —
+    /// a torn image. Debug builds assert quiescence (no in-flight
+    /// transactions); callers that want a torn diagnostic image of a live
+    /// system must use [`SharedDb::snapshot_db_unchecked`].
     pub fn snapshot_db(&self) -> Database {
+        debug_assert_eq!(
+            self.active_txns(),
+            0,
+            "snapshot_db at a non-quiescent point: {} transaction(s) in \
+             flight — the per-stripe snapshot would tear their writes",
+            self.active_txns()
+        );
+        self.db.snapshot()
+    }
+
+    /// [`SharedDb::snapshot_db`] without the quiescence check: a possibly
+    /// torn diagnostic read of a live system.
+    pub fn snapshot_db_unchecked(&self) -> Database {
         self.db.snapshot()
     }
 
@@ -357,11 +382,69 @@ impl SharedDb {
         self.wal.device_kind()
     }
 
-    /// Allocate a transaction id and log its begin record.
+    /// Allocate a transaction id and log its begin record. The begin
+    /// record's LSN becomes the transaction's version-read view; it is
+    /// registered in the active map *inside* the WAL append mutex, so the
+    /// durable frontier (which a flush can only advance while holding that
+    /// mutex to take staged records) can never pass the begin record before
+    /// the registration lands — the pruning watermark always accounts for
+    /// this transaction from the instant its view exists.
     pub fn begin_txn(&self, txn_type: TxnTypeId) -> TxnId {
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
-        self.with_wal(|w| w.append(LogRecord::Begin { txn: id, txn_type }));
+        self.with_wal(|w| {
+            let lsn = w.append(LogRecord::Begin { txn: id, txn_type });
+            self.active
+                .lock()
+                .expect("active map not poisoned")
+                .insert(id, lsn.0);
+        });
         id
+    }
+
+    /// The begin LSN of an in-flight transaction (its version-read view).
+    pub fn begin_lsn_of(&self, txn: TxnId) -> Option<u64> {
+        self.active
+            .lock()
+            .expect("active map not poisoned")
+            .get(&txn)
+            .copied()
+    }
+
+    /// Remove a finished transaction from the active map (after its version
+    /// chains are finalized — see `runner::commit` / `runner::rollback`).
+    pub fn deregister_active(&self, txn: TxnId) {
+        self.active
+            .lock()
+            .expect("active map not poisoned")
+            .remove(&txn);
+    }
+
+    /// In-flight transactions (test/diagnostic helper).
+    pub fn active_txns(&self) -> usize {
+        self.active.lock().expect("active map not poisoned").len()
+    }
+
+    /// The version-chain pruning low-watermark: a chain entry committed at
+    /// `lsn <= watermark` can be visible to every live and future view, so
+    /// an all-visible chain *prefix* below it is droppable.
+    ///
+    /// Two clamps, both load-bearing:
+    ///
+    /// * the minimum *begin* LSN of any in-flight transaction — a live view
+    ///   older than an entry's commit LSN must still be able to unwind
+    ///   through it;
+    /// * the *durable* WAL frontier, not the allocated append frontier —
+    ///   commit LSNs are allocated at append time, but group commit can
+    ///   leave them non-durable past an fsync boundary; pruning history for
+    ///   a commit whose record a crash could still erase would leave the
+    ///   surviving (durable) prefix without the images it implies.
+    ///
+    /// `None` means nothing is durable yet, so nothing may be pruned.
+    pub fn version_watermark(&self) -> Option<u64> {
+        let dur_cap = self.durable_wal_records().checked_sub(1)?;
+        let active = self.active.lock().expect("active map not poisoned");
+        let min_begin = active.values().copied().min();
+        Some(min_begin.map_or(dur_cap, |m| m.min(dur_cap)))
     }
 
     /// True if some other transaction doomed this one (it is delaying a

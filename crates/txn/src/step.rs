@@ -8,10 +8,17 @@
 use crate::cc::ConcurrencyControl;
 use crate::shared::{SharedDb, WaitMode};
 use crate::transaction::Transaction;
+use acc_common::events::Event;
 use acc_common::{Error, Result, Slot, TableId, TxnId};
 use acc_lockmgr::{LockKind, LockMode, RequestCtx, SharedOracle};
-use acc_storage::{Key, Predicate, Row};
+use acc_storage::{Key, Predicate, Row, Visibility};
 use acc_wal::LogRecord;
+
+/// The slot reported for rows produced by a coordination-free version read:
+/// no physical slot is pinned (the image may be historical), so callers must
+/// not dereference it. Read-only steps — the only ones eligible for the fast
+/// path — consume rows, never slots.
+pub const VERSION_READ_SLOT: Slot = Slot::MAX;
 
 /// The execution context handed to [`crate::program::TxnProgram::step`].
 pub struct StepCtx<'a> {
@@ -66,6 +73,47 @@ impl<'a> StepCtx<'a> {
         }
     }
 
+    /// The version-read gate: both halves must agree before a read bypasses
+    /// the lock manager. The policy half classifies the step read-only
+    /// (`ConcurrencyControl::version_read_safe`); the oracle half — judged
+    /// by the transaction's *pinned epoch* tables, like every other
+    /// interference decision it causes — requires the step analyzed with an
+    /// all-clear write row (`InterferenceOracle::version_read_safe`).
+    fn version_reads_enabled(&self) -> bool {
+        let meta = self.txn.meta();
+        self.cc.version_read_safe(&meta) && self.oracle.version_read_safe(self.cc.step_type(&meta))
+    }
+
+    /// The transaction's read view (its begin LSN), cached after the first
+    /// versioned read.
+    fn read_view(&mut self) -> Option<u64> {
+        if self.txn.read_view.is_none() {
+            self.txn.read_view = self.shared.begin_lsn_of(self.txn.id);
+        }
+        self.txn.read_view
+    }
+
+    /// Count a version-read fast-path hit or a fallback to the lock path.
+    fn emit_version_event(&self, table: TableId, hit: bool) {
+        let sink = self.shared.event_sink();
+        if sink.is_enabled() {
+            let txn = self.txn.id;
+            sink.emit(if hit {
+                Event::VersionRead { txn, table }
+            } else {
+                Event::VersionFallback { txn, table }
+            });
+        }
+    }
+
+    /// Remember that this transaction pushed version entries into `table`
+    /// (commit/rollback finalizes exactly the recorded tables).
+    fn note_version_table(&mut self, table: TableId) {
+        if !self.txn.version_tables.contains(&table) {
+            self.txn.version_tables.push(table);
+        }
+    }
+
     fn acquire(&self, resource: acc_common::ResourceId, kind: LockKind) -> Result<()> {
         self.shared.acquire_with(
             self.txn.id,
@@ -92,7 +140,28 @@ impl<'a> StepCtx<'a> {
     }
 
     /// Read the row with the given primary key. `None` if absent.
+    ///
+    /// When both halves of the version-read gate agree
+    /// ([`StepCtx::version_reads_enabled`]), the read is served from the
+    /// row's committed version chain as of this transaction's begin LSN —
+    /// zero lock-manager traffic. A chain that cannot soundly reconstruct
+    /// the image falls back to the conventional locked read below.
     pub fn read(&mut self, table: TableId, key: &Key) -> Result<Option<Row>> {
+        if self.version_reads_enabled() {
+            if let Some(view) = self.read_view() {
+                let reader = self.txn.id;
+                let vis = self
+                    .shared
+                    .with_table(table, |t| t.read_at(key, view, reader))?;
+                match vis {
+                    Visibility::Visible(row) => {
+                        self.emit_version_event(table, true);
+                        return Ok(row);
+                    }
+                    Visibility::Tainted => self.emit_version_event(table, false),
+                }
+            }
+        }
         loop {
             let slot = self.shared.with_table(table, |t| t.slot_of(key))?;
             let Some(slot) = slot else {
@@ -144,6 +213,7 @@ impl<'a> StepCtx<'a> {
             acc_common::ResourceId::Table(table),
             LockKind::Conventional(LockMode::IX),
         )?;
+        let txn_id = self.txn.id;
         loop {
             let slot = self.shared.with_table(table, |t| t.peek_next_slot())?;
             self.lock_item(table, slot, true)?;
@@ -154,9 +224,12 @@ impl<'a> StepCtx<'a> {
                         return Ok(None); // another insert raced us while we waited
                     }
                     let (s, undo) = t.insert(row.clone())?;
+                    // Version chain: before the insert, the row was absent.
+                    t.push_version(s, txn_id, None);
                     Ok(Some((s, undo)))
                 })??;
             if let Some((s, undo)) = done {
+                self.note_version_table(table);
                 // The WAL append happens outside the table stripe, but the
                 // slot's page X lock (held until step end) serializes all
                 // same-slot records, so recovery sees them in mutation order.
@@ -181,6 +254,7 @@ impl<'a> StepCtx<'a> {
     /// Update the row with the given key in place. Returns `false` if the
     /// key is absent.
     pub fn update_key(&mut self, table: TableId, key: &Key, f: impl Fn(&mut Row)) -> Result<bool> {
+        let txn_id = self.txn.id;
         loop {
             let slot = self.shared.with_table(table, |t| t.slot_of(key))?;
             let Some(slot) = slot else {
@@ -195,6 +269,7 @@ impl<'a> StepCtx<'a> {
                             let before = t.row(slot).cloned();
                             let undo = t.update_with(slot, &f)?;
                             let after = t.row(slot).cloned();
+                            t.push_version(slot, txn_id, before.clone());
                             Ok(Some((undo, before, after)))
                         }
                         _ => Ok(None), // moved or deleted while waiting: retry
@@ -202,6 +277,7 @@ impl<'a> StepCtx<'a> {
                 })??;
             match outcome {
                 Some((undo, before, after)) => {
+                    self.note_version_table(table);
                     self.shared.with_wal(|w| {
                         w.append(LogRecord::Update {
                             txn: self.txn.id,
@@ -223,12 +299,15 @@ impl<'a> StepCtx<'a> {
     /// Update the row at a known slot (must exist).
     pub fn update_slot(&mut self, table: TableId, slot: Slot, f: impl Fn(&mut Row)) -> Result<()> {
         self.lock_item(table, slot, true)?;
+        let txn_id = self.txn.id;
         let (undo, before, after) = self.shared.with_table_mut(table, |t| -> Result<_> {
             let before = t.row(slot).cloned();
             let undo = t.update_with(slot, &f)?;
             let after = t.row(slot).cloned();
+            t.push_version(slot, txn_id, before.clone());
             Ok((undo, before, after))
         })??;
+        self.note_version_table(table);
         self.shared.with_wal(|w| {
             w.append(LogRecord::Update {
                 txn: self.txn.id,
@@ -245,6 +324,7 @@ impl<'a> StepCtx<'a> {
 
     /// Delete the row with the given key. Returns `false` if absent.
     pub fn delete_key(&mut self, table: TableId, key: &Key) -> Result<bool> {
+        let txn_id = self.txn.id;
         loop {
             let slot = self.shared.with_table(table, |t| t.slot_of(key))?;
             let Some(slot) = slot else {
@@ -258,6 +338,12 @@ impl<'a> StepCtx<'a> {
                         Some(s) if s == slot => {
                             let before = t.row(slot).cloned();
                             let undo = t.delete(slot)?;
+                            if let Some(b) = before.clone() {
+                                // The slot may be reused by an unrelated
+                                // key: the chain moves to the tombstone
+                                // store under the deleted key.
+                                t.push_delete_version(key.clone(), slot, txn_id, b);
+                            }
                             Ok(Some((undo, before)))
                         }
                         _ => Ok(None),
@@ -265,6 +351,7 @@ impl<'a> StepCtx<'a> {
                 })??;
             match outcome {
                 Some((undo, before)) => {
+                    self.note_version_table(table);
                     self.shared.with_wal(|w| {
                         w.append(LogRecord::Update {
                             txn: self.txn.id,
@@ -293,7 +380,24 @@ impl<'a> StepCtx<'a> {
     }
 
     /// All rows whose primary key starts with `prefix`, in key order.
+    ///
+    /// On the version-read fast path the rows are committed images as of
+    /// the begin LSN and carry [`VERSION_READ_SLOT`] instead of a physical
+    /// slot (see there).
     pub fn scan_prefix(&mut self, table: TableId, prefix: &Key) -> Result<Vec<(Slot, Row)>> {
+        if self.version_reads_enabled() {
+            if let Some(view) = self.read_view() {
+                let reader = self.txn.id;
+                let rows = self
+                    .shared
+                    .with_table(table, |t| t.scan_prefix_at(prefix, view, reader))?;
+                if let Some(rows) = rows {
+                    self.emit_version_event(table, true);
+                    return Ok(rows.into_iter().map(|r| (VERSION_READ_SLOT, r)).collect());
+                }
+                self.emit_version_event(table, false);
+            }
+        }
         self.lock_scan(table)?;
         self.shared.with_table(table, |t| {
             t.scan_prefix(prefix).map(|(s, r)| (s, r.clone())).collect()
@@ -309,12 +413,28 @@ impl<'a> StepCtx<'a> {
     }
 
     /// Rows matched through secondary index `idx` by key prefix.
+    ///
+    /// Fast-path rows carry [`VERSION_READ_SLOT`]; see
+    /// [`StepCtx::scan_prefix`].
     pub fn lookup_secondary(
         &mut self,
         table: TableId,
         idx: usize,
         prefix: &Key,
     ) -> Result<Vec<(Slot, Row)>> {
+        if self.version_reads_enabled() {
+            if let Some(view) = self.read_view() {
+                let reader = self.txn.id;
+                let rows = self
+                    .shared
+                    .with_table(table, |t| t.lookup_secondary_at(idx, prefix, view, reader))?;
+                if let Some(rows) = rows {
+                    self.emit_version_event(table, true);
+                    return Ok(rows.into_iter().map(|r| (VERSION_READ_SLOT, r)).collect());
+                }
+                self.emit_version_event(table, false);
+            }
+        }
         self.lock_scan(table)?;
         self.shared.with_table(table, |t| {
             t.lookup_secondary(idx, prefix)

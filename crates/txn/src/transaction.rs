@@ -1,7 +1,7 @@
 //! Per-transaction runtime state.
 
 use crate::cc::TxnMeta;
-use acc_common::{TxnId, TxnTypeId};
+use acc_common::{TableId, TxnId, TxnTypeId};
 use acc_lockmgr::EpochPin;
 use acc_storage::UndoRecord;
 
@@ -43,6 +43,13 @@ pub struct Transaction {
     /// lookup the transaction causes — forward or compensating — uses this
     /// pinned snapshot, never a newer epoch's tables.
     pub epoch_pin: Option<EpochPin>,
+    /// The begin-LSN read view for coordination-free version reads,
+    /// resolved lazily at the first versioned read (`StepCtx` caches the
+    /// `SharedDb` active-map lookup here).
+    pub read_view: Option<u64>,
+    /// Tables this transaction pushed version-chain entries into (deduped,
+    /// typically ≤ a handful); commit and rollback finalize exactly these.
+    pub version_tables: Vec<TableId>,
 }
 
 impl Transaction {
@@ -56,6 +63,8 @@ impl Transaction {
             state: TxnState::Active,
             step_undo: Vec::new(),
             epoch_pin: None,
+            read_view: None,
+            version_tables: Vec::new(),
         }
     }
 

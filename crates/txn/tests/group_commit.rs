@@ -228,3 +228,48 @@ fn file_backend_reopens_with_the_full_durable_stream_and_extends() {
     }
     let _ = std::fs::remove_file(&path);
 }
+
+/// The prune watermark must key off the *durable* LSN frontier, never an
+/// allocated-but-unsynced one: a crash would rewind the log past such an
+/// LSN, leaving the surviving prefix without the images pruning assumed it
+/// had. Pins the clamp in `SharedDb::version_watermark`.
+#[test]
+fn prune_watermark_clamps_to_the_durable_frontier() {
+    let policy = GroupCommitPolicy::fixed(Duration::from_millis(5), 1 << 20);
+    let s = shared_with(Box::new(acc_wal::MemDevice::new()), policy);
+    // Nothing durable yet: nothing may be pruned, even with no active txns.
+    assert_eq!(s.durable_wal_records(), 0);
+    assert_eq!(s.version_watermark(), None);
+
+    // One committed update drags the durable frontier up to the log.
+    bump(&s, 1).expect("commit failed");
+    let durable = s.durable_wal_records();
+    assert_eq!(durable, s.wal_len() as u64);
+    assert_eq!(s.version_watermark(), Some(durable - 1));
+
+    // A new transaction's Begin record is allocated but not yet synced: the
+    // log runs ahead of the frontier and the active begin LSN *is* the
+    // not-yet-durable record. The watermark must clamp to durable-1 rather
+    // than follow the begin LSN into the unsynced tail.
+    let tid = s.begin_txn(TxnTypeId(0));
+    let begin = s.begin_lsn_of(tid).expect("begin registered in active map");
+    assert!(s.wal_len() as u64 > s.durable_wal_records());
+    assert!(
+        begin > durable - 1,
+        "begin LSN unexpectedly durable already"
+    );
+    assert_eq!(s.version_watermark(), Some(durable - 1));
+
+    // A prune at the clamped watermark keeps the committed bump readable at
+    // the durable view.
+    let w = s.version_watermark().unwrap();
+    s.with_table_mut(T, |t| t.prune_versions(w)).unwrap();
+    let visible = s
+        .with_table(T, |t| match t.read_at(&Key::ints(&[1]), w, tid) {
+            acc_storage::Visibility::Visible(img) => img.map(|r| r.int(1)),
+            acc_storage::Visibility::Tainted => panic!("tainted durable-view read"),
+        })
+        .unwrap();
+    assert_eq!(visible, Some(1), "committed bump lost below the clamp");
+    s.deregister_active(tid);
+}

@@ -158,6 +158,7 @@ fn main() -> Result<()> {
                 overflow: None,
                 comp_step: Some(CS_TRANSFER),
                 guard: DIRTY,
+                version_safe: false,
             },
             TxnSpec {
                 txn_type: TY_AUDIT,
@@ -169,6 +170,8 @@ fn main() -> Result<()> {
                 overflow: None,
                 comp_step: None,
                 guard: DIRTY,
+                // Read-only: eligible for coordination-free version reads.
+                version_safe: true,
             },
         ],
     );

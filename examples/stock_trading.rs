@@ -178,6 +178,7 @@ fn main() -> Result<()> {
             overflow: Some(0),
             comp_step: Some(CS_BUY),
             guard: DIRTY,
+            version_safe: false,
         }],
     ));
 

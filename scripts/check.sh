@@ -25,6 +25,10 @@ echo "== oracle edge cases + epoch registry tests =="
 cargo test -p acc-core --offline -q --test oracle_edges
 cargo test -p acc-lockmgr --offline -q registry
 
+echo "== MVCC-lite visibility property tests + version-read observability =="
+cargo test -p acc-storage --offline -q --test visibility_prop
+cargo test --offline -q --test observability
+
 echo "== crash-torture smoke (bounded sweep) =="
 cargo run -p acc-bench --release --offline --bin figures -- torture --quick >/dev/null
 

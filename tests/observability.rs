@@ -87,14 +87,28 @@ fn compensation_properties_hold_under_contention() {
 /// Paper §5.1: the new-order/payment district-row conflict. Under the ACC the
 /// two interleave — payment's district write is granted *through* new-order's
 /// pinned uncommitted-data guard because the interference table declares ytd
-/// additions safe — while a committed reader (order-status) takes a real
-/// interference hit and blocks until the pin is released.
+/// additions safe. A committed reader (order-status) now proceeds too: its
+/// reads are served coordination-free from the row version chains at its
+/// begin-LSN view, so it sees exactly the committed pre-new-order state
+/// without ever touching the lock manager. Withdrawing the `version_safe`
+/// declaration restores §5.1's original counter-example: the same reader
+/// takes a real interference hit on the DIRTY pin and blocks until commit.
 #[test]
 fn district_conflict_interleaves_under_acc() {
     let sys = tpcc::TpccSystem::build();
     let shared = fresh_shared(&sys, 5);
     let sink = EventSink::enabled(4096);
     shared.set_event_sink(Arc::clone(&sink));
+
+    // The committed answer before any of this starts: the customer's last
+    // order as populated.
+    let mut baseline = tpcc::txns::OrderStatus::new(OrderStatusInput {
+        w_id: 1,
+        d_id: 1,
+        customer: CustomerSelector::ById(2),
+    });
+    run(&shared, &*sys.acc, &mut baseline, WaitMode::Block).expect("baseline order-status");
+    let committed_last = baseline.last_order;
 
     // Start a new-order and stop it after its header step: the district row
     // (d_next_o_id) and the new order header are written and DIRTY-pinned,
@@ -146,13 +160,50 @@ fn district_conflict_interleaves_under_acc() {
         "payment vs new-order is declared safe — no hit expected"
     );
 
-    // A committed reader of the same order data (order-status, §5.1's
-    // counter-example) must take a real interference-table hit on the DIRTY
-    // pin and wait for new-order to finish.
+    // A committed reader of the same order data no longer needs the lock
+    // manager at all: its reads come from the version chains at its begin
+    // view. Fail-fast mode proves it never waited, and it must see the
+    // committed pre-new-order state, not the pinned uncommitted header.
+    let fast_before = sink.counters();
+    let mut fast_ost = tpcc::txns::OrderStatus::new(OrderStatusInput {
+        w_id: 1,
+        d_id: 1,
+        customer: CustomerSelector::ById(2),
+    });
+    let out = run(&shared, &*sys.acc, &mut fast_ost, WaitMode::Fail)
+        .expect("version-read order-status must not block on the pinned district");
+    assert!(matches!(out, RunOutcome::Committed { .. }));
+    let fast_after = sink.counters();
+    assert!(
+        fast_after.version_reads > fast_before.version_reads,
+        "order-status never took the version-read fast path"
+    );
+    assert_eq!(
+        fast_after.version_fallbacks, fast_before.version_fallbacks,
+        "a read fell back to the lock manager"
+    );
+    assert_eq!(
+        fast_after.lock_waits, fast_before.lock_waits,
+        "the fast path must not wait"
+    );
+    assert_eq!(
+        fast_after.lock_requests, fast_before.lock_requests,
+        "the fast path performed lock-manager acquisitions"
+    );
+    assert_eq!(
+        fast_ost.last_order, committed_last,
+        "order-status saw uncommitted new-order data"
+    );
+
+    // The same program under the same policy minus the `version_safe`
+    // declarations is §5.1's original counter-example: the committed reader
+    // takes a real interference-table hit on the DIRTY pin and must wait for
+    // new-order to finish.
+    let no_mvcc: Arc<dyn ConcurrencyControl> = Arc::new(sys.acc.without_version_reads());
     let ost_done = Arc::new(AtomicBool::new(false));
     let ost_handle = {
         let shared = Arc::clone(&shared);
-        let acc: Arc<dyn ConcurrencyControl> = Arc::clone(&sys.acc) as _;
+        let acc = Arc::clone(&no_mvcc);
         let done = Arc::clone(&ost_done);
         std::thread::spawn(move || {
             let mut ost = tpcc::txns::OrderStatus::new(OrderStatusInput {
@@ -162,7 +213,7 @@ fn district_conflict_interleaves_under_acc() {
             });
             let out = run(&shared, &*acc, &mut ost, WaitMode::Block).expect("order-status");
             done.store(true, Ordering::SeqCst);
-            out
+            (out, ost.last_order)
         })
     };
     std::thread::sleep(Duration::from_millis(60));
@@ -189,11 +240,23 @@ fn district_conflict_interleaves_under_acc() {
             StepOutcome::Abort => panic!("unexpected abort"),
         }
     }
-    let out = ost_handle.join().expect("order-status thread");
+    let (out, slow_last) = ost_handle.join().expect("order-status thread");
     assert!(ost_done.load(Ordering::SeqCst));
     assert!(matches!(out, RunOutcome::Committed { .. }));
+    // The blocked reader resumed after commit, so it sees the new order.
+    assert_ne!(
+        slow_last, committed_last,
+        "the post-commit read should include the freshly committed order"
+    );
 
     let log = EventLog::capture(&sink);
+    assert!(
+        log.any(|e| matches!(
+            e,
+            Event::VersionRead { table, .. } if *table == tpcc::schema::TABLES.order
+        )),
+        "no version-read event recorded for the fast reader"
+    );
     assert!(
         log.any(|e| matches!(
             e,
@@ -257,6 +320,18 @@ fn district_conflict_serializes_under_2pl() {
     });
     let err = run(&shared, &TwoPhase, &mut pay, WaitMode::Fail)
         .expect_err("payment must block behind 2PL's district lock");
+    assert!(matches!(err, Error::WouldBlock { .. }));
+
+    // A read-only order-status is no better off: 2PL has no version-read
+    // path, so its order lookup needs S against new-order's held X and
+    // blocks for the whole transaction.
+    let mut ost = tpcc::txns::OrderStatus::new(OrderStatusInput {
+        w_id: 1,
+        d_id: 1,
+        customer: CustomerSelector::ById(2),
+    });
+    let err = run(&shared, &TwoPhase, &mut ost, WaitMode::Fail)
+        .expect_err("order-status must block behind 2PL's order locks");
     assert!(matches!(err, Error::WouldBlock { .. }));
 
     let c = sink.counters();

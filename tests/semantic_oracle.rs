@@ -267,6 +267,7 @@ fn build_system() -> (Arc<SharedDb>, Arc<Acc>) {
                 overflow: Some(1),
                 comp_step: Some(NO_CS),
                 guard: DIRTY,
+                version_safe: false,
             },
             TxnSpec {
                 txn_type: TY_BILL,
@@ -278,6 +279,7 @@ fn build_system() -> (Arc<SharedDb>, Arc<Acc>) {
                 overflow: None,
                 comp_step: None,
                 guard: DIRTY,
+                version_safe: false,
             },
         ],
     ));
