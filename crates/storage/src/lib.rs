@@ -23,7 +23,7 @@ pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};
 pub use striped::StripedDb;
 pub use table::Table;
 pub use undo::UndoRecord;
-pub use version::{ChainEntry, Visibility};
+pub use version::{ChainEntry, CommitResolver, NoCommits, Visibility};
 
 use acc_common::{Error, Result, TableId};
 

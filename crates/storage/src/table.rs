@@ -8,7 +8,7 @@ use crate::predicate::Predicate;
 use crate::row::{Key, Row};
 use crate::schema::TableSchema;
 use crate::undo::UndoRecord;
-use crate::version::{prune_chain, reconstruct, ChainEntry, Visibility};
+use crate::version::{prune_chain, reconstruct, ChainEntry, CommitResolver, Visibility};
 use acc_common::{Error, PageNo, ResourceId, Result, Slot, TxnId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -364,20 +364,28 @@ impl Table {
     }
 
     /// The row image with primary key `key` as visible at `view`
-    /// (coordination-free point read).
-    pub fn read_at(&self, key: &Key, view: u64, reader: TxnId) -> Visibility {
+    /// (coordination-free point read). `commits` resolves Pending entries of
+    /// transactions whose commit record is already appended (see
+    /// [`CommitResolver`]).
+    pub fn read_at(
+        &self,
+        key: &Key,
+        view: u64,
+        reader: TxnId,
+        commits: &dyn CommitResolver,
+    ) -> Visibility {
         if let Some(slot) = self.slot_of(key) {
             let current = self.row(slot);
             let chain = self.slot_chain(slot);
             if self.chain_key_mismatch(key, current, chain) {
                 return Visibility::Tainted;
             }
-            reconstruct(current, chain, view, reader)
+            reconstruct(current, chain, view, reader, commits)
         } else if let Some(chain) = self.tombstones.get(key) {
             if self.chain_key_mismatch(key, None, chain) {
                 return Visibility::Tainted;
             }
-            reconstruct(None, chain, view, reader)
+            reconstruct(None, chain, view, reader, commits)
         } else {
             Visibility::Visible(None)
         }
@@ -386,7 +394,13 @@ impl Table {
     /// All row images whose primary key begins with `prefix`, as visible at
     /// `view`, in key order. `None` means some row could not be soundly
     /// reconstructed — fall back to a locked scan.
-    pub fn scan_prefix_at(&self, prefix: &Key, view: u64, reader: TxnId) -> Option<Vec<Row>> {
+    pub fn scan_prefix_at(
+        &self,
+        prefix: &Key,
+        view: u64,
+        reader: TxnId,
+        commits: &dyn CommitResolver,
+    ) -> Option<Vec<Row>> {
         let mut out: BTreeMap<Key, Row> = BTreeMap::new();
         for (k, &slot) in self
             .primary
@@ -398,7 +412,7 @@ impl Table {
             if self.chain_key_mismatch(k, current, chain) {
                 return None;
             }
-            match reconstruct(current, chain, view, reader) {
+            match reconstruct(current, chain, view, reader, commits) {
                 Visibility::Tainted => return None,
                 Visibility::Visible(Some(r)) => {
                     out.insert(k.clone(), r);
@@ -418,7 +432,7 @@ impl Table {
             if self.chain_key_mismatch(k, None, chain) {
                 return None;
             }
-            match reconstruct(None, chain, view, reader) {
+            match reconstruct(None, chain, view, reader, commits) {
                 Visibility::Tainted => return None,
                 Visibility::Visible(Some(r)) => {
                     out.insert(k.clone(), r);
@@ -443,6 +457,7 @@ impl Table {
         prefix: &Key,
         view: u64,
         reader: TxnId,
+        commits: &dyn CommitResolver,
     ) -> Option<Vec<Row>> {
         let cols = &self.schema.secondary[idx];
         // If any versioned slot's projection differs between images, the
@@ -467,7 +482,7 @@ impl Table {
             for &slot in slots {
                 let current = self.row(slot);
                 let chain = self.slot_chain(slot);
-                match reconstruct(current, chain, view, reader) {
+                match reconstruct(current, chain, view, reader, commits) {
                     Visibility::Tainted => return None,
                     Visibility::Visible(Some(r)) => {
                         let sk = r.project(cols);
@@ -486,7 +501,7 @@ impl Table {
             if self.primary.contains_key(k) {
                 continue;
             }
-            match reconstruct(None, chain, view, reader) {
+            match reconstruct(None, chain, view, reader, commits) {
                 Visibility::Tainted => return None,
                 Visibility::Visible(Some(r)) => {
                     let sk = r.project(cols);
@@ -531,10 +546,14 @@ impl Table {
 
     fn index_insert(&mut self, slot: Slot, key: Key) {
         // A key coming back to life revives its tombstone chain onto the new
-        // slot, so version readers keep seeing the key's full history. (The
-        // revived entries are older than anything pushed for this insert.)
+        // slot, so version readers keep seeing the key's full history. The
+        // revived entries are older than anything already pushed for this
+        // slot, so splice them behind any existing entries (same idiom as
+        // `push_version` / undo-of-Delete).
         if let Some(chain) = self.tombstones.remove(&key) {
-            self.versions.entry(slot).or_default().extend(chain);
+            let entry = self.versions.entry(slot).or_default();
+            let newer = std::mem::replace(entry, chain);
+            entry.extend(newer);
         }
         self.primary.insert(key, slot);
         self.index_insert_secondary(slot);

@@ -7,35 +7,85 @@
 //!
 //! # Visibility rule
 //!
-//! A reader holds a *read view* `B` — the LSN of its `Begin` record. Walking
-//! newest-to-oldest, an entry is *visible* iff it is `Committed { lsn <= B }`;
-//! `Pending` entries and commits newer than `B` are unwound to their
-//! before-image. The walk stops at the first visible entry and returns the
-//! image reconstructed so far — but only if **every deeper entry is also
-//! visible**. Images are physical composites: the image after mutation *i*
-//! includes the effects of all mutations below it, so stopping above an
-//! uncommitted (or too-new) deeper write would expose data the reader must
-//! not see. That case is [`Visibility::Tainted`]: the caller falls back to a
-//! conventional locked read.
+//! A reader holds a *read view* `B` — the durable WAL frontier at the moment
+//! its transaction began, so `c <= B` holds exactly for the commits that
+//! were durable when the view was minted. Walking newest-to-oldest, an
+//! entry is *visible* iff its **effective** commit LSN is `<= B`, where the
+//! effective LSN is the physical one for `Committed` entries and the
+//! *published* one (see [`CommitResolver`]) for `Pending` entries whose
+//! writer has appended its commit record but not yet rewritten its chains.
+//! Unresolved `Pending` entries and commits newer than `B` are unwound to
+//! their before-image. The walk stops at the first visible entry and
+//! returns the image reconstructed so far — but only if **every deeper
+//! entry is also visible**. Images are physical composites: the image after
+//! mutation *i* includes the effects of all mutations below it, so stopping
+//! above an uncommitted (or too-new) deeper write would expose data the
+//! reader must not see. That case is [`Visibility::Tainted`]: the caller
+//! falls back to a conventional locked read.
 //!
 //! A reader also taints on its own `Pending` entries — a transaction reads
 //! its own writes through the lock path, never through versions.
 //!
+//! # Commit publication
+//!
+//! The transaction layer publishes a committing transaction's commit LSN
+//! (atomically with the `Commit` record's append — see `runner::commit`)
+//! and only later rewrites its `Pending` entries to `Committed`, table by
+//! table, after the group-commit fsync. Resolving `Pending` entries through
+//! the publication makes that rewrite invisible: at every instant the
+//! entry's visibility is the pure predicate `effective_lsn <= B`, so a
+//! reader can never observe the writer's effects at one moment and not the
+//! next within a single view — the fractured-snapshot window between the
+//! fsync wait and per-table finalization is closed by construction.
+//!
 //! # Pruning
 //!
-//! Chains are pruned by a low-watermark `W = min(active begin LSNs,
+//! Chains are pruned by a low-watermark `W = min(active read views,
 //! durable frontier)`: the longest *prefix* (oldest entries) consisting
 //! entirely of `Committed { lsn <= W }` entries may be dropped. Every
 //! current or future reader has `B >= W`, so its walk either stops above the
 //! prefix or stops at the prefix's top entry with all deeper entries visible
 //! — and an exhausted chain returns the same image the dropped stop-entry
 //! would have. Pruning therefore never changes a read result, only memory.
-//! `Pending` entries are never pruned (and can in fact never sit below a
-//! prunable commit: the overwriting commit's LSN necessarily exceeds the
-//! pending owner's begin LSN, which bounds `W` from above).
+//! `Pending` entries are never pruned — deliberately including published
+//! ones, whose imminent physical finalization makes them prunable the
+//! ordinary way (and can in fact never sit below a prunable commit: the
+//! overwriting commit's LSN necessarily exceeds the durable frontier at the
+//! pending owner's begin, which bounds `W` from above).
 
 use crate::row::Row;
 use acc_common::TxnId;
+use std::collections::HashMap;
+
+/// Resolves `Pending` chain entries of committed-but-unfinalized
+/// transactions to their published commit LSN (see the module docs on
+/// commit publication). `None` means the writer is genuinely still in
+/// flight (or aborted / failed its commit fsync): unwind past its entries.
+pub trait CommitResolver {
+    /// The published commit LSN of `txn`, if its commit record has been
+    /// appended and its chains may not be physically finalized yet.
+    fn commit_lsn(&self, txn: TxnId) -> Option<u64>;
+}
+
+/// A resolver for contexts with no commit publication (recovery replay,
+/// population, unit tests over physically finalized chains): every
+/// `Pending` entry is simply pending.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCommits;
+
+impl CommitResolver for NoCommits {
+    fn commit_lsn(&self, _txn: TxnId) -> Option<u64> {
+        None
+    }
+}
+
+/// A plain map is a resolver (model-based tests mirror the transaction
+/// layer's publication with one).
+impl CommitResolver for HashMap<TxnId, u64> {
+    fn commit_lsn(&self, txn: TxnId) -> Option<u64> {
+        self.get(&txn).copied()
+    }
+}
 
 /// One link of a version chain: the row image before one mutation.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,31 +142,42 @@ pub enum Visibility {
 }
 
 /// Reconstruct the image visible at `view` from the current slot value and
-/// its chain (oldest first). See the module docs for the rule.
+/// its chain (oldest first), resolving `Pending` entries of published
+/// committers through `commits`. See the module docs for the rule.
 pub fn reconstruct(
     current: Option<&Row>,
     chain: &[ChainEntry],
     view: u64,
     reader: TxnId,
+    commits: &dyn CommitResolver,
 ) -> Visibility {
+    // The effective commit LSN: physical for finalized entries, published
+    // for `Pending` entries of a committed-but-unfinalized writer. Both
+    // evaluate identically, which is what makes the lazy physical rewrite
+    // invisible to every view.
+    let lsn_of = |e: &ChainEntry| match e {
+        ChainEntry::Committed { commit_lsn, .. } => Some(*commit_lsn),
+        ChainEntry::Pending { txn, .. } => commits.commit_lsn(*txn),
+    };
     let mut cur = current.cloned();
     for i in (0..chain.len()).rev() {
-        match &chain[i] {
-            ChainEntry::Pending { txn, before } => {
-                if *txn == reader {
-                    return Visibility::Tainted;
-                }
-                cur = before.clone();
-            }
-            ChainEntry::Committed { commit_lsn, before } => {
-                if *commit_lsn > view {
-                    cur = before.clone();
-                } else if chain[..i].iter().all(|e| e.visible_at(view)) {
-                    return Visibility::Visible(cur);
+        let e = &chain[i];
+        if matches!(e, ChainEntry::Pending { txn, .. } if *txn == reader) {
+            // Own writes go through the lock path, never through versions.
+            return Visibility::Tainted;
+        }
+        match lsn_of(e) {
+            Some(c) if c <= view => {
+                return if chain[..i]
+                    .iter()
+                    .all(|d| lsn_of(d).is_some_and(|c| c <= view))
+                {
+                    Visibility::Visible(cur)
                 } else {
-                    return Visibility::Tainted;
-                }
+                    Visibility::Tainted
+                };
             }
+            _ => cur = e.before().cloned(),
         }
     }
     Visibility::Visible(cur)
@@ -148,10 +209,13 @@ mod tests {
     #[test]
     fn empty_chain_returns_current() {
         assert_eq!(
-            reconstruct(Some(&row(7)), &[], 0, R),
+            reconstruct(Some(&row(7)), &[], 0, R, &NoCommits),
             Visibility::Visible(Some(row(7)))
         );
-        assert_eq!(reconstruct(None, &[], 0, R), Visibility::Visible(None));
+        assert_eq!(
+            reconstruct(None, &[], 0, R, &NoCommits),
+            Visibility::Visible(None)
+        );
     }
 
     #[test]
@@ -161,7 +225,7 @@ mod tests {
             before: Some(row(1)),
         }];
         assert_eq!(
-            reconstruct(Some(&row(2)), &chain, 10, R),
+            reconstruct(Some(&row(2)), &chain, 10, R, &NoCommits),
             Visibility::Visible(Some(row(1)))
         );
     }
@@ -173,7 +237,7 @@ mod tests {
             before: Some(row(1)),
         }];
         assert_eq!(
-            reconstruct(Some(&row(2)), &chain, 10, R),
+            reconstruct(Some(&row(2)), &chain, 10, R, &NoCommits),
             Visibility::Tainted
         );
     }
@@ -192,17 +256,17 @@ mod tests {
         ];
         // View 5: the lsn-8 commit is too new, the lsn-3 one is visible.
         assert_eq!(
-            reconstruct(Some(&row(3)), &chain, 5, R),
+            reconstruct(Some(&row(3)), &chain, 5, R, &NoCommits),
             Visibility::Visible(Some(row(2)))
         );
         // View 10: everything visible — current row.
         assert_eq!(
-            reconstruct(Some(&row(3)), &chain, 10, R),
+            reconstruct(Some(&row(3)), &chain, 10, R, &NoCommits),
             Visibility::Visible(Some(row(3)))
         );
         // View 1: nothing visible — unwind to the oldest before-image.
         assert_eq!(
-            reconstruct(Some(&row(3)), &chain, 1, R),
+            reconstruct(Some(&row(3)), &chain, 1, R, &NoCommits),
             Visibility::Visible(Some(row(1)))
         );
     }
@@ -222,12 +286,12 @@ mod tests {
             },
         ];
         assert_eq!(
-            reconstruct(Some(&row(3)), &chain, 9, R),
+            reconstruct(Some(&row(3)), &chain, 9, R, &NoCommits),
             Visibility::Tainted
         );
         // A view older than the commit unwinds both and is fine.
         assert_eq!(
-            reconstruct(Some(&row(3)), &chain, 4, R),
+            reconstruct(Some(&row(3)), &chain, 4, R, &NoCommits),
             Visibility::Visible(Some(row(1)))
         );
     }
@@ -247,16 +311,16 @@ mod tests {
         ];
         // View 15 sees the lsn-10 commit but not the buried lsn-20 one.
         assert_eq!(
-            reconstruct(Some(&row(3)), &chain, 15, R),
+            reconstruct(Some(&row(3)), &chain, 15, R, &NoCommits),
             Visibility::Tainted
         );
         // View 25 sees both; view 5 sees neither.
         assert_eq!(
-            reconstruct(Some(&row(3)), &chain, 25, R),
+            reconstruct(Some(&row(3)), &chain, 25, R, &NoCommits),
             Visibility::Visible(Some(row(3)))
         );
         assert_eq!(
-            reconstruct(Some(&row(3)), &chain, 5, R),
+            reconstruct(Some(&row(3)), &chain, 5, R, &NoCommits),
             Visibility::Visible(Some(row(1)))
         );
     }
@@ -268,11 +332,11 @@ mod tests {
             before: None,
         }];
         assert_eq!(
-            reconstruct(Some(&row(1)), &chain, 3, R),
+            reconstruct(Some(&row(1)), &chain, 3, R, &NoCommits),
             Visibility::Visible(None)
         );
         assert_eq!(
-            reconstruct(Some(&row(1)), &chain, 7, R),
+            reconstruct(Some(&row(1)), &chain, 7, R, &NoCommits),
             Visibility::Visible(Some(row(1)))
         );
     }
@@ -314,5 +378,82 @@ mod tests {
         // The pending head blocks the whole prefix.
         assert!(!prune_chain(&mut chain, 100));
         assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn published_pending_resolves_as_committed() {
+        // A writer whose commit LSN is published but whose chain is not yet
+        // physically finalized must read exactly like the finalized form:
+        // visible at views >= the published LSN, unwound below it.
+        let pending = vec![ChainEntry::Pending {
+            txn: TxnId(1),
+            before: Some(row(1)),
+        }];
+        let finalized = vec![ChainEntry::Committed {
+            commit_lsn: 7,
+            before: Some(row(1)),
+        }];
+        let mut published = HashMap::new();
+        published.insert(TxnId(1), 7u64);
+        for view in [0, 6, 7, 8, 100] {
+            assert_eq!(
+                reconstruct(Some(&row(2)), &pending, view, R, &published),
+                reconstruct(Some(&row(2)), &finalized, view, R, &NoCommits),
+                "published-pending diverged from finalized at view {view}"
+            );
+        }
+        // An unpublished writer still unwinds at every view.
+        assert_eq!(
+            reconstruct(Some(&row(2)), &pending, 100, R, &NoCommits),
+            Visibility::Visible(Some(row(1)))
+        );
+    }
+
+    #[test]
+    fn published_pending_counts_in_deeper_visibility_check() {
+        // Buried published-pending write under a visible commit: once the
+        // publication makes the deeper entry visible at the view, the walk
+        // may stop above it; without the publication it must taint.
+        let chain = vec![
+            ChainEntry::Pending {
+                txn: TxnId(1),
+                before: Some(row(1)),
+            },
+            ChainEntry::Committed {
+                commit_lsn: 9,
+                before: Some(row(2)),
+            },
+        ];
+        assert_eq!(
+            reconstruct(Some(&row(3)), &chain, 10, R, &NoCommits),
+            Visibility::Tainted
+        );
+        let mut published = HashMap::new();
+        published.insert(TxnId(1), 5u64);
+        assert_eq!(
+            reconstruct(Some(&row(3)), &chain, 10, R, &published),
+            Visibility::Visible(Some(row(3)))
+        );
+        // A view between the two commits stops at the published entry.
+        assert_eq!(
+            reconstruct(Some(&row(3)), &chain, 6, R, &published),
+            Visibility::Visible(Some(row(2)))
+        );
+    }
+
+    #[test]
+    fn own_published_write_still_taints() {
+        // Publication never overrides the own-write rule: a transaction
+        // reads its own writes through the lock path.
+        let chain = vec![ChainEntry::Pending {
+            txn: R,
+            before: Some(row(1)),
+        }];
+        let mut published = HashMap::new();
+        published.insert(R, 3u64);
+        assert_eq!(
+            reconstruct(Some(&row(2)), &chain, 10, R, &published),
+            Visibility::Tainted
+        );
     }
 }

@@ -10,9 +10,16 @@
 //! physical undo first, exactly like the live rollback path. A key-level
 //! lock map stands in for the lock manager so two live transactions never
 //! write the same row.
+//!
+//! Commits randomly defer their physical finalization behind a published
+//! commit LSN (the runner's commit-publication window between the `Commit`
+//! append and `finalize_versions`): reads through the publication resolver
+//! must be indistinguishable from reads over finalized chains.
 
 use acc_common::{SeededRng, TableId, TxnId, Value};
-use acc_storage::{ColumnType, Key, Row, Table, TableSchema, UndoRecord, Visibility};
+use acc_storage::{
+    ColumnType, CommitResolver, Key, NoCommits, Row, Table, TableSchema, UndoRecord, Visibility,
+};
 use std::collections::HashMap;
 
 fn schema() -> TableSchema {
@@ -126,7 +133,11 @@ impl Active {
 
     /// Commit or abort at the next LSN, exactly as `runner.rs` does:
     /// physical undo (abort only) leaves the chain alone, then every pending
-    /// entry finalizes at the end record's LSN.
+    /// entry finalizes at the end record's LSN. When `defer_into` is `Some`,
+    /// a committing transaction instead *defers* the physical finalization,
+    /// leaving its entries Pending behind a commit LSN published there —
+    /// the runner's state between the `Commit` append and
+    /// `finalize_versions`.
     fn finish(
         self,
         t: &mut Table,
@@ -134,6 +145,7 @@ impl Active {
         snapshots: &mut Vec<(u64, Model)>,
         locks: &mut HashMap<i64, TxnId>,
         next_lsn: &mut u64,
+        defer_into: Option<&mut HashMap<TxnId, u64>>,
     ) {
         let lsn = *next_lsn;
         *next_lsn += 1;
@@ -149,7 +161,14 @@ impl Active {
                 };
             }
         }
-        t.finalize_versions(self.id, lsn);
+        match defer_into {
+            Some(published) if !self.will_abort => {
+                published.insert(self.id, lsn);
+            }
+            _ => {
+                t.finalize_versions(self.id, lsn);
+            }
+        }
         snapshots.push((lsn, committed.clone()));
         locks.retain(|_, owner| *owner != self.id);
     }
@@ -157,14 +176,19 @@ impl Active {
 
 /// Every view from `lo` to the newest snapshot reads exactly its replay
 /// prefix, through all three coordination-free read paths.
-fn assert_all_views(t: &Table, snapshots: &[(u64, Model)], lo: u64) -> usize {
+fn assert_all_views(
+    t: &Table,
+    snapshots: &[(u64, Model)],
+    lo: u64,
+    commits: &dyn CommitResolver,
+) -> usize {
     let max_lsn = snapshots.last().expect("snapshots nonempty").0;
     let mut secondary_hits = 0;
     for view in lo..=max_lsn {
         let model = model_at(snapshots, view);
         // Point reads, including keys currently absent.
         for k in 0..KEYS {
-            let got = match t.read_at(&Key::ints(&[k]), view, READER) {
+            let got = match t.read_at(&Key::ints(&[k]), view, READER, commits) {
                 Visibility::Visible(img) => img.map(|r| (r.int(1), r.int(2))),
                 Visibility::Tainted => panic!("foreign reader tainted on k={k} view={view}"),
             };
@@ -172,7 +196,7 @@ fn assert_all_views(t: &Table, snapshots: &[(u64, Model)], lo: u64) -> usize {
         }
         // Full prefix scan: complete, in key order, nothing extra.
         let scanned: Vec<(i64, i64, i64)> = t
-            .scan_prefix_at(&Key(Vec::new()), view, READER)
+            .scan_prefix_at(&Key(Vec::new()), view, READER, commits)
             .expect("foreign scan never taints here")
             .iter()
             .map(|r| (r.int(0), r.int(1), r.int(2)))
@@ -183,7 +207,7 @@ fn assert_all_views(t: &Table, snapshots: &[(u64, Model)], lo: u64) -> usize {
         // Secondary lookups may fall back (None) when a revived key changed
         // its indexed column; when they answer, they must answer exactly.
         for a in 0..3i64 {
-            if let Some(rows) = t.lookup_secondary_at(0, &Key::ints(&[a]), view, READER) {
+            if let Some(rows) = t.lookup_secondary_at(0, &Key::ints(&[a]), view, READER, commits) {
                 secondary_hits += 1;
                 let mut got: Vec<(i64, i64)> = rows.iter().map(|r| (r.int(0), r.int(2))).collect();
                 got.sort_unstable();
@@ -210,6 +234,8 @@ fn read_at_lsn_equals_replayed_prefix() {
         let mut snapshots: Vec<(u64, Model)> = vec![(0, committed.clone())];
         let mut locks: HashMap<i64, TxnId> = HashMap::new();
         let mut active: Vec<Active> = Vec::new();
+        // Commits with a published LSN whose chains are still Pending.
+        let mut published: HashMap<TxnId, u64> = HashMap::new();
         let mut next_txn = 1u64;
         let mut next_lsn = 1u64;
 
@@ -229,26 +255,38 @@ fn read_at_lsn_equals_replayed_prefix() {
             } else {
                 let i = rng.index(active.len());
                 let a = active.swap_remove(i);
+                let defer = rng.chance(0.5);
                 a.finish(
                     &mut t,
                     &mut committed,
                     &mut snapshots,
                     &mut locks,
                     &mut next_lsn,
+                    defer.then_some(&mut published),
                 );
                 // Reads stay exact even while other transactions are still
-                // pending: their entries unwind to before-images.
-                total_secondary_hits += assert_all_views(&t, &snapshots, 0);
+                // pending: unpublished entries unwind to before-images, and
+                // published-but-unfinalized ones resolve at their LSN.
+                total_secondary_hits += assert_all_views(&t, &snapshots, 0, &published);
                 // A transaction always reads its own writes through the
                 // lock path, never through versions: own pending taints.
                 for live in &active {
                     for &k in live.overlay.keys() {
                         assert_eq!(
-                            t.read_at(&Key::ints(&[k]), next_lsn, live.id),
+                            t.read_at(&Key::ints(&[k]), next_lsn, live.id, &published),
                             Visibility::Tainted,
                             "own pending write must taint k={k}"
                         );
                     }
+                }
+                // Randomly retire some deferred finalizations — an invisible
+                // physical rewrite: all views answer identically after it.
+                if !published.is_empty() && rng.chance(0.5) {
+                    let ids: Vec<TxnId> = published.keys().copied().collect();
+                    let id = ids[rng.index(ids.len())];
+                    let lsn = published.remove(&id).expect("just listed");
+                    t.finalize_versions(id, lsn);
+                    total_secondary_hits += assert_all_views(&t, &snapshots, 0, &published);
                 }
             }
         }
@@ -259,9 +297,15 @@ fn read_at_lsn_equals_replayed_prefix() {
                 &mut snapshots,
                 &mut locks,
                 &mut next_lsn,
+                None,
             );
         }
-        total_secondary_hits += assert_all_views(&t, &snapshots, 0);
+        total_secondary_hits += assert_all_views(&t, &snapshots, 0, &published);
+        // Draining the publication map must change nothing either.
+        for (id, lsn) in published.drain() {
+            t.finalize_versions(id, lsn);
+        }
+        total_secondary_hits += assert_all_views(&t, &snapshots, 0, &NoCommits);
 
         // Pruning at a random watermark is invisible to every view >= it...
         let max_lsn = next_lsn - 1;
@@ -269,10 +313,10 @@ fn read_at_lsn_equals_replayed_prefix() {
         let before_chains = t.n_version_chains();
         t.prune_versions(w);
         assert!(t.n_version_chains() <= before_chains);
-        assert_all_views(&t, &snapshots, w);
+        assert_all_views(&t, &snapshots, w, &NoCommits);
         // ...and a full prune still answers the newest view exactly.
         t.prune_versions(max_lsn);
-        assert_all_views(&t, &snapshots, max_lsn);
+        assert_all_views(&t, &snapshots, max_lsn, &NoCommits);
     }
     assert!(
         total_secondary_hits > 0,
@@ -303,7 +347,7 @@ fn reinsert_revives_tombstone_history() {
     t.finalize_versions(TxnId(3), 15);
 
     fn img(t: &Table, key: &Key, view: u64) -> Option<(i64, i64)> {
-        match t.read_at(key, view, READER) {
+        match t.read_at(key, view, READER, &NoCommits) {
             Visibility::Visible(img) => img.map(|r| (r.int(1), r.int(2))),
             Visibility::Tainted => panic!("tainted at view {view}"),
         }
@@ -319,7 +363,10 @@ fn reinsert_revives_tombstone_history() {
 
     // The revived chain changed the indexed column, so the secondary fast
     // path must refuse rather than answer from the current index alone.
-    assert_eq!(t.lookup_secondary_at(0, &Key::ints(&[1]), 5, READER), None);
+    assert_eq!(
+        t.lookup_secondary_at(0, &Key::ints(&[1]), 5, READER, &NoCommits),
+        None
+    );
 
     // Pruning below the delete keeps history; pruning past it drops it.
     t.prune_versions(9);

@@ -35,6 +35,6 @@ pub mod transaction;
 pub use cc::{ConcurrencyControl, TwoPhase, TxnMeta, LEGACY_STEP};
 pub use program::{StepOutcome, TxnProgram};
 pub use runner::{run, AbortReason, RunOutcome};
-pub use shared::{SharedDb, WaitMode};
+pub use shared::{PublishedCommits, SharedDb, WaitMode};
 pub use step::StepCtx;
 pub use transaction::{Transaction, TxnState};

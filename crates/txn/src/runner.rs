@@ -239,12 +239,18 @@ pub fn end_step(
 /// it from the active map, and prune the touched tables against the fresh
 /// watermark.
 ///
-/// Deregistration happens first so this transaction's own begin LSN stops
+/// On the commit path the transaction's commit LSN is already published
+/// (see [`SharedDb::publish_commit`]), so `reconstruct` resolves its
+/// `Pending` entries as committed and this physical rewrite changes nothing
+/// any reader can observe — visibility flipped atomically at publication,
+/// not here.
+///
+/// Deregistration happens first so this transaction's own read view stops
 /// clamping the watermark; its *pending* entries are still unprunable
 /// (pruning only drops all-committed prefixes), so the order is safe even
 /// against a concurrent pruner. A poisoned stripe leaves that table's
-/// entries pending forever — readers unwind past them, which is merely
-/// conservative.
+/// entries pending forever — readers unwind past them (or resolve them
+/// through the publication while it lasts), which is merely conservative.
 fn finalize_versions(shared: &SharedDb, txn: &Transaction, end_lsn: u64) {
     shared.deregister_active(txn.id);
     if txn.version_tables.is_empty() {
@@ -266,15 +272,30 @@ fn finalize_versions(shared: &SharedDb, txn: &Transaction, end_lsn: u64) {
 /// durability wait comes *before* lock release: a transaction whose commit
 /// was never fsynced must not expose its writes. A device failure aborts the
 /// commit with [`Error::Internal`] — nothing in that batch is acked.
+///
+/// The commit LSN is published for version readers *inside* the WAL append
+/// mutex, atomically with the `Commit` append. Read views are the durable
+/// frontier at begin, and the frontier can only reach this LSN via a flush
+/// that collects it under that same mutex — after the publication. So at
+/// every instant, a version reader with view `v` sees this transaction's
+/// writes iff `commit_lsn <= v` iff the commit was durable when the reader
+/// began: the fsync wait, the per-table finalization, and this function's
+/// interleaving with readers are all invisible to them.
 pub fn commit(shared: &SharedDb, txn: &mut Transaction) -> Result<()> {
-    let lsn = shared.with_wal(|w| w.append(LogRecord::Commit { txn: txn.id }));
+    let lsn = shared.with_wal(|w| {
+        let lsn = w.append(LogRecord::Commit { txn: txn.id });
+        shared.publish_commit(txn.id, lsn.0);
+        lsn
+    });
     let oracle = shared.oracle_for(txn.epoch_pin.as_ref());
     match shared.sync_wal(lsn) {
         Ok(()) => {
-            // Version chains flip to committed only after the commit record
-            // is durable: a version read never serves an image whose commit
-            // a crash could still erase.
+            // The commit is durable; rewrite the chains physically, then
+            // retire the (now redundant) publication. Order matters: a
+            // reader between retire and finalize would unwind entries its
+            // view covers.
             finalize_versions(shared, txn, lsn.0);
+            shared.retire_commit(txn.id);
             shared.release_all_with(txn.id, &*oracle);
             shared.clear_doom(txn.id);
             // Unpin only after every lock is gone: the switchover this may
@@ -284,13 +305,17 @@ pub fn commit(shared: &SharedDb, txn: &mut Transaction) -> Result<()> {
             Ok(())
         }
         Err(e) => {
-            // The commit record's durability is unknown and the device
-            // failure is sticky, so no later transaction can ack either; the
-            // system is done for. Still release everything — leaking locks
-            // would hang peers that deserve to see the same error at their
-            // own commit point. Recovery from the durable prefix decides
-            // this transaction's real fate.
-            finalize_versions(shared, txn, lsn.0);
+            // The commit record never became durable and the device failure
+            // is sticky, so the frontier is frozen short of it: no view will
+            // ever cover this commit LSN. Retract the publication and leave
+            // the chains Pending — readers conservatively unwind past them,
+            // exactly matching the wedged-rollback give-up path, and never
+            // see images whose commit a crash would erase. Still release
+            // everything — leaking locks would hang peers that deserve to
+            // see the same error at their own commit point. Recovery from
+            // the durable prefix decides this transaction's real fate.
+            shared.retire_commit(txn.id);
+            shared.deregister_active(txn.id);
             shared.release_all_with(txn.id, &*oracle);
             shared.clear_doom(txn.id);
             shared.unpin_epoch(txn.epoch_pin.take());

@@ -26,7 +26,7 @@ use acc_lockmgr::{
     EpochPin, InstallOutcome, InterferenceOracle, InterferenceRegistry, LockKind, PinAttempt,
     Request, RequestCtx, RequestOutcome, ShardedLockManager, SharedOracle, SwitchStats, Ticket,
 };
-use acc_storage::{Database, StripedDb, Table};
+use acc_storage::{CommitResolver, Database, StripedDb, Table};
 use acc_wal::{DurableWal, GroupCommitPolicy, LogDevice, LogRecord, Lsn, Wal};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -61,13 +61,28 @@ pub struct SharedDb {
     parking: Parking,
     /// Transactions ordered to roll back by a compensating step (§3.4).
     doomed: Mutex<HashSet<TxnId>>,
-    /// Begin LSNs of in-flight transactions. Source of the version-read
-    /// views (a version read is "as of my begin record") and of the
+    /// Read views of in-flight transactions. A transaction's view is the
+    /// *durable* WAL frontier observed at [`SharedDb::begin_txn`] (the last
+    /// fsync-covered LSN), so a version read can never see a commit that was
+    /// not durable when the reader began. The map also feeds the
     /// version-chain pruning watermark (no chain entry a live view might
-    /// still unwind through is ever dropped). Registered inside the WAL
-    /// append mutex at [`SharedDb::begin_txn`]; removed at commit/rollback
-    /// after the transaction's chains are finalized.
+    /// still unwind through is ever dropped): the view is minted and
+    /// registered inside one `active` critical section, and
+    /// [`SharedDb::version_watermark`] reads the frontier inside the same
+    /// critical section, so frontier monotonicity guarantees the watermark
+    /// never passes a view about to be registered. Removed at
+    /// commit/rollback after the transaction's chains are finalized.
     active: Mutex<HashMap<TxnId, u64>>,
+    /// Commit LSNs of transactions whose `Commit` record is appended but
+    /// whose version chains are not yet finalized. Published *inside* the
+    /// WAL append mutex (atomically with the `Commit` append, see
+    /// `runner::commit`), so by the time any flush can make the commit LSN
+    /// durable — and hence any new view can cover it — the publication is
+    /// already visible to `reconstruct`. Version readers resolve `Pending`
+    /// chain entries through this map ([`PublishedCommits`]); the per-table
+    /// finalization that follows the fsync is then an invisible physical
+    /// rewrite rather than a visibility event.
+    committing: Mutex<HashMap<TxnId, u64>>,
     next_txn: AtomicU64,
     /// The epoch-versioned interference tables. Decomposed transactions pin
     /// an epoch at first-step admission and use the pinned snapshot for
@@ -102,6 +117,7 @@ impl SharedDb {
             parking,
             doomed: Mutex::new(HashSet::new()),
             active: Mutex::new(HashMap::new()),
+            committing: Mutex::new(HashMap::new()),
             next_txn: AtomicU64::new(1),
             registry: Arc::new(InterferenceRegistry::new(oracle)),
             boundaries: AtomicU64::new(0),
@@ -382,27 +398,33 @@ impl SharedDb {
         self.wal.device_kind()
     }
 
-    /// Allocate a transaction id and log its begin record. The begin
-    /// record's LSN becomes the transaction's version-read view; it is
-    /// registered in the active map *inside* the WAL append mutex, so the
-    /// durable frontier (which a flush can only advance while holding that
-    /// mutex to take staged records) can never pass the begin record before
-    /// the registration lands — the pruning watermark always accounts for
-    /// this transaction from the instant its view exists.
+    /// Allocate a transaction id, log its begin record, and mint the
+    /// transaction's version-read view: the *durable* WAL frontier (last
+    /// fsync-covered LSN) at begin. Views anchored at the frontier — not at
+    /// the begin record's own LSN — mean a version read can only ever cover
+    /// a commit that was already durable when the reader began, closing the
+    /// window where a reader straddles another transaction's group-commit
+    /// fsync.
+    ///
+    /// The view is minted and registered under one `active` critical
+    /// section (not inside the WAL append mutex — `DurableWal` acquires its
+    /// state mutex before the log mutex, so reading the frontier under the
+    /// log mutex would invert that order). `version_watermark` reads the
+    /// frontier inside the same critical section; the frontier only moves
+    /// forward, so any watermark computed before this registration used a
+    /// frontier no newer than ours and is therefore `<=` our view.
     pub fn begin_txn(&self, txn_type: TxnTypeId) -> TxnId {
         let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
-        self.with_wal(|w| {
-            let lsn = w.append(LogRecord::Begin { txn: id, txn_type });
-            self.active
-                .lock()
-                .expect("active map not poisoned")
-                .insert(id, lsn.0);
-        });
+        self.with_wal(|w| w.append(LogRecord::Begin { txn: id, txn_type }));
+        let mut active = self.active.lock().expect("active map not poisoned");
+        let view = self.durable_wal_records().saturating_sub(1);
+        active.insert(id, view);
         id
     }
 
-    /// The begin LSN of an in-flight transaction (its version-read view).
-    pub fn begin_lsn_of(&self, txn: TxnId) -> Option<u64> {
+    /// The read view of an in-flight transaction (the durable WAL frontier
+    /// at its begin).
+    pub fn read_view_of(&self, txn: TxnId) -> Option<u64> {
         self.active
             .lock()
             .expect("active map not poisoned")
@@ -419,6 +441,39 @@ impl SharedDb {
             .remove(&txn);
     }
 
+    /// Publish `txn`'s commit LSN for version readers. MUST be called while
+    /// holding the WAL append mutex, immediately after appending the
+    /// `Commit` record: the durable frontier can only cover that LSN via a
+    /// flush that collects staged records under the same mutex, so every
+    /// view that can ever equal-or-pass the commit LSN is minted after this
+    /// publication is visible. From that point `Pending` chain entries of
+    /// `txn` read exactly like `Committed { commit_lsn }`.
+    pub fn publish_commit(&self, txn: TxnId, commit_lsn: u64) {
+        self.committing
+            .lock()
+            .expect("committing map not poisoned")
+            .insert(txn, commit_lsn);
+    }
+
+    /// Drop `txn`'s commit publication — after per-table finalization has
+    /// rewritten its chains (the publication is then redundant), or on a
+    /// failed commit fsync (the LSN never became durable, so no view ever
+    /// covers it and the chains stay `Pending`).
+    pub fn retire_commit(&self, txn: TxnId) {
+        self.committing
+            .lock()
+            .expect("committing map not poisoned")
+            .remove(&txn);
+    }
+
+    /// The commit-publication resolver version reads consult (see
+    /// [`SharedDb::publish_commit`]).
+    pub fn published_commits(&self) -> PublishedCommits<'_> {
+        PublishedCommits {
+            map: &self.committing,
+        }
+    }
+
     /// In-flight transactions (test/diagnostic helper).
     pub fn active_txns(&self) -> usize {
         self.active.lock().expect("active map not poisoned").len()
@@ -430,7 +485,7 @@ impl SharedDb {
     ///
     /// Two clamps, both load-bearing:
     ///
-    /// * the minimum *begin* LSN of any in-flight transaction — a live view
+    /// * the minimum *read view* of any in-flight transaction — a live view
     ///   older than an entry's commit LSN must still be able to unwind
     ///   through it;
     /// * the *durable* WAL frontier, not the allocated append frontier —
@@ -439,12 +494,19 @@ impl SharedDb {
     ///   a commit whose record a crash could still erase would leave the
     ///   surviving (durable) prefix without the images it implies.
     ///
+    /// The frontier is read inside the `active` critical section, mirroring
+    /// the view minting in [`SharedDb::begin_txn`]: either a minting begin
+    /// registered first (the min below sees its view), or this watermark's
+    /// frontier read happened first and monotonicity bounds it by the view
+    /// the minter is about to register. Either way the watermark never
+    /// passes a live view.
+    ///
     /// `None` means nothing is durable yet, so nothing may be pruned.
     pub fn version_watermark(&self) -> Option<u64> {
-        let dur_cap = self.durable_wal_records().checked_sub(1)?;
         let active = self.active.lock().expect("active map not poisoned");
-        let min_begin = active.values().copied().min();
-        Some(min_begin.map_or(dur_cap, |m| m.min(dur_cap)))
+        let dur_cap = self.durable_wal_records().checked_sub(1)?;
+        let min_view = active.values().copied().min();
+        Some(min_view.map_or(dur_cap, |m| m.min(dur_cap)))
     }
 
     /// True if some other transaction doomed this one (it is delaying a
@@ -671,6 +733,25 @@ impl SharedDb {
     pub fn release_all_with(&self, txn: TxnId, oracle: &(dyn InterferenceOracle + Send + Sync)) {
         self.lm
             .release_all(txn, oracle, &mut |n| self.parking.grant(n.ticket));
+    }
+}
+
+/// [`CommitResolver`] over the shared committing-transaction map: version
+/// reads resolve `Pending` chain entries of a transaction whose `Commit`
+/// record is appended but whose chains are not yet finalized (see
+/// [`SharedDb::publish_commit`]). The map mutex is a leaf — resolving takes
+/// no other lock.
+pub struct PublishedCommits<'a> {
+    map: &'a Mutex<HashMap<TxnId, u64>>,
+}
+
+impl CommitResolver for PublishedCommits<'_> {
+    fn commit_lsn(&self, txn: TxnId) -> Option<u64> {
+        self.map
+            .lock()
+            .expect("committing map not poisoned")
+            .get(&txn)
+            .copied()
     }
 }
 

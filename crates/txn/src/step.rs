@@ -84,11 +84,11 @@ impl<'a> StepCtx<'a> {
         self.cc.version_read_safe(&meta) && self.oracle.version_read_safe(self.cc.step_type(&meta))
     }
 
-    /// The transaction's read view (its begin LSN), cached after the first
-    /// versioned read.
+    /// The transaction's read view (the durable WAL frontier at its begin),
+    /// cached after the first versioned read.
     fn read_view(&mut self) -> Option<u64> {
         if self.txn.read_view.is_none() {
-            self.txn.read_view = self.shared.begin_lsn_of(self.txn.id);
+            self.txn.read_view = self.shared.read_view_of(self.txn.id);
         }
         self.txn.read_view
     }
@@ -143,16 +143,16 @@ impl<'a> StepCtx<'a> {
     ///
     /// When both halves of the version-read gate agree
     /// ([`StepCtx::version_reads_enabled`]), the read is served from the
-    /// row's committed version chain as of this transaction's begin LSN —
-    /// zero lock-manager traffic. A chain that cannot soundly reconstruct
+    /// row's committed version chain as of this transaction's read view
+    /// (the durable WAL frontier at its begin) — zero lock-manager traffic. A chain that cannot soundly reconstruct
     /// the image falls back to the conventional locked read below.
     pub fn read(&mut self, table: TableId, key: &Key) -> Result<Option<Row>> {
         if self.version_reads_enabled() {
             if let Some(view) = self.read_view() {
                 let reader = self.txn.id;
-                let vis = self
-                    .shared
-                    .with_table(table, |t| t.read_at(key, view, reader))?;
+                let vis = self.shared.with_table(table, |t| {
+                    t.read_at(key, view, reader, &self.shared.published_commits())
+                })?;
                 match vis {
                     Visibility::Visible(row) => {
                         self.emit_version_event(table, true);
@@ -382,15 +382,15 @@ impl<'a> StepCtx<'a> {
     /// All rows whose primary key starts with `prefix`, in key order.
     ///
     /// On the version-read fast path the rows are committed images as of
-    /// the begin LSN and carry [`VERSION_READ_SLOT`] instead of a physical
+    /// the read view and carry [`VERSION_READ_SLOT`] instead of a physical
     /// slot (see there).
     pub fn scan_prefix(&mut self, table: TableId, prefix: &Key) -> Result<Vec<(Slot, Row)>> {
         if self.version_reads_enabled() {
             if let Some(view) = self.read_view() {
                 let reader = self.txn.id;
-                let rows = self
-                    .shared
-                    .with_table(table, |t| t.scan_prefix_at(prefix, view, reader))?;
+                let rows = self.shared.with_table(table, |t| {
+                    t.scan_prefix_at(prefix, view, reader, &self.shared.published_commits())
+                })?;
                 if let Some(rows) = rows {
                     self.emit_version_event(table, true);
                     return Ok(rows.into_iter().map(|r| (VERSION_READ_SLOT, r)).collect());
@@ -425,9 +425,15 @@ impl<'a> StepCtx<'a> {
         if self.version_reads_enabled() {
             if let Some(view) = self.read_view() {
                 let reader = self.txn.id;
-                let rows = self
-                    .shared
-                    .with_table(table, |t| t.lookup_secondary_at(idx, prefix, view, reader))?;
+                let rows = self.shared.with_table(table, |t| {
+                    t.lookup_secondary_at(
+                        idx,
+                        prefix,
+                        view,
+                        reader,
+                        &self.shared.published_commits(),
+                    )
+                })?;
                 if let Some(rows) = rows {
                     self.emit_version_event(table, true);
                     return Ok(rows.into_iter().map(|r| (VERSION_READ_SLOT, r)).collect());

@@ -43,9 +43,9 @@ pub struct Transaction {
     /// lookup the transaction causes — forward or compensating — uses this
     /// pinned snapshot, never a newer epoch's tables.
     pub epoch_pin: Option<EpochPin>,
-    /// The begin-LSN read view for coordination-free version reads,
-    /// resolved lazily at the first versioned read (`StepCtx` caches the
-    /// `SharedDb` active-map lookup here).
+    /// The read view for coordination-free version reads (the durable WAL
+    /// frontier at begin), resolved lazily at the first versioned read
+    /// (`StepCtx` caches the `SharedDb` active-map lookup here).
     pub read_view: Option<u64>,
     /// Tables this transaction pushed version-chain entries into (deduped,
     /// typically ≤ a handful); commit and rollback finalize exactly these.

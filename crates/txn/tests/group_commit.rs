@@ -248,16 +248,14 @@ fn prune_watermark_clamps_to_the_durable_frontier() {
     assert_eq!(s.version_watermark(), Some(durable - 1));
 
     // A new transaction's Begin record is allocated but not yet synced: the
-    // log runs ahead of the frontier and the active begin LSN *is* the
-    // not-yet-durable record. The watermark must clamp to durable-1 rather
-    // than follow the begin LSN into the unsynced tail.
+    // log runs ahead of the frontier. Its read view is minted at the
+    // *durable* frontier, never the unsynced tail, so the watermark stays
+    // clamped at durable-1 and the view can never cover a commit whose
+    // record a crash could still erase.
     let tid = s.begin_txn(TxnTypeId(0));
-    let begin = s.begin_lsn_of(tid).expect("begin registered in active map");
+    let view = s.read_view_of(tid).expect("view registered in active map");
     assert!(s.wal_len() as u64 > s.durable_wal_records());
-    assert!(
-        begin > durable - 1,
-        "begin LSN unexpectedly durable already"
-    );
+    assert_eq!(view, durable - 1, "view strayed off the durable frontier");
     assert_eq!(s.version_watermark(), Some(durable - 1));
 
     // A prune at the clamped watermark keeps the committed bump readable at
@@ -265,9 +263,11 @@ fn prune_watermark_clamps_to_the_durable_frontier() {
     let w = s.version_watermark().unwrap();
     s.with_table_mut(T, |t| t.prune_versions(w)).unwrap();
     let visible = s
-        .with_table(T, |t| match t.read_at(&Key::ints(&[1]), w, tid) {
-            acc_storage::Visibility::Visible(img) => img.map(|r| r.int(1)),
-            acc_storage::Visibility::Tainted => panic!("tainted durable-view read"),
+        .with_table(T, |t| {
+            match t.read_at(&Key::ints(&[1]), w, tid, &acc_storage::NoCommits) {
+                acc_storage::Visibility::Visible(img) => img.map(|r| r.int(1)),
+                acc_storage::Visibility::Tainted => panic!("tainted durable-view read"),
+            }
         })
         .unwrap();
     assert_eq!(visible, Some(1), "committed bump lost below the clamp");
