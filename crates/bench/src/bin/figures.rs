@@ -26,7 +26,7 @@ use acc_bench::{mtbench, walbench};
 const HELP: &str = "\
 regenerate the paper's figures and tables
 
-usage: figures -- <subcommand> [--quick] [--strided] [--fsync] [--reanalysis]
+usage: figures -- <subcommand> [--quick] [--strided] [--fsync] [--reanalysis] [--ship]
 
 subcommands:
   fig2       paper figure 2: throughput vs multiprogramming level
@@ -40,7 +40,8 @@ subcommands:
   tables     dump the design-time interference tables
   torture    crash-torture sweep (--strided: benchmark scale;
              --fsync: fsync-boundary sweep; --reanalysis: online
-             table re-analysis with epoch switchover)
+             table re-analysis with epoch switchover; --ship:
+             WAL-shipping replication crashed at every ship boundary)
   wal        group-commit latency/throughput sweep (wall-clock)
   mtbench    multi-thread lock-manager benchmark (wall-clock)
   retry      deadlock-retry sweep (wall-clock)
@@ -62,6 +63,7 @@ fn main() {
     let strided = args.iter().any(|a| a == "--strided");
     let fsync = args.iter().any(|a| a == "--fsync");
     let reanalysis = args.iter().any(|a| a == "--reanalysis");
+    let ship = args.iter().any(|a| a == "--ship");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -110,7 +112,9 @@ fn main() {
             lockstat(&params);
         }
         "torture" => {
-            if reanalysis {
+            if ship {
+                walbench::ship_torture(quick);
+            } else if reanalysis {
                 walbench::reanalysis_torture(quick);
             } else if fsync {
                 walbench::fsync_torture(quick);

@@ -270,3 +270,34 @@ pub fn reanalysis_torture(quick: bool) {
         std::process::exit(1);
     }
 }
+
+/// The `figures -- torture --ship` smoke: WAL-shipping replication crashed
+/// at every ship boundary on both sides — leader death after a partial ship
+/// (promote the follower), follower death mid-replay (salvage + chain
+/// handshake + re-ship) — plus hostile-transport and divergence points.
+/// Exits non-zero on any violation so `scripts/check.sh` can gate on it.
+pub fn ship_torture(quick: bool) {
+    use acc_tpcc::torture::{run_ship_torture, ShipTortureConfig};
+    let cfg = if quick {
+        ShipTortureConfig::smoke(42)
+    } else {
+        ShipTortureConfig::standard(42)
+    };
+    let report = run_ship_torture(&cfg).expect("ship torture harness failed");
+    println!(
+        "ship torture: {} ship boundaries, {} points, replayed {}, \
+         compensated {}, discarded {}, {} refusals, {} resumes, {} violations",
+        report.boundaries,
+        report.points,
+        report.replayed,
+        report.compensated,
+        report.discarded,
+        report.refusals,
+        report.resumes,
+        report.violations
+    );
+    if report.violations > 0 {
+        eprintln!("{}", report.log);
+        std::process::exit(1);
+    }
+}

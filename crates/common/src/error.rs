@@ -33,6 +33,19 @@ pub enum Error {
     SchemaMismatch(String),
     /// The log is corrupt or recovery failed.
     Recovery(String),
+    /// A replica's log history disagrees with the primary's at a byte offset
+    /// both claim to have durably written. Unlike a torn ship batch (refused
+    /// and re-shipped), divergence is never self-healing: one side's history
+    /// must be discarded by an operator, so it surfaces as a typed error,
+    /// never a panic and never a silent re-ship.
+    Divergence {
+        /// Stream byte offset where the histories were compared.
+        at: u64,
+        /// The primary's chained checksum at that offset.
+        expected: u64,
+        /// The replica's chained checksum at that offset.
+        found: u64,
+    },
     /// An internal invariant was violated; always a bug.
     Internal(String),
 }
@@ -57,6 +70,15 @@ impl fmt::Display for Error {
             Error::NotFound(w) => write!(f, "not found: {w}"),
             Error::SchemaMismatch(w) => write!(f, "schema mismatch: {w}"),
             Error::Recovery(w) => write!(f, "recovery failure: {w}"),
+            Error::Divergence {
+                at,
+                expected,
+                found,
+            } => write!(
+                f,
+                "replica log diverges from primary at byte {at}: \
+                 chain {found:#018x} != primary {expected:#018x}"
+            ),
             Error::Internal(w) => write!(f, "internal error: {w}"),
         }
     }
@@ -78,6 +100,14 @@ mod tests {
         .is_transient());
         assert!(!Error::TxnAborted(TxnId(1)).is_transient());
         assert!(!Error::NotFound("x".into()).is_transient());
+        // Divergence is a permanent condition: retrying the ship cannot make
+        // two incompatible histories agree.
+        assert!(!Error::Divergence {
+            at: 512,
+            expected: 1,
+            found: 2
+        }
+        .is_transient());
     }
 
     #[test]

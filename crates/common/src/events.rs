@@ -296,6 +296,33 @@ pub enum Event {
         /// Table read.
         table: TableId,
     },
+    /// One WAL ship batch was verified and acknowledged by the follower.
+    ShipBatch {
+        /// Log records carried by this batch.
+        records: u32,
+        /// Payload bytes carried by this batch.
+        bytes: u32,
+        /// Leader records the follower still lacked *after* applying this
+        /// batch — the replication-lag backpressure signal.
+        lag: u32,
+    },
+    /// A ship send failed transiently and is being retried with backoff.
+    ShipRetry {
+        /// 1-based retry attempt.
+        attempt: u32,
+    },
+    /// The follower refused a batch (torn payload, sequence gap, or broken
+    /// chain); the shipper must resume from the last verified frame.
+    ShipRefused {
+        /// The refused batch's ship sequence number.
+        seq: u64,
+    },
+    /// The shipper rewound to the follower's verified frontier after a
+    /// refusal or a follower restart.
+    ShipResume {
+        /// Stream byte offset resumed from.
+        offset: u64,
+    },
 }
 
 /// Number of wait-histogram buckets (power-of-two microsecond buckets:
@@ -331,6 +358,13 @@ struct Counters {
     epoch_parked_admissions: AtomicU64,
     version_reads: AtomicU64,
     version_fallbacks: AtomicU64,
+    ship_batches: AtomicU64,
+    ship_records: AtomicU64,
+    ship_bytes: AtomicU64,
+    ship_retries: AtomicU64,
+    ship_refusals: AtomicU64,
+    ship_resumes: AtomicU64,
+    ship_lag_max: AtomicU64,
 }
 
 /// A point-in-time copy of the sink's counters.
@@ -390,6 +424,21 @@ pub struct CounterSnapshot {
     pub version_reads: u64,
     /// Version reads that tainted and fell back to a locked read.
     pub version_fallbacks: u64,
+    /// Ship batches verified and acknowledged by the follower.
+    pub ship_batches: u64,
+    /// Log records shipped across all acknowledged batches.
+    pub ship_records: u64,
+    /// Payload bytes shipped across all acknowledged batches.
+    pub ship_bytes: u64,
+    /// Transient ship-send retries.
+    pub ship_retries: u64,
+    /// Batches the follower refused (torn, gapped, or chain-broken).
+    pub ship_refusals: u64,
+    /// Shipper rewinds to the follower's verified frontier.
+    pub ship_resumes: u64,
+    /// Worst follower lag (leader records minus replayed) observed at any
+    /// batch acknowledgement — a high-water gauge, not a running total.
+    pub ship_lag_max: u64,
 }
 
 impl std::ops::Sub for CounterSnapshot {
@@ -440,6 +489,15 @@ impl std::ops::Sub for CounterSnapshot {
                 .saturating_sub(rhs.epoch_parked_admissions),
             version_reads: self.version_reads.saturating_sub(rhs.version_reads),
             version_fallbacks: self.version_fallbacks.saturating_sub(rhs.version_fallbacks),
+            ship_batches: self.ship_batches.saturating_sub(rhs.ship_batches),
+            ship_records: self.ship_records.saturating_sub(rhs.ship_records),
+            ship_bytes: self.ship_bytes.saturating_sub(rhs.ship_bytes),
+            ship_retries: self.ship_retries.saturating_sub(rhs.ship_retries),
+            ship_refusals: self.ship_refusals.saturating_sub(rhs.ship_refusals),
+            ship_resumes: self.ship_resumes.saturating_sub(rhs.ship_resumes),
+            // A high-water mark has no meaningful interval delta; keep the
+            // later snapshot's value.
+            ship_lag_max: self.ship_lag_max,
         }
     }
 }
@@ -635,6 +693,19 @@ impl EventSink {
             }
             Event::VersionRead { .. } => bump(&c.version_reads),
             Event::VersionFallback { .. } => bump(&c.version_fallbacks),
+            Event::ShipBatch {
+                records,
+                bytes,
+                lag,
+            } => {
+                bump(&c.ship_batches);
+                c.ship_records.fetch_add(records as u64, Ordering::Relaxed);
+                c.ship_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+                c.ship_lag_max.fetch_max(lag as u64, Ordering::Relaxed);
+            }
+            Event::ShipRetry { .. } => bump(&c.ship_retries),
+            Event::ShipRefused { .. } => bump(&c.ship_refusals),
+            Event::ShipResume { .. } => bump(&c.ship_resumes),
         }
     }
 
@@ -670,6 +741,13 @@ impl EventSink {
             epoch_parked_admissions: get(&c.epoch_parked_admissions),
             version_reads: get(&c.version_reads),
             version_fallbacks: get(&c.version_fallbacks),
+            ship_batches: get(&c.ship_batches),
+            ship_records: get(&c.ship_records),
+            ship_bytes: get(&c.ship_bytes),
+            ship_retries: get(&c.ship_retries),
+            ship_refusals: get(&c.ship_refusals),
+            ship_resumes: get(&c.ship_resumes),
+            ship_lag_max: get(&c.ship_lag_max),
         }
     }
 
@@ -735,6 +813,20 @@ impl EventSink {
                 out,
                 "version reads {} (coordination-free)  fallbacks {}",
                 c.version_reads, c.version_fallbacks
+            );
+        }
+        if c.ship_batches > 0 || c.ship_refusals > 0 {
+            let _ = writeln!(
+                out,
+                "ship batches {}: {} records, {} bytes; {} retries, {} refused, \
+                 {} resumes, max lag {} records",
+                c.ship_batches,
+                c.ship_records,
+                c.ship_bytes,
+                c.ship_retries,
+                c.ship_refusals,
+                c.ship_resumes,
+                c.ship_lag_max
             );
         }
         if c.epoch_switches > 0 {

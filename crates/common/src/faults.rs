@@ -68,6 +68,12 @@ pub enum Corruption {
         /// The write-unit size in bytes.
         sector_size: u32,
     },
+    /// Drop the last `n` bytes of a *shipped* WAL batch in transit — the
+    /// replication analogue of [`Corruption::TornTail`]: the network (or a
+    /// dying sender) delivered a prefix of the batch. Distinct from
+    /// `TornTail` so plans can say *where* the tear happened; on a byte
+    /// image the effect is the same truncation.
+    ShipTear(u32),
 }
 
 impl Corruption {
@@ -75,7 +81,7 @@ impl Corruption {
     pub fn apply(self, image: &mut Vec<u8>) {
         match self {
             Corruption::None => {}
-            Corruption::TornTail(n) => {
+            Corruption::TornTail(n) | Corruption::ShipTear(n) => {
                 let keep = image.len().saturating_sub(n as usize);
                 image.truncate(keep);
             }
@@ -114,6 +120,10 @@ pub struct FaultPlan {
     /// completes — the crash loses everything past that fsync boundary
     /// (`durable_lsn`), exactly what a real disk can lose.
     pub crash_after_fsyncs: Option<u64>,
+    /// Capture when the `n`th ship batch (1-based) is acknowledged — the
+    /// leader dies after a partial ship, and whatever the follower verified
+    /// so far is all that survives the failover.
+    pub crash_after_ships: Option<u64>,
     /// Corruption applied to whichever capture fires first.
     pub corruption: Corruption,
     /// Wake every `k`th blocked lock-wait slice spuriously (before its
@@ -146,6 +156,14 @@ impl FaultPlan {
         }
     }
 
+    /// Crash when the `n`th ship batch (1-based) is acknowledged.
+    pub fn crash_after_ships(n: u64) -> FaultPlan {
+        FaultPlan {
+            crash_after_ships: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
     /// Wake every `k`th blocked lock-wait slice spuriously.
     pub fn spurious_wakes(k: u64) -> FaultPlan {
         FaultPlan {
@@ -161,6 +179,93 @@ impl FaultPlan {
     }
 }
 
+/// What a misbehaving transport does with one send. Produced by
+/// [`ShipPlan::action`]; interpreted by the transport, not the injector —
+/// the plan only decides, deterministically, which sends misbehave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShipAction {
+    /// Deliver the batch normally.
+    Deliver,
+    /// Lose the batch entirely (the sender sees a transient failure).
+    Drop,
+    /// Deliver the batch twice back to back.
+    Duplicate,
+    /// Hold the batch back and deliver it after the next `n` sends — a
+    /// reordering delay, not a wall-clock one, so plans stay deterministic.
+    Delay(u32),
+}
+
+/// Deterministic transport-misbehavior plan, the ship-path analogue of
+/// [`FaultPlan`]: every decision is a pure function of the 1-based send
+/// ordinal, so the same plan over the same stream misbehaves identically.
+/// When several sites match one ordinal, the most destructive wins
+/// (drop > delay > duplicate): a dropped batch cannot also arrive twice.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShipPlan {
+    /// Drop every `k`th send.
+    pub drop_every: Option<u64>,
+    /// Duplicate every `k`th send.
+    pub duplicate_every: Option<u64>,
+    /// Delay every `k`th send by `n` later sends.
+    pub delay_every: Option<(u64, u32)>,
+    /// Mangle the payload of the `n`th send (1-based) with a [`Corruption`]
+    /// — typically [`Corruption::ShipTear`] — before it is delivered.
+    pub tear_at: Option<(u64, Corruption)>,
+}
+
+impl ShipPlan {
+    /// Build a plan from a seeded RNG: small periods so the three
+    /// misbehaviors interleave rather than always coinciding. Each site is
+    /// present with probability 0.7 — some seeded plans are partly clean,
+    /// which is itself a case worth covering.
+    pub fn seeded(rng: &mut crate::rng::SeededRng) -> ShipPlan {
+        let period = |rng: &mut crate::rng::SeededRng| rng.int_range(2, 7) as u64;
+        ShipPlan {
+            drop_every: rng.chance(0.7).then(|| period(rng)),
+            duplicate_every: rng.chance(0.7).then(|| period(rng)),
+            delay_every: {
+                let fires = rng.chance(0.7);
+                fires.then(|| (period(rng), rng.int_range(1, 3) as u32))
+            },
+            tear_at: None,
+        }
+    }
+
+    /// The action for the `ordinal`th send (1-based).
+    pub fn action(&self, ordinal: u64) -> ShipAction {
+        let hits = |k: Option<u64>| matches!(k, Some(k) if k > 0 && ordinal.is_multiple_of(k));
+        if hits(self.drop_every) {
+            ShipAction::Drop
+        } else if let Some((k, n)) = self.delay_every {
+            if k > 0 && ordinal.is_multiple_of(k) {
+                ShipAction::Delay(n)
+            } else if hits(self.duplicate_every) {
+                ShipAction::Duplicate
+            } else {
+                ShipAction::Deliver
+            }
+        } else if hits(self.duplicate_every) {
+            ShipAction::Duplicate
+        } else {
+            ShipAction::Deliver
+        }
+    }
+
+    /// The payload corruption for the `ordinal`th send (1-based);
+    /// [`Corruption::None`] for all but the planned tear point.
+    pub fn corruption(&self, ordinal: u64) -> Corruption {
+        match self.tear_at {
+            Some((n, c)) if n == ordinal => c,
+            _ => Corruption::None,
+        }
+    }
+
+    /// True if the plan never misbehaves — transports can skip bookkeeping.
+    pub fn is_clean(&self) -> bool {
+        *self == ShipPlan::default()
+    }
+}
+
 /// A point-in-time copy of the injector's site counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultCounters {
@@ -170,6 +275,8 @@ pub struct FaultCounters {
     pub step_boundaries: u64,
     /// WAL fsync boundaries observed.
     pub wal_fsyncs: u64,
+    /// Acknowledged ship batches observed.
+    pub ships: u64,
     /// Blocked lock-wait slices observed.
     pub lock_waits: u64,
     /// Spurious wakeups injected.
@@ -185,6 +292,7 @@ pub struct FaultInjector {
     wal_appends: AtomicU64,
     step_boundaries: AtomicU64,
     wal_fsyncs: AtomicU64,
+    ships: AtomicU64,
     lock_waits: AtomicU64,
     spurious_wakes: AtomicU64,
     image: Mutex<Option<Vec<u8>>>,
@@ -208,6 +316,7 @@ impl Default for FaultInjector {
             wal_appends: AtomicU64::new(0),
             step_boundaries: AtomicU64::new(0),
             wal_fsyncs: AtomicU64::new(0),
+            ships: AtomicU64::new(0),
             lock_waits: AtomicU64::new(0),
             spurious_wakes: AtomicU64::new(0),
             image: Mutex::new(None),
@@ -285,6 +394,20 @@ impl FaultInjector {
         }
     }
 
+    /// Site hook: one ship batch was just verified and acknowledged by the
+    /// follower. `serialize` produces the follower's verified stream as of
+    /// this acknowledgement — the only bytes that survive a leader death
+    /// here; it is only invoked if this ship is the planned crash point.
+    pub fn on_ship(&self, serialize: impl FnOnce() -> Vec<u8>) {
+        if !self.is_enabled() {
+            return;
+        }
+        let n = self.ships.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.plan.crash_after_ships == Some(n) {
+            self.capture(serialize());
+        }
+    }
+
     /// Site hook: a lock wait is about to park for one timeout slice.
     /// Returns true if this slice should wake spuriously instead of sleeping
     /// its full length.
@@ -328,6 +451,7 @@ impl FaultInjector {
             wal_appends: get(&self.wal_appends),
             step_boundaries: get(&self.step_boundaries),
             wal_fsyncs: get(&self.wal_fsyncs),
+            ships: get(&self.ships),
             lock_waits: get(&self.lock_waits),
             spurious_wakes: get(&self.spurious_wakes),
         }
@@ -446,6 +570,54 @@ mod tests {
         }
         .apply(&mut img);
         assert!(img.is_empty());
+    }
+
+    #[test]
+    fn crash_after_ships_fires_on_the_nth_ack() {
+        let f = FaultInjector::with_plan(FaultPlan::crash_after_ships(2));
+        for i in 1..=3u8 {
+            f.on_ship(|| vec![i; i as usize]);
+        }
+        assert_eq!(f.captured_image(), Some(vec![2, 2]));
+        assert_eq!(f.counters().ships, 3);
+    }
+
+    #[test]
+    fn ship_tear_truncates_like_a_torn_tail() {
+        let mut img = vec![1u8, 2, 3, 4, 5];
+        Corruption::ShipTear(2).apply(&mut img);
+        assert_eq!(img, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ship_plan_actions_are_deterministic_and_prioritised() {
+        let plan = ShipPlan {
+            drop_every: Some(6),
+            duplicate_every: Some(2),
+            delay_every: Some((3, 1)),
+            tear_at: Some((5, Corruption::ShipTear(7))),
+        };
+        // Ordinal 6 hits all three periods: drop wins. Ordinal 3 hits
+        // delay+duplicate: delay wins. Ordinal 2 duplicates, 1 delivers.
+        assert_eq!(plan.action(6), ShipAction::Drop);
+        assert_eq!(plan.action(3), ShipAction::Delay(1));
+        assert_eq!(plan.action(2), ShipAction::Duplicate);
+        assert_eq!(plan.action(1), ShipAction::Deliver);
+        assert_eq!(plan.corruption(5), Corruption::ShipTear(7));
+        assert_eq!(plan.corruption(4), Corruption::None);
+        assert!(!plan.is_clean());
+        assert!(ShipPlan::default().is_clean());
+        // Same ordinal, same answer, forever.
+        for i in 1..50 {
+            assert_eq!(plan.action(i), plan.action(i));
+        }
+    }
+
+    #[test]
+    fn seeded_ship_plans_are_reproducible() {
+        let a = ShipPlan::seeded(&mut crate::rng::SeededRng::new(99));
+        let b = ShipPlan::seeded(&mut crate::rng::SeededRng::new(99));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! WAL-shipping replication for the assertional concurrency control engine.
+//!
+//! The paper's engine (§2) journals every transaction step through a single
+//! write-ahead log; this crate turns that log into a replication stream. A
+//! leader-side [`Shipper`] cuts frame-aligned batches from the *durable*
+//! prefix of the record stream — never past `durable_lsn`, because staged
+//! bytes can rewind on a leader crash — and a [`Follower`] verifies each
+//! batch against the cumulative FNV-1a sector chain before persisting it to
+//! its own log device and replaying it through the existing recovery path
+//! into its own database image.
+//!
+//! Three properties fall out of keying verification on `(offset, chain)`
+//! rather than on transport sequencing:
+//!
+//! - **Torn, reordered, and duplicated ships are harmless.** A batch that is
+//!   not a whole number of record frames, or that does not start exactly at
+//!   the follower's verified frontier, or whose chain does not match the
+//!   follower's own bytes plus the payload, is refused with the frontier
+//!   unchanged. Re-shipping is idempotent.
+//! - **Divergence is a typed error, not a panic.** On resume, the leader
+//!   recomputes the chain at the follower's claimed offset; a mismatch is
+//!   [`acc_common::Error::Divergence`] — the histories are incompatible and
+//!   no retry reconciles them.
+//! - **Failover is just recovery on another machine.** Promoting a follower
+//!   ([`Follower::promote`]) runs the same recovery + §3.4 compensation
+//!   pipeline over the salvaged verified prefix that a restarted leader
+//!   would run over its own disk.
+//!
+//! Transports are pluggable ([`ShipTransport`]): the default
+//! [`MemTransport`] is a deterministic in-process channel whose misbehavior
+//! (drop/duplicate/delay/tear) is scripted by an
+//! [`acc_common::faults::ShipPlan`]; a loopback-TCP transport is available
+//! behind the `tcp` feature for benches. The [`Replicator`] pump drives the
+//! whole loop with bounded full-jitter retry and emits
+//! [`acc_common::events::Event`] ship counters for lag backpressure.
+
+pub mod follower;
+pub mod pump;
+pub mod ship;
+pub mod transport;
+
+pub use follower::{Applied, Follower, Promoted, Refusal, ResumePoint};
+pub use pump::{PumpStats, Replicator};
+pub use ship::{count_frames, frame_prefix, stream_chain, ShipBatch, Shipper};
+pub use transport::{MemTransport, ShipTransport};
+
+#[cfg(any(test, feature = "tcp"))]
+pub use transport::tcp::TcpTransport;

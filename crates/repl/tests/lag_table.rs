@@ -1,0 +1,152 @@
+//! The follower-lag / catch-up table behind EXPERIMENTS.md §Replication.
+//!
+//! Wall-clock is meaningless on a 1-core CI host, so every quantity here is
+//! a deterministic count: ship batches, pump rounds (resumes included), and
+//! the `ship_lag_max` high-water gauge (leader records the follower still
+//! lacked at the worst moment). Regenerate the table with:
+//!
+//! ```text
+//! cargo test -p acc-repl --test lag_table -- --nocapture
+//! ```
+//!
+//! The stream is synthetic (fixed-size record frames) so the table isolates
+//! ship mechanics — batch size and transport delay — from workload shape.
+
+use acc_common::events::EventSink;
+use acc_common::faults::ShipPlan;
+use acc_repl::{Follower, MemTransport, Replicator};
+use acc_storage::{Catalog, Database};
+use acc_wal::MemDevice;
+use std::sync::Arc;
+
+/// One synthetic record frame: 12-byte header + 120 payload bytes (about
+/// the mean frame size of the seeded TPC-C mix).
+const FRAME_PAYLOAD: usize = 120;
+const FRAME: usize = 12 + FRAME_PAYLOAD;
+
+fn stream(frames: usize) -> Vec<u8> {
+    let mut s = Vec::with_capacity(frames * FRAME);
+    for i in 0..frames {
+        let mut f = vec![0u8; FRAME];
+        f[..4].copy_from_slice(&(FRAME_PAYLOAD as u32).to_le_bytes());
+        f[12..].fill(i as u8);
+        s.extend(f);
+    }
+    s
+}
+
+fn follower() -> Follower {
+    Follower::new(Database::new(&Catalog::new()), Box::new(MemDevice::new()))
+}
+
+struct Cell {
+    batches: u64,
+    resumes: u64,
+    max_lag: u64,
+}
+
+fn replicate(frames: usize, batch_bytes: usize, plan: ShipPlan) -> Cell {
+    let durable = stream(frames);
+    let sink = EventSink::enabled(16);
+    let mut rep = Replicator::new(MemTransport::with_plan(plan), batch_bytes, 42)
+        .with_events(Arc::clone(&sink));
+    let mut f = follower();
+    rep.pump(&mut f, &durable, frames as u64).expect("pump");
+    assert_eq!(f.stream(), &durable[..], "lag cell diverged");
+    Cell {
+        batches: sink.counters().ship_batches,
+        resumes: sink.counters().ship_resumes,
+        max_lag: sink.counters().ship_lag_max,
+    }
+}
+
+#[test]
+fn lag_table() {
+    const FRAMES: usize = 1000;
+    let delays: [(&str, ShipPlan); 3] = [
+        ("none", ShipPlan::default()),
+        (
+            "1-in-3 by 2",
+            ShipPlan {
+                delay_every: Some((3, 2)),
+                ..Default::default()
+            },
+        ),
+        (
+            "1-in-2 by 3",
+            ShipPlan {
+                delay_every: Some((2, 3)),
+                ..Default::default()
+            },
+        ),
+    ];
+    println!("\nreplay lag over a {FRAMES}-record stream (counts, not wall-clock):");
+    println!(
+        "{:>12} {:>13} {:>9} {:>9} {:>9}",
+        "batch bytes", "delay plan", "batches", "resumes", "max lag"
+    );
+    for &batch in &[256usize, 1024, 4096, 16384] {
+        for (label, plan) in &delays {
+            let c = replicate(FRAMES, batch, *plan);
+            println!(
+                "{batch:>12} {label:>13} {:>9} {:>9} {:>9}",
+                c.batches, c.resumes, c.max_lag
+            );
+            // Sanity pins so the published table can't silently rot: a
+            // clean transport needs exactly ceil(stream/batch-aligned)
+            // ships and its worst lag is everything minus the first batch.
+            if plan.is_clean() {
+                let per = (batch / FRAME).max(1) as u64;
+                let expect = (FRAMES as u64).div_ceil(per);
+                assert_eq!(c.batches, expect, "batch={batch}");
+                assert_eq!(c.max_lag, FRAMES as u64 - per.min(FRAMES as u64));
+                assert_eq!(c.resumes, 0);
+            } else {
+                assert!(c.resumes > 0, "delay plan never forced a resume");
+            }
+        }
+    }
+}
+
+#[test]
+fn partition_catch_up() {
+    const FRAMES: usize = 1500;
+    const PARTITION_AT: usize = 500;
+    let durable = stream(FRAMES);
+    println!("\ncatch-up after a 1000-record partition (follower at {PARTITION_AT}):");
+    println!(
+        "{:>12} {:>11} {:>15} {:>15}",
+        "batch bytes", "lag at heal", "batches to heal", "resumes"
+    );
+    for &batch in &[1024usize, 4096, 16384] {
+        let sink = EventSink::enabled(16);
+        let mut rep =
+            Replicator::new(MemTransport::new(), batch, 42).with_events(Arc::clone(&sink));
+        let mut f = follower();
+        // Replicate the pre-partition prefix, then the link dies while the
+        // leader commits another 1000 records.
+        rep.pump(
+            &mut f,
+            &durable[..PARTITION_AT * FRAME],
+            PARTITION_AT as u64,
+        )
+        .expect("pre-partition pump");
+        let before = sink.counters().ship_batches;
+        let lag_at_heal = (FRAMES - PARTITION_AT) as u64;
+        // Heal: one pump drains the backlog.
+        rep.pump(&mut f, &durable, FRAMES as u64)
+            .expect("catch-up pump");
+        let c = sink.counters();
+        assert_eq!(f.replay_lsn(), FRAMES as u64, "never caught up");
+        println!(
+            "{batch:>12} {lag_at_heal:>11} {:>15} {:>15}",
+            c.ship_batches - before,
+            c.ship_resumes
+        );
+        let per = (batch / FRAME).max(1) as u64;
+        assert_eq!(c.ship_batches - before, lag_at_heal.div_ceil(per));
+        assert_eq!(c.ship_resumes, 0);
+        // Worst lag is right after the first post-heal batch lands.
+        assert_eq!(c.ship_lag_max, lag_at_heal - per, "high-water lag");
+    }
+}

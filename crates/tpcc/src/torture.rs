@@ -31,9 +31,12 @@ use crate::decompose::{TableEdit, TpccSystem};
 use crate::schema::Scale;
 use crate::{consistency, input, recovery, txns};
 use acc_common::events::{Event, EventSink};
-use acc_common::faults::{BoundaryEdge, Corruption, FaultInjector, FaultPlan};
+use acc_common::faults::{BoundaryEdge, Corruption, FaultInjector, FaultPlan, ShipPlan};
 use acc_common::{CounterSnapshot, Error, Result, SeededRng};
 use acc_lockmgr::{InstallOutcome, SharedOracle};
+use acc_repl::{
+    stream_chain, Applied, Follower, MemTransport, Refusal, Replicator, ShipBatch, Shipper,
+};
 use acc_storage::Database;
 use acc_txn::runner::run;
 use acc_txn::{SharedDb, WaitMode};
@@ -1351,6 +1354,430 @@ pub fn run_reanalysis_torture(cfg: &ReanalysisTortureConfig) -> Result<Reanalysi
         rejected_records,
         violations,
         mixed_epoch_lookups: mixed,
+        log,
+        counters: sink.counters(),
+    })
+}
+
+// ======================================================================
+// WAL-shipping torture: crash every ship boundary on both sides.
+// ======================================================================
+
+/// Sizing of a WAL-shipping torture run. The crash sweeps above kill one
+/// machine; this one tortures a *pair*: a leader shipping its durable WAL
+/// prefix and a follower verifying, persisting and replaying it. Every ship
+/// boundary is crashed on both sides — leader death after a partial ship
+/// (promote the follower's verified prefix), follower death mid-replay
+/// (salvage, chain-handshake, re-ship) — plus hostile-transport and
+/// divergence points. Everything is derived from `seed`; two runs with an
+/// equal config produce byte-identical outcome logs.
+#[derive(Debug, Clone, Copy)]
+pub struct ShipTortureConfig {
+    /// Master seed for population, inputs and plan sampling.
+    pub seed: u64,
+    /// Database scale the mix runs against.
+    pub scale: Scale,
+    /// Transactions in the TPC-C mix.
+    pub txns: usize,
+    /// Group-commit batch threshold (records); small values put fsync —
+    /// and therefore ship — boundaries mid-transaction.
+    pub max_batch: usize,
+    /// Ship batch size target in bytes. Small enough to yield many ship
+    /// boundaries per workload.
+    pub ship_batch: usize,
+    /// Seeded drop/duplicate/delay transport plans to converge under.
+    pub plan_samples: usize,
+    /// Live `crash_after_ships` pumps cross-validating the injector
+    /// against the boundary sweep.
+    pub injector_samples: usize,
+}
+
+impl ShipTortureConfig {
+    /// The full sweep used by `figures -- torture --ship` and the torture
+    /// tests: every ship boundary on both sides.
+    pub fn standard(seed: u64) -> ShipTortureConfig {
+        ShipTortureConfig {
+            seed,
+            scale: Scale::test(),
+            txns: 16,
+            max_batch: 4,
+            ship_batch: 300,
+            plan_samples: 4,
+            injector_samples: 3,
+        }
+    }
+
+    /// A bounded smoke run for the PR gate in `scripts/check.sh`.
+    pub fn smoke(seed: u64) -> ShipTortureConfig {
+        ShipTortureConfig {
+            seed,
+            scale: Scale::test(),
+            txns: 8,
+            max_batch: 6,
+            ship_batch: 500,
+            plan_samples: 2,
+            injector_samples: 2,
+        }
+    }
+}
+
+/// Aggregate outcome of a WAL-shipping torture run.
+#[derive(Debug)]
+pub struct ShipTortureReport {
+    /// Ship boundaries in the baseline replication (crash points per side).
+    pub boundaries: usize,
+    /// Crash/refusal/divergence points exercised.
+    pub points: usize,
+    /// Transactions fully replayed across all promotion points.
+    pub replayed: u64,
+    /// In-flight transactions compensated across all promotion points.
+    pub compensated: u64,
+    /// In-flight transactions discarded across all promotion points.
+    pub discarded: u64,
+    /// Torn/corrupt records rejected past the clean prefix, summed.
+    pub rejected_records: u64,
+    /// Consistency violations across all points (must be 0).
+    pub violations: usize,
+    /// Batches the follower refused across all hostile points (> 0 — the
+    /// sweep is not a sweep if nothing was ever refused).
+    pub refusals: u64,
+    /// Shipper rewinds to the follower's verified frontier.
+    pub resumes: u64,
+    /// One line per point; byte-identical across same-seed runs.
+    pub log: String,
+    /// Counter snapshot of the harness's event sink (includes the `ship_*`
+    /// family fed by the replication pump).
+    pub counters: CounterSnapshot,
+}
+
+/// Run the seeded mix on a mem device under a small-batch group-commit
+/// policy, force-sync the tail, and return the durable record stream and
+/// its record count — the only bytes a leader is ever allowed to ship.
+fn run_ship_workload(cfg: &ShipTortureConfig, sys: &TpccSystem) -> Result<(Vec<u8>, u64)> {
+    let scale = cfg.scale;
+    let policy = GroupCommitPolicy::fixed(std::time::Duration::ZERO, cfg.max_batch);
+    let shared = SharedDb::new(fresh_base(&scale, cfg.seed), Arc::clone(&sys.tables) as _)
+        .with_wal_backend(Box::new(MemDevice::new()), policy);
+    let gen = input::InputGen::new(input::TpccConfig::standard(scale), cfg.seed);
+    let mut rng = SeededRng::new(cfg.seed ^ 0x746f_7274); // "tort" — same mix as run_workload
+    for _ in 0..cfg.txns {
+        let mut program = txns::program_for(gen.next_input(&mut rng), scale.districts);
+        run(&shared, &*sys.acc, program.as_mut(), WaitMode::Block)?;
+    }
+    let len = shared.wal_len();
+    if len > 0 {
+        shared.sync_wal(Lsn(len as u64 - 1))?;
+    }
+    Ok((shared.wal_durable_stream(), shared.durable_wal_records()))
+}
+
+/// A follower standing at exactly `prefix` of the leader's stream, built by
+/// verifying it as one giant batch (chain-checked like any ship).
+fn follower_at(base: &Database, durable: &[u8], prefix: usize, records: u64) -> Result<Follower> {
+    let mut f = Follower::new(base.clone(), Box::new(MemDevice::new()));
+    if prefix > 0 {
+        let batch = ShipBatch {
+            seq: 0,
+            start: 0,
+            payload: durable[..prefix].to_vec(),
+            chain: stream_chain(&durable[..prefix]),
+        };
+        match f.apply(&batch) {
+            Applied::Accepted { records: got } if got == records => {}
+            other => {
+                return Err(Error::Internal(format!(
+                    "bootstrap ship of {prefix}B refused: {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(f)
+}
+
+/// Run the WAL-shipping torture sweep. Phases:
+///
+/// 1. baseline — replicate the whole durable stream batch-by-batch over a
+///    clean transport, recording every ship boundary; the follower's bytes,
+///    replay frontier and replayed image must match the leader exactly, and
+///    the shipped frontier must clamp the leader's prune watermark;
+/// 2. leader crash after every partial ship — promote the follower's
+///    verified prefix: recover, resume compensation, audit §3.3.2
+///    consistency, lock cleanliness and no-silent-loss accounting;
+/// 3. injector cross-validation — a live pump with `crash_after_ships(j)`
+///    armed must capture exactly the follower stream at boundary `j`;
+/// 4. hostile transport at every boundary — a torn re-ship, a gapped batch
+///    and a chain-corrupt batch are each refused with the frontier
+///    unchanged, then the genuine batch is accepted;
+/// 5. follower crash at every boundary — the follower dies (a torn local
+///    write in flight), resumes from its own device, chain-handshakes with
+///    the leader, and the remainder re-ships to byte equality;
+/// 6. divergence — a follower whose salvaged tail was forged must be
+///    refused at handshake with a typed [`Error::Divergence`], never
+///    silently re-shipped over;
+/// 7. seeded hostile plans — drop/duplicate/delay/tear plans over the full
+///    stream still converge to byte equality.
+pub fn run_ship_torture(cfg: &ShipTortureConfig) -> Result<ShipTortureReport> {
+    let sys = TpccSystem::build();
+    let base = fresh_base(&cfg.scale, cfg.seed);
+    let sink = EventSink::enabled(64);
+    let mut log = String::new();
+    let mut points = 0usize;
+    let mut stats_sum = (0u64, 0u64, 0u64, 0u64);
+    let mut violations = 0usize;
+    let mut refusals = 0u64;
+    let mut resumes = 0u64;
+
+    // ---- phase 1: baseline replication, boundary enumeration ---------------
+    let (durable, records) = run_ship_workload(cfg, &sys)?;
+    let offsets = record_offsets(&durable);
+    if offsets.last().copied().unwrap_or(0) != durable.len() {
+        return Err(Error::Internal(
+            "durable stream does not end on a frame boundary".into(),
+        ));
+    }
+    // Ship batch-by-batch with the raw shipper so every boundary is
+    // observable: boundaries[k] = (byte offset, record count) after k+1
+    // accepted ships.
+    let mut shipper = Shipper::new(cfg.ship_batch);
+    let mut follower = Follower::new(base.clone(), Box::new(MemDevice::new()));
+    let mut boundaries: Vec<(usize, u64)> = Vec::new();
+    while let Some(batch) = shipper.next_batch(&durable) {
+        match follower.apply(&batch) {
+            Applied::Accepted { .. } => {
+                let p = follower.resume_point();
+                shipper.ack_to(p.offset, p.records);
+                boundaries.push((p.offset as usize, p.records));
+            }
+            other => {
+                return Err(Error::Internal(format!(
+                    "clean baseline ship refused at seq {}: {other:?}",
+                    batch.seq
+                )))
+            }
+        }
+    }
+    let n = boundaries.len();
+    if follower.stream() != durable {
+        return Err(Error::Internal("baseline follower bytes diverged".into()));
+    }
+    if follower.replay_lsn() != records {
+        return Err(Error::Internal(format!(
+            "baseline replay frontier {} != durable records {records}",
+            follower.replay_lsn()
+        )));
+    }
+    let follower_violations = consistency::check(&follower.snapshot()?, false).len();
+    violations += follower_violations;
+    let _ = writeln!(
+        log,
+        "baseline: seed={} txns={} records={} stream={}B ship_batch={} boundaries={} \
+         follower_violations={follower_violations}",
+        cfg.seed,
+        cfg.txns,
+        records,
+        durable.len(),
+        cfg.ship_batch,
+        n
+    );
+    // The shipped frontier clamps the leader's prune watermark (replication
+    // lag must never let the leader prune versions a follower read needs).
+    {
+        let shared = SharedDb::new(base.clone(), Arc::clone(&sys.tables) as _);
+        shared.set_shipped_frontier(boundaries[n / 2].1);
+        let w = shared.version_watermark();
+        if w > boundaries[n / 2].1.checked_sub(1) {
+            return Err(Error::Internal(format!(
+                "prune watermark {w:?} ignores shipped frontier {}",
+                boundaries[n / 2].1
+            )));
+        }
+    }
+
+    // ---- phase 2: leader crash after every partial ship → promote ----------
+    for (k, &(off, recs)) in boundaries.iter().enumerate() {
+        let stats = crash_and_recover(&base, &sys, &durable[..off])?;
+        if stats.decoded as u64 != recs {
+            return Err(Error::Internal(format!(
+                "promote k={}: {} records decoded, boundary holds {recs}",
+                k + 1,
+                stats.decoded
+            )));
+        }
+        points += 1;
+        violations += stats.violations;
+        stats_sum.0 += stats.replayed as u64;
+        stats_sum.1 += stats.compensated as u64;
+        stats_sum.2 += stats.discarded as u64;
+        emit_point(&sink, &mut log, &format!("promote k={}", k + 1), &stats, 0);
+    }
+
+    // ---- phase 3: injector cross-validation --------------------------------
+    let mut rng = SeededRng::new(cfg.seed ^ 0x7368_6970); // "ship"
+    for _ in 0..cfg.injector_samples {
+        let j = rng.int_range(1, n as i64) as u64;
+        let injector = FaultInjector::with_plan(FaultPlan::crash_after_ships(j));
+        let mut rep = Replicator::new(MemTransport::new(), cfg.ship_batch, cfg.seed)
+            .with_faults(Arc::clone(&injector));
+        let mut f = Follower::new(base.clone(), Box::new(MemDevice::new()));
+        rep.pump(&mut f, &durable, records)?;
+        let captured = injector
+            .captured_image()
+            .ok_or_else(|| Error::Internal(format!("crash_after_ships({j}) never fired")))?;
+        let expect = &durable[..boundaries[j as usize - 1].0];
+        if captured != expect {
+            return Err(Error::Internal(format!(
+                "injector at ship {j}: captured {}B, boundary sweep cut {}B",
+                captured.len(),
+                expect.len()
+            )));
+        }
+        points += 1;
+        let _ = writeln!(log, "injector j={j}: captured={}B ok", captured.len());
+    }
+
+    // ---- phase 4: hostile transport at every boundary ----------------------
+    for (k, &(off, recs)) in boundaries.iter().enumerate() {
+        // Stand a follower at the *previous* boundary and attack the ship
+        // that would carry it to this one.
+        let (prev_off, prev_recs) = if k == 0 { (0, 0) } else { boundaries[k - 1] };
+        let mut f = follower_at(&base, &durable, prev_off, prev_recs)?;
+        let genuine = ShipBatch {
+            seq: 0,
+            start: prev_off as u64,
+            payload: durable[prev_off..off].to_vec(),
+            chain: stream_chain(&durable[..off]),
+        };
+        // (a) torn mid-frame in transit;
+        let mut torn = genuine.clone();
+        torn.payload.truncate(torn.payload.len() - 1);
+        let torn_refused = matches!(f.apply(&torn), Applied::Refused(Refusal::TornFrame));
+        // (b) a gap (first frame lost);
+        let skip = record_offsets(&genuine.payload)[0];
+        let gapped = ShipBatch {
+            seq: 1,
+            start: (prev_off + skip) as u64,
+            payload: genuine.payload[skip..].to_vec(),
+            chain: genuine.chain,
+        };
+        let gap_refused = matches!(f.apply(&gapped), Applied::Refused(Refusal::Gap { .. }));
+        // (c) a flipped chain (corruption or foreign history).
+        let mut forged = genuine.clone();
+        forged.chain ^= 1;
+        let chain_refused = matches!(f.apply(&forged), Applied::Refused(Refusal::Chain { .. }));
+        let frontier_held = f.resume_point().offset == prev_off as u64;
+        // The genuine re-ship must then land.
+        let accepted =
+            matches!(f.apply(&genuine), Applied::Accepted { records: r } if r == recs - prev_recs);
+        if !(torn_refused && gap_refused && chain_refused && frontier_held && accepted) {
+            violations += 1;
+        }
+        refusals += 3;
+        points += 1;
+        let _ = writeln!(
+            log,
+            "hostile k={}: torn={} gap={} chain={} frontier_held={} reship_ok={}",
+            k + 1,
+            torn_refused,
+            gap_refused,
+            chain_refused,
+            frontier_held,
+            accepted
+        );
+    }
+
+    // ---- phase 5: follower crash at every boundary → resume + re-ship ------
+    for (k, &(off, recs)) in boundaries.iter().enumerate() {
+        let f = follower_at(&base, &durable, off, recs)?;
+        // Crash: memory dies; a torn local write may be in flight.
+        let mut dev = f.into_device();
+        let torn = (cfg.seed as usize + k) % 11 + 1;
+        dev.stage(&vec![0xEE; torn]);
+        let _ = dev.sync();
+        let mut f = Follower::resume(base.clone(), dev);
+        let salvage_ok = f.replay_lsn() == recs;
+        let point = f.resume_point();
+        let mut rep = Replicator::new(MemTransport::new(), cfg.ship_batch, cfg.seed ^ k as u64)
+            .with_events(Arc::clone(&sink));
+        rep.resume(&durable, point)?;
+        let stats = rep.pump(&mut f, &durable, records)?;
+        resumes += 1 + stats.resumes; // the handshake plus any pump rewinds
+        let caught_up = f.stream() == durable && f.replay_lsn() == records;
+        if !(salvage_ok && caught_up) {
+            violations += 1;
+        }
+        points += 1;
+        let _ = writeln!(
+            log,
+            "follower-crash k={}: torn_tail={torn}B salvage_ok={salvage_ok} reshipped={} caught_up={caught_up}",
+            k + 1,
+            stats.records
+        );
+    }
+
+    // ---- phase 6: divergence is refused, typed ------------------------------
+    {
+        let mid = boundaries[n / 2];
+        let f = follower_at(&base, &durable, mid.0, mid.1)?;
+        let mut dev = f.into_device();
+        // Forge a whole (framed) record the leader never wrote, so salvage
+        // keeps it and the handshake must catch it.
+        let mut fake = vec![0u8; 13];
+        fake[..4].copy_from_slice(&1u32.to_le_bytes());
+        dev.stage(&fake);
+        dev.sync()
+            .map_err(|e| Error::Internal(format!("divergence staging: {e}")))?;
+        let f = Follower::resume(base.clone(), dev);
+        let mut rep = Replicator::new(MemTransport::new(), cfg.ship_batch, cfg.seed);
+        let diverged = matches!(
+            rep.resume(&durable, f.resume_point()),
+            Err(Error::Divergence { .. })
+        );
+        if !diverged {
+            violations += 1;
+        }
+        points += 1;
+        let _ = writeln!(log, "divergence: forged_tail=13B typed_refusal={diverged}");
+    }
+
+    // ---- phase 7: seeded hostile plans over the full stream -----------------
+    for i in 0..cfg.plan_samples {
+        let plan = ShipPlan::seeded(&mut rng);
+        let batch = rng.int_range(120, 700) as usize;
+        let mut rep = Replicator::new(MemTransport::with_plan(plan), batch, cfg.seed ^ i as u64)
+            .with_events(Arc::clone(&sink));
+        let mut f = Follower::new(base.clone(), Box::new(MemDevice::new()));
+        let stats = rep.pump(&mut f, &durable, records)?;
+        let converged = f.stream() == durable && f.replay_lsn() == records;
+        if !converged {
+            violations += 1;
+        }
+        refusals += stats.refusals;
+        resumes += stats.resumes;
+        points += 1;
+        let _ = writeln!(
+            log,
+            "plan i={i}: {plan:?} batch={batch} refused={} resumed={} converged={converged}",
+            stats.refusals, stats.resumes
+        );
+    }
+
+    let (replayed, compensated, discarded, rejected_records) = stats_sum;
+    let _ = writeln!(
+        log,
+        "total: boundaries={n} points={points} replayed={replayed} compensated={compensated} \
+         discarded={discarded} rejected={rejected_records} violations={violations} \
+         refused={refusals} resumes={resumes}"
+    );
+    Ok(ShipTortureReport {
+        boundaries: n,
+        points,
+        replayed,
+        compensated,
+        discarded,
+        rejected_records,
+        violations,
+        refusals,
+        resumes,
         log,
         counters: sink.counters(),
     })

@@ -181,3 +181,64 @@ fn reanalysis_sweep_same_seed_is_byte_identical() {
         a.log
     );
 }
+
+#[test]
+fn ship_sweep_crashes_every_boundary_on_both_sides() {
+    use acc_tpcc::torture::{run_ship_torture, ShipTortureConfig};
+    let report = run_ship_torture(&ShipTortureConfig::standard(42)).expect("ship torture failed");
+    assert_eq!(
+        report.violations, 0,
+        "replication violated consistency or byte equality:\n{}",
+        report.log
+    );
+    assert!(
+        report.boundaries >= 4,
+        "only {} ship boundaries — the batch target never split the stream\n{}",
+        report.boundaries,
+        report.log
+    );
+    // Both sides crashed at every boundary, plus hostile/divergence/plan
+    // points: the sweep is wider than three passes over the boundaries.
+    assert!(
+        report.points > 3 * report.boundaries,
+        "points={} boundaries={}\n{}",
+        report.points,
+        report.boundaries,
+        report.log
+    );
+    // Promotion exercised all three §3.4 outcome classes.
+    assert!(report.replayed > 0, "no promotion replayed anything");
+    assert!(
+        report.compensated > 0,
+        "no ship boundary landed mid-transaction — promotion never compensated:\n{}",
+        report.log
+    );
+    assert!(
+        report.discarded > 0,
+        "no promotion caught a step-less in-flight transaction:\n{}",
+        report.log
+    );
+    // The hostile phases actually refused and re-shipped.
+    assert!(
+        report.refusals > 0,
+        "nothing was ever refused:\n{}",
+        report.log
+    );
+    assert!(report.resumes > 0, "nothing ever resumed:\n{}", report.log);
+    // One RecoveryOutcome per promotion point, and ship counters flowed.
+    assert_eq!(report.counters.recoveries, report.boundaries as u64);
+    assert!(report.counters.ship_batches > 0);
+    assert!(report.counters.ship_resumes > 0);
+}
+
+#[test]
+fn ship_sweep_same_seed_is_byte_identical() {
+    use acc_tpcc::torture::{run_ship_torture, ShipTortureConfig};
+    let a = run_ship_torture(&ShipTortureConfig::smoke(7)).expect("ship torture failed");
+    let b = run_ship_torture(&ShipTortureConfig::smoke(7)).expect("ship torture failed");
+    assert_eq!(
+        a.log, b.log,
+        "two same-seed ship torture runs diverged — determinism is broken"
+    );
+    assert_eq!(a.violations, 0, "{}", a.log);
+}

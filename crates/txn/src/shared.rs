@@ -84,6 +84,11 @@ pub struct SharedDb {
     /// rewrite rather than a visibility event.
     committing: Mutex<HashMap<TxnId, u64>>,
     next_txn: AtomicU64,
+    /// Replication shipped frontier: leader log records verified and
+    /// acknowledged by a follower, updated by the shipper at each batch ack.
+    /// `u64::MAX` is the unconfigured sentinel (no replication → the
+    /// watermark ignores it); once set it only moves forward.
+    shipped: AtomicU64,
     /// The epoch-versioned interference tables. Decomposed transactions pin
     /// an epoch at first-step admission and use the pinned snapshot for
     /// every lookup; unpinned callers (2PL legacy, tests) resolve the
@@ -119,6 +124,7 @@ impl SharedDb {
             active: Mutex::new(HashMap::new()),
             committing: Mutex::new(HashMap::new()),
             next_txn: AtomicU64::new(1),
+            shipped: AtomicU64::new(u64::MAX),
             registry: Arc::new(InterferenceRegistry::new(oracle)),
             boundaries: AtomicU64::new(0),
             boundary_hook: Mutex::new(None),
@@ -483,7 +489,7 @@ impl SharedDb {
     /// `lsn <= watermark` can be visible to every live and future view, so
     /// an all-visible chain *prefix* below it is droppable.
     ///
-    /// Two clamps, both load-bearing:
+    /// Three clamps, all load-bearing:
     ///
     /// * the minimum *read view* of any in-flight transaction — a live view
     ///   older than an entry's commit LSN must still be able to unwind
@@ -492,7 +498,13 @@ impl SharedDb {
     ///   commit LSNs are allocated at append time, but group commit can
     ///   leave them non-durable past an fsync boundary; pruning history for
     ///   a commit whose record a crash could still erase would leave the
-    ///   surviving (durable) prefix without the images it implies.
+    ///   surviving (durable) prefix without the images it implies;
+    /// * the replication *shipped* frontier, when one is configured
+    ///   ([`SharedDb::set_shipped_frontier`]) — a follower that restarts
+    ///   resumes from its last verified record and serves version reads at
+    ///   its replay frontier; pruning history the follower has not verified
+    ///   yet would let a promotion land on an image whose chains the leader
+    ///   already dropped.
     ///
     /// The frontier is read inside the `active` critical section, mirroring
     /// the view minting in [`SharedDb::begin_txn`]: either a minting begin
@@ -504,9 +516,30 @@ impl SharedDb {
     /// `None` means nothing is durable yet, so nothing may be pruned.
     pub fn version_watermark(&self) -> Option<u64> {
         let active = self.active.lock().expect("active map not poisoned");
-        let dur_cap = self.durable_wal_records().checked_sub(1)?;
+        let mut cap = self.durable_wal_records().checked_sub(1)?;
+        if let Some(shipped) = self.shipped_frontier() {
+            // Nothing verified at the follower yet → nothing prunable.
+            cap = cap.min(shipped.checked_sub(1)?);
+        }
         let min_view = active.values().copied().min();
-        Some(min_view.map_or(dur_cap, |m| m.min(dur_cap)))
+        Some(min_view.map_or(cap, |m| m.min(cap)))
+    }
+
+    /// Record the replication shipped frontier: `records` leader log records
+    /// are now verified at a follower. Monotonic — a late or duplicate ack
+    /// can never pull the frontier (and with it the prune watermark) back.
+    pub fn set_shipped_frontier(&self, records: u64) {
+        let _ = self
+            .shipped
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                (cur == u64::MAX || records > cur).then_some(records)
+            });
+    }
+
+    /// The shipped frontier, or `None` when no replication is configured.
+    pub fn shipped_frontier(&self) -> Option<u64> {
+        let v = self.shipped.load(Ordering::Relaxed);
+        (v != u64::MAX).then_some(v)
     }
 
     /// True if some other transaction doomed this one (it is delaying a

@@ -273,3 +273,50 @@ fn prune_watermark_clamps_to_the_durable_frontier() {
     assert_eq!(visible, Some(1), "committed bump lost below the clamp");
     s.deregister_active(tid);
 }
+
+/// With replication configured, the watermark must also clamp to the
+/// *shipped* frontier (`min(active views, durable, shipped)`): a follower
+/// that restarts resumes from its last verified record, and pruning history
+/// it has not verified yet would hand a promotion an image whose version
+/// chains the leader already dropped. Pins the clamp and its sentinel
+/// behavior in `SharedDb::version_watermark`.
+#[test]
+fn prune_watermark_clamps_to_the_shipped_frontier() {
+    let policy = GroupCommitPolicy::fixed(Duration::from_millis(5), 1 << 20);
+    let s = shared_with(Box::new(acc_wal::MemDevice::new()), policy);
+    for id in 0..3 {
+        bump(&s, id).expect("commit failed");
+    }
+    let durable = s.durable_wal_records();
+    // No replication configured: the sentinel leaves the watermark on the
+    // durable frontier alone.
+    assert_eq!(s.shipped_frontier(), None);
+    assert_eq!(s.version_watermark(), Some(durable - 1));
+
+    // A follower has verified only 2 records: the watermark drops to the
+    // shipped frontier, below durable.
+    s.set_shipped_frontier(2);
+    assert_eq!(s.shipped_frontier(), Some(2));
+    assert_eq!(s.version_watermark(), Some(1));
+
+    // The frontier is monotonic: a duplicate/late ack cannot pull the
+    // watermark back...
+    s.set_shipped_frontier(durable);
+    s.set_shipped_frontier(2);
+    assert_eq!(s.shipped_frontier(), Some(durable));
+    assert_eq!(s.version_watermark(), Some(durable - 1));
+    // ...and the durable clamp still rules when shipping runs ahead of the
+    // local fsync frontier (a follower can never verify more than the
+    // leader made durable, but the clamp must not trust that).
+    s.set_shipped_frontier(durable + 10);
+    assert_eq!(s.version_watermark(), Some(durable - 1));
+
+    // A configured-but-empty frontier means nothing is prunable at all.
+    let s2 = shared_with(
+        Box::new(acc_wal::MemDevice::new()),
+        GroupCommitPolicy::fixed(Duration::from_millis(5), 1 << 20),
+    );
+    bump(&s2, 1).expect("commit failed");
+    s2.set_shipped_frontier(0);
+    assert_eq!(s2.version_watermark(), None);
+}

@@ -38,6 +38,12 @@ cargo run -p acc-bench --release --offline --bin figures -- torture --fsync --qu
 echo "== reanalysis torture smoke (epoch switchover at step boundaries) =="
 cargo run -p acc-bench --release --offline --bin figures -- torture --reanalysis --quick
 
+echo "== WAL-shipping replication tests (shipper, follower, transports, pump) =="
+cargo test -p acc-repl --offline -q
+
+echo "== ship torture smoke (every ship boundary, both sides) =="
+cargo run -p acc-bench --release --offline --bin figures -- torture --ship --quick
+
 echo "== multi-thread stress smoke (8-terminal closed loop, release) =="
 cargo run -p acc-bench --release --offline --bin figures -- stress --quick
 

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Diff two `figures -- mtbench` runs by their machine-readable JSON lines.
+#
+# Usage:
+#   cargo run -p acc-bench --release --offline --bin figures -- mtbench > before.txt
+#   ... make changes ...
+#   cargo run -p acc-bench --release --offline --bin figures -- mtbench > after.txt
+#   scripts/mtbench_diff.sh before.txt after.txt
+#
+# Rows are joined on (bench, threads|readers); every shared numeric metric is
+# printed as before → after with the relative delta. Plain awk — no jq, no
+# network, nothing beyond coreutils.
+
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <before-file> <after-file>" >&2
+    exit 2
+fi
+
+# Pull only the JSON lines (one object per line, flat key:value pairs).
+awk '
+FNR == 1 { file++ }
+/^\{/ {
+    line = $0
+    gsub(/[{}"]/, "", line)
+    n = split(line, kv, ",")
+    bench = ""; slot = ""
+    for (i = 1; i <= n; i++) {
+        split(kv[i], p, ":")
+        if (p[1] == "bench") bench = p[2]
+        if (p[1] == "threads" || p[1] == "readers") slot = p[1] "=" p[2]
+    }
+    key = bench "|" slot
+    keyorder[key] = keyorder[key] ? keyorder[key] : ++seen
+    for (i = 1; i <= n; i++) {
+        split(kv[i], p, ":")
+        if (p[1] == "bench" || p[1] == "threads" || p[1] == "readers") continue
+        metorder[key SUBSEP p[1]] = metorder[key SUBSEP p[1]] ? metorder[key SUBSEP p[1]] : ++mseen
+        val[file, key, p[1]] = p[2]
+        metrics[key SUBSEP p[1]] = 1
+    }
+    keys[key] = 1
+}
+END {
+    if (file < 2) {
+        print "error: one of the inputs has no JSON benchmark lines" > "/dev/stderr"
+        exit 1
+    }
+    # Stable order: first-seen row, then first-seen metric.
+    nk = 0
+    for (k in keys) { order[keyorder[k]] = k; if (keyorder[k] > nk) nk = keyorder[k] }
+    for (oi = 1; oi <= nk; oi++) {
+        k = order[oi]
+        if (k == "") continue
+        split(k, parts, "|")
+        printf "\n%s %s\n", parts[1], parts[2]
+        for (mk in metrics) {
+            split(mk, mp, SUBSEP)
+            if (mp[1] != k) continue
+            morder[metorder[mk]] = mp[2]
+        }
+        nm = 0
+        for (mk in metrics) {
+            split(mk, mp, SUBSEP)
+            if (mp[1] == k && metorder[mk] > nm) nm = metorder[mk]
+        }
+        for (mi = 1; mi <= nm; mi++) {
+            m = morder[mi]
+            if (m == "" || !((k SUBSEP m) in metrics)) continue
+            a = val[1, k, m]; b = val[2, k, m]
+            if (a == "" || b == "") continue
+            if (a + 0 == 0) {
+                printf "  %-28s %14s -> %-14s\n", m, a, b
+            } else {
+                printf "  %-28s %14s -> %-14s %+7.1f%%\n", m, a, b, (b - a) * 100.0 / a
+            }
+            delete morder[mi]
+        }
+    }
+}
+' "$1" "$2"
