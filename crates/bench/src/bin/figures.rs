@@ -9,16 +9,16 @@
 //! `twolevel`, `lockstat`, `tables`, `torture` (`--strided` for the
 //! benchmark-scale sweep, `--fsync` for the fsync-boundary sweep,
 //! `--reanalysis` for the online table-switchover sweep), `wal`, `mtbench`,
-//! `retry`, `stress`, `all`. `--quick` runs a shorter sweep for
+//! `pagebench`, `retry`, `stress`, `all`. `--quick` runs a shorter sweep for
 //! smoke-testing. The deterministic simulator subcommands (everything in
-//! `all`) are byte-identical across runs; `wal`/`mtbench`/`retry`/`stress`
-//! are wall-clock and intentionally kept out of `all`.
+//! `all`) are byte-identical across runs; `wal`/`mtbench`/`pagebench`/
+//! `retry`/`stress` are wall-clock and intentionally kept out of `all`.
 
 use acc_bench::figures::{
     ablation_table, dump_tables, fig2, fig3, fig4, lockstat, olcount_table, servers_table, torture,
     torture_strided, twolevel_table, FigureParams,
 };
-use acc_bench::{mtbench, walbench};
+use acc_bench::{mtbench, pagebench, walbench};
 
 /// Every subcommand, one line each, for `--help`. `scripts/check.sh` greps
 /// this output against the subcommands the README mentions, so the list must
@@ -44,6 +44,8 @@ subcommands:
              WAL-shipping replication crashed at every ship boundary)
   wal        group-commit latency/throughput sweep (wall-clock)
   mtbench    multi-thread lock-manager benchmark (wall-clock)
+  pagebench  paged B-tree storage benchmark: page ops, splits,
+             latch waits, read restarts (wall-clock)
   retry      deadlock-retry sweep (wall-clock)
   stress     multi-thread consistency stress (wall-clock)
   all        every deterministic simulator figure above
@@ -130,6 +132,9 @@ fn main() {
         "mtbench" => {
             mtbench::mtbench(quick);
         }
+        "pagebench" => {
+            pagebench::pagebench(quick);
+        }
         "retry" => {
             mtbench::retry_sweep(quick);
         }
@@ -146,7 +151,7 @@ fn main() {
             twolevel_table(&params);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|torture|wal|mtbench|retry|stress|all");
+            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|torture|wal|mtbench|pagebench|retry|stress|all");
             std::process::exit(2);
         }
     }

@@ -478,11 +478,40 @@ pub fn lockstat(params: &FigureParams) -> SimReport {
         params.servers
     );
     print!("{}", sink.lockstat_dump());
+    pagestat(params.seed);
     println!(
         "{}",
         report_json("lockstat", "skewed", terminals, "acc", &report)
     );
     report
+}
+
+/// The physical-storage counterpart of the lockstat dump: populate the TPC-C
+/// database at test scale and print the pager counters the load produced.
+/// The trace-driven simulator above never touches real storage, so its page
+/// counters would read zero; this section is the deterministic (single-
+/// threaded, seeded) view of page-latch traffic — the per-page counters that
+/// replaced the old whole-table stripe counters.
+fn pagestat(seed: u64) {
+    use acc_tpcc::schema::tpcc_catalog;
+    let mut db = acc_storage::Database::new(&tpcc_catalog());
+    acc_tpcc::populate(&mut db, &Scale::test(), seed);
+    let c = db
+        .tables()
+        .map(acc_storage::Table::pager_counters)
+        .fold(acc_storage::PagerCounters::default(), |a, b| a + b);
+    println!("== pagestat: paged storage after test-scale populate ==");
+    println!(
+        "pages {}  page reads {}  page writes {}  splits {}  merges {}  \
+         latch waits {}  read restarts {}",
+        c.pages, c.page_reads, c.page_writes, c.splits, c.merges, c.latch_waits, c.read_restarts
+    );
+    println!(
+        "{{\"bench\":\"pagestat\",\"pages\":{},\"page_reads\":{},\
+         \"page_writes\":{},\"splits\":{},\"merges\":{},\
+         \"latch_waits\":{},\"read_restarts\":{}}}",
+        c.pages, c.page_reads, c.page_writes, c.splits, c.merges, c.latch_waits, c.read_restarts
+    );
 }
 
 /// Run the crash-torture sweep (see `acc_tpcc::torture`): a seeded TPC-C mix

@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 /// Thread counts every table sweeps.
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
-fn parallelism_banner() {
+pub(crate) fn parallelism_banner() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -204,6 +204,10 @@ struct ReadMostlyCell {
     read_tps: f64,
     version_reads: u64,
     version_fallbacks: u64,
+    /// Pager counter delta over the measured window: physical page-latch
+    /// traffic (these replaced the old table-stripe counters when storage
+    /// went paged).
+    pages: acc_storage::PagerCounters,
 }
 
 /// The hot-district read-mostly shape: one new-order writer hammering
@@ -231,6 +235,7 @@ fn readmostly_cell(readers: usize, mvcc: bool, duration: Duration, seed: u64) ->
     let shared = Arc::new(SharedDb::new(db, Arc::clone(&sys.tables) as _));
     let sink = EventSink::enabled(1 << 12);
     shared.set_event_sink(Arc::clone(&sink));
+    let pages_base = shared.pager_counters();
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(readers + 2));
 
@@ -320,6 +325,7 @@ fn readmostly_cell(readers: usize, mvcc: bool, duration: Duration, seed: u64) ->
         read_tps: reads as f64 / elapsed,
         version_reads: c.version_reads,
         version_fallbacks: c.version_fallbacks,
+        pages: shared.pager_counters() - pages_base,
     }
 }
 
@@ -389,20 +395,29 @@ pub fn mtbench(quick: bool) {
         duration.as_millis()
     );
     println!(
-        "{:>8} {:>15} {:>13} {:>8} {:>13} {:>10}",
-        "readers", "lock-path r/s", "version r/s", "speedup", "version reads", "fallbacks"
+        "{:>8} {:>15} {:>13} {:>8} {:>13} {:>10} {:>11} {:>9}",
+        "readers",
+        "lock-path r/s",
+        "version r/s",
+        "speedup",
+        "version reads",
+        "fallbacks",
+        "latch waits",
+        "restarts"
     );
     let mut rm_rows = Vec::new();
     for &t in &THREADS {
         let lock = readmostly_cell(t, false, duration, 42);
         let vers = readmostly_cell(t, true, duration, 42);
         println!(
-            "{t:>8} {:>15.0} {:>13.0} {:>7.2}x {:>13} {:>10}",
+            "{t:>8} {:>15.0} {:>13.0} {:>7.2}x {:>13} {:>10} {:>11} {:>9}",
             lock.read_tps,
             vers.read_tps,
             vers.read_tps / lock.read_tps.max(1e-9),
             vers.version_reads,
-            vers.version_fallbacks
+            vers.version_fallbacks,
+            vers.pages.latch_waits,
+            vers.pages.read_restarts
         );
         rm_rows.push((lock, vers));
     }
@@ -428,7 +443,9 @@ pub fn mtbench(quick: bool) {
             "{{\"bench\":\"mtbench-readmostly\",\"readers\":{t},\
              \"lockpath_read_tps\":{:.1},\"lockpath_reads\":{},\"lockpath_writes\":{},\
              \"version_read_tps\":{:.1},\"version_reads_committed\":{},\"version_writes\":{},\
-             \"version_reads\":{},\"version_fallbacks\":{}}}",
+             \"version_reads\":{},\"version_fallbacks\":{},\
+             \"lockpath_latch_waits\":{},\"lockpath_read_restarts\":{},\
+             \"version_latch_waits\":{},\"version_read_restarts\":{}}}",
             lock.read_tps,
             lock.reads,
             lock.writes,
@@ -436,7 +453,11 @@ pub fn mtbench(quick: bool) {
             vers.reads,
             vers.writes,
             vers.version_reads,
-            vers.version_fallbacks
+            vers.version_fallbacks,
+            lock.pages.latch_waits,
+            lock.pages.read_restarts,
+            vers.pages.latch_waits,
+            vers.pages.read_restarts
         );
     }
 }
@@ -666,6 +687,7 @@ pub fn stress(quick: bool) {
         duration.as_millis()
     );
     let cell = retry_cell(RetryPolicy::standard(), 8, duration, 1337);
+    acc_storage::latch_debug_assert_none_held("stress smoke end");
     println!(
         "committed={} aborted={} throughput={:.0} tps — consistency clean, locks drained",
         cell.committed, cell.aborted, cell.tps

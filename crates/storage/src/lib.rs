@@ -9,6 +9,8 @@
 //! layer can roll back an incomplete step and the WAL can log before/after
 //! images.
 
+pub(crate) mod btree;
+pub mod pager;
 pub mod predicate;
 pub mod row;
 pub mod schema;
@@ -17,11 +19,12 @@ pub mod table;
 pub mod undo;
 pub mod version;
 
+pub use pager::{latch_debug_assert_none_held, PagerCounters};
 pub use predicate::{CmpOp, Predicate};
 pub use row::{Key, Row};
 pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};
 pub use striped::StripedDb;
-pub use table::Table;
+pub use table::{Table, VersionedUpdate};
 pub use undo::UndoRecord;
 pub use version::{ChainEntry, CommitResolver, NoCommits, Visibility};
 

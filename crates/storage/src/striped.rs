@@ -1,94 +1,87 @@
-//! Per-table striping of a [`Database`] for concurrent engines.
+//! Concurrent façade over a [`Database`].
 //!
-//! A [`StripedDb`] wraps each table of a [`Database`] in its own `RwLock`, so
-//! steps touching disjoint tables never contend on the database image. The
-//! lock manager still provides the *logical* isolation (page/table locks);
-//! the stripe locks only make the physical reads and writes of the in-memory
-//! image safe, and are held for the duration of one closure — never across a
-//! lock wait or a WAL append by another transaction.
+//! Historically each table sat behind its own `RwLock` stripe; since the
+//! paged-storage refactor every [`Table`] method takes `&self` and does its
+//! own page-granularity latching, so [`StripedDb`] is now a thin façade: it
+//! owns the table vector and hands out `&Table`. The `with_table` /
+//! `with_table_mut` closure API survives for the callers' sake — both run the
+//! closure on a shared reference, and neither can block behind a whole-table
+//! writer anymore. The lock manager still provides the *logical* isolation
+//! (page/table locks); page latches only make individual node reads and
+//! writes of the in-memory image safe, and are never held across a lock wait
+//! or a WAL append.
 
 use crate::table::Table;
 use crate::undo::UndoRecord;
-use crate::Database;
+use crate::{Database, PagerCounters};
 use acc_common::{Error, Result, TableId};
-use std::sync::RwLock;
 
-/// A [`Database`] split into independently-locked table stripes.
+/// A [`Database`] opened for concurrent engines: per-page latching inside
+/// each table, no whole-table locks.
 #[derive(Debug)]
 pub struct StripedDb {
-    tables: Vec<RwLock<Table>>,
+    tables: Vec<Table>,
 }
 
 impl StripedDb {
-    /// Take ownership of a database image, striping it per table.
+    /// Take ownership of a database image.
     pub fn new(db: Database) -> Self {
         StripedDb {
-            tables: db.into_tables().into_iter().map(RwLock::new).collect(),
+            tables: db.into_tables(),
         }
     }
 
-    /// Number of table stripes.
+    /// Number of tables.
     pub fn n_tables(&self) -> usize {
         self.tables.len()
     }
 
-    fn stripe(&self, id: TableId) -> Result<&RwLock<Table>> {
+    /// The table with the given id.
+    pub fn table(&self, id: TableId) -> Result<&Table> {
         self.tables
             .get(id.raw() as usize)
             .ok_or_else(|| Error::NotFound(format!("table {id}")))
     }
 
-    /// Run `f` with shared access to one table.
-    ///
-    /// A stripe whose lock was poisoned by a panicking closure yields a
-    /// recoverable [`Error::Internal`] instead of propagating the panic:
-    /// the caller sees one failed step, not a process-wide abort cascade.
+    /// Run `f` with access to one table.
     pub fn with_table<R>(&self, id: TableId, f: impl FnOnce(&Table) -> R) -> Result<R> {
-        let guard = self
-            .stripe(id)?
-            .read()
-            .map_err(|_| Error::Internal(format!("table {id} stripe poisoned")))?;
-        Ok(f(&guard))
+        Ok(f(self.table(id)?))
     }
 
-    /// Run `f` with exclusive access to one table. Poisoned stripes error
-    /// recoverably (see [`StripedDb::with_table`]).
-    pub fn with_table_mut<R>(&self, id: TableId, f: impl FnOnce(&mut Table) -> R) -> Result<R> {
-        let mut guard = self
-            .stripe(id)?
-            .write()
-            .map_err(|_| Error::Internal(format!("table {id} stripe poisoned")))?;
-        Ok(f(&mut guard))
+    /// Run `f` with access to one table. Mutation no longer needs an
+    /// exclusive stripe — this is the same as [`StripedDb::with_table`] and
+    /// remains only so mutating call sites read as such.
+    pub fn with_table_mut<R>(&self, id: TableId, f: impl FnOnce(&Table) -> R) -> Result<R> {
+        Ok(f(self.table(id)?))
     }
 
     /// Undo a previously returned [`UndoRecord`].
     pub fn apply_undo(&self, undo: &UndoRecord) -> Result<()> {
-        self.with_table_mut(undo.table(), |t| t.apply_undo(undo))?
+        self.table(undo.table())?.apply_undo(undo)
     }
 
     /// Clone the whole image back into a plain [`Database`] (tests,
-    /// consistency checks, recovery hand-off). Locks the stripes one at a
-    /// time in table order, so concurrent writers may be interleaved — call
-    /// it only at quiescent points when a transactionally consistent image
-    /// is required.
+    /// consistency checks, recovery hand-off). Each table clones via tree
+    /// walks under short leaf latches, so concurrent writers may be
+    /// interleaved — call it only at quiescent points when a
+    /// transactionally consistent image is required.
     pub fn snapshot(&self) -> Database {
-        // Explicit poison-recovery: the snapshot is a diagnostic read of
-        // whatever image exists, so a stripe poisoned by a panicking writer
-        // is still readable (the panic already surfaced elsewhere).
-        Database::from_tables(
-            self.tables
-                .iter()
-                .map(|t| t.read().unwrap_or_else(|e| e.into_inner()).clone())
-                .collect(),
-        )
+        Database::from_tables(self.tables.iter().map(Table::clone).collect())
     }
 
     /// Total row count across all tables (test/diagnostic helper).
     pub fn total_rows(&self) -> usize {
+        self.tables.iter().map(Table::len).sum()
+    }
+
+    /// Aggregate pager counters across all tables (page latch traffic,
+    /// splits/merges, restarts) — the physical-latching analogue of the
+    /// lock manager's `lockstat`.
+    pub fn pager_counters(&self) -> PagerCounters {
         self.tables
             .iter()
-            .map(|t| t.read().unwrap_or_else(|e| e.into_inner()).len())
-            .sum()
+            .map(Table::pager_counters)
+            .fold(PagerCounters::default(), |a, b| a + b)
     }
 }
 
@@ -130,21 +123,22 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_stripe_errors_recoverably() {
+    fn panicking_closure_leaves_table_usable() {
+        // The old stripe locks turned a panicking closure into a poisoned
+        // stripe; with per-page latching (which recovers poison internally)
+        // the table stays fully usable afterwards.
         let db = demo();
         let t = TableId(0);
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _ = db.with_table_mut(t, |_| panic!("boom"));
         }));
-        // Later accesses see one failed operation, not a panic cascade…
-        assert!(matches!(db.with_table(t, |_| ()), Err(Error::Internal(_))));
-        assert!(matches!(
-            db.with_table_mut(t, |_| ()),
-            Err(Error::Internal(_))
-        ));
-        // …and the diagnostic snapshot still reads the surviving image.
-        assert_eq!(db.snapshot().total_rows(), 0);
-        assert_eq!(db.total_rows(), 0);
+        db.with_table_mut(t, |tbl| {
+            tbl.insert(Row::from(vec![Value::Int(1), Value::Int(10)]))
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(db.total_rows(), 1);
+        assert_eq!(db.snapshot().total_rows(), 1);
     }
 
     #[test]
@@ -176,5 +170,34 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(db.total_rows(), 200);
+    }
+
+    #[test]
+    fn concurrent_writers_same_table_hit_different_pages() {
+        // Two writers inserting disjoint keys into ONE table — impossible
+        // under the old whole-table stripe without serializing; now they
+        // only contend on individual leaf latches.
+        let db = std::sync::Arc::new(demo());
+        let handles: Vec<_> = (0..2i64)
+            .map(|w| {
+                let db = std::sync::Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for k in 0..200 {
+                        db.with_table_mut(TableId(0), |t| {
+                            t.insert(Row::from(vec![Value::Int(w * 1000 + k), Value::Int(0)]))
+                                .unwrap();
+                        })
+                        .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.total_rows(), 400);
+        let snap = db.snapshot();
+        assert_eq!(snap.total_rows(), 400);
+        assert!(db.pager_counters().page_writes > 0);
     }
 }

@@ -79,7 +79,7 @@ fn table_matches_model() {
     let mut rng = SeededRng::new(0x7ab1e);
     for _case in 0..256 {
         let ops = random_ops(&mut rng, 1, 79);
-        let mut t = Table::new(schema());
+        let t = Table::new(schema());
         let mut model: HashMap<i64, (i64, i64)> = HashMap::new();
         for op in ops {
             match op {
@@ -120,7 +120,7 @@ fn undo_stack_is_perfect_inverse() {
     let mut rng = SeededRng::new(0x0d0);
     for _case in 0..256 {
         let ops = random_ops(&mut rng, 1, 59);
-        let mut t = Table::new(schema());
+        let t = Table::new(schema());
         // Seed some rows so updates/deletes bite.
         for k in 0..6 {
             t.insert(row(k, k % 4, 0)).expect("seed row");

@@ -70,7 +70,7 @@ impl Active {
     /// convention. Keys locked by another live transaction are skipped.
     fn apply_random_op(
         &mut self,
-        t: &mut Table,
+        t: &Table,
         committed: &Model,
         locks: &mut HashMap<i64, TxnId>,
         rng: &mut SeededRng,
@@ -101,7 +101,7 @@ impl Active {
                 // Update b in place.
                 let Some((a, _)) = current else { return };
                 let slot = t.slot_of(&key).expect("model row is live");
-                let before = t.row(slot).cloned();
+                let before = t.row(slot);
                 let b = rng.int_range(0, 99);
                 let undo = t
                     .update_with(slot, |r| {
@@ -121,7 +121,7 @@ impl Active {
                 if current.is_none() || self.will_abort {
                     return;
                 }
-                let before = t.get(&key).map(|(_, r)| r.clone()).expect("live row");
+                let before = t.get(&key).map(|(_, r)| r).expect("live row");
                 let (slot, undo) = t.delete_by_key(&key).expect("delete of live key");
                 t.push_delete_version(key, slot, self.id, before);
                 self.undos.push(undo);
@@ -140,7 +140,7 @@ impl Active {
     /// `finalize_versions`.
     fn finish(
         self,
-        t: &mut Table,
+        t: &Table,
         committed: &mut Model,
         snapshots: &mut Vec<(u64, Model)>,
         locks: &mut HashMap<i64, TxnId>,
@@ -229,7 +229,7 @@ fn read_at_lsn_equals_replayed_prefix() {
     let mut rng = SeededRng::new(0x5ee_a11);
     let mut total_secondary_hits = 0;
     for _case in 0..48 {
-        let mut t = Table::new(schema());
+        let t = Table::new(schema());
         let mut committed: Model = HashMap::new();
         let mut snapshots: Vec<(u64, Model)> = vec![(0, committed.clone())];
         let mut locks: HashMap<i64, TxnId> = HashMap::new();
@@ -251,13 +251,13 @@ fn read_at_lsn_equals_replayed_prefix() {
                 next_txn += 1;
             } else if roll < 8 {
                 let i = rng.index(active.len());
-                active[i].apply_random_op(&mut t, &committed, &mut locks, &mut rng);
+                active[i].apply_random_op(&t, &committed, &mut locks, &mut rng);
             } else {
                 let i = rng.index(active.len());
                 let a = active.swap_remove(i);
                 let defer = rng.chance(0.5);
                 a.finish(
-                    &mut t,
+                    &t,
                     &mut committed,
                     &mut snapshots,
                     &mut locks,
@@ -292,7 +292,7 @@ fn read_at_lsn_equals_replayed_prefix() {
         }
         for a in active.drain(..) {
             a.finish(
-                &mut t,
+                &t,
                 &mut committed,
                 &mut snapshots,
                 &mut locks,
@@ -330,14 +330,14 @@ fn read_at_lsn_equals_replayed_prefix() {
 /// row — all through the slot's chain.
 #[test]
 fn reinsert_revives_tombstone_history() {
-    let mut t = Table::new(schema());
+    let t = Table::new(schema());
     let key = Key::ints(&[7]);
 
     let (slot, _) = t.insert(row(7, 1, 10)).expect("insert");
     t.push_version(slot, TxnId(1), None);
     t.finalize_versions(TxnId(1), 5);
 
-    let before = t.get(&key).map(|(_, r)| r.clone()).expect("live row");
+    let before = t.get(&key).map(|(_, r)| r).expect("live row");
     let (slot, _) = t.delete_by_key(&key).expect("delete");
     t.push_delete_version(key.clone(), slot, TxnId(2), before);
     t.finalize_versions(TxnId(2), 10);

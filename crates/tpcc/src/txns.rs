@@ -492,11 +492,13 @@ impl TxnProgram for Delivery {
         let last = d == self.districts && !is_claim;
 
         if is_claim {
-            // DLV_S1: find and delete the oldest NEW-ORDER row.
+            // DLV_S1: find and delete the oldest NEW-ORDER row. Keys are
+            // (w, d, o_id), so the oldest undelivered order is the first
+            // entry in the district's prefix — an early-terminating tree
+            // descent, not a full-prefix materialization.
             self.claims[idx] = None;
             let oldest = ctx
-                .scan_prefix(TABLES.new_order, &Key::ints(&[w, d]))?
-                .first()
+                .first_by_prefix(TABLES.new_order, &Key::ints(&[w, d]))?
                 .map(|(_, r)| r.int(col::no::O_ID));
             if let Some(o_id) = oldest {
                 ctx.delete_key(TABLES.new_order, &Key::ints(&[w, d, o_id]))?;
@@ -645,11 +647,14 @@ impl TxnProgram for StockLevel {
         let drow = ctx.read_existing(TABLES.district, &Key::ints(&[w, d]))?;
         let next_o = drow.int(col::d::NEXT_O_ID);
 
+        // Order-line keys are (w, d, o_id, number): the last 20 orders'
+        // lines form one contiguous key range, so a single range descent
+        // replaces the per-order prefix rescans.
+        let lo = Key::ints(&[w, d, (next_o - 20).max(1)]);
+        let hi = Key::ints(&[w, d, next_o]);
         let mut items: HashSet<i64> = HashSet::new();
-        for o_id in (next_o - 20).max(1)..next_o {
-            for (_, line) in ctx.scan_prefix(TABLES.order_line, &Key::ints(&[w, d, o_id]))? {
-                items.insert(line.int(col::ol::I_ID));
-            }
+        for (_, line) in ctx.scan_range(TABLES.order_line, &lo, &hi)? {
+            items.insert(line.int(col::ol::I_ID));
         }
         let mut low = 0usize;
         for i_id in items {

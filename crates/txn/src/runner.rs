@@ -90,7 +90,12 @@ pub fn run_existing(
         let step_started = Instant::now();
         let step_result = loop {
             let mut ctx = StepCtx::new(shared, cc, txn, mode);
-            match program.step(ctx.txn().step_index, &mut ctx) {
+            let outcome = program.step(ctx.txn().step_index, &mut ctx);
+            // Crabbing discipline: every page latch a step takes must be
+            // released before the step hands control back (debug builds
+            // only; a latch held here would deadlock some later descent).
+            acc_storage::latch_debug_assert_none_held("step boundary");
+            match outcome {
                 Ok(outcome) => break Ok(outcome),
                 Err(Error::Deadlock { .. }) if cc.decomposed() && !retried => {
                     // Paper §3.4: abort the step that completed the cycle and
@@ -174,9 +179,9 @@ pub fn undo_current_step(shared: &SharedDb, txn: &mut Transaction) -> Result<()>
         let table = undo.table();
         let slot = undo.slot();
         let (before, after) = shared.with_table_mut(table, |t| -> Result<_> {
-            let before = t.row(slot).cloned();
+            let before = t.row(slot);
             t.apply_undo(undo)?;
-            let after = t.row(slot).cloned();
+            let after = t.row(slot);
             Ok((before, after))
         })??;
         // Same-slot WAL ordering is protected by this transaction's still-held

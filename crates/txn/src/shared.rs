@@ -297,14 +297,27 @@ impl SharedDb {
         self.lm.total_grants()
     }
 
-    /// Run `f` with shared access to one table stripe.
+    /// The table with the given id (tables do their own page-granularity
+    /// latching; no stripe lock is involved anymore).
+    pub fn table(&self, id: TableId) -> Result<&Table> {
+        self.db.table(id)
+    }
+
+    /// Run `f` with access to one table.
     pub fn with_table<R>(&self, id: TableId, f: impl FnOnce(&Table) -> R) -> Result<R> {
         self.db.with_table(id, f)
     }
 
-    /// Run `f` with exclusive access to one table stripe.
-    pub fn with_table_mut<R>(&self, id: TableId, f: impl FnOnce(&mut Table) -> R) -> Result<R> {
+    /// Run `f` with access to one table (mutating call sites; same as
+    /// [`SharedDb::with_table`] since tables latch per page).
+    pub fn with_table_mut<R>(&self, id: TableId, f: impl FnOnce(&Table) -> R) -> Result<R> {
         self.db.with_table_mut(id, f)
+    }
+
+    /// Aggregate pager counters across all tables — the physical-latch
+    /// analogue of the lock manager's grant statistics.
+    pub fn pager_counters(&self) -> acc_storage::PagerCounters {
+        self.db.pager_counters()
     }
 
     /// Clone the current database image (tests, consistency checks). Only

@@ -11,7 +11,7 @@ use crate::transaction::Transaction;
 use acc_common::events::Event;
 use acc_common::{Error, Result, Slot, TableId, TxnId};
 use acc_lockmgr::{LockKind, LockMode, RequestCtx, SharedOracle};
-use acc_storage::{Key, Predicate, Row, Visibility};
+use acc_storage::{Key, Predicate, Row, UndoRecord, VersionedUpdate, Visibility};
 use acc_wal::LogRecord;
 
 /// The slot reported for rows produced by a coordination-free version read:
@@ -172,7 +172,7 @@ impl<'a> StepCtx<'a> {
             // outer None = retry, inner Option is the final answer.
             let row: Option<Option<Row>> =
                 self.shared.with_table(table, |t| match t.slot_of(key) {
-                    Some(s) if s == slot => Some(t.row(slot).cloned()),
+                    Some(s) if s == slot => Some(t.row(slot)),
                     Some(_) => None,    // moved: retry with fresh slot
                     None => Some(None), // deleted while we waited
                 })?;
@@ -196,7 +196,7 @@ impl<'a> StepCtx<'a> {
             self.lock_item(table, slot, true)?;
             let row: Option<Option<Row>> =
                 self.shared.with_table(table, |t| match t.slot_of(key) {
-                    Some(s) if s == slot => Some(t.row(slot).cloned()),
+                    Some(s) if s == slot => Some(t.row(slot)),
                     Some(_) => None,
                     None => Some(None),
                 })?;
@@ -217,18 +217,14 @@ impl<'a> StepCtx<'a> {
         loop {
             let slot = self.shared.with_table(table, |t| t.peek_next_slot())?;
             self.lock_item(table, slot, true)?;
+            // `insert_versioned` re-checks the predicted slot, plants the
+            // row, and records the pending version (before the insert, the
+            // row was absent) atomically under one leaf latch; `None` means
+            // another insert raced us while we waited for the lock.
             let done = self
                 .shared
-                .with_table_mut(table, |t| -> Result<Option<(Slot, _)>> {
-                    if t.peek_next_slot() != slot {
-                        return Ok(None); // another insert raced us while we waited
-                    }
-                    let (s, undo) = t.insert(row.clone())?;
-                    // Version chain: before the insert, the row was absent.
-                    t.push_version(s, txn_id, None);
-                    Ok(Some((s, undo)))
-                })??;
-            if let Some((s, undo)) = done {
+                .with_table_mut(table, |t| t.insert_versioned(row.clone(), txn_id, slot))??;
+            if let Some((s, _key, undo)) = done {
                 self.note_version_table(table);
                 // The WAL append happens outside the table stripe, but the
                 // slot's page X lock (held until step end) serializes all
@@ -261,22 +257,18 @@ impl<'a> StepCtx<'a> {
                 return Ok(false);
             };
             self.lock_item(table, slot, true)?;
+            // Mutation + pending-version push run atomically under the
+            // leaf's write latch; `Retry` means the key moved or died while
+            // we waited for the lock.
             let outcome = self
                 .shared
-                .with_table_mut(table, |t| -> Result<Option<_>> {
-                    match t.slot_of(key) {
-                        Some(s) if s == slot => {
-                            let before = t.row(slot).cloned();
-                            let undo = t.update_with(slot, &f)?;
-                            let after = t.row(slot).cloned();
-                            t.push_version(slot, txn_id, before.clone());
-                            Ok(Some((undo, before, after)))
-                        }
-                        _ => Ok(None), // moved or deleted while waiting: retry
-                    }
-                })??;
+                .with_table_mut(table, |t| t.update_versioned(key, slot, txn_id, &f))??;
             match outcome {
-                Some((undo, before, after)) => {
+                VersionedUpdate::Applied { undo, after } => {
+                    let before = match &undo {
+                        UndoRecord::Update { before, .. } => Some(before.clone()),
+                        _ => None,
+                    };
                     self.note_version_table(table);
                     self.shared.with_wal(|w| {
                         w.append(LogRecord::Update {
@@ -284,14 +276,14 @@ impl<'a> StepCtx<'a> {
                             table,
                             slot,
                             before,
-                            after,
+                            after: Some(after),
                         })
                     });
                     self.shared.flush_wal_batch();
                     self.txn.step_undo.push(undo);
                     return Ok(true);
                 }
-                None => continue,
+                VersionedUpdate::Retry => continue, // moved or deleted: re-resolve
             }
         }
     }
@@ -301,11 +293,24 @@ impl<'a> StepCtx<'a> {
         self.lock_item(table, slot, true)?;
         let txn_id = self.txn.id;
         let (undo, before, after) = self.shared.with_table_mut(table, |t| -> Result<_> {
-            let before = t.row(slot).cloned();
-            let undo = t.update_with(slot, &f)?;
-            let after = t.row(slot).cloned();
-            t.push_version(slot, txn_id, before.clone());
-            Ok((undo, before, after))
+            let key = t
+                .key_of_slot(slot)
+                .ok_or_else(|| Error::NotFound(format!("table#{} slot {slot}", table.raw())))?;
+            match t.update_versioned(&key, slot, txn_id, &f)? {
+                VersionedUpdate::Applied { undo, after } => {
+                    let before = match &undo {
+                        UndoRecord::Update { before, .. } => Some(before.clone()),
+                        _ => None,
+                    };
+                    Ok((undo, before, Some(after)))
+                }
+                // The page X lock pins the slot; a concurrent move is a
+                // protocol violation, surfaced as the caller's "must exist".
+                VersionedUpdate::Retry => Err(Error::NotFound(format!(
+                    "table#{} slot {slot}",
+                    table.raw()
+                ))),
+            }
         })??;
         self.note_version_table(table);
         self.shared.with_wal(|w| {
@@ -331,26 +336,16 @@ impl<'a> StepCtx<'a> {
                 return Ok(false);
             };
             self.lock_item(table, slot, true)?;
+            // Row removal + the pending delete version run atomically under
+            // the leaf latch; the entry survives as a tombstone so the slot
+            // can be reused by an unrelated key while version readers still
+            // find the deleted row's history under its primary key.
             let outcome = self
                 .shared
-                .with_table_mut(table, |t| -> Result<Option<_>> {
-                    match t.slot_of(key) {
-                        Some(s) if s == slot => {
-                            let before = t.row(slot).cloned();
-                            let undo = t.delete(slot)?;
-                            if let Some(b) = before.clone() {
-                                // The slot may be reused by an unrelated
-                                // key: the chain moves to the tombstone
-                                // store under the deleted key.
-                                t.push_delete_version(key.clone(), slot, txn_id, b);
-                            }
-                            Ok(Some((undo, before)))
-                        }
-                        _ => Ok(None),
-                    }
-                })??;
+                .with_table_mut(table, |t| t.delete_versioned(key, slot, txn_id))??;
             match outcome {
                 Some((undo, before)) => {
+                    let before = Some(before);
                     self.note_version_table(table);
                     self.shared.with_wal(|w| {
                         w.append(LogRecord::Update {
@@ -399,17 +394,46 @@ impl<'a> StepCtx<'a> {
             }
         }
         self.lock_scan(table)?;
-        self.shared.with_table(table, |t| {
-            t.scan_prefix(prefix).map(|(s, r)| (s, r.clone())).collect()
-        })
+        self.shared
+            .with_table(table, |t| t.scan_prefix(prefix).collect())
+    }
+
+    /// The first row (in key order) whose primary key starts with `prefix`
+    /// — an early-terminating tree descent under the same scan locks as
+    /// [`StepCtx::scan_prefix`], for oldest-first pick-one lookups.
+    pub fn first_by_prefix(&mut self, table: TableId, prefix: &Key) -> Result<Option<(Slot, Row)>> {
+        self.lock_scan(table)?;
+        self.shared.with_table(table, |t| t.first_in_prefix(prefix))
+    }
+
+    /// All rows with primary key in `[lo, hi)`, in key order — one range
+    /// descent instead of per-prefix rescans, under the same scan locks as
+    /// [`StepCtx::scan_prefix`].
+    ///
+    /// Fast-path rows carry [`VERSION_READ_SLOT`]; see
+    /// [`StepCtx::scan_prefix`].
+    pub fn scan_range(&mut self, table: TableId, lo: &Key, hi: &Key) -> Result<Vec<(Slot, Row)>> {
+        if self.version_reads_enabled() {
+            if let Some(view) = self.read_view() {
+                let reader = self.txn.id;
+                let rows = self.shared.with_table(table, |t| {
+                    t.scan_range_at(lo, hi, view, reader, &self.shared.published_commits())
+                })?;
+                if let Some(rows) = rows {
+                    self.emit_version_event(table, true);
+                    return Ok(rows.into_iter().map(|r| (VERSION_READ_SLOT, r)).collect());
+                }
+                self.emit_version_event(table, false);
+            }
+        }
+        self.lock_scan(table)?;
+        self.shared.with_table(table, |t| t.scan_range(lo, hi))
     }
 
     /// All rows satisfying `pred`, in key order.
     pub fn scan(&mut self, table: TableId, pred: &Predicate) -> Result<Vec<(Slot, Row)>> {
         self.lock_scan(table)?;
-        self.shared.with_table(table, |t| {
-            t.scan(pred).map(|(s, r)| (s, r.clone())).collect()
-        })
+        self.shared.with_table(table, |t| t.scan(pred).collect())
     }
 
     /// Rows matched through secondary index `idx` by key prefix.
@@ -445,7 +469,7 @@ impl<'a> StepCtx<'a> {
         self.shared.with_table(table, |t| {
             t.lookup_secondary(idx, prefix)
                 .into_iter()
-                .filter_map(|s| t.row(s).map(|r| (s, r.clone())))
+                .filter_map(|s| t.row(s).map(|r| (s, r)))
                 .collect()
         })
     }

@@ -29,6 +29,15 @@ echo "== MVCC-lite visibility property tests + version-read observability =="
 cargo test -p acc-storage --offline -q --test visibility_prop
 cargo test --offline -q --test observability
 
+echo "== paged storage: pager + B-tree units, model-based tree property tests =="
+cargo test -p acc-storage --offline -q --lib pager
+cargo test -p acc-storage --offline -q --lib btree
+cargo test -p acc-storage --offline -q --lib table
+cargo test -p acc-storage --offline -q --test tree_prop
+
+echo "== pagebench smoke (page-latch protocol, release) =="
+cargo run -p acc-bench --release --offline --bin figures -- pagebench --quick >/dev/null
+
 echo "== crash-torture smoke (bounded sweep) =="
 cargo run -p acc-bench --release --offline --bin figures -- torture --quick >/dev/null
 
@@ -46,6 +55,13 @@ cargo run -p acc-bench --release --offline --bin figures -- torture --ship --qui
 
 echo "== multi-thread stress smoke (8-terminal closed loop, release) =="
 cargo run -p acc-bench --release --offline --bin figures -- stress --quick
+
+echo "== determinism: two consecutive 'figures -- tables' runs byte-identical =="
+t1="$(mktemp)"; t2="$(mktemp)"
+trap 'rm -f "$t1" "$t2"' EXIT
+cargo run -p acc-bench --release --offline --bin figures -- tables > "$t1"
+cargo run -p acc-bench --release --offline --bin figures -- tables > "$t2"
+cmp "$t1" "$t2"
 
 echo "== README vs figures --help drift =="
 # Every `figures -- <subcommand>` the README advertises must exist in the
