@@ -33,6 +33,17 @@
 //! [`crate::pager::PagerCounters::read_restarts`]). Range scans hop the
 //! leaf `next` chain with the same validation. Readers never block writers
 //! and never deadlock with them (one latch at a time ⇒ no cycles).
+//!
+//! Validation is sound against in-progress structure changes because page
+//! versions use the OLC locked encoding (odd while write-latched — see
+//! [`crate::pager`]): every structure change mutates the child *and* the
+//! parent while holding the parent's write latch, so even where a modified
+//! or freed child becomes latch-free before the parent is released (the
+//! split fast path below, merges, borrows, root collapse), a reader that
+//! routed through the pre-change parent sees an odd or advanced parent
+//! version at validation time and restarts — it never trusts the stale
+//! child. Content-only leaf writes need no such care: they mutate nothing
+//! but the leaf, under the leaf's own latch.
 
 use crate::pager::{Page, PageId, Pager, PagerCounters, WriteLatch};
 use crate::row::{Key, Row};
@@ -304,9 +315,13 @@ impl BTree {
         if self.is_full(&cg) {
             let (sep, right_id) = self.split_child(&mut g, child_idx, &mut cg);
             if *key >= sep {
-                // The key now belongs in the fresh right sibling. It is
-                // unreachable by anyone else until we release the parent,
-                // so its latch is free.
+                // The key now belongs in the fresh right sibling. No one
+                // can route to it until we release the parent (at worst a
+                // stale reader holds its recycled frame briefly before
+                // restarting), so its latch is (nearly) free. Dropping cg
+                // while g is held is safe: the parent's version is odd
+                // until g drops, so readers routed to the truncated child
+                // fail validation.
                 drop(cg);
                 let right = self.pager.page(right_id);
                 let rg = self.pager.write_latch(&right);
@@ -788,6 +803,68 @@ mod tests {
             1,
         );
         assert_eq!(first, vec![10], "limit=1 early-terminates");
+    }
+
+    /// Regression for the structure-change/optimistic-reader race: splits,
+    /// merges, borrows, and root collapses release a modified (or freed)
+    /// child's latch while the parent is still write-latched, and only the
+    /// odd-while-held locked-version encoding makes a stale reader restart
+    /// in that window. Anchor keys are inserted up front and never removed;
+    /// churn threads force constant structure changes around them while
+    /// reader threads assert no anchor ever reads as absent and no scan
+    /// ever drops one.
+    #[test]
+    fn concurrent_readers_never_miss_committed_keys() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let t = BTree::new(2); // tiny leaves: constant splits and merges
+        let anchors: Vec<i64> = (0..100).map(|k| k * 2).collect();
+        for &k in &anchors {
+            insert(&t, k);
+        }
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let churners: Vec<_> = (0..2)
+                .map(|w| {
+                    let t = &t;
+                    s.spawn(move || {
+                        // Disjoint odd key ranges per churner, interleaved
+                        // between the anchors to move them around.
+                        let odds: Vec<i64> = (0..50).map(|i| 1 + 4 * i + 2 * w).collect();
+                        for _ in 0..200 {
+                            for &k in &odds {
+                                insert(t, k);
+                            }
+                            for &k in &odds {
+                                assert!(remove(t, k));
+                            }
+                            latch_debug_assert_none_held("churner round");
+                        }
+                    })
+                })
+                .collect();
+            for _ in 0..2 {
+                let (t, anchors, stop) = (&t, &anchors, &stop);
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for &k in anchors {
+                            let found = t.read_entry(&Key::ints(&[k]), |e| e.map(|e| e.slot));
+                            assert_eq!(found, Some(k as Slot), "anchor {k} vanished");
+                        }
+                        let seen: Vec<i64> = keys_in_order(t);
+                        for &k in anchors {
+                            assert!(seen.binary_search(&k).is_ok(), "scan dropped anchor {k}");
+                        }
+                        latch_debug_assert_none_held("reader round");
+                    }
+                });
+            }
+            for c in churners {
+                c.join().expect("churner panicked");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(keys_in_order(&t), anchors, "only the anchors remain");
+        assert!(t.counters().splits > 0 && t.counters().merges > 0);
     }
 
     #[test]

@@ -4,12 +4,17 @@
 //! The pager owns a directory of fixed-capacity pages (capacity is enforced
 //! by the tree's split/merge thresholds; the pager just hands out page
 //! frames). Each page carries its node payload behind an `RwLock` — the
-//! *page latch* — plus a version counter that is bumped every time a write
-//! latch is released and every time the page is freed. Optimistic readers
-//! descend without holding two latches at once and use the version counter
-//! to detect that a pointer they followed went stale (split, merge, or page
-//! reuse happened underneath them), restarting from the root instead of
-//! blocking writers.
+//! *page latch* — plus a version counter with the classic OLC *locked*
+//! encoding: the counter is bumped to **odd** when a write latch is
+//! acquired and back to **even** when it is released (free bumps it odd
+//! again until reuse). Optimistic readers descend without holding two
+//! latches at once and use the version counter to detect that a pointer
+//! they followed went stale, restarting from the root instead of blocking
+//! writers. The odd-while-held half is load-bearing: a structure-changing
+//! writer (split, merge, borrow, root collapse) may release a modified
+//! child's latch while still holding the parent, and a reader that routed
+//! through the pre-change parent must fail its parent validation *during*
+//! that window, not only after the parent's latch is released.
 //!
 //! Page latches are *physical* and short: they are held only across a single
 //! node visit (plus the parent during crabbing) and never across a logical
@@ -35,10 +40,13 @@ pub(crate) type PageId = u32;
 /// One page frame: the node payload behind its latch, plus the optimistic
 /// readers' version counter.
 pub(crate) struct Page<N> {
-    /// Bumped on every write-latch release and on free/reuse. Readers
-    /// capture it while holding the read latch and re-check it after
-    /// latching the next node down; a mismatch means the pointer they
-    /// followed may no longer be valid and the descent restarts.
+    /// OLC locked-version counter: even at rest, odd while a write latch
+    /// is held (and from free until reuse). Readers capture it while
+    /// holding the read latch — so a captured version of a live page is
+    /// always even — and re-check it after latching the next node down; a
+    /// mismatch (the writer is still in there, or came and went) means the
+    /// pointer they followed may no longer be valid and the descent
+    /// restarts.
     version: AtomicU64,
     node: RwLock<N>,
 }
@@ -66,9 +74,10 @@ impl<N> std::ops::Deref for ReadLatch<'_, N> {
     }
 }
 
-/// Write latch on one page. Dropping bumps the page version *before*
-/// releasing the latch, so any reader that subsequently validates against a
-/// version captured before this latch was taken will restart.
+/// Write latch on one page. Acquiring bumps the page version to odd
+/// (writer in progress) and dropping bumps it back to even, so a reader
+/// validating against a version captured before this latch was taken
+/// restarts whether it validates mid-hold or after release.
 pub(crate) struct WriteLatch<'a, N> {
     guard: Option<RwLockWriteGuard<'a, N>>,
     version: &'a AtomicU64,
@@ -91,8 +100,8 @@ impl<N> std::ops::DerefMut for WriteLatch<'_, N> {
 
 impl<N> Drop for WriteLatch<'_, N> {
     fn drop(&mut self) {
-        // Bump while still holding the latch: the RwLock release that
-        // follows publishes the new version to the next latcher.
+        // Back to even while still holding the latch: the RwLock release
+        // that follows publishes the new version to the next latcher.
         self.version.fetch_add(1, Relaxed);
         drop(self.guard.take());
         #[cfg(debug_assertions)]
@@ -235,7 +244,9 @@ impl<N> Pager<N> {
     }
 
     /// Acquire the write latch on `page`, counting a latch wait if it
-    /// blocks. The returned latch bumps the page version when dropped.
+    /// blocks. The returned latch bumps the page version to odd now (after
+    /// the lock is held, so no concurrent reader can capture the odd value
+    /// under its read latch) and back to even when dropped.
     pub(crate) fn write_latch<'a>(&self, page: &'a Arc<Page<N>>) -> WriteLatch<'a, N> {
         self.stats.writes.fetch_add(1, Relaxed);
         #[cfg(debug_assertions)]
@@ -248,6 +259,7 @@ impl<N> Pager<N> {
                 page.node.write().unwrap_or_else(PoisonError::into_inner)
             }
         };
+        page.version.fetch_add(1, Relaxed);
         WriteLatch {
             guard: Some(guard),
             version: &page.version,
@@ -270,8 +282,12 @@ impl<N> Pager<N> {
             let page = self.page(id);
             // A straggling reader may still hold the old tenant's latch;
             // waiting here is fine (it validates and restarts on release).
-            *page.node.write().unwrap_or_else(PoisonError::into_inner) = node;
+            let mut guard = page.node.write().unwrap_or_else(PoisonError::into_inner);
+            *guard = node;
+            // Back to even (free left it odd) *before* the lock release
+            // publishes the new tenant.
             page.version.fetch_add(1, Relaxed);
+            drop(guard);
             return id;
         }
         let mut pages = lock_write(&self.pages);
@@ -285,7 +301,8 @@ impl<N> Pager<N> {
 
     /// Return a page to the free list. The caller must have unlinked it from
     /// the tree (under the parent's write latch) and dropped its own latch
-    /// on it first.
+    /// on it first. The version bump leaves the page *odd* — "in progress"
+    /// until `alloc` reuses it and restores even.
     pub(crate) fn free_page(&self, id: PageId) {
         self.stats.frees.fetch_add(1, Relaxed);
         self.page(id).version.fetch_add(1, Relaxed);
@@ -430,19 +447,38 @@ mod tests {
     }
 
     #[test]
-    fn write_latch_bumps_version_on_release() {
+    fn write_latch_version_is_odd_while_held() {
         let p: Pager<i32> = Pager::new(7);
         let page = p.page(0);
         let v0 = page.version();
+        assert_eq!(v0 % 2, 0, "a page at rest is even");
         {
             let mut w = p.write_latch(&page);
             *w = 8;
-            assert_eq!(page.version(), v0, "bump happens at release, not acquire");
+            assert_eq!(
+                page.version(),
+                v0 + 1,
+                "odd while write-latched: a reader validating a version \
+                 captured before this latch must fail mid-hold"
+            );
         }
-        assert_eq!(page.version(), v0 + 1);
+        assert_eq!(page.version(), v0 + 2, "back to even at release");
         assert_eq!(*p.read_latch(&page), 8);
         p.free_page(0);
-        assert_eq!(page.version(), v0 + 2, "free bumps too");
+        assert_eq!(page.version(), v0 + 3, "free leaves the page odd");
+    }
+
+    #[test]
+    fn alloc_reuse_restores_even_version() {
+        let p: Pager<i32> = Pager::new(0);
+        let a = p.alloc(1);
+        let page = p.page(a);
+        let v0 = page.version();
+        p.free_page(a);
+        assert_eq!(page.version() % 2, 1, "freed page reads as in-progress");
+        assert_eq!(p.alloc(2), a, "LIFO reuse of the freed frame");
+        assert_eq!(page.version(), v0 + 2, "reuse restores an even version");
+        assert_eq!(*p.read_latch(&page), 2);
     }
 
     #[test]

@@ -103,12 +103,20 @@ pub struct Table {
     /// *write* side, freezing mutators for the duration of the fast-path
     /// read so the index range + chain precheck see one consistent state.
     sec_gate: RwLock<()>,
-    /// Keys with (possibly) live version chains: the worklist for
-    /// finalize/prune and the precheck set for the secondary fast path.
-    /// Mutated only *after* the corresponding tree write (never while a
-    /// leaf latch is held); prune holds this mutex across its per-key tree
-    /// ops so emptiness checks and set removal stay atomic.
+    /// Keys with (possibly) live version chains: the worklist for prune
+    /// and the precheck set for the secondary fast path. Mutated only
+    /// *after* the corresponding tree write (never while a leaf latch is
+    /// held); prune holds this mutex across its per-key tree ops so
+    /// emptiness checks and set removal stay atomic.
     chained: Mutex<BTreeSet<Key>>,
+    /// Per-transaction chained keys: the finalize worklist, so commit and
+    /// abort walk only the finishing transaction's own write set rather
+    /// than every in-flight chain in the table. Drained by
+    /// [`Table::finalize_versions`]; a transaction whose commit dies on a
+    /// sticky device failure leaves its entry behind, alongside its
+    /// forever-pending chain entries (bounded by the failure being
+    /// terminal).
+    txn_chained: Mutex<BTreeMap<TxnId, BTreeSet<Key>>>,
     live: AtomicUsize,
 }
 
@@ -128,6 +136,7 @@ impl Table {
             secondary,
             sec_gate: RwLock::new(()),
             chained: Mutex::new(BTreeSet::new()),
+            txn_chained: Mutex::new(BTreeMap::new()),
             live: AtomicUsize::new(0),
         }
     }
@@ -511,9 +520,14 @@ impl Table {
 
     // ----- MVCC-lite version chains (see `crate::version`) ----------------
 
-    /// Record `key` as (possibly) carrying a live chain. Called after the
-    /// tree write completes — never while a leaf latch is held.
-    fn note_chained(&self, key: Key) {
+    /// Record `key` as (possibly) carrying a live chain, and as part of
+    /// `txn`'s write set for finalize. Called after the tree write
+    /// completes — never while a leaf latch is held.
+    fn note_chained(&self, txn: TxnId, key: Key) {
+        mlock(&self.txn_chained)
+            .entry(txn)
+            .or_default()
+            .insert(key.clone());
         mlock(&self.chained).insert(key);
     }
 
@@ -531,7 +545,7 @@ impl Table {
                 .chain
                 .push(ChainEntry::Pending { txn, before });
         });
-        self.note_chained(key);
+        self.note_chained(txn, key);
     }
 
     /// Record a pending version for a *delete* of `key` at `slot`, after
@@ -560,7 +574,7 @@ impl Table {
                 );
             }
         });
-        self.note_chained(key);
+        self.note_chained(txn, key);
     }
 
     // ----- Combined versioned mutators (one leaf latch) -------------------
@@ -623,7 +637,7 @@ impl Table {
         }
         self.secondary_insert(slot, &projs);
         self.live.fetch_add(1, Relaxed);
-        self.note_chained(key.clone());
+        self.note_chained(txn, key.clone());
         Ok(Some((
             slot,
             key,
@@ -679,7 +693,7 @@ impl Table {
             Inner::Applied { before, after } => {
                 self.secondary_remove(expected_slot, &self.projections(&before));
                 self.secondary_insert(expected_slot, &self.projections(&after));
-                self.note_chained(key.clone());
+                self.note_chained(txn, key.clone());
                 Ok(VersionedUpdate::Applied {
                     undo: UndoRecord::Update {
                         table: self.schema.id,
@@ -726,7 +740,7 @@ impl Table {
         mlock(&self.alloc).release(expected_slot);
         self.secondary_remove(expected_slot, &self.projections(&before));
         self.live.fetch_sub(1, Relaxed);
-        self.note_chained(key.clone());
+        self.note_chained(txn, key.clone());
         Ok(Some((
             UndoRecord::Delete {
                 table: self.schema.id,
@@ -739,11 +753,13 @@ impl Table {
 
     /// Finalize every pending entry of `txn` in this table at `commit_lsn`
     /// (the `Commit` record's LSN, or the `Abort` record's on rollback).
-    /// Walks the chained-key worklist — a writer's own keys are always in
-    /// it by the time its commit runs. Returns the number of entries
-    /// finalized.
+    /// Walks (and drains) the transaction's own chained-key write set — a
+    /// writer's keys are always in it by the time its commit runs, and
+    /// only its own keys can hold its `Pending` entries, so commit cost
+    /// scales with the write set rather than with every in-flight chain in
+    /// the table. Returns the number of entries finalized.
     pub fn finalize_versions(&self, txn: TxnId, commit_lsn: u64) -> usize {
-        let keys: Vec<Key> = mlock(&self.chained).iter().cloned().collect();
+        let keys = mlock(&self.txn_chained).remove(&txn).unwrap_or_default();
         let mut n = 0;
         for key in keys {
             n += self.tree.with_entry(&key, |e| {
