@@ -15,11 +15,13 @@
 pub mod analysis;
 pub mod assertion;
 pub mod footprint;
+pub mod infer;
 pub mod policy;
 pub mod tables;
 
 pub use analysis::Analysis;
 pub use assertion::{AssertionInstance, AssertionRegistry, AssertionTemplate, DIRTY};
-pub use footprint::{StepFootprint, TableFootprint};
+pub use footprint::{Effect, KeySpace, Region, StepFootprint, TableFootprint};
+pub use infer::{diff, matrix_json, DiffKind, Inference, TableDiff};
 pub use policy::{Acc, StepSpec, TxnSpec};
 pub use tables::InterferenceTables;

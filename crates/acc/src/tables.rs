@@ -57,6 +57,18 @@ impl InterferenceTables {
         self.analyzed.contains(&step)
     }
 
+    /// True if `step` was declared to require committed reads.
+    pub fn is_committed_reader(&self, step: StepTypeId) -> bool {
+        self.committed_readers.contains(&step)
+    }
+
+    /// The analyzed step types, sorted by id.
+    pub fn steps(&self) -> Vec<StepTypeId> {
+        let mut steps: Vec<_> = self.write.keys().copied().collect();
+        steps.sort_unstable();
+        steps
+    }
+
     /// Number of templates in the matrix.
     pub fn n_templates(&self) -> usize {
         self.n_templates

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Subcommands: `fig2`, `fig3`, `fig4`, `servers`, `olcount`, `ablation`,
-//! `twolevel`, `lockstat`, `tables`, `torture` (`--strided` for the
+//! `twolevel`, `lockstat`, `tables`, `infer`, `torture` (`--strided` for the
 //! benchmark-scale sweep, `--fsync` for the fsync-boundary sweep,
 //! `--reanalysis` for the online table-switchover sweep), `wal`, `mtbench`,
 //! `pagebench`, `retry`, `stress`, `all`. `--quick` runs a shorter sweep for
@@ -15,8 +15,8 @@
 //! `retry`/`stress` are wall-clock and intentionally kept out of `all`.
 
 use acc_bench::figures::{
-    ablation_table, dump_tables, fig2, fig3, fig4, lockstat, olcount_table, servers_table, torture,
-    torture_strided, twolevel_table, FigureParams,
+    ablation_table, dump_inferred, dump_tables, fig2, fig3, fig4, lockstat, olcount_table,
+    servers_table, torture, torture_strided, twolevel_table, FigureParams,
 };
 use acc_bench::{mtbench, pagebench, walbench};
 
@@ -38,6 +38,9 @@ subcommands:
   twolevel   two-level (global argument) analysis table
   lockstat   lock/step observability counter dump
   tables     dump the design-time interference tables
+  infer      dump the machine-inferred matrices (TPC-C, smallbank,
+             saga) as deterministic JSON plus the diff vs the hand
+             tables
   torture    crash-torture sweep (--strided: benchmark scale;
              --fsync: fsync-boundary sweep; --reanalysis: online
              table re-analysis with epoch switchover; --ship:
@@ -107,6 +110,9 @@ fn main() {
         "tables" => {
             dump_tables();
         }
+        "infer" => {
+            dump_inferred();
+        }
         "twolevel" => {
             twolevel_table(&params);
         }
@@ -151,7 +157,7 @@ fn main() {
             twolevel_table(&params);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|torture|wal|mtbench|pagebench|retry|stress|all");
+            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|infer|torture|wal|mtbench|pagebench|retry|stress|all");
             std::process::exit(2);
         }
     }

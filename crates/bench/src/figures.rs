@@ -564,6 +564,78 @@ fn torture_with(cfg: acc_tpcc::torture::TortureConfig) -> acc_tpcc::torture::Tor
     report
 }
 
+/// Dump every machine-*inferred* interference matrix as deterministic JSON
+/// (stable key order, steps id-sorted, no floating point — `scripts/check.sh`
+/// runs this twice and byte-compares), plus the TPC-C diff against the hand
+/// tables. TPC-C is the differential anchor; smallbank and the fulfilment
+/// saga have no hand tables at all — what prints here is what their torture
+/// and stress gates actually run under.
+pub fn dump_inferred() {
+    use acc_core::infer::{diff, matrix_json, DiffKind};
+    use acc_workloads::{saga, smallbank};
+
+    let hand = TpccSystem::build();
+    let inferred = TpccSystem::infer();
+    let steps: Vec<_> = TpccSystem::step_names().iter().map(|(s, _)| *s).collect();
+    let d = diff(
+        &inferred.tables,
+        hand.tables.as_ref(),
+        &steps,
+        hand.registry.len(),
+    );
+
+    println!("== tpcc (inferred) ==");
+    print!(
+        "{}",
+        matrix_json(
+            &inferred.tables,
+            &inferred.registry,
+            &TpccSystem::step_names()
+        )
+    );
+    println!("== tpcc inferred vs hand ==");
+    println!("more_permissive: {}", d.more_permissive.len());
+    for (s, t, k) in &d.more_permissive {
+        println!(
+            "  UNSOUND step {} x template {} ({})",
+            s.raw(),
+            t.raw(),
+            if *k == DiffKind::Write {
+                "write"
+            } else {
+                "read"
+            }
+        );
+    }
+    println!("less_permissive: {}", d.less_permissive.len());
+    for (s, t, k) in &d.less_permissive {
+        println!(
+            "  conservative: step {} x template {} ({})",
+            s.raw(),
+            t.raw(),
+            if *k == DiffKind::Write {
+                "write"
+            } else {
+                "read"
+            }
+        );
+    }
+
+    let sb = smallbank::SmallbankKit::build(10);
+    println!("== smallbank (inferred) ==");
+    print!(
+        "{}",
+        matrix_json(&sb.tables, &sb.registry, &smallbank::step_names())
+    );
+
+    let sg = saga::SagaKit::build(6, 4);
+    println!("== saga (inferred) ==");
+    print!(
+        "{}",
+        matrix_json(&sg.tables, &sg.registry, &saga::step_names())
+    );
+}
+
 /// Dump the TPC-C design-time analysis: the step×template interference
 /// matrix and every recorded decision with its justification — the paper's
 /// "interference tables … constructed at design time" (§5.1), as an

@@ -675,10 +675,43 @@ pub fn retry_sweep(quick: bool) {
 // Release-mode stress smoke
 // ---------------------------------------------------------------------------
 
-/// The PR-gate stress smoke: an 8-thread closed-loop soak of the standard
-/// mix (with retries) that must end with the consistency audit clean, the
-/// lock table drained, and a sane commit count. Exits non-zero on failure so
-/// `scripts/check.sh` can gate on it.
+/// One closed-loop soak of the fulfilment-saga mix under its *inferred*
+/// interference tables (no hand analysis exists for this family), audited at
+/// quiescence.
+fn saga_cell(terminals: usize, duration: Duration, seed: u64) -> MtCell {
+    use acc_workloads::torture::KitWorkload;
+    use acc_workloads::{saga, WorkloadKit};
+    let kit = Arc::new(saga::SagaKit::build(12, 8));
+    let shared = Arc::new(SharedDb::new(kit.base(), kit.tables() as _));
+    let cc = kit.acc() as _;
+    let workload: Arc<dyn Workload> = Arc::new(KitWorkload(Arc::clone(&kit)));
+    let report = run_closed_loop(
+        &shared,
+        &cc,
+        &workload,
+        &ClosedLoopConfig {
+            terminals,
+            duration,
+            think_time: Duration::ZERO,
+            seed,
+            retry: RetryPolicy::standard(),
+        },
+    );
+    let violations = kit.audit(&shared.snapshot_db());
+    assert!(violations.is_empty(), "{violations:#?}");
+    assert_eq!(shared.total_grants(), 0, "lock grants leaked");
+    MtCell {
+        committed: report.committed,
+        aborted: report.aborted,
+        tps: report.throughput_tps,
+    }
+}
+
+/// The PR-gate stress smoke: 8-thread closed-loop soaks of the standard
+/// TPC-C mix and of the fulfilment-saga mix (deep compensation chains,
+/// inferred tables), each of which must end with its consistency audit
+/// clean, the lock table drained, and a sane commit count. Exits non-zero on
+/// failure so `scripts/check.sh` can gate on it.
 pub fn stress(quick: bool) {
     parallelism_banner();
     let duration = Duration::from_millis(if quick { 500 } else { 1500 });
@@ -694,6 +727,21 @@ pub fn stress(quick: bool) {
     );
     if cell.committed == 0 {
         eprintln!("stress smoke committed nothing — runtime wedged");
+        std::process::exit(1);
+    }
+
+    println!(
+        "\n=== stress smoke: fulfilment saga, 8 terminals, standard retry, {} ms ===",
+        duration.as_millis()
+    );
+    let cell = saga_cell(8, duration, 4242);
+    acc_storage::latch_debug_assert_none_held("saga stress smoke end");
+    println!(
+        "committed={} aborted={} throughput={:.0} tps — saga audit clean, locks drained",
+        cell.committed, cell.aborted, cell.tps
+    );
+    if cell.committed == 0 {
+        eprintln!("saga stress smoke committed nothing — runtime wedged");
         std::process::exit(1);
     }
 }

@@ -31,8 +31,8 @@ use crate::schema::{col, TABLES};
 
 use acc_core::analysis::Decision;
 use acc_core::{
-    Acc, Analysis, AssertionRegistry, InterferenceTables, StepFootprint, StepSpec, TableFootprint,
-    TxnSpec, DIRTY,
+    Acc, Analysis, AssertionRegistry, Inference, InterferenceTables, StepFootprint, StepSpec,
+    TableFootprint, TxnSpec, DIRTY,
 };
 use std::sync::Arc;
 
@@ -60,6 +60,22 @@ pub mod step {
     pub const NO_CS: StepTypeId = StepTypeId(20);
     pub const PAY_CS: StepTypeId = StepTypeId(21);
     pub const DLV_CS: StepTypeId = StepTypeId(22);
+}
+
+/// Key spaces for the inference footprints ([`TpccSystem::infer`]).
+pub mod ks {
+    use acc_core::KeySpace;
+    /// Order ids allocated from `d_next_o_id`: each new-order instance holds
+    /// a freshly allocated id, and its ORDER / NEW-ORDER / ORDER-LINE rows
+    /// are keyed by it.
+    pub const ORDER: KeySpace = KeySpace(0);
+    /// Claimed order ids: each delivery instance atomically claims a
+    /// distinct oldest order per district (the claim deletes the NEW-ORDER
+    /// row), and from then on owns that order's rows.
+    pub const CLAIM: KeySpace = KeySpace(1);
+    /// Per-payment history keys: each payment inserts exactly one HISTORY
+    /// row under its own fresh key.
+    pub const TXN: KeySpace = KeySpace(2);
 }
 
 /// An online edit to the assertion-template set. [`TpccSystem::reanalyze`]
@@ -108,6 +124,19 @@ pub struct Templates {
     /// [`TableEdit::AddAudit`] re-analysis (always the last id, so the base
     /// ids are stable across edits).
     pub audit: Option<acc_common::AssertionTemplateId>,
+}
+
+/// The product of [`TpccSystem::infer`]: the machine-derived matrix over the
+/// base TPC-C templates (same ids as the hand system's), plus its own
+/// registry (the enriched read footprints) and decision log.
+pub struct InferredTpcc {
+    /// The enriched template registry (base ids, refined read footprints).
+    pub registry: AssertionRegistry,
+    /// The machine-derived interference matrix.
+    pub tables: InterferenceTables,
+    /// Every recorded inference decision, with the discharging proof or the
+    /// blocking obligation.
+    pub decisions: Vec<Decision>,
 }
 
 /// The complete design-time product: templates, interference tables, policy.
@@ -266,6 +295,216 @@ impl TpccSystem {
     /// ids are preserved.
     pub fn reanalyze(edit: TableEdit) -> TpccSystem {
         Self::build_edited(Some(edit))
+    }
+
+    /// Step names for reports and the `figures -- infer` JSON dump.
+    pub fn step_names() -> Vec<(acc_common::StepTypeId, &'static str)> {
+        use step::*;
+        vec![
+            (NO_S1, "new-order: header"),
+            (NO_S2, "new-order: one line"),
+            (PAY_S1, "payment: warehouse/district ytd"),
+            (PAY_S2, "payment: customer + history"),
+            (OST, "order-status (read-only)"),
+            (DLV_S1, "delivery: claim oldest new-order"),
+            (DLV_S2, "delivery: apply to order/lines/customer"),
+            (STK, "stock-level (read-only)"),
+            (NO_CS, "new-order compensation"),
+            (PAY_CS, "payment compensation"),
+            (DLV_CS, "delivery compensation"),
+        ]
+    }
+
+    /// Run the *automatic* interference inference over the TPC-C step types
+    /// and base templates — no hand declarations, only footprints enriched
+    /// with the semantic refinements of `acc::footprint` (effects, key
+    /// regions, delta tolerance).
+    ///
+    /// The refinements encode per-footprint facts that hold of our
+    /// implementation: stock/YTD/balance updates are commutative deltas
+    /// compensated by the inverse delta; ORDER/NEW-ORDER/ORDER-LINE inserts
+    /// use the freshly allocated order id ([`ks::ORDER`]); delivery's apply
+    /// and compensation touch only the orders its claim step atomically took
+    /// ([`ks::CLAIM`]); each payment owns its HISTORY key ([`ks::TXN`]).
+    /// Hand declarations resting on *temporal* or cross-step arguments
+    /// ("claimed orders are committed because the claim blocked on DIRTY",
+    /// "compensated orders were never claimable") have no footprint form and
+    /// come out conservatively interfering — `acc::infer::diff` against the
+    /// hand tables makes that cost visible, and the differential test pins
+    /// it.
+    pub fn infer() -> InferredTpcc {
+        use step::*;
+        let mut reg = AssertionRegistry::new();
+        // Same define order as `build_edited`, so template ids line up with
+        // the hand system's and the two matrices are directly comparable.
+        let _no_loop = reg.define(
+            "no-loop: entered lines match loop progress for this order",
+            vec![
+                // "This order" is the instance's own freshly allocated id.
+                TableFootprint::columns(TABLES.order, [col::o::OL_CNT]).own(ks::ORDER),
+                TableFootprint::rows(TABLES.order_line, []).own(ks::ORDER),
+            ],
+            None,
+        );
+        let _pay_mid = reg.define(
+            "pay-mid: w_ytd and d_ytd include this payment's amount",
+            vec![
+                // "Includes my contribution" is invariant under other
+                // payments' commutative additions.
+                TableFootprint::columns(TABLES.warehouse, [col::w::YTD]).tolerates_deltas(),
+                TableFootprint::columns(TABLES.district, [col::d::YTD]).tolerates_deltas(),
+            ],
+            None,
+        );
+        let _dlv_loop = reg.define(
+            "dlv-loop: districts processed so far are fully delivered",
+            vec![
+                TableFootprint::columns(TABLES.order, [col::o::CARRIER_ID]),
+                TableFootprint::columns(TABLES.order_line, [col::ol::DELIVERY_D]),
+                TableFootprint::rows(TABLES.new_order, []),
+                TableFootprint::columns(TABLES.customer, [col::c::BALANCE]).tolerates_deltas(),
+            ],
+            None,
+        );
+        let _dlv_dirty = reg.define_guard("dlv-dirty: uncommitted delivery writes");
+
+        let (tables, decisions) = Inference::new(&reg)
+            .step(StepFootprint::new(
+                NO_S1,
+                "new-order: header",
+                vec![
+                    TableFootprint::columns(TABLES.district, [col::d::NEXT_O_ID]).delta(),
+                    TableFootprint::rows(
+                        TABLES.order,
+                        [
+                            col::o::W_ID,
+                            col::o::D_ID,
+                            col::o::ID,
+                            col::o::C_ID,
+                            col::o::ENTRY_D,
+                            col::o::CARRIER_ID,
+                            col::o::OL_CNT,
+                            col::o::ALL_LOCAL,
+                        ],
+                    )
+                    .fresh(ks::ORDER),
+                    TableFootprint::rows(TABLES.new_order, [0, 1, 2]).fresh(ks::ORDER),
+                ],
+            ))
+            .step(StepFootprint::new(
+                NO_S2,
+                "new-order: one line",
+                vec![
+                    TableFootprint::columns(
+                        TABLES.stock,
+                        [col::s::QUANTITY, col::s::YTD, col::s::ORDER_CNT],
+                    )
+                    .delta(),
+                    TableFootprint::rows(TABLES.order_line, (0..10).collect::<Vec<_>>())
+                        .fresh(ks::ORDER),
+                ],
+            ))
+            .step(StepFootprint::new(
+                PAY_S1,
+                "payment: warehouse/district ytd",
+                vec![
+                    TableFootprint::columns(TABLES.warehouse, [col::w::YTD]).delta(),
+                    TableFootprint::columns(TABLES.district, [col::d::YTD]).delta(),
+                ],
+            ))
+            .step(StepFootprint::new(
+                PAY_S2,
+                "payment: customer + history",
+                // The hand footprint also lists `c_data` (the TPC-C spec
+                // rewrites it for bad credit); our implementation only ever
+                // appends fixed-at-execution deltas to the numeric columns,
+                // so the inferred footprint can drop it and declare the rest
+                // a delta.
+                vec![
+                    TableFootprint::columns(
+                        TABLES.customer,
+                        [col::c::BALANCE, col::c::YTD_PAYMENT, col::c::PAYMENT_CNT],
+                    )
+                    .delta(),
+                    TableFootprint::rows(TABLES.history, (0..6).collect::<Vec<_>>()).fresh(ks::TXN),
+                ],
+            ))
+            .step(StepFootprint::new(OST, "order-status (read-only)", vec![]))
+            .step(StepFootprint::new(
+                DLV_S1,
+                "delivery: claim oldest new-order",
+                // The claim deletes *some district's oldest* NEW-ORDER row —
+                // which one depends on the live backlog, so no key region
+                // confines it. This is exactly the hand table's temporal
+                // argument ("claims are atomic, hence distinct") that
+                // footprints cannot express.
+                vec![TableFootprint::rows(TABLES.new_order, [])],
+            ))
+            .step(StepFootprint::new(
+                DLV_S2,
+                "delivery: apply to order/lines/customer",
+                vec![
+                    TableFootprint::columns(TABLES.order, [col::o::CARRIER_ID]).own(ks::CLAIM),
+                    TableFootprint::columns(TABLES.order_line, [col::ol::DELIVERY_D])
+                        .own(ks::CLAIM),
+                    TableFootprint::columns(
+                        TABLES.customer,
+                        [col::c::BALANCE, col::c::DELIVERY_CNT],
+                    )
+                    .delta(),
+                ],
+            ))
+            .step(StepFootprint::new(STK, "stock-level (read-only)", vec![]))
+            .step(StepFootprint::new(
+                NO_CS,
+                "new-order compensation",
+                vec![
+                    TableFootprint::rows(TABLES.order, []).own(ks::ORDER),
+                    TableFootprint::rows(TABLES.new_order, []).own(ks::ORDER),
+                    TableFootprint::rows(TABLES.order_line, []).own(ks::ORDER),
+                    TableFootprint::columns(
+                        TABLES.stock,
+                        [col::s::QUANTITY, col::s::YTD, col::s::ORDER_CNT],
+                    )
+                    .delta(),
+                ],
+            ))
+            .step(StepFootprint::new(
+                PAY_CS,
+                "payment compensation",
+                vec![
+                    TableFootprint::columns(TABLES.warehouse, [col::w::YTD]).delta(),
+                    TableFootprint::columns(TABLES.district, [col::d::YTD]).delta(),
+                    TableFootprint::columns(
+                        TABLES.customer,
+                        [col::c::BALANCE, col::c::YTD_PAYMENT, col::c::PAYMENT_CNT],
+                    )
+                    .delta(),
+                    TableFootprint::rows(TABLES.history, []).own(ks::TXN),
+                ],
+            ))
+            .step(StepFootprint::new(
+                DLV_CS,
+                "delivery compensation",
+                vec![
+                    TableFootprint::rows(TABLES.new_order, []).own(ks::CLAIM),
+                    TableFootprint::columns(TABLES.order, [col::o::CARRIER_ID]).own(ks::CLAIM),
+                    TableFootprint::columns(TABLES.order_line, [col::ol::DELIVERY_D])
+                        .own(ks::CLAIM),
+                    TableFootprint::columns(
+                        TABLES.customer,
+                        [col::c::BALANCE, col::c::DELIVERY_CNT],
+                    )
+                    .delta(),
+                ],
+            ))
+            .require_committed_reads(OST)
+            .build();
+        InferredTpcc {
+            registry: reg,
+            tables,
+            decisions,
+        }
     }
 
     fn build_edited(edit: Option<TableEdit>) -> TpccSystem {

@@ -1,0 +1,426 @@
+//! A workload-generic crash/switchover torture harness.
+//!
+//! The TPC-C harness (`acc-tpcc`'s `torture` module) hard-codes its
+//! population, mix and consistency conditions. This module factors the
+//! protocol out behind [`WorkloadKit`] so any workload family that can
+//! populate a base database, generate seeded programs, rebuild in-flight
+//! programs from recovered work areas, and audit its own invariants gets the
+//! full treatment:
+//!
+//! 1. **baseline** — the seeded mix runs single-threaded under the family's
+//!    *inferred* tables; the quiescent audit must be clean and no lock grant
+//!    may remain;
+//! 2. **live switchover** — the same mix starts under the fully-conservative
+//!    default tables and, at a mid-run step boundary, installs the inferred
+//!    tables through [`SharedDb::install_oracle`] — the PR 5 epoch-versioned
+//!    registry path. Exactly one switch, zero mixed-epoch lookups, and a WAL
+//!    byte-identical to the baseline (table installation is pure metadata);
+//!    a second, quiescent install must complete [`InstallOutcome::Immediate`];
+//! 3. **determinism** — the baseline re-run produces a byte-identical WAL;
+//! 4. **crash sweep** — the baseline image is cut at every record append
+//!    (strided down to [`WorkloadTortureConfig::max_append_points`]); each
+//!    prefix is salvaged, recovered into a pristine base, compensation is
+//!    resumed, and the point must satisfy the family audit, the
+//!    no-silent-loss accounting, and zero lock leakage. The deepest
+//!    compensation chain observed is reported, so the saga family can assert
+//!    its long chains were actually exercised.
+
+use acc_common::{Error, Result, SeededRng};
+use acc_core::{Acc, InterferenceTables};
+use acc_lockmgr::{InstallOutcome, SharedOracle};
+use acc_storage::Database;
+use acc_txn::runner::{rollback, run};
+use acc_txn::{SharedDb, Transaction, TxnProgram, TxnState, WaitMode};
+use acc_wal::{recover, InFlight, Wal};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+use crate::{saga, smallbank};
+
+/// Everything the generic harness needs to know about a workload family.
+pub trait WorkloadKit: Send + Sync {
+    /// Family name for report lines.
+    fn name(&self) -> &'static str;
+    /// A freshly populated base database (deterministic).
+    fn base(&self) -> Database;
+    /// The family's inferred interference tables.
+    fn tables(&self) -> Arc<InterferenceTables>;
+    /// The family's ACC policy.
+    fn acc(&self) -> Arc<Acc>;
+    /// The next transaction of the seeded mix.
+    fn next_program(&self, rng: &mut SeededRng) -> Box<dyn TxnProgram + Send>;
+    /// Rebuild the compensable program for a recovered in-flight
+    /// transaction from its durable work area.
+    fn program_for_inflight(&self, inf: &InFlight) -> Result<Box<dyn TxnProgram + Send>>;
+    /// The family's quiescent consistency audit: one line per violation.
+    fn audit(&self, db: &Database) -> Vec<String>;
+}
+
+impl WorkloadKit for smallbank::SmallbankKit {
+    fn name(&self) -> &'static str {
+        "smallbank"
+    }
+    fn base(&self) -> Database {
+        smallbank::populate(self.accounts)
+    }
+    fn tables(&self) -> Arc<InterferenceTables> {
+        Arc::clone(&self.tables)
+    }
+    fn acc(&self) -> Arc<Acc> {
+        Arc::clone(&self.acc)
+    }
+    fn next_program(&self, rng: &mut SeededRng) -> Box<dyn TxnProgram + Send> {
+        smallbank::SmallbankKit::next_program(self, rng)
+    }
+    fn program_for_inflight(&self, inf: &InFlight) -> Result<Box<dyn TxnProgram + Send>> {
+        smallbank::SmallbankKit::program_for_inflight(self, inf)
+    }
+    fn audit(&self, db: &Database) -> Vec<String> {
+        smallbank::audit(db)
+    }
+}
+
+impl WorkloadKit for saga::SagaKit {
+    fn name(&self) -> &'static str {
+        "saga"
+    }
+    fn base(&self) -> Database {
+        saga::populate(self.skus, self.customers)
+    }
+    fn tables(&self) -> Arc<InterferenceTables> {
+        Arc::clone(&self.tables)
+    }
+    fn acc(&self) -> Arc<Acc> {
+        Arc::clone(&self.acc)
+    }
+    fn next_program(&self, rng: &mut SeededRng) -> Box<dyn TxnProgram + Send> {
+        saga::SagaKit::next_program(self, rng)
+    }
+    fn program_for_inflight(&self, inf: &InFlight) -> Result<Box<dyn TxnProgram + Send>> {
+        saga::SagaKit::program_for_inflight(self, inf)
+    }
+    fn audit(&self, db: &Database) -> Vec<String> {
+        saga::audit(db)
+    }
+}
+
+/// Adapts a [`WorkloadKit`] to the threaded engine's
+/// [`Workload`](acc_engine::Workload) trait for closed-loop stress runs.
+pub struct KitWorkload<K: WorkloadKit>(pub Arc<K>);
+
+impl<K: WorkloadKit> acc_engine::Workload for KitWorkload<K> {
+    fn next_program(&self, rng: &mut SeededRng) -> Box<dyn TxnProgram + Send> {
+        self.0.next_program(rng)
+    }
+}
+
+/// Sizing of a generic torture run. Everything is derived from `seed`; two
+/// runs with an equal config produce byte-identical outcome logs.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadTortureConfig {
+    /// Master seed for the mix.
+    pub seed: u64,
+    /// Transactions in the seeded mix.
+    pub txns: usize,
+    /// Cap on crash points (the sweep strides the append indexes down to
+    /// at most this many cuts, always including the final append).
+    pub max_append_points: usize,
+}
+
+/// Aggregate outcome of [`run_workload_torture`].
+#[derive(Debug, Clone)]
+pub struct WorkloadTortureReport {
+    /// Crash points actually swept.
+    pub points: usize,
+    /// Transactions replayed (committed + aborted) summed over points.
+    pub replayed: usize,
+    /// Compensations resumed, summed over points.
+    pub compensated: usize,
+    /// Transactions discarded (no durable step), summed over points.
+    pub discarded: usize,
+    /// Audit violations summed over every phase and point. Must be zero.
+    pub violations: usize,
+    /// Deepest compensation chain resumed anywhere in the sweep, in
+    /// completed steps.
+    pub max_comp_depth: u32,
+    /// The deterministic per-point outcome log.
+    pub log: String,
+}
+
+struct MixRun {
+    image: Vec<u8>,
+    boundaries: u64,
+    epoch: u64,
+    switches: u64,
+    mixed: u64,
+    outcome: Option<InstallOutcome>,
+    violations: Vec<String>,
+    grants: usize,
+}
+
+/// Run the seeded mix single-threaded, bootstrapped with `bootstrap` tables,
+/// optionally installing `install` at the given 1-based step boundary
+/// through the live hook.
+fn run_mix(
+    kit: &dyn WorkloadKit,
+    cfg: &WorkloadTortureConfig,
+    bootstrap: SharedOracle,
+    install: Option<(u64, SharedOracle)>,
+) -> Result<MixRun> {
+    let shared = Arc::new(SharedDb::new(kit.base(), bootstrap));
+    let outcome = Arc::new(Mutex::new(None));
+    if let Some((at, tables)) = install {
+        let sh = Arc::clone(&shared);
+        let out = Arc::clone(&outcome);
+        shared.set_step_boundary_hook(Some(Box::new(move |count| {
+            if count == at {
+                let o = sh.install_oracle(Arc::clone(&tables));
+                *out.lock().expect("outcome not poisoned") = Some(o);
+            }
+        })));
+    }
+    let acc = kit.acc();
+    let mut rng = SeededRng::new(cfg.seed ^ 0x776b_6c64); // "wkld"
+    for _ in 0..cfg.txns {
+        let mut program = kit.next_program(&mut rng);
+        run(&shared, &*acc, program.as_mut(), WaitMode::Block)?;
+    }
+    // Dropping the hook breaks its `Arc<SharedDb>` cycle.
+    shared.set_step_boundary_hook(None);
+    let outcome = *outcome.lock().expect("outcome not poisoned");
+    let reg = shared.registry();
+    Ok(MixRun {
+        image: shared.wal_bytes(),
+        boundaries: shared.step_boundaries(),
+        epoch: reg.epoch(),
+        switches: reg.switches(),
+        mixed: reg.mixed_epoch_lookups(),
+        outcome,
+        violations: kit.audit(&shared.snapshot_db()),
+        grants: shared.total_grants(),
+    })
+}
+
+/// Byte offsets just *after* each whole record frame in `image`.
+fn record_offsets(image: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while image.len() - pos >= 12 {
+        let len = u32::from_le_bytes(image[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        if image.len() - pos - 12 < len {
+            break;
+        }
+        pos += 12 + len;
+        out.push(pos);
+    }
+    out
+}
+
+struct PointStats {
+    replayed: usize,
+    compensated: usize,
+    discarded: usize,
+    violations: usize,
+    max_depth: u32,
+}
+
+/// One crash point: salvage `bytes`, recover into a clone of `base`, resume
+/// compensation through the family's recovered programs, then check the
+/// family audit, lock cleanliness and the no-silent-loss accounting.
+fn crash_and_recover(kit: &dyn WorkloadKit, base: &Database, bytes: &[u8]) -> Result<PointStats> {
+    let salvaged = Wal::from_bytes(bytes);
+    let txns_on_log: HashSet<_> = salvaged.records().iter().map(|r| r.txn()).collect();
+
+    let mut db = base.clone();
+    let report = recover(&mut db, &salvaged)?;
+    let shared = SharedDb::new(db, kit.tables() as _);
+    let acc = kit.acc();
+    let mut compensated = 0usize;
+    let mut max_depth = 0u32;
+    for inf in &report.needs_compensation {
+        let mut program = kit.program_for_inflight(inf)?;
+        let mut txn = Transaction::new(inf.txn, inf.txn_type);
+        txn.steps_completed = inf.steps_completed;
+        txn.step_index = inf.steps_completed;
+        txn.state = TxnState::Active;
+        rollback(&shared, &*acc, program.as_mut(), &mut txn)?;
+        max_depth = max_depth.max(inf.steps_completed);
+        compensated += 1;
+    }
+
+    let replayed = report.committed.len() + report.aborted.len();
+    let discarded = report.discarded.len();
+    // No silent loss: every transaction that reached the salvaged log is in
+    // exactly one bucket.
+    if replayed + compensated + discarded != txns_on_log.len() {
+        return Err(Error::Internal(format!(
+            "accounting hole: {} txns on log, {replayed} replayed + {compensated} compensated + \
+             {discarded} discarded",
+            txns_on_log.len(),
+        )));
+    }
+
+    let violations = kit.audit(&shared.snapshot_db()).len();
+    let grants = shared.total_grants();
+    // Compensation must leave no lock behind; a leak here stalls the next
+    // workload a real restart would admit.
+    if grants != 0 {
+        return Err(Error::Internal(format!(
+            "{grants} lock grants leaked by post-crash compensation"
+        )));
+    }
+    Ok(PointStats {
+        replayed,
+        compensated,
+        discarded,
+        violations,
+        max_depth,
+    })
+}
+
+/// Run the full four-phase torture protocol for one workload family.
+pub fn run_workload_torture(
+    kit: &dyn WorkloadKit,
+    cfg: &WorkloadTortureConfig,
+) -> Result<WorkloadTortureReport> {
+    let mut log = String::new();
+    let name = kit.name();
+
+    // Phase 1: baseline under the inferred tables.
+    let baseline = run_mix(kit, cfg, kit.tables() as _, None)?;
+    if !baseline.violations.is_empty() {
+        return Err(Error::Internal(format!(
+            "{name} baseline audit failed: {}",
+            baseline.violations.join("; ")
+        )));
+    }
+    if baseline.grants != 0 {
+        return Err(Error::Internal(format!(
+            "{name} baseline leaked {} lock grants",
+            baseline.grants
+        )));
+    }
+    if baseline.switches != 0 || baseline.epoch != 0 {
+        return Err(Error::Internal(format!(
+            "{name} baseline saw unexpected table switches"
+        )));
+    }
+    let _ = writeln!(
+        log,
+        "[{name}] baseline: {} wal bytes, {} step boundaries",
+        baseline.image.len(),
+        baseline.boundaries
+    );
+
+    // Phase 2: live switchover — bootstrap with the fully-conservative
+    // default tables, install the inferred ones mid-run through the
+    // epoch-versioned registry.
+    let at = (baseline.boundaries / 2).max(1);
+    let switched = run_mix(
+        kit,
+        cfg,
+        Arc::new(InterferenceTables::default()) as _,
+        Some((at, kit.tables() as _)),
+    )?;
+    let outcome = switched.outcome.ok_or_else(|| {
+        Error::Internal(format!(
+            "{name} switchover hook never fired (boundary {at} of {})",
+            switched.boundaries
+        ))
+    })?;
+    if switched.switches != 1 || switched.epoch != 1 {
+        return Err(Error::Internal(format!(
+            "{name} switchover: expected exactly one switch to epoch 1, saw {} (epoch {})",
+            switched.switches, switched.epoch
+        )));
+    }
+    if switched.mixed != 0 {
+        return Err(Error::Internal(format!(
+            "{name} switchover: {} mixed-epoch lookups",
+            switched.mixed
+        )));
+    }
+    if switched.image != baseline.image {
+        return Err(Error::Internal(format!(
+            "{name} switchover perturbed the durable history: {} vs {} baseline bytes",
+            switched.image.len(),
+            baseline.image.len()
+        )));
+    }
+    if !switched.violations.is_empty() || switched.grants != 0 {
+        return Err(Error::Internal(format!(
+            "{name} switchover run left {} violations, {} grants",
+            switched.violations.len(),
+            switched.grants
+        )));
+    }
+    let _ = writeln!(
+        log,
+        "[{name}] switchover at boundary {at}: {:?}, wal identical",
+        outcome
+    );
+
+    // Quiescent install: with nothing running, the same install completes
+    // immediately.
+    {
+        let shared = SharedDb::new(kit.base(), Arc::new(InterferenceTables::default()) as _);
+        match shared.install_oracle(kit.tables() as _) {
+            InstallOutcome::Immediate { epoch: 1 } => {}
+            other => {
+                return Err(Error::Internal(format!(
+                    "{name} quiescent install: expected Immediate {{ epoch: 1 }}, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    // Phase 3: determinism — the baseline re-run is byte-identical.
+    let rerun = run_mix(kit, cfg, kit.tables() as _, None)?;
+    if rerun.image != baseline.image {
+        return Err(Error::Internal(format!(
+            "{name} is not deterministic: re-run produced {} wal bytes vs {}",
+            rerun.image.len(),
+            baseline.image.len()
+        )));
+    }
+
+    // Phase 4: crash sweep over every append index, strided to the cap.
+    let base = kit.base();
+    let offsets = record_offsets(&baseline.image);
+    let stride = offsets.len().div_ceil(cfg.max_append_points).max(1);
+    let mut report = WorkloadTortureReport {
+        points: 0,
+        replayed: 0,
+        compensated: 0,
+        discarded: 0,
+        violations: baseline.violations.len() + switched.violations.len(),
+        max_comp_depth: 0,
+        log,
+    };
+    for (idx, &off) in offsets.iter().enumerate() {
+        let last = idx == offsets.len() - 1;
+        if idx % stride != 0 && !last {
+            continue;
+        }
+        let stats = crash_and_recover(kit, &base, &baseline.image[..off])?;
+        report.points += 1;
+        report.replayed += stats.replayed;
+        report.compensated += stats.compensated;
+        report.discarded += stats.discarded;
+        report.violations += stats.violations;
+        report.max_comp_depth = report.max_comp_depth.max(stats.max_depth);
+        let _ = writeln!(
+            report.log,
+            "[{name}] point {idx} cut {off}: replayed {} compensated {} discarded {} \
+             violations {} depth {}",
+            stats.replayed, stats.compensated, stats.discarded, stats.violations, stats.max_depth
+        );
+    }
+    let _ = writeln!(
+        report.log,
+        "[{name}] sweep: {} points, {} compensated, max depth {}, {} violations",
+        report.points, report.compensated, report.max_comp_depth, report.violations
+    );
+    Ok(report)
+}

@@ -1,0 +1,246 @@
+//! The two bring-your-own-workload families end to end: matrix shape as the
+//! inference derives it, the four-phase crash/switchover torture protocol,
+//! and a short multi-threaded closed-loop burn for each family.
+//!
+//! Nothing here consults a hand-written interference table — the matrices
+//! under test are exactly what [`acc_core::Inference`] produced from the
+//! declared footprints, installed through the live registry.
+
+use acc_core::{InterferenceTables, DIRTY};
+use acc_engine::{run_closed_loop, ClosedLoopConfig, RetryPolicy, Workload};
+use acc_lockmgr::InterferenceOracle;
+use acc_txn::SharedDb;
+use acc_workloads::torture::KitWorkload;
+use acc_workloads::{run_workload_torture, saga, smallbank, WorkloadKit, WorkloadTortureConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Matrix shape: the inference must prove exactly the cells the footprint
+// arguments support, and nothing more.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn smallbank_inferred_matrix_shape() {
+    use smallbank::step::*;
+    let kit = smallbank::SmallbankKit::build(10);
+    let t: &InterferenceTables = &kit.tables;
+    let all = [
+        BAL, DEP, TRS, WRC, SP_S1, SP_S2, AMG_S1, AMG_S2, OPEN, SP_CS, AMG_CS,
+    ];
+
+    // Balance-conservation template: every delta-writing step is proved
+    // tolerable; the fresh-row OPEN step is the one conservative cell — its
+    // inserts land in tables the template reads with row cardinality, and
+    // "fresh keys" says nothing about a COUNT-style predicate.
+    for s in all {
+        let expect = s == OPEN;
+        assert_eq!(
+            t.write_interferes(s, kit.conserve),
+            expect,
+            "conserve cell for step {s:?}"
+        );
+    }
+
+    // DIRTY: every step is analyzed (writes either commute or are confined
+    // to fresh/own regions), so none needs the legacy read fence.
+    for s in all {
+        assert!(!t.write_interferes(s, DIRTY), "dirty cell for step {s:?}");
+        assert!(t.is_analyzed(s), "step {s:?} analyzed");
+    }
+
+    // The read-only balance inquiry runs on committed data.
+    assert!(t.is_committed_reader(BAL));
+    assert!(t.read_interferes(BAL, DIRTY));
+    // Version-read eligibility at the oracle level means "write row
+    // all-clear" (the per-transaction `version_safe` flag is the second
+    // half of the gate); only OPEN carries an interfering write here.
+    for s in all {
+        assert_eq!(
+            t.version_read_safe(s),
+            s != OPEN,
+            "version reads for step {s:?}"
+        );
+    }
+}
+
+#[test]
+fn saga_inferred_matrix_shape() {
+    use saga::step::*;
+    let kit = saga::SagaKit::build(6, 4);
+    let t: &InterferenceTables = &kit.tables;
+    let all = [FUL_S1, FUL_RES, FUL_PAY, FUL_SHIP, RESTOCK, STATUS, FUL_CS];
+
+    // res-mid reads LEDGER.capacity *without* delta tolerance, so the two
+    // capacity-writing steps are conservatively blocked; everything else is
+    // proved out (tolerated deltas, own-region rows, fresh inserts into
+    // row-sets the template scopes to the instance's own key space).
+    for s in all {
+        let expect = s == FUL_SHIP || s == RESTOCK;
+        assert_eq!(
+            t.write_interferes(s, kit.res_mid),
+            expect,
+            "res-mid cell for step {s:?}"
+        );
+    }
+    for s in all {
+        assert!(!t.write_interferes(s, DIRTY), "dirty cell for step {s:?}");
+        assert!(t.is_analyzed(s), "step {s:?} analyzed");
+    }
+    assert!(t.is_committed_reader(STATUS));
+    // Oracle-level version-read eligibility tracks the all-clear write row:
+    // the two conservative capacity writers are the only exclusions.
+    for s in all {
+        assert_eq!(
+            t.version_read_safe(s),
+            s != FUL_SHIP && s != RESTOCK,
+            "version reads for step {s:?}"
+        );
+    }
+}
+
+#[test]
+fn inference_decisions_cover_every_declared_step() {
+    let sb = smallbank::SmallbankKit::build(6);
+    assert!(!sb.decisions.is_empty());
+    let sg = saga::SagaKit::build(4, 3);
+    assert!(!sg.decisions.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Torture: four-phase protocol per family.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn smallbank_survives_the_torture_protocol() {
+    let kit = smallbank::SmallbankKit::build(8);
+    let cfg = WorkloadTortureConfig {
+        seed: 0xB4A2,
+        txns: 120,
+        max_append_points: 80,
+    };
+    let report = run_workload_torture(&kit, &cfg).expect("torture protocol");
+    assert_eq!(
+        report.violations, 0,
+        "consistency violations:\n{}",
+        report.log
+    );
+    assert!(
+        report.points >= 40,
+        "only {} crash points swept",
+        report.points
+    );
+    assert!(
+        report.compensated > 0,
+        "sweep never resumed a compensation — mix too shallow?\n{}",
+        report.log
+    );
+    // Determinism of the sweep itself: the outcome log is a pure function
+    // of the config.
+    let again = run_workload_torture(&kit, &cfg).expect("torture re-run");
+    assert_eq!(report.log, again.log, "torture log not deterministic");
+}
+
+#[test]
+fn saga_survives_the_torture_protocol_with_deep_chains() {
+    let kit = saga::SagaKit::build(6, 4);
+    let cfg = WorkloadTortureConfig {
+        seed: 0x5A6A,
+        txns: 110,
+        max_append_points: 90,
+    };
+    let report = run_workload_torture(&kit, &cfg).expect("torture protocol");
+    assert_eq!(
+        report.violations, 0,
+        "consistency violations:\n{}",
+        report.log
+    );
+    assert!(
+        report.points >= 40,
+        "only {} crash points swept",
+        report.points
+    );
+    // The whole reason this family exists: crash points late in a four-leg
+    // saga leave compensation chains far past TPC-C's two-to-three steps.
+    assert!(
+        report.max_comp_depth >= 5,
+        "deepest resumed chain was {} completed steps — want >= 5\n{}",
+        report.max_comp_depth,
+        report.log
+    );
+    let again = run_workload_torture(&kit, &cfg).expect("torture re-run");
+    assert_eq!(report.log, again.log, "torture log not deterministic");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: a short closed-loop burn under the inferred tables, audited
+// at quiescence. (The release-mode stress gate runs the long version; this
+// keeps the property in the plain test suite.)
+// ---------------------------------------------------------------------------
+
+fn burn(kit: Arc<dyn WorkloadKit>, seed: u64) {
+    let shared = Arc::new(SharedDb::new(kit.base(), kit.tables() as _));
+    let cc: Arc<dyn acc_txn::ConcurrencyControl> = kit.acc();
+    let workload: Arc<dyn Workload> = Arc::new(KitWorkload(Arc::new(KitRef(Arc::clone(&kit)))));
+    let report = run_closed_loop(
+        &shared,
+        &cc,
+        &workload,
+        &ClosedLoopConfig {
+            terminals: 8,
+            duration: Duration::from_millis(200),
+            think_time: Duration::ZERO,
+            seed,
+            retry: RetryPolicy::standard(),
+        },
+    );
+    assert!(report.committed > 0, "{}: nothing committed", kit.name());
+    let violations = kit.audit(&shared.snapshot_db());
+    assert!(
+        violations.is_empty(),
+        "{} audit after 8-thread burn: {violations:?}",
+        kit.name()
+    );
+    assert_eq!(shared.total_grants(), 0, "{}: grants leaked", kit.name());
+}
+
+/// A [`WorkloadKit`] forwarder so the trait-object kit can ride through the
+/// generic [`KitWorkload`] adapter.
+struct KitRef(Arc<dyn WorkloadKit>);
+
+impl WorkloadKit for KitRef {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn base(&self) -> acc_storage::Database {
+        self.0.base()
+    }
+    fn tables(&self) -> Arc<InterferenceTables> {
+        self.0.tables()
+    }
+    fn acc(&self) -> Arc<acc_core::Acc> {
+        self.0.acc()
+    }
+    fn next_program(&self, rng: &mut acc_common::SeededRng) -> Box<dyn acc_txn::TxnProgram + Send> {
+        self.0.next_program(rng)
+    }
+    fn program_for_inflight(
+        &self,
+        inf: &acc_wal::InFlight,
+    ) -> acc_common::Result<Box<dyn acc_txn::TxnProgram + Send>> {
+        self.0.program_for_inflight(inf)
+    }
+    fn audit(&self, db: &acc_storage::Database) -> Vec<String> {
+        self.0.audit(db)
+    }
+}
+
+#[test]
+fn smallbank_eight_thread_burn() {
+    burn(Arc::new(smallbank::SmallbankKit::build(12)), 0xCAFE);
+}
+
+#[test]
+fn saga_eight_thread_burn() {
+    burn(Arc::new(saga::SagaKit::build(8, 6)), 0xFEED);
+}

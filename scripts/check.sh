@@ -25,6 +25,13 @@ echo "== oracle edge cases + epoch registry tests =="
 cargo test -p acc-core --offline -q --test oracle_edges
 cargo test -p acc-lockmgr --offline -q registry
 
+echo "== interference inference: brute-force soundness + differential vs hand tables =="
+cargo test -p acc-core --offline -q --test infer_prop
+cargo test -p acc-tpcc --offline -q --test infer_diff
+
+echo "== bring-your-own workloads: inferred-table torture + switchover + 8-thread burns =="
+cargo test -p acc-workloads --offline -q
+
 echo "== MVCC-lite visibility property tests + version-read observability =="
 cargo test -p acc-storage --offline -q --test visibility_prop
 cargo test --offline -q --test observability
@@ -61,6 +68,11 @@ t1="$(mktemp)"; t2="$(mktemp)"
 trap 'rm -f "$t1" "$t2"' EXIT
 cargo run -p acc-bench --release --offline --bin figures -- tables > "$t1"
 cargo run -p acc-bench --release --offline --bin figures -- tables > "$t2"
+cmp "$t1" "$t2"
+
+echo "== determinism: two consecutive 'figures -- infer' runs byte-identical =="
+cargo run -p acc-bench --release --offline --bin figures -- infer > "$t1"
+cargo run -p acc-bench --release --offline --bin figures -- infer > "$t2"
 cmp "$t1" "$t2"
 
 echo "== README vs figures --help drift =="
