@@ -8,17 +8,18 @@
 //! Subcommands: `fig2`, `fig3`, `fig4`, `servers`, `olcount`, `ablation`,
 //! `twolevel`, `lockstat`, `tables`, `infer`, `torture` (`--strided` for the
 //! benchmark-scale sweep, `--fsync` for the fsync-boundary sweep,
-//! `--reanalysis` for the online table-switchover sweep), `wal`, `mtbench`,
-//! `pagebench`, `retry`, `stress`, `all`. `--quick` runs a shorter sweep for
-//! smoke-testing. The deterministic simulator subcommands (everything in
-//! `all`) are byte-identical across runs; `wal`/`mtbench`/`pagebench`/
-//! `retry`/`stress` are wall-clock and intentionally kept out of `all`.
+//! `--reanalysis` for the online table-switchover sweep, `--net` for the
+//! network front-end), `wal`, `mtbench`, `pagebench`, `retry`, `stress`,
+//! `saturate`, `all`. `--quick` runs a shorter sweep for smoke-testing. The
+//! deterministic simulator subcommands (everything in `all`) are
+//! byte-identical across runs; `wal`/`mtbench`/`pagebench`/`retry`/`stress`/
+//! `saturate` are wall-clock and intentionally kept out of `all`.
 
 use acc_bench::figures::{
     ablation_table, dump_inferred, dump_tables, fig2, fig3, fig4, lockstat, olcount_table,
     servers_table, torture, torture_strided, twolevel_table, FigureParams,
 };
-use acc_bench::{mtbench, pagebench, walbench};
+use acc_bench::{mtbench, netbench, pagebench, walbench};
 
 /// Every subcommand, one line each, for `--help`. `scripts/check.sh` greps
 /// this output against the subcommands the README mentions, so the list must
@@ -26,7 +27,7 @@ use acc_bench::{mtbench, pagebench, walbench};
 const HELP: &str = "\
 regenerate the paper's figures and tables
 
-usage: figures -- <subcommand> [--quick] [--strided] [--fsync] [--reanalysis] [--ship]
+usage: figures -- <subcommand> [--quick] [--strided] [--fsync] [--reanalysis] [--ship] [--net] [--schedule]
 
 subcommands:
   fig2       paper figure 2: throughput vs multiprogramming level
@@ -44,13 +45,18 @@ subcommands:
   torture    crash-torture sweep (--strided: benchmark scale;
              --fsync: fsync-boundary sweep; --reanalysis: online
              table re-analysis with epoch switchover; --ship:
-             WAL-shipping replication crashed at every ship boundary)
+             WAL-shipping replication crashed at every ship boundary;
+             --net: network front-end tortured with connection faults
+             and crashes at every protocol boundary)
   wal        group-commit latency/throughput sweep (wall-clock)
   mtbench    multi-thread lock-manager benchmark (wall-clock)
   pagebench  paged B-tree storage benchmark: page ops, splits,
              latch waits, read restarts (wall-clock)
   retry      deadlock-retry sweep (wall-clock)
   stress     multi-thread consistency stress (wall-clock)
+  saturate   open-loop latency sweep past saturation through the
+             network front-end (wall-clock; --schedule prints only
+             the seeded arrival schedule, byte-identical per seed)
   all        every deterministic simulator figure above
 
 flags:
@@ -69,6 +75,8 @@ fn main() {
     let fsync = args.iter().any(|a| a == "--fsync");
     let reanalysis = args.iter().any(|a| a == "--reanalysis");
     let ship = args.iter().any(|a| a == "--ship");
+    let net = args.iter().any(|a| a == "--net");
+    let schedule = args.iter().any(|a| a == "--schedule");
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -120,7 +128,9 @@ fn main() {
             lockstat(&params);
         }
         "torture" => {
-            if ship {
+            if net {
+                netbench::net_torture(quick);
+            } else if ship {
                 walbench::ship_torture(quick);
             } else if reanalysis {
                 walbench::reanalysis_torture(quick);
@@ -147,6 +157,13 @@ fn main() {
         "stress" => {
             mtbench::stress(quick);
         }
+        "saturate" => {
+            if schedule {
+                netbench::saturate_schedule_dump(quick);
+            } else {
+                netbench::saturate(quick);
+            }
+        }
         "all" => {
             fig2(&params);
             fig3(&params);
@@ -157,7 +174,7 @@ fn main() {
             twolevel_table(&params);
         }
         other => {
-            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|infer|torture|wal|mtbench|pagebench|retry|stress|all");
+            eprintln!("unknown experiment `{other}`; use fig2|fig3|fig4|servers|olcount|ablation|twolevel|lockstat|tables|infer|torture|wal|mtbench|pagebench|retry|stress|saturate|all");
             std::process::exit(2);
         }
     }

@@ -10,6 +10,7 @@
 pub mod figures;
 pub mod microbench;
 pub mod mtbench;
+pub mod netbench;
 pub mod pagebench;
 pub mod walbench;
 

@@ -128,6 +128,28 @@ impl fmt::Display for TxnList {
     }
 }
 
+/// What the admission controller decided for one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// Queued for a worker (within the bounded admission queue).
+    Accepted,
+    /// Bounced with a typed `Overloaded` before touching the engine.
+    Shed,
+    /// Expired its deadline — either while queued (rejected without touching
+    /// the engine) or mid-run (aborted through the compensation path).
+    TimedOut,
+}
+
+impl fmt::Display for AdmissionVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionVerdict::Accepted => write!(f, "accepted"),
+            AdmissionVerdict::Shed => write!(f, "shed"),
+            AdmissionVerdict::TimedOut => write!(f, "timed_out"),
+        }
+    }
+}
+
 /// One structured observability event. All variants are `Copy` — recording
 /// never allocates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -323,6 +345,19 @@ pub enum Event {
         /// Stream byte offset resumed from.
         offset: u64,
     },
+    /// The admission controller ruled on one submitted request.
+    Admission {
+        /// The ruling.
+        verdict: AdmissionVerdict,
+        /// Admission-queue depth observed at the decision (after an accept,
+        /// before a shed) — feeds the queue-depth high-water counter.
+        queue_depth: u32,
+    },
+    /// A client connection opened or closed (churn tracking).
+    ConnChurn {
+        /// True on open, false on close.
+        opened: bool,
+    },
 }
 
 /// Number of wait-histogram buckets (power-of-two microsecond buckets:
@@ -365,6 +400,11 @@ struct Counters {
     ship_refusals: AtomicU64,
     ship_resumes: AtomicU64,
     ship_lag_max: AtomicU64,
+    admitted: AtomicU64,
+    admission_sheds: AtomicU64,
+    deadline_aborts: AtomicU64,
+    admission_depth_max: AtomicU64,
+    conn_churn: AtomicU64,
 }
 
 /// A point-in-time copy of the sink's counters.
@@ -439,6 +479,18 @@ pub struct CounterSnapshot {
     /// Worst follower lag (leader records minus replayed) observed at any
     /// batch acknowledgement — a high-water gauge, not a running total.
     pub ship_lag_max: u64,
+    /// Requests the admission controller accepted into the bounded queue.
+    pub admitted: u64,
+    /// Requests shed with a typed `Overloaded` before touching the engine.
+    pub admission_sheds: u64,
+    /// Requests that expired their deadline — queued-and-expired rejections
+    /// plus mid-run deadline aborts through the compensation path.
+    pub deadline_aborts: u64,
+    /// Deepest admission queue observed at any decision — a high-water
+    /// gauge, not a running total.
+    pub admission_depth_max: u64,
+    /// Connection open/close events observed (churn).
+    pub conn_churn: u64,
 }
 
 impl std::ops::Sub for CounterSnapshot {
@@ -498,6 +550,11 @@ impl std::ops::Sub for CounterSnapshot {
             // A high-water mark has no meaningful interval delta; keep the
             // later snapshot's value.
             ship_lag_max: self.ship_lag_max,
+            admitted: self.admitted.saturating_sub(rhs.admitted),
+            admission_sheds: self.admission_sheds.saturating_sub(rhs.admission_sheds),
+            deadline_aborts: self.deadline_aborts.saturating_sub(rhs.deadline_aborts),
+            admission_depth_max: self.admission_depth_max,
+            conn_churn: self.conn_churn.saturating_sub(rhs.conn_churn),
         }
     }
 }
@@ -706,6 +763,19 @@ impl EventSink {
             Event::ShipRetry { .. } => bump(&c.ship_retries),
             Event::ShipRefused { .. } => bump(&c.ship_refusals),
             Event::ShipResume { .. } => bump(&c.ship_resumes),
+            Event::Admission {
+                verdict,
+                queue_depth,
+            } => {
+                match verdict {
+                    AdmissionVerdict::Accepted => bump(&c.admitted),
+                    AdmissionVerdict::Shed => bump(&c.admission_sheds),
+                    AdmissionVerdict::TimedOut => bump(&c.deadline_aborts),
+                }
+                c.admission_depth_max
+                    .fetch_max(queue_depth as u64, Ordering::Relaxed);
+            }
+            Event::ConnChurn { .. } => bump(&c.conn_churn),
         }
     }
 
@@ -748,6 +818,11 @@ impl EventSink {
             ship_refusals: get(&c.ship_refusals),
             ship_resumes: get(&c.ship_resumes),
             ship_lag_max: get(&c.ship_lag_max),
+            admitted: get(&c.admitted),
+            admission_sheds: get(&c.admission_sheds),
+            deadline_aborts: get(&c.deadline_aborts),
+            admission_depth_max: get(&c.admission_depth_max),
+            conn_churn: get(&c.conn_churn),
         }
     }
 
@@ -827,6 +902,18 @@ impl EventSink {
                 c.ship_refusals,
                 c.ship_resumes,
                 c.ship_lag_max
+            );
+        }
+        if c.admitted > 0 || c.admission_sheds > 0 || c.deadline_aborts > 0 || c.conn_churn > 0 {
+            let _ = writeln!(
+                out,
+                "admission: {} accepted, {} shed, {} deadline aborts, \
+                 queue depth high-water {}; conn churn {}",
+                c.admitted,
+                c.admission_sheds,
+                c.deadline_aborts,
+                c.admission_depth_max,
+                c.conn_churn
             );
         }
         if c.epoch_switches > 0 {

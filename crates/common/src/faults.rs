@@ -266,6 +266,109 @@ impl ShipPlan {
     }
 }
 
+/// What a misbehaving *client connection* does with one request/response
+/// round trip. Produced by [`ConnPlan::action`]; interpreted by the server's
+/// deterministic in-memory transport (and by torture harnesses), the same
+/// way [`ShipAction`] is interpreted by the ship transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnAction {
+    /// Behave: send the whole request, read the whole response.
+    Deliver,
+    /// The client dies mid-send: only the first `n` bytes of the request
+    /// frame reach the server, then the connection closes. The request must
+    /// never be admitted (a partial frame is not a request).
+    DropMidRequest(u32),
+    /// The response write tears after `n` bytes — the transaction's fate is
+    /// decided server-side, but the client never learns it. The audit must
+    /// account for such commits explicitly (committed-but-unacked), never
+    /// silently.
+    PartialWrite(u32),
+    /// Slow-loris: the request arrives one byte per poll over `k` polls.
+    /// The server must hold no engine resource while the frame dribbles in.
+    SlowLoris(u32),
+    /// Connection churn: open and immediately close without sending a
+    /// request at all.
+    Churn,
+}
+
+/// Deterministic connection-misbehavior plan — the front-end analogue of
+/// [`ShipPlan`]: every decision is a pure function of the 1-based request
+/// ordinal, so the same plan over the same request stream misbehaves
+/// identically. When several sites match one ordinal the most destructive
+/// wins (churn > drop > partial write > slow-loris): a connection that never
+/// sent its request cannot also tear its response.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnPlan {
+    /// Churn (open/close, no request) every `k`th ordinal.
+    pub churn_every: Option<u64>,
+    /// Drop the connection after `n` request bytes every `k`th ordinal.
+    pub drop_mid_request_every: Option<(u64, u32)>,
+    /// Tear the response after `n` bytes every `k`th ordinal.
+    pub partial_write_every: Option<(u64, u32)>,
+    /// Trickle the request one byte per poll every `k`th ordinal.
+    pub slow_loris_every: Option<u64>,
+    /// Mangle the `n`th request's frame bytes (1-based) with a
+    /// [`Corruption`] before delivery — a hostile or bit-rotted client.
+    pub tear_at: Option<(u64, Corruption)>,
+}
+
+impl ConnPlan {
+    /// Build a plan from a seeded RNG: small periods so the misbehaviors
+    /// interleave rather than always coinciding. Each site is present with
+    /// probability 0.6 — some seeded plans are partly (or wholly) clean,
+    /// which is itself a case worth covering.
+    pub fn seeded(rng: &mut crate::rng::SeededRng) -> ConnPlan {
+        let period = |rng: &mut crate::rng::SeededRng| rng.int_range(3, 9) as u64;
+        ConnPlan {
+            churn_every: rng.chance(0.6).then(|| period(rng)),
+            drop_mid_request_every: {
+                let fires = rng.chance(0.6);
+                fires.then(|| (period(rng), rng.int_range(1, 20) as u32))
+            },
+            partial_write_every: {
+                let fires = rng.chance(0.6);
+                fires.then(|| (period(rng), rng.int_range(1, 20) as u32))
+            },
+            slow_loris_every: rng.chance(0.6).then(|| period(rng)),
+            tear_at: None,
+        }
+    }
+
+    /// The action for the `ordinal`th request (1-based).
+    pub fn action(&self, ordinal: u64) -> ConnAction {
+        let hits = |k: Option<u64>| matches!(k, Some(k) if k > 0 && ordinal.is_multiple_of(k));
+        let hits2 =
+            |k: Option<(u64, u32)>| matches!(k, Some((k, _)) if k > 0 && ordinal.is_multiple_of(k));
+        if hits(self.churn_every) {
+            ConnAction::Churn
+        } else if hits2(self.drop_mid_request_every) {
+            let (_, n) = self.drop_mid_request_every.expect("hit");
+            ConnAction::DropMidRequest(n)
+        } else if hits2(self.partial_write_every) {
+            let (_, n) = self.partial_write_every.expect("hit");
+            ConnAction::PartialWrite(n)
+        } else if hits(self.slow_loris_every) {
+            ConnAction::SlowLoris(1)
+        } else {
+            ConnAction::Deliver
+        }
+    }
+
+    /// The request-frame corruption for the `ordinal`th request (1-based);
+    /// [`Corruption::None`] for all but the planned tear point.
+    pub fn corruption(&self, ordinal: u64) -> Corruption {
+        match self.tear_at {
+            Some((n, c)) if n == ordinal => c,
+            _ => Corruption::None,
+        }
+    }
+
+    /// True if the plan never misbehaves.
+    pub fn is_clean(&self) -> bool {
+        *self == ConnPlan::default()
+    }
+}
+
 /// A point-in-time copy of the injector's site counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultCounters {
@@ -617,6 +720,39 @@ mod tests {
     fn seeded_ship_plans_are_reproducible() {
         let a = ShipPlan::seeded(&mut crate::rng::SeededRng::new(99));
         let b = ShipPlan::seeded(&mut crate::rng::SeededRng::new(99));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conn_plan_actions_are_deterministic_and_prioritised() {
+        let plan = ConnPlan {
+            churn_every: Some(12),
+            drop_mid_request_every: Some((4, 7)),
+            partial_write_every: Some((3, 5)),
+            slow_loris_every: Some(2),
+            tear_at: Some((5, Corruption::TornTail(3))),
+        };
+        // Ordinal 12 hits everything: churn wins. 4 hits drop+loris: drop
+        // wins. 3 hits partial+?: partial wins over loris at 6? (6 hits
+        // partial(3) and loris(2): partial wins). 2 is loris, 1 delivers.
+        assert_eq!(plan.action(12), ConnAction::Churn);
+        assert_eq!(plan.action(4), ConnAction::DropMidRequest(7));
+        assert_eq!(plan.action(6), ConnAction::PartialWrite(5));
+        assert_eq!(plan.action(2), ConnAction::SlowLoris(1));
+        assert_eq!(plan.action(1), ConnAction::Deliver);
+        assert_eq!(plan.corruption(5), Corruption::TornTail(3));
+        assert_eq!(plan.corruption(6), Corruption::None);
+        assert!(!plan.is_clean());
+        assert!(ConnPlan::default().is_clean());
+        for i in 1..50 {
+            assert_eq!(plan.action(i), plan.action(i));
+        }
+    }
+
+    #[test]
+    fn seeded_conn_plans_are_reproducible() {
+        let a = ConnPlan::seeded(&mut crate::rng::SeededRng::new(7));
+        let b = ConnPlan::seeded(&mut crate::rng::SeededRng::new(7));
         assert_eq!(a, b);
     }
 

@@ -15,19 +15,27 @@
 //! * [`events`] — the zero-cost-when-disabled observability sink (structured
 //!   lock/step events, atomic counters, `lockstat` dumps),
 //! * [`faults`] — seeded, deterministic fault injection (planned crash
-//!   points, image corruption, spurious wakeups), disabled by default.
+//!   points, image corruption, spurious wakeups), disabled by default,
+//! * [`frame`] — length-prefixed wire framing with chained checksums, shared
+//!   by the replication transport and the network front-end.
 
 pub mod clock;
 pub mod error;
 pub mod events;
 pub mod faults;
+pub mod frame;
 pub mod ids;
 pub mod rng;
 pub mod value;
 
 pub use error::{Error, Result};
-pub use events::{CounterSnapshot, Event, EventLog, EventSink, KindRepr, TxnList};
-pub use faults::{BoundaryEdge, Corruption, FaultCounters, FaultInjector, FaultPlan};
+pub use events::{
+    AdmissionVerdict, CounterSnapshot, Event, EventLog, EventSink, KindRepr, TxnList,
+};
+pub use faults::{
+    BoundaryEdge, ConnAction, ConnPlan, Corruption, FaultCounters, FaultInjector, FaultPlan,
+};
+pub use frame::{Decoded, Frame, FrameBuf, StreamChain};
 pub use ids::{
     AssertionTemplateId, PageNo, ResourceId, Slot, StepTypeId, TableId, TxnId, TxnTypeId,
 };

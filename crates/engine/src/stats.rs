@@ -5,7 +5,7 @@ use acc_common::events::{CounterSnapshot, EventSink};
 use std::sync::{Arc, Mutex};
 
 /// Summary statistics over a set of latencies.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct LatencyStats {
     /// Number of samples.
     pub count: usize,
@@ -15,6 +15,9 @@ pub struct LatencyStats {
     pub p50_ms: f64,
     /// 95th percentile.
     pub p95_ms: f64,
+    /// 99th percentile — the saturation experiments' headline number (tail
+    /// latency is what admission control exists to bound).
+    pub p99_ms: f64,
     /// Maximum.
     pub max_ms: f64,
 }
@@ -28,6 +31,7 @@ impl LatencyStats {
                 mean_ms: 0.0,
                 p50_ms: 0.0,
                 p95_ms: 0.0,
+                p99_ms: 0.0,
                 max_ms: 0.0,
             };
         }
@@ -43,6 +47,7 @@ impl LatencyStats {
             mean_ms: sum as f64 / count as f64 / 1000.0,
             p50_ms: pct(0.50),
             p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
             max_ms: *samples.last().expect("non-empty") as f64 / 1000.0,
         }
     }
@@ -147,6 +152,7 @@ mod tests {
         assert!((s.mean_ms - 50.5).abs() < 0.01);
         assert!((s.p50_ms - 50.0).abs() <= 1.0);
         assert!((s.p95_ms - 95.0).abs() <= 1.0);
+        assert!((s.p99_ms - 99.0).abs() <= 1.0);
         assert_eq!(s.max_ms, 100.0);
     }
 

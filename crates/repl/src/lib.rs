@@ -29,9 +29,10 @@
 //! Transports are pluggable ([`ShipTransport`]): the default
 //! [`MemTransport`] is a deterministic in-process channel whose misbehavior
 //! (drop/duplicate/delay/tear) is scripted by an
-//! [`acc_common::faults::ShipPlan`]; a loopback-TCP transport is available
-//! behind the `tcp` feature for benches. The [`Replicator`] pump drives the
-//! whole loop with bounded full-jitter retry and emits
+//! [`acc_common::faults::ShipPlan`]; a loopback-TCP transport
+//! ([`TcpTransport`]) speaks the workspace-shared [`acc_common::frame`] wire
+//! format over a real socket pair. The [`Replicator`] pump drives the whole
+//! loop with bounded full-jitter retry and emits
 //! [`acc_common::events::Event`] ship counters for lag backpressure.
 
 pub mod follower;
@@ -42,7 +43,5 @@ pub mod transport;
 pub use follower::{Applied, Follower, Promoted, Refusal, ResumePoint};
 pub use pump::{PumpStats, Replicator};
 pub use ship::{count_frames, frame_prefix, stream_chain, ShipBatch, Shipper};
-pub use transport::{MemTransport, ShipTransport};
-
-#[cfg(any(test, feature = "tcp"))]
 pub use transport::tcp::TcpTransport;
+pub use transport::{MemTransport, ShipTransport};

@@ -4,9 +4,10 @@
 //! misbehavior — drop, duplicate, delay (reorder), tear — is scripted by an
 //! [`acc_common::faults::ShipPlan`], so the same plan over the same stream
 //! misdelivers identically. A loopback-TCP transport ([`tcp::TcpTransport`])
-//! exists behind the `tcp` feature (and for this crate's own tests) to prove
-//! the protocol survives a real byte pipe; it adds no determinism and no new
-//! dependencies.
+//! proves the protocol survives a real byte pipe; its wire framing is the
+//! workspace-shared [`acc_common::frame`] module (the same frames the
+//! `acc-server` front-end speaks), so framing and chained-checksum idioms
+//! live in one place.
 
 use crate::ship::ShipBatch;
 use acc_common::faults::{ShipAction, ShipPlan};
@@ -104,13 +105,13 @@ impl ShipTransport for MemTransport {
     }
 }
 
-/// Loopback-TCP transport: the same protocol over a real socket pair.
-/// Gated: benches opt in with the `tcp` feature; this crate's own tests get
-/// it via `cfg(test)`. Wire format per batch:
-/// `[seq u64][start u64][chain u64][len u32][payload]`, all little-endian.
-#[cfg(any(test, feature = "tcp"))]
+/// Loopback-TCP transport: the same protocol over a real socket pair, framed
+/// by the workspace-shared [`acc_common::frame`] module. A ship batch maps
+/// 1:1 onto a wire [`Frame`]: `seq`/`start`/`chain` ride the header and the
+/// batch payload is the frame payload.
 pub mod tcp {
     use super::*;
+    use acc_common::frame::{Decoded, Frame, FrameBuf};
     use std::io::{Read, Write};
     use std::net::{TcpListener, TcpStream};
     use std::time::Duration;
@@ -119,8 +120,8 @@ pub mod tcp {
     pub struct TcpTransport {
         tx: TcpStream,
         rx: TcpStream,
-        /// Partial frame bytes read so far.
-        buf: Vec<u8>,
+        /// Incremental frame decoder over the receive side.
+        buf: FrameBuf,
     }
 
     impl TcpTransport {
@@ -137,18 +138,23 @@ pub mod tcp {
             Ok(TcpTransport {
                 tx,
                 rx,
-                buf: Vec::new(),
+                buf: FrameBuf::new(),
             })
         }
 
-        /// Try to complete one wire frame from the socket; true if the
-        /// buffer now holds at least `need` bytes.
-        fn fill(&mut self, need: usize) -> bool {
+        /// Pull whatever the socket has ready into the frame decoder; false
+        /// once the socket would block (or closed/errored).
+        fn fill(&mut self) -> bool {
             let mut chunk = [0u8; 4096];
-            while self.buf.len() < need {
+            loop {
                 match self.rx.read(&mut chunk) {
                     Ok(0) => return false,
-                    Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                    Ok(n) => {
+                        self.buf.extend(&chunk[..n]);
+                        if n < chunk.len() {
+                            return true;
+                        }
+                    }
                     Err(e)
                         if e.kind() == std::io::ErrorKind::WouldBlock
                             || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -158,46 +164,54 @@ pub mod tcp {
                     Err(_) => return false,
                 }
             }
-            true
         }
     }
 
-    const WIRE_HEADER: usize = 8 + 8 + 8 + 4;
-
     impl ShipTransport for TcpTransport {
         fn send(&mut self, batch: ShipBatch) -> Result<()> {
-            let mut wire = Vec::with_capacity(WIRE_HEADER + batch.payload.len());
-            wire.extend_from_slice(&batch.seq.to_le_bytes());
-            wire.extend_from_slice(&batch.start.to_le_bytes());
-            wire.extend_from_slice(&batch.chain.to_le_bytes());
-            wire.extend_from_slice(&(batch.payload.len() as u32).to_le_bytes());
-            wire.extend_from_slice(&batch.payload);
+            let wire = Frame {
+                seq: batch.seq,
+                start: batch.start,
+                chain: batch.chain,
+                payload: batch.payload,
+            }
+            .encode();
             self.tx
                 .write_all(&wire)
                 .map_err(|e| Error::Internal(format!("ship send: {e}")))
         }
 
         fn recv(&mut self) -> Option<ShipBatch> {
-            if !self.fill(WIRE_HEADER) {
-                return None;
+            loop {
+                match self.buf.next_frame() {
+                    Decoded::Frame(f) => {
+                        return Some(ShipBatch {
+                            seq: f.seq,
+                            start: f.start,
+                            payload: f.payload,
+                            chain: f.chain,
+                        });
+                    }
+                    // A violating peer gets no further reads — the follower
+                    // treats silence as a dead leader and re-handshakes.
+                    Decoded::Violation => return None,
+                    Decoded::Incomplete => {
+                        if !self.fill() {
+                            // Nothing new arrived; try once more in case the
+                            // last fill completed a frame, then give up.
+                            if let Decoded::Frame(f) = self.buf.next_frame() {
+                                return Some(ShipBatch {
+                                    seq: f.seq,
+                                    start: f.start,
+                                    payload: f.payload,
+                                    chain: f.chain,
+                                });
+                            }
+                            return None;
+                        }
+                    }
+                }
             }
-            let u64_at =
-                |b: &[u8], i: usize| u64::from_le_bytes(b[i..i + 8].try_into().expect("8 bytes"));
-            let len = u32::from_le_bytes(self.buf[24..28].try_into().expect("4 bytes")) as usize;
-            if !self.fill(WIRE_HEADER + len) {
-                return None;
-            }
-            let seq = u64_at(&self.buf, 0);
-            let start = u64_at(&self.buf, 8);
-            let chain = u64_at(&self.buf, 16);
-            let payload = self.buf[WIRE_HEADER..WIRE_HEADER + len].to_vec();
-            self.buf.drain(..WIRE_HEADER + len);
-            Some(ShipBatch {
-                seq,
-                start,
-                payload,
-                chain,
-            })
         }
     }
 }

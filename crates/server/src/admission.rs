@@ -1,0 +1,180 @@
+//! Admission control: a bounded queue between the transports and the worker
+//! pool.
+//!
+//! The queue is the *only* place a request waits. `offer` never blocks: a
+//! full queue sheds the request immediately with a typed
+//! [`crate::wire::Response::Overloaded`], before the engine has spent a lock,
+//! a WAL byte, or a version-chain entry on it. Under open-loop traffic past
+//! saturation this is what keeps the accepted-request latency bounded — the
+//! excess arrival rate turns into sheds, not into an unbounded queue.
+//!
+//! Workers `take` jobs in FIFO order and re-check the deadline at dequeue: a
+//! request that expired while queued is answered `DeadlineExceeded` without
+//! touching the engine (counted as a `timed_out` admission verdict, same as a
+//! mid-run deadline abort — either way the client's budget, not the engine's
+//! capacity, ended it).
+
+use crate::wire::{Mix, Response};
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One admitted unit of work.
+#[derive(Debug)]
+pub struct Job {
+    /// Client correlation id, echoed on the response.
+    pub client_seq: u64,
+    /// Workload family (validated against the host before enqueue).
+    pub mix: Mix,
+    /// Transaction seed.
+    pub seed: u64,
+    /// Absolute deadline, if the request carried a budget.
+    pub deadline: Option<Instant>,
+    /// When the server received the request (latency measurement origin).
+    pub received: Instant,
+    /// Where the response goes. The channel belongs to the submitting
+    /// connection; a dropped receiver (client vanished) makes the send a
+    /// no-op rather than an error anyone acts on.
+    pub reply: Sender<Response>,
+}
+
+struct Inner {
+    queue: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded admission queue.
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    available: Condvar,
+    cap: usize,
+}
+
+/// Result of a non-blocking [`AdmissionQueue::offer`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Offer {
+    /// Enqueued; the depth *after* the push (drives the high-water counter).
+    Queued(u32),
+    /// Shed — the queue was full at this depth. The job is handed back so
+    /// the caller can answer `Overloaded` itself.
+    Shed(u32),
+    /// The server is shutting down.
+    Closed,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `cap` waiting jobs.
+    pub fn new(cap: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The configured bound.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Try to enqueue without blocking. On [`Offer::Shed`] and
+    /// [`Offer::Closed`] the job was *not* consumed and `job` is returned to
+    /// the caller via the `Err`-like payload of the variant — callers keep
+    /// ownership by passing a reference-free job in only on success, so this
+    /// takes the job and hands it back inside the result when refused.
+    pub fn offer(&self, job: Job) -> (Offer, Option<Job>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return (Offer::Closed, Some(job));
+        }
+        if inner.queue.len() >= self.cap {
+            return (Offer::Shed(inner.queue.len() as u32), Some(job));
+        }
+        inner.queue.push_back(job);
+        let depth = inner.queue.len() as u32;
+        drop(inner);
+        self.available.notify_one();
+        (Offer::Queued(depth), None)
+    }
+
+    /// Dequeue the oldest job, blocking until one arrives or the queue
+    /// closes. Returns `None` only at shutdown (after draining).
+    pub fn take(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.queue.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    /// Jobs currently waiting.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().queue.len()
+    }
+
+    /// Close the queue: `offer` refuses, `take` drains then returns `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+
+    fn job(seq: u64) -> (Job, std::sync::mpsc::Receiver<Response>) {
+        let (tx, rx) = channel();
+        (
+            Job {
+                client_seq: seq,
+                mix: Mix::Smallbank,
+                seed: seq,
+                deadline: None,
+                received: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn sheds_beyond_cap_and_preserves_fifo() {
+        let q = AdmissionQueue::new(2);
+        let (j1, _r1) = job(1);
+        let (j2, _r2) = job(2);
+        let (j3, _r3) = job(3);
+        assert!(matches!(q.offer(j1), (Offer::Queued(1), None)));
+        assert!(matches!(q.offer(j2), (Offer::Queued(2), None)));
+        let (verdict, refused) = q.offer(j3);
+        assert_eq!(verdict, Offer::Shed(2));
+        assert_eq!(refused.unwrap().client_seq, 3);
+        assert_eq!(q.take().unwrap().client_seq, 1);
+        assert_eq!(q.take().unwrap().client_seq, 2);
+    }
+
+    #[test]
+    fn close_wakes_blocked_takers() {
+        let q = Arc::new(AdmissionQueue::new(1));
+        let taker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.take().is_none())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(taker.join().unwrap());
+        let (j, _r) = job(9);
+        assert!(matches!(q.offer(j), (Offer::Closed, Some(_))));
+    }
+}

@@ -1,0 +1,199 @@
+//! Deterministic in-memory connections, scripted by
+//! [`acc_common::faults::ConnPlan`].
+//!
+//! The front-end analogue of replication's `MemTransport`: a [`MemConn`]
+//! carries real framed bytes through real [`crate::session::Endpoint`]s into
+//! a real [`crate::server::Frontend`] — only the socket is simulated. Every
+//! misbehavior is a pure function of the 1-based request ordinal, so a
+//! seeded torture run replays byte-identically.
+//!
+//! The outcome taxonomy is the no-silent-loss audit's vocabulary: every
+//! request ends in exactly one [`CallOutcome`], and the torture harness
+//! proves `delivered + lost_before_admission + committed_unacked + torn`
+//! accounts for every request it offered — a connection fault may cost a
+//! client its answer, but never silently, and a lost *request* never has
+//! effects.
+
+use crate::server::Frontend;
+use crate::session::Endpoint;
+use crate::wire::{Request, Response};
+use acc_common::events::Event;
+use acc_common::faults::{ConnAction, ConnPlan, Corruption};
+use acc_common::Result;
+use std::sync::mpsc::channel;
+
+/// How one in-memory call ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallOutcome {
+    /// The response reached the client intact.
+    Delivered(Response),
+    /// A connection fault ate the request before the server assembled a
+    /// complete frame: the engine never saw it, so it has no effects.
+    LostBeforeAdmission(&'static str),
+    /// The server processed the request, but the response write tore before
+    /// the client could decode it. The transaction's fate (here, for the
+    /// audit) is known server-side only — the client must treat it as
+    /// unknown and the audit must reconcile it against the log.
+    ResponseTorn(Response),
+    /// The connection was poisoned by corruption; the request never became a
+    /// complete verified frame. No effects.
+    TornDown(&'static str),
+}
+
+/// One scripted client connection to an in-process [`Frontend`].
+pub struct MemConn {
+    client: Endpoint,
+    server: Endpoint,
+    plan: ConnPlan,
+    /// 1-based ordinal of the next request *attempt* on this connection.
+    ordinal: u64,
+    next_seq: u64,
+    dead: bool,
+}
+
+impl MemConn {
+    /// Open a connection (emits a `ConnChurn { opened: true }` event on the
+    /// frontend's sink, mirroring the TCP path).
+    pub fn open(frontend: &Frontend, plan: ConnPlan) -> MemConn {
+        let sink = frontend.shared().event_sink();
+        if sink.is_enabled() {
+            sink.emit(Event::ConnChurn { opened: true });
+        }
+        MemConn {
+            client: Endpoint::new(),
+            server: Endpoint::new(),
+            plan,
+            ordinal: 0,
+            next_seq: 0,
+            dead: false,
+        }
+    }
+
+    /// True once a fault has killed the connection; the caller reconnects
+    /// with a fresh [`MemConn::open`].
+    pub fn dead(&self) -> bool {
+        self.dead
+    }
+
+    fn teardown(&mut self, frontend: &Frontend) {
+        self.dead = true;
+        let sink = frontend.shared().event_sink();
+        if sink.is_enabled() {
+            sink.emit(Event::ConnChurn { opened: false });
+        }
+    }
+
+    /// Submit one transaction through the scripted connection and block for
+    /// its fate. `deadline_micros == 0` means no deadline.
+    pub fn call(
+        &mut self,
+        frontend: &Frontend,
+        seed: u64,
+        deadline_micros: u64,
+    ) -> Result<CallOutcome> {
+        if self.dead {
+            return Err(acc_common::Error::Recovery(
+                "call on a dead connection".into(),
+            ));
+        }
+        self.ordinal += 1;
+        self.next_seq += 1;
+        let req = Request {
+            client_seq: self.next_seq,
+            deadline_micros,
+            mix: frontend.mix(),
+            seed,
+        };
+        let action = self.plan.action(self.ordinal);
+        if action == ConnAction::Churn {
+            // The client opens-and-closes without ever sending: the request
+            // is lost on the client side, the server just sees churn.
+            self.teardown(frontend);
+            return Ok(CallOutcome::LostBeforeAdmission("churn"));
+        }
+        let mut bytes = self.client.seal(&req.encode());
+        let corruption = self.plan.corruption(self.ordinal);
+        if corruption != Corruption::None {
+            corruption.apply(&mut bytes);
+            // Tampered or truncated request frame: the server either refuses
+            // the chain (poisoned endpoint) or never completes the frame.
+            match self.server.feed(&bytes) {
+                Ok(done) if done.is_empty() => {
+                    self.teardown(frontend);
+                    return Ok(CallOutcome::TornDown("torn request frame"));
+                }
+                Ok(_) => unreachable!("a corrupted frame cannot verify"),
+                Err(_) => {
+                    self.teardown(frontend);
+                    return Ok(CallOutcome::TornDown("request chain refused"));
+                }
+            }
+        }
+        match action {
+            ConnAction::Churn => unreachable!("handled above"),
+            ConnAction::DropMidRequest(n) => {
+                // Only a prefix arrives, never the whole frame: clamp below
+                // the frame length so the drop is guaranteed to drop.
+                let n = (n as usize).min(bytes.len() - 1);
+                let fed = self.server.feed(&bytes[..n])?;
+                assert!(fed.is_empty(), "a partial frame is not a request");
+                self.teardown(frontend);
+                Ok(CallOutcome::LostBeforeAdmission("drop mid-request"))
+            }
+            ConnAction::SlowLoris(step) => {
+                // The request dribbles in a byte (or few) at a time. The
+                // server holds nothing but the reassembly buffer while it
+                // arrives; once complete it is an ordinary request.
+                let step = (step as usize).max(1);
+                let mut payloads = Vec::new();
+                for chunk in bytes.chunks(step) {
+                    payloads.extend(self.server.feed(chunk)?);
+                }
+                self.finish(frontend, payloads, None)
+            }
+            ConnAction::PartialWrite(n) => {
+                let payloads = self.server.feed(&bytes)?;
+                self.finish(frontend, payloads, Some(n))
+            }
+            ConnAction::Deliver => {
+                let payloads = self.server.feed(&bytes)?;
+                self.finish(frontend, payloads, None)
+            }
+        }
+    }
+
+    /// Server-side processing shared by every delivered-request path:
+    /// decode, submit, wait, frame the response back — torn after
+    /// `tear_response_at` bytes if the plan says so.
+    fn finish(
+        &mut self,
+        frontend: &Frontend,
+        payloads: Vec<Vec<u8>>,
+        tear_response_at: Option<u32>,
+    ) -> Result<CallOutcome> {
+        assert_eq!(payloads.len(), 1, "one request per call");
+        let req = Request::decode(&payloads[0])?;
+        let (tx, rx) = channel();
+        frontend.submit(req, tx);
+        let resp = rx
+            .recv()
+            .map_err(|_| acc_common::Error::Recovery("frontend dropped reply".into()))?;
+        let resp_bytes = self.server.seal(&resp.encode());
+        match tear_response_at {
+            Some(n) => {
+                // The client sees a prefix, then EOF: it can never decode the
+                // response, and must treat the transaction's fate as unknown.
+                let n = (n as usize).min(resp_bytes.len() - 1);
+                let got = self.client.feed(&resp_bytes[..n])?;
+                assert!(got.is_empty(), "a torn response must not decode");
+                self.teardown(frontend);
+                Ok(CallOutcome::ResponseTorn(resp))
+            }
+            None => {
+                let got = self.client.feed(&resp_bytes)?;
+                assert_eq!(got.len(), 1, "one response per request");
+                Ok(CallOutcome::Delivered(Response::decode(&got[0])?))
+            }
+        }
+    }
+}

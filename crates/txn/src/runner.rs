@@ -23,6 +23,10 @@ pub enum AbortReason {
     UserAbort,
     /// Doomed by a compensating step it was delaying (§3.4).
     Doomed,
+    /// Its submitter's deadline passed; rolled back at a step boundary
+    /// through the ordinary compensation path. Not retryable — the client
+    /// already stopped waiting.
+    Deadline,
 }
 
 /// The overall result of running a program.
@@ -50,8 +54,24 @@ pub fn run(
     program: &mut dyn TxnProgram,
     mode: WaitMode,
 ) -> Result<RunOutcome> {
+    run_with_deadline(shared, cc, program, mode, None).map(|(_, outcome)| outcome)
+}
+
+/// Like [`run`], but with an optional absolute deadline checked at every step
+/// boundary, and the minted [`acc_common::TxnId`] surfaced so callers (the
+/// network front-end) can correlate a client request with the transaction's
+/// fate on the log. A transaction past its deadline rolls back through the
+/// ordinary compensation path — every lock released, every version chain
+/// finalized — and reports [`AbortReason::Deadline`].
+pub fn run_with_deadline(
+    shared: &SharedDb,
+    cc: &dyn ConcurrencyControl,
+    program: &mut dyn TxnProgram,
+    mode: WaitMode,
+    deadline: Option<Instant>,
+) -> Result<(acc_common::TxnId, RunOutcome)> {
     let id = shared.begin_txn(program.txn_type());
-    let mut txn = Transaction::new(id, program.txn_type());
+    let mut txn = Transaction::new(id, program.txn_type()).with_deadline(deadline);
     let result = run_existing(shared, cc, program, &mut txn, mode);
     if matches!(result, Err(Error::WouldBlock { .. })) {
         // The transaction object dies with this call, so nobody can resume
@@ -59,7 +79,7 @@ pub fn run(
         // that want to resume after a block must use [`run_existing`].
         rollback(shared, cc, program, &mut txn)?;
     }
-    result
+    result.map(|outcome| (id, outcome))
 }
 
 /// Like [`run`], but the caller owns the [`Transaction`] (lets the
@@ -74,6 +94,15 @@ pub fn run_existing(
 ) -> Result<RunOutcome> {
     let sink = shared.event_sink();
     loop {
+        // Deadline gate, checked only at step boundaries: never mid-step, so
+        // rollback always starts from a clean step edge (partial-step undo +
+        // compensation of completed steps) and cannot leak a lock or leave a
+        // version chain pending. An expired transaction that already did
+        // work pays for its own compensation — that is the §3.4 contract.
+        if txn.past_deadline() {
+            rollback(shared, cc, program, txn)?;
+            return Ok(RunOutcome::RolledBack(AbortReason::Deadline));
+        }
         // Step admission: a decomposed transaction pins the current
         // interference-table epoch before its first step and is audited
         // against it at every later one — one atomic load per step, never
@@ -130,6 +159,16 @@ pub fn run_existing(
                 if shared.is_doomed(txn.id) {
                     rollback(shared, cc, program, txn)?;
                     return Ok(RunOutcome::RolledBack(AbortReason::Doomed));
+                }
+                // The commit point is a step boundary too: a transaction past
+                // its deadline must never commit, or the submitter's
+                // deadline-exceeded reply would be a lie and a client resubmit
+                // would duplicate its effects. The final step is still
+                // physically undoable here (no end-of-step record yet), so
+                // this rollback undoes it and compensates the earlier steps.
+                if txn.past_deadline() {
+                    rollback(shared, cc, program, txn)?;
+                    return Ok(RunOutcome::RolledBack(AbortReason::Deadline));
                 }
                 let steps = txn.step_index + 1;
                 commit(shared, txn)?;

@@ -50,6 +50,12 @@ pub struct Transaction {
     /// Tables this transaction pushed version-chain entries into (deduped,
     /// typically ≤ a handful); commit and rollback finalize exactly these.
     pub version_tables: Vec<TableId>,
+    /// Absolute deadline, if the submitter set one. Checked at every step
+    /// boundary by the runner: a transaction past its deadline rolls back
+    /// through the ordinary compensation path (never mid-step, so no lock or
+    /// version-chain state can leak) and reports
+    /// [`crate::runner::AbortReason::Deadline`].
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Transaction {
@@ -65,7 +71,20 @@ impl Transaction {
             epoch_pin: None,
             read_view: None,
             version_tables: Vec::new(),
+            deadline: None,
         }
+    }
+
+    /// Set an absolute deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// True once the deadline (if any) has passed.
+    pub fn past_deadline(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
     }
 
     /// The position snapshot handed to the concurrency control.

@@ -1,0 +1,294 @@
+//! Deadline-abort lock hygiene: a transaction cancelled by its deadline at
+//! *every* step boundary — while concurrent writers load the same table —
+//! must roll back through the ordinary compensation path, release every lock
+//! it held, finalize its version chains (no lingering active-map entry), and
+//! never cause a mixed-epoch interference lookup.
+//!
+//! This is the safety contract the network front-end's per-request deadlines
+//! lean on: shedding a slow request can never wedge the engine.
+
+use acc_common::{Result, StepTypeId, TableId, TxnTypeId, Value};
+use acc_lockmgr::{LockKind, LockMode, NoInterference};
+use acc_storage::{Catalog, ColumnType, Database, Key, Row, TableSchema};
+use acc_txn::runner::run_with_deadline;
+use acc_txn::{
+    run, AbortReason, ConcurrencyControl, RunOutcome, SharedDb, StepCtx, StepOutcome, TxnMeta,
+    TxnProgram, WaitMode,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const LEDGER: TableId = TableId(0);
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.add_table(
+        TableSchema::builder("ledger")
+            .column("id", ColumnType::Int)
+            .column("amount", ColumnType::Int)
+            .key(&["id"])
+            .build(),
+    );
+    c
+}
+
+/// Minimal decomposed policy: conventional locks, released at step ends.
+struct StepRelease;
+
+impl ConcurrencyControl for StepRelease {
+    fn name(&self) -> &'static str {
+        "step-release"
+    }
+    fn decomposed(&self) -> bool {
+        true
+    }
+    fn step_type(&self, meta: &TxnMeta) -> StepTypeId {
+        if meta.compensating {
+            StepTypeId(100)
+        } else {
+            StepTypeId(meta.step_index.min(1))
+        }
+    }
+    fn comp_step_type(&self, _t: TxnTypeId) -> Option<StepTypeId> {
+        Some(StepTypeId(100))
+    }
+    fn item_locks(&self, _m: &TxnMeta, _t: TableId, write: bool) -> Vec<LockKind> {
+        vec![LockKind::Conventional(if write {
+            LockMode::X
+        } else {
+            LockMode::S
+        })]
+    }
+    fn scan_locks(&self, _m: &TxnMeta, _t: TableId) -> Vec<LockKind> {
+        vec![LockKind::Conventional(LockMode::S)]
+    }
+    fn release_at_step_end(&self, _m: &TxnMeta, _k: LockKind) -> bool {
+        true
+    }
+}
+
+/// Four forward steps, each inserting one row; step `slow_step` stalls past
+/// any reasonable deadline. Compensation deletes exactly the rows the
+/// completed steps inserted.
+struct SlowLedger {
+    base_id: i64,
+    slow_step: u32,
+    stall: Duration,
+    comp_from: Option<u32>,
+}
+
+const STEPS: u32 = 4;
+
+impl TxnProgram for SlowLedger {
+    fn txn_type(&self) -> TxnTypeId {
+        TxnTypeId(1)
+    }
+
+    fn step(&mut self, i: u32, ctx: &mut StepCtx<'_>) -> Result<StepOutcome> {
+        ctx.insert(
+            LEDGER,
+            Row::from(vec![Value::Int(self.base_id + i as i64), Value::Int(10)]),
+        )?;
+        if i == self.slow_step {
+            std::thread::sleep(self.stall);
+        }
+        if i + 1 == STEPS {
+            Ok(StepOutcome::Done)
+        } else {
+            Ok(StepOutcome::Continue)
+        }
+    }
+
+    fn compensate(&mut self, steps_completed: u32, ctx: &mut StepCtx<'_>) -> Result<()> {
+        self.comp_from = Some(steps_completed);
+        for i in 0..steps_completed {
+            ctx.delete_key(LEDGER, &Key::ints(&[self.base_id + i as i64]))?;
+        }
+        Ok(())
+    }
+}
+
+/// One-step background writer used as concurrent load.
+struct Background {
+    id: i64,
+}
+
+impl TxnProgram for Background {
+    fn txn_type(&self) -> TxnTypeId {
+        TxnTypeId(2)
+    }
+
+    fn step(&mut self, _i: u32, ctx: &mut StepCtx<'_>) -> Result<StepOutcome> {
+        let key = Key::ints(&[self.id]);
+        if ctx.read_for_update(LEDGER, &key)?.is_some() {
+            ctx.update_key(LEDGER, &key, |r| {
+                if let Value::Int(n) = &mut r.0[1] {
+                    *n += 1;
+                }
+            })?;
+        } else {
+            ctx.insert(LEDGER, Row::from(vec![Value::Int(self.id), Value::Int(0)]))?;
+        }
+        Ok(StepOutcome::Done)
+    }
+
+    fn compensate(&mut self, _steps_completed: u32, _ctx: &mut StepCtx<'_>) -> Result<()> {
+        Ok(())
+    }
+}
+
+fn shared_db() -> Arc<SharedDb> {
+    Arc::new(
+        SharedDb::new(Database::new(&catalog()), Arc::new(NoInterference))
+            .with_wait_cap(Duration::from_secs(10)),
+    )
+}
+
+/// Spawn background writers hammering the same table until `stop` flips.
+fn spawn_load(
+    shared: &Arc<SharedDb>,
+    stop: &Arc<AtomicBool>,
+    threads: usize,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..threads)
+        .map(|t| {
+            let shared = Arc::clone(shared);
+            let stop = Arc::clone(stop);
+            std::thread::spawn(move || {
+                let mut n = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let mut p = Background {
+                        id: 1000 + t as i64 * 64 + (n % 64),
+                    };
+                    n += 1;
+                    // Single-row writers on disjoint keys: deadlocks are not
+                    // expected, but tolerate transient outcomes under load.
+                    let _ = run(&shared, &StepRelease, &mut p, WaitMode::Block);
+                }
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn deadline_abort_is_clean_at_every_step_boundary() {
+    for slow_step in 0..STEPS {
+        let shared = shared_db();
+        let stop = Arc::new(AtomicBool::new(false));
+        let load = spawn_load(&shared, &stop, 3);
+
+        let mut program = SlowLedger {
+            base_id: 1,
+            slow_step,
+            stall: Duration::from_millis(120),
+            comp_from: None,
+        };
+        let deadline = Instant::now() + Duration::from_millis(40);
+        let (_, outcome) = run_with_deadline(
+            &shared,
+            &StepRelease,
+            &mut program,
+            WaitMode::Block,
+            Some(deadline),
+        )
+        .expect("deadline rollback must not error");
+        assert_eq!(
+            outcome,
+            RunOutcome::RolledBack(AbortReason::Deadline),
+            "step {slow_step} must be cancelled by its deadline"
+        );
+        // The stalled step completed, the deadline gate fired at the *next*
+        // boundary: compensation starts from slow_step + 1 completed steps.
+        // When the stalled step is the final one, it has no end-of-step
+        // record yet — it is physically undone and compensation covers only
+        // the earlier steps.
+        let expect_comp = if slow_step + 1 == STEPS {
+            STEPS - 1
+        } else {
+            slow_step + 1
+        };
+        assert_eq!(
+            program.comp_from,
+            Some(expect_comp),
+            "cancelled at boundary {slow_step}: compensation covers completed steps"
+        );
+
+        stop.store(true, Ordering::Relaxed);
+        for h in load {
+            h.join().expect("load thread panicked");
+        }
+
+        // Lock hygiene: nothing leaked by the deadline rollback or the load.
+        assert_eq!(
+            shared.total_grants(),
+            0,
+            "deadline abort at boundary {slow_step} leaked lock grants"
+        );
+        // Version chains finalized: no active-map entry pins the watermark.
+        assert_eq!(shared.active_txns(), 0, "active txn leaked");
+        // Epoch hygiene: every interference lookup ran under its pinned
+        // epoch.
+        assert_eq!(shared.registry().mixed_epoch_lookups(), 0);
+        // The table is consistent: the victim's inserts are gone (deleted by
+        // compensation or physically undone), i.e. no row with id < 1000
+        // except none at all from the victim.
+        let db = shared.snapshot_db();
+        let leftover: Vec<i64> = (1..=4)
+            .filter(|&i| {
+                db.table(LEDGER)
+                    .expect("ledger")
+                    .get(&Key::ints(&[i]))
+                    .is_some()
+            })
+            .collect();
+        assert!(
+            leftover.is_empty(),
+            "boundary {slow_step}: victim rows survived rollback: {leftover:?}"
+        );
+    }
+}
+
+#[test]
+fn already_expired_deadline_rejects_before_any_step() {
+    let shared = shared_db();
+    let mut program = SlowLedger {
+        base_id: 1,
+        slow_step: STEPS, // never stalls
+        stall: Duration::ZERO,
+        comp_from: None,
+    };
+    let past = Instant::now() - Duration::from_millis(1);
+    let (id, outcome) = run_with_deadline(
+        &shared,
+        &StepRelease,
+        &mut program,
+        WaitMode::Block,
+        Some(past),
+    )
+    .expect("expired-at-submit rollback must not error");
+    assert_eq!(outcome, RunOutcome::RolledBack(AbortReason::Deadline));
+    assert_eq!(
+        program.comp_from, None,
+        "no step ran, so nothing to compensate"
+    );
+    assert!(id.0 > 0, "a txn id was still minted (it is on the log)");
+    assert_eq!(shared.total_grants(), 0);
+    assert_eq!(shared.active_txns(), 0);
+}
+
+#[test]
+fn no_deadline_still_commits() {
+    let shared = shared_db();
+    let mut program = SlowLedger {
+        base_id: 1,
+        slow_step: STEPS,
+        stall: Duration::ZERO,
+        comp_from: None,
+    };
+    let (_, outcome) =
+        run_with_deadline(&shared, &StepRelease, &mut program, WaitMode::Block, None)
+            .expect("clean run");
+    assert_eq!(outcome, RunOutcome::Committed { steps: STEPS });
+    assert_eq!(shared.total_grants(), 0);
+}

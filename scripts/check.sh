@@ -63,6 +63,13 @@ cargo run -p acc-bench --release --offline --bin figures -- torture --ship --qui
 echo "== multi-thread stress smoke (8-terminal closed loop, release) =="
 cargo run -p acc-bench --release --offline --bin figures -- stress --quick
 
+echo "== server front-end: wire/session/admission units + TCP round-trip smoke =="
+cargo test -p acc-server --offline -q
+cargo test -p acc-server --offline -q --test frontend tcp_round_trip
+
+echo "== network torture smoke (connection faults + crashes at protocol boundaries) =="
+cargo run -p acc-bench --release --offline --bin figures -- torture --net --quick
+
 echo "== determinism: two consecutive 'figures -- tables' runs byte-identical =="
 t1="$(mktemp)"; t2="$(mktemp)"
 trap 'rm -f "$t1" "$t2"' EXIT
@@ -73,6 +80,11 @@ cmp "$t1" "$t2"
 echo "== determinism: two consecutive 'figures -- infer' runs byte-identical =="
 cargo run -p acc-bench --release --offline --bin figures -- infer > "$t1"
 cargo run -p acc-bench --release --offline --bin figures -- infer > "$t2"
+cmp "$t1" "$t2"
+
+echo "== determinism: seeded open-loop arrival schedule byte-identical =="
+cargo run -p acc-bench --release --offline --bin figures -- saturate --schedule --quick > "$t1"
+cargo run -p acc-bench --release --offline --bin figures -- saturate --schedule --quick > "$t2"
 cmp "$t1" "$t2"
 
 echo "== README vs figures --help drift =="
